@@ -1,0 +1,38 @@
+# hrdb — hierarchical relational model (Jagadish, SIGMOD '89)
+
+GO ?= go
+
+.PHONY: all build test race cover bench figures experiments fuzz clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/...
+	$(GO) tool cover -func=cover.out | tail -1
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/hrfigures
+
+experiments:
+	$(GO) run ./cmd/hrbench
+
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/hql/
+	$(GO) test -fuzz=FuzzOpenLog -fuzztime=30s ./internal/storage/
+	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=30s ./internal/storage/
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

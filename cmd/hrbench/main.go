@@ -1,0 +1,343 @@
+// Command hrbench runs the performance experiments E1–E8 of EXPERIMENTS.md
+// and prints their tables. The paper (a model paper) reports no absolute
+// numbers; these experiments quantify the claims its prose makes — storage
+// compression from class tuples (§1), the join degradation of the flat
+// alternative (footnote 1), and the costs of the new operators (§3.3).
+//
+//	hrbench          # all experiments
+//	hrbench E1 E2    # selected experiments
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"hrdb/internal/algebra"
+	"hrdb/internal/catalog"
+	"hrdb/internal/core"
+	"hrdb/internal/mining"
+	"hrdb/internal/storage"
+	"hrdb/internal/workload"
+)
+
+func main() {
+	exps := map[string]func(){
+		"E1": e1Storage,
+		"E2": e2Joins,
+		"E3": e3Consolidate,
+		"E4": e4Explicate,
+		"E5": e5Algebra,
+		"E6": e6Consistency,
+		"E7": e7Mining,
+		"E8": e8Durability,
+	}
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
+	}
+	for _, a := range args {
+		f, ok := exps[strings.ToUpper(a)]
+		if !ok {
+			var known []string
+			for k := range exps {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			log.Fatalf("unknown experiment %q (known: %s)", a, strings.Join(known, ", "))
+		}
+		f()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println("## " + title)
+	fmt.Println()
+}
+
+// timeIt runs f repeatedly for at least 20ms and returns ns/op.
+func timeIt(f func()) float64 {
+	// warm up
+	f()
+	n := 1
+	for {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		elapsed := time.Since(start)
+		if elapsed > 20*time.Millisecond || n > 1<<20 {
+			return float64(elapsed.Nanoseconds()) / float64(n)
+		}
+		n *= 2
+	}
+}
+
+// fmtNs renders nanoseconds human-readably.
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.2fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// e1Storage: one class tuple vs fanout flat rows (§1's storage claim).
+func e1Storage() {
+	header("E1 — storage: class tuples vs flat rows (paper §1)")
+	fmt.Println("| classes | fanout | flat rows | flat bytes | hier tuples | hier bytes | compression |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for _, p := range []struct{ classes, fanout int }{
+		{10, 10}, {10, 100}, {10, 1000}, {100, 100},
+	} {
+		h, err := workload.Taxonomy("D", p.classes, p.fanout)
+		check(err)
+		r, err := workload.ClassRelation("R", h, p.classes)
+		check(err)
+		flatRel, err := r.Explicate()
+		check(err)
+		flatRel = flatRel.Consolidate()
+		hb := workload.ApproxTupleBytes(r)
+		fb := workload.ApproxTupleBytes(flatRel)
+		fmt.Printf("| %d | %d | %d | %d | %d | %d | %.0f× |\n",
+			p.classes, p.fanout, flatRel.Len(), fb, r.Len(), hb, float64(fb)/float64(hb))
+	}
+}
+
+// e2Joins: hierarchical evaluation vs the footnote-1 membership-join
+// baseline, sweeping hierarchy depth.
+func e2Joins() {
+	header("E2 — query: inheritance evaluation vs repeated membership joins (footnote 1)")
+	fmt.Println("| depth | hier eval | baseline (joins) | joins/query | slowdown |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, depth := range []int{2, 4, 8, 16} {
+		h, err := workload.Chain("D", depth, 8)
+		check(err)
+		r, err := workload.ExceptionChain("R", h, depth)
+		check(err)
+		mb := workload.MembershipBaseline(h, r)
+		depthOf := workload.DepthFunc(h)
+
+		item := core.Item{"leafInstance"}
+		hierNs := timeIt(func() {
+			if _, err := r.Evaluate(item); err != nil {
+				log.Fatal(err)
+			}
+		})
+		var joins int
+		baseNs := timeIt(func() {
+			_, joins = mb.Holds([]string{"X"}, []string{"leafInstance"}, depthOf)
+		})
+		fmt.Printf("| %d | %s | %s | %d | %.1f× |\n",
+			depth, fmtNs(hierNs), fmtNs(baseNs), joins, baseNs/hierNs)
+	}
+}
+
+// e3Consolidate: consolidation cost and reduction (§3.3.1).
+func e3Consolidate() {
+	header("E3 — consolidate: cost and tuple reduction (paper §3.3.1)")
+	fmt.Println("| classes | redundant/class | tuples before | tuples after | time |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, p := range []struct{ classes, redundant int }{
+		{10, 10}, {20, 20}, {40, 40},
+	} {
+		h, err := workload.Taxonomy("D", p.classes, p.redundant+1)
+		check(err)
+		r, err := workload.RedundantRelation("R", h, p.classes, p.redundant)
+		check(err)
+		var after int
+		ns := timeIt(func() {
+			after = r.Consolidate().Len()
+		})
+		fmt.Printf("| %d | %d | %d | %d | %s |\n", p.classes, p.redundant, r.Len(), after, fmtNs(ns))
+	}
+}
+
+// e4Explicate: explication cost scales with the extension (§3.3.2).
+func e4Explicate() {
+	header("E4 — explicate: cost vs extension size (paper §3.3.2)")
+	fmt.Println("| classes | fanout | stored tuples | extension | time |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, p := range []struct{ classes, fanout int }{
+		{10, 10}, {10, 100}, {10, 1000}, {100, 100},
+	} {
+		h, err := workload.Taxonomy("D", p.classes, p.fanout)
+		check(err)
+		r, err := workload.ClassRelation("R", h, p.classes)
+		check(err)
+		var ext int
+		ns := timeIt(func() {
+			flatRel, err := r.Explicate()
+			if err != nil {
+				log.Fatal(err)
+			}
+			ext = flatRel.Len()
+		})
+		fmt.Printf("| %d | %d | %d | %d | %s |\n", p.classes, p.fanout, r.Len(), ext, fmtNs(ns))
+	}
+}
+
+// e5Algebra: operator costs on compact relations (§3.4).
+func e5Algebra() {
+	header("E5 — algebra: operators on compact relations (paper §3.4)")
+	fmt.Println("| tuples/arg | union | intersect | difference | select | result tuples (union) |")
+	fmt.Println("|---|---|---|---|---|---|")
+	for _, tuples := range []int{5, 10, 20} {
+		a, err := workload.RandomConsistent(int64(tuples), "A", 30, tuples)
+		check(err)
+		b := a.Clone()
+		b2, err := workload.RandomConsistent(int64(tuples)+1000, "A", 30, tuples)
+		check(err)
+		_ = b
+		// Arguments must share a schema: reuse a's schema by rebuilding b2
+		// over it.
+		b = core.NewRelation("B", a.Schema())
+		pools := [][]string{a.Schema().Attr(0).Domain.Nodes(), a.Schema().Attr(1).Domain.Nodes()}
+		i := 0
+		for _, t := range b2.Tuples() {
+			item := core.Item{pools[0][i%len(pools[0])], pools[1][(i*7)%len(pools[1])]}
+			i++
+			if _, present := b.Lookup(item); present {
+				continue
+			}
+			if err := b.Insert(item, t.Sign); err != nil {
+				continue
+			}
+			if len(b.Conflicts()) > 0 {
+				b.Retract(item)
+			}
+		}
+
+		var unionLen int
+		unionNs := timeIt(func() {
+			u, err := algebra.Union("U", a, b)
+			if err != nil {
+				log.Fatal(err)
+			}
+			unionLen = u.Len()
+		})
+		interNs := timeIt(func() {
+			if _, err := algebra.Intersect("I", a, b); err != nil {
+				log.Fatal(err)
+			}
+		})
+		diffNs := timeIt(func() {
+			if _, err := algebra.Difference("D", a, b); err != nil {
+				log.Fatal(err)
+			}
+		})
+		class := a.Schema().Attr(0).Domain.Nodes()[1]
+		selNs := timeIt(func() {
+			if _, err := algebra.Select("S", a, algebra.Condition{Attr: "A0", Class: class}); err != nil {
+				log.Fatal(err)
+			}
+		})
+		fmt.Printf("| %d+%d | %s | %s | %s | %s | %d |\n",
+			a.Len(), b.Len(), fmtNs(unionNs), fmtNs(interNs), fmtNs(diffNs), fmtNs(selNs), unionLen)
+	}
+}
+
+// e6Consistency: the ambiguity-constraint checker (§3.1).
+func e6Consistency() {
+	header("E6 — integrity: ambiguity-constraint check cost (paper §3.1)")
+	fmt.Println("| tuples | hierarchy nodes | time/check |")
+	fmt.Println("|---|---|---|")
+	for _, p := range []struct{ nodes, tuples int }{
+		{20, 10}, {40, 20}, {80, 40},
+	} {
+		r, err := workload.RandomConsistent(int64(p.nodes), "R", p.nodes, p.tuples)
+		check(err)
+		ns := timeIt(func() {
+			if err := r.CheckConsistency(); err != nil {
+				log.Fatal(err)
+			}
+		})
+		fmt.Printf("| %d | %d | %s |\n", r.Len(), p.nodes, fmtNs(ns))
+	}
+}
+
+// e8Durability: the storage substrate — logged writes, WAL replay and
+// snapshot loading.
+func e8Durability() {
+	header("E8 — durability: WAL writes, replay and snapshot recovery")
+	fmt.Println("| facts | logged write | recovery (WAL replay) | recovery (snapshot) |")
+	fmt.Println("|---|---|---|---|")
+	for _, facts := range []int{100, 400} {
+		dir, err := os.MkdirTemp("", "hrbench-*")
+		check(err)
+		defer os.RemoveAll(dir)
+		s, err := storage.Open(dir)
+		check(err)
+		check(s.CreateHierarchy("D"))
+		check(s.AddClass("D", "C"))
+		for i := 0; i < facts; i++ {
+			check(s.AddInstance("D", fmt.Sprintf("i%05d", i), "C"))
+		}
+		check(s.CreateRelation("R", catalog.AttrSpec{Name: "X", Domain: "D"}))
+		for i := 0; i < facts; i++ {
+			check(s.Assert("R", fmt.Sprintf("i%05d", i)))
+		}
+		// One durable write (assert + retract keeps size stable).
+		writeNs := timeIt(func() {
+			check(s.Assert("R", "C"))
+			check(s.Retract("R", "C"))
+		})
+		check(s.Close())
+
+		replayNs := timeIt(func() {
+			s2, err := storage.Open(dir)
+			check(err)
+			check(s2.Close())
+		})
+
+		// Checkpoint, then measure snapshot-based recovery.
+		s3, err := storage.Open(dir)
+		check(err)
+		check(s3.Checkpoint())
+		check(s3.Close())
+		snapNs := timeIt(func() {
+			s4, err := storage.Open(dir)
+			check(err)
+			check(s4.Close())
+		})
+		fmt.Printf("| %d | %s | %s | %s |\n", facts, fmtNs(writeNs), fmtNs(replayNs), fmtNs(snapNs))
+	}
+}
+
+// e7Mining: the §4 extension — automatic organization of flat relations.
+func e7Mining() {
+	header("E7 — mining: mechanical hierarchy discovery (paper §4)")
+	fmt.Println("| groups | members | contexts | flat rows | mined tuples | compression | time |")
+	fmt.Println("|---|---|---|---|---|---|---|")
+	for _, p := range []struct{ groups, members, contexts int }{
+		{5, 10, 4}, {10, 20, 5}, {20, 50, 4},
+	} {
+		r := workload.ClusteredFlat("R", p.groups, p.members, p.contexts)
+		var res *mining.Result
+		ns := timeIt(func() {
+			var err error
+			res, err = mining.Mine(r, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+		})
+		fmt.Printf("| %d | %d | %d | %d | %d | %.0f× | %s |\n",
+			p.groups, p.members, p.contexts, res.FlatRows, res.StoredTuples,
+			res.CompressionRatio(), fmtNs(ns))
+	}
+}

@@ -1,0 +1,407 @@
+// Command hrfigures regenerates every figure of Jagadish, "Incorporating
+// Hierarchy in a Relational Model of Data" (SIGMOD 1989), from the library:
+//
+//	hrfigures            # all figures
+//	hrfigures fig1 fig6  # selected figures
+//
+// Each figure prints the constructed tables/graphs and the derived answers
+// the paper's text walks through, so the output can be checked against the
+// paper side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+
+	"hrdb"
+)
+
+func main() {
+	figs := map[string]func(){
+		"fig1":     fig1,
+		"fig2":     fig2,
+		"fig3":     fig3,
+		"fig4":     fig4,
+		"fig5":     fig5,
+		"fig6":     fig6,
+		"fig7":     fig7,
+		"fig8":     fig8,
+		"fig9":     fig9,
+		"fig10":    fig10,
+		"fig11":    fig11,
+		"appendix": appendix,
+	}
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
+			"fig7", "fig8", "fig9", "fig10", "fig11", "appendix"}
+	}
+	for _, a := range args {
+		f, ok := figs[strings.ToLower(a)]
+		if !ok {
+			var known []string
+			for k := range figs {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			log.Fatalf("unknown figure %q (known: %s)", a, strings.Join(known, ", "))
+		}
+		f()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println(strings.Repeat("=", 72))
+	fmt.Println(title)
+	fmt.Println(strings.Repeat("=", 72))
+}
+
+// animalHierarchy builds Figure 1a.
+func animalHierarchy() *hrdb.Hierarchy {
+	h := hrdb.NewHierarchy("Animal")
+	check(h.AddClass("Bird"))
+	check(h.AddClass("Canary", "Bird"))
+	check(h.AddInstance("Tweety", "Canary"))
+	check(h.AddClass("Penguin", "Bird"))
+	check(h.AddClass("GalapagosPenguin", "Penguin"))
+	check(h.AddClass("AmazingFlyingPenguin", "Penguin"))
+	check(h.AddInstance("Paul", "GalapagosPenguin"))
+	check(h.AddInstance("Patricia", "GalapagosPenguin", "AmazingFlyingPenguin"))
+	check(h.AddInstance("Pamela", "AmazingFlyingPenguin"))
+	check(h.AddInstance("Peter", "AmazingFlyingPenguin"))
+	return h
+}
+
+// fliesRelation builds Figure 1b.
+func fliesRelation(h *hrdb.Hierarchy) *hrdb.Relation {
+	r := hrdb.NewRelation("Flies", hrdb.MustSchema(hrdb.Attribute{Name: "Creature", Domain: h}))
+	check(r.Assert("Bird"))
+	check(r.Deny("Penguin"))
+	check(r.Assert("AmazingFlyingPenguin"))
+	check(r.Assert("Peter"))
+	return r
+}
+
+func fig1() {
+	header("Figure 1: class hierarchy, hierarchical relation, subsumption and tuple-binding graphs")
+	h := animalHierarchy()
+	fmt.Println("(a) Class hierarchy (DOT):")
+	fmt.Println(h.DOT())
+	r := fliesRelation(h)
+	fmt.Println("(b) The Flies relation:")
+	fmt.Println(r.Table())
+
+	fmt.Println("(c) Subsumption graph (⊤̄ is the universal negated tuple):")
+	for _, e := range r.SubsumptionGraph() {
+		from := "⊤̄"
+		if e.From != nil {
+			from = e.From.String()
+		}
+		fmt.Printf("  %s → %s\n", from, e.To)
+	}
+
+	fmt.Println("\n(d) Tuple-binding graph for Patricia:")
+	bg, err := r.TupleBindingGraph(hrdb.Item{"Patricia"})
+	check(err)
+	for _, e := range bg.Edges {
+		to := "Patricia"
+		if e[1] >= 0 {
+			to = bg.Nodes[e[1]].String()
+		}
+		fmt.Printf("  %s → %s\n", bg.Nodes[e[0]], to)
+	}
+
+	fmt.Println("\nDerived answers:")
+	for _, who := range []string{"Tweety", "Paul", "Pamela", "Patricia", "Peter"} {
+		ok, err := r.Holds(who)
+		check(err)
+		fmt.Printf("  flies(%s) = %v\n", who, ok)
+	}
+}
+
+// studentHierarchy and teacherHierarchy build Figure 2a/2b.
+func studentHierarchy() *hrdb.Hierarchy {
+	h := hrdb.NewHierarchy("Student")
+	check(h.AddClass("ObsequiousStudent"))
+	check(h.AddInstance("John", "ObsequiousStudent"))
+	check(h.AddInstance("Esther", "ObsequiousStudent"))
+	return h
+}
+
+func teacherHierarchy() *hrdb.Hierarchy {
+	h := hrdb.NewHierarchy("Teacher")
+	check(h.AddClass("IncoherentTeacher"))
+	check(h.AddInstance("Fagin", "IncoherentTeacher"))
+	return h
+}
+
+func fig2() {
+	header("Figure 2: student and teacher hierarchies and their product")
+	s, te := studentHierarchy(), teacherHierarchy()
+	fmt.Println("(a) Student hierarchy:")
+	fmt.Println(s.DOT())
+	fmt.Println("(b) Teacher hierarchy:")
+	fmt.Println(te.DOT())
+	fmt.Println("(c) Product graph nodes (item hierarchy, never materialized in the engine):")
+	var nodes []string
+	for _, sn := range s.Nodes() {
+		for _, tn := range te.Nodes() {
+			nodes = append(nodes, fmt.Sprintf("(%s, %s)", sn, tn))
+		}
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		fmt.Println("  " + n)
+	}
+}
+
+// respects builds Figure 3 over shared hierarchies.
+func respects(s, te *hrdb.Hierarchy, resolved bool) *hrdb.Relation {
+	r := hrdb.NewRelation("Respects", hrdb.MustSchema(
+		hrdb.Attribute{Name: "Student", Domain: s},
+		hrdb.Attribute{Name: "Teacher", Domain: te},
+	))
+	check(r.Assert("ObsequiousStudent", "Teacher"))
+	check(r.Deny("Student", "IncoherentTeacher"))
+	if resolved {
+		check(r.Assert("ObsequiousStudent", "IncoherentTeacher"))
+	}
+	return r
+}
+
+func fig3() {
+	header("Figure 3: the Respects relation and its conflict")
+	s, te := studentHierarchy(), teacherHierarchy()
+	r := respects(s, te, false)
+	fmt.Println("Above the dashed line only:")
+	fmt.Println(r.Table())
+	if err := r.CheckConsistency(); err != nil {
+		fmt.Printf("inconsistent, as the paper says:\n  %v\n", err)
+	}
+	r2 := respects(s, te, true)
+	fmt.Println("\nWith the resolving tuple below the dashed line:")
+	fmt.Println(r2.Table())
+	fmt.Printf("consistent: %v\n", r2.CheckConsistency() == nil)
+}
+
+// elephants builds Figure 4's hierarchy and relation.
+func elephants() (*hrdb.Hierarchy, *hrdb.Relation) {
+	h := hrdb.NewHierarchy("Animal")
+	check(h.AddClass("Elephant"))
+	check(h.AddClass("RoyalElephant", "Elephant"))
+	check(h.AddClass("AfricanElephant", "Elephant"))
+	check(h.AddClass("IndianElephant", "Elephant"))
+	check(h.AddInstance("Clyde", "RoyalElephant"))
+	check(h.AddInstance("Appu", "RoyalElephant", "IndianElephant"))
+	colors := hrdb.NewHierarchy("Color")
+	for _, c := range []string{"Grey", "White", "Dappled"} {
+		check(colors.AddInstance(c))
+	}
+	r := hrdb.NewRelation("AnimalColor", hrdb.MustSchema(
+		hrdb.Attribute{Name: "Animal", Domain: h},
+		hrdb.Attribute{Name: "Color", Domain: colors},
+	))
+	check(r.Assert("Elephant", "Grey"))
+	check(r.Deny("RoyalElephant", "Grey"))
+	check(r.Assert("RoyalElephant", "White"))
+	check(r.Deny("Clyde", "White"))
+	check(r.Assert("Clyde", "Dappled"))
+	return h, r
+}
+
+func fig4() {
+	header("Figure 4: the elephant hierarchy with explicit cancellation")
+	_, r := elephants()
+	fmt.Println(r.Table())
+	fmt.Println("The Appu query (royal binds over elephant; Indian is irrelevant):")
+	for _, q := range [][2]string{{"Appu", "White"}, {"Appu", "Grey"}} {
+		ok, err := r.Holds(q[0], q[1])
+		check(err)
+		fmt.Printf("  color(%s, %s) = %v\n", q[0], q[1], ok)
+	}
+}
+
+func fig5() {
+	header("Figure 5: a union of two sets subsuming a third — C's tuple is not redundant")
+	h := hrdb.NewHierarchy("D")
+	check(h.AddClass("A"))
+	check(h.AddClass("B"))
+	check(h.AddClass("C"))
+	check(h.AddInstance("c1", "A", "C"))
+	check(h.AddInstance("c2", "B", "C"))
+	r := hrdb.NewRelation("R", hrdb.MustSchema(hrdb.Attribute{Name: "X", Domain: h}))
+	check(r.Assert("A"))
+	check(r.Assert("B"))
+	check(r.Assert("C"))
+	fmt.Println(r.Table())
+	c := r.Consolidate()
+	fmt.Printf("after consolidation %d tuples remain (C kept: neither A nor B alone dominates it):\n\n%s",
+		c.Len(), c.Table())
+}
+
+func fig6() {
+	header("Figure 6: subsumption graph of Respects and its consolidation")
+	s, te := studentHierarchy(), teacherHierarchy()
+	r := respects(s, te, true)
+	fmt.Println("(a) Subsumption graph:")
+	for _, e := range r.SubsumptionGraph() {
+		from := "⊤̄"
+		if e.From != nil {
+			from = e.From.String()
+		}
+		fmt.Printf("  %s → %s\n", from, e.To)
+	}
+	c := r.Consolidate()
+	fmt.Println("\n(b) After consolidation (same extension, fewer tuples):")
+	fmt.Println(c.Table())
+}
+
+func fig7() {
+	header("Figure 7: who do obsequious students respect?")
+	s, te := studentHierarchy(), teacherHierarchy()
+	r := respects(s, te, true)
+	sel, err := hrdb.Select("σ(Student ⊑ ObsequiousStudent)", r,
+		hrdb.Condition{Attr: "Student", Class: "ObsequiousStudent"})
+	check(err)
+	fmt.Println(sel.Consolidate().Table())
+}
+
+func fig8() {
+	header("Figure 8: who does John respect?")
+	s, te := studentHierarchy(), teacherHierarchy()
+	r := respects(s, te, true)
+	sel, err := hrdb.Select("σ(Student = John)", r,
+		hrdb.Condition{Attr: "Student", Class: "John"})
+	check(err)
+	fmt.Println(sel.Consolidate().Table())
+}
+
+func fig9() {
+	header("Figure 9: a selection on Animal–Color and its justification")
+	_, r := elephants()
+	v, err := r.Evaluate(hrdb.Item{"Clyde", "Grey"})
+	check(err)
+	fmt.Printf("(a) σ(Animal=Clyde, Color=Grey): %v\n", v.Value)
+	fmt.Println("(b) Justification — applicable tuples:")
+	for _, t := range v.Applicable {
+		fmt.Printf("  %s\n", t)
+	}
+	fmt.Println("strongest binding:")
+	for _, t := range v.Binders {
+		fmt.Printf("  %s\n", t)
+	}
+}
+
+func fig10() {
+	header("Figure 10: set operations on Jack's and Jill's Loves relations")
+	h := animalHierarchy()
+	schema := hrdb.MustSchema(hrdb.Attribute{Name: "Creature", Domain: h})
+	jack := hrdb.NewRelation("JackLoves", schema)
+	check(jack.Assert("Bird"))
+	check(jack.Deny("Penguin"))
+	check(jack.Assert("Peter"))
+	jill := hrdb.NewRelation("JillLoves", schema)
+	check(jill.Assert("Bird"))
+	fmt.Println("(a)", "")
+	fmt.Println(jack.Table())
+	fmt.Println("(b)")
+	fmt.Println(jill.Table())
+
+	u, err := hrdb.Union("Jack and Jill between them love", jack, jill)
+	check(err)
+	fmt.Println("(c)")
+	fmt.Println(u.Table())
+	i, err := hrdb.Intersect("Jack and Jill both love", jack, jill)
+	check(err)
+	fmt.Println("(d)")
+	fmt.Println(i.Consolidate().Table())
+	d1, err := hrdb.Difference("Jack loves but Jill does not", jack, jill)
+	check(err)
+	fmt.Println("(e)")
+	fmt.Println(d1.Consolidate().Table())
+	d2, err := hrdb.Difference("Jill loves but Jack does not", jill, jack)
+	check(err)
+	fmt.Println("(f)")
+	fmt.Println(d2.Consolidate().Table())
+}
+
+func fig11() {
+	header("Figure 11: enclosure sizes, join with colors, projection back")
+	h, color := elephants()
+	sizes := hrdb.NewHierarchy("EnclosureSize")
+	for _, s := range []string{"3000", "2000"} {
+		check(sizes.AddInstance(s))
+	}
+	size := hrdb.NewRelation("Enclosure", hrdb.MustSchema(
+		hrdb.Attribute{Name: "Animal", Domain: h},
+		hrdb.Attribute{Name: "EnclosureSize", Domain: sizes},
+	))
+	check(size.Assert("Elephant", "3000"))
+	check(size.Deny("IndianElephant", "3000"))
+	check(size.Assert("IndianElephant", "2000"))
+	fmt.Println("(a)")
+	fmt.Println(size.Table())
+
+	j, err := hrdb.Join("Enclosure ⋈ AnimalColor", size, color)
+	check(err)
+	fmt.Println("(b)")
+	fmt.Println(j.Consolidate().Table())
+
+	back, err := hrdb.Project("π(Animal, Color)", j, "Animal", "Color")
+	check(err)
+	fmt.Println("(c)")
+	fmt.Println(back.Consolidate().Table())
+	extBack, err := back.Extension()
+	check(err)
+	extOrig, err := color.Extension()
+	check(err)
+	fmt.Printf("no loss of information: %v\n", fmt.Sprint(extBack) == fmt.Sprint(extOrig))
+}
+
+func appendix() {
+	header("Appendix: preemption semantics (off-path, on-path, none, preferences)")
+	h := animalHierarchy()
+	r := fliesRelation(h)
+
+	for _, mode := range []hrdb.Preemption{hrdb.OffPath, hrdb.OnPath, hrdb.NoPreemption} {
+		r.SetMode(mode)
+		fmt.Printf("%s:\n", mode)
+		for _, who := range []string{"Pamela", "Patricia", "Peter", "Paul"} {
+			v, err := r.Evaluate(hrdb.Item{who})
+			if err != nil {
+				fmt.Printf("  flies(%s): CONFLICT (%v)\n", who, err)
+				continue
+			}
+			fmt.Printf("  flies(%s) = %v\n", who, v.Value)
+		}
+	}
+
+	r.SetMode(hrdb.OffPath)
+	fmt.Println("\nRedundant link (Pamela is also directly a Penguin):")
+	check(h.AddEdge("Penguin", "Pamela"))
+	if _, err := r.Evaluate(hrdb.Item{"Pamela"}); err != nil {
+		fmt.Printf("  flies(Pamela): CONFLICT, as the appendix predicts (%v)\n", err)
+	}
+
+	fmt.Println("\nPreference edges (AFP preferred over GP after denying GP):")
+	h2 := animalHierarchy()
+	r2 := fliesRelation(h2)
+	check(r2.Deny("GalapagosPenguin"))
+	if _, err := r2.Evaluate(hrdb.Item{"Patricia"}); err != nil {
+		fmt.Printf("  before: conflict at Patricia (%v)\n", err)
+	}
+	check(h2.Prefer("AmazingFlyingPenguin", "GalapagosPenguin"))
+	ok, err := r2.Holds("Patricia")
+	check(err)
+	fmt.Printf("  after PREFER AFP OVER GP: flies(Patricia) = %v\n", ok)
+}

@@ -1,0 +1,140 @@
+// Command hrshell is an interactive HQL shell over a hierarchical
+// relational database.
+//
+//	hrshell                 # in-memory database
+//	hrshell -data ./mydb    # durable database (snapshot + WAL) in ./mydb
+//	hrshell -e 'SHOW RELATIONS;'  # run statements and exit
+//	hrshell -f script.hql   # run a script file and exit
+//
+// Type statements ending in ';'. Multi-line input is supported: the shell
+// keeps reading until a semicolon. Type \q to quit, \help for a summary.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hrdb"
+	"hrdb/internal/hql"
+)
+
+// storeTarget asserts at compile time that a durable store satisfies the
+// HQL target interface.
+var _ hql.Target = (*hrdb.Store)(nil)
+
+const helpText = `HQL statements (end with ';'):
+  CREATE HIERARCHY <domain>
+  CLASS <name> UNDER <parent>[, <parent>…]   |   CLASS <name> IN <domain>
+  INSTANCE <name> UNDER <parent>[, …]        |   INSTANCE <name> IN <domain>
+  EDGE <domain>: <parent> -> <child>
+  PREFER <stronger> OVER <weaker> IN <domain>
+  CREATE RELATION <name> (<attr>: <domain>, …)
+  DROP RELATION <name>
+  ASSERT <rel> (<v>, …)      DENY <rel> (<v>, …)      RETRACT <rel> (<v>, …)
+  HOLDS <rel> (<v>, …)       WHY <rel> (<v>, …)
+  SELECT FROM <rel> [WHERE <attr> UNDER <class> [AND …]] [AS <name>]
+  EXTENSION <rel>            CONSOLIDATE <rel>
+  EXPLICATE <rel> [ON (<attr>, …)]
+  UNION <a> <b> AS <c>       INTERSECT <a> <b> AS <c>
+  DIFFERENCE <a> <b> AS <c>  JOIN <a> <b> AS <c>
+  PROJECT <rel> ON (<attr>, …) AS <name>
+  COUNT <rel> [BY (<attr>, …)]
+  RULE <head>(<args>) [IF [NOT] <atom> [AND [NOT] <atom>]…]  -- ?X = variable
+  INFER <pred>(<args>)                            -- isa(?X, Class) builtin
+  SHOW HIERARCHIES | RELATIONS | RULES | HIERARCHY <d> | RELATION <r>
+  DUMP                                            -- replayable HQL script
+  DROP NODE <name> IN <domain>                    -- refuses referenced nodes
+  SET POLICY allow|warn|forbid
+  SET MODE <rel> off_path|on_path|none            -- appendix semantics
+  BEGIN; …; COMMIT;          ROLLBACK;
+Shell commands: \q quit, \help this text.`
+
+func main() {
+	dataDir := flag.String("data", "", "durable database directory (empty = in-memory)")
+	execStr := flag.String("e", "", "execute statements and exit")
+	file := flag.String("f", "", "execute a script file and exit")
+	flag.Parse()
+
+	var sess *hrdb.Session
+	if *dataDir != "" {
+		store, err := hrdb.OpenStore(*dataDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hrshell:", err)
+			os.Exit(1)
+		}
+		defer store.Close()
+		sess = hrdb.NewStoreSession(store)
+		fmt.Fprintf(os.Stderr, "opened durable database at %s\n", *dataDir)
+	} else {
+		sess = hrdb.NewSession(hrdb.NewDatabase())
+	}
+
+	run := func(input string) bool {
+		out, err := sess.Exec(input)
+		if out != "" {
+			fmt.Print(out)
+			if !strings.HasSuffix(out, "\n") {
+				fmt.Println()
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+			return false
+		}
+		return true
+	}
+
+	switch {
+	case *execStr != "":
+		if !run(*execStr) {
+			os.Exit(1)
+		}
+		return
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hrshell:", err)
+			os.Exit(1)
+		}
+		if !run(string(data)) {
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Println("hrdb shell — hierarchical relational model (Jagadish, SIGMOD '89)")
+	fmt.Println(`type \help for help, \q to quit`)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("hrdb> ")
+		} else {
+			fmt.Print("  ... ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		switch trimmed {
+		case `\q`, `\quit`, `exit`, `quit`:
+			return
+		case `\help`, `\h`:
+			fmt.Println(helpText)
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteString("\n")
+		if strings.Contains(line, ";") {
+			run(buf.String())
+			buf.Reset()
+		}
+		prompt()
+	}
+}

@@ -1,0 +1,77 @@
+// Command partialinfo demonstrates the §4 future-work extensions: three-
+// valued open-world evaluation and existential assertions. A wildlife
+// survey knows some facts for certain, suspects others, and is honest
+// about the rest.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hrdb"
+)
+
+func main() {
+	animals := hrdb.NewHierarchy("Animal")
+	check(animals.AddClass("Bird"))
+	check(animals.AddClass("Penguin", "Bird"))
+	check(animals.AddInstance("Tweety", "Bird"))
+	check(animals.AddInstance("Paul", "Penguin"))
+	check(animals.AddClass("Swan"))
+	check(animals.AddInstance("Sally", "Swan"))
+	check(animals.AddInstance("Simon", "Swan"))
+
+	flies := hrdb.NewRelation("Flies", hrdb.MustSchema(
+		hrdb.Attribute{Name: "Creature", Domain: animals}))
+	check(flies.Assert("Bird"))
+	check(flies.Deny("Penguin"))
+	// Nothing at all is recorded about swans.
+
+	fmt.Println("Closed world (the paper's default):")
+	for _, who := range []string{"Tweety", "Paul", "Sally"} {
+		ok, err := flies.Holds(who)
+		check(err)
+		fmt.Printf("  flies(%s) = %v\n", who, ok)
+	}
+
+	fmt.Println("\nOpen world (three-valued, §4):")
+	for _, who := range []string{"Tweety", "Paul", "Sally"} {
+		v, err := hrdb.EvaluateOpenWorld(flies, hrdb.Item{who})
+		check(err)
+		fmt.Printf("  flies(%s) = %v\n", who, v)
+	}
+
+	// Existential knowledge: a ranger saw *a* swan flying, species-level
+	// certainty without an individual witness.
+	p := hrdb.NewPartial(flies)
+	check(p.AssertSome("Swan"))
+
+	fmt.Println("\nWith the existential assertion ∃ Swan · flies:")
+	some, err := p.HoldsSome("Swan")
+	check(err)
+	every, err := p.HoldsEvery("Swan")
+	check(err)
+	sally, err := p.HoldsSome("Sally")
+	check(err)
+	fmt.Printf("  some swan flies?  %v\n", some)
+	fmt.Printf("  every swan flies? %v\n", every)
+	fmt.Printf("  Sally flies?      %v (the witness is anonymous)\n", sally)
+
+	somePenguin, err := p.HoldsSome("Penguin")
+	check(err)
+	fmt.Printf("  some penguin flies? %v (all penguins are explicitly grounded)\n", somePenguin)
+
+	// Kleene connectives compose partial answers.
+	a, err := p.HoldsSome("Swan")
+	check(err)
+	b, err := p.HoldsEvery("Swan")
+	check(err)
+	fmt.Printf("\nKleene: (some ∧ every) = %v, (some ∨ every) = %v, ¬every = %v\n",
+		hrdb.AndTruth(a, b), hrdb.OrTruth(a, b), hrdb.NotTruth(b))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+// Command quickstart walks through the core of the hierarchical relational
+// model using the paper's Figure 1: a taxonomy of animals, a Flies relation
+// with one tuple per rule, exceptions, and exceptions to exceptions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hrdb"
+)
+
+func main() {
+	// Build the Figure 1a class hierarchy.
+	animals := hrdb.NewHierarchy("Animal")
+	check(animals.AddClass("Bird"))
+	check(animals.AddClass("Canary", "Bird"))
+	check(animals.AddInstance("Tweety", "Canary"))
+	check(animals.AddClass("Penguin", "Bird"))
+	check(animals.AddClass("GalapagosPenguin", "Penguin"))
+	check(animals.AddClass("AmazingFlyingPenguin", "Penguin"))
+	check(animals.AddInstance("Paul", "GalapagosPenguin"))
+	check(animals.AddInstance("Patricia", "GalapagosPenguin", "AmazingFlyingPenguin"))
+	check(animals.AddInstance("Pamela", "AmazingFlyingPenguin"))
+	check(animals.AddInstance("Peter", "AmazingFlyingPenguin"))
+
+	// The Flies relation (Figure 1b): four tuples stand for the whole
+	// flying-creature extension.
+	flies := hrdb.NewRelation("Flies", hrdb.MustSchema(
+		hrdb.Attribute{Name: "Creature", Domain: animals},
+	))
+	check(flies.Assert("Bird"))                 // all birds fly
+	check(flies.Deny("Penguin"))                // …except penguins
+	check(flies.Assert("AmazingFlyingPenguin")) // …except amazing flying penguins
+	check(flies.Assert("Peter"))                // …and Peter, specifically
+
+	fmt.Println(flies.Table())
+
+	// Inheritance with exceptions at work.
+	for _, who := range []string{"Tweety", "Paul", "Pamela", "Patricia", "Peter"} {
+		ok, err := flies.Holds(who)
+		check(err)
+		fmt.Printf("Does %s fly? %v\n", who, ok)
+	}
+
+	// Justification (WHY): which tuples decided Patricia's answer?
+	v, err := flies.Evaluate(hrdb.Item{"Patricia"})
+	check(err)
+	fmt.Printf("\nPatricia's strongest binding: %v\n", v.Binders)
+	fmt.Printf("Applicable tuples: %v\n", v.Applicable)
+
+	// The equivalent flat relation (the extension).
+	ext, err := flies.Extension()
+	check(err)
+	fmt.Printf("\nFlat extension (%d rows): %v\n", len(ext), ext)
+
+	// Four tuples represent the whole relation; growing the taxonomy grows
+	// the extension with no new tuples.
+	check(animals.AddInstance("Bibi", "Canary"))
+	n, err := flies.ExtensionSize()
+	check(err)
+	fmt.Printf("After adding Bibi: %d stored tuples, extension %d\n", flies.Len(), n)
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

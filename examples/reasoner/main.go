@@ -1,0 +1,98 @@
+// Command reasoner demonstrates the deductive layer §2.1 of the paper
+// sketches: Datalog rules over hierarchical relations. The paper's own
+// example — "Tweety can travel far since flying things can travel far" —
+// cannot be inferred from the taxonomy alone (FLYING-THINGS is an
+// association, not a class), but one rule over the hierarchical Flies
+// relation recovers it, exceptions included.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hrdb"
+)
+
+func main() {
+	// Figure 1's taxonomy and Flies relation.
+	animals := hrdb.NewHierarchy("Animal")
+	check(animals.AddClass("Bird"))
+	check(animals.AddClass("Canary", "Bird"))
+	check(animals.AddInstance("Tweety", "Canary"))
+	check(animals.AddClass("Penguin", "Bird"))
+	check(animals.AddInstance("Paul", "Penguin"))
+	check(animals.AddClass("AmazingFlyingPenguin", "Penguin"))
+	check(animals.AddInstance("Pamela", "AmazingFlyingPenguin"))
+
+	flies := hrdb.NewRelation("flies", hrdb.MustSchema(
+		hrdb.Attribute{Name: "Creature", Domain: animals}))
+	check(flies.Assert("Bird"))
+	check(flies.Deny("Penguin"))
+	check(flies.Assert("AmazingFlyingPenguin"))
+
+	// Habitats, also hierarchical: birds live in trees, penguins on ice.
+	places := hrdb.NewHierarchy("Place")
+	for _, p := range []string{"Trees", "Ice"} {
+		check(places.AddInstance(p))
+	}
+	livesIn := hrdb.NewRelation("livesIn", hrdb.MustSchema(
+		hrdb.Attribute{Name: "Creature", Domain: animals},
+		hrdb.Attribute{Name: "Where", Domain: places}))
+	check(livesIn.Assert("Bird", "Trees"))
+	check(livesIn.Deny("Penguin", "Trees"))
+	check(livesIn.Assert("Penguin", "Ice"))
+
+	// The Datalog program on top.
+	p := hrdb.NewProgram()
+	p.AddEDB("flies", flies)
+	p.AddEDB("livesIn", livesIn)
+	p.AddTaxonomy(animals)
+
+	// travelsFar(X) :- flies(X).
+	check(p.AddRule(hrdb.DatalogRule{
+		Head: hrdb.Pred("travelsFar", hrdb.Var("X")),
+		Body: []hrdb.RuleAtom{hrdb.Pred("flies", hrdb.Var("X"))},
+	}))
+	// arborealFlyer(X) :- flies(X), livesIn(X, Trees).
+	check(p.AddRule(hrdb.DatalogRule{
+		Head: hrdb.Pred("arborealFlyer", hrdb.Var("X")),
+		Body: []hrdb.RuleAtom{
+			hrdb.Pred("flies", hrdb.Var("X")),
+			hrdb.Pred("livesIn", hrdb.Var("X"), hrdb.Const("Trees")),
+		},
+	}))
+	// penguinThatFlies(X) :- isa(X, Penguin), flies(X).
+	check(p.AddRule(hrdb.DatalogRule{
+		Head: hrdb.Pred("penguinThatFlies", hrdb.Var("X")),
+		Body: []hrdb.RuleAtom{
+			hrdb.Pred("isa", hrdb.Var("X"), hrdb.Const("Penguin")),
+			hrdb.Pred("flies", hrdb.Var("X")),
+		},
+	}))
+
+	for _, who := range []string{"Tweety", "Paul", "Pamela"} {
+		ok, err := p.Holds(hrdb.Pred("travelsFar", hrdb.Const(who)))
+		check(err)
+		fmt.Printf("travelsFar(%s) = %v\n", who, ok)
+	}
+
+	res, err := p.Solve(hrdb.Pred("arborealFlyer", hrdb.Var("X")))
+	check(err)
+	fmt.Printf("\narboreal flyers (%d):\n", len(res))
+	for _, b := range res {
+		fmt.Printf("  %s\n", b["X"])
+	}
+
+	res, err = p.Solve(hrdb.Pred("penguinThatFlies", hrdb.Var("X")))
+	check(err)
+	fmt.Printf("\npenguins that fly (%d):\n", len(res))
+	for _, b := range res {
+		fmt.Printf("  %s\n", b["X"])
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

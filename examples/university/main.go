@@ -1,0 +1,93 @@
+// Command university reproduces the paper's student/teacher running example
+// (Figures 2, 3, 6, 7 and 8): the Respects relation, its multiple-attribute
+// conflict, transactional resolution, consolidation, and selections —
+// through the database layer with integrity enforcement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hrdb"
+)
+
+func main() {
+	db := hrdb.NewDatabase()
+
+	// Figure 2a/2b: the student and teacher hierarchies.
+	students, err := db.CreateHierarchy("Student")
+	check(err)
+	check(students.AddClass("ObsequiousStudent"))
+	check(students.AddInstance("John", "ObsequiousStudent"))
+	check(students.AddInstance("Esther", "ObsequiousStudent"))
+	check(students.AddInstance("Lazy", "Student"))
+
+	teachers, err := db.CreateHierarchy("Teacher")
+	check(err)
+	check(teachers.AddClass("IncoherentTeacher"))
+	check(teachers.AddInstance("Fagin", "IncoherentTeacher"))
+	check(teachers.AddInstance("Hobbs", "Teacher"))
+
+	_, err = db.CreateRelation("Respects",
+		hrdb.AttrSpec{Name: "Student", Domain: "Student"},
+		hrdb.AttrSpec{Name: "Teacher", Domain: "Teacher"},
+	)
+	check(err)
+
+	// Figure 3, above the dashed line: obsequious students respect all
+	// teachers…
+	check(db.Assert("Respects", "ObsequiousStudent", "Teacher"))
+	// …but no student respects an incoherent teacher. Alone, this update
+	// creates an unresolved conflict (what about obsequious students and
+	// incoherent teachers?) and the database rejects it.
+	if err := db.Deny("Respects", "Student", "IncoherentTeacher"); err != nil {
+		fmt.Printf("single update rejected:\n  %v\n\n", err)
+	}
+
+	// §3.1: package the update with its resolution in one transaction —
+	// the tuple below Figure 3's dashed line.
+	tx := db.Begin()
+	tx.Deny("Respects", "Student", "IncoherentTeacher")
+	tx.Assert("Respects", "ObsequiousStudent", "IncoherentTeacher")
+	check(tx.Commit())
+	fmt.Println("transaction with conflict resolution committed")
+
+	r, err := db.Snapshot("Respects")
+	check(err)
+	fmt.Println()
+	fmt.Println(r.Table())
+
+	// Figure 7: who do obsequious students respect? Everyone.
+	fig7, err := hrdb.Select("Fig7: obsequious students respect", r,
+		hrdb.Condition{Attr: "Student", Class: "ObsequiousStudent"})
+	check(err)
+	fmt.Println(fig7.Consolidate().Table())
+
+	// Figure 8: who does John respect?
+	fig8, err := hrdb.Select("Fig8: John respects", r,
+		hrdb.Condition{Attr: "Student", Class: "John"})
+	check(err)
+	fmt.Println(fig8.Consolidate().Table())
+
+	// Lazy is not obsequious: respects no incoherent teacher.
+	ok, err := db.Holds("Respects", "Lazy", "Fagin")
+	check(err)
+	fmt.Printf("Does Lazy respect Fagin? %v\n", ok)
+	ok, err = db.Holds("Respects", "John", "Fagin")
+	check(err)
+	fmt.Printf("Does John respect Fagin? %v\n\n", ok)
+
+	// Figure 6: consolidation discovers that with all three tuples in
+	// place, first the negation and then the resolving tuple are redundant.
+	removed, err := db.Consolidate("Respects")
+	check(err)
+	c, err := db.Snapshot("Respects")
+	check(err)
+	fmt.Printf("consolidation removed %d tuples:\n\n%s", removed, c.Table())
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

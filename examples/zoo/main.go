@@ -1,0 +1,95 @@
+// Command zoo reproduces the paper's elephant examples (Figures 4, 9 and
+// 11): explicit cancellation of inherited properties, query justification,
+// and the join/projection round trip with no loss of information.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hrdb"
+)
+
+func main() {
+	// Figure 4's hierarchy: Clyde is a royal elephant; Appu is both royal
+	// and Indian.
+	animals := hrdb.NewHierarchy("Animal")
+	check(animals.AddClass("Elephant"))
+	check(animals.AddClass("RoyalElephant", "Elephant"))
+	check(animals.AddClass("AfricanElephant", "Elephant"))
+	check(animals.AddClass("IndianElephant", "Elephant"))
+	check(animals.AddInstance("Clyde", "RoyalElephant"))
+	check(animals.AddInstance("Appu", "RoyalElephant", "IndianElephant"))
+
+	colors := hrdb.NewHierarchy("Color")
+	for _, c := range []string{"Grey", "White", "Dappled"} {
+		check(colors.AddInstance(c))
+	}
+	sizes := hrdb.NewHierarchy("EnclosureSize")
+	for _, s := range []string{"3000", "2000"} {
+		check(sizes.AddInstance(s))
+	}
+
+	// Figure 4's Animal–Color relation: saying elephants are grey and
+	// royal elephants white is not enough — explicit cancellations are
+	// required ("royal elephants are not grey but white").
+	color := hrdb.NewRelation("AnimalColor", hrdb.MustSchema(
+		hrdb.Attribute{Name: "Animal", Domain: animals},
+		hrdb.Attribute{Name: "Color", Domain: colors},
+	))
+	check(color.Assert("Elephant", "Grey"))
+	check(color.Deny("RoyalElephant", "Grey"))
+	check(color.Assert("RoyalElephant", "White"))
+	check(color.Deny("Clyde", "White"))
+	check(color.Assert("Clyde", "Dappled"))
+	fmt.Println(color.Table())
+
+	// The Appu query: royal elephant binds more strongly than elephant, so
+	// Appu is white; his Indian membership is irrelevant to color.
+	for _, q := range [][2]string{{"Appu", "White"}, {"Appu", "Grey"}, {"Clyde", "Dappled"}} {
+		ok, err := color.Holds(q[0], q[1])
+		check(err)
+		fmt.Printf("Is %s %s? %v\n", q[0], q[1], ok)
+	}
+
+	// Figure 9: a selection with its justification.
+	v, err := color.Evaluate(hrdb.Item{"Clyde", "Grey"})
+	check(err)
+	fmt.Printf("\nIs Clyde grey? %v\n", v.Value)
+	fmt.Println("Justification (applicable tuples):")
+	for _, t := range v.Applicable {
+		fmt.Printf("  %s\n", t)
+	}
+
+	// Figure 11a: enclosure sizes, with Indian elephants an exception.
+	size := hrdb.NewRelation("Enclosure", hrdb.MustSchema(
+		hrdb.Attribute{Name: "Animal", Domain: animals},
+		hrdb.Attribute{Name: "EnclosureSize", Domain: sizes},
+	))
+	check(size.Assert("Elephant", "3000"))
+	check(size.Deny("IndianElephant", "3000"))
+	check(size.Assert("IndianElephant", "2000"))
+	fmt.Println()
+	fmt.Println(size.Table())
+
+	// Figure 11b: the natural join over Animal.
+	joined, err := hrdb.Join("Enclosure ⋈ AnimalColor", size, color)
+	check(err)
+	fmt.Println(joined.Consolidate().Table())
+
+	// Figure 11c: projecting back onto Animal–Color loses nothing.
+	back, err := hrdb.Project("π(Animal, Color)", joined, "Animal", "Color")
+	check(err)
+	extBack, err := back.Extension()
+	check(err)
+	extOrig, err := color.Extension()
+	check(err)
+	fmt.Printf("projection back: %d atoms, original: %d atoms — no loss of information: %v\n",
+		len(extBack), len(extOrig), fmt.Sprint(extBack) == fmt.Sprint(extOrig))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,3 @@
+module hrdb
+
+go 1.22

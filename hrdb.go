@@ -1,0 +1,268 @@
+// Package hrdb is a Go implementation of the hierarchical relational model
+// of H. V. Jagadish, "Incorporating Hierarchy in a Relational Model of
+// Data" (SIGMOD 1989).
+//
+// The model extends the relational model so that classes drawn from
+// per-domain hierarchies can appear as attribute values: one tuple
+// ∀Bird stands for every bird, negated tuples create exceptions
+// (penguins don't fly) and exceptions to exceptions (amazing flying
+// penguins do), multiple inheritance with conflict detection is supported,
+// and two new operators — Consolidate and Explicate — convert between
+// compact and flat forms. Everything is upward compatible with the flat
+// relational model: a hierarchical relation is equivalent to a unique flat
+// relation and every operator commutes with that flattening.
+//
+// This package is a thin facade over the implementation packages:
+//
+//   - hierarchies and class membership (internal/hierarchy)
+//   - hierarchical relations, evaluation, conflicts, consolidate/explicate
+//     (internal/core)
+//   - relational algebra with flat-extension semantics (internal/algebra)
+//   - a flat relational engine and the paper's membership-join baseline
+//     (internal/flat)
+//   - a synchronized multi-relation database with exception policies and
+//     transactions (internal/catalog)
+//   - durable storage: snapshots and a write-ahead log (internal/storage)
+//   - the HQL query language (internal/hql)
+//   - a frame-based KR front end (internal/frames)
+//   - three-valued open-world evaluation (internal/tvl)
+//   - automatic hierarchy mining (internal/mining)
+//
+// Quickstart:
+//
+//	animals := hrdb.NewHierarchy("Animal")
+//	animals.AddClass("Bird")
+//	animals.AddClass("Penguin", "Bird")
+//	animals.AddInstance("Tweety", "Bird")
+//	animals.AddInstance("Paul", "Penguin")
+//
+//	flies := hrdb.NewRelation("Flies", hrdb.MustSchema(
+//		hrdb.Attribute{Name: "Creature", Domain: animals}))
+//	flies.Assert("Bird")   // all birds fly …
+//	flies.Deny("Penguin")  // … except penguins
+//
+//	ok, _ := flies.Holds("Tweety") // true
+//	ok, _ = flies.Holds("Paul")    // false
+package hrdb
+
+import (
+	"hrdb/internal/algebra"
+	"hrdb/internal/catalog"
+	"hrdb/internal/core"
+	"hrdb/internal/deductive"
+	"hrdb/internal/flat"
+	"hrdb/internal/frames"
+	"hrdb/internal/hierarchy"
+	"hrdb/internal/hql"
+	"hrdb/internal/mining"
+	"hrdb/internal/partial"
+	"hrdb/internal/storage"
+	"hrdb/internal/tvl"
+)
+
+// Core model types.
+type (
+	// Hierarchy is a rooted DAG of classes and instances over one domain.
+	Hierarchy = hierarchy.Hierarchy
+	// Relation is a hierarchical relation: signed tuples whose attribute
+	// values may be classes.
+	Relation = core.Relation
+	// Schema is an ordered list of attributes over hierarchies.
+	Schema = core.Schema
+	// Attribute names one column and its domain hierarchy.
+	Attribute = core.Attribute
+	// Item is one hierarchy node per attribute.
+	Item = core.Item
+	// Tuple is an item with a truth value.
+	Tuple = core.Tuple
+	// Verdict is the result of evaluating an item.
+	Verdict = core.Verdict
+	// Preemption selects the inheritance semantics (off-path, on-path,
+	// none) from the paper's appendix.
+	Preemption = core.Preemption
+	// ConflictError reports an ambiguity-constraint violation.
+	ConflictError = core.ConflictError
+	// InconsistencyError aggregates conflicts found by CheckConsistency.
+	InconsistencyError = core.InconsistencyError
+	// BindingGraph is an item's explicit tuple-binding graph.
+	BindingGraph = core.BindingGraph
+	// SubsumptionEdge is one edge of a relation's subsumption graph.
+	SubsumptionEdge = core.SubsumptionEdge
+)
+
+// Preemption modes.
+const (
+	// OffPath is the paper's default inheritance semantics.
+	OffPath = core.OffPath
+	// OnPath retains redundant edges during node elimination.
+	OnPath = core.OnPath
+	// NoPreemption treats any inherited sign disagreement as a conflict.
+	NoPreemption = core.NoPreemption
+)
+
+// Database layer types.
+type (
+	// Database is a synchronized registry of hierarchies and relations
+	// with integrity enforcement and transactions.
+	Database = catalog.Database
+	// AttrSpec names a relation attribute and its domain for CreateRelation.
+	AttrSpec = catalog.AttrSpec
+	// Tx is a transaction whose commit enforces the ambiguity constraint.
+	Tx = catalog.Tx
+	// ExceptionPolicy selects how exceptions are treated (§2.1).
+	ExceptionPolicy = catalog.ExceptionPolicy
+	// Store is a durable database: snapshot plus write-ahead log.
+	Store = storage.Store
+	// Session executes HQL statements.
+	Session = hql.Session
+	// KB is a frame-based knowledge base over the model.
+	KB = frames.KB
+	// FlatRelation is a standard flat relation (oracle and baseline).
+	FlatRelation = flat.Relation
+	// Truth is a three-valued (true/false/unknown) truth value.
+	Truth = tvl.Truth
+	// MiningResult describes an automatically mined organization.
+	MiningResult = mining.Result
+	// Condition restricts one attribute in a selection.
+	Condition = algebra.Condition
+)
+
+// Exception policies.
+const (
+	// AllowExceptions freely permits exceptions (default).
+	AllowExceptions = catalog.AllowExceptions
+	// WarnExceptions permits exceptions but records warnings.
+	WarnExceptions = catalog.WarnExceptions
+	// ForbidExceptions rejects updates contradicting inherited values.
+	ForbidExceptions = catalog.ForbidExceptions
+)
+
+// Three-valued truth constants.
+const (
+	// True is known-true.
+	True = tvl.True
+	// False is known-false.
+	False = tvl.False
+	// Unknown is open-world unknown.
+	Unknown = tvl.Unknown
+)
+
+// NewHierarchy creates a hierarchy whose root class is the domain itself.
+func NewHierarchy(domain string) *Hierarchy { return hierarchy.New(domain) }
+
+// NewSchema builds a schema from attributes (names must be unique).
+func NewSchema(attrs ...Attribute) (*Schema, error) { return core.NewSchema(attrs...) }
+
+// MustSchema is NewSchema that panics on error.
+func MustSchema(attrs ...Attribute) *Schema { return core.MustSchema(attrs...) }
+
+// NewRelation creates an empty hierarchical relation.
+func NewRelation(name string, schema *Schema) *Relation { return core.NewRelation(name, schema) }
+
+// NewDatabase creates an empty in-memory database.
+func NewDatabase() *Database { return catalog.New() }
+
+// OpenStore opens (creating if needed) a durable database rooted at dir.
+func OpenStore(dir string) (*Store, error) { return storage.Open(dir) }
+
+// NewSession creates an HQL session over an in-memory database.
+func NewSession(db *Database) *Session { return hql.NewSession(hql.MemTarget{DB: db}) }
+
+// NewStoreSession creates an HQL session over a durable store.
+func NewStoreSession(s *Store) *Session { return hql.NewSession(s) }
+
+// DumpHQL serializes a database to an HQL script that reproduces it.
+func DumpHQL(db *Database) (string, error) { return hql.Dump(db) }
+
+// NewKB creates an empty frame knowledge base.
+func NewKB() *KB { return frames.NewKB() }
+
+// NewFlatRelation creates a standard flat relation.
+func NewFlatRelation(name string, attrs ...string) *FlatRelation { return flat.New(name, attrs...) }
+
+// Select restricts a relation to the sub-hierarchies under the conditions.
+func Select(name string, r *Relation, conds ...Condition) (*Relation, error) {
+	return algebra.Select(name, r, conds...)
+}
+
+// Project computes the existential projection onto the named attributes.
+func Project(name string, r *Relation, attrs ...string) (*Relation, error) {
+	return algebra.Project(name, r, attrs...)
+}
+
+// Join computes the natural join over shared attribute names.
+func Join(name string, a, b *Relation) (*Relation, error) { return algebra.Join(name, a, b) }
+
+// Union returns a relation whose extension is Ext(a) ∪ Ext(b).
+func Union(name string, a, b *Relation) (*Relation, error) { return algebra.Union(name, a, b) }
+
+// Intersect returns a relation whose extension is Ext(a) ∩ Ext(b).
+func Intersect(name string, a, b *Relation) (*Relation, error) {
+	return algebra.Intersect(name, a, b)
+}
+
+// Difference returns a relation whose extension is Ext(a) − Ext(b).
+func Difference(name string, a, b *Relation) (*Relation, error) {
+	return algebra.Difference(name, a, b)
+}
+
+// Rename renames attributes according to the mapping.
+func Rename(name string, r *Relation, mapping map[string]string) (*Relation, error) {
+	return algebra.Rename(name, r, mapping)
+}
+
+// EvaluateOpenWorld computes the three-valued truth of an item.
+func EvaluateOpenWorld(r *Relation, item Item) (Truth, error) { return tvl.Evaluate(r, item) }
+
+// AndTruth is Kleene three-valued conjunction.
+func AndTruth(a, b Truth) Truth { return tvl.And(a, b) }
+
+// OrTruth is Kleene three-valued disjunction.
+func OrTruth(a, b Truth) Truth { return tvl.Or(a, b) }
+
+// NotTruth is Kleene three-valued negation.
+func NotTruth(a Truth) Truth { return tvl.Not(a) }
+
+// Mine organizes a flat relation into a hierarchical one by classifying
+// the attribute at the given index (§4 future work).
+func Mine(r *FlatRelation, classify int) (*MiningResult, error) { return mining.Mine(r, classify) }
+
+// MineBest tries every attribute and returns the best compression.
+func MineBest(r *FlatRelation) (int, *MiningResult, error) { return mining.BestAttribute(r) }
+
+// Deductive layer (Datalog over hierarchical relations, §2.1).
+type (
+	// Program is a Datalog program whose EDB predicates are hierarchical
+	// relations and whose isa/2 builtin exposes taxonomy membership.
+	Program = deductive.Program
+	// RuleAtom is a predicate applied to terms.
+	RuleAtom = deductive.Atom
+	// RuleTerm is a Datalog variable or constant.
+	RuleTerm = deductive.Term
+	// DatalogRule is a Horn clause.
+	DatalogRule = deductive.Rule
+)
+
+// NewProgram creates an empty Datalog program.
+func NewProgram() *Program { return deductive.NewProgram() }
+
+// Var builds a Datalog variable term.
+func Var(name string) RuleTerm { return deductive.V(name) }
+
+// Const builds a Datalog constant term.
+func Const(name string) RuleTerm { return deductive.C(name) }
+
+// Pred builds a Datalog atom.
+func Pred(pred string, args ...RuleTerm) RuleAtom { return deductive.A(pred, args...) }
+
+// NotPred builds a negated Datalog body atom (stratified negation as
+// failure).
+func NotPred(pred string, args ...RuleTerm) RuleAtom { return deductive.Not(pred, args...) }
+
+// PartialRelation pairs a hierarchical relation with existential
+// assertions for three-valued partial information (§4 future work).
+type PartialRelation = partial.Relation
+
+// NewPartial wraps a hierarchical relation for partial-information queries
+// (HoldsEvery / HoldsSome, existential assertions).
+func NewPartial(base *Relation) *PartialRelation { return partial.New(base) }

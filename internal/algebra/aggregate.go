@@ -1,0 +1,116 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hrdb/internal/core"
+)
+
+// GroupCount is one row of a Count result.
+type GroupCount struct {
+	Group core.Item // values of the group-by attributes
+	N     int
+}
+
+// Count computes the size of the relation's extension, optionally grouped
+// by attributes. This is the statistical use the paper gives for Explicate
+// (§3.3.2): counts are taken over the unique flat extension, never over the
+// stored (compact, possibly redundant) tuples. With no group-by attributes
+// the result is a single group with the empty item.
+func Count(r *core.Relation, groupBy ...string) ([]GroupCount, error) {
+	s := r.Schema()
+	cols := make([]int, len(groupBy))
+	for i, a := range groupBy {
+		j, ok := s.Index(a)
+		if !ok {
+			return nil, fmt.Errorf("%w: count: no attribute %q in %q", core.ErrSchema, a, r.Name())
+		}
+		cols[i] = j
+	}
+	ext, err := r.Extension()
+	if err != nil {
+		return nil, err
+	}
+	counts := map[string]*GroupCount{}
+	for _, it := range ext {
+		g := make(core.Item, len(cols))
+		for i, c := range cols {
+			g[i] = it[c]
+		}
+		k := g.Key()
+		gc, ok := counts[k]
+		if !ok {
+			gc = &GroupCount{Group: g}
+			counts[k] = gc
+		}
+		gc.N++
+	}
+	keys := make([]string, 0, len(counts))
+	for k := range counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]GroupCount, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, *counts[k])
+	}
+	if len(groupBy) == 0 && len(out) == 0 {
+		out = append(out, GroupCount{Group: core.Item{}})
+	}
+	return out, nil
+}
+
+// CountByClass counts the extension grouped by membership in the given
+// classes of one attribute: for each class, how many extension atoms fall
+// under it. Classes may overlap (an atom can count toward several) — this
+// is counting over the taxonomy, which a flat system would need one join
+// per class to answer.
+func CountByClass(r *core.Relation, attr string, classes ...string) (map[string]int, error) {
+	s := r.Schema()
+	i, ok := s.Index(attr)
+	if !ok {
+		return nil, fmt.Errorf("%w: count: no attribute %q in %q", core.ErrSchema, attr, r.Name())
+	}
+	h := s.Attr(i).Domain
+	for _, c := range classes {
+		if !h.Has(c) {
+			return nil, fmt.Errorf("%w: count: %q not in domain %q", core.ErrUnknownValue, c, h.Domain())
+		}
+	}
+	ext, err := r.Extension()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int, len(classes))
+	for _, c := range classes {
+		out[c] = 0
+	}
+	for _, it := range ext {
+		for _, c := range classes {
+			if h.Subsumes(c, it[i]) {
+				out[c]++
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatCounts renders count results as an aligned table (deterministic).
+func FormatCounts(title string, groupBy []string, counts []GroupCount) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for _, gc := range counts {
+		if len(gc.Group) == 0 {
+			fmt.Fprintf(&b, "  count = %d\n", gc.N)
+			continue
+		}
+		pairs := make([]string, len(gc.Group))
+		for i, v := range gc.Group {
+			pairs[i] = fmt.Sprintf("%s=%s", groupBy[i], v)
+		}
+		fmt.Fprintf(&b, "  %s: %d\n", strings.Join(pairs, ", "), gc.N)
+	}
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package algebra
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hrdb/internal/core"
+)
+
+// TestCountTotal: counting the whole extension of the Flies relation.
+func TestCountTotal(t *testing.T) {
+	h := animalHierarchy(t)
+	s := core.MustSchema(core.Attribute{Name: "Creature", Domain: h})
+	r := core.NewRelation("Flies", s)
+	must(t, r.Assert("Bird"))
+	must(t, r.Deny("Penguin"))
+	must(t, r.Assert("AmazingFlyingPenguin"))
+
+	counts, err := Count(r)
+	must(t, err)
+	if len(counts) != 1 || counts[0].N != 4 { // Tweety, Pamela, Patricia, Peter
+		t.Fatalf("counts = %v", counts)
+	}
+}
+
+// TestCountGrouped on a two-attribute relation.
+func TestCountGrouped(t *testing.T) {
+	animals := elephantHierarchy(t)
+	r := colorRelation(t, animals)
+	counts, err := Count(r, "Color")
+	must(t, err)
+	byColor := map[string]int{}
+	for _, gc := range counts {
+		byColor[gc.Group[0]] = gc.N
+	}
+	// Extension atoms: AfricanElephant (a leaf class) grey; Appu white;
+	// Clyde dappled. IndianElephant is not a leaf (Appu sits under it).
+	if byColor["Grey"] != 1 || byColor["White"] != 1 || byColor["Dappled"] != 1 {
+		t.Fatalf("byColor = %v", byColor)
+	}
+	// The rendering is stable and mentions the groups.
+	out := FormatCounts("colors", []string{"Color"}, counts)
+	if !strings.Contains(out, "Color=Grey: 1") {
+		t.Fatalf("format:\n%s", out)
+	}
+}
+
+// TestCountEmptyRelation yields a single zero group.
+func TestCountEmptyRelation(t *testing.T) {
+	h := animalHierarchy(t)
+	s := core.MustSchema(core.Attribute{Name: "Creature", Domain: h})
+	r := core.NewRelation("Empty", s)
+	counts, err := Count(r)
+	must(t, err)
+	if len(counts) != 1 || counts[0].N != 0 {
+		t.Fatalf("counts = %v", counts)
+	}
+	out := FormatCounts("empty", nil, counts)
+	if !strings.Contains(out, "count = 0") {
+		t.Fatalf("format: %s", out)
+	}
+}
+
+// TestCountErrors.
+func TestCountErrors(t *testing.T) {
+	h := animalHierarchy(t)
+	s := core.MustSchema(core.Attribute{Name: "Creature", Domain: h})
+	r := core.NewRelation("R", s)
+	if _, err := Count(r, "Nope"); !errors.Is(err, core.ErrSchema) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := CountByClass(r, "Nope", "Bird"); !errors.Is(err, core.ErrSchema) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := CountByClass(r, "Creature", "Nothing"); !errors.Is(err, core.ErrUnknownValue) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestCountByClass: overlapping taxonomy counts.
+func TestCountByClass(t *testing.T) {
+	h := animalHierarchy(t)
+	s := core.MustSchema(core.Attribute{Name: "Creature", Domain: h})
+	r := core.NewRelation("Flies", s)
+	must(t, r.Assert("Bird"))
+	must(t, r.Deny("Penguin"))
+	must(t, r.Assert("AmazingFlyingPenguin"))
+
+	counts, err := CountByClass(r, "Creature", "Bird", "Penguin", "Canary", "GalapagosPenguin")
+	must(t, err)
+	want := map[string]int{
+		"Bird":             4, // the whole extension
+		"Penguin":          3, // Pamela, Patricia, Peter
+		"Canary":           1, // Tweety
+		"GalapagosPenguin": 1, // Patricia (also an AFP)
+	}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("count[%s] = %d, want %d", k, counts[k], v)
+		}
+	}
+}

@@ -1,0 +1,244 @@
+// Package algebra implements the standard relational operators — selection,
+// projection, natural join, union, intersection, difference, rename — on
+// the hierarchical relations of the core package (§3.4 of Jagadish,
+// SIGMOD '89).
+//
+// The paper requires each operator to have flat-extension semantics: a
+// hierarchical relation is equivalent to a unique flat relation, and an
+// operator applied to hierarchical relations must yield a relation whose
+// extension equals the flat operator applied to the arguments' extensions.
+//
+// The implementation strategy is uniform:
+//
+//  1. Candidates — the result's tuples are placed at the items of the
+//     argument tuples and at the pairwise meets (maximal common subsumees)
+//     of argument tuples, so every region where the result's truth value
+//     can change carries a tuple.
+//  2. Pointwise evaluation — each candidate's sign is computed by
+//     evaluating the arguments at the candidate item and combining the
+//     values with the operator's boolean function.
+//  3. Repair — if the candidate placement leaves an ambiguity conflict
+//     (possible when incomparable candidates disagree), a resolving tuple
+//     with the pointwise-correct sign is inserted at each conflicting item
+//     until the result is consistent.
+//
+// As in the paper's examples, results may contain redundant tuples; apply
+// Consolidate to obtain the minimum form.
+package algebra
+
+import (
+	"fmt"
+
+	"hrdb/internal/core"
+)
+
+// maxRepairRounds bounds the conflict-repair loop; each round pins at least
+// one item with an exact tuple, so realistic inputs converge in one or two
+// rounds.
+const maxRepairRounds = 64
+
+// combine builds a result over schema s with candidate items cand; the sign
+// of every tuple is f evaluated on the argument relations at that item.
+// eval must return the argument truth values at an item (it is the closure
+// over the specific operator's arguments).
+func combine(name string, s *core.Schema, cand []core.Item, eval func(core.Item) (bool, error)) (*core.Relation, error) {
+	out := core.NewRelation(name, s)
+	seen := map[string]bool{}
+	for _, m := range cand {
+		if seen[m.Key()] {
+			continue
+		}
+		seen[m.Key()] = true
+		v, err := eval(m)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Insert(m, v); err != nil {
+			return nil, err
+		}
+	}
+	// Repair: resolve residual ambiguity with pointwise-correct tuples.
+	for round := 0; ; round++ {
+		conflicts := out.Conflicts()
+		if len(conflicts) == 0 {
+			return out, nil
+		}
+		if round >= maxRepairRounds {
+			return nil, fmt.Errorf("algebra: %s: conflict repair did not converge after %d rounds",
+				name, maxRepairRounds)
+		}
+		for _, c := range conflicts {
+			if _, present := out.Lookup(c.Item); present {
+				continue
+			}
+			v, err := eval(c.Item)
+			if err != nil {
+				return nil, err
+			}
+			if err := out.Insert(c.Item, v); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// binaryCandidates returns the tuple items of both relations plus every
+// pairwise meet.
+func binaryCandidates(a, b *core.Relation) []core.Item {
+	var out []core.Item
+	at := a.Tuples()
+	bt := b.Tuples()
+	for _, t := range at {
+		out = append(out, t.Item)
+	}
+	for _, t := range bt {
+		out = append(out, t.Item)
+	}
+	for _, ta := range at {
+		for _, tb := range bt {
+			out = append(out, a.MinimalResolutionSet(ta.Item, tb.Item)...)
+		}
+	}
+	return out
+}
+
+// checkUnionCompatible verifies the two relations share a schema.
+func checkUnionCompatible(op string, a, b *core.Relation) error {
+	if !a.Schema().Equal(b.Schema()) {
+		return fmt.Errorf("%w: %s of %q and %q", core.ErrIncompatible, op, a.Name(), b.Name())
+	}
+	return nil
+}
+
+// setOp runs a binary boolean set operation with flat-extension semantics.
+func setOp(name, op string, a, b *core.Relation, f func(x, y bool) bool) (*core.Relation, error) {
+	if err := checkUnionCompatible(op, a, b); err != nil {
+		return nil, err
+	}
+	eval := func(m core.Item) (bool, error) {
+		va, err := a.Evaluate(m)
+		if err != nil {
+			return false, fmt.Errorf("algebra: %s: left argument: %w", op, err)
+		}
+		vb, err := b.Evaluate(m)
+		if err != nil {
+			return false, fmt.Errorf("algebra: %s: right argument: %w", op, err)
+		}
+		return f(va.Value, vb.Value), nil
+	}
+	return combine(name, a.Schema(), binaryCandidates(a, b), eval)
+}
+
+// Union returns a relation whose extension is Ext(a) ∪ Ext(b) (Fig. 10c).
+func Union(name string, a, b *core.Relation) (*core.Relation, error) {
+	return setOp(name, "union", a, b, func(x, y bool) bool { return x || y })
+}
+
+// Intersect returns a relation whose extension is Ext(a) ∩ Ext(b)
+// (Fig. 10d).
+func Intersect(name string, a, b *core.Relation) (*core.Relation, error) {
+	return setOp(name, "intersect", a, b, func(x, y bool) bool { return x && y })
+}
+
+// Difference returns a relation whose extension is Ext(a) − Ext(b)
+// (Fig. 10e/f).
+func Difference(name string, a, b *core.Relation) (*core.Relation, error) {
+	return setOp(name, "difference", a, b, func(x, y bool) bool { return x && !y })
+}
+
+// Condition restricts one attribute to a class (or instance) of its domain.
+type Condition struct {
+	Attr  string
+	Class string
+}
+
+// Select restricts the relation to the sub-hierarchy under the given
+// conditions: the result's extension is exactly the argument's extension
+// narrowed to atoms whose selected attributes fall under the given classes
+// (Figs. 7 and 8). Conditions on the same attribute intersect.
+func Select(name string, r *core.Relation, conds ...Condition) (*core.Relation, error) {
+	s := r.Schema()
+	region := make(core.Item, s.Arity())
+	for i := 0; i < s.Arity(); i++ {
+		region[i] = s.Attr(i).Domain.Domain()
+	}
+	for _, c := range conds {
+		i, ok := s.Index(c.Attr)
+		if !ok {
+			return nil, fmt.Errorf("%w: select: no attribute %q in %q", core.ErrSchema, c.Attr, r.Name())
+		}
+		h := s.Attr(i).Domain
+		if !h.Has(c.Class) {
+			return nil, fmt.Errorf("%w: select: %q is not in domain %q", core.ErrUnknownValue, c.Class, h.Domain())
+		}
+		// Intersect with any previous condition on the same attribute.
+		switch {
+		case h.Subsumes(region[i], c.Class):
+			region[i] = c.Class
+		case h.Subsumes(c.Class, region[i]):
+			// keep the narrower existing region
+		default:
+			meets := h.Meets(region[i], c.Class)
+			if len(meets) != 1 {
+				return nil, fmt.Errorf("%w: select: conditions %q and %q on %q do not intersect in a unique class",
+					core.ErrIncompatible, region[i], c.Class, c.Attr)
+			}
+			region[i] = meets[0]
+		}
+	}
+
+	// The region acts as a one-tuple positive relation ANDed with r.
+	regionRel := core.NewRelation("σ-region", s)
+	if err := regionRel.Insert(region, true); err != nil {
+		return nil, err
+	}
+	cand := binaryCandidates(r, regionRel)
+	// Candidates that do not overlap the region contribute nothing: every
+	// positive result tuple lies under the region, so a non-overlapping
+	// candidate can never sit below a positive one.
+	var kept []core.Item
+	for _, m := range cand {
+		if r.Overlapping(m, region) {
+			kept = append(kept, m)
+		}
+	}
+	eval := func(m core.Item) (bool, error) {
+		va, err := r.Evaluate(m)
+		if err != nil {
+			return false, fmt.Errorf("algebra: select: %w", err)
+		}
+		vb, err := regionRel.Evaluate(m)
+		if err != nil {
+			return false, err
+		}
+		return va.Value && vb.Value, nil
+	}
+	return combine(name, s, kept, eval)
+}
+
+// Rename returns a copy of the relation with attributes renamed according
+// to the mapping (attributes not mentioned keep their names). Domains are
+// unchanged.
+func Rename(name string, r *core.Relation, mapping map[string]string) (*core.Relation, error) {
+	s := r.Schema()
+	attrs := make([]core.Attribute, s.Arity())
+	for i := 0; i < s.Arity(); i++ {
+		a := s.Attr(i)
+		if n, ok := mapping[a.Name]; ok {
+			a.Name = n
+		}
+		attrs[i] = a
+	}
+	ns, err := core.NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+	out := core.NewRelation(name, ns)
+	out.SetMode(r.Mode())
+	for _, t := range r.Tuples() {
+		if err := out.Insert(t.Item, t.Sign); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,411 @@
+package algebra
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"hrdb/internal/core"
+	"hrdb/internal/flat"
+)
+
+// TestFigure7Selection: "Who do obsequious students respect?" — the answer
+// is all teachers (the incoherent-teacher exception is overridden for
+// obsequious students by the resolving tuple).
+func TestFigure7Selection(t *testing.T) {
+	r := respects(t)
+	sel, err := Select("Fig7", r, Condition{Attr: "Student", Class: "ObsequiousStudent"})
+	must(t, err)
+
+	// The extension: every obsequious student × every teacher.
+	want := flat.New("want", "Student", "Teacher")
+	for _, s := range []string{"John", "Esther"} {
+		for _, te := range []string{"Fagin", "Hobbs"} {
+			must(t, want.Insert(s, te))
+		}
+	}
+	sameExtension(t, sel, want)
+
+	// Consolidated, the result is the single tuple the paper's Figure 7
+	// shows: obsequious students respect all teachers.
+	c := sel.Consolidate()
+	tuples := c.Tuples()
+	if len(tuples) != 1 || !tuples[0].Item.Equal(core.Item{"ObsequiousStudent", "Teacher"}) || !tuples[0].Sign {
+		t.Fatalf("consolidated Fig7 = %v", tuples)
+	}
+}
+
+// TestFigure8Selection: "Who does John respect?" — all teachers.
+func TestFigure8Selection(t *testing.T) {
+	r := respects(t)
+	sel, err := Select("Fig8", r, Condition{Attr: "Student", Class: "John"})
+	must(t, err)
+	want := flat.New("want", "Student", "Teacher")
+	must(t, want.Insert("John", "Fagin"))
+	must(t, want.Insert("John", "Hobbs"))
+	sameExtension(t, sel, want)
+}
+
+// TestSelectionOfLazyStudent: a non-obsequious student respects nobody
+// incoherent; selection keeps the exception structure.
+func TestSelectionOfLazyStudent(t *testing.T) {
+	r := respects(t)
+	sel, err := Select("Lazy", r, Condition{Attr: "Student", Class: "Lazy"})
+	must(t, err)
+	want := flat.New("want", "Student", "Teacher") // empty: Lazy respects nobody
+	sameExtension(t, sel, want)
+}
+
+// TestFigure9Justification: σ(Animal=Clyde ∧ Color=Grey) on the
+// Animal–Color relation answers "no", and the justification (applicable
+// tuples) names the tuples the paper's Figure 9b lists.
+func TestFigure9Justification(t *testing.T) {
+	animals := elephantHierarchy(t)
+	r := colorRelation(t, animals)
+	v, err := r.Evaluate(core.Item{"Clyde", "Grey"})
+	must(t, err)
+	if v.Value {
+		t.Fatal("Clyde is not grey")
+	}
+	// Applicable tuples: (Elephant, Grey)+ and (RoyalElephant, Grey)−.
+	if len(v.Applicable) != 2 {
+		t.Fatalf("justification = %v", v.Applicable)
+	}
+	var sawElephant, sawRoyal bool
+	for _, tu := range v.Applicable {
+		switch tu.Item[0] {
+		case "Elephant":
+			sawElephant = tu.Sign
+		case "RoyalElephant":
+			sawRoyal = !tu.Sign
+		}
+	}
+	if !sawElephant || !sawRoyal {
+		t.Fatalf("justification = %v", v.Applicable)
+	}
+	// The binder (strongest) is the royal-elephant negation.
+	if len(v.Binders) != 1 || v.Binders[0].Item[0] != "RoyalElephant" {
+		t.Fatalf("binders = %v", v.Binders)
+	}
+}
+
+// lovesFixture builds the two single-attribute relations of Figure 10:
+// Jack loves birds except penguins, but also Peter; Jill loves birds.
+func lovesFixture(t *testing.T) (*core.Relation, *core.Relation) {
+	t.Helper()
+	h := animalHierarchy(t)
+	s := core.MustSchema(core.Attribute{Name: "Creature", Domain: h})
+	jack := core.NewRelation("JackLoves", s)
+	must(t, jack.Assert("Bird"))
+	must(t, jack.Deny("Penguin"))
+	must(t, jack.Assert("Peter"))
+	jill := core.NewRelation("JillLoves", s)
+	must(t, jill.Assert("Bird"))
+	return jack, jill
+}
+
+// TestFigure10SetOps: union, intersection and both differences of the two
+// Loves relations, checked against the flat set operations.
+func TestFigure10SetOps(t *testing.T) {
+	jack, jill := lovesFixture(t)
+	fj, fl := flatExtension(t, jack), flatExtension(t, jill)
+
+	u, err := Union("BetweenThemLove", jack, jill)
+	must(t, err)
+	fu, err := fj.Union(fl)
+	must(t, err)
+	sameExtension(t, u, fu)
+
+	i, err := Intersect("BothLove", jack, jill)
+	must(t, err)
+	fi, err := fj.Intersect(fl)
+	must(t, err)
+	sameExtension(t, i, fi)
+
+	d1, err := Difference("JackButNotJill", jack, jill)
+	must(t, err)
+	fd1, err := fj.Difference(fl)
+	must(t, err)
+	sameExtension(t, d1, fd1)
+
+	d2, err := Difference("JillButNotJack", jill, jack)
+	must(t, err)
+	fd2, err := fl.Difference(fj)
+	must(t, err)
+	sameExtension(t, d2, fd2)
+
+	// Qualitative checks from the paper's Figure 10: between them they
+	// love all birds except non-amazing penguins plus Peter; both love the
+	// same minus Jack's penguin exception; Jack-but-not-Jill is empty …
+	if n, _ := d1.ExtensionSize(); n != 0 {
+		t.Fatalf("Jack loves someone Jill doesn't: %v", d1.Tuples())
+	}
+	// … and Jill-but-not-Jack is exactly the penguins Jack excludes.
+	ext, err := d2.Extension()
+	must(t, err)
+	wantOnly := map[string]bool{"Paul": true, "Patricia": true, "Pamela": true}
+	if len(ext) != 3 {
+		t.Fatalf("JillButNotJack = %v", ext)
+	}
+	for _, it := range ext {
+		if !wantOnly[it[0]] {
+			t.Fatalf("JillButNotJack contains %v", it)
+		}
+	}
+}
+
+// TestFigure10UnionKeepsCompactTuples: the union of the two relations keeps
+// class-level tuples (it does not explode to atoms), as the paper's
+// Figure 10c shows.
+func TestFigure10UnionKeepsCompactTuples(t *testing.T) {
+	jack, jill := lovesFixture(t)
+	u, err := Union("U", jack, jill)
+	must(t, err)
+	if _, ok := u.Lookup(core.Item{"Bird"}); !ok {
+		t.Fatalf("union lost the ∀Bird tuple: %v", u.Tuples())
+	}
+	ext, _ := u.ExtensionSize()
+	if u.Len() >= ext+3 {
+		t.Fatalf("union looks exploded: %d tuples for extension %d", u.Len(), ext)
+	}
+}
+
+// TestFigure11JoinProjection: join Enclosure-Size with Animal-Color over
+// Animal, then project back onto Animal-Color — "there is no loss of
+// information in the process".
+func TestFigure11JoinProjection(t *testing.T) {
+	animals := elephantHierarchy(t)
+	colors := colorRelation(t, animals)
+	sizes := enclosureRelation(t, animals)
+
+	j, err := Join("Fig11b", sizes, colors)
+	must(t, err)
+	// Flat oracle.
+	fj := flatExtension(t, sizes).NaturalJoin(flatExtension(t, colors))
+	sameExtension(t, j, fj)
+
+	// Spot checks from Figure 11b: Clyde is dappled with enclosure 3000;
+	// Appu is white with enclosure 2000 (royal color, Indian enclosure).
+	for _, c := range []struct {
+		item core.Item
+		want bool
+	}{
+		{core.Item{"Clyde", "3000", "Dappled"}, true},
+		{core.Item{"Appu", "2000", "White"}, true},
+		{core.Item{"Appu", "3000", "White"}, false},
+		{core.Item{"Clyde", "3000", "Grey"}, false},
+	} {
+		v, err := j.Evaluate(c.item)
+		must(t, err)
+		if v.Value != c.want {
+			t.Errorf("join %v = %v, want %v", c.item, v.Value, c.want)
+		}
+	}
+
+	// Projection back onto (Animal, Color) loses nothing.
+	back, err := Project("Fig11c", j, "Animal", "Color")
+	must(t, err)
+	wantBack, err := fj.Project("Animal", "Color")
+	must(t, err)
+	sameExtension(t, back, wantBack)
+	// And equals the original color relation's extension.
+	sameExtension(t, back, flatExtension(t, colors))
+}
+
+// TestJoinIncompatibleDomains: shared attribute names over different
+// hierarchy objects are rejected.
+func TestJoinIncompatibleDomains(t *testing.T) {
+	a := respects(t)
+	b := respects(t) // fresh hierarchies
+	if _, err := Join("J", a, b); !errors.Is(err, core.ErrIncompatible) {
+		t.Fatalf("got %v, want ErrIncompatible", err)
+	}
+}
+
+// TestJoinNoSharedAttributesIsProduct: joining relations with disjoint
+// attribute sets yields the cross product.
+func TestJoinNoSharedAttributesIsProduct(t *testing.T) {
+	h := animalHierarchy(t)
+	s1 := core.MustSchema(core.Attribute{Name: "A", Domain: h})
+	r1 := core.NewRelation("R1", s1)
+	must(t, r1.Assert("Tweety"))
+	s2 := core.MustSchema(core.Attribute{Name: "B", Domain: h})
+	r2 := core.NewRelation("R2", s2)
+	must(t, r2.Assert("Peter"))
+	must(t, r2.Assert("Paul"))
+	j, err := Join("X", r1, r2)
+	must(t, err)
+	n, err := j.ExtensionSize()
+	must(t, err)
+	if n != 2 {
+		t.Fatalf("cross product size = %d", n)
+	}
+}
+
+// TestSelectErrors: unknown attribute or class.
+func TestSelectErrors(t *testing.T) {
+	r := respects(t)
+	if _, err := Select("S", r, Condition{Attr: "Nope", Class: "x"}); !errors.Is(err, core.ErrSchema) {
+		t.Fatalf("unknown attr: %v", err)
+	}
+	if _, err := Select("S", r, Condition{Attr: "Student", Class: "Nope"}); !errors.Is(err, core.ErrUnknownValue) {
+		t.Fatalf("unknown class: %v", err)
+	}
+}
+
+// TestSelectConjunction: two conditions on different attributes intersect.
+func TestSelectConjunction(t *testing.T) {
+	r := respects(t)
+	sel, err := Select("S", r,
+		Condition{Attr: "Student", Class: "John"},
+		Condition{Attr: "Teacher", Class: "IncoherentTeacher"})
+	must(t, err)
+	want := flat.New("w", "Student", "Teacher")
+	must(t, want.Insert("John", "Fagin"))
+	sameExtension(t, sel, want)
+}
+
+// TestSelectNarrowingSameAttr: two conditions on the same attribute
+// intersect to the narrower class.
+func TestSelectNarrowingSameAttr(t *testing.T) {
+	r := respects(t)
+	sel, err := Select("S", r,
+		Condition{Attr: "Student", Class: "ObsequiousStudent"},
+		Condition{Attr: "Student", Class: "John"})
+	must(t, err)
+	want := flat.New("w", "Student", "Teacher")
+	must(t, want.Insert("John", "Fagin"))
+	must(t, want.Insert("John", "Hobbs"))
+	sameExtension(t, sel, want)
+}
+
+// TestSetOpsIncompatible: set operations demand a shared schema.
+func TestSetOpsIncompatible(t *testing.T) {
+	a := respects(t)
+	b := respects(t)
+	if _, err := Union("U", a, b); !errors.Is(err, core.ErrIncompatible) {
+		t.Fatalf("got %v, want ErrIncompatible", err)
+	}
+}
+
+// TestInconsistentArgumentRejected: operating on an inconsistent relation
+// surfaces the conflict instead of silently computing garbage.
+func TestInconsistentArgumentRejected(t *testing.T) {
+	s := core.MustSchema(
+		core.Attribute{Name: "Student", Domain: studentHierarchy(t)},
+		core.Attribute{Name: "Teacher", Domain: teacherHierarchy(t)},
+	)
+	r := core.NewRelation("Bad", s)
+	must(t, r.Assert("ObsequiousStudent", "Teacher"))
+	must(t, r.Deny("Student", "IncoherentTeacher"))
+	_, err := Select("S", r, Condition{Attr: "Student", Class: "ObsequiousStudent"})
+	var ce *core.ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want ConflictError", err)
+	}
+}
+
+// TestRename: attributes renamed, tuples intact, old name gone.
+func TestRename(t *testing.T) {
+	r := respects(t)
+	rn, err := Rename("R2", r, map[string]string{"Student": "Pupil"})
+	must(t, err)
+	if _, ok := rn.Schema().Index("Pupil"); !ok {
+		t.Fatal("Pupil missing")
+	}
+	if _, ok := rn.Schema().Index("Student"); ok {
+		t.Fatal("Student still present")
+	}
+	if rn.Len() != r.Len() {
+		t.Fatal("tuples lost")
+	}
+	if _, err := Rename("R3", r, map[string]string{"Student": "Teacher"}); err == nil {
+		t.Fatal("rename onto duplicate name accepted")
+	}
+}
+
+// TestProjectErrors: validation of attribute lists.
+func TestProjectErrors(t *testing.T) {
+	r := respects(t)
+	if _, err := Project("P", r); !errors.Is(err, core.ErrSchema) {
+		t.Fatalf("empty: %v", err)
+	}
+	if _, err := Project("P", r, "Nope"); !errors.Is(err, core.ErrSchema) {
+		t.Fatalf("unknown: %v", err)
+	}
+	if _, err := Project("P", r, "Student", "Student"); !errors.Is(err, core.ErrSchema) {
+		t.Fatalf("duplicate: %v", err)
+	}
+}
+
+// TestProjectAllAttrsIsReorder: projecting onto every attribute reorders
+// columns without touching tuples.
+func TestProjectAllAttrsIsReorder(t *testing.T) {
+	r := respects(t)
+	p, err := Project("P", r, "Teacher", "Student")
+	must(t, err)
+	if p.Len() != r.Len() {
+		t.Fatal("tuple count changed")
+	}
+	if _, ok := p.Lookup(core.Item{"Teacher", "ObsequiousStudent"}); !ok {
+		t.Fatalf("reordered tuple missing: %v", p.Tuples())
+	}
+}
+
+// TestProjectWithNegation: the classic trap — projecting away an attribute
+// with a negation must use ∃ semantics. Royal elephants are not grey but
+// white: they still appear in π_Animal.
+func TestProjectWithNegation(t *testing.T) {
+	animals := elephantHierarchy(t)
+	r := colorRelation(t, animals)
+	p, err := Project("Colored", r, "Animal")
+	must(t, err)
+	fp, err := flatExtension(t, r).Project("Animal")
+	must(t, err)
+	sameExtension(t, p, fp)
+	// Clyde has a color (dappled) despite two negations.
+	v, err := p.Evaluate(core.Item{"Clyde"})
+	must(t, err)
+	if !v.Value {
+		t.Fatal("Clyde must survive projection")
+	}
+}
+
+// TestUnionWithEmptyRelation: identity.
+func TestUnionWithEmptyRelation(t *testing.T) {
+	jack, _ := lovesFixture(t)
+	empty := core.NewRelation("Empty", jack.Schema())
+	u, err := Union("U", jack, empty)
+	must(t, err)
+	sameExtension(t, u, flatExtension(t, jack))
+	i, err := Intersect("I", jack, empty)
+	must(t, err)
+	if n, _ := i.ExtensionSize(); n != 0 {
+		t.Fatal("intersection with empty should be empty")
+	}
+}
+
+// TestResultsMayCarryRedundantTuples (§3.4): operator results can contain
+// redundant tuples, removable by a consolidation that changes nothing else.
+func TestResultsMayCarryRedundantTuples(t *testing.T) {
+	jack, jill := lovesFixture(t)
+	u, err := Union("U", jack, jill)
+	must(t, err)
+	c := u.Consolidate()
+	if c.Len() > u.Len() {
+		t.Fatal("consolidation grew the result")
+	}
+	sameExtension(t, c, flatExtension(t, u))
+}
+
+// TestSelectTableShape: the consolidated Figure 7 output renders like the
+// paper's table.
+func TestSelectTableShape(t *testing.T) {
+	r := respects(t)
+	sel, err := Select("Fig7", r, Condition{Attr: "Student", Class: "ObsequiousStudent"})
+	must(t, err)
+	tab := sel.Consolidate().Table()
+	if !strings.Contains(tab, "∀ObsequiousStudent") || !strings.Contains(tab, "∀Teacher") {
+		t.Fatalf("table:\n%s", tab)
+	}
+}

@@ -1,0 +1,115 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+
+	"hrdb/internal/core"
+)
+
+// Join computes the natural join of two hierarchical relations over their
+// shared attribute names (Fig. 11b). Shared attributes must be drawn from
+// the same hierarchy object. The result's schema is a's attributes followed
+// by b's non-shared attributes, and its extension equals the flat natural
+// join of the argument extensions.
+func Join(name string, a, b *core.Relation) (*core.Relation, error) {
+	sa, sb := a.Schema(), b.Schema()
+
+	type sharedCol struct{ ai, bi int }
+	var shared []sharedCol
+	var bOnly []int
+	for j := 0; j < sb.Arity(); j++ {
+		attr := sb.Attr(j)
+		if i, ok := sa.Index(attr.Name); ok {
+			if sa.Attr(i).Domain != attr.Domain {
+				return nil, fmt.Errorf("%w: join: attribute %q has different domains",
+					core.ErrIncompatible, attr.Name)
+			}
+			shared = append(shared, sharedCol{ai: i, bi: j})
+		} else {
+			bOnly = append(bOnly, j)
+		}
+	}
+	attrs := make([]core.Attribute, 0, sa.Arity()+len(bOnly))
+	for i := 0; i < sa.Arity(); i++ {
+		attrs = append(attrs, sa.Attr(i))
+	}
+	for _, j := range bOnly {
+		attrs = append(attrs, sb.Attr(j))
+	}
+	outSchema, err := core.NewSchema(attrs...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Projections from a result item to the argument items.
+	projA := func(m core.Item) core.Item { return m[:sa.Arity()].Clone() }
+	projB := func(m core.Item) core.Item {
+		it := make(core.Item, sb.Arity())
+		for _, sc := range shared {
+			it[sc.bi] = m[sc.ai]
+		}
+		for n, j := range bOnly {
+			it[j] = m[sa.Arity()+n]
+		}
+		return it
+	}
+
+	// Candidates: for each pair of tuples, combine a's coordinates with
+	// b's extra coordinates, narrowing every shared coordinate to each
+	// maximal common subsumee of the pair's values. Pairs with a disjoint
+	// shared coordinate produce nothing.
+	var cand []core.Item
+	for _, ta := range a.Tuples() {
+		for _, tb := range b.Tuples() {
+			perShared := make([][]string, len(shared))
+			ok := true
+			for n, sc := range shared {
+				meets := sa.Attr(sc.ai).Domain.Meets(ta.Item[sc.ai], tb.Item[sc.bi])
+				if len(meets) == 0 {
+					ok = false
+					break
+				}
+				perShared[n] = meets
+			}
+			if !ok {
+				continue
+			}
+			var rec func(m core.Item, n int)
+			rec = func(m core.Item, n int) {
+				if n == len(shared) {
+					cand = append(cand, m.Clone())
+					return
+				}
+				sc := shared[n]
+				for _, v := range perShared[n] {
+					mm := m.Clone()
+					mm[sc.ai] = v
+					rec(mm, n+1)
+				}
+			}
+			base := make(core.Item, outSchema.Arity())
+			for i := 0; i < sa.Arity(); i++ {
+				base[i] = ta.Item[i]
+			}
+			for n, j := range bOnly {
+				base[sa.Arity()+n] = tb.Item[j]
+			}
+			rec(base, 0)
+		}
+	}
+	sort.Slice(cand, func(i, j int) bool { return cand[i].Key() < cand[j].Key() })
+
+	eval := func(m core.Item) (bool, error) {
+		va, err := a.Evaluate(projA(m))
+		if err != nil {
+			return false, fmt.Errorf("algebra: join: left argument: %w", err)
+		}
+		vb, err := b.Evaluate(projB(m))
+		if err != nil {
+			return false, fmt.Errorf("algebra: join: right argument: %w", err)
+		}
+		return va.Value && vb.Value, nil
+	}
+	return combine(name, outSchema, cand, eval)
+}

@@ -1,0 +1,124 @@
+package algebra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hrdb/internal/core"
+)
+
+// Project computes the projection of a hierarchical relation onto the named
+// attributes with flat-extension (existential) semantics: an atom belongs
+// to the result iff some extension of it over the dropped attributes
+// belongs to the argument (Fig. 11c).
+//
+// Negated tuples make naive column-dropping unsound (a negation over a
+// dropped attribute means "no witness here", not "not in the projection"),
+// so Project proceeds in two steps, both extension-preserving:
+//
+//  1. Explicate the dropped attributes, so every tuple carries atomic
+//     values there (core.Explicate, §3.3.2 of the paper).
+//  2. Partition the explicated tuples into slices by their (now atomic)
+//     dropped-attribute values. Each slice is a hierarchical relation over
+//     the kept attributes whose extension is "the argument holds with the
+//     dropped attributes fixed at this witness". The projection is the
+//     n-ary union of the slices, computed with the same candidates +
+//     pointwise evaluation machinery as Union.
+func Project(name string, r *core.Relation, attrs ...string) (*core.Relation, error) {
+	s := r.Schema()
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("%w: project: no attributes", core.ErrSchema)
+	}
+	keep := make([]int, 0, len(attrs))
+	kept := map[int]bool{}
+	for _, a := range attrs {
+		i, ok := s.Index(a)
+		if !ok {
+			return nil, fmt.Errorf("%w: project: no attribute %q in %q", core.ErrSchema, a, r.Name())
+		}
+		if kept[i] {
+			return nil, fmt.Errorf("%w: project: duplicate attribute %q", core.ErrSchema, a)
+		}
+		kept[i] = true
+		keep = append(keep, i)
+	}
+	var drop []int
+	var dropNames []string
+	for i := 0; i < s.Arity(); i++ {
+		if !kept[i] {
+			drop = append(drop, i)
+			dropNames = append(dropNames, s.Attr(i).Name)
+		}
+	}
+
+	outAttrs := make([]core.Attribute, len(keep))
+	for n, i := range keep {
+		outAttrs[n] = s.Attr(i)
+	}
+	outSchema, err := core.NewSchema(outAttrs...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Projection with nothing to drop is a column reorder.
+	if len(drop) == 0 {
+		out := core.NewRelation(name, outSchema)
+		out.SetMode(r.Mode())
+		for _, t := range r.Tuples() {
+			it := make(core.Item, len(keep))
+			for n, i := range keep {
+				it[n] = t.Item[i]
+			}
+			if err := out.Insert(it, t.Sign); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	// Step 1: explicate the dropped attributes.
+	expl, err := r.Explicate(dropNames...)
+	if err != nil {
+		return nil, err
+	}
+
+	// Step 2: slice by the dropped coordinates.
+	slices := map[string]*core.Relation{}
+	var sliceKeys []string
+	for _, t := range expl.Tuples() {
+		parts := make([]string, len(drop))
+		for n, i := range drop {
+			parts[n] = t.Item[i]
+		}
+		key := strings.Join(parts, "\x1f")
+		slice, ok := slices[key]
+		if !ok {
+			slice = core.NewRelation(name+"@"+key, outSchema)
+			slice.SetMode(r.Mode())
+			slices[key] = slice
+			sliceKeys = append(sliceKeys, key)
+		}
+		it := make(core.Item, len(keep))
+		for n, i := range keep {
+			it[n] = t.Item[i]
+		}
+		if err := slice.Insert(it, t.Sign); err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(sliceKeys)
+
+	// Union-fold the slices. An empty projection is the empty relation.
+	if len(sliceKeys) == 0 {
+		return core.NewRelation(name, outSchema), nil
+	}
+	acc := slices[sliceKeys[0]].WithName(name)
+	for _, k := range sliceKeys[1:] {
+		acc, err = Union(name, acc, slices[k])
+		if err != nil {
+			return nil, err
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,194 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"hrdb/internal/core"
+	"hrdb/internal/flat"
+)
+
+// TestPropertySetOpsCommuteWithFlattening: on random consistent relations
+// over a shared schema, Union/Intersect/Difference commute with flattening
+// into the flat engine.
+func TestPropertySetOpsCommuteWithFlattening(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 50; trial++ {
+		h0 := randomHierarchy(rng, "D0", 5+rng.Intn(5))
+		attrs := []core.Attribute{{Name: "A0", Domain: h0}}
+		if rng.Intn(2) == 0 {
+			attrs = append(attrs, core.Attribute{Name: "A1", Domain: randomHierarchy(rng, "D1", 3+rng.Intn(4))})
+		}
+		s := core.MustSchema(attrs...)
+		a := randomConsistentRelation(rng, "A", s, 2+rng.Intn(6))
+		b := randomConsistentRelation(rng, "B", s, 2+rng.Intn(6))
+		fa, fb := flatExtension(t, a), flatExtension(t, b)
+
+		u, err := Union("U", a, b)
+		if err != nil {
+			t.Fatalf("trial %d union: %v\nA=%v\nB=%v", trial, err, a.Tuples(), b.Tuples())
+		}
+		fu, _ := fa.Union(fb)
+		checkSame(t, trial, "union", u, fu, a, b)
+
+		i, err := Intersect("I", a, b)
+		if err != nil {
+			t.Fatalf("trial %d intersect: %v", trial, err)
+		}
+		fi, _ := fa.Intersect(fb)
+		checkSame(t, trial, "intersect", i, fi, a, b)
+
+		d, err := Difference("D", a, b)
+		if err != nil {
+			t.Fatalf("trial %d difference: %v", trial, err)
+		}
+		fd, _ := fa.Difference(fb)
+		checkSame(t, trial, "difference", d, fd, a, b)
+	}
+}
+
+func checkSame(t *testing.T, trial int, op string, got *core.Relation, want *flat.Relation, a, b *core.Relation) {
+	t.Helper()
+	g := flatExtension(t, got)
+	if !equalRows(g, want) {
+		t.Fatalf("trial %d %s mismatch\n got %v\nwant %v\nA=%v\nB=%v\nresult=%v",
+			trial, op, g.Rows(), want.Rows(), a.Tuples(), b.Tuples(), got.Tuples())
+	}
+	if err := got.CheckConsistency(); err != nil {
+		t.Fatalf("trial %d %s: inconsistent result: %v\nresult=%v", trial, op, err, got.Tuples())
+	}
+}
+
+func equalRows(a, b *flat.Relation) bool {
+	ra, rb := a.Rows(), b.Rows()
+	if len(ra) != len(rb) {
+		return false
+	}
+	for i := range ra {
+		if ra[i].Key() != rb[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPropertySelectionCommutesWithFlattening: σ(attr ⊑ C) equals flat
+// row-filtering by class membership.
+func TestPropertySelectionCommutesWithFlattening(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 50; trial++ {
+		h0 := randomHierarchy(rng, "D0", 5+rng.Intn(5))
+		h1 := randomHierarchy(rng, "D1", 3+rng.Intn(4))
+		s := core.MustSchema(
+			core.Attribute{Name: "A0", Domain: h0},
+			core.Attribute{Name: "A1", Domain: h1},
+		)
+		r := randomConsistentRelation(rng, "R", s, 2+rng.Intn(6))
+		nodes := h0.Nodes()
+		class := nodes[rng.Intn(len(nodes))]
+
+		sel, err := Select("S", r, Condition{Attr: "A0", Class: class})
+		if err != nil {
+			t.Fatalf("trial %d: %v\nR=%v class=%s", trial, err, r.Tuples(), class)
+		}
+		want := flatExtension(t, r).Select(func(row flat.Row) bool {
+			return h0.Subsumes(class, row[0])
+		})
+		g := flatExtension(t, sel)
+		if !equalRows(g, want) {
+			t.Fatalf("trial %d selection mismatch (class %s)\n got %v\nwant %v\nR=%v\nresult=%v",
+				trial, class, g.Rows(), want.Rows(), r.Tuples(), sel.Tuples())
+		}
+		if err := sel.CheckConsistency(); err != nil {
+			t.Fatalf("trial %d: inconsistent selection: %v", trial, err)
+		}
+	}
+}
+
+// TestPropertyProjectionCommutesWithFlattening: π over a random attribute
+// subset equals the flat projection of the extension.
+func TestPropertyProjectionCommutesWithFlattening(t *testing.T) {
+	rng := rand.New(rand.NewSource(307))
+	for trial := 0; trial < 40; trial++ {
+		h0 := randomHierarchy(rng, "D0", 4+rng.Intn(4))
+		h1 := randomHierarchy(rng, "D1", 3+rng.Intn(4))
+		s := core.MustSchema(
+			core.Attribute{Name: "A0", Domain: h0},
+			core.Attribute{Name: "A1", Domain: h1},
+		)
+		r := randomConsistentRelation(rng, "R", s, 2+rng.Intn(6))
+		keep := "A0"
+		if rng.Intn(2) == 0 {
+			keep = "A1"
+		}
+		p, err := Project("P", r, keep)
+		if err != nil {
+			t.Fatalf("trial %d: %v\nR=%v", trial, err, r.Tuples())
+		}
+		want, err := flatExtension(t, r).Project(keep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := flatExtension(t, p)
+		if !equalRows(g, want) {
+			t.Fatalf("trial %d projection(%s) mismatch\n got %v\nwant %v\nR=%v\nresult=%v",
+				trial, keep, g.Rows(), want.Rows(), r.Tuples(), p.Tuples())
+		}
+	}
+}
+
+// TestPropertyJoinCommutesWithFlattening: the natural join over a shared
+// attribute equals the flat natural join of the extensions.
+func TestPropertyJoinCommutesWithFlattening(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	for trial := 0; trial < 40; trial++ {
+		shared := randomHierarchy(rng, "S", 4+rng.Intn(4))
+		hA := randomHierarchy(rng, "DA", 3+rng.Intn(3))
+		hB := randomHierarchy(rng, "DB", 3+rng.Intn(3))
+		sa := core.MustSchema(
+			core.Attribute{Name: "K", Domain: shared},
+			core.Attribute{Name: "X", Domain: hA},
+		)
+		sb := core.MustSchema(
+			core.Attribute{Name: "K", Domain: shared},
+			core.Attribute{Name: "Y", Domain: hB},
+		)
+		a := randomConsistentRelation(rng, "A", sa, 2+rng.Intn(5))
+		b := randomConsistentRelation(rng, "B", sb, 2+rng.Intn(5))
+
+		j, err := Join("J", a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v\nA=%v\nB=%v", trial, err, a.Tuples(), b.Tuples())
+		}
+		want := flatExtension(t, a).NaturalJoin(flatExtension(t, b))
+		g := flatExtension(t, j)
+		if !equalRows(g, want) {
+			t.Fatalf("trial %d join mismatch\n got %v\nwant %v\nA=%v\nB=%v\nresult=%v",
+				trial, g.Rows(), want.Rows(), a.Tuples(), b.Tuples(), j.Tuples())
+		}
+		if err := j.CheckConsistency(); err != nil {
+			t.Fatalf("trial %d: inconsistent join: %v", trial, err)
+		}
+	}
+}
+
+// TestPropertyOperatorsPreserveCompactness: set-operation results stay
+// polynomial in the argument sizes (candidates are pairwise meets, not
+// extensions).
+func TestPropertyOperatorsPreserveCompactness(t *testing.T) {
+	rng := rand.New(rand.NewSource(503))
+	for trial := 0; trial < 20; trial++ {
+		h0 := randomHierarchy(rng, "D0", 8)
+		s := core.MustSchema(core.Attribute{Name: "A0", Domain: h0})
+		a := randomConsistentRelation(rng, "A", s, 4)
+		b := randomConsistentRelation(rng, "B", s, 4)
+		u, err := Union("U", a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := (a.Len() + b.Len()) * (a.Len() + b.Len() + 4)
+		if u.Len() > bound {
+			t.Fatalf("trial %d: union size %d exceeds bound %d", trial, u.Len(), bound)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package algebra
+
+import (
+	"testing"
+
+	"hrdb/internal/core"
+	"hrdb/internal/hierarchy"
+)
+
+// TestCombineRepairLoop exercises the conflict-repair path of combine
+// directly: the candidate set deliberately omits the meet of two
+// opposite-sign candidates, so the first placement conflicts and the
+// repair pass must insert a pointwise-correct tuple at the meet.
+func TestCombineRepairLoop(t *testing.T) {
+	h := hierarchy.New("D")
+	must(t, h.AddClass("C1"))
+	must(t, h.AddClass("C2"))
+	must(t, h.AddClass("C12", "C1", "C2"))
+	must(t, h.AddInstance("x", "C12"))
+	must(t, h.AddInstance("onlyC1", "C1"))
+	must(t, h.AddInstance("onlyC2", "C2"))
+	s := core.MustSchema(core.Attribute{Name: "X", Domain: h})
+
+	// Pointwise truth: everything under C1 is true, everything else false.
+	eval := func(m core.Item) (bool, error) {
+		return h.Subsumes("C1", m[0]), nil
+	}
+	// Candidates C1 and C2 only — no meet: C1 gets +, C2 gets −, and the
+	// shared region (C12 and x) conflicts until repair pins it.
+	cand := []core.Item{{"C1"}, {"C2"}}
+	out, err := combine("R", s, cand, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.CheckConsistency(); err != nil {
+		t.Fatalf("repair left conflicts: %v", err)
+	}
+	// The repair tuple sits at the meet with the pointwise value (true).
+	if tu, ok := out.Lookup(core.Item{"C12"}); !ok || !tu.Sign {
+		t.Fatalf("repair tuple missing/wrong: %v (tuples %v)", tu, out.Tuples())
+	}
+	// Extension is pointwise-correct everywhere.
+	for _, c := range []struct {
+		atom string
+		want bool
+	}{{"x", true}, {"onlyC1", true}, {"onlyC2", false}} {
+		v, err := out.Evaluate(core.Item{c.atom})
+		must(t, err)
+		if v.Value != c.want {
+			t.Errorf("eval(%s) = %v, want %v", c.atom, v.Value, c.want)
+		}
+	}
+}
+
+// TestCombineRepairDivergence: an eval whose values cannot be made
+// consistent within the round budget reports an error instead of looping
+// forever. We simulate it with an eval that flips its answer per call for
+// the conflicted item, so no fixpoint exists.
+func TestCombineRepairDivergence(t *testing.T) {
+	h := hierarchy.New("D")
+	must(t, h.AddClass("C1"))
+	must(t, h.AddClass("C2"))
+	must(t, h.AddClass("C12", "C1", "C2"))
+	must(t, h.AddInstance("x", "C12"))
+	s := core.MustSchema(core.Attribute{Name: "X", Domain: h})
+
+	calls := map[string]int{}
+	eval := func(m core.Item) (bool, error) {
+		calls[m.Key()]++
+		switch m[0] {
+		case "C1":
+			return true, nil
+		case "C2":
+			return false, nil
+		default:
+			// Flip every time: the repair can never settle, because each
+			// inserted resolution contradicts the next one demanded.
+			return calls[m.Key()]%2 == 0, nil
+		}
+	}
+	// Without the meet candidates the repair loop runs; an inconsistent
+	// oracle cannot converge… but note each repaired item is pinned with
+	// an exact tuple, so the loop actually terminates once every item in
+	// the finite space is pinned. We assert only that combine returns
+	// either a consistent relation or a divergence error — never hangs.
+	out, err := combine("R", s, []core.Item{{"C1"}, {"C2"}}, eval)
+	if err == nil {
+		if cerr := out.CheckConsistency(); cerr != nil {
+			t.Fatalf("combine returned inconsistent relation: %v", cerr)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package algebra
+
+import (
+	"math/rand"
+	"testing"
+
+	"hrdb/internal/core"
+	"hrdb/internal/flat"
+	"hrdb/internal/hierarchy"
+)
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// animalHierarchy builds the Figure 1a class hierarchy.
+func animalHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("Animal")
+	must(t, h.AddClass("Bird"))
+	must(t, h.AddClass("Canary", "Bird"))
+	must(t, h.AddInstance("Tweety", "Canary"))
+	must(t, h.AddClass("Penguin", "Bird"))
+	must(t, h.AddClass("GalapagosPenguin", "Penguin"))
+	must(t, h.AddClass("AmazingFlyingPenguin", "Penguin"))
+	must(t, h.AddInstance("Paul", "GalapagosPenguin"))
+	must(t, h.AddInstance("Patricia", "GalapagosPenguin", "AmazingFlyingPenguin"))
+	must(t, h.AddInstance("Pamela", "AmazingFlyingPenguin"))
+	must(t, h.AddInstance("Peter", "AmazingFlyingPenguin"))
+	return h
+}
+
+func studentHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("Student")
+	must(t, h.AddClass("ObsequiousStudent"))
+	must(t, h.AddInstance("John", "ObsequiousStudent"))
+	must(t, h.AddInstance("Esther", "ObsequiousStudent"))
+	must(t, h.AddInstance("Lazy", "Student"))
+	return h
+}
+
+func teacherHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("Teacher")
+	must(t, h.AddClass("IncoherentTeacher"))
+	must(t, h.AddInstance("Fagin", "IncoherentTeacher"))
+	must(t, h.AddInstance("Hobbs", "Teacher"))
+	return h
+}
+
+// respects builds the Figure 3 relation over shared hierarchies.
+func respects(t *testing.T) *core.Relation {
+	t.Helper()
+	s := core.MustSchema(
+		core.Attribute{Name: "Student", Domain: studentHierarchy(t)},
+		core.Attribute{Name: "Teacher", Domain: teacherHierarchy(t)},
+	)
+	r := core.NewRelation("Respects", s)
+	must(t, r.Assert("ObsequiousStudent", "Teacher"))
+	must(t, r.Deny("Student", "IncoherentTeacher"))
+	must(t, r.Assert("ObsequiousStudent", "IncoherentTeacher"))
+	return r
+}
+
+// elephant fixtures (Figure 4 / Figure 11).
+func elephantHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("Animal")
+	must(t, h.AddClass("Elephant"))
+	must(t, h.AddClass("RoyalElephant", "Elephant"))
+	must(t, h.AddClass("AfricanElephant", "Elephant"))
+	must(t, h.AddClass("IndianElephant", "Elephant"))
+	must(t, h.AddInstance("Clyde", "RoyalElephant"))
+	must(t, h.AddInstance("Appu", "RoyalElephant", "IndianElephant"))
+	return h
+}
+
+func colorHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("Color")
+	for _, c := range []string{"Grey", "White", "Dappled"} {
+		must(t, h.AddInstance(c))
+	}
+	return h
+}
+
+func sizeHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("EnclosureSize")
+	for _, c := range []string{"3000", "2000"} {
+		must(t, h.AddInstance(c))
+	}
+	return h
+}
+
+// colorRelation builds Figure 4's Animal–Color relation.
+func colorRelation(t *testing.T, animals *hierarchy.Hierarchy) *core.Relation {
+	t.Helper()
+	s := core.MustSchema(
+		core.Attribute{Name: "Animal", Domain: animals},
+		core.Attribute{Name: "Color", Domain: colorHierarchy(t)},
+	)
+	r := core.NewRelation("AnimalColor", s)
+	must(t, r.Assert("Elephant", "Grey"))
+	must(t, r.Deny("RoyalElephant", "Grey"))
+	must(t, r.Assert("RoyalElephant", "White"))
+	must(t, r.Deny("Clyde", "White"))
+	must(t, r.Assert("Clyde", "Dappled"))
+	return r
+}
+
+// enclosureRelation builds Figure 11a: elephants get 3000, Indian elephants
+// an exception of 2000.
+func enclosureRelation(t *testing.T, animals *hierarchy.Hierarchy) *core.Relation {
+	t.Helper()
+	s := core.MustSchema(
+		core.Attribute{Name: "Animal", Domain: animals},
+		core.Attribute{Name: "EnclosureSize", Domain: sizeHierarchy(t)},
+	)
+	r := core.NewRelation("Enclosure", s)
+	must(t, r.Assert("Elephant", "3000"))
+	must(t, r.Deny("IndianElephant", "3000"))
+	must(t, r.Assert("IndianElephant", "2000"))
+	return r
+}
+
+// flatExtension converts a hierarchical relation's extension to a flat
+// relation for oracle comparisons.
+func flatExtension(t *testing.T, r *core.Relation) *flat.Relation {
+	t.Helper()
+	out := flat.New(r.Name(), r.Schema().Names()...)
+	ext, err := r.Extension()
+	if err != nil {
+		t.Fatalf("%s: Extension: %v", r.Name(), err)
+	}
+	for _, it := range ext {
+		if err := out.Insert(it...); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// sameExtension asserts a hierarchical result has exactly the given flat
+// extension.
+func sameExtension(t *testing.T, got *core.Relation, want *flat.Relation) {
+	t.Helper()
+	g := flatExtension(t, got)
+	gr, wr := g.Rows(), want.Rows()
+	if len(gr) != len(wr) {
+		t.Fatalf("extension size %d != %d\n got %v\nwant %v", len(gr), len(wr), gr, wr)
+	}
+	for i := range gr {
+		if gr[i].Key() != wr[i].Key() {
+			t.Fatalf("extension mismatch at %d: %v vs %v\n got %v\nwant %v", i, gr[i], wr[i], gr, wr)
+		}
+	}
+}
+
+// randomHierarchy builds a random irredundant hierarchy (as in core tests).
+func randomHierarchy(rng *rand.Rand, domain string, n int) *hierarchy.Hierarchy {
+	h := hierarchy.New(domain)
+	names := []string{domain}
+	for i := 0; i < n; i++ {
+		name := domain + "_" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		p1 := names[rng.Intn(len(names))]
+		parents := []string{p1}
+		if rng.Intn(3) == 0 {
+			p2 := names[rng.Intn(len(names))]
+			if p2 != p1 && !h.Subsumes(p1, p2) && !h.Subsumes(p2, p1) {
+				parents = append(parents, p2)
+			}
+		}
+		if err := h.AddClass(name, parents...); err != nil {
+			panic(err)
+		}
+		names = append(names, name)
+	}
+	return h
+}
+
+// randomConsistentRelation inserts random signed tuples, skipping any that
+// break consistency.
+func randomConsistentRelation(rng *rand.Rand, name string, s *core.Schema, tuples int) *core.Relation {
+	r := core.NewRelation(name, s)
+	var pools [][]string
+	for i := 0; i < s.Arity(); i++ {
+		pools = append(pools, s.Attr(i).Domain.Nodes())
+	}
+	for attempts := 0; attempts < tuples*8 && r.Len() < tuples; attempts++ {
+		item := make(core.Item, s.Arity())
+		for i := range item {
+			item[i] = pools[i][rng.Intn(len(pools[i]))]
+		}
+		if _, present := r.Lookup(item); present {
+			continue
+		}
+		if err := r.Insert(item, rng.Intn(2) == 0); err != nil {
+			continue
+		}
+		if err := r.CheckConsistency(); err != nil {
+			r.Retract(item)
+		}
+	}
+	return r
+}

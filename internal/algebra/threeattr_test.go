@@ -1,0 +1,189 @@
+package algebra
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"hrdb/internal/core"
+	"hrdb/internal/flat"
+	"hrdb/internal/hierarchy"
+)
+
+// threeAttrFixture: a scheduling relation Teaches(Teacher, Course, Term)
+// with class-level defaults and exceptions on every attribute.
+func threeAttrFixture(t *testing.T) (*core.Relation, [3]*hierarchy.Hierarchy) {
+	t.Helper()
+	teachers := hierarchy.New("Teacher")
+	must(t, teachers.AddClass("Prof"))
+	must(t, teachers.AddInstance("Ada", "Prof"))
+	must(t, teachers.AddInstance("Bob", "Prof"))
+	must(t, teachers.AddInstance("TA1", "Teacher"))
+
+	courses := hierarchy.New("Course")
+	must(t, courses.AddClass("CS"))
+	must(t, courses.AddInstance("Databases", "CS"))
+	must(t, courses.AddInstance("Compilers", "CS"))
+	must(t, courses.AddInstance("Pottery", "Course"))
+
+	terms := hierarchy.New("Term")
+	must(t, terms.AddClass("AcademicYear"))
+	must(t, terms.AddInstance("Fall", "AcademicYear"))
+	must(t, terms.AddInstance("Spring", "AcademicYear"))
+	must(t, terms.AddInstance("Summer", "Term"))
+
+	s := core.MustSchema(
+		core.Attribute{Name: "Teacher", Domain: teachers},
+		core.Attribute{Name: "Course", Domain: courses},
+		core.Attribute{Name: "Term", Domain: terms},
+	)
+	r := core.NewRelation("Teaches", s)
+	// Professors teach all CS courses across the academic year…
+	must(t, r.Assert("Prof", "CS", "AcademicYear"))
+	// …but nobody teaches in Spring except Ada with Databases.
+	must(t, r.Deny("Prof", "CS", "Spring"))
+	must(t, r.Assert("Ada", "Databases", "Spring"))
+	return r, [3]*hierarchy.Hierarchy{teachers, courses, terms}
+}
+
+// TestThreeAttrEvaluation: binding across three coordinates.
+func TestThreeAttrEvaluation(t *testing.T) {
+	r, _ := threeAttrFixture(t)
+	must(t, r.CheckConsistency())
+	cases := []struct {
+		item core.Item
+		want bool
+	}{
+		{core.Item{"Ada", "Databases", "Fall"}, true},
+		{core.Item{"Bob", "Compilers", "Fall"}, true},
+		{core.Item{"Bob", "Compilers", "Spring"}, false},
+		{core.Item{"Ada", "Databases", "Spring"}, true}, // the exception's exception
+		{core.Item{"Ada", "Compilers", "Spring"}, false},
+		{core.Item{"TA1", "Databases", "Fall"}, false}, // not a Prof
+		{core.Item{"Ada", "Pottery", "Fall"}, false},   // not CS
+		{core.Item{"Ada", "Databases", "Summer"}, false},
+	}
+	for _, c := range cases {
+		v, err := r.Evaluate(c.item)
+		must(t, err)
+		if v.Value != c.want {
+			t.Errorf("Evaluate(%v) = %v, want %v", c.item, v.Value, c.want)
+		}
+	}
+}
+
+// TestThreeAttrOperators: selection, projection and count over three
+// attributes, checked against the flat oracle.
+func TestThreeAttrOperators(t *testing.T) {
+	r, hs := threeAttrFixture(t)
+	f := flatExtension(t, r)
+
+	// σ(Term = Spring): only Ada/Databases survives.
+	sel, err := Select("spring", r, Condition{Attr: "Term", Class: "Spring"})
+	must(t, err)
+	want := f.Select(func(row flat.Row) bool { return row[2] == "Spring" })
+	if !equalRows(flatExtension(t, sel), want) {
+		t.Fatalf("spring selection mismatch: %v", sel.Tuples())
+	}
+
+	// π(Teacher, Course): who teaches what at all.
+	p, err := Project("pairs", r, "Teacher", "Course")
+	must(t, err)
+	wantP, err := f.Project("Teacher", "Course")
+	must(t, err)
+	if !equalRows(flatExtension(t, p), wantP) {
+		t.Fatalf("projection mismatch: %v", p.Tuples())
+	}
+
+	// π(Teacher): who teaches anything.
+	p1, err := Project("who", r, "Teacher")
+	must(t, err)
+	ext, err := p1.Extension()
+	must(t, err)
+	if len(ext) != 2 { // Ada and Bob
+		t.Fatalf("teachers = %v", ext)
+	}
+
+	// COUNT BY Term.
+	counts, err := Count(r, "Term")
+	must(t, err)
+	byTerm := map[string]int{}
+	for _, gc := range counts {
+		byTerm[gc.Group[0]] = gc.N
+	}
+	// Fall: Ada×2 + Bob×2 = 4; Spring: 1.
+	if byTerm["Fall"] != 4 || byTerm["Spring"] != 1 {
+		t.Fatalf("byTerm = %v", byTerm)
+	}
+	_ = hs
+}
+
+// TestThreeAttrJoinTwoShared: a join over TWO shared attributes.
+func TestThreeAttrJoinTwoShared(t *testing.T) {
+	r, hs := threeAttrFixture(t)
+	rooms := hierarchy.New("Room")
+	must(t, rooms.AddInstance("R101"))
+	must(t, rooms.AddInstance("R202"))
+	s2 := core.MustSchema(
+		core.Attribute{Name: "Course", Domain: hs[1]},
+		core.Attribute{Name: "Term", Domain: hs[2]},
+		core.Attribute{Name: "Room", Domain: rooms},
+	)
+	sched := core.NewRelation("Rooms", s2)
+	must(t, sched.Assert("CS", "AcademicYear", "R101"))
+	must(t, sched.Deny("Databases", "Fall", "R101"))
+	must(t, sched.Assert("Databases", "Fall", "R202"))
+
+	j, err := Join("J", r, sched)
+	must(t, err)
+	wantJ := flatExtension(t, r).NaturalJoin(flatExtension(t, sched))
+	if !equalRows(flatExtension(t, j), wantJ) {
+		t.Fatalf("two-shared-attr join mismatch\n got %v\nwant %v",
+			flatExtension(t, j).Rows(), wantJ.Rows())
+	}
+	// Spot check: databases in fall meet in R202, not R101.
+	v, err := j.Evaluate(core.Item{"Ada", "Databases", "Fall", "R202"})
+	must(t, err)
+	if !v.Value {
+		t.Fatal("Ada/Databases/Fall should be in R202")
+	}
+	v, err = j.Evaluate(core.Item{"Ada", "Databases", "Fall", "R101"})
+	must(t, err)
+	if v.Value {
+		t.Fatal("Ada/Databases/Fall should not be in R101")
+	}
+}
+
+// TestSelectDisjointSameAttrConditions: contradictory conditions error.
+func TestSelectDisjointSameAttrConditions(t *testing.T) {
+	r, _ := threeAttrFixture(t)
+	_, err := Select("bad", r,
+		Condition{Attr: "Course", Class: "Databases"},
+		Condition{Attr: "Course", Class: "Pottery"})
+	if !errors.Is(err, core.ErrIncompatible) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestPropertyThreeAttrSetOps: randomized three-attribute commutation.
+func TestPropertyThreeAttrSetOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	for trial := 0; trial < 15; trial++ {
+		s := core.MustSchema(
+			core.Attribute{Name: "A0", Domain: randomHierarchy(rng, "D0", 4)},
+			core.Attribute{Name: "A1", Domain: randomHierarchy(rng, "D1", 4)},
+			core.Attribute{Name: "A2", Domain: randomHierarchy(rng, "D2", 3)},
+		)
+		a := randomConsistentRelation(rng, "A", s, 2+rng.Intn(4))
+		b := randomConsistentRelation(rng, "B", s, 2+rng.Intn(4))
+		u, err := Union("U", a, b)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		fu, _ := flatExtension(t, a).Union(flatExtension(t, b))
+		if !equalRows(flatExtension(t, u), fu) {
+			t.Fatalf("trial %d: 3-attr union mismatch\nA=%v\nB=%v",
+				trial, a.Tuples(), b.Tuples())
+		}
+	}
+}

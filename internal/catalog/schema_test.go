@@ -1,0 +1,75 @@
+package catalog
+
+import (
+	"errors"
+	"testing"
+
+	"hrdb/internal/core"
+	"hrdb/internal/hierarchy"
+)
+
+// TestDropNode: the referential-integrity rules.
+func TestDropNode(t *testing.T) {
+	db := setupFlies(t)
+	// Referenced by the AFP tuple: refuse.
+	if err := db.DropNode("Animal", "AmazingFlyingPenguin"); !errors.Is(err, ErrInUse) {
+		t.Fatalf("got %v", err)
+	}
+	// Unreferenced leaf: drops.
+	must(t, db.DropNode("Animal", "Paul"))
+	h, _ := db.Hierarchy("Animal")
+	if h.Has("Paul") {
+		t.Fatal("Paul survived")
+	}
+	// Non-leaf (Canary has Tweety, and no tuple of its own): hierarchy
+	// refuses.
+	if err := db.DropNode("Animal", "Canary"); !errors.Is(err, hierarchy.ErrHasChildren) {
+		t.Fatalf("got %v", err)
+	}
+	// Root refuses.
+	if err := db.DropNode("Animal", "Animal"); !errors.Is(err, hierarchy.ErrIsRoot) {
+		t.Fatalf("got %v", err)
+	}
+	// Unknown hierarchy and node.
+	if err := db.DropNode("Nope", "x"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+	if err := db.DropNode("Animal", "Ghost"); !errors.Is(err, hierarchy.ErrUnknown) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestDropNodeRemovesPreferences: preference edges touching the node go too.
+func TestDropNodeRemovesPreferences(t *testing.T) {
+	db := setupFlies(t)
+	h, _ := db.Hierarchy("Animal")
+	must(t, h.Prefer("AmazingFlyingPenguin", "GalapagosPenguin"))
+	// Tweety is unreferenced; prefer edges don't involve it: drop fine.
+	must(t, db.DropNode("Animal", "Tweety"))
+	if len(h.Preferences()) != 1 {
+		t.Fatal("unrelated preference lost")
+	}
+	// Retract the AFP tuple so the node is unreferenced, then empty it.
+	_, err := db.Retract("Flies", "AmazingFlyingPenguin")
+	must(t, err)
+	for _, inst := range []string{"Patricia", "Pamela", "Peter"} {
+		must(t, db.DropNode("Animal", inst))
+	}
+	must(t, db.DropNode("Animal", "AmazingFlyingPenguin"))
+	if len(h.Preferences()) != 0 {
+		t.Fatalf("preference touching dropped node survived: %v", h.Preferences())
+	}
+}
+
+// TestSetModeCatalog.
+func TestSetModeCatalog(t *testing.T) {
+	db := setupFlies(t)
+	must(t, db.SetMode("Flies", core.OnPath))
+	r, _ := db.Relation("Flies")
+	if r.Mode() != core.OnPath {
+		t.Fatalf("mode = %v", r.Mode())
+	}
+	if err := db.SetMode("Nope", core.OffPath); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+}

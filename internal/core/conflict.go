@@ -1,0 +1,241 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Overlapping reports whether two items can share atomic items: every
+// coordinate pair overlaps in its hierarchy (one subsumes the other or they
+// have a common descendant). This is the paper's "optimistic" evidence rule
+// (§3.1): items are assumed disjoint unless the hierarchy proves otherwise.
+func (r *Relation) Overlapping(a, b Item) bool {
+	for i := range a {
+		if !r.schema.attrs[i].Domain.Overlaps(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalResolutionSet returns the paper's minimal conflict resolution set
+// for two items: the maximal items subsumed by both (§3.1). It is the
+// componentwise product of the per-attribute maximal common descendants and
+// is empty iff the items do not overlap.
+func (r *Relation) MinimalResolutionSet(a, b Item) []Item {
+	k := r.schema.Arity()
+	perAttr := make([][]string, k)
+	for i := 0; i < k; i++ {
+		m := r.schema.attrs[i].Domain.Meets(a[i], b[i])
+		if len(m) == 0 {
+			return nil
+		}
+		perAttr[i] = m
+	}
+	var out []Item
+	var rec func(prefix Item, i int)
+	rec = func(prefix Item, i int) {
+		if i == k {
+			out = append(out, prefix.Clone())
+			return
+		}
+		for _, n := range perAttr[i] {
+			rec(append(prefix, n), i+1)
+		}
+	}
+	rec(make(Item, 0, k), 0)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// CompleteResolutionSet returns every item subsumed by both a and b — the
+// paper's complete conflict resolution set. The result can be large; limit
+// caps the number of items returned (0 means no cap), with ErrTooLarge when
+// exceeded.
+func (r *Relation) CompleteResolutionSet(a, b Item, limit int) ([]Item, error) {
+	k := r.schema.Arity()
+	perAttr := make([][]string, k)
+	for i := 0; i < k; i++ {
+		h := r.schema.attrs[i].Domain
+		seen := map[string]bool{}
+		var nodes []string
+		for _, m := range h.Meets(a[i], b[i]) {
+			if !seen[m] {
+				seen[m] = true
+				nodes = append(nodes, m)
+			}
+			for _, d := range h.Descendants(m) {
+				if !seen[d] {
+					seen[d] = true
+					nodes = append(nodes, d)
+				}
+			}
+		}
+		if len(nodes) == 0 {
+			return nil, nil
+		}
+		sort.Strings(nodes)
+		perAttr[i] = nodes
+	}
+	var out []Item
+	var rec func(prefix Item, i int) error
+	rec = func(prefix Item, i int) error {
+		if i == k {
+			if limit > 0 && len(out) >= limit {
+				return fmt.Errorf("%w: complete resolution set exceeds %d items", ErrTooLarge, limit)
+			}
+			out = append(out, prefix.Clone())
+			return nil
+		}
+		for _, n := range perAttr[i] {
+			if err := rec(append(prefix, n), i+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(make(Item, 0, k), 0); err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// Conflicts returns every ambiguity-constraint violation in the relation.
+//
+// Under off-path preemption with irredundant hierarchies the check is
+// pairwise-complete: an item-level conflict exists iff, for some pair of
+// opposite-sign, mutually incomparable, overlapping tuples, an item of
+// their minimal resolution set evaluates to a conflict. (If a conflict
+// existed at any item y, its mixed-sign minimal applicable tuples t1, t2
+// are incomparable and overlap at y; y lies under some X in M(t1,t2); every
+// tuple applicable to X is applicable to y, so had any tuple cut strictly
+// below t1 or t2 at X it would contradict their minimality at y — hence t1
+// and t2 are still minimal at X and X itself conflicts.)
+//
+// Under the other preemption modes, or with redundant hierarchy edges,
+// minimality arguments do not apply; the checker then additionally
+// evaluates every atomic item of each overlap region, bounded by
+// maxProductNodes per pair.
+func (r *Relation) Conflicts() []*ConflictError {
+	tuples := r.Tuples()
+	exhaustive := r.mode != OffPath || !r.fastPathOK()
+
+	var out []*ConflictError
+	seen := map[string]bool{}
+	record := func(item Item) {
+		if seen[item.Key()] {
+			return
+		}
+		if _, err := r.Evaluate(item); err != nil {
+			if ce, ok := err.(*ConflictError); ok {
+				seen[item.Key()] = true
+				ce.Resolution = r.resolutionFor(ce)
+				out = append(out, ce)
+			}
+		}
+	}
+
+	for i := 0; i < len(tuples); i++ {
+		for j := i + 1; j < len(tuples); j++ {
+			t1, t2 := tuples[i], tuples[j]
+			if t1.Sign == t2.Sign {
+				continue
+			}
+			comparable := r.Subsumes(t1.Item, t2.Item) || r.Subsumes(t2.Item, t1.Item)
+			if comparable && !exhaustive {
+				continue // an exception, not a conflict, under off-path
+			}
+			if !r.Overlapping(t1.Item, t2.Item) {
+				continue
+			}
+			if !comparable {
+				for _, m := range r.MinimalResolutionSet(t1.Item, t2.Item) {
+					record(m)
+				}
+			}
+			if exhaustive {
+				// Without full off-path preemption, conflicts can appear at
+				// any item of the shared region — including composite items
+				// and items under a comparable pair — so every common node
+				// combination is checked.
+				for _, it := range r.overlapItems(t1.Item, t2.Item) {
+					record(it)
+				}
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Item.Key() < out[j].Item.Key() })
+	return out
+}
+
+// resolutionFor computes the minimal resolution set for the first
+// opposite-sign pair among a conflict's binders.
+func (r *Relation) resolutionFor(ce *ConflictError) []Item {
+	for i := 0; i < len(ce.Binders); i++ {
+		for j := i + 1; j < len(ce.Binders); j++ {
+			if ce.Binders[i].Sign != ce.Binders[j].Sign {
+				return r.MinimalResolutionSet(ce.Binders[i].Item, ce.Binders[j].Item)
+			}
+		}
+	}
+	return nil
+}
+
+// overlapItems enumerates every item (composite or atomic) in the
+// intersection of two items: the componentwise combinations of all nodes
+// subsumed by both coordinates. Capped at maxProductNodes combinations.
+func (r *Relation) overlapItems(a, b Item) []Item {
+	k := r.schema.Arity()
+	perAttr := make([][]string, k)
+	size := 1
+	for i := 0; i < k; i++ {
+		h := r.schema.attrs[i].Domain
+		seen := map[string]bool{}
+		var nodes []string
+		for _, m := range h.Meets(a[i], b[i]) {
+			if !seen[m] {
+				seen[m] = true
+				nodes = append(nodes, m)
+			}
+			for _, d := range h.Descendants(m) {
+				if !seen[d] {
+					seen[d] = true
+					nodes = append(nodes, d)
+				}
+			}
+		}
+		if len(nodes) == 0 {
+			return nil
+		}
+		sort.Strings(nodes)
+		perAttr[i] = nodes
+		size *= len(nodes)
+		if size > maxProductNodes {
+			return nil // give up on exhaustive enumeration for this pair
+		}
+	}
+	var out []Item
+	var rec func(prefix Item, i int)
+	rec = func(prefix Item, i int) {
+		if i == k {
+			out = append(out, prefix.Clone())
+			return
+		}
+		for _, n := range perAttr[i] {
+			rec(append(prefix, n), i+1)
+		}
+	}
+	rec(make(Item, 0, k), 0)
+	return out
+}
+
+// CheckConsistency returns nil when the relation satisfies the ambiguity
+// constraint, or an *InconsistencyError naming every conflict.
+func (r *Relation) CheckConsistency() error {
+	conflicts := r.Conflicts()
+	if len(conflicts) == 0 {
+		return nil
+	}
+	return &InconsistencyError{Relation: r.name, Conflicts: conflicts}
+}

@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestFigure3Conflict reproduces the paper's Figure 3 discussion: with only
+// the two tuples above the dashed line ("obsequious students respect all
+// teachers", "no student respects any incoherent teacher") the database is
+// inconsistent — obsequious students vs incoherent teachers is undetermined.
+func TestFigure3Conflict(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "Student", Domain: studentHierarchy(t)},
+		Attribute{Name: "Teacher", Domain: teacherHierarchy(t)},
+	)
+	r := NewRelation("Respects", s)
+	must(t, r.Assert("ObsequiousStudent", "Teacher"))
+	must(t, r.Deny("Student", "IncoherentTeacher"))
+
+	err := r.CheckConsistency()
+	var ie *InconsistencyError
+	if !errors.As(err, &ie) {
+		t.Fatalf("got %v, want InconsistencyError", err)
+	}
+	// The conflict sits at the minimal resolution item
+	// (ObsequiousStudent, IncoherentTeacher).
+	found := false
+	for _, c := range ie.Conflicts {
+		if c.Item.Equal(Item{"ObsequiousStudent", "IncoherentTeacher"}) {
+			found = true
+			if len(c.Resolution) != 1 || !c.Resolution[0].Equal(Item{"ObsequiousStudent", "IncoherentTeacher"}) {
+				t.Errorf("resolution = %v", c.Resolution)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("conflicts = %v, missing (ObsequiousStudent, IncoherentTeacher)", ie.Conflicts)
+	}
+
+	// The explicit resolving tuple restores consistency (Fig. 3's tuple
+	// below the dashed line).
+	must(t, r.Assert("ObsequiousStudent", "IncoherentTeacher"))
+	if err := r.CheckConsistency(); err != nil {
+		t.Fatalf("resolved relation still inconsistent: %v", err)
+	}
+
+	// And John (an obsequious student) now respects Fagin (an incoherent
+	// teacher).
+	got, err2 := r.Holds("John", "Fagin")
+	must(t, err2)
+	if !got {
+		t.Error("John should respect Fagin after resolution")
+	}
+}
+
+// TestFigure3EvaluateConflict: evaluating the conflicted item directly also
+// reports the conflict with both binders.
+func TestFigure3EvaluateConflict(t *testing.T) {
+	s := MustSchema(
+		Attribute{Name: "Student", Domain: studentHierarchy(t)},
+		Attribute{Name: "Teacher", Domain: teacherHierarchy(t)},
+	)
+	r := NewRelation("Respects", s)
+	must(t, r.Assert("ObsequiousStudent", "Teacher"))
+	must(t, r.Deny("Student", "IncoherentTeacher"))
+
+	_, err := r.Evaluate(Item{"John", "Fagin"})
+	var ce *ConflictError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want ConflictError", err)
+	}
+	if len(ce.Binders) != 2 {
+		t.Errorf("binders = %v, want 2", ce.Binders)
+	}
+}
+
+// TestPatriciaGalapagosConflict reproduces §2.1's multiple-inheritance
+// discussion: adding "Galapagos penguins cannot fly" conflicts at Patricia,
+// who is both a Galapagos and an amazing flying penguin.
+func TestPatriciaGalapagosConflict(t *testing.T) {
+	r := fliesRelation(t)
+	if err := r.CheckConsistency(); err != nil {
+		t.Fatalf("Figure 1 relation should be consistent: %v", err)
+	}
+	must(t, r.Deny("GalapagosPenguin"))
+	err := r.CheckConsistency()
+	var ie *InconsistencyError
+	if !errors.As(err, &ie) {
+		t.Fatalf("got %v, want InconsistencyError", err)
+	}
+	if len(ie.Conflicts) != 1 || !ie.Conflicts[0].Item.Equal(Item{"Patricia"}) {
+		t.Fatalf("conflicts = %v, want one at Patricia", ie.Conflicts)
+	}
+	// Resolve with an exact tuple on Patricia.
+	must(t, r.Assert("Patricia"))
+	if err := r.CheckConsistency(); err != nil {
+		t.Fatalf("still inconsistent: %v", err)
+	}
+}
+
+// TestMinimalResolutionSet: per-attribute meets multiply out.
+func TestMinimalResolutionSet(t *testing.T) {
+	r := respectsRelation(t)
+	got := r.MinimalResolutionSet(
+		Item{"ObsequiousStudent", "Teacher"},
+		Item{"Student", "IncoherentTeacher"},
+	)
+	want := []Item{{"ObsequiousStudent", "IncoherentTeacher"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	// Disjoint items have an empty resolution set.
+	r2 := fliesRelation(t)
+	if got := r2.MinimalResolutionSet(Item{"Canary"}, Item{"Penguin"}); got != nil {
+		t.Fatalf("disjoint: got %v, want nil", got)
+	}
+}
+
+// TestCompleteResolutionSet: all common subsumees, most general to leaves.
+func TestCompleteResolutionSet(t *testing.T) {
+	r := fliesRelation(t)
+	got, err := r.CompleteResolutionSet(Item{"GalapagosPenguin"}, Item{"AmazingFlyingPenguin"}, 0)
+	must(t, err)
+	want := []Item{{"Patricia"}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+
+	// With a shared class, the complete set includes the class and its
+	// descendants while the minimal set is just the class.
+	h := r.Schema().Attr(0).Domain
+	_ = h
+	got, err = r.CompleteResolutionSet(Item{"Bird"}, Item{"Penguin"}, 0)
+	must(t, err)
+	// Bird subsumes Penguin: meets = {Penguin}; complete = Penguin + all
+	// its descendants.
+	if len(got) != 7 {
+		t.Fatalf("complete set size = %d (%v), want 7", len(got), got)
+	}
+	// Cap enforcement.
+	if _, err := r.CompleteResolutionSet(Item{"Bird"}, Item{"Penguin"}, 3); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("cap: got %v, want ErrTooLarge", err)
+	}
+}
+
+// TestOptimisticDisjointness (§3.1): opposite-sign assertions on classes
+// with no common descendant are not a conflict.
+func TestOptimisticDisjointness(t *testing.T) {
+	r := fliesRelation(t)
+	// Canary+ already implied; deny GalapagosPenguin: Canary and GP share
+	// no members, so Bird+ vs GP- is an exception, and Canary vs GP never
+	// overlaps.
+	must(t, r.Deny("GalapagosPenguin"))
+	// Patricia conflict exists (GP vs AFP); resolve it, then check that no
+	// Canary/GP conflict is reported.
+	must(t, r.Assert("Patricia"))
+	if err := r.CheckConsistency(); err != nil {
+		t.Fatalf("unexpected conflicts: %v", err)
+	}
+}
+
+// TestEmptyIntersectionClassForcesPessimism (§3.1): a front end can force
+// pessimistic integrity maintenance by defining an empty intersection
+// class; a conflict is then detected even with no instances.
+func TestEmptyIntersectionClassForcesPessimism(t *testing.T) {
+	h := animalHierarchy(t)
+	// An empty class of canaries raised among penguins.
+	must(t, h.AddClass("PenguinRaisedCanary", "Canary", "Penguin"))
+	s := MustSchema(Attribute{Name: "Creature", Domain: h})
+	r := NewRelation("Flies", s)
+	must(t, r.Assert("Canary"))
+	must(t, r.Deny("Penguin"))
+	err := r.CheckConsistency()
+	var ie *InconsistencyError
+	if !errors.As(err, &ie) {
+		t.Fatalf("got %v, want InconsistencyError at the empty intersection class", err)
+	}
+	if !ie.Conflicts[0].Item.Equal(Item{"PenguinRaisedCanary"}) {
+		t.Fatalf("conflict at %v, want PenguinRaisedCanary", ie.Conflicts[0].Item)
+	}
+}
+
+// TestConflictErrorRendering exercises the error strings.
+func TestConflictErrorRendering(t *testing.T) {
+	ce := &ConflictError{
+		Relation:   "R",
+		Item:       Item{"x"},
+		Binders:    []Tuple{{Item: Item{"A"}, Sign: true}, {Item: Item{"B"}, Sign: false}},
+		Resolution: []Item{{"x"}},
+	}
+	msg := ce.Error()
+	for _, want := range []string{"R", "(x)", "+ (A)", "- (B)", "resolve"} {
+		if !contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+	ie := &InconsistencyError{Relation: "R", Conflicts: []*ConflictError{ce, ce}}
+	if !contains(ie.Error(), "2 ambiguity conflicts") {
+		t.Errorf("InconsistencyError = %q", ie.Error())
+	}
+	if ie.Unwrap() != ce {
+		t.Error("Unwrap should expose the first conflict")
+	}
+	single := &InconsistencyError{Relation: "R", Conflicts: []*ConflictError{ce}}
+	if single.Error() != ce.Error() {
+		t.Error("single-conflict InconsistencyError should render the conflict")
+	}
+	empty := &InconsistencyError{Relation: "R"}
+	if empty.Unwrap() != nil {
+		t.Error("empty Unwrap should be nil")
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+// TestNoPreemptionConsistency: under no-preemption the exhaustive checker
+// finds the conflict at Paul that the pairwise check alone would miss
+// (Bird+ subsumes Penguin−, so the pair is skipped as an exception, yet
+// both apply to Paul with no preemption).
+func TestNoPreemptionConsistency(t *testing.T) {
+	h := animalHierarchy(t)
+	s := MustSchema(Attribute{Name: "Creature", Domain: h})
+	r := NewRelation("Flies", s)
+	must(t, r.Assert("Bird"))
+	must(t, r.Deny("Penguin"))
+	r.SetMode(NoPreemption)
+	// Direct evaluation conflicts at Paul.
+	var ce *ConflictError
+	if _, err := r.Evaluate(Item{"Paul"}); !errors.As(err, &ce) {
+		t.Fatalf("got %v, want ConflictError at Paul", err)
+	}
+	// The consistency checker must find it too, even though Bird+ and
+	// Penguin− are comparable (a mere exception under off-path).
+	var ie *InconsistencyError
+	if err := r.CheckConsistency(); !errors.As(err, &ie) {
+		t.Fatalf("CheckConsistency: got %v, want InconsistencyError", err)
+	}
+	// Under the default off-path mode the same relation is consistent.
+	r.SetMode(OffPath)
+	if err := r.CheckConsistency(); err != nil {
+		t.Fatalf("off-path should be consistent: %v", err)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Sentinel errors of the core package.
+var (
+	// ErrSchema indicates an invalid schema definition.
+	ErrSchema = errors.New("core: invalid schema")
+	// ErrArity indicates an item with the wrong number of coordinates.
+	ErrArity = errors.New("core: arity mismatch")
+	// ErrUnknownValue indicates an item coordinate outside its domain.
+	ErrUnknownValue = errors.New("core: unknown value")
+	// ErrContradiction indicates inserting an item that is already present
+	// with the opposite sign.
+	ErrContradiction = errors.New("core: contradictory tuple")
+	// ErrTooLarge indicates that an operation would materialize a product
+	// graph or extension beyond the configured limit.
+	ErrTooLarge = errors.New("core: product too large")
+	// ErrIncompatible indicates relations whose schemas do not match for a
+	// set operation or join.
+	ErrIncompatible = errors.New("core: incompatible schemas")
+)
+
+// ConflictError reports a violation of the paper's ambiguity constraint
+// (§3.1): an item whose strongest-binding tuples carry mixed truth values.
+type ConflictError struct {
+	Relation string
+	Item     Item
+	// Binders are the conflicting strongest-binding tuples.
+	Binders []Tuple
+	// Resolution is the minimal conflict resolution set: asserting a tuple
+	// on each of these items (with either sign) resolves the conflict.
+	// Populated by the consistency checker; may be nil on a bare Evaluate.
+	Resolution []Item
+}
+
+// Error implements the error interface.
+func (e *ConflictError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "core: ambiguity conflict in %q at item %v: ", e.Relation, e.Item)
+	parts := make([]string, len(e.Binders))
+	for i, t := range e.Binders {
+		parts[i] = t.String()
+	}
+	b.WriteString(strings.Join(parts, " vs "))
+	if len(e.Resolution) > 0 {
+		items := make([]string, len(e.Resolution))
+		for i, it := range e.Resolution {
+			items[i] = it.String()
+		}
+		fmt.Fprintf(&b, " (resolve by asserting at: %s)", strings.Join(items, ", "))
+	}
+	return b.String()
+}
+
+// InconsistencyError aggregates the conflicts found by CheckConsistency.
+type InconsistencyError struct {
+	Relation  string
+	Conflicts []*ConflictError
+}
+
+// Error implements the error interface.
+func (e *InconsistencyError) Error() string {
+	if len(e.Conflicts) == 1 {
+		return e.Conflicts[0].Error()
+	}
+	return fmt.Sprintf("core: relation %q has %d ambiguity conflicts (first: %v)",
+		e.Relation, len(e.Conflicts), e.Conflicts[0])
+}
+
+// Unwrap exposes the first conflict for errors.As chains.
+func (e *InconsistencyError) Unwrap() error {
+	if len(e.Conflicts) == 0 {
+		return nil
+	}
+	return e.Conflicts[0]
+}

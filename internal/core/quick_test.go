@@ -1,0 +1,179 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Seeded generators let testing/quick drive structured inputs: quick picks
+// the seeds, the builders derandomize them into hierarchies and relations.
+
+func relationFromSeed(seed int64) *Relation {
+	rng := rand.New(rand.NewSource(seed))
+	h := randomHierarchy(rng, "D", 5+rng.Intn(6))
+	s := MustSchema(Attribute{Name: "X", Domain: h})
+	r := NewRelation("R", s)
+	nodes := h.Nodes()
+	for n := 0; n < 2+rng.Intn(7); n++ {
+		item := Item{nodes[rng.Intn(len(nodes))]}
+		if _, ok := r.Lookup(item); ok {
+			continue
+		}
+		if err := r.Insert(item, rng.Intn(2) == 0); err != nil {
+			continue
+		}
+		if len(r.Conflicts()) > 0 {
+			r.Retract(item)
+		}
+	}
+	return r
+}
+
+// TestQuickConsolidateExtensionInvariant: ∀ seeds, consolidation preserves
+// the extension and never grows the relation.
+func TestQuickConsolidateExtensionInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		r := relationFromSeed(seed)
+		c := r.Consolidate()
+		if c.Len() > r.Len() {
+			return false
+		}
+		before, err := r.Extension()
+		if err != nil {
+			return false
+		}
+		after, err := c.Extension()
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(before, after)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExplicateRoundTrip: ∀ seeds, explication yields an atomic
+// relation with the same extension, and explicating twice is idempotent.
+func TestQuickExplicateRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := relationFromSeed(seed)
+		e1, err := r.Explicate()
+		if err != nil {
+			return false
+		}
+		for _, tu := range e1.Tuples() {
+			if !e1.IsAtomic(tu.Item) {
+				return false
+			}
+		}
+		a, err := r.Extension()
+		if err != nil {
+			return false
+		}
+		b, err := e1.Extension()
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+		e2, err := e1.Explicate()
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(e1.Tuples(), e2.Tuples())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSubsumptionPartialOrder: ∀ seeds, item subsumption is a partial
+// order on the relation's items.
+func TestQuickSubsumptionPartialOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		r := relationFromSeed(seed)
+		h := r.Schema().Attr(0).Domain
+		nodes := h.Nodes()
+		for _, a := range nodes {
+			if !r.Subsumes(Item{a}, Item{a}) {
+				return false
+			}
+			for _, b := range nodes {
+				if a != b && r.Subsumes(Item{a}, Item{b}) && r.Subsumes(Item{b}, Item{a}) {
+					return false
+				}
+				for _, c := range nodes {
+					if r.Subsumes(Item{a}, Item{b}) && r.Subsumes(Item{b}, Item{c}) &&
+						!r.Subsumes(Item{a}, Item{c}) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickInsertRetractRoundTrip: ∀ seeds and values, inserting then
+// retracting a tuple restores the exact tuple set and the index.
+func TestQuickInsertRetractRoundTrip(t *testing.T) {
+	f := func(seed int64, pick uint8, sign bool) bool {
+		r := relationFromSeed(seed)
+		h := r.Schema().Attr(0).Domain
+		nodes := h.Nodes()
+		item := Item{nodes[int(pick)%len(nodes)]}
+		if _, present := r.Lookup(item); present {
+			return true // occupied: nothing to round-trip
+		}
+		before := r.Tuples()
+		if err := r.Insert(item, sign); err != nil {
+			return false
+		}
+		if !r.Retract(item) {
+			return false
+		}
+		after := r.Tuples()
+		if !reflect.DeepEqual(before, after) {
+			return false
+		}
+		// The index agrees with a full scan afterwards.
+		probe := Item{nodes[(int(pick)+1)%len(nodes)]}
+		return reflect.DeepEqual(r.Applicable(probe), r.applicableByScan(probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEvaluateNeverPanics: ∀ seeds and query picks, Evaluate returns
+// a verdict or a typed error for every node of the domain, under every
+// preemption mode.
+func TestQuickEvaluateNeverPanics(t *testing.T) {
+	f := func(seed int64, pick uint8, mode uint8) bool {
+		r := relationFromSeed(seed)
+		r.SetMode(Preemption(int(mode) % 3))
+		h := r.Schema().Attr(0).Domain
+		nodes := h.Nodes()
+		item := Item{nodes[int(pick)%len(nodes)]}
+		v, err := r.Evaluate(item)
+		if err != nil {
+			_, isConflict := err.(*ConflictError)
+			return isConflict
+		}
+		// A default verdict must be false with no binders.
+		if v.Default && (v.Value || len(v.Binders) != 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

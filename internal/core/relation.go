@@ -1,0 +1,431 @@
+// Package core implements the hierarchical relational model of
+// H. V. Jagadish, "Incorporating Hierarchy in a Relational Model of Data"
+// (SIGMOD 1989): relations whose attribute values may be classes drawn from
+// per-domain hierarchies, with positive and negated tuples, inheritance with
+// exceptions, conflict detection (the ambiguity constraint), and the two new
+// operators the paper introduces, Consolidate and Explicate.
+//
+// Every hierarchical relation is equivalent to a unique flat relation — its
+// extension — and all operations preserve that equivalence. Evaluate is the
+// single source of truth for the model's semantics: it implements the
+// paper's tuple-binding-graph rule under the three preemption semantics of
+// the appendix (off-path, on-path, and no preemption).
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hrdb/internal/hierarchy"
+)
+
+// Attribute names one column of a relation and the hierarchy its values are
+// drawn from.
+type Attribute struct {
+	Name   string
+	Domain *hierarchy.Hierarchy
+}
+
+// Schema is an ordered list of attributes with unique names.
+type Schema struct {
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewSchema builds a schema from the given attributes. Attribute names must
+// be unique and non-empty, and every attribute needs a domain hierarchy.
+func NewSchema(attrs ...Attribute) (*Schema, error) {
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("%w: schema needs at least one attribute", ErrSchema)
+	}
+	s := &Schema{index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("%w: attribute %d has an empty name", ErrSchema, i)
+		}
+		if a.Domain == nil {
+			return nil, fmt.Errorf("%w: attribute %q has no domain hierarchy", ErrSchema, a.Name)
+		}
+		if _, dup := s.index[a.Name]; dup {
+			return nil, fmt.Errorf("%w: duplicate attribute %q", ErrSchema, a.Name)
+		}
+		s.index[a.Name] = i
+		s.attrs = append(s.attrs, a)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error; intended for tests and
+// examples with static schemas.
+func MustSchema(attrs ...Attribute) *Schema {
+	s, err := NewSchema(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.attrs) }
+
+// Attr returns the i-th attribute.
+func (s *Schema) Attr(i int) Attribute { return s.attrs[i] }
+
+// Index returns the position of the named attribute.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// Names returns the attribute names in schema order.
+func (s *Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Equal reports whether two schemas have the same attribute names, in the
+// same order, over the same hierarchy objects.
+func (s *Schema) Equal(o *Schema) bool {
+	if s == o {
+		return true
+	}
+	if o == nil || len(s.attrs) != len(o.attrs) {
+		return false
+	}
+	for i := range s.attrs {
+		if s.attrs[i].Name != o.attrs[i].Name || s.attrs[i].Domain != o.attrs[i].Domain {
+			return false
+		}
+	}
+	return true
+}
+
+// Item is one hierarchy node name per attribute, in schema order. A node may
+// be a class (the paper's ∀C values) or an instance; an item whose every
+// coordinate is a hierarchy leaf is atomic.
+type Item []string
+
+// Key returns a canonical map key for the item. Node names never contain
+// the separator byte.
+func (it Item) Key() string { return strings.Join(it, "\x1f") }
+
+// Equal reports componentwise equality.
+func (it Item) Equal(o Item) bool {
+	if len(it) != len(o) {
+		return false
+	}
+	for i := range it {
+		if it[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the item.
+func (it Item) Clone() Item { return append(Item(nil), it...) }
+
+// String renders the item as (a, b, …).
+func (it Item) String() string { return "(" + strings.Join(it, ", ") + ")" }
+
+// Tuple is an item together with its truth value: Sign true for a positive
+// (normal) tuple, false for a negated tuple (§2.1).
+type Tuple struct {
+	Item Item
+	Sign bool
+}
+
+// String renders the tuple with a +/− prefix, classes marked ∀.
+func (t Tuple) String() string {
+	sign := "+"
+	if !t.Sign {
+		sign = "-"
+	}
+	return sign + " " + t.Item.String()
+}
+
+// Relation is a hierarchical relation: a set of signed tuples over a schema.
+// Relations are safe for concurrent reads but not concurrent mutation; the
+// catalog package provides a synchronized layer.
+type Relation struct {
+	name   string
+	schema *Schema
+	tuples map[string]Tuple
+	mode   Preemption
+
+	// idx0 buckets tuple keys by their first-attribute value, so
+	// Applicable can probe only the buckets of the query item's ancestors
+	// instead of scanning every tuple.
+	idx0 map[string][]string
+}
+
+// NewRelation creates an empty relation with the given name and schema.
+func NewRelation(name string, schema *Schema) *Relation {
+	return &Relation{
+		name:   name,
+		schema: schema,
+		tuples: map[string]Tuple{},
+		mode:   OffPath,
+		idx0:   map[string][]string{},
+	}
+}
+
+// Name returns the relation's name.
+func (r *Relation) Name() string { return r.name }
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// Len returns the number of stored tuples (not the extension size).
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Mode returns the preemption semantics in force (§appendix).
+func (r *Relation) Mode() Preemption { return r.mode }
+
+// SetMode selects the preemption semantics used by Evaluate.
+func (r *Relation) SetMode(m Preemption) { r.mode = m }
+
+// validateItem checks arity and that every coordinate names a node of its
+// attribute's hierarchy.
+func (r *Relation) validateItem(item Item) error {
+	if len(item) != r.schema.Arity() {
+		return fmt.Errorf("%w: item %v has arity %d, relation %q has %d",
+			ErrArity, item, len(item), r.name, r.schema.Arity())
+	}
+	for i, v := range item {
+		if !r.schema.attrs[i].Domain.Has(v) {
+			return fmt.Errorf("%w: %q is not in domain %q of attribute %q",
+				ErrUnknownValue, v, r.schema.attrs[i].Domain.Domain(), r.schema.attrs[i].Name)
+		}
+	}
+	return nil
+}
+
+// Insert stores a tuple. Re-inserting an identical tuple is a no-op;
+// inserting an item that is already present with the opposite sign returns
+// ErrContradiction (use Retract first to flip a tuple's sign).
+func (r *Relation) Insert(item Item, sign bool) error {
+	if err := r.validateItem(item); err != nil {
+		return err
+	}
+	k := item.Key()
+	if old, ok := r.tuples[k]; ok {
+		if old.Sign == sign {
+			return nil
+		}
+		return fmt.Errorf("%w: item %v is already asserted with sign %v in %q",
+			ErrContradiction, item, old.Sign, r.name)
+	}
+	r.tuples[k] = Tuple{Item: item.Clone(), Sign: sign}
+	r.idx0[item[0]] = append(r.idx0[item[0]], k)
+	return nil
+}
+
+// Assert inserts a positive tuple (the relation holds for every element of
+// the item).
+func (r *Relation) Assert(values ...string) error { return r.Insert(Item(values), true) }
+
+// Deny inserts a negated tuple (for every element of the item, the relation
+// does not hold).
+func (r *Relation) Deny(values ...string) error { return r.Insert(Item(values), false) }
+
+// Retract removes the tuple on exactly this item, reporting whether one was
+// present.
+func (r *Relation) Retract(item Item) bool {
+	k := item.Key()
+	_, ok := r.tuples[k]
+	if !ok {
+		return false
+	}
+	delete(r.tuples, k)
+	bucket := r.idx0[item[0]]
+	for i, bk := range bucket {
+		if bk == k {
+			r.idx0[item[0]] = append(bucket[:i], bucket[i+1:]...)
+			break
+		}
+	}
+	if len(r.idx0[item[0]]) == 0 {
+		delete(r.idx0, item[0])
+	}
+	return true
+}
+
+// Lookup returns the tuple stored on exactly this item, if any.
+func (r *Relation) Lookup(item Item) (Tuple, bool) {
+	t, ok := r.tuples[item.Key()]
+	return t, ok
+}
+
+// Tuples returns all tuples sorted by item key (deterministic).
+func (r *Relation) Tuples() []Tuple {
+	keys := make([]string, 0, len(r.tuples))
+	for k := range r.tuples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Tuple, len(keys))
+	for i, k := range keys {
+		out[i] = r.tuples[k]
+	}
+	return out
+}
+
+// Clone returns a deep copy of the relation (sharing the schema and
+// hierarchies, which are treated as immutable by convention once relations
+// are populated).
+func (r *Relation) Clone() *Relation {
+	c := NewRelation(r.name, r.schema)
+	c.mode = r.mode
+	for k, t := range r.tuples {
+		c.tuples[k] = Tuple{Item: t.Item.Clone(), Sign: t.Sign}
+		c.idx0[t.Item[0]] = append(c.idx0[t.Item[0]], k)
+	}
+	return c
+}
+
+// WithName returns a shallow-renamed clone.
+func (r *Relation) WithName(name string) *Relation {
+	c := r.Clone()
+	c.name = name
+	return c
+}
+
+// Subsumes reports whether item a subsumes item b: componentwise, every
+// coordinate of a is an is-a ancestor of (or equal to) the corresponding
+// coordinate of b. In the never-materialized product hierarchy this is
+// exactly "b is reachable from a" (§2.2).
+func (r *Relation) Subsumes(a, b Item) bool {
+	for i := range a {
+		if !r.schema.attrs[i].Domain.Subsumes(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// StrictlySubsumes reports a ⊐ b.
+func (r *Relation) StrictlySubsumes(a, b Item) bool {
+	return !a.Equal(b) && r.Subsumes(a, b)
+}
+
+// BindSubsumes is Subsumes over the binding graphs (is-a plus preference
+// edges); it orders tuples by binding strength but never defines
+// membership.
+func (r *Relation) BindSubsumes(a, b Item) bool {
+	for i := range a {
+		if !r.schema.attrs[i].Domain.BindSubsumes(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsAtomic reports whether every coordinate of the item is a hierarchy leaf.
+func (r *Relation) IsAtomic(item Item) bool {
+	for i, v := range item {
+		if !r.schema.attrs[i].Domain.IsLeaf(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// Applicable returns the tuples relevant to item: those whose items subsume
+// it (including a tuple exactly on the item), sorted by item key. These are
+// the nodes of the paper's tuple-binding graph for the item.
+//
+// The first-attribute index restricts the probe to the buckets of the
+// query coordinate's ancestors; the remaining coordinates are checked per
+// candidate. (The ablation benchmark BenchmarkAblationIndexVsScan measures
+// the win; applicableByScan is the reference implementation.)
+func (r *Relation) Applicable(item Item) []Tuple {
+	h := r.schema.attrs[0].Domain
+	if !h.Has(item[0]) {
+		return nil
+	}
+	probes := append(h.Ancestors(item[0]), item[0])
+	var out []Tuple
+	for _, p := range probes {
+		for _, k := range r.idx0[p] {
+			t := r.tuples[k]
+			if r.Subsumes(t.Item, item) {
+				out = append(out, t)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Item.Key() < out[j].Item.Key() })
+	return out
+}
+
+// applicableByScan is the index-free reference implementation of
+// Applicable, kept for tests and the ablation benchmark.
+func (r *Relation) applicableByScan(item Item) []Tuple {
+	var out []Tuple
+	for _, t := range r.Tuples() {
+		if r.Subsumes(t.Item, item) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// sortMostSpecificFirst orders tuples so that a tuple always precedes any
+// tuple that strictly subsumes it (a reverse linear extension of the
+// subsumption order), with a deterministic tie-break.
+func (r *Relation) sortMostSpecificFirst(ts []Tuple) []Tuple {
+	ordered := r.sortGeneralFirst(ts)
+	for i, j := 0, len(ordered)-1; i < j; i, j = i+1, j-1 {
+		ordered[i], ordered[j] = ordered[j], ordered[i]
+	}
+	return ordered
+}
+
+// sortGeneralFirst orders tuples so that a tuple always precedes any tuple
+// it strictly subsumes (a linear extension of the subsumption order — the
+// topological order over the subsumption graph used by Consolidate), with a
+// deterministic tie-break by item key.
+func (r *Relation) sortGeneralFirst(ts []Tuple) []Tuple {
+	n := len(ts)
+	// Kahn's algorithm over the strict-subsumption relation.
+	adj := make([][]int, n) // adj[i] = indices strictly subsumed by i
+	indeg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && r.StrictlySubsumes(ts[i].Item, ts[j].Item) {
+				adj[i] = append(adj[i], j)
+				indeg[j]++
+			}
+		}
+	}
+	frontier := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	byKey := func(a, b int) bool { return ts[a].Item.Key() < ts[b].Item.Key() }
+	sort.Slice(frontier, func(x, y int) bool { return byKey(frontier[x], frontier[y]) })
+	out := make([]Tuple, 0, n)
+	for len(frontier) > 0 {
+		i := frontier[0]
+		frontier = frontier[1:]
+		out = append(out, ts[i])
+		added := false
+		for _, j := range adj[i] {
+			indeg[j]--
+			if indeg[j] == 0 {
+				frontier = append(frontier, j)
+				added = true
+			}
+		}
+		if added {
+			sort.Slice(frontier, func(x, y int) bool { return byKey(frontier[x], frontier[y]) })
+		}
+	}
+	return out
+}

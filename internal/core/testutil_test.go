@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hrdb/internal/hierarchy"
+)
+
+// must is a test helper that fails fast on setup errors.
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// animalHierarchy builds the Figure 1a class hierarchy.
+func animalHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("Animal")
+	must(t, h.AddClass("Bird"))
+	must(t, h.AddClass("Canary", "Bird"))
+	must(t, h.AddInstance("Tweety", "Canary"))
+	must(t, h.AddClass("Penguin", "Bird"))
+	must(t, h.AddClass("GalapagosPenguin", "Penguin"))
+	must(t, h.AddClass("AmazingFlyingPenguin", "Penguin"))
+	must(t, h.AddInstance("Paul", "GalapagosPenguin"))
+	must(t, h.AddInstance("Patricia", "GalapagosPenguin", "AmazingFlyingPenguin"))
+	must(t, h.AddInstance("Pamela", "AmazingFlyingPenguin"))
+	must(t, h.AddInstance("Peter", "AmazingFlyingPenguin"))
+	return h
+}
+
+// fliesRelation builds the Figure 1b relation: birds fly, penguins do not,
+// amazing flying penguins do, and Peter (specifically) does.
+func fliesRelation(t *testing.T) *Relation {
+	t.Helper()
+	h := animalHierarchy(t)
+	s := MustSchema(Attribute{Name: "Creature", Domain: h})
+	r := NewRelation("Flies", s)
+	must(t, r.Assert("Bird"))
+	must(t, r.Deny("Penguin"))
+	must(t, r.Assert("AmazingFlyingPenguin"))
+	must(t, r.Assert("Peter"))
+	return r
+}
+
+// studentHierarchy builds Figure 2a.
+func studentHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("Student")
+	must(t, h.AddClass("ObsequiousStudent"))
+	must(t, h.AddInstance("John", "ObsequiousStudent"))
+	must(t, h.AddInstance("Esther", "ObsequiousStudent"))
+	return h
+}
+
+// teacherHierarchy builds Figure 2b.
+func teacherHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("Teacher")
+	must(t, h.AddClass("IncoherentTeacher"))
+	must(t, h.AddInstance("Fagin", "IncoherentTeacher"))
+	return h
+}
+
+// respectsRelation builds the Figure 3 relation (with the conflict-resolving
+// third tuple).
+func respectsRelation(t *testing.T) *Relation {
+	t.Helper()
+	s := MustSchema(
+		Attribute{Name: "Student", Domain: studentHierarchy(t)},
+		Attribute{Name: "Teacher", Domain: teacherHierarchy(t)},
+	)
+	r := NewRelation("Respects", s)
+	must(t, r.Assert("ObsequiousStudent", "Teacher"))
+	must(t, r.Deny("Student", "IncoherentTeacher"))
+	must(t, r.Assert("ObsequiousStudent", "IncoherentTeacher"))
+	return r
+}
+
+// elephantHierarchy builds Figure 4's animal hierarchy: elephants with
+// royal, African and Indian subclasses; Clyde a royal elephant; Appu both a
+// royal and an Indian elephant.
+func elephantHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("Animal")
+	must(t, h.AddClass("Elephant"))
+	must(t, h.AddClass("RoyalElephant", "Elephant"))
+	must(t, h.AddClass("AfricanElephant", "Elephant"))
+	must(t, h.AddClass("IndianElephant", "Elephant"))
+	must(t, h.AddInstance("Clyde", "RoyalElephant"))
+	must(t, h.AddInstance("Appu", "RoyalElephant", "IndianElephant"))
+	return h
+}
+
+// colorHierarchy is a flat domain of colors.
+func colorHierarchy(t *testing.T) *hierarchy.Hierarchy {
+	t.Helper()
+	h := hierarchy.New("Color")
+	for _, c := range []string{"Grey", "White", "Dappled"} {
+		must(t, h.AddInstance(c))
+	}
+	return h
+}
+
+// colorRelation builds Figure 4's Animal–Color relation: elephants are
+// grey; royal elephants are not grey but white; Clyde is not white but
+// dappled.
+func colorRelation(t *testing.T) *Relation {
+	t.Helper()
+	s := MustSchema(
+		Attribute{Name: "Animal", Domain: elephantHierarchy(t)},
+		Attribute{Name: "Color", Domain: colorHierarchy(t)},
+	)
+	r := NewRelation("AnimalColor", s)
+	must(t, r.Assert("Elephant", "Grey"))
+	must(t, r.Deny("RoyalElephant", "Grey"))
+	must(t, r.Assert("RoyalElephant", "White"))
+	must(t, r.Deny("Clyde", "White"))
+	must(t, r.Assert("Clyde", "Dappled"))
+	return r
+}
+
+// randomHierarchy builds a random irredundant DAG hierarchy with n nodes
+// beyond the root; roughly a third of the non-root nodes get a second,
+// incomparable parent (a comparable second parent would create a redundant
+// edge, switching the model off the fast off-path semantics).
+func randomHierarchy(rng *rand.Rand, domain string, n int) *hierarchy.Hierarchy {
+	h := hierarchy.New(domain)
+	names := []string{domain}
+	for i := 0; i < n; i++ {
+		name := domain + "_" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		p1 := names[rng.Intn(len(names))]
+		parents := []string{p1}
+		if rng.Intn(3) == 0 {
+			p2 := names[rng.Intn(len(names))]
+			if p2 != p1 && !h.Subsumes(p1, p2) && !h.Subsumes(p2, p1) {
+				parents = append(parents, p2)
+			}
+		}
+		if err := h.AddClass(name, parents...); err != nil {
+			panic(err)
+		}
+		names = append(names, name)
+	}
+	return h
+}
+
+// randomConsistentRelation builds a random relation over the given schema
+// and inserts random signed tuples, skipping any insertion that would make
+// the relation inconsistent. All hierarchies must be irredundant so that
+// the off-path pairwise consistency check is exact.
+func randomConsistentRelation(rng *rand.Rand, name string, s *Schema, tuples int) *Relation {
+	r := NewRelation(name, s)
+	var pools [][]string
+	for i := 0; i < s.Arity(); i++ {
+		pools = append(pools, s.Attr(i).Domain.Nodes())
+	}
+	for attempts := 0; attempts < tuples*8 && r.Len() < tuples; attempts++ {
+		item := make(Item, s.Arity())
+		for i := range item {
+			item[i] = pools[i][rng.Intn(len(pools[i]))]
+		}
+		sign := rng.Intn(2) == 0
+		if _, present := r.Lookup(item); present {
+			continue
+		}
+		if err := r.Insert(item, sign); err != nil {
+			continue
+		}
+		if len(r.Conflicts()) > 0 {
+			r.Retract(item)
+		}
+	}
+	return r
+}
+
+// extensionByEnumeration is the gold-standard oracle: evaluate every atomic
+// item of the schema directly. Exponential; tests only.
+func extensionByEnumeration(t *testing.T, r *Relation) map[string]bool {
+	t.Helper()
+	s := r.Schema()
+	var pools [][]string
+	for i := 0; i < s.Arity(); i++ {
+		pools = append(pools, s.Attr(i).Domain.AllLeaves())
+	}
+	out := map[string]bool{}
+	var rec func(prefix Item, i int)
+	rec = func(prefix Item, i int) {
+		if i == s.Arity() {
+			item := prefix.Clone()
+			v, err := r.Evaluate(item)
+			if err != nil {
+				t.Fatalf("oracle: Evaluate(%v): %v", item, err)
+			}
+			if v.Value {
+				out[item.Key()] = true
+			}
+			return
+		}
+		for _, n := range pools[i] {
+			rec(append(prefix, n), i+1)
+		}
+	}
+	rec(make(Item, 0, s.Arity()), 0)
+	return out
+}

@@ -1,0 +1,24 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the graph in Graphviz dot syntax. The label function maps node
+// ids to display labels; if nil, ids are used. Output is deterministic.
+func (g *Graph) DOT(name string, label func(int) string) string {
+	if label == nil {
+		label = func(id int) string { return fmt.Sprintf("n%d", id) }
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", name)
+	for _, id := range g.Nodes() {
+		fmt.Fprintf(&b, "  n%d [label=%q];\n", id, label(id))
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "  n%d -> n%d;\n", e[0], e[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

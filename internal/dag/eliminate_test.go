@@ -1,0 +1,155 @@
+package dag
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// eliminateAll removes every node in victims (in the given order) with the
+// node-elimination procedure and returns the surviving edge set as a sorted
+// string for comparison.
+func eliminateAll(t *testing.T, g *Graph, victims []int, keepRedundant bool) string {
+	t.Helper()
+	for _, v := range victims {
+		if err := g.Eliminate(v, keepRedundant); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var edges []string
+	for _, e := range g.Edges() {
+		edges = append(edges, fmt.Sprintf("%d→%d", e[0], e[1]))
+	}
+	sort.Strings(edges)
+	return fmt.Sprint(edges)
+}
+
+// TestEliminateOnPathOrderIndependence: under the keep-redundant (on-path)
+// variant, the final edge set after eliminating a set of nodes does not
+// depend on the elimination order — an edge j→k survives iff some path
+// j→k runs entirely through eliminated nodes.
+func TestEliminateOnPathOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(201))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(5)
+		base := randomDAG(rng, n, 0.4)
+		// Pick 2-3 victims.
+		perm := rng.Perm(n)
+		k := 2 + rng.Intn(2)
+		victims := append([]int(nil), perm[:k]...)
+
+		g1 := base.Clone()
+		order1 := append([]int(nil), victims...)
+		res1 := eliminateAll(t, g1, order1, true)
+
+		g2 := base.Clone()
+		order2 := append([]int(nil), victims...)
+		for i := range order2 { // reverse
+			j := len(order2) - 1 - i
+			if i < j {
+				order2[i], order2[j] = order2[j], order2[i]
+			}
+		}
+		res2 := eliminateAll(t, g2, order2, true)
+
+		if res1 != res2 {
+			t.Fatalf("trial %d: on-path elimination order-dependent\norder %v: %s\norder %v: %s",
+				trial, order1, res1, order2, res2)
+		}
+	}
+}
+
+// TestEliminateOffPathIrredundantOrderIndependence: starting from a
+// transitive reduction, off-path elimination yields the transitive
+// reduction of the induced order — which is unique, hence order-free.
+func TestEliminateOffPathIrredundantOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(203))
+	for trial := 0; trial < 40; trial++ {
+		n := 5 + rng.Intn(5)
+		base := randomDAG(rng, n, 0.4)
+		if err := base.TransitiveReduction(); err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(n)
+		k := 2 + rng.Intn(2)
+		victims := append([]int(nil), perm[:k]...)
+
+		g1 := base.Clone()
+		res1 := eliminateAll(t, g1, victims, false)
+
+		g2 := base.Clone()
+		rev := append([]int(nil), victims...)
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		res2 := eliminateAll(t, g2, rev, false)
+
+		if res1 != res2 {
+			t.Fatalf("trial %d: off-path elimination order-dependent on irredundant input\n%s\nvs\n%s",
+				trial, res1, res2)
+		}
+	}
+}
+
+func TestMaxIDAndEdgesAfterRemovals(t *testing.T) {
+	g := New()
+	a, b, c := g.AddNode(), g.AddNode(), g.AddNode()
+	if g.MaxID() != 3 {
+		t.Fatalf("MaxID = %d", g.MaxID())
+	}
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge(b, c); err != nil {
+		t.Fatal(err)
+	}
+	g.RemoveNode(b)
+	if g.MaxID() != 3 || g.Len() != 2 {
+		t.Fatalf("MaxID=%d Len=%d", g.MaxID(), g.Len())
+	}
+	if got := g.EdgeCount(); got != 0 {
+		t.Fatalf("EdgeCount = %d", got)
+	}
+	// Removed ids are not resurrected by new nodes.
+	d := g.AddNode()
+	if d != 3 {
+		t.Fatalf("new id = %d", d)
+	}
+}
+
+func TestRemoveEdgeMissing(t *testing.T) {
+	g := New()
+	a, b := g.AddNode(), g.AddNode()
+	g.RemoveEdge(a, b) // absent: no-op
+	g.RemoveEdge(9, b) // bad ids: no-op
+	if err := g.AddEdge(a, b); err != nil {
+		t.Fatal(err)
+	}
+	g.RemoveEdge(a, b)
+	if g.HasEdge(a, b) {
+		t.Fatal("edge survived removal")
+	}
+}
+
+// TestHasPathIndexSwitch: after enough stable queries the reachability
+// index kicks in and answers stay identical.
+func TestHasPathIndexSwitch(t *testing.T) {
+	rng := rand.New(rand.NewSource(207))
+	g := randomDAG(rng, 10, 0.3)
+	type q struct{ a, b int }
+	var qs []q
+	var want []bool
+	for a := 0; a < 10; a++ {
+		for b := 0; b < 10; b++ {
+			qs = append(qs, q{a, b})
+			want = append(want, g.HasPath(a, b))
+		}
+	}
+	// Re-query everything (the index is certainly built by now).
+	for i, query := range qs {
+		if got := g.HasPath(query.a, query.b); got != want[i] {
+			t.Fatalf("HasPath(%d,%d) changed after index switch", query.a, query.b)
+		}
+	}
+}

@@ -1,0 +1,553 @@
+// Package deductive implements a Datalog evaluator over the hierarchical
+// relational model, realizing the inference layer §2.1 of Jagadish
+// (SIGMOD '89) sketches: "through the use of logic programming, such as
+// PROLOG or DATALOG, on top of our hierarchical data model, we are able to
+// provide an even more powerful inference mechanism with no loss of
+// succinctness."
+//
+// The paper's own example: from the hierarchy alone one cannot conclude
+// "Tweety can travel far since flying things can travel far", because
+// FLYING-THINGS is an association (a relation), not a taxonomy class. With
+// a rule
+//
+//	travelsFar(X) :- flies(X).
+//
+// the deduction goes through, with flies/1 answered by the hierarchical
+// relation (inheritance, exceptions and all).
+//
+// EDB predicates are hierarchical relations (their extensions, computed
+// through tuple binding); the built-in isa/2 exposes class membership.
+// Rules are range-restricted Horn clauses with optional stratified
+// negation as failure (Not); evaluation is bottom-up to a fixpoint,
+// stratum by stratum, with EDB extensions memoized per Solve.
+package deductive
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hrdb/internal/core"
+	"hrdb/internal/hierarchy"
+)
+
+// Sentinel errors.
+var (
+	// ErrUnsafeRule indicates a head variable that no body literal binds,
+	// or a negated literal with a variable no positive literal binds.
+	ErrUnsafeRule = errors.New("deductive: unsafe rule (unbound head variable)")
+	// ErrUnknownPredicate indicates a body literal with no EDB relation,
+	// IDB rule, or builtin.
+	ErrUnknownPredicate = errors.New("deductive: unknown predicate")
+	// ErrArity indicates a literal whose argument count disagrees with its
+	// predicate.
+	ErrArity = errors.New("deductive: arity mismatch")
+	// ErrNotStratified indicates recursion through negation.
+	ErrNotStratified = errors.New("deductive: program is not stratified (recursion through negation)")
+)
+
+// Term is a Datalog term: a variable (capitalized by convention, but any
+// term constructed with V is a variable) or a constant.
+type Term struct {
+	Name string
+	Var  bool
+}
+
+// V builds a variable term.
+func V(name string) Term { return Term{Name: name, Var: true} }
+
+// C builds a constant term.
+func C(name string) Term { return Term{Name: name} }
+
+// String renders the term (variables with a leading '?').
+func (t Term) String() string {
+	if t.Var {
+		return "?" + t.Name
+	}
+	return t.Name
+}
+
+// Atom is a predicate applied to terms, optionally negated (negation as
+// failure; programs with negation must be stratified).
+type Atom struct {
+	Pred    string
+	Args    []Term
+	Negated bool
+}
+
+// A builds a positive atom.
+func A(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args} }
+
+// Not builds a negated atom for rule bodies.
+func Not(pred string, args ...Term) Atom { return Atom{Pred: pred, Args: args, Negated: true} }
+
+// String renders the atom.
+func (a Atom) String() string {
+	parts := make([]string, len(a.Args))
+	for i, t := range a.Args {
+		parts[i] = t.String()
+	}
+	neg := ""
+	if a.Negated {
+		neg = "not "
+	}
+	return fmt.Sprintf("%s%s(%s)", neg, a.Pred, strings.Join(parts, ", "))
+}
+
+// Rule is a Horn clause Head :- Body. An empty body makes the head a fact
+// (its arguments must then be constants).
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// Program is a set of rules over hierarchical EDB relations.
+type Program struct {
+	rules []Rule
+	edb   map[string]*core.Relation
+	// isa builtins: domain name → hierarchy, answering isa(x, Class).
+	taxonomies map[string]*hierarchy.Hierarchy
+}
+
+// NewProgram creates an empty program.
+func NewProgram() *Program {
+	return &Program{
+		edb:        map[string]*core.Relation{},
+		taxonomies: map[string]*hierarchy.Hierarchy{},
+	}
+}
+
+// AddEDB registers a hierarchical relation as the EDB predicate pred. Its
+// extension (positive atomic items) supplies the facts.
+func (p *Program) AddEDB(pred string, r *core.Relation) {
+	p.edb[pred] = r
+}
+
+// AddTaxonomy registers a hierarchy so rules can use the builtin
+// "isa"(x, C): true iff x is a node subsumed by C in any registered
+// taxonomy.
+func (p *Program) AddTaxonomy(h *hierarchy.Hierarchy) {
+	p.taxonomies[h.Domain()] = h
+}
+
+// AddRule appends a rule after validating safety: every head variable must
+// occur in a positive body literal, every variable of a negated literal
+// must occur in a positive one, and heads may not be negated.
+func (p *Program) AddRule(r Rule) error {
+	if r.Head.Negated {
+		return fmt.Errorf("%w: negated head in %s", ErrUnsafeRule, r)
+	}
+	bound := map[string]bool{}
+	for _, a := range r.Body {
+		if a.Negated {
+			continue
+		}
+		for _, t := range a.Args {
+			if t.Var {
+				bound[t.Name] = true
+			}
+		}
+	}
+	for _, t := range r.Head.Args {
+		if t.Var && !bound[t.Name] {
+			return fmt.Errorf("%w: %s in %s", ErrUnsafeRule, t, r)
+		}
+	}
+	for _, a := range r.Body {
+		if !a.Negated {
+			continue
+		}
+		for _, t := range a.Args {
+			if t.Var && !bound[t.Name] {
+				return fmt.Errorf("%w: %s in negated %s of %s", ErrUnsafeRule, t, a, r)
+			}
+		}
+	}
+	if len(r.Body) == 0 {
+		for _, t := range r.Head.Args {
+			if t.Var {
+				return fmt.Errorf("%w: fact %s has variables", ErrUnsafeRule, r.Head)
+			}
+		}
+	}
+	p.rules = append(p.rules, r)
+	return nil
+}
+
+// stratify assigns each IDB predicate a stratum such that positive
+// dependencies stay within or below the stratum and negative dependencies
+// point strictly below. EDB relations and builtins are stratum 0.
+func (p *Program) stratify() (map[string]int, int, error) {
+	stratum := map[string]int{}
+	idb := map[string]bool{}
+	for _, r := range p.rules {
+		idb[r.Head.Pred] = true
+		stratum[r.Head.Pred] = 0
+	}
+	n := len(stratum)
+	for round := 0; ; round++ {
+		changed := false
+		for _, r := range p.rules {
+			h := stratum[r.Head.Pred]
+			for _, a := range r.Body {
+				if !idb[a.Pred] {
+					continue // EDB/builtin: stratum 0
+				}
+				want := stratum[a.Pred]
+				if a.Negated {
+					want++
+				}
+				if want > h {
+					h = want
+					changed = true
+				}
+			}
+			stratum[r.Head.Pred] = h
+		}
+		if !changed {
+			break
+		}
+		if round > n+1 {
+			return nil, 0, ErrNotStratified
+		}
+	}
+	max := 0
+	for _, s := range stratum {
+		if s > max {
+			max = s
+		}
+	}
+	return stratum, max, nil
+}
+
+// MustRule is AddRule that panics (for static rule sets in tests/examples).
+func (p *Program) MustRule(head Atom, body ...Atom) {
+	if err := p.AddRule(Rule{Head: head, Body: body}); err != nil {
+		panic(err)
+	}
+}
+
+// fact is one derived ground tuple.
+type fact struct {
+	pred string
+	args []string
+}
+
+func (f fact) key() string { return f.pred + "\x1e" + strings.Join(f.args, "\x1f") }
+
+// binding is a variable assignment.
+type binding map[string]string
+
+// Solve computes the fixpoint of the program and returns the result set for
+// query: every grounding of the query atom's variables that is derivable.
+// Each result maps variable names to constants; a fully ground query that
+// holds yields one empty binding.
+func (p *Program) Solve(query Atom) ([]map[string]string, error) {
+	cache := newEDBCache()
+	derived, err := p.fixpoint(cache)
+	if err != nil {
+		return nil, err
+	}
+	var out []map[string]string
+	seen := map[string]bool{}
+	match := func(args []string) {
+		b := binding{}
+		if !unify(query.Args, args, b) {
+			return
+		}
+		res := map[string]string{}
+		for k, v := range b {
+			res[k] = v
+		}
+		k := fmt.Sprint(res)
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, res)
+		}
+	}
+
+	// Query against EDB/builtin/IDB uniformly.
+	facts, err := p.factsFor(query.Pred, len(query.Args), derived, cache)
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range facts {
+		match(f)
+	}
+	sort.Slice(out, func(i, j int) bool { return fmt.Sprint(out[i]) < fmt.Sprint(out[j]) })
+	return out, nil
+}
+
+// Holds reports whether a ground atom is derivable.
+func (p *Program) Holds(query Atom) (bool, error) {
+	for _, t := range query.Args {
+		if t.Var {
+			return false, fmt.Errorf("deductive: Holds needs a ground atom, got %s", query)
+		}
+	}
+	res, err := p.Solve(query)
+	if err != nil {
+		return false, err
+	}
+	return len(res) > 0, nil
+}
+
+// fixpoint evaluates the program stratum by stratum: within a stratum,
+// rules iterate to a fixpoint; negated literals consult only facts settled
+// by lower strata and the EDB (stratified negation as failure).
+func (p *Program) fixpoint(cache *edbCache) (map[string][][]string, error) {
+	stratum, max, err := p.stratify()
+	if err != nil {
+		return nil, err
+	}
+	derived := map[string][][]string{} // pred → ground args
+	index := map[string]bool{}
+
+	add := func(f fact) bool {
+		k := f.key()
+		if index[k] {
+			return false
+		}
+		index[k] = true
+		derived[f.pred] = append(derived[f.pred], f.args)
+		return true
+	}
+
+	for s := 0; s <= max; s++ {
+		// Facts from empty-body rules of this stratum.
+		for _, r := range p.rules {
+			if stratum[r.Head.Pred] != s || len(r.Body) != 0 {
+				continue
+			}
+			args := make([]string, len(r.Head.Args))
+			for i, t := range r.Head.Args {
+				args[i] = t.Name
+			}
+			add(fact{pred: r.Head.Pred, args: args})
+		}
+		for {
+			changed := false
+			for _, r := range p.rules {
+				if stratum[r.Head.Pred] != s || len(r.Body) == 0 {
+					continue
+				}
+				bindings, err := p.join(r.Body, derived, cache)
+				if err != nil {
+					return nil, err
+				}
+				for _, b := range bindings {
+					args := make([]string, len(r.Head.Args))
+					for i, t := range r.Head.Args {
+						if t.Var {
+							args[i] = b[t.Name]
+						} else {
+							args[i] = t.Name
+						}
+					}
+					if add(fact{pred: r.Head.Pred, args: args}) {
+						changed = true
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return derived, nil
+}
+
+// join enumerates the bindings satisfying all body atoms: positive literals
+// first (binding variables), then negated literals as filters over the
+// fully bound tuples.
+func (p *Program) join(body []Atom, derived map[string][][]string, cache *edbCache) ([]binding, error) {
+	var positives, negatives []Atom
+	for _, a := range body {
+		if a.Negated {
+			negatives = append(negatives, a)
+		} else {
+			positives = append(positives, a)
+		}
+	}
+	bindings := []binding{{}}
+	for _, atom := range positives {
+		facts, err := p.factsFor(atom.Pred, len(atom.Args), derived, cache)
+		if err != nil {
+			return nil, err
+		}
+		var next []binding
+		for _, b := range bindings {
+			for _, f := range facts {
+				nb := binding{}
+				for k, v := range b {
+					nb[k] = v
+				}
+				if unify(atom.Args, f, nb) {
+					next = append(next, nb)
+				}
+			}
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			return nil, nil
+		}
+	}
+	for _, atom := range negatives {
+		facts, err := p.factsFor(atom.Pred, len(atom.Args), derived, cache)
+		if err != nil {
+			return nil, err
+		}
+		present := make(map[string]bool, len(facts))
+		for _, f := range facts {
+			present[strings.Join(f, "\x1f")] = true
+		}
+		var next []binding
+		for _, b := range bindings {
+			ground := make([]string, len(atom.Args))
+			for i, t := range atom.Args {
+				if t.Var {
+					ground[i] = b[t.Name] // bound by safety validation
+				} else {
+					ground[i] = t.Name
+				}
+			}
+			if !present[strings.Join(ground, "\x1f")] {
+				next = append(next, b)
+			}
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			return nil, nil
+		}
+	}
+	return bindings, nil
+}
+
+// unify extends b so that terms match the ground args; false on clash.
+func unify(terms []Term, args []string, b binding) bool {
+	if len(terms) != len(args) {
+		return false
+	}
+	for i, t := range terms {
+		if !t.Var {
+			if t.Name != args[i] {
+				return false
+			}
+			continue
+		}
+		if v, ok := b[t.Name]; ok {
+			if v != args[i] {
+				return false
+			}
+			continue
+		}
+		b[t.Name] = args[i]
+	}
+	return true
+}
+
+// edbCache memoizes EDB extensions and the isa builtin for the duration of
+// one Solve, so repeated fixpoint iterations do not re-explicate relations.
+type edbCache struct {
+	ext map[string][][]string
+	isa [][]string
+}
+
+func newEDBCache() *edbCache { return &edbCache{ext: map[string][][]string{}} }
+
+// factsFor returns the ground facts of a predicate: derived IDB facts plus
+// the EDB relation's extension plus the isa builtin (both memoized per
+// Solve).
+func (p *Program) factsFor(pred string, arity int, derived map[string][][]string, cache *edbCache) ([][]string, error) {
+	var out [][]string
+	known := false
+
+	if r, ok := p.edb[pred]; ok {
+		known = true
+		if r.Schema().Arity() != arity {
+			return nil, fmt.Errorf("%w: %s/%d vs relation arity %d", ErrArity, pred, arity, r.Schema().Arity())
+		}
+		rows, ok := cache.ext[pred]
+		if !ok {
+			ext, err := r.Extension()
+			if err != nil {
+				return nil, err
+			}
+			rows = make([][]string, 0, len(ext))
+			for _, it := range ext {
+				rows = append(rows, append([]string(nil), it...))
+			}
+			cache.ext[pred] = rows
+		}
+		out = append(out, rows...)
+	}
+
+	if pred == "isa" {
+		known = true
+		if arity != 2 {
+			return nil, fmt.Errorf("%w: isa/%d (want isa/2)", ErrArity, arity)
+		}
+		if cache.isa == nil {
+			for _, d := range sortedDomains(p.taxonomies) {
+				h := p.taxonomies[d]
+				for _, anc := range h.Nodes() {
+					for _, desc := range h.Nodes() {
+						if h.Subsumes(anc, desc) {
+							cache.isa = append(cache.isa, []string{desc, anc})
+						}
+					}
+				}
+			}
+			if cache.isa == nil {
+				cache.isa = [][]string{}
+			}
+		}
+		out = append(out, cache.isa...)
+	}
+
+	if facts, ok := derived[pred]; ok {
+		known = true
+		for _, f := range facts {
+			if len(f) != arity {
+				return nil, fmt.Errorf("%w: %s used with arity %d and %d", ErrArity, pred, arity, len(f))
+			}
+			out = append(out, f)
+		}
+	} else {
+		// The predicate may be an IDB head that derived nothing (yet);
+		// count it as known if any rule defines it.
+		for _, r := range p.rules {
+			if r.Head.Pred == pred {
+				known = true
+				break
+			}
+		}
+	}
+
+	if !known {
+		return nil, fmt.Errorf("%w: %s/%d", ErrUnknownPredicate, pred, arity)
+	}
+	return out, nil
+}
+
+func sortedDomains(m map[string]*hierarchy.Hierarchy) []string {
+	out := make([]string, 0, len(m))
+	for d := range m {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,246 @@
+package deductive
+
+import (
+	"errors"
+	"testing"
+
+	"hrdb/internal/core"
+	"hrdb/internal/hierarchy"
+)
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fliesFixture builds the paper's Figure 1 Flies relation.
+func fliesFixture(t *testing.T) (*hierarchy.Hierarchy, *core.Relation) {
+	t.Helper()
+	h := hierarchy.New("Animal")
+	must(t, h.AddClass("Bird"))
+	must(t, h.AddClass("Canary", "Bird"))
+	must(t, h.AddInstance("Tweety", "Canary"))
+	must(t, h.AddClass("Penguin", "Bird"))
+	must(t, h.AddInstance("Paul", "Penguin"))
+	must(t, h.AddClass("AFP", "Penguin"))
+	must(t, h.AddInstance("Pamela", "AFP"))
+	s := core.MustSchema(core.Attribute{Name: "Creature", Domain: h})
+	r := core.NewRelation("flies", s)
+	must(t, r.Assert("Bird"))
+	must(t, r.Deny("Penguin"))
+	must(t, r.Assert("AFP"))
+	return h, r
+}
+
+// TestTweetyTravelsFar reproduces the paper's §2.1 example: flying things
+// travel far; the hierarchical relation supplies flies/1 with exceptions.
+func TestTweetyTravelsFar(t *testing.T) {
+	_, flies := fliesFixture(t)
+	p := NewProgram()
+	p.AddEDB("flies", flies)
+	p.MustRule(A("travelsFar", V("X")), A("flies", V("X")))
+
+	ok, err := p.Holds(A("travelsFar", C("Tweety")))
+	must(t, err)
+	if !ok {
+		t.Fatal("Tweety should travel far")
+	}
+	ok, err = p.Holds(A("travelsFar", C("Paul")))
+	must(t, err)
+	if ok {
+		t.Fatal("Paul (a penguin) should not travel far")
+	}
+	ok, err = p.Holds(A("travelsFar", C("Pamela")))
+	must(t, err)
+	if !ok {
+		t.Fatal("Pamela (an amazing flying penguin) should travel far")
+	}
+}
+
+// TestSolveEnumeratesBindings: open queries enumerate all derivations.
+func TestSolveEnumeratesBindings(t *testing.T) {
+	_, flies := fliesFixture(t)
+	p := NewProgram()
+	p.AddEDB("flies", flies)
+	p.MustRule(A("travelsFar", V("X")), A("flies", V("X")))
+	res, err := p.Solve(A("travelsFar", V("Who")))
+	must(t, err)
+	got := map[string]bool{}
+	for _, b := range res {
+		got[b["Who"]] = true
+	}
+	want := map[string]bool{"Tweety": true, "Pamela": true}
+	if len(got) != len(want) {
+		t.Fatalf("bindings = %v", got)
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("missing %s in %v", k, got)
+		}
+	}
+}
+
+// TestIsaBuiltin: taxonomy membership is available as isa/2.
+func TestIsaBuiltin(t *testing.T) {
+	h, flies := fliesFixture(t)
+	p := NewProgram()
+	p.AddEDB("flies", flies)
+	p.AddTaxonomy(h)
+	// Penguins that fly (AFP members only).
+	p.MustRule(A("flyingPenguin", V("X")),
+		A("isa", V("X"), C("Penguin")),
+		A("flies", V("X")),
+	)
+	res, err := p.Solve(A("flyingPenguin", V("X")))
+	must(t, err)
+	names := map[string]bool{}
+	for _, b := range res {
+		names[b["X"]] = true
+	}
+	// Pamela (instance) and AFP (a class counts as a node subsumed by
+	// Penguin, but flies/1 facts are atomic leaves: Pamela only).
+	if len(names) != 1 || !names["Pamela"] {
+		t.Fatalf("flyingPenguin = %v", names)
+	}
+}
+
+// TestRecursiveRules: transitive closure through IDB recursion.
+func TestRecursiveRules(t *testing.T) {
+	h := hierarchy.New("Node")
+	for _, n := range []string{"a", "b", "c", "d"} {
+		must(t, h.AddInstance(n))
+	}
+	s := core.MustSchema(
+		core.Attribute{Name: "From", Domain: h},
+		core.Attribute{Name: "To", Domain: h},
+	)
+	edge := core.NewRelation("edge", s)
+	must(t, edge.Assert("a", "b"))
+	must(t, edge.Assert("b", "c"))
+	must(t, edge.Assert("c", "d"))
+
+	p := NewProgram()
+	p.AddEDB("edge", edge)
+	p.MustRule(A("path", V("X"), V("Y")), A("edge", V("X"), V("Y")))
+	p.MustRule(A("path", V("X"), V("Z")), A("edge", V("X"), V("Y")), A("path", V("Y"), V("Z")))
+
+	ok, err := p.Holds(A("path", C("a"), C("d")))
+	must(t, err)
+	if !ok {
+		t.Fatal("a should reach d")
+	}
+	ok, err = p.Holds(A("path", C("d"), C("a")))
+	must(t, err)
+	if ok {
+		t.Fatal("d should not reach a")
+	}
+	res, err := p.Solve(A("path", C("a"), V("Y")))
+	must(t, err)
+	if len(res) != 3 {
+		t.Fatalf("paths from a = %v", res)
+	}
+}
+
+// TestFactsAndJoins: ground facts plus a two-literal join.
+func TestFactsAndJoins(t *testing.T) {
+	p := NewProgram()
+	p.MustRule(A("parent", C("alice"), C("bob")))
+	p.MustRule(A("parent", C("bob"), C("carol")))
+	p.MustRule(A("grandparent", V("X"), V("Z")),
+		A("parent", V("X"), V("Y")), A("parent", V("Y"), V("Z")))
+	ok, err := p.Holds(A("grandparent", C("alice"), C("carol")))
+	must(t, err)
+	if !ok {
+		t.Fatal("alice is carol's grandparent")
+	}
+	res, err := p.Solve(A("grandparent", V("G"), V("C")))
+	must(t, err)
+	if len(res) != 1 {
+		t.Fatalf("res = %v", res)
+	}
+}
+
+// TestUnsafeRuleRejected.
+func TestUnsafeRuleRejected(t *testing.T) {
+	p := NewProgram()
+	err := p.AddRule(Rule{Head: A("q", V("X"))})
+	if !errors.Is(err, ErrUnsafeRule) {
+		t.Fatalf("fact with variable: %v", err)
+	}
+	err = p.AddRule(Rule{Head: A("q", V("X")), Body: []Atom{A("p", V("Y"))}})
+	if !errors.Is(err, ErrUnsafeRule) {
+		t.Fatalf("unbound head var: %v", err)
+	}
+}
+
+// TestUnknownPredicate and arity errors.
+func TestUnknownPredicateAndArity(t *testing.T) {
+	_, flies := fliesFixture(t)
+	p := NewProgram()
+	p.AddEDB("flies", flies)
+	p.MustRule(A("q", V("X")), A("flies", V("X")))
+	if _, err := p.Solve(A("nothing", V("X"))); !errors.Is(err, ErrUnknownPredicate) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := p.Solve(A("flies", V("X"), V("Y"))); !errors.Is(err, ErrArity) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := p.Solve(A("isa", V("X"))); !errors.Is(err, ErrArity) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := p.Holds(A("q", V("X"))); err == nil {
+		t.Fatal("Holds with variable accepted")
+	}
+}
+
+// TestEmptyIDBPredicateIsKnown: a head predicate that derives nothing still
+// answers (with no results).
+func TestEmptyIDBPredicateIsKnown(t *testing.T) {
+	_, flies := fliesFixture(t)
+	p := NewProgram()
+	p.AddEDB("flies", flies)
+	p.MustRule(A("q", V("X")), A("flies", V("X")), A("flies", V("X")))
+	// r depends on nothing derivable
+	p.MustRule(A("r", V("X")), A("q", V("X")), A("impossible", V("X")))
+	if _, err := p.Solve(A("r", V("X"))); !errors.Is(err, ErrUnknownPredicate) {
+		t.Fatalf("got %v", err) // "impossible" really is unknown
+	}
+}
+
+// TestRuleAndAtomStrings.
+func TestRuleAndAtomStrings(t *testing.T) {
+	r := Rule{Head: A("q", V("X"), C("a")), Body: []Atom{A("p", V("X"))}}
+	if got := r.String(); got != "q(?X, a) :- p(?X)." {
+		t.Fatalf("rule = %q", got)
+	}
+	f := Rule{Head: A("p", C("a"))}
+	if got := f.String(); got != "p(a)." {
+		t.Fatalf("fact = %q", got)
+	}
+}
+
+// TestExceptionsVisibleThroughRules: changing the hierarchical relation
+// changes deductions (the database is the single source of truth).
+func TestExceptionsVisibleThroughRules(t *testing.T) {
+	h, flies := fliesFixture(t)
+	p := NewProgram()
+	p.AddEDB("flies", flies)
+	p.MustRule(A("travelsFar", V("X")), A("flies", V("X")))
+
+	// Add a new canary: it immediately travels far.
+	must(t, h.AddInstance("Bibi", "Canary"))
+	ok, err := p.Holds(A("travelsFar", C("Bibi")))
+	must(t, err)
+	if !ok {
+		t.Fatal("Bibi should travel far")
+	}
+	// Ground Bibi with an exception: no longer derivable.
+	must(t, flies.Deny("Bibi"))
+	ok, err = p.Holds(A("travelsFar", C("Bibi")))
+	must(t, err)
+	if ok {
+		t.Fatal("grounded Bibi should not travel far")
+	}
+}

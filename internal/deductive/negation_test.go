@@ -1,0 +1,108 @@
+package deductive
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestStratifiedNegation: grounded(X) :- isa(X, Bird), not flies(X) — the
+// penguins (and only they) are grounded.
+func TestStratifiedNegation(t *testing.T) {
+	h, flies := fliesFixture(t)
+	p := NewProgram()
+	p.AddEDB("flies", flies)
+	p.AddTaxonomy(h)
+	// bird(X) :- isa(X, Bird). (restrict to leaves via flies? isa yields
+	// classes too; filter to instances by joining with isa twice is messy —
+	// grounded over all Bird nodes is fine for the test.)
+	p.MustRule(A("grounded", V("X")),
+		A("isa", V("X"), C("Bird")),
+		Not("flies", V("X")),
+	)
+	ok, err := p.Holds(A("grounded", C("Paul")))
+	must(t, err)
+	if !ok {
+		t.Fatal("Paul should be grounded")
+	}
+	ok, err = p.Holds(A("grounded", C("Tweety")))
+	must(t, err)
+	if ok {
+		t.Fatal("Tweety is not grounded")
+	}
+	ok, err = p.Holds(A("grounded", C("Pamela")))
+	must(t, err)
+	if ok {
+		t.Fatal("Pamela (AFP) is not grounded")
+	}
+}
+
+// TestNegationOverIDB: negation of a derived predicate forces a second
+// stratum.
+func TestNegationOverIDB(t *testing.T) {
+	p := NewProgram()
+	p.MustRule(A("node", C("a")))
+	p.MustRule(A("node", C("b")))
+	p.MustRule(A("node", C("c")))
+	p.MustRule(A("edge", C("a"), C("b")))
+	p.MustRule(A("covered", V("Y")), A("edge", V("X"), V("Y")))
+	p.MustRule(A("root", V("X")), A("node", V("X")), Not("covered", V("X")))
+
+	res, err := p.Solve(A("root", V("X")))
+	must(t, err)
+	got := map[string]bool{}
+	for _, b := range res {
+		got[b["X"]] = true
+	}
+	if len(got) != 2 || !got["a"] || !got["c"] {
+		t.Fatalf("roots = %v", got)
+	}
+}
+
+// TestNotStratifiedRejected: p :- not q; q :- not p.
+func TestNotStratifiedRejected(t *testing.T) {
+	p := NewProgram()
+	p.MustRule(A("item", C("x")))
+	p.MustRule(A("p", V("X")), A("item", V("X")), Not("q", V("X")))
+	p.MustRule(A("q", V("X")), A("item", V("X")), Not("p", V("X")))
+	if _, err := p.Solve(A("p", V("X"))); !errors.Is(err, ErrNotStratified) {
+		t.Fatalf("got %v, want ErrNotStratified", err)
+	}
+}
+
+// TestNegationSafety: variables in negated literals must be positively
+// bound; negated heads are rejected.
+func TestNegationSafety(t *testing.T) {
+	p := NewProgram()
+	err := p.AddRule(Rule{
+		Head: A("q", V("X")),
+		Body: []Atom{A("item", V("X")), Not("other", V("Y"))},
+	})
+	if !errors.Is(err, ErrUnsafeRule) {
+		t.Fatalf("unbound negated var: %v", err)
+	}
+	err = p.AddRule(Rule{Head: Not("q", C("a"))})
+	if !errors.Is(err, ErrUnsafeRule) {
+		t.Fatalf("negated head: %v", err)
+	}
+}
+
+// TestNegatedAtomString.
+func TestNegatedAtomString(t *testing.T) {
+	if got := Not("p", V("X")).String(); got != "not p(?X)" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// TestNegationWithConstants: ground negative filters.
+func TestNegationWithConstants(t *testing.T) {
+	p := NewProgram()
+	p.MustRule(A("likes", C("alice"), C("tea")))
+	p.MustRule(A("person", C("alice")))
+	p.MustRule(A("person", C("bob")))
+	p.MustRule(A("teaHater", V("X")), A("person", V("X")), Not("likes", V("X"), C("tea")))
+	res, err := p.Solve(A("teaHater", V("X")))
+	must(t, err)
+	if len(res) != 1 || res[0]["X"] != "bob" {
+		t.Fatalf("res = %v", res)
+	}
+}

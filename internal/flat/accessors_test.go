@@ -1,0 +1,10 @@
+package flat
+
+import "testing"
+
+func TestNameAccessor(t *testing.T) {
+	r := New("Loves", "A")
+	if r.Name() != "Loves" {
+		t.Fatalf("Name = %q", r.Name())
+	}
+}

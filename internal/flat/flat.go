@@ -1,0 +1,287 @@
+// Package flat implements a standard (non-hierarchical) relational engine.
+//
+// It serves two roles in the reproduction of Jagadish (SIGMOD '89):
+//
+//   - Semantic oracle: every hierarchical relation is equivalent to a flat
+//     relation (its extension); the algebra package's operators are
+//     property-tested to commute with flattening into this engine.
+//
+//   - Baseline: the paper's footnote 1 sketches the traditional alternative
+//     to class-valued tuples — store class membership in a separate
+//     relation and answer queries with repeated joins. MembershipBaseline
+//     implements that design so the benchmarks can measure the degradation
+//     the paper predicts.
+package flat
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ErrArity is returned when a row's length does not match the relation's
+// attribute count, or when set operations see incompatible headers.
+var ErrArity = errors.New("flat: arity mismatch")
+
+// Row is one tuple of atomic values.
+type Row []string
+
+// Key returns a canonical map key for the row.
+func (r Row) Key() string { return strings.Join(r, "\x1f") }
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row { return append(Row(nil), r...) }
+
+// Relation is a set of rows over named attributes.
+type Relation struct {
+	name  string
+	attrs []string
+	index map[string]int
+	rows  map[string]Row
+}
+
+// New creates an empty flat relation.
+func New(name string, attrs ...string) *Relation {
+	idx := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		idx[a] = i
+	}
+	return &Relation{name: name, attrs: append([]string(nil), attrs...), index: idx, rows: map[string]Row{}}
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Attrs returns the attribute names in order.
+func (r *Relation) Attrs() []string { return append([]string(nil), r.attrs...) }
+
+// Len returns the number of rows.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Insert adds a row (duplicates are absorbed, as in a set).
+func (r *Relation) Insert(values ...string) error {
+	if len(values) != len(r.attrs) {
+		return fmt.Errorf("%w: row %v vs attrs %v", ErrArity, values, r.attrs)
+	}
+	row := Row(values).Clone()
+	r.rows[row.Key()] = row
+	return nil
+}
+
+// Has reports whether the exact row is present.
+func (r *Relation) Has(values ...string) bool {
+	_, ok := r.rows[Row(values).Key()]
+	return ok
+}
+
+// Rows returns all rows sorted by key.
+func (r *Relation) Rows() []Row {
+	keys := make([]string, 0, len(r.rows))
+	for k := range r.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Row, len(keys))
+	for i, k := range keys {
+		out[i] = r.rows[k]
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (r *Relation) Clone() *Relation {
+	c := New(r.name, r.attrs...)
+	for k, row := range r.rows {
+		c.rows[k] = row.Clone()
+	}
+	return c
+}
+
+// Equal reports whether two relations have the same attributes and rows.
+func (r *Relation) Equal(o *Relation) bool {
+	if len(r.attrs) != len(o.attrs) || len(r.rows) != len(o.rows) {
+		return false
+	}
+	for i := range r.attrs {
+		if r.attrs[i] != o.attrs[i] {
+			return false
+		}
+	}
+	for k := range r.rows {
+		if _, ok := o.rows[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Select returns the rows satisfying pred.
+func (r *Relation) Select(pred func(Row) bool) *Relation {
+	out := New(r.name, r.attrs...)
+	for k, row := range r.rows {
+		if pred(row) {
+			out.rows[k] = row
+		}
+	}
+	return out
+}
+
+// SelectEq selects rows whose named attribute equals value.
+func (r *Relation) SelectEq(attr, value string) (*Relation, error) {
+	i, ok := r.index[attr]
+	if !ok {
+		return nil, fmt.Errorf("flat: no attribute %q in %q", attr, r.name)
+	}
+	return r.Select(func(row Row) bool { return row[i] == value }), nil
+}
+
+// Project returns the relation restricted to the named attributes
+// (duplicates collapse).
+func (r *Relation) Project(attrs ...string) (*Relation, error) {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		j, ok := r.index[a]
+		if !ok {
+			return nil, fmt.Errorf("flat: no attribute %q in %q", a, r.name)
+		}
+		cols[i] = j
+	}
+	out := New(r.name, attrs...)
+	for _, row := range r.rows {
+		proj := make(Row, len(cols))
+		for i, c := range cols {
+			proj[i] = row[c]
+		}
+		out.rows[proj.Key()] = proj
+	}
+	return out, nil
+}
+
+// sameHeader verifies union compatibility.
+func (r *Relation) sameHeader(o *Relation) error {
+	if len(r.attrs) != len(o.attrs) {
+		return fmt.Errorf("%w: %v vs %v", ErrArity, r.attrs, o.attrs)
+	}
+	for i := range r.attrs {
+		if r.attrs[i] != o.attrs[i] {
+			return fmt.Errorf("%w: %v vs %v", ErrArity, r.attrs, o.attrs)
+		}
+	}
+	return nil
+}
+
+// Union returns r ∪ o.
+func (r *Relation) Union(o *Relation) (*Relation, error) {
+	if err := r.sameHeader(o); err != nil {
+		return nil, err
+	}
+	out := r.Clone()
+	for k, row := range o.rows {
+		out.rows[k] = row
+	}
+	return out, nil
+}
+
+// Intersect returns r ∩ o.
+func (r *Relation) Intersect(o *Relation) (*Relation, error) {
+	if err := r.sameHeader(o); err != nil {
+		return nil, err
+	}
+	out := New(r.name, r.attrs...)
+	for k, row := range r.rows {
+		if _, ok := o.rows[k]; ok {
+			out.rows[k] = row
+		}
+	}
+	return out, nil
+}
+
+// Difference returns r − o.
+func (r *Relation) Difference(o *Relation) (*Relation, error) {
+	if err := r.sameHeader(o); err != nil {
+		return nil, err
+	}
+	out := New(r.name, r.attrs...)
+	for k, row := range r.rows {
+		if _, ok := o.rows[k]; !ok {
+			out.rows[k] = row
+		}
+	}
+	return out, nil
+}
+
+// NaturalJoin joins on all shared attribute names. The result's header is
+// r's attributes followed by o's non-shared attributes.
+func (r *Relation) NaturalJoin(o *Relation) *Relation {
+	shared := [][2]int{} // (index in r, index in o)
+	var oOnly []int
+	for j, a := range o.attrs {
+		if i, ok := r.index[a]; ok {
+			shared = append(shared, [2]int{i, j})
+		} else {
+			oOnly = append(oOnly, j)
+		}
+	}
+	outAttrs := append([]string(nil), r.attrs...)
+	for _, j := range oOnly {
+		outAttrs = append(outAttrs, o.attrs[j])
+	}
+	out := New(r.name+"⋈"+o.name, outAttrs...)
+
+	// Hash join on the shared attributes.
+	hash := map[string][]Row{}
+	for _, row := range o.rows {
+		parts := make([]string, len(shared))
+		for i, s := range shared {
+			parts[i] = row[s[1]]
+		}
+		k := strings.Join(parts, "\x1f")
+		hash[k] = append(hash[k], row)
+	}
+	for _, row := range r.rows {
+		parts := make([]string, len(shared))
+		for i, s := range shared {
+			parts[i] = row[s[0]]
+		}
+		k := strings.Join(parts, "\x1f")
+		for _, orow := range hash[k] {
+			joined := make(Row, 0, len(outAttrs))
+			joined = append(joined, row...)
+			for _, j := range oOnly {
+				joined = append(joined, orow[j])
+			}
+			out.rows[joined.Key()] = joined
+		}
+	}
+	return out
+}
+
+// Table renders the relation as an aligned text table, deterministic.
+func (r *Relation) Table() string {
+	var b strings.Builder
+	widths := make([]int, len(r.attrs))
+	for i, a := range r.attrs {
+		widths[i] = len(a)
+	}
+	rows := r.Rows()
+	for _, row := range rows {
+		for i, v := range row {
+			if len(v) > widths[i] {
+				widths[i] = len(v)
+			}
+		}
+	}
+	fmt.Fprintf(&b, "%s\n", r.name)
+	for i, a := range r.attrs {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], a)
+	}
+	b.WriteString("\n")
+	for _, row := range rows {
+		for i, v := range row {
+			fmt.Fprintf(&b, "%-*s  ", widths[i], v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

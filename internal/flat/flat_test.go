@@ -1,0 +1,270 @@
+package flat
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func loves(t *testing.T) *Relation {
+	t.Helper()
+	r := New("Loves", "Who", "Whom")
+	for _, row := range [][2]string{
+		{"Jack", "Tweety"}, {"Jack", "Pamela"}, {"Jill", "Tweety"}, {"Jill", "Peter"},
+	} {
+		if err := r.Insert(row[0], row[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestInsertAndHas(t *testing.T) {
+	r := loves(t)
+	if r.Len() != 4 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if !r.Has("Jack", "Tweety") || r.Has("Jack", "Peter") {
+		t.Fatal("Has wrong")
+	}
+	// Duplicate insert absorbed.
+	if err := r.Insert("Jack", "Tweety"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 {
+		t.Fatal("duplicate changed Len")
+	}
+	if err := r.Insert("onlyone"); !errors.Is(err, ErrArity) {
+		t.Fatalf("arity: got %v", err)
+	}
+}
+
+func TestRowsSortedAndCloneIndependent(t *testing.T) {
+	r := loves(t)
+	rows := r.Rows()
+	for i := 1; i < len(rows); i++ {
+		if rows[i-1].Key() >= rows[i].Key() {
+			t.Fatal("rows not sorted")
+		}
+	}
+	c := r.Clone()
+	if err := c.Insert("Extra", "Row"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 4 || c.Len() != 5 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestSelectEq(t *testing.T) {
+	r := loves(t)
+	s, err := r.SelectEq("Who", "Jack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || !s.Has("Jack", "Tweety") || !s.Has("Jack", "Pamela") {
+		t.Fatalf("select = %v", s.Rows())
+	}
+	if _, err := r.SelectEq("Nope", "x"); err == nil {
+		t.Fatal("unknown attr accepted")
+	}
+}
+
+func TestProject(t *testing.T) {
+	r := loves(t)
+	p, err := r.Project("Whom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Row{{"Pamela"}, {"Peter"}, {"Tweety"}}
+	if !reflect.DeepEqual(p.Rows(), want) {
+		t.Fatalf("project = %v", p.Rows())
+	}
+	if _, err := r.Project("Nope"); err == nil {
+		t.Fatal("unknown attr accepted")
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	a := New("A", "X")
+	b := New("B", "X")
+	for _, v := range []string{"1", "2", "3"} {
+		_ = a.Insert(v)
+	}
+	for _, v := range []string{"2", "3", "4"} {
+		_ = b.Insert(v)
+	}
+	u, err := a.Union(b)
+	if err != nil || u.Len() != 4 {
+		t.Fatalf("union: %v %v", err, u.Rows())
+	}
+	i, err := a.Intersect(b)
+	if err != nil || i.Len() != 2 {
+		t.Fatalf("intersect: %v %v", err, i.Rows())
+	}
+	d, err := a.Difference(b)
+	if err != nil || d.Len() != 1 || !d.Has("1") {
+		t.Fatalf("difference: %v %v", err, d.Rows())
+	}
+	bad := New("C", "X", "Y")
+	if _, err := a.Union(bad); !errors.Is(err, ErrArity) {
+		t.Fatalf("incompatible union: %v", err)
+	}
+	if _, err := a.Intersect(bad); !errors.Is(err, ErrArity) {
+		t.Fatalf("incompatible intersect: %v", err)
+	}
+	if _, err := a.Difference(bad); !errors.Is(err, ErrArity) {
+		t.Fatalf("incompatible difference: %v", err)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := loves(t)
+	b := loves(t)
+	if !a.Equal(b) {
+		t.Fatal("equal relations not Equal")
+	}
+	_ = b.Insert("Jill", "Pamela")
+	if a.Equal(b) {
+		t.Fatal("different rows Equal")
+	}
+	c := New("C", "Who")
+	if a.Equal(c) {
+		t.Fatal("different headers Equal")
+	}
+}
+
+func TestNaturalJoin(t *testing.T) {
+	color := New("Color", "Animal", "Color")
+	_ = color.Insert("Clyde", "Dappled")
+	_ = color.Insert("Appu", "White")
+	size := New("Size", "Animal", "Enclosure")
+	_ = size.Insert("Clyde", "3000")
+	_ = size.Insert("Appu", "2000")
+	j := color.NaturalJoin(size)
+	if !reflect.DeepEqual(j.Attrs(), []string{"Animal", "Color", "Enclosure"}) {
+		t.Fatalf("attrs = %v", j.Attrs())
+	}
+	if j.Len() != 2 || !j.Has("Clyde", "Dappled", "3000") || !j.Has("Appu", "White", "2000") {
+		t.Fatalf("join = %v", j.Rows())
+	}
+	// Projection back loses nothing here.
+	back, err := j.Project("Animal", "Color")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(color.Clone()) {
+		// names differ; compare rows
+		if back.Len() != 2 || !back.Has("Clyde", "Dappled") {
+			t.Fatalf("project back = %v", back.Rows())
+		}
+	}
+}
+
+func TestJoinNoSharedAttrsIsCrossProduct(t *testing.T) {
+	a := New("A", "X")
+	_ = a.Insert("1")
+	_ = a.Insert("2")
+	b := New("B", "Y")
+	_ = b.Insert("u")
+	j := a.NaturalJoin(b)
+	if j.Len() != 2 || !j.Has("1", "u") || !j.Has("2", "u") {
+		t.Fatalf("cross = %v", j.Rows())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	r := loves(t)
+	tab := r.Table()
+	if tab != r.Table() {
+		t.Fatal("Table not deterministic")
+	}
+	for _, want := range []string{"Loves", "Who", "Whom", "Jack", "Tweety"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+// baselineFixture builds the Figure 1 animal hierarchy as a membership
+// baseline with the Flies facts.
+func baselineFixture(t *testing.T) *MembershipBaseline {
+	t.Helper()
+	mb := NewMembershipBaseline([]string{"Creature"}, map[string]string{"Creature": "Animal"})
+	edges := [][2]string{
+		{"Animal", "Bird"}, {"Bird", "Canary"}, {"Canary", "Tweety"},
+		{"Bird", "Penguin"}, {"Penguin", "GalapagosPenguin"}, {"Penguin", "AmazingFlyingPenguin"},
+		{"GalapagosPenguin", "Paul"}, {"GalapagosPenguin", "Patricia"},
+		{"AmazingFlyingPenguin", "Patricia"}, {"AmazingFlyingPenguin", "Pamela"},
+		{"AmazingFlyingPenguin", "Peter"},
+	}
+	for _, e := range edges {
+		if err := mb.AddEdge("Animal", e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, f := range []struct {
+		v    string
+		sign bool
+	}{{"Bird", true}, {"Penguin", false}, {"AmazingFlyingPenguin", true}, {"Peter", true}} {
+		if err := mb.AddFact(f.sign, f.v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mb
+}
+
+var depth = map[string]int{
+	"Animal": 0, "Bird": 1, "Canary": 2, "Penguin": 2,
+	"Tweety": 3, "GalapagosPenguin": 3, "AmazingFlyingPenguin": 3,
+	"Paul": 4, "Patricia": 4, "Pamela": 4, "Peter": 4,
+}
+
+func depthOf(attr, node string) int { return depth[node] }
+
+// TestBaselineAncestorsByJoins: climbing Tweety's hierarchy takes one join
+// per level.
+func TestBaselineAncestorsByJoins(t *testing.T) {
+	mb := baselineFixture(t)
+	anc, joins := mb.AncestorsByJoins("Animal", "Tweety")
+	want := map[string]bool{"Tweety": true, "Canary": true, "Bird": true, "Animal": true}
+	if !reflect.DeepEqual(anc, want) {
+		t.Fatalf("ancestors = %v", anc)
+	}
+	// 3 levels up plus the final empty-frontier join.
+	if joins != 4 {
+		t.Fatalf("joins = %d, want 4", joins)
+	}
+}
+
+// TestBaselineHolds: the baseline reproduces the Figure 1 answers, at the
+// cost of repeated joins.
+func TestBaselineHolds(t *testing.T) {
+	mb := baselineFixture(t)
+	cases := []struct {
+		who  string
+		want bool
+	}{
+		{"Tweety", true}, {"Paul", false}, {"Pamela", true}, {"Peter", true},
+	}
+	for _, c := range cases {
+		got, joins := mb.Holds([]string{"Creature"}, []string{c.who}, depthOf)
+		if got != c.want {
+			t.Errorf("Holds(%s) = %v, want %v", c.who, got, c.want)
+		}
+		if joins < 2 {
+			t.Errorf("Holds(%s) used %d joins; the baseline must pay join costs", c.who, joins)
+		}
+	}
+}
+
+func TestBaselineDomains(t *testing.T) {
+	mb := baselineFixture(t)
+	if got := mb.SortedDomainNames(); !reflect.DeepEqual(got, []string{"Animal"}) {
+		t.Fatalf("domains = %v", got)
+	}
+	if FactKey([]string{"a"}, true) == FactKey([]string{"a"}, false) {
+		t.Fatal("FactKey ignores sign")
+	}
+}

@@ -1,0 +1,218 @@
+package frames
+
+import (
+	"errors"
+	"testing"
+)
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// elephants builds the paper's Figure 4 world as frames: elephants are
+// grey; royal elephants white; Clyde dappled.
+func elephants(t *testing.T) *KB {
+	t.Helper()
+	kb := NewKB()
+	must(t, kb.DefClass("Elephant"))
+	must(t, kb.DefClass("RoyalElephant", "Elephant"))
+	must(t, kb.DefClass("IndianElephant", "Elephant"))
+	must(t, kb.DefInstance("Clyde", "RoyalElephant"))
+	must(t, kb.DefInstance("Appu", "RoyalElephant", "IndianElephant"))
+	must(t, kb.Set("Elephant", "color", "grey"))
+	must(t, kb.Set("RoyalElephant", "color", "white"))
+	must(t, kb.Set("Clyde", "color", "dappled"))
+	return kb
+}
+
+// TestInheritanceWithAutoCancellation: Set generates the explicit
+// cancellations, so each frame sees exactly one color.
+func TestInheritanceWithAutoCancellation(t *testing.T) {
+	kb := elephants(t)
+	cases := []struct {
+		frame, want string
+	}{
+		{"Elephant", "grey"},
+		{"RoyalElephant", "white"},
+		{"IndianElephant", "grey"},
+		{"Clyde", "dappled"},
+		{"Appu", "white"}, // royal binds tighter than elephant; Indian is silent
+	}
+	for _, c := range cases {
+		got, ok, err := kb.Get(c.frame, "color")
+		if err != nil {
+			t.Errorf("Get(%s): %v", c.frame, err)
+			continue
+		}
+		if !ok || got != c.want {
+			t.Errorf("Get(%s) = %q/%v, want %q", c.frame, got, ok, c.want)
+		}
+	}
+}
+
+// TestAutoCancellationGeneratesNegation: the slot relation contains the
+// explicit cancellation tuples of Figure 4.
+func TestAutoCancellationGeneratesNegation(t *testing.T) {
+	kb := elephants(t)
+	rel, err := kb.SlotRelation("color")
+	must(t, err)
+	// Royal elephants are not grey, Clyde is not white: Figure 4's rows.
+	negations := 0
+	for _, tu := range rel.Tuples() {
+		if !tu.Sign {
+			negations++
+		}
+	}
+	if negations < 2 {
+		t.Fatalf("expected explicit cancellations, tuples: %v", rel.Tuples())
+	}
+	if err := rel.CheckConsistency(); err != nil {
+		t.Fatalf("slot relation inconsistent: %v", err)
+	}
+}
+
+// TestUnknownSlotAndFrame error paths.
+func TestUnknownSlotAndFrame(t *testing.T) {
+	kb := elephants(t)
+	if _, _, err := kb.Get("Nobody", "color"); !errors.Is(err, ErrUnknownFrame) {
+		t.Fatalf("got %v", err)
+	}
+	if _, _, err := kb.Get("Clyde", "weight"); !errors.Is(err, ErrUnknownSlot) {
+		t.Fatalf("got %v", err)
+	}
+	if err := kb.Set("Nobody", "color", "x"); !errors.Is(err, ErrUnknownFrame) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := kb.ResolveLeftPrecedence("Nobody", "color"); !errors.Is(err, ErrUnknownFrame) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := kb.ResolveLeftPrecedence("Clyde", "weight"); !errors.Is(err, ErrUnknownSlot) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestUnsetSlotIsUnknown: a frame with no applicable value reports !ok.
+func TestUnsetSlotIsUnknown(t *testing.T) {
+	kb := NewKB()
+	must(t, kb.DefClass("Rock"))
+	must(t, kb.DefClass("Bird"))
+	must(t, kb.Set("Bird", "locomotion", "flies"))
+	_, ok, err := kb.Get("Rock", "locomotion")
+	must(t, err)
+	if ok {
+		t.Fatal("rocks have no locomotion")
+	}
+}
+
+// TestMultipleInheritanceConflictAndLeftPrecedence: the paper's LISP
+// Flavors scenario — two parents disagree; left precedence compiles the
+// choice into explicit tuples.
+func TestMultipleInheritanceConflictAndLeftPrecedence(t *testing.T) {
+	kb := NewKB()
+	must(t, kb.DefClass("Swimmer"))
+	must(t, kb.DefClass("Flyer"))
+	must(t, kb.Set("Swimmer", "habitat", "water"))
+	must(t, kb.Set("Flyer", "habitat", "air"))
+	must(t, kb.DefInstance("Duck", "Flyer", "Swimmer")) // Flyer declared first
+
+	_, _, err := kb.Get("Duck", "habitat")
+	if !errors.Is(err, ErrNeedsResolution) {
+		t.Fatalf("got %v, want ErrNeedsResolution", err)
+	}
+
+	winner, err := kb.ResolveLeftPrecedence("Duck", "habitat")
+	must(t, err)
+	if winner != "air" {
+		t.Fatalf("winner = %q, want air (leftmost parent)", winner)
+	}
+	got, ok, err := kb.Get("Duck", "habitat")
+	must(t, err)
+	if !ok || got != "air" {
+		t.Fatalf("Get = %q/%v", got, ok)
+	}
+	// The underlying relation is consistent after compilation.
+	rel, err := kb.SlotRelation("habitat")
+	must(t, err)
+	if err := rel.CheckConsistency(); err != nil {
+		t.Fatalf("inconsistent after resolution: %v", err)
+	}
+}
+
+// TestLeftPrecedenceRecursesThroughParents: the leftmost parent may itself
+// be conflicted; resolution recurses.
+func TestLeftPrecedenceRecursesThroughParents(t *testing.T) {
+	kb := NewKB()
+	must(t, kb.DefClass("A"))
+	must(t, kb.DefClass("B"))
+	must(t, kb.Set("A", "s", "va"))
+	must(t, kb.Set("B", "s", "vb"))
+	must(t, kb.DefClass("AB", "A", "B")) // conflicted class
+	must(t, kb.DefClass("C"))
+	must(t, kb.Set("C", "s", "vc"))
+	must(t, kb.DefInstance("x", "AB", "C"))
+
+	winner, err := kb.ResolveLeftPrecedence("x", "s")
+	must(t, err)
+	if winner != "va" {
+		t.Fatalf("winner = %q, want va (leftmost of leftmost)", winner)
+	}
+}
+
+// TestSetOverridesOwnValue: re-setting a slot replaces the old value.
+func TestSetOverridesOwnValue(t *testing.T) {
+	kb := elephants(t)
+	must(t, kb.Set("Clyde", "color", "pink"))
+	got, ok, err := kb.Get("Clyde", "color")
+	must(t, err)
+	if !ok || got != "pink" {
+		t.Fatalf("Get = %q/%v", got, ok)
+	}
+	// Other frames untouched.
+	got, _, err = kb.Get("Appu", "color")
+	must(t, err)
+	if got != "white" {
+		t.Fatalf("Appu = %q", got)
+	}
+}
+
+// TestSlotsAndParentsAccessors.
+func TestSlotsAndParentsAccessors(t *testing.T) {
+	kb := elephants(t)
+	if got := kb.Slots(); len(got) != 1 || got[0] != "color" {
+		t.Fatalf("Slots = %v", got)
+	}
+	if got := kb.Parents("Appu"); len(got) != 2 || got[0] != "RoyalElephant" {
+		t.Fatalf("Parents = %v", got)
+	}
+	if kb.Things().Domain() != "Thing" {
+		t.Fatal("root wrong")
+	}
+	if _, err := kb.SlotRelation("nope"); !errors.Is(err, ErrUnknownSlot) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+// TestExceptionChain: exceptions to exceptions through three levels.
+func TestExceptionChain(t *testing.T) {
+	kb := NewKB()
+	must(t, kb.DefClass("Vehicle"))
+	must(t, kb.DefClass("Car", "Vehicle"))
+	must(t, kb.DefClass("SportsCar", "Car"))
+	must(t, kb.DefInstance("myCar", "SportsCar"))
+	must(t, kb.Set("Vehicle", "wheels", "four"))
+	must(t, kb.Set("SportsCar", "wheels", "three")) // quirky kit car class
+	must(t, kb.Set("myCar", "wheels", "four"))      // mine is normal after all
+
+	for _, c := range []struct{ f, want string }{
+		{"Vehicle", "four"}, {"Car", "four"}, {"SportsCar", "three"}, {"myCar", "four"},
+	} {
+		got, ok, err := kb.Get(c.f, "wheels")
+		must(t, err)
+		if !ok || got != c.want {
+			t.Errorf("%s = %q/%v, want %q", c.f, got, ok, c.want)
+		}
+	}
+}

@@ -1,0 +1,92 @@
+package frames
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestResolveWhenNoConflict: left precedence on an unconflicted frame just
+// returns its value.
+func TestResolveWhenNoConflict(t *testing.T) {
+	kb := elephants(t)
+	winner, err := kb.ResolveLeftPrecedence("Clyde", "color")
+	must(t, err)
+	if winner != "dappled" {
+		t.Fatalf("winner = %q", winner)
+	}
+}
+
+// TestResolveNoInheritedValue: resolution with nothing to inherit errors.
+func TestResolveNoInheritedValue(t *testing.T) {
+	kb := NewKB()
+	must(t, kb.DefClass("A"))
+	must(t, kb.DefClass("B"))
+	must(t, kb.DefInstance("x", "A", "B"))
+	must(t, kb.Set("A", "s", "va")) // slot exists
+	must(t, kb.DefInstance("orphan"))
+	if _, err := kb.ResolveLeftPrecedence("orphan", "s"); err == nil {
+		t.Fatal("expected error for frame with no inherited value")
+	}
+}
+
+// TestResolveSkipsValuelessLeftParent: when the leftmost parent has no
+// value, the next parent supplies the winner.
+func TestResolveSkipsValuelessLeftParent(t *testing.T) {
+	kb := NewKB()
+	must(t, kb.DefClass("Mute"))
+	must(t, kb.DefClass("Loud"))
+	must(t, kb.DefClass("Quiet"))
+	must(t, kb.Set("Loud", "volume", "high"))
+	must(t, kb.Set("Quiet", "volume", "low"))
+	must(t, kb.DefInstance("x", "Mute", "Loud", "Quiet"))
+
+	// x inherits high vs low: conflict; Mute contributes nothing.
+	if _, _, err := kb.Get("x", "volume"); !errors.Is(err, ErrNeedsResolution) {
+		t.Fatalf("got %v", err)
+	}
+	winner, err := kb.ResolveLeftPrecedence("x", "volume")
+	must(t, err)
+	if winner != "high" {
+		t.Fatalf("winner = %q, want high (Loud precedes Quiet)", winner)
+	}
+}
+
+// TestResolveIdempotent: resolving twice is stable.
+func TestResolveIdempotent(t *testing.T) {
+	kb := NewKB()
+	must(t, kb.DefClass("A"))
+	must(t, kb.DefClass("B"))
+	must(t, kb.Set("A", "s", "va"))
+	must(t, kb.Set("B", "s", "vb"))
+	must(t, kb.DefInstance("x", "A", "B"))
+	w1, err := kb.ResolveLeftPrecedence("x", "s")
+	must(t, err)
+	w2, err := kb.ResolveLeftPrecedence("x", "s")
+	must(t, err)
+	if w1 != w2 || w1 != "va" {
+		t.Fatalf("w1=%q w2=%q", w1, w2)
+	}
+	got, ok, err := kb.Get("x", "s")
+	must(t, err)
+	if !ok || got != "va" {
+		t.Fatalf("Get = %q/%v", got, ok)
+	}
+}
+
+// TestSetOnClassAfterInstanceException: class-level updates do not disturb
+// instance-level pins.
+func TestSetOnClassAfterInstanceException(t *testing.T) {
+	kb := elephants(t)
+	// Repaint all royal elephants gold; Clyde stays dappled (exact pin).
+	must(t, kb.Set("RoyalElephant", "color", "gold"))
+	got, _, err := kb.Get("Clyde", "color")
+	must(t, err)
+	if got != "dappled" {
+		t.Fatalf("Clyde = %q", got)
+	}
+	got, _, err = kb.Get("Appu", "color")
+	must(t, err)
+	if got != "gold" {
+		t.Fatalf("Appu = %q", got)
+	}
+}

@@ -1,0 +1,59 @@
+package hierarchy
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRemoveLeafDirect(t *testing.T) {
+	h := animals(t)
+	if err := h.RemoveLeaf("Tweety"); err != nil {
+		t.Fatal(err)
+	}
+	if h.Has("Tweety") {
+		t.Fatal("Tweety survived")
+	}
+	// Canary is now childless: removable as well.
+	if err := h.RemoveLeaf("Canary"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RemoveLeaf("Bird"); !errors.Is(err, ErrHasChildren) {
+		t.Fatalf("got %v", err)
+	}
+	if err := h.RemoveLeaf("Animal"); !errors.Is(err, ErrIsRoot) {
+		t.Fatalf("got %v", err)
+	}
+	if err := h.RemoveLeaf("Ghost"); !errors.Is(err, ErrUnknown) {
+		t.Fatalf("got %v", err)
+	}
+	// Membership and binding still coherent after removals.
+	if !h.Subsumes("Penguin", "Patricia") {
+		t.Fatal("membership broken")
+	}
+	if !h.BindingIrredundant() {
+		t.Fatal("binding graph broken")
+	}
+}
+
+func TestRemoveLeafDropsPreference(t *testing.T) {
+	h := animals(t)
+	if err := h.Prefer("AmazingFlyingPenguin", "GalapagosPenguin"); err != nil {
+		t.Fatal(err)
+	}
+	// Remove every AFP instance, then AFP itself: the preference must go.
+	for _, n := range []string{"Pamela", "Peter"} {
+		if err := h.RemoveLeaf(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Patricia has two parents; removing her leaves AFP childless.
+	if err := h.RemoveLeaf("Patricia"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.RemoveLeaf("AmazingFlyingPenguin"); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Preferences()) != 0 {
+		t.Fatalf("preferences = %v", h.Preferences())
+	}
+}

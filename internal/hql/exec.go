@@ -1,0 +1,704 @@
+package hql
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"hrdb/internal/algebra"
+	"hrdb/internal/catalog"
+	"hrdb/internal/core"
+	"hrdb/internal/deductive"
+	"hrdb/internal/hierarchy"
+)
+
+// ErrNoTx is returned by COMMIT/ROLLBACK outside a transaction.
+var ErrNoTx = errors.New("hql: no transaction in progress")
+
+// ErrInTx is returned by BEGIN inside a transaction.
+var ErrInTx = errors.New("hql: transaction already in progress")
+
+// TxOp is one buffered transactional update (an alias of catalog.TxOp so
+// storage back ends can implement Target without importing this package).
+type TxOp = catalog.TxOp
+
+// Target abstracts the mutable database a session executes against: either
+// an in-memory catalog (MemTarget) or a durable storage.Store, which
+// satisfies this interface directly.
+type Target interface {
+	Database() *catalog.Database
+	CreateHierarchy(domain string) error
+	AddClass(domain, name string, parents ...string) error
+	AddInstance(domain, name string, parents ...string) error
+	AddEdge(domain, parent, child string) error
+	Prefer(domain, stronger, weaker string) error
+	CreateRelation(name string, attrs ...catalog.AttrSpec) error
+	DropRelation(name string) error
+	Assert(rel string, values ...string) error
+	Deny(rel string, values ...string) error
+	Retract(rel string, values ...string) error
+	Consolidate(rel string) error
+	Explicate(rel string, attrs ...string) error
+	DropNode(domain, name string) error
+	SetMode(rel string, mode core.Preemption) error
+	ApplyTx(ops []TxOp) error
+}
+
+// MemTarget adapts a bare catalog.Database to the Target interface.
+type MemTarget struct{ DB *catalog.Database }
+
+// Database returns the wrapped database.
+func (m MemTarget) Database() *catalog.Database { return m.DB }
+
+// CreateHierarchy implements Target.
+func (m MemTarget) CreateHierarchy(domain string) error {
+	_, err := m.DB.CreateHierarchy(domain)
+	return err
+}
+
+func (m MemTarget) hier(domain string) (*hierarchy.Hierarchy, error) {
+	return m.DB.Hierarchy(domain)
+}
+
+// AddClass implements Target.
+func (m MemTarget) AddClass(domain, name string, parents ...string) error {
+	h, err := m.hier(domain)
+	if err != nil {
+		return err
+	}
+	return h.AddClass(name, parents...)
+}
+
+// AddInstance implements Target.
+func (m MemTarget) AddInstance(domain, name string, parents ...string) error {
+	h, err := m.hier(domain)
+	if err != nil {
+		return err
+	}
+	return h.AddInstance(name, parents...)
+}
+
+// AddEdge implements Target.
+func (m MemTarget) AddEdge(domain, parent, child string) error {
+	h, err := m.hier(domain)
+	if err != nil {
+		return err
+	}
+	return h.AddEdge(parent, child)
+}
+
+// Prefer implements Target.
+func (m MemTarget) Prefer(domain, stronger, weaker string) error {
+	h, err := m.hier(domain)
+	if err != nil {
+		return err
+	}
+	return h.Prefer(stronger, weaker)
+}
+
+// CreateRelation implements Target.
+func (m MemTarget) CreateRelation(name string, attrs ...catalog.AttrSpec) error {
+	_, err := m.DB.CreateRelation(name, attrs...)
+	return err
+}
+
+// DropRelation implements Target.
+func (m MemTarget) DropRelation(name string) error { return m.DB.DropRelation(name) }
+
+// Assert implements Target.
+func (m MemTarget) Assert(rel string, values ...string) error { return m.DB.Assert(rel, values...) }
+
+// Deny implements Target.
+func (m MemTarget) Deny(rel string, values ...string) error { return m.DB.Deny(rel, values...) }
+
+// Retract implements Target.
+func (m MemTarget) Retract(rel string, values ...string) error {
+	_, err := m.DB.Retract(rel, values...)
+	return err
+}
+
+// Consolidate implements Target.
+func (m MemTarget) Consolidate(rel string) error {
+	_, err := m.DB.Consolidate(rel)
+	return err
+}
+
+// Explicate implements Target.
+func (m MemTarget) Explicate(rel string, attrs ...string) error {
+	return m.DB.Explicate(rel, attrs...)
+}
+
+// DropNode implements Target.
+func (m MemTarget) DropNode(domain, name string) error { return m.DB.DropNode(domain, name) }
+
+// SetMode implements Target.
+func (m MemTarget) SetMode(rel string, mode core.Preemption) error {
+	return m.DB.SetMode(rel, mode)
+}
+
+// ApplyTx implements Target via a catalog transaction.
+func (m MemTarget) ApplyTx(ops []TxOp) error { return m.DB.ApplyOps(ops) }
+
+// Session executes HQL statements against a target, holding transaction
+// state and the session's Datalog rules. Not safe for concurrent use.
+type Session struct {
+	target Target
+	txOps  []TxOp
+	inTx   bool
+	rules  []deductive.Rule
+}
+
+// NewSession creates a session over the target.
+func NewSession(target Target) *Session { return &Session{target: target} }
+
+// InTx reports whether a transaction is open.
+func (s *Session) InTx() bool { return s.inTx }
+
+// Exec parses and executes statements, returning the combined output text.
+func (s *Session) Exec(input string) (string, error) {
+	stmts, err := Parse(input)
+	if err != nil {
+		return "", err
+	}
+	var out strings.Builder
+	for _, st := range stmts {
+		res, err := s.exec(st)
+		if err != nil {
+			return out.String(), err
+		}
+		if res != "" {
+			out.WriteString(res)
+			if !strings.HasSuffix(res, "\n") {
+				out.WriteString("\n")
+			}
+		}
+	}
+	return out.String(), nil
+}
+
+// exec runs one statement.
+func (s *Session) exec(st Stmt) (string, error) {
+	db := s.target.Database()
+	switch st := st.(type) {
+	case CreateHierarchyStmt:
+		if err := s.target.CreateHierarchy(st.Domain); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("created hierarchy %s", st.Domain), nil
+
+	case ClassStmt:
+		domain, err := s.resolveDomain(st.Domain, st.Parents)
+		if err != nil {
+			return "", err
+		}
+		if err := s.target.AddClass(domain, st.Name, st.Parents...); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("class %s added to %s", st.Name, domain), nil
+
+	case InstanceStmt:
+		domain, err := s.resolveDomain(st.Domain, st.Parents)
+		if err != nil {
+			return "", err
+		}
+		if err := s.target.AddInstance(domain, st.Name, st.Parents...); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("instance %s added to %s", st.Name, domain), nil
+
+	case EdgeStmt:
+		if err := s.target.AddEdge(st.Domain, st.Parent, st.Child); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("edge %s -> %s added in %s", st.Parent, st.Child, st.Domain), nil
+
+	case PreferStmt:
+		if err := s.target.Prefer(st.Domain, st.Stronger, st.Weaker); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("preference %s over %s in %s", st.Stronger, st.Weaker, st.Domain), nil
+
+	case CreateRelationStmt:
+		attrs := make([]catalog.AttrSpec, len(st.Attrs))
+		for i, a := range st.Attrs {
+			attrs[i] = catalog.AttrSpec{Name: a[0], Domain: a[1]}
+		}
+		if err := s.target.CreateRelation(st.Name, attrs...); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("created relation %s", st.Name), nil
+
+	case DropRelationStmt:
+		if err := s.target.DropRelation(st.Name); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("dropped relation %s", st.Name), nil
+
+	case AssertStmt:
+		kind := "assert"
+		if !st.Sign {
+			kind = "deny"
+		}
+		if s.inTx {
+			s.txOps = append(s.txOps, TxOp{Kind: kind, Relation: st.Relation, Values: st.Values})
+			return fmt.Sprintf("staged %s on %s", kind, st.Relation), nil
+		}
+		var err error
+		if st.Sign {
+			err = s.target.Assert(st.Relation, st.Values...)
+		} else {
+			err = s.target.Deny(st.Relation, st.Values...)
+		}
+		if err != nil {
+			return "", err
+		}
+		past := "asserted"
+		if !st.Sign {
+			past = "denied"
+		}
+		return s.renderWarnings(fmt.Sprintf("%s %s(%s)", past, st.Relation, strings.Join(st.Values, ", "))), nil
+
+	case RetractStmt:
+		if s.inTx {
+			s.txOps = append(s.txOps, TxOp{Kind: "retract", Relation: st.Relation, Values: st.Values})
+			return fmt.Sprintf("staged retract on %s", st.Relation), nil
+		}
+		if err := s.target.Retract(st.Relation, st.Values...); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("retracted %s(%s)", st.Relation, strings.Join(st.Values, ", ")), nil
+
+	case HoldsStmt:
+		v, err := db.Evaluate(st.Relation, st.Values...)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%v", v.Value), nil
+
+	case WhyStmt:
+		v, err := db.Evaluate(st.Relation, st.Values...)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s(%s) = %v\n", st.Relation, strings.Join(st.Values, ", "), v.Value)
+		if v.Default {
+			b.WriteString("  by default (no applicable tuple; universal negated tuple)\n")
+			return b.String(), nil
+		}
+		b.WriteString("  strongest binding:\n")
+		for _, t := range v.Binders {
+			fmt.Fprintf(&b, "    %s\n", t)
+		}
+		b.WriteString("  applicable tuples:\n")
+		for _, t := range v.Applicable {
+			fmt.Fprintf(&b, "    %s\n", t)
+		}
+		return b.String(), nil
+
+	case SelectStmt:
+		r, err := db.Snapshot(st.Relation)
+		if err != nil {
+			return "", err
+		}
+		conds := make([]algebra.Condition, len(st.Conds))
+		for i, c := range st.Conds {
+			conds[i] = algebra.Condition{Attr: c[0], Class: c[1]}
+		}
+		name := st.As
+		if name == "" {
+			name = "σ(" + st.Relation + ")"
+		}
+		res, err := algebra.Select(name, r, conds...)
+		if err != nil {
+			return "", err
+		}
+		res = res.Consolidate()
+		if st.As != "" {
+			if err := db.AttachRelation(res); err != nil {
+				return "", err
+			}
+		}
+		return res.Table(), nil
+
+	case ExtensionStmt:
+		r, err := db.Snapshot(st.Relation)
+		if err != nil {
+			return "", err
+		}
+		ext, err := r.Extension()
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%s: %d atomic items\n", st.Relation, len(ext))
+		for _, it := range ext {
+			fmt.Fprintf(&b, "  %s\n", it)
+		}
+		return b.String(), nil
+
+	case ConsolidateStmt:
+		if err := s.target.Consolidate(st.Relation); err != nil {
+			return "", err
+		}
+		r, err := db.Snapshot(st.Relation)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("consolidated %s (%d tuples remain)", st.Relation, r.Len()), nil
+
+	case ExplicateStmt:
+		if err := s.target.Explicate(st.Relation, st.Attrs...); err != nil {
+			return "", err
+		}
+		r, err := db.Snapshot(st.Relation)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("explicated %s (%d tuples)", st.Relation, r.Len()), nil
+
+	case BinOpStmt:
+		left, err := db.Snapshot(st.Left)
+		if err != nil {
+			return "", err
+		}
+		right, err := db.Snapshot(st.Right)
+		if err != nil {
+			return "", err
+		}
+		var res *core.Relation
+		switch st.Op {
+		case "union":
+			res, err = algebra.Union(st.As, left, right)
+		case "intersect":
+			res, err = algebra.Intersect(st.As, left, right)
+		case "difference":
+			res, err = algebra.Difference(st.As, left, right)
+		case "join":
+			res, err = algebra.Join(st.As, left, right)
+		}
+		if err != nil {
+			return "", err
+		}
+		if err := db.AttachRelation(res); err != nil {
+			return "", err
+		}
+		return res.Table(), nil
+
+	case ProjectStmt:
+		r, err := db.Snapshot(st.Relation)
+		if err != nil {
+			return "", err
+		}
+		res, err := algebra.Project(st.As, r, st.Attrs...)
+		if err != nil {
+			return "", err
+		}
+		if err := db.AttachRelation(res); err != nil {
+			return "", err
+		}
+		return res.Table(), nil
+
+	case RuleStmt:
+		rule, err := toRule(st)
+		if err != nil {
+			return "", err
+		}
+		// Validate against a throwaway program so bad rules are rejected
+		// up front.
+		probe := deductive.NewProgram()
+		if err := probe.AddRule(rule); err != nil {
+			return "", err
+		}
+		s.rules = append(s.rules, rule)
+		return "rule added: " + rule.String(), nil
+
+	case InferStmt:
+		return s.infer(st)
+
+	case CountStmt:
+		r, err := db.Snapshot(st.Relation)
+		if err != nil {
+			return "", err
+		}
+		counts, err := algebra.Count(r, st.By...)
+		if err != nil {
+			return "", err
+		}
+		return algebra.FormatCounts(st.Relation, st.By, counts), nil
+
+	case DumpStmt:
+		return Dump(db)
+
+	case ShowStmt:
+		return s.show(st)
+
+	case SetPolicyStmt:
+		switch st.Policy {
+		case "allow":
+			db.SetPolicy(catalog.AllowExceptions)
+		case "warn":
+			db.SetPolicy(catalog.WarnExceptions)
+		case "forbid":
+			db.SetPolicy(catalog.ForbidExceptions)
+		default:
+			return "", fmt.Errorf("hql: unknown policy %q (want allow|warn|forbid)", st.Policy)
+		}
+		return fmt.Sprintf("policy = %s", st.Policy), nil
+
+	case SetModeStmt:
+		var mode core.Preemption
+		switch st.Mode {
+		case "off_path", "offpath":
+			mode = core.OffPath
+		case "on_path", "onpath":
+			mode = core.OnPath
+		case "none", "no_preemption":
+			mode = core.NoPreemption
+		default:
+			return "", fmt.Errorf("hql: unknown mode %q (want off_path|on_path|none)", st.Mode)
+		}
+		if err := s.target.SetMode(st.Relation, mode); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("mode of %s = %s", st.Relation, mode), nil
+
+	case DropNodeStmt:
+		if err := s.target.DropNode(st.Domain, st.Name); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("dropped node %s from %s", st.Name, st.Domain), nil
+
+	case BeginStmt:
+		if s.inTx {
+			return "", ErrInTx
+		}
+		s.inTx = true
+		s.txOps = nil
+		return "transaction started", nil
+
+	case CommitStmt:
+		if !s.inTx {
+			return "", ErrNoTx
+		}
+		ops := s.txOps
+		s.inTx = false
+		s.txOps = nil
+		if err := s.target.ApplyTx(ops); err != nil {
+			return "", err
+		}
+		return s.renderWarnings(fmt.Sprintf("committed %d operations", len(ops))), nil
+
+	case RollbackStmt:
+		if !s.inTx {
+			return "", ErrNoTx
+		}
+		n := len(s.txOps)
+		s.inTx = false
+		s.txOps = nil
+		return fmt.Sprintf("rolled back %d operations", n), nil
+
+	default:
+		return "", fmt.Errorf("hql: unhandled statement %T", st)
+	}
+}
+
+// renderWarnings appends any pending exception warnings to a result line.
+func (s *Session) renderWarnings(base string) string {
+	w := s.target.Database().Warnings()
+	if len(w) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	for _, msg := range w {
+		b.WriteString("\nwarning: ")
+		b.WriteString(msg)
+	}
+	return b.String()
+}
+
+// resolveDomain determines the hierarchy for CLASS/INSTANCE: the explicit
+// IN domain, or the unique hierarchy containing every named parent.
+func (s *Session) resolveDomain(explicit string, parents []string) (string, error) {
+	if explicit != "" {
+		return explicit, nil
+	}
+	db := s.target.Database()
+	var candidates []string
+	for _, d := range db.Hierarchies() {
+		h, err := db.Hierarchy(d)
+		if err != nil {
+			continue
+		}
+		all := true
+		for _, p := range parents {
+			if !h.Has(p) {
+				all = false
+				break
+			}
+		}
+		if all {
+			candidates = append(candidates, d)
+		}
+	}
+	switch len(candidates) {
+	case 1:
+		return candidates[0], nil
+	case 0:
+		return "", fmt.Errorf("hql: no hierarchy contains parents %v", parents)
+	default:
+		return "", fmt.Errorf("hql: parents %v are ambiguous across hierarchies %v; use IN <domain>",
+			parents, candidates)
+	}
+}
+
+// toTerm converts an HQL argument to a Datalog term ('?'-prefixed =
+// variable).
+func toTerm(arg string) deductive.Term {
+	if strings.HasPrefix(arg, "?") {
+		return deductive.V(arg[1:])
+	}
+	return deductive.C(arg)
+}
+
+// toAtom converts an AtomSpec.
+func toAtom(a AtomSpec) deductive.Atom {
+	terms := make([]deductive.Term, len(a.Args))
+	for i, arg := range a.Args {
+		terms[i] = toTerm(arg)
+	}
+	if a.Negated {
+		return deductive.Not(a.Pred, terms...)
+	}
+	return deductive.A(a.Pred, terms...)
+}
+
+// toRule converts a RuleStmt.
+func toRule(st RuleStmt) (deductive.Rule, error) {
+	r := deductive.Rule{Head: toAtom(st.Head)}
+	for _, b := range st.Body {
+		r.Body = append(r.Body, toAtom(b))
+	}
+	return r, nil
+}
+
+// infer builds a Datalog program from the session's rules plus the
+// database's relations (EDB) and hierarchies (isa/2), then solves the goal.
+func (s *Session) infer(st InferStmt) (string, error) {
+	db := s.target.Database()
+	p := deductive.NewProgram()
+	for _, name := range db.Relations() {
+		r, err := db.Snapshot(name)
+		if err != nil {
+			return "", err
+		}
+		p.AddEDB(name, r)
+	}
+	for _, d := range db.Hierarchies() {
+		h, err := db.Hierarchy(d)
+		if err != nil {
+			return "", err
+		}
+		p.AddTaxonomy(h)
+	}
+	for _, r := range s.rules {
+		if err := p.AddRule(r); err != nil {
+			return "", err
+		}
+	}
+	goal := toAtom(st.Goal)
+	results, err := p.Solve(goal)
+	if err != nil {
+		return "", err
+	}
+	// Ground goal: boolean answer.
+	ground := true
+	for _, t := range goal.Args {
+		if t.Var {
+			ground = false
+			break
+		}
+	}
+	if ground {
+		return fmt.Sprintf("%v", len(results) > 0), nil
+	}
+	if len(results) == 0 {
+		return "no derivations", nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d derivations:\n", len(results))
+	for _, res := range results {
+		var parts []string
+		for _, t := range goal.Args {
+			if t.Var {
+				parts = append(parts, fmt.Sprintf("?%s=%s", t.Name, res[t.Name]))
+			}
+		}
+		fmt.Fprintf(&b, "  %s\n", strings.Join(parts, ", "))
+	}
+	return b.String(), nil
+}
+
+// show renders SHOW statements.
+func (s *Session) show(st ShowStmt) (string, error) {
+	db := s.target.Database()
+	switch st.What {
+	case "hierarchies":
+		return strings.Join(db.Hierarchies(), "\n"), nil
+	case "relations":
+		return strings.Join(db.Relations(), "\n"), nil
+	case "rules":
+		if len(s.rules) == 0 {
+			return "no rules", nil
+		}
+		var lines []string
+		for _, r := range s.rules {
+			lines = append(lines, r.String())
+		}
+		return strings.Join(lines, "\n"), nil
+	case "relation":
+		r, err := db.Snapshot(st.Target)
+		if err != nil {
+			return "", err
+		}
+		return r.Table(), nil
+	case "hierarchy":
+		h, err := db.Hierarchy(st.Target)
+		if err != nil {
+			return "", err
+		}
+		return renderHierarchy(h), nil
+	default:
+		return "", fmt.Errorf("hql: unknown SHOW %q", st.What)
+	}
+}
+
+// renderHierarchy prints an indented tree (DAG nodes with several parents
+// appear once per parent, marked with *).
+func renderHierarchy(h *hierarchy.Hierarchy) string {
+	var b strings.Builder
+	seen := map[string]bool{}
+	var rec func(node string, depth int)
+	rec = func(node string, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(node)
+		if h.IsInstance(node) {
+			b.WriteString(" ·")
+		}
+		if seen[node] {
+			b.WriteString(" *\n")
+			return
+		}
+		seen[node] = true
+		b.WriteString("\n")
+		children := h.Children(node)
+		sort.Strings(children)
+		for _, c := range children {
+			rec(c, depth+1)
+		}
+	}
+	rec(h.Domain(), 0)
+	return b.String()
+}

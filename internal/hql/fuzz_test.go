@@ -1,0 +1,71 @@
+package hql
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the parser never panics and that accepted inputs
+// re-execute cleanly against a fresh database (errors are fine; crashes are
+// not). The seeds cover every statement form.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"CREATE HIERARCHY Animal;",
+		"CLASS Bird UNDER Animal;",
+		"CLASS X IN D;",
+		"INSTANCE Tweety UNDER Canary;",
+		"EDGE Animal: Penguin -> Pamela;",
+		"PREFER A OVER B IN D;",
+		"CREATE RELATION Flies (Creature: Animal);",
+		"DROP RELATION Flies;",
+		"ASSERT Flies (Bird);",
+		"DENY Flies (Penguin);",
+		"RETRACT Flies (Penguin);",
+		"HOLDS Flies (Tweety);",
+		"WHY Flies (Tweety);",
+		"SELECT FROM Flies WHERE Creature UNDER Penguin AS P;",
+		"SELECT FROM Flies WHERE A = b AND C UNDER d;",
+		"EXTENSION Flies;",
+		"CONSOLIDATE Flies;",
+		"EXPLICATE Flies ON (Creature);",
+		"UNION A B AS C;",
+		"INTERSECT A B AS C;",
+		"DIFFERENCE A B AS C;",
+		"JOIN A B AS C;",
+		"PROJECT R ON (X, Y) AS P;",
+		"SHOW HIERARCHIES; SHOW RELATIONS; SHOW RULES;",
+		"SHOW HIERARCHY Animal; SHOW RELATION Flies;",
+		"SET POLICY warn;",
+		"BEGIN; ASSERT R (x); COMMIT;",
+		"ROLLBACK;",
+		"RULE p(?X) IF q(?X) AND isa(?X, C);",
+		"INFER p(?X);",
+		"-- just a comment\n",
+		"ASSERT R ('quoted value', plain);",
+		"';;';;",
+		"?",
+		"CREATE RELATION R (",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		if len(input) > 4096 {
+			return
+		}
+		stmts, err := Parse(input)
+		if err != nil {
+			// Errors must be SyntaxError-shaped, never panics.
+			if !strings.Contains(err.Error(), "hql:") {
+				t.Fatalf("non-hql error: %v", err)
+			}
+			return
+		}
+		// Execute against a throwaway database; runtime errors are fine.
+		s := newSession()
+		for range stmts {
+			break
+		}
+		_, _ = s.Exec(input)
+	})
+}

@@ -1,0 +1,154 @@
+// Package hql implements a small query language over the hierarchical
+// relational model, exposing the paper's operations as statements:
+//
+//	CREATE HIERARCHY Animal;
+//	CLASS Bird UNDER Animal;
+//	CLASS Penguin UNDER Bird;
+//	INSTANCE Tweety UNDER Canary;
+//	EDGE Animal: Penguin -> Pamela;
+//	PREFER AFP OVER GP IN Animal;
+//	CREATE RELATION Flies (Creature: Animal);
+//	ASSERT Flies (Bird);
+//	DENY Flies (Penguin);
+//	RETRACT Flies (Penguin);
+//	HOLDS Flies (Tweety);
+//	WHY Flies (Tweety);
+//	SELECT FROM Flies WHERE Creature UNDER Penguin;
+//	SELECT FROM Flies;
+//	EXTENSION Flies;
+//	CONSOLIDATE Flies;
+//	EXPLICATE Flies ON (Creature);
+//	UNION A B AS C;   INTERSECT A B AS C;   DIFFERENCE A B AS C;
+//	JOIN A B AS C;    PROJECT A ON (X, Y) AS B;
+//	SHOW HIERARCHIES; SHOW RELATIONS; SHOW HIERARCHY Animal;
+//	SET POLICY warn;  BEGIN; ...; COMMIT; ROLLBACK;
+//	DROP RELATION Flies;
+//
+// Keywords are case-insensitive; identifiers are case-sensitive. Statements
+// end with a semicolon (optional for the last statement of an input).
+package hql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokLParen
+	tokRParen
+	tokComma
+	tokSemi
+	tokColon
+	tokArrow // ->
+	tokEq    // =
+)
+
+// token is one lexeme with its source position (1-based column in the
+// statement text).
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// SyntaxError reports a lexing or parsing failure with position context.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("hql: syntax error at position %d: %s", e.Pos, e.Msg)
+}
+
+// lex splits input into tokens. Identifiers may be bare words
+// (letters, digits, '_', '.') or single-quoted strings (which may contain
+// anything except a quote).
+func lex(input string) ([]token, error) {
+	var toks []token
+	runes := []rune(input)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case r == '-' && i+1 < len(runes) && runes[i+1] == '-':
+			// comment to end of line
+			for i < len(runes) && runes[i] != '\n' {
+				i++
+			}
+		case r == '(':
+			toks = append(toks, token{tokLParen, "(", i + 1})
+			i++
+		case r == ')':
+			toks = append(toks, token{tokRParen, ")", i + 1})
+			i++
+		case r == ',':
+			toks = append(toks, token{tokComma, ",", i + 1})
+			i++
+		case r == ';':
+			toks = append(toks, token{tokSemi, ";", i + 1})
+			i++
+		case r == ':':
+			toks = append(toks, token{tokColon, ":", i + 1})
+			i++
+		case r == '=':
+			toks = append(toks, token{tokEq, "=", i + 1})
+			i++
+		case r == '-' && i+1 < len(runes) && runes[i+1] == '>':
+			toks = append(toks, token{tokArrow, "->", i + 1})
+			i += 2
+		case r == '\'':
+			start := i
+			i++
+			var sb strings.Builder
+			for i < len(runes) && runes[i] != '\'' {
+				sb.WriteRune(runes[i])
+				i++
+			}
+			if i >= len(runes) {
+				return nil, &SyntaxError{Pos: start + 1, Msg: "unterminated string"}
+			}
+			i++ // closing quote
+			toks = append(toks, token{tokIdent, sb.String(), start + 1})
+		case r == '?':
+			// Datalog variable for RULE/INFER statements: ?Name.
+			start := i
+			i++
+			for i < len(runes) && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_') {
+				i++
+			}
+			if i == start+1 {
+				return nil, &SyntaxError{Pos: start + 1, Msg: "'?' must be followed by a variable name"}
+			}
+			toks = append(toks, token{tokIdent, string(runes[start:i]), start + 1})
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			start := i
+			for i < len(runes) && (unicode.IsLetter(runes[i]) || unicode.IsDigit(runes[i]) || runes[i] == '_' || runes[i] == '.') {
+				i++
+			}
+			toks = append(toks, token{tokIdent, string(runes[start:i]), start + 1})
+		default:
+			return nil, &SyntaxError{Pos: i + 1, Msg: fmt.Sprintf("unexpected character %q", r)}
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(runes) + 1})
+	return toks, nil
+}

@@ -1,0 +1,595 @@
+package hql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// parser consumes a token stream.
+type parser struct {
+	toks []token
+	i    int
+}
+
+// Parse parses a string of one or more semicolon-separated statements.
+func Parse(input string) ([]Stmt, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for {
+		for p.peek().kind == tokSemi {
+			p.next()
+		}
+		if p.peek().kind == tokEOF {
+			return stmts, nil
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		switch p.peek().kind {
+		case tokSemi, tokEOF:
+		default:
+			return nil, p.errf("expected ';' or end of input, got %s", p.peek())
+		}
+	}
+}
+
+func (p *parser) peek() token { return p.toks[p.i] }
+
+func (p *parser) next() token {
+	t := p.toks[p.i]
+	if t.kind != tokEOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Pos: p.peek().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// keyword reports whether the next token is the given keyword
+// (case-insensitive) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// expectKeyword consumes the keyword or fails.
+func (p *parser) expectKeyword(kw string) error {
+	if !p.keyword(kw) {
+		return p.errf("expected %q, got %s", strings.ToUpper(kw), p.peek())
+	}
+	return nil
+}
+
+// ident consumes an identifier.
+func (p *parser) ident(what string) (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected %s, got %s", what, t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+// expect consumes a token of the given kind.
+func (p *parser) expect(kind tokenKind, what string) error {
+	if p.peek().kind != kind {
+		return p.errf("expected %s, got %s", what, p.peek())
+	}
+	p.next()
+	return nil
+}
+
+// identList parses ( a, b, … ).
+func (p *parser) identList() ([]string, error) {
+	if err := p.expect(tokLParen, "'('"); err != nil {
+		return nil, err
+	}
+	var out []string
+	if p.peek().kind == tokRParen {
+		p.next()
+		return out, nil
+	}
+	for {
+		id, err := p.ident("a value")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if err := p.expect(tokRParen, "')'"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// statement dispatches on the leading keyword.
+func (p *parser) statement() (Stmt, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return nil, p.errf("expected a statement, got %s", t)
+	}
+	switch strings.ToUpper(t.text) {
+	case "CREATE":
+		p.next()
+		return p.create()
+	case "DROP":
+		p.next()
+		if p.keyword("node") {
+			name, err := p.ident("a node name")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("in"); err != nil {
+				return nil, err
+			}
+			dom, err := p.ident("a domain name")
+			if err != nil {
+				return nil, err
+			}
+			return DropNodeStmt{Domain: dom, Name: name}, nil
+		}
+		if err := p.expectKeyword("relation"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident("a relation name")
+		if err != nil {
+			return nil, err
+		}
+		return DropRelationStmt{Name: name}, nil
+	case "CLASS":
+		p.next()
+		return p.nodeStmt(false)
+	case "INSTANCE":
+		p.next()
+		return p.nodeStmt(true)
+	case "EDGE":
+		p.next()
+		return p.edge()
+	case "PREFER":
+		p.next()
+		return p.prefer()
+	case "ASSERT":
+		p.next()
+		return p.signedTuple(true)
+	case "DENY":
+		p.next()
+		return p.signedTuple(false)
+	case "RETRACT":
+		p.next()
+		rel, vals, err := p.relTuple()
+		if err != nil {
+			return nil, err
+		}
+		return RetractStmt{Relation: rel, Values: vals}, nil
+	case "HOLDS":
+		p.next()
+		rel, vals, err := p.relTuple()
+		if err != nil {
+			return nil, err
+		}
+		return HoldsStmt{Relation: rel, Values: vals}, nil
+	case "WHY":
+		p.next()
+		rel, vals, err := p.relTuple()
+		if err != nil {
+			return nil, err
+		}
+		return WhyStmt{Relation: rel, Values: vals}, nil
+	case "SELECT":
+		p.next()
+		return p.selectStmt()
+	case "EXTENSION":
+		p.next()
+		rel, err := p.ident("a relation name")
+		if err != nil {
+			return nil, err
+		}
+		return ExtensionStmt{Relation: rel}, nil
+	case "CONSOLIDATE":
+		p.next()
+		rel, err := p.ident("a relation name")
+		if err != nil {
+			return nil, err
+		}
+		return ConsolidateStmt{Relation: rel}, nil
+	case "EXPLICATE":
+		p.next()
+		rel, err := p.ident("a relation name")
+		if err != nil {
+			return nil, err
+		}
+		var attrs []string
+		if p.keyword("on") {
+			var err error
+			attrs, err = p.identList()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return ExplicateStmt{Relation: rel, Attrs: attrs}, nil
+	case "UNION", "INTERSECT", "DIFFERENCE", "JOIN":
+		op := strings.ToLower(t.text)
+		p.next()
+		return p.binOp(op)
+	case "PROJECT":
+		p.next()
+		return p.project()
+	case "SHOW":
+		p.next()
+		return p.show()
+	case "SET":
+		p.next()
+		if p.keyword("mode") {
+			rel, err := p.ident("a relation name")
+			if err != nil {
+				return nil, err
+			}
+			mode, err := p.ident("a mode (off_path|on_path|none)")
+			if err != nil {
+				return nil, err
+			}
+			return SetModeStmt{Relation: rel, Mode: strings.ToLower(mode)}, nil
+		}
+		if err := p.expectKeyword("policy"); err != nil {
+			return nil, err
+		}
+		pol, err := p.ident("a policy (allow|warn|forbid)")
+		if err != nil {
+			return nil, err
+		}
+		return SetPolicyStmt{Policy: strings.ToLower(pol)}, nil
+	case "RULE":
+		p.next()
+		return p.rule()
+	case "INFER":
+		p.next()
+		goal, err := p.atomSpec()
+		if err != nil {
+			return nil, err
+		}
+		return InferStmt{Goal: goal}, nil
+	case "COUNT":
+		p.next()
+		rel, err := p.ident("a relation name")
+		if err != nil {
+			return nil, err
+		}
+		st := CountStmt{Relation: rel}
+		if p.keyword("by") {
+			st.By, err = p.identList()
+			if err != nil {
+				return nil, err
+			}
+		}
+		return st, nil
+	case "DUMP":
+		p.next()
+		return DumpStmt{}, nil
+	case "BEGIN":
+		p.next()
+		return BeginStmt{}, nil
+	case "COMMIT":
+		p.next()
+		return CommitStmt{}, nil
+	case "ROLLBACK":
+		p.next()
+		return RollbackStmt{}, nil
+	default:
+		return nil, p.errf("unknown statement %q", t.text)
+	}
+}
+
+func (p *parser) create() (Stmt, error) {
+	switch {
+	case p.keyword("hierarchy"):
+		d, err := p.ident("a domain name")
+		if err != nil {
+			return nil, err
+		}
+		return CreateHierarchyStmt{Domain: d}, nil
+	case p.keyword("relation"):
+		name, err := p.ident("a relation name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokLParen, "'('"); err != nil {
+			return nil, err
+		}
+		var attrs [][2]string
+		for {
+			attr, err := p.ident("an attribute name")
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokColon, "':'"); err != nil {
+				return nil, err
+			}
+			dom, err := p.ident("a domain name")
+			if err != nil {
+				return nil, err
+			}
+			attrs = append(attrs, [2]string{attr, dom})
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		if err := p.expect(tokRParen, "')'"); err != nil {
+			return nil, err
+		}
+		return CreateRelationStmt{Name: name, Attrs: attrs}, nil
+	default:
+		return nil, p.errf("expected HIERARCHY or RELATION after CREATE")
+	}
+}
+
+func (p *parser) nodeStmt(instance bool) (Stmt, error) {
+	name, err := p.ident("a node name")
+	if err != nil {
+		return nil, err
+	}
+	var parents []string
+	var domain string
+	switch {
+	case p.keyword("under"):
+		for {
+			par, err := p.ident("a parent name")
+			if err != nil {
+				return nil, err
+			}
+			parents = append(parents, par)
+			if p.peek().kind == tokComma {
+				p.next()
+				continue
+			}
+			break
+		}
+		// Optional explicit domain disambiguates parents that exist in
+		// several hierarchies (always emitted by Dump).
+		if p.keyword("in") {
+			domain, err = p.ident("a domain name")
+			if err != nil {
+				return nil, err
+			}
+		}
+	case p.keyword("in"):
+		domain, err = p.ident("a domain name")
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, p.errf("expected UNDER or IN after the node name")
+	}
+	if instance {
+		return InstanceStmt{Name: name, Parents: parents, Domain: domain}, nil
+	}
+	return ClassStmt{Name: name, Parents: parents, Domain: domain}, nil
+}
+
+func (p *parser) edge() (Stmt, error) {
+	dom, err := p.ident("a domain name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokColon, "':'"); err != nil {
+		return nil, err
+	}
+	parent, err := p.ident("a parent")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokArrow, "'->'"); err != nil {
+		return nil, err
+	}
+	child, err := p.ident("a child")
+	if err != nil {
+		return nil, err
+	}
+	return EdgeStmt{Domain: dom, Parent: parent, Child: child}, nil
+}
+
+func (p *parser) prefer() (Stmt, error) {
+	stronger, err := p.ident("a class")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("over"); err != nil {
+		return nil, err
+	}
+	weaker, err := p.ident("a class")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("in"); err != nil {
+		return nil, err
+	}
+	dom, err := p.ident("a domain name")
+	if err != nil {
+		return nil, err
+	}
+	return PreferStmt{Domain: dom, Stronger: stronger, Weaker: weaker}, nil
+}
+
+// relTuple parses "<rel> ( v, … )".
+func (p *parser) relTuple() (string, []string, error) {
+	rel, err := p.ident("a relation name")
+	if err != nil {
+		return "", nil, err
+	}
+	vals, err := p.identList()
+	if err != nil {
+		return "", nil, err
+	}
+	return rel, vals, nil
+}
+
+func (p *parser) signedTuple(sign bool) (Stmt, error) {
+	rel, vals, err := p.relTuple()
+	if err != nil {
+		return nil, err
+	}
+	return AssertStmt{Relation: rel, Values: vals, Sign: sign}, nil
+}
+
+func (p *parser) selectStmt() (Stmt, error) {
+	if err := p.expectKeyword("from"); err != nil {
+		return nil, err
+	}
+	rel, err := p.ident("a relation name")
+	if err != nil {
+		return nil, err
+	}
+	st := SelectStmt{Relation: rel}
+	if p.keyword("where") {
+		for {
+			attr, err := p.ident("an attribute name")
+			if err != nil {
+				return nil, err
+			}
+			if p.peek().kind == tokEq {
+				p.next()
+			} else if err := p.expectKeyword("under"); err != nil {
+				return nil, err
+			}
+			class, err := p.ident("a class or instance")
+			if err != nil {
+				return nil, err
+			}
+			st.Conds = append(st.Conds, [2]string{attr, class})
+			if p.keyword("and") {
+				continue
+			}
+			break
+		}
+	}
+	if p.keyword("as") {
+		name, err := p.ident("a result name")
+		if err != nil {
+			return nil, err
+		}
+		st.As = name
+	}
+	return st, nil
+}
+
+func (p *parser) binOp(op string) (Stmt, error) {
+	left, err := p.ident("a relation name")
+	if err != nil {
+		return nil, err
+	}
+	right, err := p.ident("a relation name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return nil, err
+	}
+	as, err := p.ident("a result name")
+	if err != nil {
+		return nil, err
+	}
+	return BinOpStmt{Op: op, Left: left, Right: right, As: as}, nil
+}
+
+func (p *parser) project() (Stmt, error) {
+	rel, err := p.ident("a relation name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("on"); err != nil {
+		return nil, err
+	}
+	attrs, err := p.identList()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("as"); err != nil {
+		return nil, err
+	}
+	as, err := p.ident("a result name")
+	if err != nil {
+		return nil, err
+	}
+	return ProjectStmt{Relation: rel, Attrs: attrs, As: as}, nil
+}
+
+// atomSpec parses "pred(arg, …)".
+func (p *parser) atomSpec() (AtomSpec, error) {
+	pred, err := p.ident("a predicate name")
+	if err != nil {
+		return AtomSpec{}, err
+	}
+	args, err := p.identList()
+	if err != nil {
+		return AtomSpec{}, err
+	}
+	return AtomSpec{Pred: pred, Args: args}, nil
+}
+
+// rule parses "head(args) [IF atom [AND atom]…]".
+func (p *parser) rule() (Stmt, error) {
+	head, err := p.atomSpec()
+	if err != nil {
+		return nil, err
+	}
+	st := RuleStmt{Head: head}
+	if p.keyword("if") {
+		for {
+			negated := p.keyword("not")
+			atom, err := p.atomSpec()
+			if err != nil {
+				return nil, err
+			}
+			atom.Negated = negated
+			st.Body = append(st.Body, atom)
+			if p.keyword("and") {
+				continue
+			}
+			break
+		}
+	}
+	return st, nil
+}
+
+func (p *parser) show() (Stmt, error) {
+	switch {
+	case p.keyword("hierarchies"):
+		return ShowStmt{What: "hierarchies"}, nil
+	case p.keyword("relations"):
+		return ShowStmt{What: "relations"}, nil
+	case p.keyword("rules"):
+		return ShowStmt{What: "rules"}, nil
+	case p.keyword("hierarchy"):
+		d, err := p.ident("a domain name")
+		if err != nil {
+			return nil, err
+		}
+		return ShowStmt{What: "hierarchy", Target: d}, nil
+	case p.keyword("relation"):
+		r, err := p.ident("a relation name")
+		if err != nil {
+			return nil, err
+		}
+		return ShowStmt{What: "relation", Target: r}, nil
+	default:
+		return nil, p.errf("expected HIERARCHIES, RELATIONS, RULES, HIERARCHY or RELATION after SHOW")
+	}
+}

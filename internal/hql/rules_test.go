@@ -1,0 +1,197 @@
+package hql
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRuleAndInfer: the paper's Tweety-travels-far deduction through HQL.
+func TestRuleAndInfer(t *testing.T) {
+	s := setup(t)
+	out, err := s.Exec("RULE travelsFar(?X) IF Flies(?X);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rule added") {
+		t.Fatalf("out = %q", out)
+	}
+
+	// Ground query.
+	out, err = s.Exec("INFER travelsFar(Tweety);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "true" {
+		t.Fatalf("Tweety = %q", out)
+	}
+	out, err = s.Exec("INFER travelsFar(Paul);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out) != "false" {
+		t.Fatalf("Paul = %q", out)
+	}
+
+	// Open query enumerates.
+	out, err = s.Exec("INFER travelsFar(?Who);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"derivations", "Tweety", "Pamela", "Patricia", "Peter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in %q", want, out)
+		}
+	}
+	if strings.Contains(out, "Paul") {
+		t.Errorf("Paul must not be derived: %q", out)
+	}
+}
+
+// TestRuleWithIsaBuiltin: taxonomy membership joins with relations.
+func TestRuleWithIsaBuiltin(t *testing.T) {
+	s := setup(t)
+	script := `
+RULE flyingPenguin(?X) IF isa(?X, Penguin) AND Flies(?X);
+INFER flyingPenguin(?X);
+`
+	out, err := s.Exec(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Pamela", "Patricia", "Peter"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q: %q", want, out)
+		}
+	}
+	if strings.Contains(out, "Tweety") {
+		t.Errorf("Tweety is not a penguin: %q", out)
+	}
+}
+
+// TestRuleFactsAndChaining: ground facts and recursion through HQL.
+func TestRuleFactsAndChaining(t *testing.T) {
+	s := newSession()
+	script := `
+RULE edge(a, b);
+RULE edge(b, c);
+RULE path(?X, ?Y) IF edge(?X, ?Y);
+RULE path(?X, ?Z) IF edge(?X, ?Y) AND path(?Y, ?Z);
+INFER path(a, c);
+SHOW RULES;
+`
+	out, err := s.Exec(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "true") {
+		t.Fatalf("path(a,c) not derived: %q", out)
+	}
+	if !strings.Contains(out, "path(?X, ?Z) :- edge(?X, ?Y), path(?Y, ?Z).") {
+		t.Fatalf("SHOW RULES missing: %q", out)
+	}
+}
+
+// TestUnsafeRuleRejectedInHQL.
+func TestUnsafeRuleRejectedInHQL(t *testing.T) {
+	s := newSession()
+	if _, err := s.Exec("RULE bad(?X);"); err == nil {
+		t.Fatal("unsafe rule accepted")
+	}
+	if _, err := s.Exec("RULE bad(?X) IF other(?Y);"); err == nil {
+		t.Fatal("unbound head var accepted")
+	}
+}
+
+// TestInferUnknownPredicate.
+func TestInferUnknownPredicate(t *testing.T) {
+	s := newSession()
+	if _, err := s.Exec("INFER nothing(?X);"); err == nil {
+		t.Fatal("unknown predicate accepted")
+	}
+	if _, err := s.Exec("INFER nothing(x);"); err == nil {
+		t.Fatal("ground unknown predicate accepted")
+	}
+}
+
+// TestInferNoDerivations.
+func TestInferNoDerivations(t *testing.T) {
+	s := setup(t)
+	script := `
+RULE lazyFlyer(?X) IF Flies(?X) AND Flies(?X);
+`
+	if _, err := s.Exec(script); err != nil {
+		t.Fatal(err)
+	}
+	// Restrict to an empty intersection: penguins that are canaries.
+	out, err := s.Exec("RULE impossible(?X) IF isa(?X, Canary) AND isa(?X, Penguin); INFER impossible(?X);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "no derivations") {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+// TestRuleWithNegation: NOT in HQL rule bodies (stratified negation).
+func TestRuleWithNegation(t *testing.T) {
+	s := setup(t)
+	script := `
+RULE grounded(?X) IF isa(?X, Bird) AND NOT Flies(?X);
+INFER grounded(Paul);
+INFER grounded(Tweety);
+`
+	out, err := s.Exec(script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 3 || lines[1] != "true" || lines[2] != "false" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+// TestNotStratifiedRejectedInHQL.
+func TestNotStratifiedRejectedInHQL(t *testing.T) {
+	s := newSession()
+	script := `
+RULE item(x);
+RULE p(?X) IF item(?X) AND NOT q(?X);
+RULE q(?X) IF item(?X) AND NOT p(?X);
+`
+	if _, err := s.Exec(script); err != nil {
+		t.Fatal(err) // rules individually fine
+	}
+	if _, err := s.Exec("INFER p(?X);"); err == nil {
+		t.Fatal("non-stratified program accepted")
+	}
+}
+
+// TestVariableLexing: '?' must be followed by a name.
+func TestVariableLexing(t *testing.T) {
+	if _, err := Parse("INFER p(?);"); err == nil {
+		t.Fatal("bare '?' accepted")
+	}
+	stmts, err := Parse("INFER p(?X, y);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, ok := stmts[0].(InferStmt)
+	if !ok || inf.Goal.Args[0] != "?X" || inf.Goal.Args[1] != "y" {
+		t.Fatalf("stmts = %#v", stmts)
+	}
+}
+
+// TestProjectParseErrors: the PROJECT grammar's failure branches.
+func TestProjectParseErrors(t *testing.T) {
+	for _, in := range []string{
+		"PROJECT;",
+		"PROJECT R;",
+		"PROJECT R ON;",
+		"PROJECT R ON (a);",
+		"PROJECT R ON (a) AS;",
+	} {
+		if _, err := Parse(in); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package mining implements the second future-work direction of §4 of
+// Jagadish (SIGMOD '89): "the database system could mechanically organize
+// traditional relation(s) given into hierarchical relations with 'classes'
+// being defined in such a way that storage is minimized."
+//
+// The miner takes a flat relation, picks one attribute to classify, groups
+// its values by the exact set of contexts (the remaining attribute
+// combinations) they appear with, and mints one class per group of two or
+// more values. Each group's rows collapse into |contexts| class-valued
+// tuples, so the output hierarchical relation is never larger than the
+// input and shrinks by a factor approaching the group size on clustered
+// data.
+package mining
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hrdb/internal/core"
+	"hrdb/internal/flat"
+	"hrdb/internal/hierarchy"
+)
+
+// Result describes a mined organization.
+type Result struct {
+	// Relation is the hierarchical relation equivalent to the input.
+	Relation *core.Relation
+	// Hierarchies are the per-attribute domains (mined classes appear in
+	// the classified attribute's hierarchy).
+	Hierarchies []*hierarchy.Hierarchy
+	// Classes maps each minted class name to its member values.
+	Classes map[string][]string
+	// FlatRows and StoredTuples record the compression achieved.
+	FlatRows     int
+	StoredTuples int
+}
+
+// CompressionRatio returns FlatRows / StoredTuples (1.0 means no gain).
+func (r *Result) CompressionRatio() float64 {
+	if r.StoredTuples == 0 {
+		return 1
+	}
+	return float64(r.FlatRows) / float64(r.StoredTuples)
+}
+
+// Mine organizes the flat relation into a hierarchical one by classifying
+// the attribute at index classify. Class names are derived from the flat
+// relation's name. The resulting relation's extension equals the input's
+// row set (verified cheaply by construction: every row is covered by
+// exactly its group's class tuple, and classes never overlap).
+func Mine(r *flat.Relation, classify int) (*Result, error) {
+	attrs := r.Attrs()
+	if classify < 0 || classify >= len(attrs) {
+		return nil, fmt.Errorf("mining: classify index %d out of range for %v", classify, attrs)
+	}
+
+	// contextsOf[value] = sorted set of context keys the value occurs with;
+	// a context is the row minus the classified column.
+	contextsOf := map[string]map[string]bool{}
+	contextRows := map[string][]string{} // context key → context values
+	for _, row := range r.Rows() {
+		ctx := make([]string, 0, len(row)-1)
+		for i, v := range row {
+			if i != classify {
+				ctx = append(ctx, v)
+			}
+		}
+		ck := strings.Join(ctx, "\x1f")
+		if _, ok := contextRows[ck]; !ok {
+			contextRows[ck] = ctx
+		}
+		v := row[classify]
+		if contextsOf[v] == nil {
+			contextsOf[v] = map[string]bool{}
+		}
+		contextsOf[v][ck] = true
+	}
+
+	// Group values with identical context sets.
+	groupOf := map[string][]string{} // signature → values
+	for v, ctxs := range contextsOf {
+		keys := make([]string, 0, len(ctxs))
+		for k := range ctxs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		sig := strings.Join(keys, "\x1e")
+		groupOf[sig] = append(groupOf[sig], v)
+	}
+
+	// Build hierarchies: the classified attribute gets minted classes; the
+	// others are flat.
+	hs := make([]*hierarchy.Hierarchy, len(attrs))
+	for i, a := range attrs {
+		hs[i] = hierarchy.New("dom_" + a)
+	}
+	// Collect every value per attribute.
+	valueSeen := make([]map[string]bool, len(attrs))
+	for i := range attrs {
+		valueSeen[i] = map[string]bool{}
+	}
+	for _, row := range r.Rows() {
+		for i, v := range row {
+			if !valueSeen[i][v] {
+				valueSeen[i][v] = true
+				if i != classify {
+					if err := hs[i].AddInstance(v); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+	}
+
+	// Deterministic group ordering: by sorted first member.
+	sigs := make([]string, 0, len(groupOf))
+	for sig := range groupOf {
+		sort.Strings(groupOf[sig])
+		sigs = append(sigs, sig)
+	}
+	sort.Slice(sigs, func(i, j int) bool { return groupOf[sigs[i]][0] < groupOf[sigs[j]][0] })
+
+	classes := map[string][]string{}
+	classNameFor := map[string]string{} // signature → class (or sole value)
+	counter := 0
+	for _, sig := range sigs {
+		members := groupOf[sig]
+		if len(members) == 1 {
+			if err := hs[classify].AddInstance(members[0]); err != nil {
+				return nil, err
+			}
+			classNameFor[sig] = members[0]
+			continue
+		}
+		counter++
+		class := fmt.Sprintf("%s_class_%d", r.Name(), counter)
+		if err := hs[classify].AddClass(class); err != nil {
+			return nil, err
+		}
+		for _, m := range members {
+			if err := hs[classify].AddInstance(m, class); err != nil {
+				return nil, err
+			}
+		}
+		classes[class] = members
+		classNameFor[sig] = class
+	}
+
+	// Build the hierarchical relation: one tuple per (group, context).
+	cattrs := make([]core.Attribute, len(attrs))
+	for i, a := range attrs {
+		cattrs[i] = core.Attribute{Name: a, Domain: hs[i]}
+	}
+	schema, err := core.NewSchema(cattrs...)
+	if err != nil {
+		return nil, err
+	}
+	out := core.NewRelation(r.Name(), schema)
+	for _, sig := range sigs {
+		rep := groupOf[sig][0]
+		node := classNameFor[sig]
+		cks := make([]string, 0, len(contextsOf[rep]))
+		for ck := range contextsOf[rep] {
+			cks = append(cks, ck)
+		}
+		sort.Strings(cks)
+		for _, ck := range cks {
+			ctx := contextRows[ck]
+			item := make(core.Item, len(attrs))
+			n := 0
+			for i := range attrs {
+				if i == classify {
+					item[i] = node
+				} else {
+					item[i] = ctx[n]
+					n++
+				}
+			}
+			if err := out.Insert(item, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	return &Result{
+		Relation:     out,
+		Hierarchies:  hs,
+		Classes:      classes,
+		FlatRows:     r.Len(),
+		StoredTuples: out.Len(),
+	}, nil
+}
+
+// BestAttribute tries every attribute and returns the classification index
+// with the highest compression ratio.
+func BestAttribute(r *flat.Relation) (int, *Result, error) {
+	best := -1
+	var bestRes *Result
+	for i := range r.Attrs() {
+		res, err := Mine(r, i)
+		if err != nil {
+			return 0, nil, err
+		}
+		if bestRes == nil || res.CompressionRatio() > bestRes.CompressionRatio() {
+			best, bestRes = i, res
+		}
+	}
+	return best, bestRes, nil
+}

@@ -1,0 +1,174 @@
+package mining
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"hrdb/internal/flat"
+)
+
+// clusteredFixture: 6 birds fly and eat seeds; 2 penguins swim and eat
+// fish. Classifying the animal column should mint two classes and compress
+// 16 rows into 4 tuples.
+func clusteredFixture(t *testing.T) *flat.Relation {
+	t.Helper()
+	r := flat.New("Does", "Animal", "Activity")
+	birds := []string{"tweety", "robin", "lark", "wren", "finch", "dove"}
+	penguins := []string{"paul", "pete"}
+	for _, b := range birds {
+		for _, a := range []string{"fly", "eat_seeds"} {
+			if err := r.Insert(b, a); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, p := range penguins {
+		for _, a := range []string{"swim", "eat_fish"} {
+			if err := r.Insert(p, a); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return r
+}
+
+func TestMineClusteredData(t *testing.T) {
+	r := clusteredFixture(t)
+	res, err := Mine(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FlatRows != 16 {
+		t.Fatalf("FlatRows = %d", res.FlatRows)
+	}
+	if res.StoredTuples != 4 {
+		t.Fatalf("StoredTuples = %d: %v", res.StoredTuples, res.Relation.Tuples())
+	}
+	if got := res.CompressionRatio(); got != 4 {
+		t.Fatalf("ratio = %v", got)
+	}
+	if len(res.Classes) != 2 {
+		t.Fatalf("classes = %v", res.Classes)
+	}
+	// Class membership: the 6 birds together, the 2 penguins together.
+	sizes := map[int]int{}
+	for _, members := range res.Classes {
+		sizes[len(members)]++
+	}
+	if sizes[6] != 1 || sizes[2] != 1 {
+		t.Fatalf("class sizes = %v", sizes)
+	}
+}
+
+// TestMinePreservesExtension: the mined relation's extension equals the
+// input rows exactly.
+func TestMinePreservesExtension(t *testing.T) {
+	r := clusteredFixture(t)
+	res, err := Mine(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ext, err := res.Relation.Extension()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, it := range ext {
+		got[it.Key()] = true
+	}
+	want := map[string]bool{}
+	for _, row := range r.Rows() {
+		want[row.Key()] = true
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("extension mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestMineSingletonGroups: values with unique contexts stay instances.
+func TestMineSingletonGroups(t *testing.T) {
+	r := flat.New("R", "X", "Y")
+	_ = r.Insert("a", "1")
+	_ = r.Insert("b", "2")
+	res, err := Mine(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Classes) != 0 {
+		t.Fatalf("classes = %v", res.Classes)
+	}
+	if res.StoredTuples != 2 {
+		t.Fatalf("tuples = %d", res.StoredTuples)
+	}
+	if res.CompressionRatio() != 1 {
+		t.Fatalf("ratio = %v", res.CompressionRatio())
+	}
+}
+
+func TestMineErrors(t *testing.T) {
+	r := flat.New("R", "X")
+	if _, err := Mine(r, 5); err == nil {
+		t.Fatal("bad index accepted")
+	}
+	// Empty relation mines to empty.
+	res, err := Mine(r, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StoredTuples != 0 || res.CompressionRatio() != 1 {
+		t.Fatalf("empty: %+v", res)
+	}
+}
+
+// TestBestAttribute picks the column with the larger win.
+func TestBestAttribute(t *testing.T) {
+	// Classifying Animal compresses 4×; classifying Activity only 2×
+	// (fly/eat_seeds share contexts, swim/eat_fish share contexts).
+	r := clusteredFixture(t)
+	best, res, err := BestAttribute(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 0 {
+		t.Fatalf("best = %d (ratio %v)", best, res.CompressionRatio())
+	}
+}
+
+// TestMineRandomPreservesExtension: property test on random flat data.
+func TestMineRandomPreservesExtension(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 20; trial++ {
+		r := flat.New("R", "X", "Y")
+		for n := 0; n < 3+rng.Intn(20); n++ {
+			_ = r.Insert(
+				fmt.Sprintf("x%d", rng.Intn(8)),
+				fmt.Sprintf("y%d", rng.Intn(4)),
+			)
+		}
+		res, err := Mine(r, rng.Intn(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.StoredTuples > res.FlatRows {
+			t.Fatalf("trial %d: mining grew the relation", trial)
+		}
+		ext, err := res.Relation.Extension()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[string]bool{}
+		for _, it := range ext {
+			got[it.Key()] = true
+		}
+		want := map[string]bool{}
+		for _, row := range r.Rows() {
+			want[row.Key()] = true
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: extension mismatch\nrows %v\ntuples %v",
+				trial, r.Rows(), res.Relation.Tuples())
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package partial
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hrdb/internal/core"
+	"hrdb/internal/hierarchy"
+	"hrdb/internal/tvl"
+)
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fixture: birds fly, penguins don't; swans unknown.
+func fixture(t *testing.T) *Relation {
+	t.Helper()
+	h := hierarchy.New("Animal")
+	must(t, h.AddClass("Bird"))
+	must(t, h.AddClass("Penguin", "Bird"))
+	must(t, h.AddInstance("Paul", "Penguin"))
+	must(t, h.AddInstance("Pete", "Penguin"))
+	must(t, h.AddInstance("Tweety", "Bird"))
+	must(t, h.AddClass("Swan"))
+	must(t, h.AddInstance("Sally", "Swan"))
+	must(t, h.AddInstance("Simon", "Swan"))
+	s := core.MustSchema(core.Attribute{Name: "Creature", Domain: h})
+	base := core.NewRelation("Flies", s)
+	must(t, base.Assert("Bird"))
+	must(t, base.Deny("Penguin"))
+	return New(base)
+}
+
+func TestHoldsEveryIsOpenWorld(t *testing.T) {
+	r := fixture(t)
+	v, err := r.HoldsEvery("Tweety")
+	must(t, err)
+	if v != tvl.True {
+		t.Fatalf("Tweety = %v", v)
+	}
+	v, err = r.HoldsEvery("Penguin")
+	must(t, err)
+	if v != tvl.False {
+		t.Fatalf("Penguin = %v", v)
+	}
+	v, err = r.HoldsEvery("Swan")
+	must(t, err)
+	if v != tvl.Unknown {
+		t.Fatalf("Swan = %v", v)
+	}
+}
+
+func TestHoldsSomeWitnessFromUniversalLayer(t *testing.T) {
+	r := fixture(t)
+	// Some bird flies (Tweety is a known witness).
+	v, err := r.HoldsSome("Bird")
+	must(t, err)
+	if v != tvl.True {
+		t.Fatalf("some Bird = %v", v)
+	}
+	// No penguin flies: all atoms explicitly false.
+	v, err = r.HoldsSome("Penguin")
+	must(t, err)
+	if v != tvl.False {
+		t.Fatalf("some Penguin = %v", v)
+	}
+	// Swans: nothing known either way.
+	v, err = r.HoldsSome("Swan")
+	must(t, err)
+	if v != tvl.Unknown {
+		t.Fatalf("some Swan = %v", v)
+	}
+}
+
+func TestExistentialAssertionSuppliesWitness(t *testing.T) {
+	r := fixture(t)
+	// ∃ swan that flies — without naming it.
+	must(t, r.AssertSome("Swan"))
+	v, err := r.HoldsSome("Swan")
+	must(t, err)
+	if v != tvl.True {
+		t.Fatalf("some Swan = %v", v)
+	}
+	// The universal question stays unknown.
+	v, err = r.HoldsEvery("Swan")
+	must(t, err)
+	if v != tvl.Unknown {
+		t.Fatalf("every Swan = %v", v)
+	}
+	// Individual swans stay unknown too: the witness is anonymous.
+	v, err = r.HoldsSome("Sally")
+	must(t, err)
+	if v != tvl.Unknown {
+		t.Fatalf("some Sally = %v", v)
+	}
+	// The whole domain inherits the witness (Swan ⊆ Animal).
+	v, err = r.HoldsSome("Animal")
+	must(t, err)
+	if v != tvl.True {
+		t.Fatalf("some Animal = %v", v)
+	}
+}
+
+func TestExistentialOverlappingAllFalseIsUnknown(t *testing.T) {
+	r := fixture(t)
+	// ∃ bird that flies, asserted at the Bird level: penguins are all
+	// explicitly false, but the anonymous witness could be a penguin only
+	// if the assertion overlapped Penguin — Bird does overlap Penguin, so
+	// "some penguin flies" must stay Unknown rather than False.
+	must(t, r.AssertSome("Bird"))
+	v, err := r.HoldsSome("Penguin")
+	must(t, err)
+	if v != tvl.Unknown {
+		t.Fatalf("some Penguin with overlapping ∃Bird = %v", v)
+	}
+	// Retract: back to False.
+	if !r.RetractSome("Bird") {
+		t.Fatal("retract failed")
+	}
+	if r.RetractSome("Bird") {
+		t.Fatal("double retract")
+	}
+	v, err = r.HoldsSome("Penguin")
+	must(t, err)
+	if v != tvl.False {
+		t.Fatalf("some Penguin = %v", v)
+	}
+}
+
+func TestExistentialsAccessors(t *testing.T) {
+	r := fixture(t)
+	must(t, r.AssertSome("Swan"))
+	must(t, r.AssertSome("Bird"))
+	got := r.Existentials()
+	if len(got) != 2 {
+		t.Fatalf("existentials = %v", got)
+	}
+	if r.Base() == nil {
+		t.Fatal("Base nil")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	r := fixture(t)
+	if err := r.AssertSome("NotAThing"); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+	if _, err := r.HoldsSome("a", "b"); !errors.Is(err, core.ErrArity) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := r.HoldsSome("NotAThing"); err == nil {
+		t.Fatal("unknown value accepted in query")
+	}
+}
+
+// TestPropertyHoldsSomeSound: HoldsSome never answers True without a
+// derivable witness and never answers False when a witness exists, on
+// random relations with random existential assertions.
+func TestPropertyHoldsSomeSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(311))
+	for trial := 0; trial < 40; trial++ {
+		h := hierarchy.New("D")
+		must(t, h.AddClass("C1"))
+		must(t, h.AddClass("C2"))
+		must(t, h.AddClass("C12", "C1", "C2"))
+		for i := 0; i < 6; i++ {
+			parent := []string{"C1", "C2", "C12"}[rng.Intn(3)]
+			must(t, h.AddInstance(fmt.Sprintf("x%d", i), parent))
+		}
+		s := core.MustSchema(core.Attribute{Name: "X", Domain: h})
+		base := core.NewRelation("R", s)
+		nodes := h.Nodes()
+		for n := 0; n < 3; n++ {
+			item := core.Item{nodes[rng.Intn(len(nodes))]}
+			_ = base.Insert(item, rng.Intn(2) == 0)
+		}
+		if len(base.Conflicts()) > 0 {
+			continue
+		}
+		r := New(base)
+		if rng.Intn(2) == 0 {
+			_ = r.AssertSome(nodes[rng.Intn(len(nodes))])
+		}
+
+		for _, q := range nodes {
+			v, err := r.HoldsSome(q)
+			if err != nil {
+				t.Fatalf("trial %d HoldsSome(%s): %v", trial, q, err)
+			}
+			// Brute-force the two bounds.
+			witnessTrue := false
+			allFalse := true
+			for _, leaf := range h.Leaves(q) {
+				lv, err := tvl.Evaluate(base, core.Item{leaf})
+				must(t, err)
+				if lv == tvl.True {
+					witnessTrue = true
+				}
+				if lv != tvl.False {
+					allFalse = false
+				}
+			}
+			exContained := false
+			exOverlap := false
+			for _, e := range r.Existentials() {
+				if h.Subsumes(q, e[0]) {
+					exContained = true
+				}
+				if h.Overlaps(q, e[0]) {
+					exOverlap = true
+				}
+			}
+			switch v {
+			case tvl.True:
+				if !witnessTrue && !exContained {
+					t.Fatalf("trial %d: HoldsSome(%s)=true without witness\ntuples %v ex %v",
+						trial, q, base.Tuples(), r.Existentials())
+				}
+			case tvl.False:
+				if witnessTrue || exContained || !allFalse || exOverlap {
+					t.Fatalf("trial %d: HoldsSome(%s)=false unsoundly\ntuples %v ex %v",
+						trial, q, base.Tuples(), r.Existentials())
+				}
+			}
+		}
+	}
+}
+
+// TestWitnessScanCap: the atom enumeration is bounded.
+func TestWitnessScanCap(t *testing.T) {
+	h := hierarchy.New("D")
+	must(t, h.AddClass("C"))
+	for i := 0; i < 300; i++ {
+		name := "i"
+		for n := i; n > 0; n /= 26 {
+			name += string(rune('a' + n%26))
+		}
+		must(t, h.AddInstance(name, "C"))
+	}
+	s := core.MustSchema(
+		core.Attribute{Name: "A", Domain: h},
+		core.Attribute{Name: "B", Domain: h},
+	)
+	base := core.NewRelation("R", s)
+	r := New(base)
+	if _, err := r.HoldsSome("C", "C"); !errors.Is(err, core.ErrTooLarge) {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot file format:
+//
+//	magic   [4]byte  "HRDB"
+//	version uint32   little-endian
+//	length  uint64   payload byte count
+//	crc     uint32   CRC-32 (IEEE) of the payload
+//	payload []byte   gob-encoded DatabaseSpec
+//
+// Snapshots are written atomically (temp file + rename).
+
+var snapshotMagic = [4]byte{'H', 'R', 'D', 'B'}
+
+// SnapshotVersion is the current snapshot format version.
+const SnapshotVersion = 1
+
+// WriteSnapshot serializes the spec to path atomically.
+func WriteSnapshot(path string, spec DatabaseSpec) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(spec); err != nil {
+		return fmt.Errorf("storage: encode snapshot: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.Write(snapshotMagic[:])
+	var hdr [16]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], SnapshotVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[12:16], crc32.ChecksumIEEE(payload.Bytes()))
+	buf.Write(hdr[:])
+	buf.Write(payload.Bytes())
+
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// ReadSnapshot loads and verifies a snapshot file.
+func ReadSnapshot(path string) (DatabaseSpec, error) {
+	var spec DatabaseSpec
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return spec, err
+	}
+	if len(data) < 20 || !bytes.Equal(data[:4], snapshotMagic[:]) {
+		return spec, fmt.Errorf("%w: bad magic in %s", ErrCorrupt, path)
+	}
+	version := binary.LittleEndian.Uint32(data[4:8])
+	if version != SnapshotVersion {
+		return spec, fmt.Errorf("%w: snapshot version %d", ErrVersion, version)
+	}
+	n := binary.LittleEndian.Uint64(data[8:16])
+	crc := binary.LittleEndian.Uint32(data[16:20])
+	payload := data[20:]
+	if uint64(len(payload)) != n {
+		return spec, fmt.Errorf("%w: truncated snapshot %s (%d of %d bytes)", ErrCorrupt, path, len(payload), n)
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return spec, fmt.Errorf("%w: checksum mismatch in %s", ErrCorrupt, path)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&spec); err != nil {
+		return spec, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return spec, nil
+}
+
+// syncDir fsyncs a directory so a rename is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil // best effort; not all platforms allow dir fsync
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}

@@ -1,0 +1,179 @@
+// Package storage persists hierarchical relational databases: versioned,
+// checksummed binary snapshots plus an append-only operation log (WAL) with
+// crash recovery. Together with the catalog package it turns the in-memory
+// model of the paper into a durable store.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"hrdb/internal/catalog"
+	"hrdb/internal/core"
+	"hrdb/internal/hierarchy"
+)
+
+// ErrCorrupt indicates a snapshot or log whose checksum, magic, or
+// structure is invalid.
+var ErrCorrupt = errors.New("storage: corrupt data")
+
+// ErrVersion indicates an unsupported format version.
+var ErrVersion = errors.New("storage: unsupported format version")
+
+// NodeSpec describes one hierarchy node: its direct parents (possibly
+// including deliberately redundant edges) and whether it is an instance.
+type NodeSpec struct {
+	Name     string
+	Instance bool
+	Parents  []string
+}
+
+// HierarchySpec is the serializable form of a hierarchy.
+type HierarchySpec struct {
+	Domain string
+	// Nodes are listed in a topological order (parents before children).
+	Nodes []NodeSpec
+	// Prefs are (stronger, weaker) preference pairs.
+	Prefs [][2]string
+}
+
+// TupleSpec is one signed tuple.
+type TupleSpec struct {
+	Item []string
+	Sign bool
+}
+
+// RelationAttr names one relation attribute and its domain.
+type RelationAttr struct {
+	Name   string
+	Domain string
+}
+
+// RelationSpec is the serializable form of a relation.
+type RelationSpec struct {
+	Name   string
+	Attrs  []RelationAttr
+	Mode   int
+	Tuples []TupleSpec
+}
+
+// DatabaseSpec is the serializable form of a whole database.
+type DatabaseSpec struct {
+	Policy      int
+	Hierarchies []HierarchySpec
+	Relations   []RelationSpec
+}
+
+// SnapshotHierarchy converts a hierarchy to its spec.
+func SnapshotHierarchy(h *hierarchy.Hierarchy) HierarchySpec {
+	spec := HierarchySpec{Domain: h.Domain()}
+	idx := h.TopoIndex()
+	nodes := h.Nodes()
+	sort.Slice(nodes, func(i, j int) bool {
+		if idx[nodes[i]] != idx[nodes[j]] {
+			return idx[nodes[i]] < idx[nodes[j]]
+		}
+		return nodes[i] < nodes[j]
+	})
+	for _, n := range nodes {
+		if n == h.Domain() {
+			continue
+		}
+		spec.Nodes = append(spec.Nodes, NodeSpec{
+			Name:     n,
+			Instance: h.IsInstance(n),
+			Parents:  h.Parents(n),
+		})
+	}
+	spec.Prefs = h.Preferences()
+	return spec
+}
+
+// BuildHierarchy reconstructs a hierarchy from its spec.
+func BuildHierarchy(spec HierarchySpec) (*hierarchy.Hierarchy, error) {
+	h := hierarchy.New(spec.Domain)
+	for _, n := range spec.Nodes {
+		var err error
+		if n.Instance {
+			err = h.AddInstance(n.Name, n.Parents...)
+		} else {
+			err = h.AddClass(n.Name, n.Parents...)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: rebuild hierarchy %q: %w", spec.Domain, err)
+		}
+	}
+	for _, p := range spec.Prefs {
+		if err := h.Prefer(p[0], p[1]); err != nil {
+			return nil, fmt.Errorf("storage: rebuild hierarchy %q: %w", spec.Domain, err)
+		}
+	}
+	return h, nil
+}
+
+// SnapshotRelation converts a relation to its spec.
+func SnapshotRelation(r *core.Relation) RelationSpec {
+	s := r.Schema()
+	spec := RelationSpec{Name: r.Name(), Mode: int(r.Mode())}
+	for i := 0; i < s.Arity(); i++ {
+		a := s.Attr(i)
+		spec.Attrs = append(spec.Attrs, RelationAttr{Name: a.Name, Domain: a.Domain.Domain()})
+	}
+	for _, t := range r.Tuples() {
+		spec.Tuples = append(spec.Tuples, TupleSpec{Item: append([]string(nil), t.Item...), Sign: t.Sign})
+	}
+	return spec
+}
+
+// SnapshotDatabase converts a whole database to its spec.
+func SnapshotDatabase(db *catalog.Database) DatabaseSpec {
+	spec := DatabaseSpec{Policy: int(db.Policy())}
+	for _, d := range db.Hierarchies() {
+		h, err := db.Hierarchy(d)
+		if err != nil {
+			continue
+		}
+		spec.Hierarchies = append(spec.Hierarchies, SnapshotHierarchy(h))
+	}
+	for _, n := range db.Relations() {
+		r, err := db.Snapshot(n)
+		if err != nil {
+			continue
+		}
+		spec.Relations = append(spec.Relations, SnapshotRelation(r))
+	}
+	return spec
+}
+
+// BuildDatabase reconstructs a database from its spec.
+func BuildDatabase(spec DatabaseSpec) (*catalog.Database, error) {
+	db := catalog.New()
+	db.SetPolicy(catalog.ExceptionPolicy(spec.Policy))
+	for _, hs := range spec.Hierarchies {
+		h, err := BuildHierarchy(hs)
+		if err != nil {
+			return nil, err
+		}
+		if err := db.AttachHierarchy(h); err != nil {
+			return nil, err
+		}
+	}
+	for _, rs := range spec.Relations {
+		attrs := make([]catalog.AttrSpec, len(rs.Attrs))
+		for i, a := range rs.Attrs {
+			attrs[i] = catalog.AttrSpec{Name: a.Name, Domain: a.Domain}
+		}
+		r, err := db.CreateRelation(rs.Name, attrs...)
+		if err != nil {
+			return nil, err
+		}
+		r.SetMode(core.Preemption(rs.Mode))
+		for _, t := range rs.Tuples {
+			if err := r.Insert(core.Item(t.Item), t.Sign); err != nil {
+				return nil, fmt.Errorf("storage: rebuild relation %q: %w", rs.Name, err)
+			}
+		}
+	}
+	return db, nil
+}

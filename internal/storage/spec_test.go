@@ -1,0 +1,105 @@
+package storage
+
+import (
+	"testing"
+)
+
+// TestBuildHierarchyBadSpec: broken specs are rejected with context.
+func TestBuildHierarchyBadSpec(t *testing.T) {
+	// Parent before child violated.
+	_, err := BuildHierarchy(HierarchySpec{
+		Domain: "D",
+		Nodes:  []NodeSpec{{Name: "child", Parents: []string{"missing"}}},
+	})
+	if err == nil {
+		t.Fatal("missing parent accepted")
+	}
+	// Duplicate node.
+	_, err = BuildHierarchy(HierarchySpec{
+		Domain: "D",
+		Nodes:  []NodeSpec{{Name: "x"}, {Name: "x"}},
+	})
+	if err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	// Bad preference.
+	_, err = BuildHierarchy(HierarchySpec{
+		Domain: "D",
+		Prefs:  [][2]string{{"a", "b"}},
+	})
+	if err == nil {
+		t.Fatal("bad preference accepted")
+	}
+}
+
+// TestBuildDatabaseBadSpecs.
+func TestBuildDatabaseBadSpecs(t *testing.T) {
+	// Relation referencing a missing hierarchy.
+	_, err := BuildDatabase(DatabaseSpec{
+		Relations: []RelationSpec{{
+			Name:  "R",
+			Attrs: []RelationAttr{{Name: "X", Domain: "Missing"}},
+		}},
+	})
+	if err == nil {
+		t.Fatal("missing hierarchy accepted")
+	}
+	// Tuple with a value outside the domain.
+	_, err = BuildDatabase(DatabaseSpec{
+		Hierarchies: []HierarchySpec{{Domain: "D", Nodes: []NodeSpec{{Name: "a"}}}},
+		Relations: []RelationSpec{{
+			Name:   "R",
+			Attrs:  []RelationAttr{{Name: "X", Domain: "D"}},
+			Tuples: []TupleSpec{{Item: []string{"nope"}, Sign: true}},
+		}},
+	})
+	if err == nil {
+		t.Fatal("bad tuple accepted")
+	}
+	// Duplicate hierarchy.
+	_, err = BuildDatabase(DatabaseSpec{
+		Hierarchies: []HierarchySpec{{Domain: "D"}, {Domain: "D"}},
+	})
+	if err == nil {
+		t.Fatal("duplicate hierarchy accepted")
+	}
+}
+
+// TestApplyCorruptRecords: the store rejects malformed WAL records with
+// ErrCorrupt-wrapped context.
+func TestApplyCorruptRecords(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	must(t, err)
+	defer s.Close()
+	must(t, s.CreateHierarchy("D"))
+
+	bad := []Record{
+		{Op: OpAddClass, Target: "D"},                       // missing name
+		{Op: OpAddEdge, Target: "D", Args: []string{"one"}}, // wants 2
+		{Op: OpPrefer, Target: "D", Args: []string{"one"}},  // wants 2
+		{Op: OpCreateRelation, Target: "R", Args: []string{"odd"}},
+		{Op: Op("nonsense")},
+	}
+	for _, rec := range bad {
+		if err := s.apply(rec); err == nil {
+			t.Errorf("record %+v accepted", rec)
+		}
+	}
+}
+
+// TestSnapshotRoundTripPreservesMode: preemption modes survive.
+func TestSnapshotRoundTripPreservesMode(t *testing.T) {
+	db := buildDB(t)
+	r, err := db.Relation("Flies")
+	must(t, err)
+	r.SetMode(2) // NoPreemption
+	spec := SnapshotDatabase(db)
+	db2, err := BuildDatabase(spec)
+	must(t, err)
+	r2, err := db2.Relation("Flies")
+	must(t, err)
+	if int(r2.Mode()) != 2 {
+		t.Fatalf("mode = %v", r2.Mode())
+	}
+}

@@ -1,0 +1,394 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"hrdb/internal/catalog"
+	"hrdb/internal/core"
+)
+
+// Store is a durable hierarchical relational database: an in-memory catalog
+// plus a snapshot file and a write-ahead log. Mutations go through Store
+// methods, which log first and then apply (write-ahead); Open recovers by
+// loading the snapshot and replaying the log.
+type Store struct {
+	db  *catalog.Database
+	log *Log
+	dir string
+	// failed is set when an in-memory mutation succeeded but its log
+	// append did not: memory and disk have diverged, and the only safe
+	// continuation is to reopen (recovering the logged prefix).
+	failed bool
+}
+
+// ErrStoreFailed indicates a store whose WAL append failed after the
+// in-memory mutation was applied; reopen the store to recover.
+var ErrStoreFailed = errors.New("storage: store failed (WAL append error); reopen to recover")
+
+// Filenames inside a store directory.
+const (
+	snapshotFile = "snapshot.hrdb"
+	walFile      = "wal.log"
+)
+
+// Open opens (creating if needed) a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var db *catalog.Database
+	snapPath := filepath.Join(dir, snapshotFile)
+	if _, err := os.Stat(snapPath); err == nil {
+		spec, err := ReadSnapshot(snapPath)
+		if err != nil {
+			return nil, err
+		}
+		db, err = BuildDatabase(spec)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		db = catalog.New()
+	}
+	log, err := OpenLog(filepath.Join(dir, walFile))
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{db: db, log: log, dir: dir}
+	if err := s.replay(); err != nil {
+		log.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+// Database exposes the underlying catalog for queries. Mutations should go
+// through Store methods so they are logged.
+func (s *Store) Database() *catalog.Database { return s.db }
+
+// Dir returns the store directory.
+func (s *Store) Dir() string { return s.dir }
+
+// replay applies every log record to the freshly loaded database. Records
+// between tx_begin and tx_commit are buffered and applied as one catalog
+// transaction, since an individual record of a batch may be inconsistent
+// on its own (§3.1's whole point).
+func (s *Store) replay() error {
+	var txBuf []catalog.TxOp
+	inTx := false
+	return s.log.Replay(func(rec Record) error {
+		switch rec.Op {
+		case OpTxBegin:
+			inTx = true
+			txBuf = nil
+			return nil
+		case OpTxCommit:
+			inTx = false
+			ops := txBuf
+			txBuf = nil
+			return s.db.ApplyOps(ops)
+		case OpAssert, OpDeny, OpRetract:
+			if inTx {
+				kind := map[Op]string{OpAssert: "assert", OpDeny: "deny", OpRetract: "retract"}[rec.Op]
+				txBuf = append(txBuf, catalog.TxOp{Kind: kind, Relation: rec.Target, Values: rec.Args})
+				return nil
+			}
+		}
+		return s.apply(rec)
+	})
+}
+
+// ApplyTx applies the operations in one transaction and, on success, logs
+// them bracketed by tx_begin/tx_commit records.
+func (s *Store) ApplyTx(ops []catalog.TxOp) error {
+	if s.failed {
+		return ErrStoreFailed
+	}
+	if err := s.db.ApplyOps(ops); err != nil {
+		return err
+	}
+	if err := s.log.Append(Record{Op: OpTxBegin}); err != nil {
+		s.failed = true
+		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	for _, o := range ops {
+		var op Op
+		switch o.Kind {
+		case "assert":
+			op = OpAssert
+		case "deny":
+			op = OpDeny
+		case "retract":
+			op = OpRetract
+		default:
+			return fmt.Errorf("storage: unknown tx op %q", o.Kind)
+		}
+		if err := s.log.Append(Record{Op: op, Target: o.Relation, Args: o.Values}); err != nil {
+			s.failed = true
+			return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+		}
+	}
+	if err := s.log.Append(Record{Op: OpTxCommit}); err != nil {
+		s.failed = true
+		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	return nil
+}
+
+// apply executes one record against the catalog.
+func (s *Store) apply(rec Record) error {
+	db := s.db
+	switch rec.Op {
+	case OpCreateHierarchy:
+		_, err := db.CreateHierarchy(rec.Target)
+		return err
+	case OpAddClass, OpAddInstance:
+		h, err := db.Hierarchy(rec.Target)
+		if err != nil {
+			return err
+		}
+		if len(rec.Args) == 0 {
+			return fmt.Errorf("%w: %s without a name", ErrCorrupt, rec.Op)
+		}
+		name, parents := rec.Args[0], rec.Args[1:]
+		if rec.Op == OpAddInstance {
+			return h.AddInstance(name, parents...)
+		}
+		return h.AddClass(name, parents...)
+	case OpAddEdge:
+		h, err := db.Hierarchy(rec.Target)
+		if err != nil {
+			return err
+		}
+		if len(rec.Args) != 2 {
+			return fmt.Errorf("%w: add_edge wants 2 args", ErrCorrupt)
+		}
+		return h.AddEdge(rec.Args[0], rec.Args[1])
+	case OpPrefer:
+		h, err := db.Hierarchy(rec.Target)
+		if err != nil {
+			return err
+		}
+		if len(rec.Args) != 2 {
+			return fmt.Errorf("%w: prefer wants 2 args", ErrCorrupt)
+		}
+		return h.Prefer(rec.Args[0], rec.Args[1])
+	case OpCreateRelation:
+		if len(rec.Args)%2 != 0 {
+			return fmt.Errorf("%w: create_relation wants attr/domain pairs", ErrCorrupt)
+		}
+		attrs := make([]catalog.AttrSpec, 0, len(rec.Args)/2)
+		for i := 0; i+1 < len(rec.Args); i += 2 {
+			attrs = append(attrs, catalog.AttrSpec{Name: rec.Args[i], Domain: rec.Args[i+1]})
+		}
+		_, err := db.CreateRelation(rec.Target, attrs...)
+		return err
+	case OpDropRelation:
+		return db.DropRelation(rec.Target)
+	case OpAssert:
+		return db.Assert(rec.Target, rec.Args...)
+	case OpDeny:
+		return db.Deny(rec.Target, rec.Args...)
+	case OpRetract:
+		_, err := db.Retract(rec.Target, rec.Args...)
+		return err
+	case OpConsolidate:
+		_, err := db.Consolidate(rec.Target)
+		return err
+	case OpExplicate:
+		return db.Explicate(rec.Target, rec.Args...)
+	case OpDropNode:
+		if len(rec.Args) != 1 {
+			return fmt.Errorf("%w: drop_node wants 1 arg", ErrCorrupt)
+		}
+		return db.DropNode(rec.Target, rec.Args[0])
+	case OpSetMode:
+		if len(rec.Args) != 1 {
+			return fmt.Errorf("%w: set_mode wants 1 arg", ErrCorrupt)
+		}
+		mode, err := parseMode(rec.Args[0])
+		if err != nil {
+			return err
+		}
+		return db.SetMode(rec.Target, mode)
+	case OpTxBegin, OpTxCommit:
+		// Transaction brackets: records between them were individually
+		// applied; commit-time consistency held when they were logged.
+		return nil
+	default:
+		return fmt.Errorf("%w: unknown op %q", ErrCorrupt, rec.Op)
+	}
+}
+
+// logged performs a mutation write-ahead: the record is appended to the log
+// only after the in-memory application succeeds (a failed application must
+// not leave a poisoned log). If the append itself fails, memory and disk
+// have diverged: the store is marked failed and refuses further mutations
+// until reopened.
+func (s *Store) logged(rec Record, do func() error) error {
+	if s.failed {
+		return ErrStoreFailed
+	}
+	if err := do(); err != nil {
+		return err
+	}
+	if err := s.log.Append(rec); err != nil {
+		s.failed = true
+		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	return nil
+}
+
+// CreateHierarchy creates and logs a hierarchy.
+func (s *Store) CreateHierarchy(domain string) error {
+	return s.logged(Record{Op: OpCreateHierarchy, Target: domain}, func() error {
+		_, err := s.db.CreateHierarchy(domain)
+		return err
+	})
+}
+
+// AddClass adds and logs a class.
+func (s *Store) AddClass(domain, name string, parents ...string) error {
+	return s.logged(Record{Op: OpAddClass, Target: domain, Args: append([]string{name}, parents...)}, func() error {
+		h, err := s.db.Hierarchy(domain)
+		if err != nil {
+			return err
+		}
+		return h.AddClass(name, parents...)
+	})
+}
+
+// AddInstance adds and logs an instance.
+func (s *Store) AddInstance(domain, name string, parents ...string) error {
+	return s.logged(Record{Op: OpAddInstance, Target: domain, Args: append([]string{name}, parents...)}, func() error {
+		h, err := s.db.Hierarchy(domain)
+		if err != nil {
+			return err
+		}
+		return h.AddInstance(name, parents...)
+	})
+}
+
+// AddEdge adds and logs an extra is-a edge.
+func (s *Store) AddEdge(domain, parent, child string) error {
+	return s.logged(Record{Op: OpAddEdge, Target: domain, Args: []string{parent, child}}, func() error {
+		h, err := s.db.Hierarchy(domain)
+		if err != nil {
+			return err
+		}
+		return h.AddEdge(parent, child)
+	})
+}
+
+// Prefer adds and logs a preference edge.
+func (s *Store) Prefer(domain, stronger, weaker string) error {
+	return s.logged(Record{Op: OpPrefer, Target: domain, Args: []string{stronger, weaker}}, func() error {
+		h, err := s.db.Hierarchy(domain)
+		if err != nil {
+			return err
+		}
+		return h.Prefer(stronger, weaker)
+	})
+}
+
+// CreateRelation creates and logs a relation.
+func (s *Store) CreateRelation(name string, attrs ...catalog.AttrSpec) error {
+	args := make([]string, 0, 2*len(attrs))
+	for _, a := range attrs {
+		args = append(args, a.Name, a.Domain)
+	}
+	return s.logged(Record{Op: OpCreateRelation, Target: name, Args: args}, func() error {
+		_, err := s.db.CreateRelation(name, attrs...)
+		return err
+	})
+}
+
+// DropRelation drops and logs.
+func (s *Store) DropRelation(name string) error {
+	return s.logged(Record{Op: OpDropRelation, Target: name}, func() error {
+		return s.db.DropRelation(name)
+	})
+}
+
+// Assert inserts and logs a positive tuple.
+func (s *Store) Assert(rel string, values ...string) error {
+	return s.logged(Record{Op: OpAssert, Target: rel, Args: values}, func() error {
+		return s.db.Assert(rel, values...)
+	})
+}
+
+// Deny inserts and logs a negated tuple.
+func (s *Store) Deny(rel string, values ...string) error {
+	return s.logged(Record{Op: OpDeny, Target: rel, Args: values}, func() error {
+		return s.db.Deny(rel, values...)
+	})
+}
+
+// Retract removes and logs.
+func (s *Store) Retract(rel string, values ...string) error {
+	return s.logged(Record{Op: OpRetract, Target: rel, Args: values}, func() error {
+		_, err := s.db.Retract(rel, values...)
+		return err
+	})
+}
+
+// Consolidate consolidates and logs.
+func (s *Store) Consolidate(rel string) error {
+	return s.logged(Record{Op: OpConsolidate, Target: rel}, func() error {
+		_, err := s.db.Consolidate(rel)
+		return err
+	})
+}
+
+// Explicate explicates and logs.
+func (s *Store) Explicate(rel string, attrs ...string) error {
+	return s.logged(Record{Op: OpExplicate, Target: rel, Args: attrs}, func() error {
+		return s.db.Explicate(rel, attrs...)
+	})
+}
+
+// DropNode removes a childless, unreferenced hierarchy node and logs it.
+func (s *Store) DropNode(domain, name string) error {
+	return s.logged(Record{Op: OpDropNode, Target: domain, Args: []string{name}}, func() error {
+		return s.db.DropNode(domain, name)
+	})
+}
+
+// SetMode switches a relation's preemption semantics and logs it.
+func (s *Store) SetMode(rel string, mode core.Preemption) error {
+	return s.logged(Record{Op: OpSetMode, Target: rel, Args: []string{mode.String()}}, func() error {
+		return s.db.SetMode(rel, mode)
+	})
+}
+
+// parseMode decodes a Preemption from its String form.
+func parseMode(v string) (core.Preemption, error) {
+	switch v {
+	case "off-path":
+		return core.OffPath, nil
+	case "on-path":
+		return core.OnPath, nil
+	case "none":
+		return core.NoPreemption, nil
+	default:
+		return 0, fmt.Errorf("%w: unknown mode %q", ErrCorrupt, v)
+	}
+}
+
+// Checkpoint writes a snapshot of the current database and resets the log.
+func (s *Store) Checkpoint() error {
+	spec := SnapshotDatabase(s.db)
+	if err := WriteSnapshot(filepath.Join(s.dir, snapshotFile), spec); err != nil {
+		return err
+	}
+	return s.log.Reset()
+}
+
+// LogSize returns the current WAL size in bytes.
+func (s *Store) LogSize() (int64, error) { return s.log.Size() }
+
+// Close closes the store's files.
+func (s *Store) Close() error { return s.log.Close() }

@@ -1,0 +1,197 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// Op identifies a logged operation.
+type Op string
+
+// The logged operation kinds.
+const (
+	OpCreateHierarchy Op = "create_hierarchy"
+	OpAddClass        Op = "add_class"
+	OpAddInstance     Op = "add_instance"
+	OpAddEdge         Op = "add_edge"
+	OpPrefer          Op = "prefer"
+	OpCreateRelation  Op = "create_relation"
+	OpDropRelation    Op = "drop_relation"
+	OpAssert          Op = "assert"
+	OpDeny            Op = "deny"
+	OpRetract         Op = "retract"
+	OpConsolidate     Op = "consolidate"
+	OpExplicate       Op = "explicate"
+	OpTxBegin         Op = "tx_begin"
+	OpTxCommit        Op = "tx_commit"
+	OpDropNode        Op = "drop_node"
+	OpSetMode         Op = "set_mode"
+)
+
+// Record is one WAL entry. The Args meaning depends on Op:
+//
+//	create_hierarchy: Target = domain
+//	add_class/add_instance: Target = domain, Args = [name, parents…]
+//	add_edge: Target = domain, Args = [parent, child]
+//	prefer: Target = domain, Args = [stronger, weaker]
+//	create_relation: Target = name, Args = [attr1, dom1, attr2, dom2, …]
+//	drop_relation: Target = name
+//	assert/deny/retract: Target = relation, Args = item values
+//	consolidate: Target = relation
+//	explicate: Target = relation, Args = attributes (empty = all)
+//	tx_begin/tx_commit: bracket a transaction's records
+type Record struct {
+	Op     Op
+	Target string
+	Args   []string
+}
+
+// WAL record framing:
+//
+//	length uint32 little-endian (payload bytes)
+//	crc    uint32 of payload
+//	payload gob(Record)
+//
+// A torn final record (crash mid-write) is detected and truncated.
+
+// Log is an append-only operation log.
+type Log struct {
+	f    *os.File
+	path string
+}
+
+// OpenLog opens (or creates) the log at path, validating existing records
+// and truncating a torn tail.
+func OpenLog(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	l := &Log{f: f, path: path}
+	valid, err := l.scanValid()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(valid); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return l, nil
+}
+
+// scanValid returns the byte offset after the last valid record.
+func (l *Log) scanValid() (int64, error) {
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return 0, err
+	}
+	var offset int64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(l.f, hdr[:]); err != nil {
+			return offset, nil // clean EOF or torn header: stop here
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		crc := binary.LittleEndian.Uint32(hdr[4:8])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(l.f, payload); err != nil {
+			return offset, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return offset, nil // corrupt tail
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return offset, nil
+		}
+		offset += 8 + int64(n)
+	}
+}
+
+// Append writes one record and syncs.
+func (l *Log) Append(rec Record) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := l.f.Write(payload.Bytes()); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Replay invokes fn for every valid record from the start. The write
+// position is restored afterwards.
+func (l *Log) Replay(fn func(Record) error) error {
+	end, err := l.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return err
+	}
+	defer l.f.Seek(end, io.SeekStart)
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	var read int64
+	for read < end {
+		if _, err := io.ReadFull(l.f, hdr[:]); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil
+			}
+			return err
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(l.f, payload); err != nil {
+			return fmt.Errorf("%w: torn record during replay", ErrCorrupt)
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if err := fn(rec); err != nil {
+			return err
+		}
+		read += 8 + int64(n)
+	}
+	return nil
+}
+
+// Reset truncates the log to empty (after a checkpoint).
+func (l *Log) Reset() error {
+	if err := l.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
+
+// Size returns the current log size in bytes.
+func (l *Log) Size() (int64, error) {
+	fi, err := l.f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+// Close closes the underlying file.
+func (l *Log) Close() error { return l.f.Close() }

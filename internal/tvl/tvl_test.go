@@ -1,0 +1,138 @@
+package tvl
+
+import (
+	"testing"
+
+	"hrdb/internal/core"
+	"hrdb/internal/hierarchy"
+)
+
+func fixture(t *testing.T) *core.Relation {
+	t.Helper()
+	h := hierarchy.New("Animal")
+	steps := []func() error{
+		func() error { return h.AddClass("Bird") },
+		func() error { return h.AddClass("Penguin", "Bird") },
+		func() error { return h.AddClass("GP", "Penguin") },
+		func() error { return h.AddClass("AFP", "Penguin") },
+		func() error { return h.AddInstance("Tweety", "Bird") },
+		func() error { return h.AddInstance("Patricia", "GP", "AFP") },
+		func() error { return h.AddInstance("Dodo") },
+	}
+	for _, f := range steps {
+		if err := f(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := core.MustSchema(core.Attribute{Name: "Creature", Domain: h})
+	r := core.NewRelation("Flies", s)
+	for _, f := range []func() error{
+		func() error { return r.Assert("Bird") },
+		func() error { return r.Deny("Penguin") },
+	} {
+		if err := f(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestEvaluateThreeValues(t *testing.T) {
+	r := fixture(t)
+	cases := []struct {
+		who  string
+		want Truth
+	}{
+		{"Tweety", True},
+		{"Penguin", False},
+		{"Dodo", Unknown}, // no applicable tuple: open world says unknown
+	}
+	for _, c := range cases {
+		got, err := Holds(r, c.who)
+		if err != nil {
+			t.Fatalf("%s: %v", c.who, err)
+		}
+		if got != c.want {
+			t.Errorf("Holds(%s) = %v, want %v", c.who, got, c.want)
+		}
+	}
+}
+
+func TestConflictIsUnknown(t *testing.T) {
+	r := fixture(t)
+	if err := r.Deny("GP"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Assert("AFP"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Holds(r, "Patricia")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != Unknown {
+		t.Fatalf("conflicted Patricia = %v, want unknown", got)
+	}
+}
+
+func TestValidationErrorsPropagate(t *testing.T) {
+	r := fixture(t)
+	if _, err := Holds(r, "NotAThing"); err == nil {
+		t.Fatal("unknown value accepted")
+	}
+	if _, err := Holds(r, "a", "b"); err == nil {
+		t.Fatal("bad arity accepted")
+	}
+}
+
+func TestKleeneTables(t *testing.T) {
+	vals := []Truth{False, Unknown, True}
+	// Kleene strong conjunction/disjunction truth tables.
+	wantAnd := [3][3]Truth{
+		{False, False, False},
+		{False, Unknown, Unknown},
+		{False, Unknown, True},
+	}
+	wantOr := [3][3]Truth{
+		{False, Unknown, True},
+		{Unknown, Unknown, True},
+		{True, True, True},
+	}
+	for i, a := range vals {
+		for j, b := range vals {
+			if got := And(a, b); got != wantAnd[i][j] {
+				t.Errorf("And(%v,%v) = %v, want %v", a, b, got, wantAnd[i][j])
+			}
+			if got := Or(a, b); got != wantOr[i][j] {
+				t.Errorf("Or(%v,%v) = %v, want %v", a, b, got, wantOr[i][j])
+			}
+		}
+	}
+	if Not(True) != False || Not(False) != True || Not(Unknown) != Unknown {
+		t.Error("Not wrong")
+	}
+}
+
+func TestStringAndFromBool(t *testing.T) {
+	if True.String() != "true" || False.String() != "false" || Unknown.String() != "unknown" {
+		t.Error("String wrong")
+	}
+	if FromBool(true) != True || FromBool(false) != False {
+		t.Error("FromBool wrong")
+	}
+}
+
+// TestDeMorganProperty: ¬(a ∧ b) == (¬a ∨ ¬b) over all pairs.
+func TestDeMorganProperty(t *testing.T) {
+	vals := []Truth{False, Unknown, True}
+	for _, a := range vals {
+		for _, b := range vals {
+			if Not(And(a, b)) != Or(Not(a), Not(b)) {
+				t.Fatalf("De Morgan fails at %v,%v", a, b)
+			}
+			if Not(Or(a, b)) != And(Not(a), Not(b)) {
+				t.Fatalf("De Morgan (dual) fails at %v,%v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package workload generates synthetic hierarchies, relations and flat
+// baselines for the benchmark harness. The generators are deterministic
+// (seeded) so the EXPERIMENTS.md tables are reproducible.
+//
+// The shapes mirror the scenarios the paper's introduction motivates: a
+// taxonomy of C classes with F instances each (one class-valued tuple
+// replaces F flat rows), exception chains of depth D (binding must walk
+// the chain), and clustered flat data for the mining extension.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hrdb/internal/core"
+	"hrdb/internal/flat"
+	"hrdb/internal/hierarchy"
+)
+
+// Taxonomy builds a hierarchy with classes classes, each holding fanout
+// instances. Classes sit directly under the root.
+func Taxonomy(domain string, classes, fanout int) (*hierarchy.Hierarchy, error) {
+	h := hierarchy.New(domain)
+	for c := 0; c < classes; c++ {
+		class := fmt.Sprintf("class%04d", c)
+		if err := h.AddClass(class); err != nil {
+			return nil, err
+		}
+		for i := 0; i < fanout; i++ {
+			if err := h.AddInstance(fmt.Sprintf("c%04d_i%05d", c, i), class); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+// Chain builds a linear hierarchy root → l0 → l1 → … → l(depth-1), with one
+// instance ("leafInstance") under the deepest class and width extra
+// instances at each level.
+func Chain(domain string, depth, width int) (*hierarchy.Hierarchy, error) {
+	h := hierarchy.New(domain)
+	parent := domain
+	for d := 0; d < depth; d++ {
+		class := fmt.Sprintf("level%03d", d)
+		if err := h.AddClass(class, parent); err != nil {
+			return nil, err
+		}
+		for w := 0; w < width; w++ {
+			if err := h.AddInstance(fmt.Sprintf("l%03d_i%03d", d, w), class); err != nil {
+				return nil, err
+			}
+		}
+		parent = class
+	}
+	if err := h.AddInstance("leafInstance", parent); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// ClassRelation builds the hierarchical relation the taxonomy motivates:
+// one positive tuple per class (each standing for fanout instances).
+func ClassRelation(name string, h *hierarchy.Hierarchy, classes int) (*core.Relation, error) {
+	s, err := core.NewSchema(core.Attribute{Name: "X", Domain: h})
+	if err != nil {
+		return nil, err
+	}
+	r := core.NewRelation(name, s)
+	for c := 0; c < classes; c++ {
+		if err := r.Assert(fmt.Sprintf("class%04d", c)); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// ExceptionChain builds a relation over a Chain hierarchy with alternating
+// signs down the chain: level0 +, level1 −, level2 +, … — exceptions to
+// exceptions of the given depth.
+func ExceptionChain(name string, h *hierarchy.Hierarchy, depth int) (*core.Relation, error) {
+	s, err := core.NewSchema(core.Attribute{Name: "X", Domain: h})
+	if err != nil {
+		return nil, err
+	}
+	r := core.NewRelation(name, s)
+	for d := 0; d < depth; d++ {
+		if err := r.Insert(core.Item{fmt.Sprintf("level%03d", d)}, d%2 == 0); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// MembershipBaseline converts a hierarchy plus relation into the paper's
+// footnote-1 flat design: facts plus a direct-edge membership relation.
+func MembershipBaseline(h *hierarchy.Hierarchy, r *core.Relation) *flat.MembershipBaseline {
+	attr := r.Schema().Attr(0).Name
+	mb := flat.NewMembershipBaseline([]string{attr}, map[string]string{attr: h.Domain()})
+	for _, n := range h.Nodes() {
+		for _, c := range h.Children(n) {
+			_ = mb.AddEdge(h.Domain(), n, c)
+		}
+	}
+	for _, t := range r.Tuples() {
+		_ = mb.AddFact(t.Sign, t.Item...)
+	}
+	return mb
+}
+
+// DepthFunc returns a depth lookup for a hierarchy (distance from the
+// root), as the membership baseline needs for specificity ordering.
+func DepthFunc(h *hierarchy.Hierarchy) func(attr, node string) int {
+	depth := map[string]int{}
+	var rec func(n string, d int)
+	rec = func(n string, d int) {
+		if old, ok := depth[n]; ok && old >= d {
+			return
+		}
+		depth[n] = d
+		for _, c := range h.Children(n) {
+			rec(c, d+1)
+		}
+	}
+	rec(h.Domain(), 0)
+	return func(attr, node string) int { return depth[node] }
+}
+
+// RedundantRelation builds a relation with base class tuples plus extra
+// instance-level tuples that repeat the inherited sign (all redundant), to
+// exercise Consolidate.
+func RedundantRelation(name string, h *hierarchy.Hierarchy, classes, redundantPerClass int) (*core.Relation, error) {
+	r, err := ClassRelation(name, h, classes)
+	if err != nil {
+		return nil, err
+	}
+	for c := 0; c < classes; c++ {
+		for i := 0; i < redundantPerClass; i++ {
+			if err := r.Assert(fmt.Sprintf("c%04d_i%05d", c, i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return r, nil
+}
+
+// ClusteredFlat builds a flat relation with groups value-groups; every
+// value in a group shares the same contexts different contexts.
+func ClusteredFlat(name string, groups, membersPerGroup, contextsPerGroup int) *flat.Relation {
+	r := flat.New(name, "Entity", "Context")
+	for g := 0; g < groups; g++ {
+		for m := 0; m < membersPerGroup; m++ {
+			for c := 0; c < contextsPerGroup; c++ {
+				_ = r.Insert(
+					fmt.Sprintf("g%03d_m%03d", g, m),
+					fmt.Sprintf("g%03d_ctx%03d", g, c),
+				)
+			}
+		}
+	}
+	return r
+}
+
+// RandomConsistent builds a random consistent relation over two random
+// hierarchies (the algebra benchmarks' input).
+func RandomConsistent(seed int64, name string, hierNodes, tuples int) (*core.Relation, error) {
+	rng := rand.New(rand.NewSource(seed))
+	h0, err := randomHierarchy(rng, "D0"+name, hierNodes)
+	if err != nil {
+		return nil, err
+	}
+	h1, err := randomHierarchy(rng, "D1"+name, hierNodes/2+1)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.NewSchema(
+		core.Attribute{Name: "A0", Domain: h0},
+		core.Attribute{Name: "A1", Domain: h1},
+	)
+	if err != nil {
+		return nil, err
+	}
+	r := core.NewRelation(name, s)
+	pools := [][]string{h0.Nodes(), h1.Nodes()}
+	for attempts := 0; attempts < tuples*8 && r.Len() < tuples; attempts++ {
+		item := core.Item{
+			pools[0][rng.Intn(len(pools[0]))],
+			pools[1][rng.Intn(len(pools[1]))],
+		}
+		if _, present := r.Lookup(item); present {
+			continue
+		}
+		if err := r.Insert(item, rng.Intn(2) == 0); err != nil {
+			continue
+		}
+		if len(r.Conflicts()) > 0 {
+			r.Retract(item)
+		}
+	}
+	return r, nil
+}
+
+// randomHierarchy builds a random irredundant hierarchy.
+func randomHierarchy(rng *rand.Rand, domain string, n int) (*hierarchy.Hierarchy, error) {
+	h := hierarchy.New(domain)
+	names := []string{domain}
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("%s_n%04d", domain, i)
+		p1 := names[rng.Intn(len(names))]
+		parents := []string{p1}
+		if rng.Intn(3) == 0 {
+			p2 := names[rng.Intn(len(names))]
+			if p2 != p1 && !h.Subsumes(p1, p2) && !h.Subsumes(p2, p1) {
+				parents = append(parents, p2)
+			}
+		}
+		if err := h.AddClass(name, parents...); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	return h, nil
+}
+
+// ApproxTupleBytes estimates the storage footprint of a hierarchical
+// relation: the sum of item string lengths plus a per-tuple overhead.
+func ApproxTupleBytes(r *core.Relation) int {
+	total := 0
+	for _, t := range r.Tuples() {
+		total += 16 // sign + bookkeeping
+		for _, v := range t.Item {
+			total += len(v) + 16
+		}
+	}
+	return total
+}
+
+// ApproxRowBytes estimates a flat relation's footprint the same way.
+func ApproxRowBytes(r *flat.Relation) int {
+	total := 0
+	for _, row := range r.Rows() {
+		total += 16
+		for _, v := range row {
+			total += len(v) + 16
+		}
+	}
+	return total
+}
