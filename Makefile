@@ -2,9 +2,23 @@
 
 GO ?= go
 
-.PHONY: all build test race cover bench figures experiments fuzz clean
+.PHONY: all help build test race cover bench bench-smoke figures experiments fuzz clean
 
 all: build test
+
+help:
+	@echo "hrdb targets:"
+	@echo "  build        compile and vet all packages"
+	@echo "  test         run the unit tests"
+	@echo "  race         run the tests under the race detector"
+	@echo "               (includes the concurrency stress suites)"
+	@echo "  cover        coverage summary for internal/..."
+	@echo "  bench        full benchmark sweep (figures + experiments)"
+	@echo "  bench-smoke  quick pass over the batch-evaluation and"
+	@echo "               verdict-cache benchmarks only"
+	@echo "  figures      regenerate the paper figures (cmd/hrfigures)"
+	@echo "  experiments  print the E1-E9 experiment tables (cmd/hrbench)"
+	@echo "  fuzz         run the fuzz targets for 30s each"
 
 build:
 	$(GO) build ./...
@@ -22,6 +36,9 @@ cover:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateBatch|BenchmarkHoldsCached' -benchtime=50x .
 
 figures:
 	$(GO) run ./cmd/hrfigures

@@ -4,6 +4,7 @@
 package hrdb
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -456,6 +457,85 @@ func BenchmarkMining(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkEvaluateBatch (E9): bulk evaluation of every atomic item of a
+// taxonomy relation — the sequential seed path (one worker, cache off)
+// against the worker pool and against a warm verdict cache.
+func BenchmarkEvaluateBatch(b *testing.B) {
+	h, err := workload.Taxonomy("D", 20, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := workload.ClassRelation("R", h, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	atoms, err := r.AtomicItems()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r.EvaluateBatch(ctx, atoms, WithParallelism(1), WithCache(false)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("parallel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := r.EvaluateBatch(ctx, atoms, WithCache(false)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		if _, err := r.EvaluateBatch(ctx, atoms); err != nil { // warm the cache
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.EvaluateBatch(ctx, atoms); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkHoldsCached: repeated point queries with and without the verdict
+// cache — the steady-state read path a query workload actually sees.
+func BenchmarkHoldsCached(b *testing.B) {
+	h, err := workload.Taxonomy("D", 100, 20)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := workload.ClassRelation("R", h, 100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const who = "c0050_i00007"
+	b.Run("cold", func(b *testing.B) {
+		r2 := r.Clone()
+		r2.SetCache(false)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r2.Holds(who); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		if _, err := r.Holds(who); err != nil { // warm
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Holds(who); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkLargeScale exercises a 10k-instance taxonomy with 500 class

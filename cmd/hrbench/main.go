@@ -9,9 +9,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -34,10 +36,11 @@ func main() {
 		"E6": e6Consistency,
 		"E7": e7Mining,
 		"E8": e8Durability,
+		"E9": e9Parallel,
 	}
 	args := os.Args[1:]
 	if len(args) == 0 {
-		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8"}
+		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
 	}
 	for _, a := range args {
 		f, ok := exps[strings.ToUpper(a)]
@@ -316,6 +319,52 @@ func e8Durability() {
 			check(s4.Close())
 		})
 		fmt.Printf("| %d | %s | %s | %s |\n", facts, fmtNs(writeNs), fmtNs(replayNs), fmtNs(snapNs))
+	}
+}
+
+// e9Parallel: the concurrent evaluation engine — worker-pool batch
+// evaluation vs a sequential scan, and the verdict cache on repeated reads.
+func e9Parallel() {
+	header("E9 — parallel batch evaluation and the verdict cache")
+	fmt.Printf("GOMAXPROCS = %d\n\n", runtime.GOMAXPROCS(0))
+	fmt.Println("| classes | fanout | items | sequential | parallel batch | speedup | cached re-read | vs sequential |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+	ctx := context.Background()
+	// Atom counts stay under the verdict cache's rotation threshold so the
+	// cached column measures steady-state hits, not eviction churn.
+	for _, p := range []struct{ classes, fanout int }{
+		{10, 100}, {20, 100}, {100, 20},
+	} {
+		h, err := workload.Taxonomy("D", p.classes, p.fanout)
+		check(err)
+		r, err := workload.ClassRelation("R", h, p.classes)
+		check(err)
+		atoms, err := r.AtomicItems()
+		check(err)
+
+		seqNs := timeIt(func() {
+			if _, err := r.EvaluateBatch(ctx, atoms,
+				core.WithParallelism(1), core.WithCache(false)); err != nil {
+				log.Fatal(err)
+			}
+		})
+		parNs := timeIt(func() {
+			if _, err := r.EvaluateBatch(ctx, atoms, core.WithCache(false)); err != nil {
+				log.Fatal(err)
+			}
+		})
+		// Warm the cache once, then measure steady-state cached reads.
+		if _, err := r.EvaluateBatch(ctx, atoms); err != nil {
+			log.Fatal(err)
+		}
+		hotNs := timeIt(func() {
+			if _, err := r.EvaluateBatch(ctx, atoms); err != nil {
+				log.Fatal(err)
+			}
+		})
+		fmt.Printf("| %d | %d | %d | %s | %s | %.1f× | %s | %.1f× |\n",
+			p.classes, p.fanout, len(atoms), fmtNs(seqNs), fmtNs(parNs), seqNs/parNs,
+			fmtNs(hotNs), seqNs/hotNs)
 	}
 }
 

@@ -46,6 +46,8 @@
 package hrdb
 
 import (
+	"context"
+
 	"hrdb/internal/algebra"
 	"hrdb/internal/catalog"
 	"hrdb/internal/core"
@@ -211,8 +213,80 @@ func Rename(name string, r *Relation, mapping map[string]string) (*Relation, err
 	return algebra.Rename(name, r, mapping)
 }
 
+// Bulk evaluation and its functional options.
+//
+// The batch APIs fan per-item evaluation across cores with deterministic
+// result ordering; options tune one call without mutating the relation:
+//
+//	vs, err := hrdb.EvaluateBatch(ctx, flies, items,
+//		hrdb.WithParallelism(4), hrdb.WithCache(true))
+type (
+	// BatchOption configures one bulk-evaluation call.
+	BatchOption = core.BatchOption
+)
+
+// WithParallelism sets the number of worker goroutines for a batch call
+// (values below 1 select runtime.GOMAXPROCS(0)).
+func WithParallelism(n int) BatchOption { return core.WithParallelism(n) }
+
+// WithCache overrides the relation's verdict-cache setting for a batch call.
+func WithCache(enabled bool) BatchOption { return core.WithCache(enabled) }
+
+// WithPreemption overrides the relation's preemption mode for a batch call.
+func WithPreemption(p Preemption) BatchOption { return core.WithPreemption(p) }
+
+// EvaluateBatch evaluates every item concurrently with verdicts in input
+// order; the first failure (by input index) cancels the rest.
+func EvaluateBatch(ctx context.Context, r *Relation, items []Item, opts ...BatchOption) ([]Verdict, error) {
+	return r.EvaluateBatch(ctx, items, opts...)
+}
+
+// HoldsBatch is EvaluateBatch reduced to closed-world truth values.
+func HoldsBatch(ctx context.Context, r *Relation, items []Item, opts ...BatchOption) ([]bool, error) {
+	return r.HoldsBatch(ctx, items, opts...)
+}
+
+// Sentinel errors, re-exported so callers can match with errors.Is without
+// importing the internal packages.
+var (
+	// ErrSchema indicates an invalid schema definition.
+	ErrSchema = core.ErrSchema
+	// ErrArity indicates an item with the wrong number of coordinates.
+	ErrArity = core.ErrArity
+	// ErrUnknownValue indicates an item coordinate outside its domain.
+	ErrUnknownValue = core.ErrUnknownValue
+	// ErrUnknownAttribute indicates a reference to an attribute name absent
+	// from a relation's schema.
+	ErrUnknownAttribute = core.ErrUnknownAttribute
+	// ErrUnknownMode indicates an undefined preemption mode.
+	ErrUnknownMode = core.ErrUnknownMode
+	// ErrContradiction indicates re-asserting an item with the opposite sign.
+	ErrContradiction = core.ErrContradiction
+	// ErrTooLarge indicates an operation exceeding the product-size limit.
+	ErrTooLarge = core.ErrTooLarge
+	// ErrIncompatible indicates schema-incompatible relations.
+	ErrIncompatible = core.ErrIncompatible
+	// ErrNoSuchClass indicates an unknown hierarchy node.
+	ErrNoSuchClass = hierarchy.ErrUnknown
+	// ErrExists indicates a duplicate hierarchy or relation name.
+	ErrExists = catalog.ErrExists
+	// ErrNotFound indicates a missing hierarchy or relation.
+	ErrNotFound = catalog.ErrNotFound
+	// ErrExceptionForbidden indicates an update rejected by policy.
+	ErrExceptionForbidden = catalog.ErrExceptionForbidden
+	// ErrRepairDiverged indicates an algebra result whose conflict repair
+	// did not converge.
+	ErrRepairDiverged = algebra.ErrRepairDiverged
+)
+
 // EvaluateOpenWorld computes the three-valued truth of an item.
 func EvaluateOpenWorld(r *Relation, item Item) (Truth, error) { return tvl.Evaluate(r, item) }
+
+// EvaluateOpenWorldBatch computes three-valued truths for every item in
+// bulk; per-item ambiguity conflicts map to Unknown instead of aborting.
+func EvaluateOpenWorldBatch(ctx context.Context, r *Relation, items []Item, opts ...BatchOption) ([]Truth, error) {
+	return tvl.EvaluateBatch(ctx, r, items, opts...)
+}
 
 // AndTruth is Kleene three-valued conjunction.
 func AndTruth(a, b Truth) Truth { return tvl.And(a, b) }

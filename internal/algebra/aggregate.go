@@ -25,7 +25,7 @@ func Count(r *core.Relation, groupBy ...string) ([]GroupCount, error) {
 	for i, a := range groupBy {
 		j, ok := s.Index(a)
 		if !ok {
-			return nil, fmt.Errorf("%w: count: no attribute %q in %q", core.ErrSchema, a, r.Name())
+			return nil, fmt.Errorf("%w: count: no attribute %q in %q", core.ErrUnknownAttribute, a, r.Name())
 		}
 		cols[i] = j
 	}
@@ -71,7 +71,7 @@ func CountByClass(r *core.Relation, attr string, classes ...string) (map[string]
 	s := r.Schema()
 	i, ok := s.Index(attr)
 	if !ok {
-		return nil, fmt.Errorf("%w: count: no attribute %q in %q", core.ErrSchema, attr, r.Name())
+		return nil, fmt.Errorf("%w: count: no attribute %q in %q", core.ErrUnknownAttribute, attr, r.Name())
 	}
 	h := s.Attr(i).Domain
 	for _, c := range classes {

@@ -27,6 +27,8 @@
 package algebra
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"hrdb/internal/core"
@@ -37,23 +39,35 @@ import (
 // rounds.
 const maxRepairRounds = 64
 
+// ErrRepairDiverged indicates that the conflict-repair loop did not reach a
+// consistent result within maxRepairRounds.
+var ErrRepairDiverged = errors.New("algebra: conflict repair did not converge")
+
+// batchEval returns the operator's truth value at each of the given items,
+// positionally. Implementations evaluate the argument relations through
+// the core batch API, so candidate signing fans out across cores.
+type batchEval func(ctx context.Context, items []core.Item) ([]bool, error)
+
 // combine builds a result over schema s with candidate items cand; the sign
-// of every tuple is f evaluated on the argument relations at that item.
-// eval must return the argument truth values at an item (it is the closure
-// over the specific operator's arguments).
-func combine(name string, s *core.Schema, cand []core.Item, eval func(core.Item) (bool, error)) (*core.Relation, error) {
+// of every tuple is the operator's boolean function evaluated on the
+// argument relations at that item, computed in bulk by eval.
+func combine(ctx context.Context, name string, s *core.Schema, cand []core.Item, eval batchEval) (*core.Relation, error) {
 	out := core.NewRelation(name, s)
 	seen := map[string]bool{}
+	todo := make([]core.Item, 0, len(cand))
 	for _, m := range cand {
 		if seen[m.Key()] {
 			continue
 		}
 		seen[m.Key()] = true
-		v, err := eval(m)
-		if err != nil {
-			return nil, err
-		}
-		if err := out.Insert(m, v); err != nil {
+		todo = append(todo, m)
+	}
+	signs, err := eval(ctx, todo)
+	if err != nil {
+		return nil, err
+	}
+	for i, m := range todo {
+		if err := out.Insert(m, signs[i]); err != nil {
 			return nil, err
 		}
 	}
@@ -64,18 +78,21 @@ func combine(name string, s *core.Schema, cand []core.Item, eval func(core.Item)
 			return out, nil
 		}
 		if round >= maxRepairRounds {
-			return nil, fmt.Errorf("algebra: %s: conflict repair did not converge after %d rounds",
-				name, maxRepairRounds)
+			return nil, fmt.Errorf("%w: %s after %d rounds", ErrRepairDiverged, name, maxRepairRounds)
 		}
+		var fixes []core.Item
 		for _, c := range conflicts {
 			if _, present := out.Lookup(c.Item); present {
 				continue
 			}
-			v, err := eval(c.Item)
-			if err != nil {
-				return nil, err
-			}
-			if err := out.Insert(c.Item, v); err != nil {
+			fixes = append(fixes, c.Item)
+		}
+		signs, err := eval(ctx, fixes)
+		if err != nil {
+			return nil, err
+		}
+		for i, m := range fixes {
+			if err := out.Insert(m, signs[i]); err != nil {
 				return nil, err
 			}
 		}
@@ -111,39 +128,60 @@ func checkUnionCompatible(op string, a, b *core.Relation) error {
 }
 
 // setOp runs a binary boolean set operation with flat-extension semantics.
-func setOp(name, op string, a, b *core.Relation, f func(x, y bool) bool) (*core.Relation, error) {
+// Candidate items are signed by evaluating both arguments in bulk through
+// the core batch evaluator.
+func setOp(ctx context.Context, name, op string, a, b *core.Relation, f func(x, y bool) bool) (*core.Relation, error) {
 	if err := checkUnionCompatible(op, a, b); err != nil {
 		return nil, err
 	}
-	eval := func(m core.Item) (bool, error) {
-		va, err := a.Evaluate(m)
+	eval := func(ctx context.Context, items []core.Item) ([]bool, error) {
+		xs, err := a.HoldsBatch(ctx, items)
 		if err != nil {
-			return false, fmt.Errorf("algebra: %s: left argument: %w", op, err)
+			return nil, fmt.Errorf("algebra: %s: left argument: %w", op, err)
 		}
-		vb, err := b.Evaluate(m)
+		ys, err := b.HoldsBatch(ctx, items)
 		if err != nil {
-			return false, fmt.Errorf("algebra: %s: right argument: %w", op, err)
+			return nil, fmt.Errorf("algebra: %s: right argument: %w", op, err)
 		}
-		return f(va.Value, vb.Value), nil
+		out := make([]bool, len(items))
+		for i := range items {
+			out[i] = f(xs[i], ys[i])
+		}
+		return out, nil
 	}
-	return combine(name, a.Schema(), binaryCandidates(a, b), eval)
+	return combine(ctx, name, a.Schema(), binaryCandidates(a, b), eval)
 }
 
 // Union returns a relation whose extension is Ext(a) ∪ Ext(b) (Fig. 10c).
 func Union(name string, a, b *core.Relation) (*core.Relation, error) {
-	return setOp(name, "union", a, b, func(x, y bool) bool { return x || y })
+	return UnionContext(context.Background(), name, a, b)
+}
+
+// UnionContext is Union with cancellation.
+func UnionContext(ctx context.Context, name string, a, b *core.Relation) (*core.Relation, error) {
+	return setOp(ctx, name, "union", a, b, func(x, y bool) bool { return x || y })
 }
 
 // Intersect returns a relation whose extension is Ext(a) ∩ Ext(b)
 // (Fig. 10d).
 func Intersect(name string, a, b *core.Relation) (*core.Relation, error) {
-	return setOp(name, "intersect", a, b, func(x, y bool) bool { return x && y })
+	return IntersectContext(context.Background(), name, a, b)
+}
+
+// IntersectContext is Intersect with cancellation.
+func IntersectContext(ctx context.Context, name string, a, b *core.Relation) (*core.Relation, error) {
+	return setOp(ctx, name, "intersect", a, b, func(x, y bool) bool { return x && y })
 }
 
 // Difference returns a relation whose extension is Ext(a) − Ext(b)
 // (Fig. 10e/f).
 func Difference(name string, a, b *core.Relation) (*core.Relation, error) {
-	return setOp(name, "difference", a, b, func(x, y bool) bool { return x && !y })
+	return DifferenceContext(context.Background(), name, a, b)
+}
+
+// DifferenceContext is Difference with cancellation.
+func DifferenceContext(ctx context.Context, name string, a, b *core.Relation) (*core.Relation, error) {
+	return setOp(ctx, name, "difference", a, b, func(x, y bool) bool { return x && !y })
 }
 
 // Condition restricts one attribute to a class (or instance) of its domain.
@@ -157,6 +195,11 @@ type Condition struct {
 // narrowed to atoms whose selected attributes fall under the given classes
 // (Figs. 7 and 8). Conditions on the same attribute intersect.
 func Select(name string, r *core.Relation, conds ...Condition) (*core.Relation, error) {
+	return SelectContext(context.Background(), name, r, conds...)
+}
+
+// SelectContext is Select with cancellation.
+func SelectContext(ctx context.Context, name string, r *core.Relation, conds ...Condition) (*core.Relation, error) {
 	s := r.Schema()
 	region := make(core.Item, s.Arity())
 	for i := 0; i < s.Arity(); i++ {
@@ -165,7 +208,7 @@ func Select(name string, r *core.Relation, conds ...Condition) (*core.Relation, 
 	for _, c := range conds {
 		i, ok := s.Index(c.Attr)
 		if !ok {
-			return nil, fmt.Errorf("%w: select: no attribute %q in %q", core.ErrSchema, c.Attr, r.Name())
+			return nil, fmt.Errorf("%w: select: no attribute %q in %q", core.ErrUnknownAttribute, c.Attr, r.Name())
 		}
 		h := s.Attr(i).Domain
 		if !h.Has(c.Class) {
@@ -202,18 +245,22 @@ func Select(name string, r *core.Relation, conds ...Condition) (*core.Relation, 
 			kept = append(kept, m)
 		}
 	}
-	eval := func(m core.Item) (bool, error) {
-		va, err := r.Evaluate(m)
+	eval := func(ctx context.Context, items []core.Item) ([]bool, error) {
+		xs, err := r.HoldsBatch(ctx, items)
 		if err != nil {
-			return false, fmt.Errorf("algebra: select: %w", err)
+			return nil, fmt.Errorf("algebra: select: %w", err)
 		}
-		vb, err := regionRel.Evaluate(m)
+		ys, err := regionRel.HoldsBatch(ctx, items)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
-		return va.Value && vb.Value, nil
+		out := make([]bool, len(items))
+		for i := range items {
+			out[i] = xs[i] && ys[i]
+		}
+		return out, nil
 	}
-	return combine(name, s, kept, eval)
+	return combine(ctx, name, s, kept, eval)
 }
 
 // Rename returns a copy of the relation with attributes renamed according

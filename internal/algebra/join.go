@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -13,6 +14,11 @@ import (
 // by b's non-shared attributes, and its extension equals the flat natural
 // join of the argument extensions.
 func Join(name string, a, b *core.Relation) (*core.Relation, error) {
+	return JoinContext(context.Background(), name, a, b)
+}
+
+// JoinContext is Join with cancellation.
+func JoinContext(ctx context.Context, name string, a, b *core.Relation) (*core.Relation, error) {
 	sa, sb := a.Schema(), b.Schema()
 
 	type sharedCol struct{ ai, bi int }
@@ -100,16 +106,26 @@ func Join(name string, a, b *core.Relation) (*core.Relation, error) {
 	}
 	sort.Slice(cand, func(i, j int) bool { return cand[i].Key() < cand[j].Key() })
 
-	eval := func(m core.Item) (bool, error) {
-		va, err := a.Evaluate(projA(m))
-		if err != nil {
-			return false, fmt.Errorf("algebra: join: left argument: %w", err)
+	eval := func(ctx context.Context, items []core.Item) ([]bool, error) {
+		itemsA := make([]core.Item, len(items))
+		itemsB := make([]core.Item, len(items))
+		for i, m := range items {
+			itemsA[i] = projA(m)
+			itemsB[i] = projB(m)
 		}
-		vb, err := b.Evaluate(projB(m))
+		xs, err := a.HoldsBatch(ctx, itemsA)
 		if err != nil {
-			return false, fmt.Errorf("algebra: join: right argument: %w", err)
+			return nil, fmt.Errorf("algebra: join: left argument: %w", err)
 		}
-		return va.Value && vb.Value, nil
+		ys, err := b.HoldsBatch(ctx, itemsB)
+		if err != nil {
+			return nil, fmt.Errorf("algebra: join: right argument: %w", err)
+		}
+		out := make([]bool, len(items))
+		for i := range items {
+			out[i] = xs[i] && ys[i]
+		}
+		return out, nil
 	}
-	return combine(name, outSchema, cand, eval)
+	return combine(ctx, name, outSchema, cand, eval)
 }

@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -26,6 +27,11 @@ import (
 //     n-ary union of the slices, computed with the same candidates +
 //     pointwise evaluation machinery as Union.
 func Project(name string, r *core.Relation, attrs ...string) (*core.Relation, error) {
+	return ProjectContext(context.Background(), name, r, attrs...)
+}
+
+// ProjectContext is Project with cancellation.
+func ProjectContext(ctx context.Context, name string, r *core.Relation, attrs ...string) (*core.Relation, error) {
 	s := r.Schema()
 	if len(attrs) == 0 {
 		return nil, fmt.Errorf("%w: project: no attributes", core.ErrSchema)
@@ -35,7 +41,7 @@ func Project(name string, r *core.Relation, attrs ...string) (*core.Relation, er
 	for _, a := range attrs {
 		i, ok := s.Index(a)
 		if !ok {
-			return nil, fmt.Errorf("%w: project: no attribute %q in %q", core.ErrSchema, a, r.Name())
+			return nil, fmt.Errorf("%w: project: no attribute %q in %q", core.ErrUnknownAttribute, a, r.Name())
 		}
 		if kept[i] {
 			return nil, fmt.Errorf("%w: project: duplicate attribute %q", core.ErrSchema, a)
@@ -78,7 +84,7 @@ func Project(name string, r *core.Relation, attrs ...string) (*core.Relation, er
 	}
 
 	// Step 1: explicate the dropped attributes.
-	expl, err := r.Explicate(dropNames...)
+	expl, err := r.ExplicateContext(ctx, dropNames...)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +121,7 @@ func Project(name string, r *core.Relation, attrs ...string) (*core.Relation, er
 	}
 	acc := slices[sliceKeys[0]].WithName(name)
 	for _, k := range sliceKeys[1:] {
-		acc, err = Union(name, acc, slices[k])
+		acc, err = UnionContext(ctx, name, acc, slices[k])
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package algebra
 
 import (
+	"context"
 	"testing"
 
 	"hrdb/internal/core"
@@ -22,13 +23,17 @@ func TestCombineRepairLoop(t *testing.T) {
 	s := core.MustSchema(core.Attribute{Name: "X", Domain: h})
 
 	// Pointwise truth: everything under C1 is true, everything else false.
-	eval := func(m core.Item) (bool, error) {
-		return h.Subsumes("C1", m[0]), nil
+	eval := func(ctx context.Context, items []core.Item) ([]bool, error) {
+		out := make([]bool, len(items))
+		for i, m := range items {
+			out[i] = h.Subsumes("C1", m[0])
+		}
+		return out, nil
 	}
 	// Candidates C1 and C2 only — no meet: C1 gets +, C2 gets −, and the
 	// shared region (C12 and x) conflicts until repair pins it.
 	cand := []core.Item{{"C1"}, {"C2"}}
-	out, err := combine("R", s, cand, eval)
+	out, err := combine(context.Background(), "R", s, cand, eval)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +70,7 @@ func TestCombineRepairDivergence(t *testing.T) {
 	s := core.MustSchema(core.Attribute{Name: "X", Domain: h})
 
 	calls := map[string]int{}
-	eval := func(m core.Item) (bool, error) {
+	evalOne := func(m core.Item) (bool, error) {
 		calls[m.Key()]++
 		switch m[0] {
 		case "C1":
@@ -78,12 +83,23 @@ func TestCombineRepairDivergence(t *testing.T) {
 			return calls[m.Key()]%2 == 0, nil
 		}
 	}
+	eval := func(ctx context.Context, items []core.Item) ([]bool, error) {
+		out := make([]bool, len(items))
+		for i, m := range items {
+			v, err := evalOne(m)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
 	// Without the meet candidates the repair loop runs; an inconsistent
 	// oracle cannot converge… but note each repaired item is pinned with
 	// an exact tuple, so the loop actually terminates once every item in
 	// the finite space is pinned. We assert only that combine returns
 	// either a consistent relation or a divergence error — never hangs.
-	out, err := combine("R", s, []core.Item{{"C1"}, {"C2"}}, eval)
+	out, err := combine(context.Background(), "R", s, []core.Item{{"C1"}, {"C2"}}, eval)
 	if err == nil {
 		if cerr := out.CheckConsistency(); cerr != nil {
 			t.Fatalf("combine returned inconsistent relation: %v", cerr)

@@ -10,6 +10,7 @@
 package catalog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -350,6 +351,31 @@ func (db *Database) Evaluate(rel string, values ...string) (core.Verdict, error)
 		return core.Verdict{}, fmt.Errorf("%w: relation %q", ErrNotFound, rel)
 	}
 	return r.Evaluate(core.Item(values))
+}
+
+// EvaluateBatch bulk-evaluates many items against one relation under a
+// single read lock, fanning the work across cores (core.EvaluateBatch).
+// Writers are excluded for the duration of the batch, so the verdicts are a
+// consistent snapshot.
+func (db *Database) EvaluateBatch(ctx context.Context, rel string, items []core.Item, opts ...core.BatchOption) ([]core.Verdict, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.relations[rel]
+	if !ok {
+		return nil, fmt.Errorf("%w: relation %q", ErrNotFound, rel)
+	}
+	return r.EvaluateBatch(ctx, items, opts...)
+}
+
+// HoldsBatch is EvaluateBatch reduced to closed-world truth values.
+func (db *Database) HoldsBatch(ctx context.Context, rel string, items []core.Item, opts ...core.BatchOption) ([]bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.relations[rel]
+	if !ok {
+		return nil, fmt.Errorf("%w: relation %q", ErrNotFound, rel)
+	}
+	return r.HoldsBatch(ctx, items, opts...)
 }
 
 // Consolidate replaces the named relation with its consolidated form and

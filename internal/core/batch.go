@@ -1,0 +1,197 @@
+package core
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements bulk evaluation: a worker pool fanning per-item
+// Evaluate calls across cores. Results are always delivered in input order,
+// and EvaluateBatch's error is deterministic (the lowest-index failure),
+// regardless of goroutine scheduling. The relation must not be mutated
+// while a batch call is in flight; the catalog package provides the
+// read/write locking for shared use.
+
+// batchConfig holds the resolved options of one bulk-evaluation call.
+type batchConfig struct {
+	parallelism int
+	cache       bool
+	mode        Preemption
+}
+
+// BatchOption configures a bulk-evaluation call (functional options).
+type BatchOption func(*batchConfig)
+
+// WithParallelism sets the number of worker goroutines. Values below 1
+// select the default, runtime.GOMAXPROCS(0).
+func WithParallelism(n int) BatchOption {
+	return func(c *batchConfig) {
+		if n >= 1 {
+			c.parallelism = n
+		}
+	}
+}
+
+// WithCache overrides the relation's verdict-cache setting for this call.
+func WithCache(enabled bool) BatchOption {
+	return func(c *batchConfig) { c.cache = enabled }
+}
+
+// WithPreemption overrides the relation's preemption mode for this call.
+// Cached verdicts are stamped with the mode, so overriding never pollutes
+// the memo for other modes.
+func WithPreemption(p Preemption) BatchOption {
+	return func(c *batchConfig) { c.mode = p }
+}
+
+// batchConfigFor resolves options against the relation's defaults.
+func (r *Relation) batchConfigFor(opts []BatchOption) batchConfig {
+	cfg := batchConfig{
+		parallelism: runtime.GOMAXPROCS(0),
+		cache:       !r.cacheOff,
+		mode:        r.mode,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// warmForBatch builds every lazily memoized hierarchy structure once, on the
+// calling goroutine, so the workers start from read-only state instead of
+// racing to construct it.
+func (r *Relation) warmForBatch() {
+	for _, a := range r.schema.attrs {
+		a.Domain.Warm()
+	}
+}
+
+// fanOut runs do(i) for i in [0, n) across the given number of workers,
+// stopping early when stop returns true. With one worker it runs inline.
+//
+// The stop check precedes the index claim, so a claimed index ALWAYS runs
+// to completion. Combined with the monotone atomic counter this is what
+// makes batch errors deterministic: when index i fails, every index below
+// i was claimed earlier and therefore fully evaluated, so taking the
+// minimum failing index over the completed work yields the same answer as
+// a sequential scan.
+func fanOut(n, workers int, stop func() bool, do func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n && !stop(); i++ {
+			do(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if stop() {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				do(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// EvaluateBatch evaluates every item concurrently and returns the verdicts
+// in input order. The first failure — by input index, not by wall clock —
+// cancels the remaining work and is returned; partial results are
+// discarded. Cancelling ctx aborts the batch with ctx's error.
+func (r *Relation) EvaluateBatch(ctx context.Context, items []Item, opts ...BatchOption) ([]Verdict, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := r.batchConfigFor(opts)
+	n := len(items)
+	verdicts := make([]Verdict, n)
+	if n == 0 {
+		return verdicts, ctx.Err()
+	}
+	r.warmForBatch()
+
+	var (
+		mu       sync.Mutex
+		firstIdx = n
+		firstErr error
+		failed   atomic.Bool
+	)
+	stop := func() bool { return failed.Load() || ctx.Err() != nil }
+	fanOut(n, cfg.parallelism, stop, func(i int) {
+		v, err := r.evaluate(items[i], cfg.mode, cfg.cache)
+		if err != nil {
+			mu.Lock()
+			if i < firstIdx {
+				firstIdx, firstErr = i, err
+			}
+			mu.Unlock()
+			failed.Store(true)
+			return
+		}
+		verdicts[i] = v
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		// Deterministic: see fanOut — every index below firstIdx ran to
+		// completion, so the minimum above equals the sequential answer.
+		return nil, firstErr
+	}
+	return verdicts, nil
+}
+
+// EvaluateEach evaluates every item concurrently, collecting each item's
+// verdict and error positionally instead of cancelling on failure. Use it
+// when per-item errors are data — e.g. three-valued logic mapping
+// ambiguity conflicts to "unknown". The returned error is non-nil only
+// when ctx was cancelled before completion.
+func (r *Relation) EvaluateEach(ctx context.Context, items []Item, opts ...BatchOption) ([]Verdict, []error, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg := r.batchConfigFor(opts)
+	n := len(items)
+	verdicts := make([]Verdict, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return verdicts, errs, ctx.Err()
+	}
+	r.warmForBatch()
+
+	stop := func() bool { return ctx.Err() != nil }
+	fanOut(n, cfg.parallelism, stop, func(i int) {
+		verdicts[i], errs[i] = r.evaluate(items[i], cfg.mode, cfg.cache)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return verdicts, errs, nil
+}
+
+// HoldsBatch is EvaluateBatch reduced to closed-world truth values.
+func (r *Relation) HoldsBatch(ctx context.Context, items []Item, opts ...BatchOption) ([]bool, error) {
+	vs, err := r.EvaluateBatch(ctx, items, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]bool, len(vs))
+	for i, v := range vs {
+		out[i] = v.Value
+	}
+	return out, nil
+}

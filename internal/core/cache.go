@@ -1,0 +1,106 @@
+package core
+
+import "sync"
+
+// This file implements the relation's verdict memo cache. Evaluation of an
+// item against an unchanged relation is deterministic, so the result can be
+// memoized; the cache is the read-path accelerator the inherited-value model
+// needs (cf. Litwin's stored/inherited relations: inherited values are
+// recomputed on every read unless cached).
+//
+// Correctness is enforced by stamping, not eviction: every entry records the
+// relation's mutation epoch, the sum of the attribute hierarchies' mutation
+// generations, and the preemption mode it was computed under. A lookup whose
+// stamp differs is a miss, so a post-mutation Evaluate can never observe a
+// stale verdict. Capacity is bounded with a two-generation (current /
+// previous) rotation: inserts fill the current half; when it reaches half
+// the capacity the generations rotate and the oldest half is discarded.
+
+// defaultCacheCap bounds the number of memoized verdicts per relation.
+const defaultCacheCap = 4096
+
+// cacheStamp identifies the relation state a verdict was computed against.
+type cacheStamp struct {
+	epoch uint64     // relation mutation counter
+	hgen  uint64     // sum of attribute-hierarchy generations
+	mode  Preemption // preemption semantics in force
+}
+
+// cacheEntry is one memoized evaluation.
+type cacheEntry struct {
+	stamp cacheStamp
+	v     Verdict
+	err   error
+}
+
+// verdictCache is a bounded, synchronized memo table keyed by item key.
+type verdictCache struct {
+	mu           sync.Mutex
+	cap          int
+	cur, prev    map[string]cacheEntry
+	hits, misses uint64
+}
+
+// newVerdictCache creates a cache holding at most capacity entries.
+func newVerdictCache(capacity int) *verdictCache {
+	if capacity < 2 {
+		capacity = 2
+	}
+	return &verdictCache{cap: capacity, cur: make(map[string]cacheEntry)}
+}
+
+// get returns the entry for key if present with a matching stamp.
+func (c *verdictCache) get(key string, stamp cacheStamp) (cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.cur[key]; ok && e.stamp == stamp {
+		c.hits++
+		return e, true
+	}
+	if e, ok := c.prev[key]; ok && e.stamp == stamp {
+		c.storeLocked(key, e) // promote so a rotation does not drop it
+		c.hits++
+		return e, true
+	}
+	c.misses++
+	return cacheEntry{}, false
+}
+
+// put memoizes an entry, rotating generations when the current one is full.
+func (c *verdictCache) put(key string, e cacheEntry) {
+	c.mu.Lock()
+	c.storeLocked(key, e)
+	c.mu.Unlock()
+}
+
+func (c *verdictCache) storeLocked(key string, e cacheEntry) {
+	if len(c.cur) >= c.cap/2 {
+		if _, ok := c.cur[key]; !ok {
+			c.prev = c.cur
+			c.cur = make(map[string]cacheEntry, c.cap/2)
+		}
+	}
+	c.cur[key] = e
+}
+
+// reset discards every entry (the counters are kept).
+func (c *verdictCache) reset() {
+	c.mu.Lock()
+	c.cur = make(map[string]cacheEntry)
+	c.prev = nil
+	c.mu.Unlock()
+}
+
+// stats returns the hit/miss counters.
+func (c *verdictCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// size returns the number of resident entries (for tests of boundedness).
+func (c *verdictCache) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cur) + len(c.prev)
+}

@@ -23,6 +23,12 @@ var (
 	// ErrIncompatible indicates relations whose schemas do not match for a
 	// set operation or join.
 	ErrIncompatible = errors.New("core: incompatible schemas")
+	// ErrUnknownAttribute indicates a reference to an attribute name absent
+	// from the relation's schema. It wraps ErrSchema, so existing
+	// errors.Is(err, ErrSchema) checks keep matching.
+	ErrUnknownAttribute = fmt.Errorf("%w: unknown attribute", ErrSchema)
+	// ErrUnknownMode indicates a Preemption value outside the defined modes.
+	ErrUnknownMode = errors.New("core: unknown preemption mode")
 )
 
 // ConflictError reports a violation of the paper's ambiguity constraint

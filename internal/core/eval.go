@@ -68,7 +68,47 @@ type Verdict struct {
 // Evaluate computes the truth value of an item under the relation's
 // preemption mode. It returns a *ConflictError when the item's strongest-
 // binding tuples disagree (the ambiguity constraint, §3.1).
+//
+// Results are memoized in the relation's verdict cache (see cache.go):
+// repeated Evaluate calls on an unchanged relation are a map lookup. Any
+// mutation of the relation or of an attribute hierarchy invalidates the
+// memo by changing its stamp, never by relying on eviction.
 func (r *Relation) Evaluate(item Item) (Verdict, error) {
+	return r.evaluate(item, r.mode, !r.cacheOff)
+}
+
+// EvaluateMode is Evaluate under an explicit preemption mode, overriding the
+// relation's own setting for this call only.
+func (r *Relation) EvaluateMode(item Item, mode Preemption) (Verdict, error) {
+	return r.evaluate(item, mode, !r.cacheOff)
+}
+
+// evaluate is the memoizing front of the evaluator. The cache is probed
+// before validation: a hit can only exist for an item that validated under
+// the same relation epoch, hierarchy generations, and mode, so skipping
+// re-validation is sound.
+func (r *Relation) evaluate(item Item, mode Preemption, useCache bool) (Verdict, error) {
+	if !useCache {
+		return r.evaluateUncached(item, mode)
+	}
+	key := item.Key()
+	stamp := r.stamp(mode)
+	if e, ok := r.cache.get(key, stamp); ok {
+		if ce, isConflict := e.err.(*ConflictError); isConflict {
+			// Conflicts() annotates the error with a resolution in place;
+			// hand each caller its own copy so hits never share state.
+			cp := *ce
+			return e.v, &cp
+		}
+		return e.v, e.err
+	}
+	v, err := r.evaluateUncached(item, mode)
+	r.cache.put(key, cacheEntry{stamp: stamp, v: v, err: err})
+	return v, err
+}
+
+// evaluateUncached runs the paper's evaluation procedure with no memo.
+func (r *Relation) evaluateUncached(item Item, mode Preemption) (Verdict, error) {
 	if err := r.validateItem(item); err != nil {
 		return Verdict{}, err
 	}
@@ -82,28 +122,9 @@ func (r *Relation) Evaluate(item Item) (Verdict, error) {
 		return Verdict{Value: false, Default: true, Applicable: applicable}, nil
 	}
 
-	var binders []Tuple
-	switch r.mode {
-	case NoPreemption:
-		binders = applicable
-	case OffPath:
-		if r.fastPathOK() {
-			binders = r.minimalTuples(applicable)
-		} else {
-			var err error
-			binders, err = r.bindersByElimination(item, applicable, false)
-			if err != nil {
-				return Verdict{}, err
-			}
-		}
-	case OnPath:
-		var err error
-		binders, err = r.bindersByElimination(item, applicable, true)
-		if err != nil {
-			return Verdict{}, err
-		}
-	default:
-		return Verdict{}, fmt.Errorf("core: unknown preemption mode %d", int(r.mode))
+	binders, err := r.bindersFor(item, applicable, mode)
+	if err != nil {
+		return Verdict{}, err
 	}
 
 	value := binders[0].Sign
@@ -113,6 +134,24 @@ func (r *Relation) Evaluate(item Item) (Verdict, error) {
 		}
 	}
 	return Verdict{Value: value, Binders: binders, Applicable: applicable}, nil
+}
+
+// bindersFor selects the strongest-binding tuples among the applicable ones
+// under the given preemption mode.
+func (r *Relation) bindersFor(item Item, applicable []Tuple, mode Preemption) ([]Tuple, error) {
+	switch mode {
+	case NoPreemption:
+		return applicable, nil
+	case OffPath:
+		if r.fastPathOK() {
+			return r.minimalTuples(applicable), nil
+		}
+		return r.bindersByElimination(item, applicable, false)
+	case OnPath:
+		return r.bindersByElimination(item, applicable, true)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownMode, int(mode))
+	}
 }
 
 // Holds is Evaluate reduced to the closed-world truth value.
@@ -307,25 +346,10 @@ func (r *Relation) TupleBindingGraph(item Item) (*BindingGraph, error) {
 	if t, ok := r.Lookup(item); ok {
 		binders = []Tuple{t}
 	} else if len(applicable) > 0 {
-		switch r.mode {
-		case NoPreemption:
-			binders = applicable
-		case OffPath:
-			if r.fastPathOK() {
-				binders = r.minimalTuples(applicable)
-			} else {
-				var err error
-				binders, err = r.bindersByElimination(item, applicable, false)
-				if err != nil {
-					return nil, err
-				}
-			}
-		case OnPath:
-			var err error
-			binders, err = r.bindersByElimination(item, applicable, true)
-			if err != nil {
-				return nil, err
-			}
+		var err error
+		binders, err = r.bindersFor(item, applicable, r.mode)
+		if err != nil {
+			return nil, err
 		}
 	}
 	for _, b := range binders {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -25,6 +26,12 @@ import (
 // The result is capped: if the enumeration would produce more than
 // maxProductNodes tuples, ErrTooLarge is returned.
 func (r *Relation) Explicate(attrs ...string) (*Relation, error) {
+	return r.ExplicateContext(context.Background(), attrs...)
+}
+
+// ExplicateContext is Explicate with cancellation: a long enumeration is
+// abandoned with ctx's error at the next tuple boundary.
+func (r *Relation) ExplicateContext(ctx context.Context, attrs ...string) (*Relation, error) {
 	cols := make([]int, 0, len(attrs))
 	if len(attrs) == 0 {
 		for i := 0; i < r.schema.Arity(); i++ {
@@ -34,7 +41,7 @@ func (r *Relation) Explicate(attrs ...string) (*Relation, error) {
 		for _, a := range attrs {
 			i, ok := r.schema.Index(a)
 			if !ok {
-				return nil, fmt.Errorf("%w: no attribute %q in %q", ErrSchema, a, r.name)
+				return nil, fmt.Errorf("%w: no attribute %q in %q", ErrUnknownAttribute, a, r.name)
 			}
 			cols = append(cols, i)
 		}
@@ -50,6 +57,9 @@ func (r *Relation) Explicate(attrs ...string) (*Relation, error) {
 	ordered := r.sortMostSpecificFirst(r.Tuples())
 	inserted := 0
 	for _, t := range ordered {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Enumerate leaves for the explicated coordinates.
 		perAttr := make([][]string, r.schema.Arity())
 		for i, v := range t.Item {
@@ -94,7 +104,12 @@ func (r *Relation) Explicate(attrs ...string) (*Relation, error) {
 // tuples. ErrTooLarge is returned if the extension exceeds
 // maxProductNodes items.
 func (r *Relation) Extension() ([]Item, error) {
-	flat, err := r.Explicate()
+	return r.ExtensionContext(context.Background())
+}
+
+// ExtensionContext is Extension with cancellation.
+func (r *Relation) ExtensionContext(ctx context.Context) ([]Item, error) {
+	flat, err := r.ExplicateContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -105,6 +120,62 @@ func (r *Relation) Extension() ([]Item, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out, nil
+}
+
+// AtomicItems enumerates every atomic item of the relation's schema — the
+// full product of the attribute domains' leaves — in sorted order.
+// ErrTooLarge is returned if the product exceeds maxProductNodes.
+func (r *Relation) AtomicItems() ([]Item, error) {
+	k := r.schema.Arity()
+	perAttr := make([][]string, k)
+	size := 1
+	for i := 0; i < k; i++ {
+		leaves := r.schema.attrs[i].Domain.AllLeaves()
+		sort.Strings(leaves)
+		perAttr[i] = leaves
+		size *= len(leaves)
+		if size > maxProductNodes {
+			return nil, fmt.Errorf("%w: atomic-item space of %q exceeds %d items",
+				ErrTooLarge, r.name, maxProductNodes)
+		}
+	}
+	out := make([]Item, 0, size)
+	var rec func(prefix Item, i int)
+	rec = func(prefix Item, i int) {
+		if i == k {
+			out = append(out, prefix.Clone())
+			return
+		}
+		for _, n := range perAttr[i] {
+			rec(append(prefix, n), i+1)
+		}
+	}
+	rec(make(Item, 0, k), 0)
+	return out, nil
+}
+
+// ExtensionByEvaluation computes the extension by bulk-evaluating every
+// atomic item of the schema through EvaluateBatch, instead of by the
+// paper's explication rewrite. Both agree on consistent relations (that
+// equivalence is exercised by tests); this path parallelizes across cores
+// and honors cancellation, which suits wide, shallow relations, while
+// Explicate suits relations whose tuples cover the space sparsely.
+func (r *Relation) ExtensionByEvaluation(ctx context.Context, opts ...BatchOption) ([]Item, error) {
+	atoms, err := r.AtomicItems()
+	if err != nil {
+		return nil, err
+	}
+	verdicts, err := r.EvaluateBatch(ctx, atoms, opts...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Item
+	for i, v := range verdicts {
+		if v.Value {
+			out = append(out, atoms[i])
+		}
+	}
 	return out, nil
 }
 

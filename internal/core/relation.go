@@ -161,6 +161,12 @@ type Relation struct {
 	// Applicable can probe only the buckets of the query item's ancestors
 	// instead of scanning every tuple.
 	idx0 map[string][]string
+
+	// epoch counts mutations (Insert/Retract/SetMode); the verdict cache
+	// stamps entries with it so no post-mutation read can be stale.
+	epoch    uint64
+	cache    *verdictCache
+	cacheOff bool
 }
 
 // NewRelation creates an empty relation with the given name and schema.
@@ -171,6 +177,7 @@ func NewRelation(name string, schema *Schema) *Relation {
 		tuples: map[string]Tuple{},
 		mode:   OffPath,
 		idx0:   map[string][]string{},
+		cache:  newVerdictCache(defaultCacheCap),
 	}
 }
 
@@ -187,7 +194,41 @@ func (r *Relation) Len() int { return len(r.tuples) }
 func (r *Relation) Mode() Preemption { return r.mode }
 
 // SetMode selects the preemption semantics used by Evaluate.
-func (r *Relation) SetMode(m Preemption) { r.mode = m }
+func (r *Relation) SetMode(m Preemption) {
+	r.mode = m
+	r.epoch++
+}
+
+// Epoch returns the relation's mutation counter. It increases on every
+// Insert, Retract, and SetMode; two calls returning the same epoch bracket a
+// window in which the stored tuples did not change.
+func (r *Relation) Epoch() uint64 { return r.epoch }
+
+// SetCache enables or disables the verdict memo cache. Disabling also drops
+// any memoized verdicts. The cache is enabled by default.
+func (r *Relation) SetCache(enabled bool) {
+	r.cacheOff = !enabled
+	if !enabled {
+		r.cache.reset()
+	}
+}
+
+// CacheEnabled reports whether the verdict memo cache is in use.
+func (r *Relation) CacheEnabled() bool { return !r.cacheOff }
+
+// CacheStats returns the verdict cache's cumulative hit and miss counters.
+func (r *Relation) CacheStats() (hits, misses uint64) { return r.cache.stats() }
+
+// stamp captures the relation and hierarchy state a verdict depends on: the
+// relation's epoch, the sum of the attribute hierarchies' mutation
+// generations, and the preemption mode.
+func (r *Relation) stamp(mode Preemption) cacheStamp {
+	var hgen uint64
+	for _, a := range r.schema.attrs {
+		hgen += a.Domain.Generation()
+	}
+	return cacheStamp{epoch: r.epoch, hgen: hgen, mode: mode}
+}
 
 // validateItem checks arity and that every coordinate names a node of its
 // attribute's hierarchy.
@@ -222,6 +263,7 @@ func (r *Relation) Insert(item Item, sign bool) error {
 	}
 	r.tuples[k] = Tuple{Item: item.Clone(), Sign: sign}
 	r.idx0[item[0]] = append(r.idx0[item[0]], k)
+	r.epoch++
 	return nil
 }
 
@@ -252,6 +294,7 @@ func (r *Relation) Retract(item Item) bool {
 	if len(r.idx0[item[0]]) == 0 {
 		delete(r.idx0, item[0])
 	}
+	r.epoch++
 	return true
 }
 
@@ -281,6 +324,7 @@ func (r *Relation) Tuples() []Tuple {
 func (r *Relation) Clone() *Relation {
 	c := NewRelation(r.name, r.schema)
 	c.mode = r.mode
+	c.cacheOff = r.cacheOff
 	for k, t := range r.tuples {
 		c.tuples[k] = Tuple{Item: t.Item.Clone(), Sign: t.Sign}
 		c.idx0[t.Item[0]] = append(c.idx0[t.Item[0]], k)

@@ -6,13 +6,18 @@
 //
 // Nodes are dense non-negative integer ids assigned by AddNode. The graph is
 // mutable; derived structures (topological order, reachability) are computed
-// on demand and cached until the next mutation.
+// on demand and cached until the next mutation. The memos are published
+// through atomic pointers, so a graph that is not being mutated may be
+// queried from any number of goroutines concurrently (mutation remains
+// single-writer, with no concurrent readers).
 package dag
 
 import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // ErrCycle is returned when an operation would create, or requires the
@@ -33,14 +38,17 @@ type Graph struct {
 	alive []bool
 	nodes int // count of live nodes
 
-	// memoized derived state, invalidated on mutation
-	topo  []int
-	reach []Bitset // reach[i] = nodes reachable from i (including i)
+	// memoized derived state, invalidated on mutation and safe for
+	// concurrent readers: lookups go through atomic loads, builds are
+	// serialized by memoMu and published with atomic stores.
+	memoMu    sync.Mutex
+	topoMemo  atomic.Pointer[[]int]
+	reachMemo atomic.Pointer[[]Bitset] // reach[i] = nodes reachable from i (including i)
 
 	// pathQueries counts HasPath calls since the last mutation; once the
 	// graph has been stable for about one query per node, the full
 	// reachability index pays for itself and is built.
-	pathQueries int
+	pathQueries atomic.Int64
 }
 
 // New returns an empty graph.
@@ -48,9 +56,9 @@ func New() *Graph { return &Graph{} }
 
 // invalidate drops memoized derived state after a mutation.
 func (g *Graph) invalidate() {
-	g.topo = nil
-	g.reach = nil
-	g.pathQueries = 0
+	g.topoMemo.Store(nil)
+	g.reachMemo.Store(nil)
+	g.pathQueries.Store(0)
 }
 
 // AddNode creates a new node and returns its id.
@@ -219,11 +227,33 @@ func (g *Graph) RemoveNode(id int) {
 // the graph is cyclic (possible only if the graph was built by Decode from
 // corrupted data, since AddEdge rejects cycles).
 func (g *Graph) Topo() ([]int, error) {
-	if g.topo != nil {
-		out := make([]int, len(g.topo))
-		copy(out, g.topo)
-		return out, nil
+	if t := g.topoMemo.Load(); t != nil {
+		return append([]int(nil), (*t)...), nil
 	}
+	g.memoMu.Lock()
+	defer g.memoMu.Unlock()
+	order, err := g.topoLocked()
+	if err != nil {
+		return nil, err
+	}
+	return append([]int(nil), order...), nil
+}
+
+// topoLocked returns (memoizing) the topological order; caller holds memoMu.
+func (g *Graph) topoLocked() ([]int, error) {
+	if t := g.topoMemo.Load(); t != nil {
+		return *t, nil
+	}
+	order, err := g.computeTopo()
+	if err != nil {
+		return nil, err
+	}
+	g.topoMemo.Store(&order)
+	return order, nil
+}
+
+// computeTopo runs Kahn's algorithm without touching the memo.
+func (g *Graph) computeTopo() ([]int, error) {
 	indeg := make(map[int]int, g.nodes)
 	var frontier []int
 	for id, ok := range g.alive {
@@ -259,20 +289,23 @@ func (g *Graph) Topo() ([]int, error) {
 	if len(order) != g.nodes {
 		return nil, ErrCycle
 	}
-	g.topo = order
-	out := make([]int, len(order))
-	copy(out, order)
-	return out, nil
+	return order, nil
 }
 
-// ensureReach computes the reachability bitsets for all live nodes.
-func (g *Graph) ensureReach() error {
-	if g.reach != nil {
-		return nil
+// ensureReach computes (memoizing) the reachability bitsets for all live
+// nodes and returns them.
+func (g *Graph) ensureReach() ([]Bitset, error) {
+	if r := g.reachMemo.Load(); r != nil {
+		return *r, nil
 	}
-	order, err := g.Topo()
+	g.memoMu.Lock()
+	defer g.memoMu.Unlock()
+	if r := g.reachMemo.Load(); r != nil {
+		return *r, nil
+	}
+	order, err := g.topoLocked()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	reach := make([]Bitset, len(g.alive))
 	// process in reverse topological order so successors are ready
@@ -285,8 +318,15 @@ func (g *Graph) ensureReach() error {
 		}
 		reach[id] = b
 	}
-	g.reach = reach
-	return nil
+	g.reachMemo.Store(&reach)
+	return reach, nil
+}
+
+// Warm eagerly builds the memoized derived state (topological order and the
+// reachability index) so that subsequent concurrent readers share it instead
+// of racing to build it. It is a no-op on an already-warm graph.
+func (g *Graph) Warm() {
+	_, _ = g.ensureReach()
 }
 
 // HasPath reports whether to is reachable from from (every node reaches
@@ -298,16 +338,15 @@ func (g *Graph) HasPath(from, to int) bool {
 	if from == to {
 		return true
 	}
-	if g.reach != nil {
-		return g.reach[from].Get(to)
+	if r := g.reachMemo.Load(); r != nil {
+		return (*r)[from].Get(to)
 	}
 	// During construction (mutations interleaved with queries) a plain DFS
 	// avoids thrashing the cache; once the graph has been stable for about
 	// one query per node, build the reachability index instead.
-	g.pathQueries++
-	if g.pathQueries > g.nodes+16 {
-		if err := g.ensureReach(); err == nil {
-			return g.reach[from].Get(to)
+	if g.pathQueries.Add(1) > int64(g.nodes+16) {
+		if reach, err := g.ensureReach(); err == nil {
+			return reach[from].Get(to)
 		}
 	}
 	seen := make([]bool, len(g.alive))
@@ -337,11 +376,12 @@ func (g *Graph) Descendants(id int) []int {
 	if !g.Has(id) {
 		return nil
 	}
-	if err := g.ensureReach(); err != nil {
+	reach, err := g.ensureReach()
+	if err != nil {
 		return nil
 	}
 	var out []int
-	for _, n := range g.reach[id].Members() {
+	for _, n := range reach[id].Members() {
 		if n != id {
 			out = append(out, n)
 		}
@@ -380,10 +420,11 @@ func (g *Graph) ReachableSet(id int) (Bitset, error) {
 	if !g.Has(id) {
 		return nil, ErrNoNode
 	}
-	if err := g.ensureReach(); err != nil {
+	reach, err := g.ensureReach()
+	if err != nil {
 		return nil, err
 	}
-	return g.reach[id], nil
+	return reach[id], nil
 }
 
 // Clone returns a deep copy of the graph.
@@ -468,14 +509,15 @@ func (g *Graph) TransitiveReduction() error {
 // TransitiveClosure adds an edge u→v for every pair where v is reachable
 // from u.
 func (g *Graph) TransitiveClosure() error {
-	if err := g.ensureReach(); err != nil {
+	reach, err := g.ensureReach()
+	if err != nil {
 		return err
 	}
 	// Snapshot reachability before mutating (mutation invalidates it).
 	type edge struct{ u, v int }
 	var add []edge
 	for _, u := range g.Nodes() {
-		for _, v := range g.reach[u].Members() {
+		for _, v := range reach[u].Members() {
 			if u != v && !g.HasEdge(u, v) {
 				add = append(add, edge{u, v})
 			}
@@ -490,19 +532,20 @@ func (g *Graph) TransitiveClosure() error {
 }
 
 // IsRedundantEdge reports whether the existing edge u→v is transitively
-// redundant (an alternate directed path from u to v exists).
+// redundant (an alternate directed path from u to v exists). The check is a
+// pure read — in a DAG, an alternate path must leave u through a successor
+// other than v — so it is safe under concurrent readers and does not thrash
+// the memoized derived state.
 func (g *Graph) IsRedundantEdge(u, v int) bool {
 	if !g.HasEdge(u, v) {
 		return false
 	}
-	g.RemoveEdge(u, v)
-	redundant := g.HasPath(u, v)
-	// restore
-	if err := g.AddEdge(u, v); err != nil {
-		// cannot happen: the edge was just present
-		panic(err)
+	for w := range g.succ[u] {
+		if w != v && g.HasPath(w, v) {
+			return true
+		}
 	}
-	return redundant
+	return false
 }
 
 func sortedKeys(m map[int]struct{}) []int {

@@ -23,6 +23,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"hrdb/internal/dag"
 )
@@ -45,6 +47,11 @@ var (
 
 // Hierarchy is a named, rooted DAG of classes and instances. The zero value
 // is not usable; call New.
+//
+// A hierarchy that is not being mutated is safe for concurrent readers: the
+// lazily built derived structures (the binding graph and its irredundancy
+// flag) are published atomically and built under a mutex. Mutation is
+// single-writer with no concurrent readers, as with the dag package.
 type Hierarchy struct {
 	domain   string
 	isa      *dag.Graph
@@ -54,10 +61,39 @@ type Hierarchy struct {
 	root     int
 	prefs    [][2]int // preference edges: weaker → stronger (binding only)
 
+	// gen counts mutations; the core package folds it into verdict-cache
+	// stamps so cached evaluations are fenced against hierarchy edits.
+	gen atomic.Uint64
+
+	// bindMu serializes lazy builds of the derived state below.
+	bindMu sync.Mutex
 	// bind is the is-a graph plus preference edges, built lazily.
-	bind *dag.Graph
+	bind atomic.Pointer[dag.Graph]
 	// bindIrr caches BindingIrredundant: 0 unknown, 1 true, -1 false.
-	bindIrr int8
+	bindIrr atomic.Int32
+}
+
+// invalidate drops the lazily derived state and bumps the mutation
+// generation; called by every mutating operation.
+func (h *Hierarchy) invalidate() {
+	h.bind.Store(nil)
+	h.bindIrr.Store(0)
+	h.gen.Add(1)
+}
+
+// Generation returns a counter incremented by every mutation of the
+// hierarchy (nodes, edges, preferences). Callers that memoize results
+// derived from the hierarchy can use it as a cheap validity fence.
+func (h *Hierarchy) Generation() uint64 { return h.gen.Load() }
+
+// Warm eagerly builds the lazily derived structures — the binding graph,
+// the reachability indexes of both graphs, and the irredundancy flag — so
+// that a following fan-out of concurrent readers shares them instead of
+// duplicating the work. No-op when already warm.
+func (h *Hierarchy) Warm() {
+	h.isa.Warm()
+	h.bindGraph().Warm()
+	h.BindingIrredundant()
 }
 
 // New creates a hierarchy whose root class is the domain itself.
@@ -134,8 +170,7 @@ func (h *Hierarchy) addNode(name string, isInstance bool, parents []string) erro
 			return err
 		}
 	}
-	h.bind = nil
-	h.bindIrr = 0
+	h.invalidate()
 	return nil
 }
 
@@ -173,8 +208,7 @@ func (h *Hierarchy) AddEdge(parent, child string) error {
 		}
 		return err
 	}
-	h.bind = nil
-	h.bindIrr = 0
+	h.invalidate()
 	return nil
 }
 
@@ -202,8 +236,7 @@ func (h *Hierarchy) Prefer(stronger, weaker string) error {
 	}
 	h.prefs = append(h.prefs, [2]int{wid, sid})
 	// Force a rebuild so the preference-induced transitive reduction runs.
-	h.bind = nil
-	h.bindIrr = 0
+	h.invalidate()
 	return nil
 }
 
@@ -228,25 +261,30 @@ func (h *Hierarchy) Preferences() [][2]string {
 // appendix treats deliberately redundant links as meaningful (they weaken
 // preemption), and membership is never affected either way.
 func (h *Hierarchy) bindGraph() *dag.Graph {
-	if h.bind != nil {
-		return h.bind
+	if bg := h.bind.Load(); bg != nil {
+		return bg
 	}
-	h.bind = h.isa.Clone()
+	h.bindMu.Lock()
+	defer h.bindMu.Unlock()
+	if bg := h.bind.Load(); bg != nil {
+		return bg
+	}
+	bg := h.isa.Clone()
 	if len(h.prefs) > 0 {
 		for _, p := range h.prefs {
-			if err := h.bind.AddEdge(p[0], p[1]); err != nil {
+			if err := bg.AddEdge(p[0], p[1]); err != nil {
 				// Preference edges were validated when installed.
 				panic(err)
 			}
 		}
 		for _, e := range h.isa.Edges() {
-			if h.bind.IsRedundantEdge(e[0], e[1]) && !h.isa.IsRedundantEdge(e[0], e[1]) {
-				h.bind.RemoveEdge(e[0], e[1])
+			if bg.IsRedundantEdge(e[0], e[1]) && !h.isa.IsRedundantEdge(e[0], e[1]) {
+				bg.RemoveEdge(e[0], e[1])
 			}
 		}
 	}
-	h.bindIrr = 0
-	return h.bind
+	h.bind.Store(bg)
+	return bg
 }
 
 // BindChildren returns the direct successors of name in the binding graph
@@ -289,8 +327,8 @@ func (h *Hierarchy) BindReachSet(name string) (dag.Bitset, bool) {
 // evaluation path of the core package coincides with the paper's tuple-
 // binding-graph construction. The result is cached until the next mutation.
 func (h *Hierarchy) BindingIrredundant() bool {
-	if h.bindIrr != 0 {
-		return h.bindIrr > 0
+	if v := h.bindIrr.Load(); v != 0 {
+		return v > 0
 	}
 	bg := h.bindGraph()
 	irr := true
@@ -300,10 +338,12 @@ func (h *Hierarchy) BindingIrredundant() bool {
 			break
 		}
 	}
+	// Concurrent callers may race to store the same value; that is benign
+	// because the computation is a pure read of the (stable) binding graph.
 	if irr {
-		h.bindIrr = 1
+		h.bindIrr.Store(1)
 	} else {
-		h.bindIrr = -1
+		h.bindIrr.Store(-1)
 	}
 	return irr
 }
@@ -538,8 +578,7 @@ func (h *Hierarchy) StripRedundant() error {
 	if err := h.isa.TransitiveReduction(); err != nil {
 		return err
 	}
-	h.bind = nil
-	h.bindIrr = 0
+	h.invalidate()
 	return nil
 }
 
@@ -576,8 +615,7 @@ func (h *Hierarchy) RemoveLeaf(name string) error {
 		}
 	}
 	h.prefs = kept
-	h.bind = nil
-	h.bindIrr = 0
+	h.invalidate()
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package hql
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -157,13 +158,24 @@ func (s *Session) InTx() bool { return s.inTx }
 
 // Exec parses and executes statements, returning the combined output text.
 func (s *Session) Exec(input string) (string, error) {
+	return s.ExecContext(context.Background(), input)
+}
+
+// ExecContext is Exec with cancellation: long-running query statements
+// (SELECT, EXTENSION, set operations, JOIN, PROJECT) observe ctx and abort
+// with its error. Cancellation is checked between statements too, so a
+// multi-statement script stops at the first uncompleted statement.
+func (s *Session) ExecContext(ctx context.Context, input string) (string, error) {
 	stmts, err := Parse(input)
 	if err != nil {
 		return "", err
 	}
 	var out strings.Builder
 	for _, st := range stmts {
-		res, err := s.exec(st)
+		if err := ctx.Err(); err != nil {
+			return out.String(), err
+		}
+		res, err := s.exec(ctx, st)
 		if err != nil {
 			return out.String(), err
 		}
@@ -178,7 +190,7 @@ func (s *Session) Exec(input string) (string, error) {
 }
 
 // exec runs one statement.
-func (s *Session) exec(st Stmt) (string, error) {
+func (s *Session) exec(ctx context.Context, st Stmt) (string, error) {
 	db := s.target.Database()
 	switch st := st.(type) {
 	case CreateHierarchyStmt:
@@ -310,7 +322,7 @@ func (s *Session) exec(st Stmt) (string, error) {
 		if name == "" {
 			name = "σ(" + st.Relation + ")"
 		}
-		res, err := algebra.Select(name, r, conds...)
+		res, err := algebra.SelectContext(ctx, name, r, conds...)
 		if err != nil {
 			return "", err
 		}
@@ -327,7 +339,7 @@ func (s *Session) exec(st Stmt) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		ext, err := r.Extension()
+		ext, err := r.ExtensionContext(ctx)
 		if err != nil {
 			return "", err
 		}
@@ -370,13 +382,13 @@ func (s *Session) exec(st Stmt) (string, error) {
 		var res *core.Relation
 		switch st.Op {
 		case "union":
-			res, err = algebra.Union(st.As, left, right)
+			res, err = algebra.UnionContext(ctx, st.As, left, right)
 		case "intersect":
-			res, err = algebra.Intersect(st.As, left, right)
+			res, err = algebra.IntersectContext(ctx, st.As, left, right)
 		case "difference":
-			res, err = algebra.Difference(st.As, left, right)
+			res, err = algebra.DifferenceContext(ctx, st.As, left, right)
 		case "join":
-			res, err = algebra.Join(st.As, left, right)
+			res, err = algebra.JoinContext(ctx, st.As, left, right)
 		}
 		if err != nil {
 			return "", err
@@ -391,7 +403,7 @@ func (s *Session) exec(st Stmt) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		res, err := algebra.Project(st.As, r, st.Attrs...)
+		res, err := algebra.ProjectContext(ctx, st.As, r, st.Attrs...)
 		if err != nil {
 			return "", err
 		}

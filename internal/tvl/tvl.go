@@ -13,6 +13,7 @@
 package tvl
 
 import (
+	"context"
 	"errors"
 
 	"hrdb/internal/core"
@@ -87,7 +88,12 @@ func Not(a Truth) Truth {
 // default) or when the strongest binders conflict. Validation errors
 // (arity, unknown values) are returned as errors.
 func Evaluate(r *core.Relation, item core.Item) (Truth, error) {
-	v, err := r.Evaluate(item)
+	return interpret(r.Evaluate(item))
+}
+
+// interpret maps a closed-world verdict and error to the open-world Truth:
+// ambiguity conflicts and closed-world defaults both read Unknown.
+func interpret(v core.Verdict, err error) (Truth, error) {
 	if err != nil {
 		var ce *core.ConflictError
 		if errors.As(err, &ce) {
@@ -104,4 +110,30 @@ func Evaluate(r *core.Relation, item core.Item) (Truth, error) {
 // Holds is Evaluate on a value list.
 func Holds(r *core.Relation, values ...string) (Truth, error) {
 	return Evaluate(r, core.Item(values))
+}
+
+// EvaluateBatch computes open-world truth values for every item in bulk,
+// fanning the underlying evaluation across cores (core.EvaluateEach).
+// Per-item conflicts are data here — they map to Unknown rather than
+// aborting the batch — so only validation failures and ctx cancellation
+// surface as the error (the lowest-index one, deterministically).
+func EvaluateBatch(ctx context.Context, r *core.Relation, items []core.Item, opts ...core.BatchOption) ([]Truth, error) {
+	verdicts, errs, err := r.EvaluateEach(ctx, items, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Truth, len(items))
+	var firstErr error
+	firstIdx := len(items)
+	for i := range items {
+		t, err := interpret(verdicts[i], errs[i])
+		if err != nil && i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		out[i] = t
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
 }
