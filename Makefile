@@ -2,14 +2,17 @@
 
 GO ?= go
 
-.PHONY: all help build test race cover bench bench-smoke figures experiments fuzz clean
+.PHONY: all help build test test-crash race cover bench bench-smoke figures experiments fuzz clean
 
 all: build test
 
 help:
 	@echo "hrdb targets:"
 	@echo "  build        compile and vet all packages"
-	@echo "  test         run the unit tests"
+	@echo "  test         run the unit tests (plus vet and a race pass"
+	@echo "               over the storage and core packages)"
+	@echo "  test-crash   crash the WAL at every byte offset and verify"
+	@echo "               recovery of the exact committed prefix"
 	@echo "  race         run the tests under the race detector"
 	@echo "               (includes the concurrency stress suites)"
 	@echo "  cover        coverage summary for internal/..."
@@ -17,7 +20,7 @@ help:
 	@echo "  bench-smoke  quick pass over the batch-evaluation and"
 	@echo "               verdict-cache benchmarks only"
 	@echo "  figures      regenerate the paper figures (cmd/hrfigures)"
-	@echo "  experiments  print the E1-E9 experiment tables (cmd/hrbench)"
+	@echo "  experiments  print the E1-E10 experiment tables (cmd/hrbench)"
 	@echo "  fuzz         run the fuzz targets for 30s each"
 
 build:
@@ -25,7 +28,12 @@ build:
 	$(GO) vet ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/storage/ ./internal/core/
+
+test-crash:
+	$(GO) test -run 'TestCrash' -count=1 -v ./internal/storage/
 
 race:
 	$(GO) test -race ./...
@@ -49,6 +57,7 @@ experiments:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/hql/
 	$(GO) test -fuzz=FuzzOpenLog -fuzztime=30s ./internal/storage/
+	$(GO) test -fuzz=FuzzCrashOffset -fuzztime=30s ./internal/storage/
 	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=30s ./internal/storage/
 
 clean:

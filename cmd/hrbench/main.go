@@ -1,4 +1,4 @@
-// Command hrbench runs the performance experiments E1–E8 of EXPERIMENTS.md
+// Command hrbench runs the performance experiments E1–E10 of EXPERIMENTS.md
 // and prints their tables. The paper (a model paper) reports no absolute
 // numbers; these experiments quantify the claims its prose makes — storage
 // compression from class tuples (§1), the join degradation of the flat
@@ -16,6 +16,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"hrdb/internal/algebra"
@@ -28,19 +29,20 @@ import (
 
 func main() {
 	exps := map[string]func(){
-		"E1": e1Storage,
-		"E2": e2Joins,
-		"E3": e3Consolidate,
-		"E4": e4Explicate,
-		"E5": e5Algebra,
-		"E6": e6Consistency,
-		"E7": e7Mining,
-		"E8": e8Durability,
-		"E9": e9Parallel,
+		"E1":  e1Storage,
+		"E2":  e2Joins,
+		"E3":  e3Consolidate,
+		"E4":  e4Explicate,
+		"E5":  e5Algebra,
+		"E6":  e6Consistency,
+		"E7":  e7Mining,
+		"E8":  e8Durability,
+		"E9":  e9Parallel,
+		"E10": e10GroupCommit,
 	}
 	args := os.Args[1:]
 	if len(args) == 0 {
-		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
 	}
 	for _, a := range args {
 		f, ok := exps[strings.ToUpper(a)]
@@ -319,6 +321,61 @@ func e8Durability() {
 			check(s4.Close())
 		})
 		fmt.Printf("| %d | %s | %s | %s |\n", facts, fmtNs(writeNs), fmtNs(replayNs), fmtNs(snapNs))
+	}
+}
+
+// e10Run times workers×txsPerWorker transactions against a fresh store
+// opened with opts and returns total wall-clock nanoseconds. Each
+// transaction asserts and retracts a per-worker tuple, so the database size
+// stays constant and committers never conflict.
+func e10Run(opts storage.Options, workers, txsPerWorker int) float64 {
+	dir, err := os.MkdirTemp("", "hrbench-e10-*")
+	check(err)
+	defer os.RemoveAll(dir)
+	s, err := storage.OpenOptions(dir, opts)
+	check(err)
+	check(s.CreateHierarchy("D"))
+	check(s.AddClass("D", "C"))
+	check(s.CreateRelation("R", catalog.AttrSpec{Name: "X", Domain: "D"}))
+	for w := 0; w < workers; w++ {
+		check(s.AddInstance("D", fmt.Sprintf("w%02d", w), "C"))
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			name := fmt.Sprintf("w%02d", w)
+			for i := 0; i < txsPerWorker; i++ {
+				check(s.ApplyTx([]catalog.TxOp{
+					{Kind: "assert", Relation: "R", Values: []string{name}},
+					{Kind: "retract", Relation: "R", Values: []string{name}},
+				}))
+			}
+		}(w)
+	}
+	wg.Wait()
+	ns := float64(time.Since(start).Nanoseconds())
+	check(s.Close())
+	return ns
+}
+
+// e10GroupCommit: the crash-safe WAL's group commit — N concurrent
+// committers share one fsync per flush instead of paying one per record.
+func e10GroupCommit() {
+	header("E10 — durability: group commit vs per-record fsync")
+	fmt.Println("| committers | txs | per-record fsync | group commit | txn/s (group) | speedup |")
+	fmt.Println("|---|---|---|---|---|---|")
+	const txsPerWorker = 50
+	for _, workers := range []int{1, 4, 8, 16} {
+		txs := workers * txsPerWorker
+		perNs := e10Run(storage.Options{PerRecordSync: true}, workers, txsPerWorker)
+		grpNs := e10Run(storage.Options{}, workers, txsPerWorker)
+		total := float64(txs)
+		fmt.Printf("| %d | %d | %s/tx | %s/tx | %.0f | %.1f× |\n",
+			workers, txs, fmtNs(perNs/total), fmtNs(grpNs/total),
+			total/(grpNs/1e9), perNs/grpNs)
 	}
 }
 

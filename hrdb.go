@@ -111,10 +111,24 @@ type (
 	AttrSpec = catalog.AttrSpec
 	// Tx is a transaction whose commit enforces the ambiguity constraint.
 	Tx = catalog.Tx
+	// TxOp describes one transactional update for Store.ApplyTx /
+	// Database.ApplyOps ("assert" | "deny" | "retract").
+	TxOp = catalog.TxOp
 	// ExceptionPolicy selects how exceptions are treated (§2.1).
 	ExceptionPolicy = catalog.ExceptionPolicy
 	// Store is a durable database: snapshot plus write-ahead log.
 	Store = storage.Store
+	// StoreOptions configures OpenStoreOptions (filesystem seam, fsync
+	// batching).
+	StoreOptions = storage.Options
+	// StoreFS is the filesystem seam a store performs all I/O through;
+	// inject a fault-wrapped implementation to test crash behaviour.
+	StoreFS = storage.FS
+	// StoreFile is one open file of a StoreFS.
+	StoreFile = storage.File
+	// FaultFS wraps a StoreFS with programmable fault injection (failed
+	// fsyncs, short writes, crashes after a byte budget).
+	FaultFS = storage.FaultFS
 	// Session executes HQL statements.
 	Session = hql.Session
 	// KB is a frame-based knowledge base over the model.
@@ -166,6 +180,17 @@ func NewDatabase() *Database { return catalog.New() }
 
 // OpenStore opens (creating if needed) a durable database rooted at dir.
 func OpenStore(dir string) (*Store, error) { return storage.Open(dir) }
+
+// OpenStoreOptions opens a durable database with explicit options — an
+// injected filesystem (e.g. NewFaultFS for crash testing) or per-record
+// fsync instead of group commit.
+func OpenStoreOptions(dir string, opts StoreOptions) (*Store, error) {
+	return storage.OpenOptions(dir, opts)
+}
+
+// NewFaultFS wraps base (nil for the real filesystem) with programmable
+// fault injection for durability testing.
+func NewFaultFS(base StoreFS) *FaultFS { return storage.NewFaultFS(base) }
 
 // NewSession creates an HQL session over an in-memory database.
 func NewSession(db *Database) *Session { return hql.NewSession(hql.MemTarget{DB: db}) }
@@ -277,6 +302,14 @@ var (
 	// ErrRepairDiverged indicates an algebra result whose conflict repair
 	// did not converge.
 	ErrRepairDiverged = algebra.ErrRepairDiverged
+	// ErrStoreFailed indicates a store poisoned by an I/O error; reopen it
+	// to recover the durable prefix.
+	ErrStoreFailed = storage.ErrStoreFailed
+	// ErrStoreCorrupt indicates a snapshot or log whose checksum, magic, or
+	// structure is invalid.
+	ErrStoreCorrupt = storage.ErrCorrupt
+	// ErrStoreVersion indicates an unsupported storage format version.
+	ErrStoreVersion = storage.ErrVersion
 )
 
 // EvaluateOpenWorld computes the three-valued truth of an item.

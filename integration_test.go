@@ -235,7 +235,41 @@ func TestStoreOnDiskLayout(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(dir, "snapshot.hrdb")); err != nil {
 		t.Fatal("snapshot missing")
 	}
-	if _, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil {
-		t.Fatal("wal missing")
+	// A fresh store logs to wal.log; each checkpoint rotates to an
+	// epoch-numbered successor referenced by the snapshot.
+	if _, err := os.Stat(filepath.Join(dir, "wal.000001.log")); err != nil {
+		t.Fatal("post-checkpoint wal missing")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal.log")); !os.IsNotExist(err) {
+		t.Fatal("pre-checkpoint wal not removed")
+	}
+}
+
+// TestStoreFaultInjectionFacade exercises the durability seam through the
+// public API: a store opened over a FaultFS poisons on fsync failure and
+// reopening recovers the acknowledged state.
+func TestStoreFaultInjectionFacade(t *testing.T) {
+	dir := t.TempDir()
+	ffs := hrdb.NewFaultFS(nil)
+	store, err := hrdb.OpenStoreOptions(dir, hrdb.StoreOptions{FS: ffs})
+	must(t, err)
+	must(t, store.CreateHierarchy("D"))
+	must(t, store.AddClass("D", "C"))
+
+	ffs.FailSyncAfter(0)
+	if err := store.AddClass("D", "Lost"); !errors.Is(err, hrdb.ErrStoreFailed) {
+		t.Fatalf("got %v, want ErrStoreFailed", err)
+	}
+	if err := store.CreateHierarchy("E"); !errors.Is(err, hrdb.ErrStoreFailed) {
+		t.Fatalf("poisoned store accepted a mutation: %v", err)
+	}
+
+	store2, err := hrdb.OpenStore(dir)
+	must(t, err)
+	defer store2.Close()
+	h, err := store2.Database().Hierarchy("D")
+	must(t, err)
+	if !h.Has("C") {
+		t.Fatal("acknowledged class lost after fault")
 	}
 }

@@ -56,6 +56,14 @@ type TxOp struct {
 }
 
 // ApplyOps runs the described operations in one transaction.
+//
+// ApplyOps is the replay contract of the storage layer's write-ahead log:
+// a committed transaction is persisted as its TxOp list and re-applied here
+// during crash recovery. It is deterministic — given equal database states,
+// the same ops yield the same resulting state and the same accept/reject
+// outcome — so replaying a logged commit cannot diverge from the original
+// run. Either every operation takes effect and the ambiguity constraint
+// holds over every touched relation, or the database is unchanged.
 func (db *Database) ApplyOps(ops []TxOp) error {
 	tx := db.Begin()
 	for _, o := range ops {

@@ -120,7 +120,12 @@ func (r *Relation) EvaluateBatch(ctx context.Context, items []Item, opts ...Batc
 	n := len(items)
 	verdicts := make([]Verdict, n)
 	if n == 0 {
-		return verdicts, ctx.Err()
+		// Same contract as n > 0: a cancelled context yields (nil, err),
+		// never both a non-nil slice and a non-nil error.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return verdicts, nil
 	}
 	r.warmForBatch()
 
@@ -169,7 +174,10 @@ func (r *Relation) EvaluateEach(ctx context.Context, items []Item, opts ...Batch
 	verdicts := make([]Verdict, n)
 	errs := make([]error, n)
 	if n == 0 {
-		return verdicts, errs, ctx.Err()
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		return verdicts, errs, nil
 	}
 	r.warmForBatch()
 

@@ -331,3 +331,57 @@ func TestParallelEvaluateStress(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestCacheSizeCountsDistinctKeys: a key promoted from the previous
+// generation is resident in both maps; size must count it once.
+func TestCacheSizeCountsDistinctKeys(t *testing.T) {
+	c := newVerdictCache(8) // generation threshold: 4
+	var stamp cacheStamp
+	for i := 0; i < 4; i++ {
+		c.put(fmt.Sprintf("k%d", i), cacheEntry{stamp: stamp})
+	}
+	c.put("k4", cacheEntry{stamp: stamp}) // rotates: prev={k0..k3}, cur={k4}
+	if _, ok := c.get("k0", stamp); !ok {
+		t.Fatal("k0 lost by rotation")
+	}
+	// k0 now lives in cur (promoted) and prev; 5 distinct keys resident.
+	if got := c.size(); got != 5 {
+		t.Fatalf("size = %d, want 5 (k0 must not be double-counted)", got)
+	}
+}
+
+// TestEvaluateBatchEmptyItems: the zero-item paths follow the same contract
+// as n > 0 — a cancelled context yields (nil, err); otherwise a non-nil
+// empty slice and no error, never both.
+func TestEvaluateBatchEmptyItems(t *testing.T) {
+	r := fliesRelation(t)
+
+	vs, err := r.EvaluateBatch(context.Background(), nil)
+	must(t, err)
+	if vs == nil || len(vs) != 0 {
+		t.Fatalf("EvaluateBatch(nil items) = %v, want empty non-nil slice", vs)
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	vs, err = r.EvaluateBatch(cancelled, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if vs != nil {
+		t.Fatalf("cancelled empty batch returned verdicts %v alongside error", vs)
+	}
+
+	evs, errs, err := r.EvaluateEach(context.Background(), nil)
+	must(t, err)
+	if evs == nil || errs == nil {
+		t.Fatal("EvaluateEach(nil items) must return non-nil slices")
+	}
+	evs, errs, err = r.EvaluateEach(cancelled, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if evs != nil || errs != nil {
+		t.Fatal("cancelled empty EvaluateEach returned slices alongside error")
+	}
+}

@@ -98,9 +98,17 @@ func (c *verdictCache) stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
-// size returns the number of resident entries (for tests of boundedness).
+// size returns the number of distinct resident keys (for tests of
+// boundedness). A key promoted out of the previous generation is resident
+// in both maps but must count once.
 func (c *verdictCache) size() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return len(c.cur) + len(c.prev)
+	n := len(c.cur)
+	for k := range c.prev {
+		if _, ok := c.cur[k]; !ok {
+			n++
+		}
+	}
+	return n
 }

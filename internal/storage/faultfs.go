@@ -1,0 +1,223 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// FaultFS wraps another FS and injects programmable faults: fsync errors,
+// short writes, directory-fsync errors, and a simulated crash after a byte
+// budget. It makes torn-write and failed-sync scenarios deterministic, so
+// the durability tests do not depend on racing a real kill.
+//
+// Counters (Writes, Syncs, DirSyncs) observe how the storage layer uses the
+// seam — e.g. that a checkpoint really fsyncs the directory, or that group
+// commit issues fewer fsyncs than records.
+
+// ErrInjected is the error returned by every injected fault.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FaultFS is an FS decorator with programmable faults. The zero value is
+// not usable; create one with NewFaultFS.
+type FaultFS struct {
+	base FS
+
+	mu sync.Mutex
+	// Countdowns: -1 is disarmed; 0 means the next matching call fails
+	// (one-shot), n > 0 means n calls succeed first.
+	syncAfter   int
+	writeAfter  int
+	shortBytes  int // bytes actually written by the failing short write
+	dirSyncFail bool
+	crashBudget int64 // bytes of write budget before a simulated crash; -1 disarmed
+	crashed     bool  // after a crash every write and sync fails
+	writes      int
+	syncs       int
+	dirSyncs    int
+	renames     int
+}
+
+// NewFaultFS creates a fault injector over base (OsFS{} when base is nil).
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = OsFS{}
+	}
+	return &FaultFS{base: base, syncAfter: -1, writeAfter: -1, crashBudget: -1}
+}
+
+// FailSyncAfter arms a one-shot fsync fault: the next n file Sync calls
+// succeed, the one after fails with ErrInjected. Later syncs succeed again,
+// which is exactly what makes poison semantics observable — the layer above
+// must refuse to continue even though the device "recovered".
+func (f *FaultFS) FailSyncAfter(n int) {
+	f.mu.Lock()
+	f.syncAfter = n
+	f.mu.Unlock()
+}
+
+// FailWriteAfter arms a one-shot short write: the next n file Write calls
+// succeed, the one after writes only short bytes of its buffer and returns
+// ErrInjected.
+func (f *FaultFS) FailWriteAfter(n, short int) {
+	f.mu.Lock()
+	f.writeAfter, f.shortBytes = n, short
+	f.mu.Unlock()
+}
+
+// FailDirSync makes SyncDir return ErrInjected while enabled.
+func (f *FaultFS) FailDirSync(enabled bool) {
+	f.mu.Lock()
+	f.dirSyncFail = enabled
+	f.mu.Unlock()
+}
+
+// CrashAfterBytes simulates a crash once budget more bytes have been
+// written: the write that crosses the budget is truncated to the remaining
+// budget (a torn write), and every later write or sync fails.
+func (f *FaultFS) CrashAfterBytes(budget int64) {
+	f.mu.Lock()
+	f.crashBudget = budget
+	f.crashed = false
+	f.mu.Unlock()
+}
+
+// Writes returns the number of file Write calls observed.
+func (f *FaultFS) Writes() int { f.mu.Lock(); defer f.mu.Unlock(); return f.writes }
+
+// Syncs returns the number of file Sync calls observed.
+func (f *FaultFS) Syncs() int { f.mu.Lock(); defer f.mu.Unlock(); return f.syncs }
+
+// DirSyncs returns the number of SyncDir calls observed.
+func (f *FaultFS) DirSyncs() int { f.mu.Lock(); defer f.mu.Unlock(); return f.dirSyncs }
+
+// Renames returns the number of Rename calls observed.
+func (f *FaultFS) Renames() int { f.mu.Lock(); defer f.mu.Unlock(); return f.renames }
+
+// OpenFile implements FS.
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, f: file}, nil
+}
+
+// Rename implements FS.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	f.renames++
+	crashed := f.crashed
+	f.mu.Unlock()
+	if crashed {
+		return ErrInjected
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (f *FaultFS) Remove(name string) error { return f.base.Remove(name) }
+
+// Stat implements FS.
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) { return f.base.Stat(name) }
+
+// MkdirAll implements FS.
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	return f.base.MkdirAll(path, perm)
+}
+
+// SyncDir implements FS.
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	f.dirSyncs++
+	fail := f.dirSyncFail || f.crashed
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.base.SyncDir(dir)
+}
+
+// faultFile routes Write and Sync through the injector's fault program.
+type faultFile struct {
+	fs *FaultFS
+	f  File
+}
+
+func (ff *faultFile) Read(p []byte) (int, error)                { return ff.f.Read(p) }
+func (ff *faultFile) Seek(off int64, whence int) (int64, error) { return ff.f.Seek(off, whence) }
+func (ff *faultFile) Close() error                              { return ff.f.Close() }
+func (ff *faultFile) Truncate(size int64) error                 { return ff.f.Truncate(size) }
+func (ff *faultFile) Stat() (os.FileInfo, error)                { return ff.f.Stat() }
+
+// Write consults the fault program: short-write countdowns and the crash
+// byte budget. A short or crossing write persists its allowed prefix (the
+// torn bytes really land in the underlying file) and returns ErrInjected.
+func (ff *faultFile) Write(p []byte) (int, error) {
+	fs := ff.fs
+	fs.mu.Lock()
+	fs.writes++
+	if fs.crashed {
+		fs.mu.Unlock()
+		return 0, ErrInjected
+	}
+	allow := len(p)
+	injected := false
+	if fs.writeAfter == 0 {
+		fs.writeAfter = -1
+		if fs.shortBytes < allow {
+			allow = fs.shortBytes
+		}
+		injected = true
+	} else if fs.writeAfter > 0 {
+		fs.writeAfter--
+	}
+	if fs.crashBudget >= 0 {
+		if int64(allow) >= fs.crashBudget {
+			allow = int(fs.crashBudget)
+			fs.crashBudget = 0
+			fs.crashed = true
+			injected = true
+		} else {
+			fs.crashBudget -= int64(allow)
+		}
+	}
+	fs.mu.Unlock()
+
+	n := 0
+	var err error
+	if allow > 0 {
+		n, err = ff.f.Write(p[:allow])
+	}
+	if injected && err == nil {
+		err = ErrInjected
+	}
+	if n == len(p) && err == nil {
+		return n, nil
+	}
+	if err == nil {
+		err = ErrInjected
+	}
+	return n, err
+}
+
+// Sync consults the fsync fault program.
+func (ff *faultFile) Sync() error {
+	fs := ff.fs
+	fs.mu.Lock()
+	fs.syncs++
+	if fs.crashed {
+		fs.mu.Unlock()
+		return ErrInjected
+	}
+	if fs.syncAfter == 0 {
+		fs.syncAfter = -1
+		fs.mu.Unlock()
+		return ErrInjected
+	}
+	if fs.syncAfter > 0 {
+		fs.syncAfter--
+	}
+	fs.mu.Unlock()
+	return ff.f.Sync()
+}

@@ -64,6 +64,43 @@ func FuzzOpenLog(f *testing.F) {
 	})
 }
 
+// FuzzCrashOffset: the crash-recovery property of TestCrashAtEveryOffset,
+// driven by the fuzzer — a crash leaving any prefix of the workload WAL
+// must recover exactly the acknowledged boundary at or before the cut.
+func FuzzCrashOffset(f *testing.F) {
+	workDir, err := os.MkdirTemp("", "crashfuzz-*")
+	if err != nil {
+		f.Fatal(err)
+	}
+	defer os.RemoveAll(workDir)
+	bounds, wal := runCrashWorkload(f, workDir)
+
+	f.Add(uint(0))
+	f.Add(uint(len(wal)))
+	f.Add(uint(len(wal) - 1))
+	for _, b := range bounds {
+		f.Add(uint(b.off))
+		f.Add(uint(b.off) + 1)
+	}
+
+	f.Fuzz(func(t *testing.T, off uint) {
+		l := int(off % uint(len(wal)+1))
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, walFile), wal[:l], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("crash at offset %d: reopen failed: %v", l, err)
+		}
+		got := fingerprint(s.Database())
+		s.Close()
+		if want := expectedAt(bounds, int64(l)); got != want {
+			t.Fatalf("crash at offset %d: recovered state diverges\n got: %s\nwant: %s", l, got, want)
+		}
+	})
+}
+
 // FuzzReadSnapshot: arbitrary bytes never crash the snapshot reader.
 func FuzzReadSnapshot(f *testing.F) {
 	dir, err := os.MkdirTemp("", "snapfuzz-*")

@@ -18,15 +18,25 @@ import (
 //	crc     uint32   CRC-32 (IEEE) of the payload
 //	payload []byte   gob-encoded DatabaseSpec
 //
-// Snapshots are written atomically (temp file + rename).
+// Snapshots are written atomically and durably: temp file → fsync →
+// rename → directory fsync. Readers therefore see either the old snapshot
+// or the new one, never a partial write.
 
 var snapshotMagic = [4]byte{'H', 'R', 'D', 'B'}
 
 // SnapshotVersion is the current snapshot format version.
 const SnapshotVersion = 1
 
-// WriteSnapshot serializes the spec to path atomically.
+// WriteSnapshot serializes the spec to path atomically on the real file
+// system.
 func WriteSnapshot(path string, spec DatabaseSpec) error {
+	return WriteSnapshotFS(OsFS{}, path, spec)
+}
+
+// WriteSnapshotFS serializes the spec to path atomically on fs: the bytes
+// are written to a temp file, fsynced, renamed over path, and the directory
+// is fsynced so the rename itself is durable.
+func WriteSnapshotFS(fs FS, path string, spec DatabaseSpec) error {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(spec); err != nil {
 		return fmt.Errorf("storage: encode snapshot: %w", err)
@@ -41,20 +51,44 @@ func WriteSnapshot(path string, spec DatabaseSpec) error {
 	buf.Write(payload.Bytes())
 
 	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+	f, err := fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		fs.Remove(tmp)
 		return err
 	}
-	return syncDir(filepath.Dir(path))
+	// fsync before rename: otherwise the rename can become durable while
+	// the data it points at is still only in the page cache, and a crash
+	// yields a corrupt "new" snapshot in place of the intact old one.
+	if err := f.Sync(); err != nil {
+		f.Close()
+		fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	if err := fs.Rename(tmp, path); err != nil {
+		fs.Remove(tmp)
+		return err
+	}
+	return fs.SyncDir(filepath.Dir(path))
 }
 
-// ReadSnapshot loads and verifies a snapshot file.
+// ReadSnapshot loads and verifies a snapshot file from the real file
+// system.
 func ReadSnapshot(path string) (DatabaseSpec, error) {
+	return ReadSnapshotFS(OsFS{}, path)
+}
+
+// ReadSnapshotFS loads and verifies a snapshot file from fs.
+func ReadSnapshotFS(fs FS, path string) (DatabaseSpec, error) {
 	var spec DatabaseSpec
-	data, err := os.ReadFile(path)
+	data, err := readFile(fs, path)
 	if err != nil {
 		return spec, err
 	}
@@ -78,15 +112,4 @@ func ReadSnapshot(path string) (DatabaseSpec, error) {
 		return spec, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return spec, nil
-}
-
-// syncDir fsyncs a directory so a rename is durable.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
-	if err != nil {
-		return nil // best effort; not all platforms allow dir fsync
-	}
-	defer d.Close()
-	_ = d.Sync()
-	return nil
 }

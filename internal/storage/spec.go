@@ -63,6 +63,10 @@ type DatabaseSpec struct {
 	Policy      int
 	Hierarchies []HierarchySpec
 	Relations   []RelationSpec
+	// LogEpoch names the WAL generation this snapshot supersedes: recovery
+	// replays only wal file of this epoch. Zero (also the value decoded
+	// from pre-epoch snapshots) selects the legacy "wal.log" name.
+	LogEpoch uint64
 }
 
 // SnapshotHierarchy converts a hierarchy to its spec.

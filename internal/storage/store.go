@@ -3,29 +3,70 @@ package storage
 import (
 	"errors"
 	"fmt"
-	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"hrdb/internal/catalog"
 	"hrdb/internal/core"
 )
 
 // Store is a durable hierarchical relational database: an in-memory catalog
-// plus a snapshot file and a write-ahead log. Mutations go through Store
-// methods, which log first and then apply (write-ahead); Open recovers by
-// loading the snapshot and replaying the log.
+// plus a snapshot file and a write-ahead log.
+//
+// Durability contract:
+//
+//   - Transactions (ApplyTx) are write-ahead: the operation records are
+//     staged to the WAL inside a tx_begin bracket before the in-memory
+//     apply, and the call acknowledges only after the closing tx_commit
+//     record is fsynced. A transaction whose in-memory apply is rejected
+//     closes its bracket with a tx_abort record; recovery discards it.
+//   - Single operations (Assert, AddClass, …) validate by applying in
+//     memory, then append one record and acknowledge only after it is
+//     fsynced. Either way nothing is acknowledged before it is durable,
+//     and recovery restores exactly the acknowledged prefix.
+//   - Concurrent committers coalesce into shared fsyncs (group commit);
+//     a store-level mutex keeps WAL order identical to apply order.
+//   - A WAL write or sync error poisons the store: memory may be ahead of
+//     disk, so every later mutation returns ErrStoreFailed until the store
+//     is reopened (recovering the durable prefix).
+//
+// Open recovers by loading the snapshot and replaying the log named by the
+// snapshot's log epoch; checkpointing rotates to a fresh log atomically
+// (temp snapshot → fsync → rename → dir fsync → new log → dir fsync).
 type Store struct {
-	db  *catalog.Database
-	log *Log
-	dir string
-	// failed is set when an in-memory mutation succeeded but its log
-	// append did not: memory and disk have diverged, and the only safe
-	// continuation is to reopen (recovering the logged prefix).
-	failed bool
+	db    *catalog.Database
+	log   *Log
+	dir   string
+	fs    FS
+	opts  Options
+	epoch uint64
+	// applyMu serializes WAL staging with the in-memory apply so that log
+	// order equals apply order, and keeps transaction brackets contiguous
+	// in the log. Fsync waits happen outside it, so concurrent committers
+	// still share flushes.
+	applyMu sync.Mutex
+	// failed is set when memory and disk may have diverged (a WAL append
+	// or sync error after an in-memory mutation): the only safe
+	// continuation is to reopen, recovering the durable prefix.
+	failed atomic.Bool
 }
 
-// ErrStoreFailed indicates a store whose WAL append failed after the
-// in-memory mutation was applied; reopen the store to recover.
+// Options configures Open.
+type Options struct {
+	// FS is the file-system seam; nil selects the operating system.
+	// Tests inject a FaultFS to program write, fsync, and crash faults.
+	FS FS
+	// PerRecordSync disables group commit: every record is appended and
+	// fsynced individually, serialized across committers. This is the
+	// pre-group-commit behavior, kept as the measurable baseline for the
+	// E10 experiment; production callers should leave it false.
+	PerRecordSync bool
+}
+
+// ErrStoreFailed indicates a store whose WAL write or sync failed at a
+// point where memory may be ahead of disk; reopen the store to recover the
+// durable prefix.
 var ErrStoreFailed = errors.New("storage: store failed (WAL append error); reopen to recover")
 
 // Filenames inside a store directory.
@@ -34,15 +75,33 @@ const (
 	walFile      = "wal.log"
 )
 
-// Open opens (creating if needed) a store rooted at dir.
-func Open(dir string) (*Store, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+// walName returns the WAL filename for a checkpoint epoch. Epoch 0 keeps
+// the legacy name so stores created before epoch rotation still open.
+func walName(epoch uint64) string {
+	if epoch == 0 {
+		return walFile
+	}
+	return fmt.Sprintf("wal.%06d.log", epoch)
+}
+
+// Open opens (creating if needed) a store rooted at dir on the real file
+// system with default options.
+func Open(dir string) (*Store, error) { return OpenOptions(dir, Options{}) }
+
+// OpenOptions opens (creating if needed) a store rooted at dir.
+func OpenOptions(dir string, opts Options) (*Store, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OsFS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
 	var db *catalog.Database
+	var epoch uint64
 	snapPath := filepath.Join(dir, snapshotFile)
-	if _, err := os.Stat(snapPath); err == nil {
-		spec, err := ReadSnapshot(snapPath)
+	if _, err := fs.Stat(snapPath); err == nil {
+		spec, err := ReadSnapshotFS(fs, snapPath)
 		if err != nil {
 			return nil, err
 		}
@@ -50,17 +109,24 @@ func Open(dir string) (*Store, error) {
 		if err != nil {
 			return nil, err
 		}
+		epoch = spec.LogEpoch
 	} else {
 		db = catalog.New()
 	}
-	log, err := OpenLog(filepath.Join(dir, walFile))
+	log, err := OpenLogFS(fs, filepath.Join(dir, walName(epoch)))
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{db: db, log: log, dir: dir}
+	s := &Store{db: db, log: log, dir: dir, fs: fs, opts: opts, epoch: epoch}
 	if err := s.replay(); err != nil {
 		log.Close()
 		return nil, err
+	}
+	// A crash between checkpoint's snapshot rename and old-log removal can
+	// leave the previous epoch's log behind; it is superseded by the
+	// snapshot, so drop it (best effort).
+	if epoch > 0 {
+		_ = fs.Remove(filepath.Join(dir, walName(epoch-1)))
 	}
 	return s, nil
 }
@@ -72,12 +138,15 @@ func (s *Store) Database() *catalog.Database { return s.db }
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
-// replay applies every log record to the freshly loaded database. Records
-// between tx_begin and tx_commit are buffered and applied as one catalog
-// transaction, since an individual record of a batch may be inconsistent
-// on its own (§3.1's whole point).
+// replay applies every durable log record to the freshly loaded database.
+// Records inside a tx_begin bracket — DML and otherwise — are buffered and
+// applied only when the bracket closes with tx_commit, as one catalog
+// transaction per DML run (an individual record of a batch may be
+// inconsistent on its own, §3.1's whole point). A tx_abort bracket is
+// discarded wholesale. An unterminated bracket cannot reach here: OpenLog
+// truncates it with the torn tail.
 func (s *Store) replay() error {
-	var txBuf []catalog.TxOp
+	var txBuf []Record
 	inTx := false
 	return s.log.Replay(func(rec Record) error {
 		switch rec.Op {
@@ -85,54 +154,138 @@ func (s *Store) replay() error {
 			inTx = true
 			txBuf = nil
 			return nil
+		case OpTxAbort:
+			inTx = false
+			txBuf = nil
+			return nil
 		case OpTxCommit:
 			inTx = false
-			ops := txBuf
+			recs := txBuf
 			txBuf = nil
-			return s.db.ApplyOps(ops)
-		case OpAssert, OpDeny, OpRetract:
-			if inTx {
-				kind := map[Op]string{OpAssert: "assert", OpDeny: "deny", OpRetract: "retract"}[rec.Op]
-				txBuf = append(txBuf, catalog.TxOp{Kind: kind, Relation: rec.Target, Values: rec.Args})
-				return nil
-			}
+			return s.applyCommitted(recs)
+		}
+		if inTx {
+			txBuf = append(txBuf, rec)
+			return nil
 		}
 		return s.apply(rec)
 	})
 }
 
-// ApplyTx applies the operations in one transaction and, on success, logs
-// them bracketed by tx_begin/tx_commit records.
+// applyCommitted applies the records of one committed bracket in order:
+// consecutive DML records form one catalog transaction; any other record
+// (not produced by this writer, but tolerated from foreign or legacy logs)
+// is applied at its position.
+func (s *Store) applyCommitted(recs []Record) error {
+	var ops []catalog.TxOp
+	flush := func() error {
+		if len(ops) == 0 {
+			return nil
+		}
+		err := s.db.ApplyOps(ops)
+		ops = nil
+		return err
+	}
+	for _, rec := range recs {
+		switch rec.Op {
+		case OpAssert, OpDeny, OpRetract:
+			kind := map[Op]string{OpAssert: "assert", OpDeny: "deny", OpRetract: "retract"}[rec.Op]
+			ops = append(ops, catalog.TxOp{Kind: kind, Relation: rec.Target, Values: rec.Args})
+		default:
+			if err := flush(); err != nil {
+				return err
+			}
+			if err := s.apply(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return flush()
+}
+
+// txRecordOps maps TxOp kinds to their WAL record ops.
+var txRecordOps = map[string]Op{"assert": OpAssert, "deny": OpDeny, "retract": OpRetract}
+
+// ApplyTx applies the operations of one transaction write-ahead: the
+// records are staged to the WAL first (bracketed by tx_begin), then applied
+// to memory, and the call returns success only after the closing tx_commit
+// record is durable. If the in-memory apply rejects the transaction, the
+// bracket is closed with tx_abort so recovery discards it, and the apply
+// error is returned.
 func (s *Store) ApplyTx(ops []catalog.TxOp) error {
-	if s.failed {
+	if s.failed.Load() {
+		return ErrStoreFailed
+	}
+	recs := make([]Record, 0, len(ops)+2)
+	recs = append(recs, Record{Op: OpTxBegin})
+	for _, o := range ops {
+		op, ok := txRecordOps[o.Kind]
+		if !ok {
+			return fmt.Errorf("storage: unknown tx op %q", o.Kind)
+		}
+		recs = append(recs, Record{Op: op, Target: o.Relation, Args: o.Values})
+	}
+	if s.opts.PerRecordSync {
+		return s.applyTxPerRecord(recs, ops)
+	}
+
+	s.applyMu.Lock()
+	if s.failed.Load() {
+		s.applyMu.Unlock()
+		return ErrStoreFailed
+	}
+	// Capture the log while holding applyMu: Checkpoint may rotate s.log,
+	// and a mark is only meaningful against the log that issued it.
+	log := s.log
+	if _, err := log.Stage(recs...); err != nil {
+		s.failed.Store(true)
+		s.applyMu.Unlock()
+		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	if err := s.db.ApplyOps(ops); err != nil {
+		// The staged bracket must not commit: close it with an abort so
+		// recovery discards it. The abort need not be fsynced here — if it
+		// is lost to a crash, the bracket is unterminated and OpenLog
+		// discards it anyway.
+		if _, aerr := log.Stage(Record{Op: OpTxAbort}); aerr != nil {
+			s.failed.Store(true)
+		}
+		s.applyMu.Unlock()
+		return err
+	}
+	mark, err := log.Stage(Record{Op: OpTxCommit})
+	s.applyMu.Unlock()
+	if err != nil {
+		s.failed.Store(true)
+		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	// Group commit: concurrent committers waiting here share one flush.
+	if err := log.Sync(mark); err != nil {
+		s.failed.Store(true)
+		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	return nil
+}
+
+// applyTxPerRecord is the E10 baseline: one write and one fsync per record,
+// fully serialized, with the pre-group-commit apply-then-log order.
+func (s *Store) applyTxPerRecord(recs []Record, ops []catalog.TxOp) error {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if s.failed.Load() {
 		return ErrStoreFailed
 	}
 	if err := s.db.ApplyOps(ops); err != nil {
 		return err
 	}
-	if err := s.log.Append(Record{Op: OpTxBegin}); err != nil {
-		s.failed = true
-		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
-	}
-	for _, o := range ops {
-		var op Op
-		switch o.Kind {
-		case "assert":
-			op = OpAssert
-		case "deny":
-			op = OpDeny
-		case "retract":
-			op = OpRetract
-		default:
-			return fmt.Errorf("storage: unknown tx op %q", o.Kind)
-		}
-		if err := s.log.Append(Record{Op: op, Target: o.Relation, Args: o.Values}); err != nil {
-			s.failed = true
+	for _, rec := range recs {
+		if err := s.log.Append(rec); err != nil {
+			s.failed.Store(true)
 			return fmt.Errorf("%w: %v", ErrStoreFailed, err)
 		}
 	}
 	if err := s.log.Append(Record{Op: OpTxCommit}); err != nil {
-		s.failed = true
+		s.failed.Store(true)
 		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
 	}
 	return nil
@@ -214,29 +367,41 @@ func (s *Store) apply(rec Record) error {
 			return err
 		}
 		return db.SetMode(rec.Target, mode)
-	case OpTxBegin, OpTxCommit:
-		// Transaction brackets: records between them were individually
-		// applied; commit-time consistency held when they were logged.
+	case OpTxBegin, OpTxCommit, OpTxAbort:
+		// Brackets are interpreted by replay; standalone ones are inert.
 		return nil
 	default:
 		return fmt.Errorf("%w: unknown op %q", ErrCorrupt, rec.Op)
 	}
 }
 
-// logged performs a mutation write-ahead: the record is appended to the log
-// only after the in-memory application succeeds (a failed application must
-// not leave a poisoned log). If the append itself fails, memory and disk
-// have diverged: the store is marked failed and refuses further mutations
-// until reopened.
+// logged performs one single-record mutation: validate by applying in
+// memory, stage the record (under applyMu, so it cannot land inside
+// another committer's bracket), then wait for durability before
+// acknowledging. A failed application stages nothing; a failed stage or
+// sync poisons the store, because memory is now ahead of disk.
 func (s *Store) logged(rec Record, do func() error) error {
-	if s.failed {
+	if s.failed.Load() {
 		return ErrStoreFailed
 	}
+	s.applyMu.Lock()
+	if s.failed.Load() {
+		s.applyMu.Unlock()
+		return ErrStoreFailed
+	}
+	log := s.log
 	if err := do(); err != nil {
+		s.applyMu.Unlock()
 		return err
 	}
-	if err := s.log.Append(rec); err != nil {
-		s.failed = true
+	mark, err := log.Stage(rec)
+	s.applyMu.Unlock()
+	if err != nil {
+		s.failed.Store(true)
+		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	if err := log.Sync(mark); err != nil {
+		s.failed.Store(true)
 		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
 	}
 	return nil
@@ -378,17 +543,72 @@ func parseMode(v string) (core.Preemption, error) {
 	}
 }
 
-// Checkpoint writes a snapshot of the current database and resets the log.
+// Checkpoint writes a snapshot of the current database and rotates to a
+// fresh, empty WAL. The sequence is crash-safe at every step:
+//
+//  1. The snapshot (stamped with the next log epoch) is written to a temp
+//     file, fsynced, renamed over the old snapshot, and the directory is
+//     fsynced. A crash before the rename leaves the old snapshot + old log.
+//  2. A new, empty WAL named for the next epoch is created, fsynced, and
+//     the directory is fsynced. A crash between 1 and 2 is benign: Open
+//     reads the new snapshot and creates the (empty) new-epoch log itself;
+//     the old log is superseded and removed lazily.
+//  3. The old log is closed and removed (best effort).
+//
+// A failure after step 1 may leave the directory referencing the new
+// epoch while this process still holds the old log, so the store is
+// poisoned and must be reopened.
 func (s *Store) Checkpoint() error {
-	spec := SnapshotDatabase(s.db)
-	if err := WriteSnapshot(filepath.Join(s.dir, snapshotFile), spec); err != nil {
-		return err
+	if s.failed.Load() {
+		return ErrStoreFailed
 	}
-	return s.log.Reset()
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if s.failed.Load() {
+		return ErrStoreFailed
+	}
+	newEpoch := s.epoch + 1
+	spec := SnapshotDatabase(s.db)
+	spec.LogEpoch = newEpoch
+	if err := WriteSnapshotFS(s.fs, filepath.Join(s.dir, snapshotFile), spec); err != nil {
+		// The rename may or may not have landed; this process can no
+		// longer know which log the directory designates.
+		s.failed.Store(true)
+		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	newLog, err := createLog(s.fs, s.dir, filepath.Join(s.dir, walName(newEpoch)))
+	if err != nil {
+		s.failed.Store(true)
+		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
+	}
+	old, oldEpoch := s.log, s.epoch
+	s.log, s.epoch = newLog, newEpoch
+	_ = old.Close()
+	_ = s.fs.Remove(filepath.Join(s.dir, walName(oldEpoch)))
+	return nil
 }
 
-// LogSize returns the current WAL size in bytes.
-func (s *Store) LogSize() (int64, error) { return s.log.Size() }
+// LogSize returns the durable WAL size in bytes.
+func (s *Store) LogSize() (int64, error) {
+	s.applyMu.Lock()
+	log := s.log
+	s.applyMu.Unlock()
+	return log.Size()
+}
 
-// Close closes the store's files.
-func (s *Store) Close() error { return s.log.Close() }
+// LogStats returns the number of WAL records staged and fsyncs issued since
+// the log was opened; group commit shows up as syncs < records.
+func (s *Store) LogStats() (records, syncs uint64) {
+	s.applyMu.Lock()
+	log := s.log
+	s.applyMu.Unlock()
+	return log.Stats()
+}
+
+// Close flushes and closes the store's files.
+func (s *Store) Close() error {
+	s.applyMu.Lock()
+	log := s.log
+	s.applyMu.Unlock()
+	return log.Close()
+}

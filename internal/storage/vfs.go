@@ -1,0 +1,93 @@
+package storage
+
+import (
+	"io"
+	"os"
+)
+
+// This file defines the file-system seam the storage layer is written
+// against. Production code uses OsFS (the operating system); tests inject a
+// FaultFS (faultfs.go) to program short writes, fsync errors, and simulated
+// crashes deterministically.
+
+// FS is the minimal file-system surface the storage layer needs: open,
+// rename, remove, stat, mkdir, and directory fsync. All paths are
+// interpreted by the underlying implementation (the OS for OsFS).
+type FS interface {
+	// OpenFile opens the named file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes the named file.
+	Remove(name string) error
+	// Stat returns file metadata.
+	Stat(name string) (os.FileInfo, error)
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm os.FileMode) error
+	// SyncDir fsyncs a directory so a rename or file creation inside it is
+	// durable. Implementations may degrade to best effort on platforms that
+	// do not support directory fsync.
+	SyncDir(dir string) error
+}
+
+// File is the per-file surface: sequential and positioned I/O, fsync, and
+// truncation.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+	// Truncate changes the file's size.
+	Truncate(size int64) error
+	// Stat returns file metadata.
+	Stat() (os.FileInfo, error)
+}
+
+// OsFS is the real file system.
+type OsFS struct{}
+
+// OpenFile implements FS.
+func (OsFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// Rename implements FS.
+func (OsFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+// Remove implements FS.
+func (OsFS) Remove(name string) error { return os.Remove(name) }
+
+// Stat implements FS.
+func (OsFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+// MkdirAll implements FS.
+func (OsFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+// SyncDir implements FS. Directory fsync is best effort: not every platform
+// (or filesystem) permits opening and syncing a directory, and its absence
+// must not make the store unusable there.
+func (OsFS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
+	return nil
+}
+
+// readFile reads a whole file through the seam.
+func readFile(fs FS, name string) ([]byte, error) {
+	f, err := fs.OpenFile(name, os.O_RDONLY, 0)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}

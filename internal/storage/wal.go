@@ -9,6 +9,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 )
 
 // Op identifies a logged operation.
@@ -30,6 +31,7 @@ const (
 	OpExplicate       Op = "explicate"
 	OpTxBegin         Op = "tx_begin"
 	OpTxCommit        Op = "tx_commit"
+	OpTxAbort         Op = "tx_abort"
 	OpDropNode        Op = "drop_node"
 	OpSetMode         Op = "set_mode"
 )
@@ -45,7 +47,9 @@ const (
 //	assert/deny/retract: Target = relation, Args = item values
 //	consolidate: Target = relation
 //	explicate: Target = relation, Args = attributes (empty = all)
-//	tx_begin/tx_commit: bracket a transaction's records
+//	tx_begin/tx_commit: bracket a committed transaction's records
+//	tx_abort: closes a bracket whose transaction failed validation; the
+//	bracketed records must be discarded on recovery
 type Record struct {
 	Op     Op
 	Target string
@@ -58,22 +62,55 @@ type Record struct {
 //	crc    uint32 of payload
 //	payload gob(Record)
 //
-// A torn final record (crash mid-write) is detected and truncated.
+// Header and payload are assembled in one buffer and issued as one write,
+// so a torn append can only produce a torn tail, never a gap between a
+// valid header and its payload. A torn final record (crash mid-write) is
+// detected and truncated at open; so is an unterminated tx_begin bracket,
+// which guarantees later appends are never stranded inside a bracket an
+// earlier crash left open.
 
-// Log is an append-only operation log.
+// ErrLogFailed indicates a log that has been poisoned by a write or sync
+// error: the durable tail is unknown, so every later Append, Commit, or
+// Replay refuses until the log is reopened (which rescans and truncates).
+var ErrLogFailed = errors.New("storage: log failed (write or sync error); reopen to recover")
+
+// errLogClosed poisons a cleanly closed log against accidental reuse.
+var errLogClosed = errors.New("storage: log closed")
+
+// Log is an append-only operation log with group commit: concurrent
+// committers stage frames into a shared buffer and one leader writes and
+// fsyncs the whole batch, so N concurrent commits cost ~1 fsync instead
+// of N.
 type Log struct {
-	f    *os.File
+	fs   FS
+	f    File
 	path string
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []byte // staged frames not yet written
+	staged  int64  // bytes staged since open (includes pending)
+	durable int64  // bytes written and fsynced since open
+	writing bool   // a leader is flushing outside the lock
+	base    int64  // valid bytes found at open; appends start here
+	err     error  // poison: set permanently by a write/sync error
+	syncs   uint64 // fsyncs issued (group commit makes this < records)
+	records uint64 // records staged
 }
 
-// OpenLog opens (or creates) the log at path, validating existing records
-// and truncating a torn tail.
-func OpenLog(path string) (*Log, error) {
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+// OpenLog opens (or creates) the log at path on the real file system.
+func OpenLog(path string) (*Log, error) { return OpenLogFS(OsFS{}, path) }
+
+// OpenLogFS opens (or creates) the log at path on fs, validating existing
+// records and truncating both a torn tail and an unterminated transaction
+// bracket.
+func OpenLogFS(fs FS, path string) (*Log, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	l := &Log{f: f, path: path}
+	l := &Log{fs: fs, f: f, path: path}
+	l.cond = sync.NewCond(&l.mu)
 	valid, err := l.scanValid()
 	if err != nil {
 		f.Close()
@@ -87,66 +124,200 @@ func OpenLog(path string) (*Log, error) {
 		f.Close()
 		return nil, err
 	}
+	l.base = valid
 	return l, nil
 }
 
-// scanValid returns the byte offset after the last valid record.
+// createLog creates (or truncates) an empty log at path, fsyncing the file
+// and its directory so the creation survives a crash. Used by checkpoint
+// rotation.
+func createLog(fs FS, dir, path string) (*Log, error) {
+	f, err := fs.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := fs.SyncDir(dir); err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &Log{fs: fs, f: f, path: path}
+	l.cond = sync.NewCond(&l.mu)
+	return l, nil
+}
+
+// scanValid returns the byte offset after the last valid record that leaves
+// the log outside an open transaction bracket. Records of an unterminated
+// bracket are excluded even when individually well-formed: they belong to a
+// transaction that never committed, and leaving them in place would strand
+// post-crash appends behind an open bracket.
 func (l *Log) scanValid() (int64, error) {
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return 0, err
 	}
-	var offset int64
+	var offset, lastClosed int64
 	var hdr [8]byte
+	inTx := false
 	for {
 		if _, err := io.ReadFull(l.f, hdr[:]); err != nil {
-			return offset, nil // clean EOF or torn header: stop here
+			return lastClosed, nil // clean EOF or torn header: stop here
 		}
 		n := binary.LittleEndian.Uint32(hdr[0:4])
 		crc := binary.LittleEndian.Uint32(hdr[4:8])
 		payload := make([]byte, n)
 		if _, err := io.ReadFull(l.f, payload); err != nil {
-			return offset, nil // torn payload
+			return lastClosed, nil // torn payload
 		}
 		if crc32.ChecksumIEEE(payload) != crc {
-			return offset, nil // corrupt tail
+			return lastClosed, nil // corrupt tail
 		}
 		var rec Record
 		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return offset, nil
+			return lastClosed, nil
 		}
 		offset += 8 + int64(n)
+		switch rec.Op {
+		case OpTxBegin:
+			inTx = true
+		case OpTxCommit, OpTxAbort:
+			inTx = false
+		}
+		if !inTx {
+			lastClosed = offset
+		}
 	}
 }
 
-// Append writes one record and syncs.
-func (l *Log) Append(rec Record) error {
+// encodeFrame appends rec's frame (header + payload, one contiguous buffer)
+// to dst and returns the extended slice.
+func encodeFrame(dst []byte, rec Record) ([]byte, error) {
 	var payload bytes.Buffer
 	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
-		return err
+		return nil, err
 	}
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], uint32(payload.Len()))
 	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload.Bytes()))
-	if _, err := l.f.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := l.f.Write(payload.Bytes()); err != nil {
-		return err
-	}
-	return l.f.Sync()
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, payload.Bytes()...)
+	return dst, nil
 }
 
-// Replay invokes fn for every valid record from the start. The write
-// position is restored afterwards.
-func (l *Log) Replay(fn func(Record) error) error {
-	end, err := l.f.Seek(0, io.SeekCurrent)
+// Stage encodes the records and appends their frames to the in-process
+// commit buffer, returning a durability mark. The frames reach disk when a
+// group-commit flush covers the mark: call Sync(mark) to wait for that.
+// Staged frames are written in staging order, so callers that need log
+// order to match another order (the store's apply order) serialize their
+// Stage calls.
+func (l *Log) Stage(recs ...Record) (int64, error) {
+	var buf []byte
+	var err error
+	for _, rec := range recs {
+		if buf, err = encodeFrame(buf, rec); err != nil {
+			return 0, err
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	l.pending = append(l.pending, buf...)
+	l.staged += int64(len(buf))
+	l.records += uint64(len(recs))
+	return l.staged, nil
+}
+
+// Sync blocks until every byte staged at or before mark is written and
+// fsynced, or the log is poisoned. Concurrent Sync callers coalesce: one
+// becomes the leader, writes the whole pending buffer in one write, issues
+// one fsync, and wakes the rest (group commit).
+func (l *Log) Sync(mark int64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durable < mark && l.err == nil {
+		if l.writing {
+			l.cond.Wait()
+			continue
+		}
+		// Become the leader for everything staged so far.
+		buf := l.pending
+		end := l.staged
+		l.pending = nil
+		l.writing = true
+		l.mu.Unlock()
+
+		var werr error
+		if len(buf) > 0 {
+			if _, werr = l.f.Write(buf); werr == nil {
+				werr = l.f.Sync()
+			}
+		}
+
+		l.mu.Lock()
+		l.writing = false
+		l.syncs++
+		if werr != nil {
+			// Poison: the durable tail is unknown (the write or sync may
+			// have partially landed). Every waiter and every later call
+			// sees the error; reopening rescans and truncates.
+			l.err = fmt.Errorf("%w: %v", ErrLogFailed, werr)
+		} else {
+			l.durable = end
+		}
+		l.cond.Broadcast()
+	}
+	if l.durable >= mark {
+		return nil
+	}
+	return l.err
+}
+
+// Append stages one record and waits for it to be durable. Concurrent
+// Append calls still coalesce into shared fsyncs.
+func (l *Log) Append(rec Record) error {
+	mark, err := l.Stage(rec)
 	if err != nil {
 		return err
 	}
-	defer l.f.Seek(end, io.SeekStart)
+	return l.Sync(mark)
+}
+
+// Commit stages the records as one contiguous run of frames and waits for
+// all of them to be durable.
+func (l *Log) Commit(recs []Record) error {
+	mark, err := l.Stage(recs...)
+	if err != nil {
+		return err
+	}
+	return l.Sync(mark)
+}
+
+// Replay invokes fn for every durable record from the start. Staged but
+// unflushed frames are not visited. The write position is restored
+// afterwards. Replay refuses on a poisoned log.
+func (l *Log) Replay(fn func(Record) error) error {
+	l.mu.Lock()
+	for l.writing {
+		l.cond.Wait()
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	end := l.base + l.durable
+	// Hold the quiescent log for the whole scan: replay is rare (recovery,
+	// tests) and the file offset is shared with appends.
+	defer l.mu.Unlock()
+
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return err
 	}
+	defer l.f.Seek(end, io.SeekStart)
 	var hdr [8]byte
 	var read int64
 	for read < end {
@@ -173,25 +344,48 @@ func (l *Log) Replay(fn func(Record) error) error {
 	return nil
 }
 
-// Reset truncates the log to empty (after a checkpoint).
-func (l *Log) Reset() error {
-	if err := l.f.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	return l.f.Sync()
-}
-
-// Size returns the current log size in bytes.
+// Size returns the durable log size in bytes: the valid prefix found at
+// open plus every byte flushed since. Torn bytes beyond it (after a poison)
+// are not counted.
 func (l *Log) Size() (int64, error) {
-	fi, err := l.f.Stat()
-	if err != nil {
-		return 0, err
-	}
-	return fi.Size(), nil
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.base + l.durable, nil
 }
 
-// Close closes the underlying file.
-func (l *Log) Close() error { return l.f.Close() }
+// Stats returns the number of records staged and fsyncs issued since open.
+// Group commit shows up as syncs < records under concurrent commits.
+func (l *Log) Stats() (records, syncs uint64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.records, l.syncs
+}
+
+// Close flushes any staged frames and closes the underlying file. A
+// poisoned log skips the flush (the durable tail is already unknown).
+func (l *Log) Close() error {
+	l.mu.Lock()
+	for l.writing {
+		l.cond.Wait()
+	}
+	var werr error
+	if l.err == nil && l.durable < l.staged {
+		if _, werr = l.f.Write(l.pending); werr == nil {
+			werr = l.f.Sync()
+		}
+		if werr == nil {
+			l.durable = l.staged
+			l.pending = nil
+		}
+	}
+	if l.err == nil {
+		l.err = errLogClosed
+	}
+	l.cond.Broadcast()
+	l.mu.Unlock()
+	cerr := l.f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
