@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all help build test test-crash race cover bench bench-smoke figures experiments fuzz clean
+.PHONY: all help build test test-crash test-server race cover bench bench-smoke figures experiments fuzz clean
 
 all: build test
 
@@ -13,6 +13,8 @@ help:
 	@echo "               over the storage and core packages)"
 	@echo "  test-crash   crash the WAL at every byte offset and verify"
 	@echo "               recovery of the exact committed prefix"
+	@echo "  test-server  race-mode pass over the network service layer"
+	@echo "               (overload shedding, drain, chaos proxy)"
 	@echo "  race         run the tests under the race detector"
 	@echo "               (includes the concurrency stress suites)"
 	@echo "  cover        coverage summary for internal/..."
@@ -30,10 +32,13 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/storage/ ./internal/core/
+	$(GO) test -race ./internal/storage/ ./internal/core/ ./internal/server/
 
 test-crash:
 	$(GO) test -run 'TestCrash' -count=1 -v ./internal/storage/
+
+test-server:
+	$(GO) test -race -count=1 ./internal/server/
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,83 @@
+// Command hrserved serves a hierarchical relational database over TCP
+// using the HQL line protocol (see docs/HQL.md, "Wire protocol").
+//
+//	hrserved -data ./mydb                 # durable database in ./mydb
+//	hrserved -addr :7583                  # in-memory database
+//	hrserved -data ./mydb -workers 4 -queue 32 -max-conns 128
+//
+// The server sheds load beyond its queue with "overloaded" replies,
+// enforces per-request deadlines, and on SIGINT/SIGTERM drains in-flight
+// statements (bounded by -drain) before closing the store.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hrdb"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7583", "listen address")
+	dataDir := flag.String("data", "", "durable database directory (empty = in-memory)")
+	workers := flag.Int("workers", 0, "statement-executing workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 4×workers)")
+	maxConns := flag.Int("max-conns", 0, "concurrent connection limit (0 = 256)")
+	idle := flag.Duration("idle", 0, "idle connection timeout (0 = 5m, <0 disables)")
+	maxDeadline := flag.Duration("max-deadline", 0, "per-request deadline cap (0 = 30s, <0 disables)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	if err := run(*addr, *dataDir, hrdb.ServerOptions{
+		Workers:     *workers,
+		QueueDepth:  *queue,
+		MaxConns:    *maxConns,
+		IdleTimeout: *idle,
+		MaxDeadline: *maxDeadline,
+	}, *drain); err != nil {
+		fmt.Fprintln(os.Stderr, "hrserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, dataDir string, opts hrdb.ServerOptions, drain time.Duration) error {
+	var target hrdb.Target
+	if dataDir != "" {
+		store, err := hrdb.OpenStore(dataDir)
+		if err != nil {
+			return err
+		}
+		// The server owns the store's lifetime: Shutdown closes it exactly
+		// once after the drain, so acknowledged statements are durable.
+		opts.CloseTarget = true
+		target = store
+		fmt.Fprintf(os.Stderr, "hrserved: durable database at %s\n", dataDir)
+	} else {
+		target = hrdb.NewMemTarget(hrdb.NewDatabase())
+		fmt.Fprintln(os.Stderr, "hrserved: in-memory database (no -data; state dies with the process)")
+	}
+
+	srv := hrdb.NewServer(target, opts)
+	if err := srv.Start(addr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "hrserved: serving HQL on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "hrserved: %v — draining (budget %v)\n", s, drain)
+
+	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("drain incomplete: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "hrserved: clean shutdown")
+	return nil
+}

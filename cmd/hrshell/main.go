@@ -3,19 +3,29 @@
 //
 //	hrshell                 # in-memory database
 //	hrshell -data ./mydb    # durable database (snapshot + WAL) in ./mydb
+//	hrshell -connect host:port    # remote database served by hrserved
 //	hrshell -e 'SHOW RELATIONS;'  # run statements and exit
 //	hrshell -f script.hql   # run a script file and exit
 //
 // Type statements ending in ';'. Multi-line input is supported: the shell
 // keeps reading until a semicolon. Type \q to quit, \help for a summary.
+//
+// Ctrl-C cancels the statement in flight (the session aborts at the next
+// statement boundary; a remote server also stops it at its deadline
+// checks); a second Ctrl-C — or one at an idle prompt — exits the shell,
+// closing the store cleanly.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"hrdb"
 	"hrdb/internal/hql"
@@ -50,30 +60,82 @@ const helpText = `HQL statements (end with ';'):
   SET POLICY allow|warn|forbid
   SET MODE <rel> off_path|on_path|none            -- appendix semantics
   BEGIN; …; COMMIT;          ROLLBACK;
-Shell commands: \q quit, \help this text.`
+Shell commands: \q quit, \help this text.
+Ctrl-C cancels the running statement; twice (or at the prompt) exits.`
 
 func main() {
 	dataDir := flag.String("data", "", "durable database directory (empty = in-memory)")
+	connect := flag.String("connect", "", "connect to an hrserved instance at host:port instead of opening a database")
 	execStr := flag.String("e", "", "execute statements and exit")
 	file := flag.String("f", "", "execute a script file and exit")
 	flag.Parse()
 
-	var sess *hrdb.Session
-	if *dataDir != "" {
-		store, err := hrdb.OpenStore(*dataDir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "hrshell:", err)
-			os.Exit(1)
+	// cleanup runs exactly once on every exit path (normal return, error
+	// exit, Ctrl-C) so the store's WAL is closed cleanly.
+	var closers []func()
+	cleanup := sync.OnceFunc(func() {
+		for _, c := range closers {
+			c()
 		}
-		defer store.Close()
-		sess = hrdb.NewStoreSession(store)
-		fmt.Fprintf(os.Stderr, "opened durable database at %s\n", *dataDir)
-	} else {
-		sess = hrdb.NewSession(hrdb.NewDatabase())
+	})
+	defer cleanup()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "hrshell:", err)
+		cleanup()
+		os.Exit(1)
 	}
 
+	// exec abstracts over the three backends: durable store, in-memory
+	// database, remote server.
+	var exec func(ctx context.Context, input string) (string, error)
+	switch {
+	case *connect != "" && *dataDir != "":
+		fail(fmt.Errorf("-connect and -data are mutually exclusive"))
+	case *connect != "":
+		client, err := hrdb.Dial(*connect)
+		if err != nil {
+			fail(err)
+		}
+		closers = append(closers, func() { client.Close() })
+		exec = client.Exec
+		fmt.Fprintf(os.Stderr, "connected to %s\n", *connect)
+	case *dataDir != "":
+		store, err := hrdb.OpenStore(*dataDir)
+		if err != nil {
+			fail(err)
+		}
+		closers = append(closers, func() { store.Close() })
+		exec = hrdb.NewStoreSession(store).ExecContext
+		fmt.Fprintf(os.Stderr, "opened durable database at %s\n", *dataDir)
+	default:
+		exec = hrdb.NewSession(hrdb.NewDatabase()).ExecContext
+	}
+
+	// Signal protocol: while a statement runs, inflight holds its cancel
+	// func; the first Ctrl-C fires it, the second (or one at an idle
+	// prompt) exits after closing the store.
+	var inflight atomic.Pointer[context.CancelFunc]
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt)
+	go func() {
+		for range sigc {
+			if cancel := inflight.Swap(nil); cancel != nil {
+				fmt.Fprintln(os.Stderr, "\ninterrupt: canceling statement (Ctrl-C again to quit)")
+				(*cancel)()
+				continue
+			}
+			fmt.Fprintln(os.Stderr, "\ninterrupt: exiting")
+			cleanup()
+			os.Exit(130)
+		}
+	}()
+
 	run := func(input string) bool {
-		out, err := sess.Exec(input)
+		ctx, cancel := context.WithCancel(context.Background())
+		inflight.Store(&cancel)
+		out, err := exec(ctx, input)
+		inflight.Store(nil)
+		cancel()
 		if out != "" {
 			fmt.Print(out)
 			if !strings.HasSuffix(out, "\n") {
@@ -90,16 +152,17 @@ func main() {
 	switch {
 	case *execStr != "":
 		if !run(*execStr) {
+			cleanup()
 			os.Exit(1)
 		}
 		return
 	case *file != "":
 		data, err := os.ReadFile(*file)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "hrshell:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		if !run(string(data)) {
+			cleanup()
 			os.Exit(1)
 		}
 		return

@@ -47,6 +47,7 @@ package hrdb
 
 import (
 	"context"
+	"time"
 
 	"hrdb/internal/algebra"
 	"hrdb/internal/catalog"
@@ -58,6 +59,7 @@ import (
 	"hrdb/internal/hql"
 	"hrdb/internal/mining"
 	"hrdb/internal/partial"
+	"hrdb/internal/server"
 	"hrdb/internal/storage"
 	"hrdb/internal/tvl"
 )
@@ -198,6 +200,64 @@ func NewSession(db *Database) *Session { return hql.NewSession(hql.MemTarget{DB:
 // NewStoreSession creates an HQL session over a durable store.
 func NewStoreSession(s *Store) *Session { return hql.NewSession(s) }
 
+// Target is the statement-execution interface HQL sessions and servers
+// drive; *Store implements it directly, and NewMemTarget adapts a Database.
+type Target = hql.Target
+
+// NewMemTarget adapts an in-memory database into an HQL execution target
+// (for NewServer over a non-durable database).
+func NewMemTarget(db *Database) Target { return hql.MemTarget{DB: db} }
+
+// ReadOnlyScript reports whether every statement in an HQL script is free
+// of side effects — the client's idempotency test for automatic retries.
+func ReadOnlyScript(input string) bool { return hql.ReadOnlyScript(input) }
+
+// Service layer: a resilient line-protocol HQL server over TCP, its
+// client, and a fault-injecting proxy for resilience tests.
+type (
+	// Server is a TCP front end over one Target with admission control,
+	// per-request deadlines, panic isolation, and graceful drain.
+	Server = server.Server
+	// ServerOptions tunes the server's resilience machinery.
+	ServerOptions = server.Options
+	// Client is a connection to a Server with reconnect, deadline plumbing,
+	// and idempotency-aware retries with exponential backoff.
+	Client = server.Client
+	// ClientOption configures Dial.
+	ClientOption = server.ClientOption
+	// ServerError is a failure reported by the server in an ERR frame;
+	// match the standard sentinels with errors.Is.
+	ServerError = server.ServerError
+	// ChaosProxy is a fault-injecting TCP proxy for resilience tests.
+	ChaosProxy = server.ChaosProxy
+)
+
+// NewServer creates a server over target (a *Store or NewMemTarget(db));
+// call Start to serve and Shutdown to drain and stop.
+func NewServer(target Target, opts ServerOptions) *Server { return server.New(target, opts) }
+
+// Dial connects to a Server's address.
+func Dial(addr string, opts ...ClientOption) (*Client, error) { return server.Dial(addr, opts...) }
+
+// NewChaosProxy starts a fault-injecting proxy forwarding to target
+// ("host:port"); point a Client at its Addr.
+func NewChaosProxy(target string) (*ChaosProxy, error) { return server.NewChaosProxy(target) }
+
+// WithMaxRetries sets how many times a failed request may be retried.
+func WithMaxRetries(n int) ClientOption { return server.WithMaxRetries(n) }
+
+// WithBackoff sets the retry backoff's base and cap.
+func WithBackoff(base, max time.Duration) ClientOption { return server.WithBackoff(base, max) }
+
+// WithDialTimeout bounds each connection attempt.
+func WithDialTimeout(d time.Duration) ClientOption { return server.WithDialTimeout(d) }
+
+// WithRetryNonIdempotent opts in to retrying mutations after ambiguous
+// transport failures (see the server package for the safety discussion).
+func WithRetryNonIdempotent(enabled bool) ClientOption {
+	return server.WithRetryNonIdempotent(enabled)
+}
+
 // DumpHQL serializes a database to an HQL script that reproduces it.
 func DumpHQL(db *Database) (string, error) { return hql.Dump(db) }
 
@@ -310,6 +370,15 @@ var (
 	ErrStoreCorrupt = storage.ErrCorrupt
 	// ErrStoreVersion indicates an unsupported storage format version.
 	ErrStoreVersion = storage.ErrVersion
+	// ErrStoreClosed indicates an operation on a store after Close.
+	ErrStoreClosed = storage.ErrStoreClosed
+	// ErrSessionBusy indicates concurrent use of a single-goroutine Session.
+	ErrSessionBusy = hql.ErrSessionBusy
+	// ErrOverloaded indicates a request the server shed; it was never
+	// executed and may be retried after the Retry-After hint.
+	ErrOverloaded = server.ErrOverloaded
+	// ErrServerClosed indicates a server that is draining or closed.
+	ErrServerClosed = server.ErrServerClosed
 )
 
 // EvaluateOpenWorld computes the three-valued truth of an item.

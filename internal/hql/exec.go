@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"hrdb/internal/algebra"
 	"hrdb/internal/catalog"
@@ -141,13 +142,29 @@ func (m MemTarget) SetMode(rel string, mode core.Preemption) error {
 // ApplyTx implements Target via a catalog transaction.
 func (m MemTarget) ApplyTx(ops []TxOp) error { return m.DB.ApplyOps(ops) }
 
+// ErrSessionBusy reports concurrent use of a Session: a second ExecContext
+// entered while another statement was still executing. Sessions hold
+// transaction state, so interleaved execution would corrupt it; the guard
+// makes the misuse fail loudly instead.
+var ErrSessionBusy = errors.New("hql: session is single-goroutine; concurrent ExecContext rejected")
+
 // Session executes HQL statements against a target, holding transaction
-// state and the session's Datalog rules. Not safe for concurrent use.
+// state and the session's Datalog rules.
+//
+// A Session is strictly single-goroutine: it buffers transaction operations
+// between BEGIN and COMMIT, so two interleaved statements could commit a
+// mix of both transactions. Concurrent callers must create one Session
+// each (the underlying Target — catalog or store — is itself
+// synchronized). A cheap CAS guard enforces this: an ExecContext entered
+// while another is in flight returns ErrSessionBusy without touching any
+// state.
 type Session struct {
 	target Target
 	txOps  []TxOp
 	inTx   bool
 	rules  []deductive.Rule
+	// busy guards against concurrent ExecContext (see ErrSessionBusy).
+	busy atomic.Bool
 }
 
 // NewSession creates a session over the target.
@@ -166,6 +183,10 @@ func (s *Session) Exec(input string) (string, error) {
 // with its error. Cancellation is checked between statements too, so a
 // multi-statement script stops at the first uncompleted statement.
 func (s *Session) ExecContext(ctx context.Context, input string) (string, error) {
+	if !s.busy.CompareAndSwap(false, true) {
+		return "", ErrSessionBusy
+	}
+	defer s.busy.Store(false)
 	stmts, err := Parse(input)
 	if err != nil {
 		return "", err

@@ -1,0 +1,41 @@
+package hql
+
+// ReadOnlyStmt reports whether a statement leaves the database, the
+// session's transaction buffer, and the session's rule set untouched.
+// Read-only statements are safe to execute any number of times, which is
+// what lets a network client auto-retry them after an ambiguous failure
+// (connection severed before the reply arrived).
+//
+// SELECT is read-only only without an AS clause: AS attaches the result as
+// a new relation. RULE mutates the session's program; BEGIN/COMMIT/
+// ROLLBACK mutate transaction state; SET POLICY mutates the database.
+func ReadOnlyStmt(st Stmt) bool {
+	switch st := st.(type) {
+	case HoldsStmt, WhyStmt, ExtensionStmt, CountStmt, DumpStmt, ShowStmt, InferStmt:
+		return true
+	case SelectStmt:
+		return st.As == ""
+	default:
+		return false
+	}
+}
+
+// ReadOnly reports whether every statement in the list is read-only.
+func ReadOnly(stmts []Stmt) bool {
+	for _, st := range stmts {
+		if !ReadOnlyStmt(st) {
+			return false
+		}
+	}
+	return len(stmts) > 0
+}
+
+// ReadOnlyScript parses input and reports whether the whole script is
+// read-only. Unparseable input is conservatively classified as mutating.
+func ReadOnlyScript(input string) bool {
+	stmts, err := Parse(input)
+	if err != nil {
+		return false
+	}
+	return ReadOnly(stmts)
+}

@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"hrdb/internal/hql"
+	"hrdb/internal/storage"
+)
+
+// TestChaosKillMidReplyDurablePrefix is the chaos acceptance test: a client
+// drives sequential mutations through a ChaosProxy that repeatedly severs
+// connections mid-reply; after a graceful shutdown the store is reopened
+// and must contain every acknowledged mutation — an acked reply is a
+// durability receipt that no network fault can claw back.
+func TestChaosKillMidReplyDurablePrefix(t *testing.T) {
+	dir := t.TempDir()
+	st, err := storage.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st, Options{CloseTarget: true})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := NewChaosProxy(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	c, err := Dial(proxy.Addr(), WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Exec(ctx, "CREATE HIERARCHY D; CREATE RELATION R (A: D);"); err != nil {
+		t.Fatalf("schema: %v", err)
+	}
+
+	const n = 24
+	acked := make([]bool, n)
+	faults := 0
+	for i := 0; i < n; i++ {
+		if i%3 == 1 {
+			// Cut the next reply after i%5 bytes — sometimes zero bytes,
+			// sometimes mid-frame after the status line started.
+			proxy.SeverResponseAfter(int64(i % 5))
+		}
+		script := fmt.Sprintf("INSTANCE v%d UNDER D; ASSERT R (v%d);", i, i)
+		if _, err := c.Exec(ctx, script); err == nil {
+			acked[i] = true
+		} else {
+			faults++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("chaos proxy injected no faults; test proved nothing")
+	}
+	ackedCount := 0
+	for _, ok := range acked {
+		if ok {
+			ackedCount++
+		}
+	}
+	if ackedCount == 0 {
+		t.Fatal("no mutation was ever acknowledged; test proved nothing")
+	}
+
+	// Graceful shutdown closes the store (CloseTarget) after the drain.
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// Recovery: every acknowledged mutation must be in the reopened store.
+	st2, err := storage.Open(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer st2.Close()
+	sess := hql.NewSession(st2)
+	for i := 0; i < n; i++ {
+		out, err := sess.Exec(fmt.Sprintf("HOLDS R (v%d);", i))
+		applied := err == nil && strings.TrimSpace(out) == "true"
+		if acked[i] && !applied {
+			t.Errorf("mutation %d was acknowledged but lost on recovery", i)
+		}
+	}
+	t.Logf("chaos run: %d/%d acked, %d faulted replies", ackedCount, n, faults)
+}
+
+// TestChaosDropResponsesClientDeadline: when the network black-holes every
+// reply, the client's deadline saves it — the call returns
+// context.DeadlineExceeded instead of hanging — and once the fault clears
+// the same client recovers by redialing.
+func TestChaosDropResponsesClientDeadline(t *testing.T) {
+	srv := startServer(t, newMemTarget(t), Options{})
+	proxy, err := NewChaosProxy(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+	c, err := Dial(proxy.Addr(), WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	proxy.DropResponses(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Exec(ctx, "HOLDS Flies (Tweety);")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("client hung %v in a black hole", elapsed)
+	}
+
+	proxy.DropResponses(false)
+	out, err := c.Exec(context.Background(), "HOLDS Flies (Tweety);")
+	if err != nil || strings.TrimSpace(out) != "true" {
+		t.Fatalf("after fault cleared: %q, %v", out, err)
+	}
+}
+
+// TestChaosRetryHealsReadOnly: a read-only script rides through a severed
+// connection on the client's automatic retry; added latency alone never
+// fails a request. Ends with a goroutine-hygiene check over the whole
+// chaos session.
+func TestChaosRetryHealsReadOnly(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	srv := New(newMemTarget(t), Options{})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	proxy, err := NewChaosProxy(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(proxy.Addr(), WithMaxRetries(4), WithBackoff(5*time.Millisecond, 50*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	proxy.SetDelay(2 * time.Millisecond)
+	proxy.SeverResponseAfter(0) // first reply vanishes; retry must heal it
+	out, err := c.Exec(context.Background(), "HOLDS Flies (Tweety);")
+	if err != nil || strings.TrimSpace(out) != "true" {
+		t.Fatalf("retry did not heal severed read: %q, %v", out, err)
+	}
+
+	c.Close()
+	proxy.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			nb := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked after chaos: baseline=%d now=%d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:nb])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

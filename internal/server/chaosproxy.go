@@ -1,0 +1,178 @@
+package server
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ChaosProxy is a fault-injecting TCP proxy for resilience tests, in the
+// spirit of the storage layer's FaultFS: it sits between a client and a
+// server and can delay traffic, sever connections mid-reply after a
+// programmed byte budget, or black-hole the response stream entirely —
+// the network failures a resilient service must answer with retries,
+// deadlines, and shedding rather than corruption or leaked goroutines.
+//
+// Faults are programmed at any time and apply to all current and future
+// connections. The zero state forwards faithfully.
+type ChaosProxy struct {
+	target string
+	ln     net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// delay is a per-chunk forwarding delay in nanoseconds (both
+	// directions).
+	delay atomic.Int64
+	// severBudget, when armed (>= 0), counts down response-path bytes;
+	// when it is exhausted mid-reply both sides of that connection are
+	// severed. -1 = disarmed.
+	severBudget atomic.Int64
+	// dropResponses black-holes server→client bytes (requests still pass),
+	// simulating a reply that never arrives: the client must save itself
+	// with its deadline.
+	dropResponses atomic.Bool
+}
+
+// NewChaosProxy starts a proxy on a free localhost port forwarding to
+// target (a "host:port" of a running server).
+func NewChaosProxy(target string) (*ChaosProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &ChaosProxy{target: target, ln: ln, conns: make(map[net.Conn]struct{})}
+	p.severBudget.Store(-1)
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the proxy's listen address; point clients here.
+func (p *ChaosProxy) Addr() string { return p.ln.Addr().String() }
+
+// SetDelay injects d of latency before each forwarded chunk.
+func (p *ChaosProxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+// SeverResponseAfter arms the kill switch: after n more response-path
+// bytes reach clients, the carrying connection is severed (both sides),
+// truncating the reply mid-frame. Pass n=0 to sever on the next byte.
+func (p *ChaosProxy) SeverResponseAfter(n int64) { p.severBudget.Store(n) }
+
+// DropResponses toggles black-holing of server→client traffic.
+func (p *ChaosProxy) DropResponses(drop bool) { p.dropResponses.Store(drop) }
+
+// KillAll severs every active connection immediately.
+func (p *ChaosProxy) KillAll() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for c := range p.conns {
+		c.Close()
+	}
+}
+
+// Close shuts the proxy down, severing every connection, and waits for
+// its goroutines to exit.
+func (p *ChaosProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.KillAll()
+	p.wg.Wait()
+	return err
+}
+
+func (p *ChaosProxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		up, err := net.Dial("tcp", p.target)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			c.Close()
+			up.Close()
+			continue
+		}
+		p.conns[c] = struct{}{}
+		p.conns[up] = struct{}{}
+		p.wg.Add(2)
+		p.mu.Unlock()
+		sever := func() {
+			c.Close()
+			up.Close()
+		}
+		go p.pump(up, c, false, sever) // client → server
+		go p.pump(c, up, true, sever)  // server → client (response path)
+	}
+}
+
+// pump copies src→dst in small chunks, applying the programmed faults.
+func (p *ChaosProxy) pump(dst, src net.Conn, responsePath bool, sever func()) {
+	defer p.wg.Done()
+	defer func() {
+		p.mu.Lock()
+		delete(p.conns, dst)
+		delete(p.conns, src)
+		p.mu.Unlock()
+		sever()
+	}()
+	buf := make([]byte, 512)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if d := p.delay.Load(); d > 0 {
+				time.Sleep(time.Duration(d))
+			}
+			out := buf[:n]
+			if responsePath {
+				if p.dropResponses.Load() {
+					continue // black hole; keep draining the server side
+				}
+				if budget := p.severBudget.Load(); budget >= 0 {
+					if int64(n) >= budget {
+						// Forward the allowed prefix, then cut the line
+						// mid-reply and disarm.
+						allowed := out[:budget]
+						p.severBudget.Store(-1)
+						if len(allowed) > 0 {
+							dst.Write(allowed)
+						}
+						return
+					}
+					p.severBudget.Add(int64(-n))
+				}
+			}
+			if _, werr := dst.Write(out); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			if err != io.EOF {
+				return
+			}
+			// Half-close: propagate EOF to the peer's read side if possible.
+			if t, ok := dst.(*net.TCPConn); ok {
+				t.CloseWrite()
+			}
+			return
+		}
+	}
+}

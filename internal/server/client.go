@@ -1,0 +1,357 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"hrdb/internal/hql"
+)
+
+// ErrOverloaded is the client-side sentinel for a request the server shed
+// (admission queue or connection limit). The statement was NOT executed,
+// so retrying is always safe; the client does so automatically, honoring
+// the server's Retry-After hint. Match with errors.Is.
+var ErrOverloaded = errors.New("server overloaded")
+
+// ServerError is a failure the server reported in an ERR frame.
+type ServerError struct {
+	Code       string        // protocol error code ("exec", "overloaded", …)
+	Msg        string        // server-side error text
+	RetryAfter time.Duration // backoff hint (nonzero for "overloaded")
+}
+
+// Error implements error.
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("server: %s: %s", e.Code, e.Msg)
+}
+
+// Is maps protocol codes onto standard sentinels: "overloaded" and
+// "shutdown" match ErrOverloaded / ErrServerClosed, "deadline" and
+// "canceled" match the context errors, so callers use errors.Is without
+// knowing the wire codes.
+func (e *ServerError) Is(target error) bool {
+	switch e.Code {
+	case codeOverloaded:
+		return target == ErrOverloaded
+	case codeShutdown:
+		return target == ErrServerClosed
+	case codeDeadline:
+		return target == context.DeadlineExceeded
+	case codeCanceled:
+		return target == context.Canceled
+	}
+	return false
+}
+
+// ClientOption configures Dial.
+type ClientOption func(*clientOptions)
+
+type clientOptions struct {
+	maxRetries  int
+	baseBackoff time.Duration
+	maxBackoff  time.Duration
+	dialTimeout time.Duration
+	retryAll    bool
+	maxResponse int
+}
+
+// WithMaxRetries sets how many times a failed request may be retried
+// (default 3; 0 disables retries).
+func WithMaxRetries(n int) ClientOption {
+	return func(o *clientOptions) { o.maxRetries = n }
+}
+
+// WithBackoff sets the exponential backoff's base and cap (defaults 10ms,
+// 1s). Sleeps use full jitter: a uniform draw from (0, base·2^attempt],
+// never below the server's Retry-After hint.
+func WithBackoff(base, max time.Duration) ClientOption {
+	return func(o *clientOptions) {
+		if base > 0 {
+			o.baseBackoff = base
+		}
+		if max > 0 {
+			o.maxBackoff = max
+		}
+	}
+}
+
+// WithDialTimeout bounds each connection attempt (default 5s).
+func WithDialTimeout(d time.Duration) ClientOption {
+	return func(o *clientOptions) { o.dialTimeout = d }
+}
+
+// WithRetryNonIdempotent opts in to retrying mutating statements after
+// ambiguous failures (connection severed before the reply). By default
+// only read-only scripts are retried then — a mutation whose reply was
+// lost may have committed, and blind re-execution would double-apply it.
+// Shed requests ("overloaded") are always retried: the server guarantees
+// they were never executed.
+func WithRetryNonIdempotent(enabled bool) ClientOption {
+	return func(o *clientOptions) { o.retryAll = enabled }
+}
+
+// Client is a connection to a Server with automatic reconnect, deadline
+// plumbing, and retry with exponential backoff. A Client is safe for
+// concurrent use; requests are serialized over one connection. Close may
+// be called at any time, including while a request is in flight — it
+// severs the connection, failing the in-flight call, rather than waiting
+// behind it.
+type Client struct {
+	addr string
+	o    clientOptions
+
+	// reqMu serializes round trips; connMu guards connection state and is
+	// never held across network I/O, so Close can always acquire it.
+	reqMu sync.Mutex
+
+	connMu sync.Mutex
+	closed bool
+	conn   net.Conn
+	br     *bufio.Reader
+}
+
+// Dial connects to a server. The initial connection is established eagerly
+// so configuration errors surface immediately; later disconnects repair
+// themselves on the next call.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	o := clientOptions{
+		maxRetries:  3,
+		baseBackoff: 10 * time.Millisecond,
+		maxBackoff:  time.Second,
+		dialTimeout: 5 * time.Second,
+		maxResponse: 64 << 20,
+	}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	c := &Client{addr: addr, o: o}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	return c, nil
+}
+
+func (c *Client) dial() (net.Conn, error) {
+	return net.DialTimeout("tcp", c.addr, c.o.dialTimeout)
+}
+
+// Close closes the connection and marks the client unusable. An in-flight
+// request fails with a transport error instead of delaying Close.
+func (c *Client) Close() error {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	c.closed = true
+	if c.conn == nil {
+		return nil
+	}
+	err := c.conn.Close()
+	c.conn = nil
+	c.br = nil
+	return err
+}
+
+// Exec executes an HQL script and returns its output. The ctx deadline is
+// propagated to the server (which enforces it during execution) and
+// bounds the whole call including backoff sleeps.
+//
+// Retry policy: "overloaded"/"shutdown" replies are definitive
+// not-executed signals and are always retried (with backoff, honoring
+// Retry-After). Ambiguous failures — the connection died before a reply —
+// are retried only when the script is read-only (hql.ReadOnly) or the
+// client was built WithRetryNonIdempotent. Definitive statement failures
+// ("exec", "deadline", "panic", …) are never retried.
+func (c *Client) Exec(ctx context.Context, input string) (string, error) {
+	idempotent := hql.ReadOnlyScript(input)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		out, err := c.roundTrip(ctx, input)
+		if err == nil {
+			return out, nil
+		}
+		lastErr = err
+
+		retryable, hint := c.classify(err, idempotent)
+		if !retryable || attempt >= c.o.maxRetries || ctx.Err() != nil {
+			return "", lastErr
+		}
+		if err := sleepCtx(ctx, c.backoff(attempt, hint)); err != nil {
+			return "", lastErr
+		}
+	}
+}
+
+// Ping performs a liveness round trip.
+func (c *Client) Ping(ctx context.Context) error {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	conn, br, err := c.ensureConn()
+	if err != nil {
+		return err
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if _, err := fmt.Fprintf(conn, "PING\n"); err != nil {
+		c.discardConn()
+		return err
+	}
+	resp, err := readResponse(br, c.o.maxResponse)
+	if err != nil {
+		c.discardConn()
+		return err
+	}
+	if !resp.ok {
+		return &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+	}
+	return nil
+}
+
+// classify decides whether an error may be retried and extracts the
+// server's backoff hint.
+func (c *Client) classify(err error, idempotent bool) (retryable bool, hint time.Duration) {
+	var se *ServerError
+	if errors.As(err, &se) {
+		switch se.Code {
+		case codeOverloaded, codeShutdown:
+			// Definitive not-executed: safe for any statement.
+			return true, se.RetryAfter
+		default:
+			return false, 0
+		}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false, 0
+	}
+	// net.ErrClosed means this client was Closed locally; don't resurrect it.
+	if errors.Is(err, net.ErrClosed) {
+		return false, 0
+	}
+	// Transport error: the request may or may not have executed.
+	return idempotent || c.o.retryAll, 0
+}
+
+// backoff returns the sleep before retry attempt+1: full jitter over an
+// exponentially growing window, floored at the server's hint.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	window := c.o.baseBackoff << uint(attempt)
+	if window > c.o.maxBackoff || window <= 0 {
+		window = c.o.maxBackoff
+	}
+	d := time.Duration(rand.Int63n(int64(window))) + 1
+	if d < hint {
+		d = hint
+	}
+	return d
+}
+
+// sleepCtx sleeps for d or until ctx is done.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ensureConn (re)establishes the connection. Callers hold c.reqMu, so the
+// returned conn/br pair is theirs to use until they release it.
+func (c *Client) ensureConn() (net.Conn, *bufio.Reader, error) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed {
+		return nil, nil, net.ErrClosed
+	}
+	if c.conn != nil {
+		return c.conn, c.br, nil
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return nil, nil, err
+	}
+	c.conn = conn
+	c.br = bufio.NewReader(conn)
+	return conn, c.br, nil
+}
+
+// discardConn drops a connection whose stream state is unknown.
+func (c *Client) discardConn() {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.br = nil
+	}
+}
+
+// roundTrip performs one request/response exchange.
+func (c *Client) roundTrip(ctx context.Context, input string) (string, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	conn, br, err := c.ensureConn()
+	if err != nil {
+		return "", err
+	}
+	// Deadline plumbing: the remaining ctx budget rides in the EXEC header
+	// so the server enforces it during execution; the socket deadline and
+	// the AfterFunc below cover the transport.
+	var timeoutMS int64
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain <= 0 {
+			return "", context.DeadlineExceeded
+		}
+		timeoutMS = int64(remain / time.Millisecond)
+		if timeoutMS == 0 {
+			timeoutMS = 1
+		}
+		conn.SetDeadline(dl.Add(100 * time.Millisecond))
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+
+	if _, err := fmt.Fprintf(conn, "EXEC %d %d\n%s\n", timeoutMS, len(input), input); err != nil {
+		c.discardConn()
+		return "", ctxPreferred(ctx, err)
+	}
+	resp, err := readResponse(br, c.o.maxResponse)
+	if err != nil {
+		c.discardConn()
+		return "", ctxPreferred(ctx, err)
+	}
+	if !resp.ok {
+		// The server retires the connection after these codes; drop ours in
+		// lockstep so the next request redials instead of desyncing.
+		switch resp.code {
+		case codePanic, codeDeadline, codeCanceled, codeShutdown, codeProto, codeTooLarge:
+			c.discardConn()
+		}
+		return "", &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+	}
+	return resp.payload, nil
+}
+
+// ctxPreferred reports the context's error when it caused the transport
+// failure (the AfterFunc closed the conn), else the transport error.
+func ctxPreferred(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	return err
+}

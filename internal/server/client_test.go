@@ -1,0 +1,253 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeServer speaks the wire protocol from a canned reply script so tests
+// can count exactly how many times the client delivered a request. The
+// i-th EXEC gets replies[i] (clamped to the last entry); a reply func
+// returns false to drop the connection afterwards.
+type fakeServer struct {
+	ln       net.Listener
+	attempts atomic.Int64
+	replies  []func(net.Conn, *bufio.Writer) bool
+}
+
+func newFakeServer(t *testing.T, replies ...func(net.Conn, *bufio.Writer) bool) *fakeServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &fakeServer{ln: ln, replies: replies}
+	t.Cleanup(func() { ln.Close() })
+	go f.loop()
+	return f
+}
+
+func (f *fakeServer) addr() string { return f.ln.Addr().String() }
+
+func (f *fakeServer) loop() {
+	for {
+		c, err := f.ln.Accept()
+		if err != nil {
+			return
+		}
+		f.serve(c) // one client at a time; the Client serializes anyway
+	}
+}
+
+func (f *fakeServer) serve(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		req, err := readRequest(br, 1<<20)
+		if err != nil {
+			return
+		}
+		if req.verb != "EXEC" {
+			if writeOK(bw, "pong") != nil {
+				return
+			}
+			continue
+		}
+		i := int(f.attempts.Add(1)) - 1
+		if i >= len(f.replies) {
+			i = len(f.replies) - 1
+		}
+		if !f.replies[i](c, bw) {
+			return
+		}
+	}
+}
+
+// Canned replies.
+func okReply(payload string) func(net.Conn, *bufio.Writer) bool {
+	return func(_ net.Conn, bw *bufio.Writer) bool { return writeOK(bw, payload) == nil }
+}
+
+func errReply(code string, hint time.Duration) func(net.Conn, *bufio.Writer) bool {
+	return func(_ net.Conn, bw *bufio.Writer) bool {
+		return writeErr(bw, code, hint, "injected "+code) == nil
+	}
+}
+
+// severReply drops the connection without answering: the client cannot
+// know whether the statement executed.
+func severReply(c net.Conn, _ *bufio.Writer) bool {
+	c.Close()
+	return false
+}
+
+// TestClientRetryPolicy pins the retry matrix: ambiguous transport
+// failures are retried only for idempotent (read-only) scripts or with an
+// explicit opt-in, definitive not-executed shed replies are retried for
+// anything, and definitive statement failures are never retried.
+func TestClientRetryPolicy(t *testing.T) {
+	const (
+		mutation = "ASSERT Flies (Tweety);"
+		readOnly = "HOLDS Flies (Tweety);"
+	)
+	fast := WithBackoff(time.Millisecond, 5*time.Millisecond)
+	cases := []struct {
+		name         string
+		script       string
+		replies      []func(net.Conn, *bufio.Writer) bool
+		opts         []ClientOption
+		wantAttempts int64
+		wantErr      bool
+	}{
+		{
+			name:         "mutation never auto-retried after severed reply",
+			script:       mutation,
+			replies:      []func(net.Conn, *bufio.Writer) bool{severReply, okReply("late")},
+			opts:         []ClientOption{WithMaxRetries(3), fast},
+			wantAttempts: 1,
+			wantErr:      true,
+		},
+		{
+			name:         "read-only retried after severed reply",
+			script:       readOnly,
+			replies:      []func(net.Conn, *bufio.Writer) bool{severReply, okReply("true")},
+			opts:         []ClientOption{WithMaxRetries(3), fast},
+			wantAttempts: 2,
+		},
+		{
+			name:         "mutation retried after severed reply when opted in",
+			script:       mutation,
+			replies:      []func(net.Conn, *bufio.Writer) bool{severReply, okReply("done")},
+			opts:         []ClientOption{WithMaxRetries(3), WithRetryNonIdempotent(true), fast},
+			wantAttempts: 2,
+		},
+		{
+			name:   "mutation retried after overloaded: definitively not executed",
+			script: mutation,
+			replies: []func(net.Conn, *bufio.Writer) bool{
+				errReply(codeOverloaded, time.Millisecond), okReply("done"),
+			},
+			opts:         []ClientOption{WithMaxRetries(3), fast},
+			wantAttempts: 2,
+		},
+		{
+			name:   "mutation retried after shutdown: definitively not executed",
+			script: mutation,
+			replies: []func(net.Conn, *bufio.Writer) bool{
+				errReply(codeShutdown, 0), okReply("done"),
+			},
+			opts:         []ClientOption{WithMaxRetries(3), fast},
+			wantAttempts: 2,
+		},
+		{
+			name:         "exec error never retried",
+			script:       readOnly,
+			replies:      []func(net.Conn, *bufio.Writer) bool{errReply(codeExec, 0), okReply("true")},
+			opts:         []ClientOption{WithMaxRetries(3), fast},
+			wantAttempts: 1,
+			wantErr:      true,
+		},
+		{
+			name:         "retry budget bounds attempts",
+			script:       readOnly,
+			replies:      []func(net.Conn, *bufio.Writer) bool{severReply},
+			opts:         []ClientOption{WithMaxRetries(2), fast},
+			wantAttempts: 3, // initial + 2 retries
+			wantErr:      true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f := newFakeServer(t, tc.replies...)
+			c, err := Dial(f.addr(), tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+			_, err = c.Exec(context.Background(), tc.script)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("err = %v, wantErr = %v", err, tc.wantErr)
+			}
+			if got := f.attempts.Load(); got != tc.wantAttempts {
+				t.Fatalf("server saw %d attempts, want %d", got, tc.wantAttempts)
+			}
+		})
+	}
+}
+
+// TestBackoffHonorsRetryAfterHint: the sleep before a retry never
+// undercuts the server's hint.
+func TestBackoffHonorsRetryAfterHint(t *testing.T) {
+	f := newFakeServer(t,
+		errReply(codeOverloaded, 150*time.Millisecond), okReply("done"))
+	c, err := Dial(f.addr(), WithMaxRetries(2), WithBackoff(time.Millisecond, 5*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Exec(context.Background(), "ASSERT Flies (Tweety);"); err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 140*time.Millisecond {
+		t.Fatalf("retried after %v, before the 150ms Retry-After hint", elapsed)
+	}
+	if got := f.attempts.Load(); got != 2 {
+		t.Fatalf("attempts = %d, want 2", got)
+	}
+}
+
+// TestBackoffRespectsContextDeadline: a huge Retry-After hint cannot make
+// the client sleep past its own deadline — the backoff sleep aborts and
+// Exec returns promptly.
+func TestBackoffRespectsContextDeadline(t *testing.T) {
+	f := newFakeServer(t, errReply(codeOverloaded, 10*time.Second))
+	c, err := Dial(f.addr(), WithMaxRetries(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.Exec(ctx, "HOLDS Flies (Tweety);")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, ErrOverloaded) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("backoff ignored ctx deadline: took %v", elapsed)
+	}
+	if got := f.attempts.Load(); got != 1 {
+		t.Fatalf("attempts = %d, want 1 (sleep aborted before a retry)", got)
+	}
+}
+
+// TestBackoffWindow exercises the jitter math directly: samples stay in
+// (0, min(base·2^attempt, max)] and the hint is a floor.
+func TestBackoffWindow(t *testing.T) {
+	c := &Client{o: clientOptions{baseBackoff: 10 * time.Millisecond, maxBackoff: 80 * time.Millisecond}}
+	for attempt := 0; attempt < 10; attempt++ {
+		window := c.o.baseBackoff << uint(attempt)
+		if window > c.o.maxBackoff || window <= 0 {
+			window = c.o.maxBackoff
+		}
+		for i := 0; i < 50; i++ {
+			d := c.backoff(attempt, 0)
+			if d <= 0 || d > window {
+				t.Fatalf("attempt %d: backoff %v outside (0, %v]", attempt, d, window)
+			}
+		}
+	}
+	if d := c.backoff(0, 500*time.Millisecond); d != 500*time.Millisecond {
+		t.Fatalf("hint floor: got %v, want 500ms", d)
+	}
+}

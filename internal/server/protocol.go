@@ -1,0 +1,197 @@
+// Package server is the network front end of the hierarchical relational
+// database: a concurrent line-protocol HQL service over TCP with
+// production-grade resilience machinery — admission control with load
+// shedding, per-request deadlines, panic isolation, connection and idle
+// limits, and graceful drain — plus the matching client (Dial) and a
+// fault-injecting ChaosProxy for tests.
+//
+// # Wire protocol
+//
+// The protocol is a textual line protocol with length-prefixed payloads.
+// Requests are strictly sequential per connection (no pipelining), which
+// is what lets one hql.Session — single-goroutine by contract — serve the
+// whole connection. Frames:
+//
+//	client → server:
+//	  EXEC <timeout_ms> <n>\n<n payload bytes>\n   execute HQL script
+//	  PING\n                                       liveness probe
+//	  QUIT\n                                       close the connection
+//
+//	server → client:
+//	  OK <n>\n<n payload bytes>\n                  statement output
+//	  ERR <code> <retry_ms> <n>\n<n bytes>\n       failure, payload = message
+//
+// timeout_ms is the client's deadline for the request in milliseconds
+// (0 = none); the server caps it at its MaxDeadline. retry_ms is a
+// backoff hint, nonzero only for "overloaded". Error codes:
+//
+//	proto       malformed frame; the connection is closed
+//	toolarge    statement exceeds MaxStatementBytes; connection closed
+//	exec        the statement failed (parse or execution error)
+//	overloaded  admission queue full — not executed, safe to retry
+//	deadline    the deadline expired; if the statement was already
+//	            running its effects may still apply (connection closed
+//	            when the server abandoned a still-running statement)
+//	canceled    the request was canceled (server drain deadline)
+//	panic       the statement panicked; isolated, connection closed
+//	shutdown    server is draining — not executed, retry elsewhere/later
+package server
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Error codes carried by ERR frames.
+const (
+	codeProto      = "proto"
+	codeTooLarge   = "toolarge"
+	codeExec       = "exec"
+	codeOverloaded = "overloaded"
+	codeDeadline   = "deadline"
+	codeCanceled   = "canceled"
+	codePanic      = "panic"
+	codeShutdown   = "shutdown"
+)
+
+// errProto reports a malformed frame.
+var errProto = errors.New("server: protocol error")
+
+// request is one decoded client frame.
+type request struct {
+	verb    string // "EXEC" | "PING" | "QUIT"
+	timeout time.Duration
+	input   string
+}
+
+// readRequest decodes one request frame. maxBytes bounds the payload; a
+// larger announced length fails with errProto-wrapped "toolarge" handling
+// at the caller.
+func readRequest(br *bufio.Reader, maxBytes int) (request, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return request{}, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return request{}, fmt.Errorf("%w: empty request line", errProto)
+	}
+	switch fields[0] {
+	case "PING", "QUIT":
+		if len(fields) != 1 {
+			return request{}, fmt.Errorf("%w: %s takes no arguments", errProto, fields[0])
+		}
+		return request{verb: fields[0]}, nil
+	case "EXEC":
+		if len(fields) != 3 {
+			return request{}, fmt.Errorf("%w: want EXEC <timeout_ms> <n>", errProto)
+		}
+		ms, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || ms < 0 {
+			return request{}, fmt.Errorf("%w: bad timeout %q", errProto, fields[1])
+		}
+		n, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || n < 0 {
+			return request{}, fmt.Errorf("%w: bad length %q", errProto, fields[2])
+		}
+		if n > int64(maxBytes) {
+			return request{}, errTooLarge
+		}
+		payload := make([]byte, n+1)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return request{}, fmt.Errorf("%w: truncated payload: %v", errProto, err)
+		}
+		if payload[n] != '\n' {
+			return request{}, fmt.Errorf("%w: missing payload terminator", errProto)
+		}
+		return request{
+			verb:    "EXEC",
+			timeout: time.Duration(ms) * time.Millisecond,
+			input:   string(payload[:n]),
+		}, nil
+	default:
+		return request{}, fmt.Errorf("%w: unknown verb %q", errProto, fields[0])
+	}
+}
+
+// errTooLarge marks a statement over the size limit.
+var errTooLarge = errors.New("server: statement too large")
+
+// writeOK emits an OK frame.
+func writeOK(bw *bufio.Writer, payload string) error {
+	if _, err := fmt.Fprintf(bw, "OK %d\n%s\n", len(payload), payload); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// writeErr emits an ERR frame.
+func writeErr(bw *bufio.Writer, code string, retryAfter time.Duration, msg string) error {
+	if _, err := fmt.Fprintf(bw, "ERR %s %d %d\n%s\n",
+		code, retryAfter.Milliseconds(), len(msg), msg); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// response is one decoded server frame (client side).
+type response struct {
+	ok         bool
+	code       string
+	retryAfter time.Duration
+	payload    string
+}
+
+// readResponse decodes one response frame.
+func readResponse(br *bufio.Reader, maxBytes int) (response, error) {
+	line, err := br.ReadString('\n')
+	if err != nil {
+		return response{}, err
+	}
+	line = strings.TrimRight(line, "\r\n")
+	fields := strings.Fields(line)
+	read := func(lenField string) (string, error) {
+		n, err := strconv.ParseInt(lenField, 10, 64)
+		if err != nil || n < 0 || n > int64(maxBytes) {
+			return "", fmt.Errorf("%w: bad response length %q", errProto, lenField)
+		}
+		payload := make([]byte, n+1)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return "", err
+		}
+		if payload[n] != '\n' {
+			return "", fmt.Errorf("%w: missing response terminator", errProto)
+		}
+		return string(payload[:n]), nil
+	}
+	switch {
+	case len(fields) == 2 && fields[0] == "OK":
+		payload, err := read(fields[1])
+		if err != nil {
+			return response{}, err
+		}
+		return response{ok: true, payload: payload}, nil
+	case len(fields) == 4 && fields[0] == "ERR":
+		ms, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || ms < 0 {
+			return response{}, fmt.Errorf("%w: bad retry hint %q", errProto, fields[2])
+		}
+		payload, err := read(fields[3])
+		if err != nil {
+			return response{}, err
+		}
+		return response{
+			code:       fields[1],
+			retryAfter: time.Duration(ms) * time.Millisecond,
+			payload:    payload,
+		}, nil
+	default:
+		return response{}, fmt.Errorf("%w: bad response line %q", errProto, line)
+	}
+}

@@ -1,0 +1,469 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"hrdb/internal/hql"
+)
+
+// ErrServerClosed is returned by Start and Shutdown on a server that is
+// already draining or closed.
+var ErrServerClosed = errors.New("server: closed")
+
+// Options tunes the resilience machinery. The zero value selects sensible
+// defaults (see the field comments).
+type Options struct {
+	// Workers is the number of statement-executing goroutines; admitted
+	// requests beyond it wait in the queue. Default: GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds the admission queue. A request arriving when
+	// Workers are busy and the queue is full is shed with "overloaded"
+	// instead of growing an unbounded backlog. Default: 4 × Workers.
+	QueueDepth int
+	// MaxConns bounds concurrent connections; excess connections receive
+	// an "overloaded" error frame and are closed. Default: 256.
+	MaxConns int
+	// IdleTimeout closes connections with no request activity. Default:
+	// 5 minutes; negative disables.
+	IdleTimeout time.Duration
+	// MaxStatementBytes bounds one EXEC payload. Default: 1 MiB.
+	MaxStatementBytes int
+	// MaxDeadline caps (and, when the client sends none, provides) the
+	// per-request execution deadline. Default: 30 seconds; negative
+	// disables.
+	MaxDeadline time.Duration
+	// RetryAfter is the backoff hint attached to "overloaded" errors.
+	// Default: 50 ms.
+	RetryAfter time.Duration
+	// CloseTarget makes Shutdown close the target (via its Close() error
+	// method, e.g. a storage.Store) exactly once after the drain.
+	CloseTarget bool
+}
+
+// withDefaults resolves zero values.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 4 * o.Workers
+	}
+	if o.MaxConns <= 0 {
+		o.MaxConns = 256
+	}
+	if o.IdleTimeout == 0 {
+		o.IdleTimeout = 5 * time.Minute
+	}
+	if o.MaxStatementBytes <= 0 {
+		o.MaxStatementBytes = 1 << 20
+	}
+	if o.MaxDeadline == 0 {
+		o.MaxDeadline = 30 * time.Second
+	}
+	if o.RetryAfter <= 0 {
+		o.RetryAfter = 50 * time.Millisecond
+	}
+	return o
+}
+
+// taskResult is a finished statement execution.
+type taskResult struct {
+	out      string
+	err      error
+	panicked bool
+}
+
+// task is one admitted EXEC request travelling through the work queue.
+type task struct {
+	sess   *hql.Session
+	input  string
+	ctx    context.Context
+	cancel context.CancelFunc
+	// done carries the result; buffered so an abandoning connection
+	// handler (deadline fired first) never blocks the worker.
+	done chan taskResult
+}
+
+// Server is a TCP front end over one hql.Target. Each connection gets its
+// own hql.Session (sessions are single-goroutine; the protocol admits one
+// request at a time per connection), writes are serialized by the target
+// itself, and statement execution runs on a fixed worker pool behind a
+// bounded admission queue.
+type Server struct {
+	target hql.Target
+	opts   Options
+
+	ln   net.Listener
+	work chan *task
+
+	mu       sync.Mutex
+	conns    map[net.Conn]struct{}
+	tasks    map[*task]struct{} // admitted, not yet finished (for drain cancel)
+	started  bool
+	draining bool
+
+	inflight  sync.WaitGroup // admitted tasks
+	replyWG   sync.WaitGroup // EXEC request/reply cycles (reply flushed)
+	workerWG  sync.WaitGroup
+	connWG    sync.WaitGroup
+	acceptWG  sync.WaitGroup
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// New creates a server over target. The target must be internally
+// synchronized for concurrent use (catalog.Database and storage.Store
+// both are).
+func New(target hql.Target, opts Options) *Server {
+	return &Server{
+		target: target,
+		opts:   opts.withDefaults(),
+		conns:  make(map[net.Conn]struct{}),
+		tasks:  make(map[*task]struct{}),
+	}
+}
+
+// Start listens on addr ("host:port"; port 0 picks a free port) and begins
+// serving in background goroutines. Use Addr to learn the bound address
+// and Shutdown to stop.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.started || s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.started = true
+	s.ln = ln
+	s.work = make(chan *task, s.opts.QueueDepth)
+	s.mu.Unlock()
+
+	for i := 0; i < s.opts.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	s.acceptWG.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the listener's address (empty before Start).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// acceptLoop admits connections up to MaxConns; beyond the limit the
+// connection is answered with one "overloaded" frame and closed, so the
+// client backs off instead of hanging in the TCP backlog.
+func (s *Server) acceptLoop() {
+	defer s.acceptWG.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed by Shutdown (or fatal; accept loop ends)
+		}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			s.refuse(c, codeShutdown, 0, "server is shutting down")
+			continue
+		}
+		if len(s.conns) >= s.opts.MaxConns {
+			s.mu.Unlock()
+			s.refuse(c, codeOverloaded, s.opts.RetryAfter, "server at connection limit")
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(c)
+	}
+}
+
+// refuse answers a connection with one error frame and closes it.
+func (s *Server) refuse(c net.Conn, code string, retryAfter time.Duration, msg string) {
+	c.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	bw := bufio.NewWriter(c)
+	writeErr(bw, code, retryAfter, msg)
+	c.Close()
+}
+
+// dropConn unregisters and closes a connection.
+func (s *Server) dropConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+}
+
+// handleConn serves one connection: a strictly sequential read-execute-
+// reply loop over the connection's private session. A panic anywhere in
+// the handler is confined to this connection.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer s.dropConn(c)
+	defer func() {
+		if p := recover(); p != nil {
+			// Handler bug or poisoned connection state: drop the
+			// connection, keep the server.
+			_ = p
+		}
+	}()
+
+	sess := hql.NewSession(s.target)
+	br := bufio.NewReader(c)
+	bw := bufio.NewWriter(c)
+	for {
+		if s.opts.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		req, err := readRequest(br, s.opts.MaxStatementBytes)
+		if err != nil {
+			switch {
+			case errors.Is(err, errTooLarge):
+				writeErr(bw, codeTooLarge, 0, err.Error())
+			case errors.Is(err, errProto):
+				writeErr(bw, codeProto, 0, err.Error())
+			}
+			return // EOF, idle timeout, or desync: close
+		}
+		c.SetReadDeadline(time.Time{})
+
+		switch req.verb {
+		case "PING":
+			if writeOK(bw, "pong") != nil {
+				return
+			}
+			continue
+		case "QUIT":
+			return
+		}
+
+		if !s.serveExec(bw, sess, req) {
+			return
+		}
+	}
+}
+
+// serveExec admits, executes, and answers one EXEC request. It reports
+// whether the connection may continue to the next request.
+func (s *Server) serveExec(bw *bufio.Writer, sess *hql.Session, req request) bool {
+	// replyWG spans the whole request/reply cycle so a graceful drain keeps
+	// the connection open until the answer has been written — the worker
+	// marks the statement done before the handler flushes the reply.
+	s.replyWG.Add(1)
+	defer s.replyWG.Done()
+	ctx, cancel := context.WithCancel(context.Background())
+	timeout := req.timeout
+	if s.opts.MaxDeadline > 0 && (timeout <= 0 || timeout > s.opts.MaxDeadline) {
+		timeout = s.opts.MaxDeadline
+	}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	}
+	t := &task{sess: sess, input: req.input, ctx: ctx, cancel: cancel, done: make(chan taskResult, 1)}
+
+	if code, err := s.submit(t); err != nil {
+		cancel()
+		switch code {
+		case codeOverloaded:
+			return writeErr(bw, codeOverloaded, s.opts.RetryAfter, err.Error()) == nil
+		default: // shutdown
+			writeErr(bw, codeShutdown, 0, err.Error())
+			return false
+		}
+	}
+
+	select {
+	case res := <-t.done:
+		cancel()
+		switch {
+		case res.panicked:
+			// The session may hold arbitrarily corrupt state: answer, then
+			// retire the connection. The server stays up.
+			writeErr(bw, codePanic, 0, res.err.Error())
+			return false
+		case res.err != nil:
+			code := codeExec
+			if errors.Is(res.err, context.DeadlineExceeded) {
+				code = codeDeadline
+			} else if errors.Is(res.err, context.Canceled) {
+				code = codeCanceled
+			}
+			return writeErr(bw, code, 0, res.err.Error()) == nil
+		default:
+			return writeOK(bw, res.out) == nil
+		}
+	case <-ctx.Done():
+		// Deadline or drain-cancel fired while the statement was queued or
+		// still running. Answer now — the server always answers or sheds —
+		// and retire the connection: its session may still be executing, so
+		// it must never be handed another statement.
+		code := codeDeadline
+		if errors.Is(ctx.Err(), context.Canceled) {
+			code = codeCanceled
+		}
+		writeErr(bw, code, 0, ctx.Err().Error())
+		return false
+	}
+}
+
+// submit offers a task to the bounded admission queue without blocking:
+// a full queue sheds the request. The inflight count is raised before the
+// queue send so drain never misses an admitted task.
+func (s *Server) submit(t *task) (code string, err error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return codeShutdown, errors.New("server is shutting down")
+	}
+	s.inflight.Add(1)
+	s.tasks[t] = struct{}{}
+	select {
+	case s.work <- t:
+		s.mu.Unlock()
+		return "", nil
+	default:
+		delete(s.tasks, t)
+		s.inflight.Done()
+		s.mu.Unlock()
+		return codeOverloaded, errors.New("server overloaded: admission queue full")
+	}
+}
+
+// worker executes queued tasks until the queue is closed and drained.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for t := range s.work {
+		res := runTask(t)
+		t.done <- res
+		s.mu.Lock()
+		delete(s.tasks, t)
+		s.mu.Unlock()
+		s.inflight.Done()
+	}
+}
+
+// runTask executes one statement with panic isolation: a panicking
+// statement yields an error result instead of taking the worker (and the
+// server) down.
+func runTask(t *task) (res taskResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = taskResult{
+				err:      fmt.Errorf("statement panicked: %v", p),
+				panicked: true,
+			}
+		}
+	}()
+	out, err := t.sess.ExecContext(t.ctx, t.input)
+	return taskResult{out: out, err: err}
+}
+
+// Shutdown gracefully stops the server: it stops accepting connections and
+// admitting statements, drains in-flight statements, and — once the drain
+// completes or ctx expires — cancels whatever is still running, closes
+// every connection, and (with Options.CloseTarget) closes the target
+// exactly once. It returns ctx.Err() if the drain deadline cut the wait
+// short, nil on a clean drain. Repeated calls return ErrServerClosed.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started || s.draining {
+		s.mu.Unlock()
+		return ErrServerClosed
+	}
+	s.draining = true
+	ln := s.ln
+	s.mu.Unlock()
+
+	// 1. Stop accepting. The accept loop exits on the listener error.
+	ln.Close()
+	// 2. No submit can start now (draining is set under mu), so the queue
+	//    can close: workers finish the backlog and exit.
+	close(s.work)
+
+	// 3. Drain: wait for admitted statements, bounded by ctx.
+	drained := waitCh(&s.inflight)
+	var drainErr error
+	select {
+	case <-drained:
+		// Statements finished; also wait (ctx-bounded) for their replies to
+		// reach the sockets before step 4 severs the connections.
+		select {
+		case <-waitCh(&s.replyWG):
+		case <-ctx.Done():
+			drainErr = ctx.Err()
+		}
+	case <-ctx.Done():
+		drainErr = ctx.Err()
+		// Deadline: cancel everything still queued or running. Statements
+		// on the context-aware paths abort promptly; a statement blocked in
+		// non-cancellable code keeps its worker until it returns, but every
+		// connection still gets an answer (the handler watches task.ctx).
+		s.mu.Lock()
+		for t := range s.tasks {
+			t.cancel()
+		}
+		s.mu.Unlock()
+		select {
+		case <-drained:
+			drainErr = nil // everything aborted in time after the cancel
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+
+	// 4. Retire connections; handlers unblock on the closed conns.
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+
+	if drainErr == nil {
+		// Clean drain: workers and handlers exit promptly; wait so the
+		// caller observes zero server goroutines after Shutdown.
+		s.workerWG.Wait()
+		s.connWG.Wait()
+	}
+	s.acceptWG.Wait()
+
+	// 5. Close the target exactly once, after the drain, so every
+	//    acknowledged statement is durable before the store closes.
+	if s.opts.CloseTarget {
+		s.closeOnce.Do(func() {
+			if c, ok := s.target.(interface{ Close() error }); ok {
+				s.closeErr = c.Close()
+			}
+		})
+		if drainErr == nil && s.closeErr != nil {
+			return s.closeErr
+		}
+	}
+	return drainErr
+}
+
+// waitCh adapts a WaitGroup to a channel.
+func waitCh(wg *sync.WaitGroup) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	return ch
+}

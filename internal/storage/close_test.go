@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hrdb/internal/catalog"
+)
+
+// TestCloseConcurrentWithCommitters pins the Store.Close concurrency
+// contract (run under -race via `make test`): closing while committers are
+// inside ApplyTx must not race, and every operation acknowledged before or
+// during the close must survive a reopen. Calls that lose the race to
+// Close fail with ErrStoreClosed (or ErrStoreFailed if the log poisoned
+// first) — never with a torn or silently dropped commit.
+func TestCloseConcurrentWithCommitters(t *testing.T) {
+	for round := 0; round < 5; round++ {
+		dir := t.TempDir()
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CreateHierarchy("D"); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.CreateRelation("R", catalog.AttrSpec{Name: "A", Domain: "D"}); err != nil {
+			t.Fatal(err)
+		}
+
+		const committers = 8
+		var mu sync.Mutex
+		var acked []string
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		lost := func(err error) bool {
+			return errors.Is(err, ErrStoreClosed) || errors.Is(err, ErrStoreFailed)
+		}
+		for c := 0; c < committers; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					name := fmt.Sprintf("n%d_%d_%d", round, c, i)
+					// Two acknowledged durable steps per iteration: a logged
+					// single op (AddInstance) and a bracketed transaction
+					// (ApplyTx) — both paths race against Close.
+					if err := s.AddInstance("D", name, "D"); err != nil {
+						if !lost(err) {
+							t.Errorf("AddInstance: unexpected error %v", err)
+						}
+						return
+					}
+					err := s.ApplyTx([]catalog.TxOp{
+						{Kind: "assert", Relation: "R", Values: []string{name}},
+					})
+					if err != nil {
+						if !lost(err) {
+							t.Errorf("ApplyTx: unexpected error %v", err)
+						}
+						return
+					}
+					mu.Lock()
+					acked = append(acked, name)
+					mu.Unlock()
+				}
+			}(c)
+		}
+		close(start)
+		time.Sleep(2 * time.Millisecond)
+		if err := s.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		wg.Wait()
+
+		if err := s.Close(); !errors.Is(err, ErrStoreClosed) {
+			t.Fatalf("second Close = %v, want ErrStoreClosed", err)
+		}
+		if err := s.Assert("R", "D"); !errors.Is(err, ErrStoreClosed) {
+			t.Fatalf("Assert after Close = %v, want ErrStoreClosed", err)
+		}
+		if err := s.ApplyTx([]catalog.TxOp{{Kind: "assert", Relation: "R", Values: []string{"D"}}}); !errors.Is(err, ErrStoreClosed) {
+			t.Fatalf("ApplyTx after Close = %v, want ErrStoreClosed", err)
+		}
+		if err := s.Checkpoint(); !errors.Is(err, ErrStoreClosed) {
+			t.Fatalf("Checkpoint after Close = %v, want ErrStoreClosed", err)
+		}
+
+		mu.Lock()
+		ackedCopy := append([]string(nil), acked...)
+		mu.Unlock()
+
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("reopen: %v", err)
+		}
+		for _, name := range ackedCopy {
+			ok, err := s2.Database().Holds("R", name)
+			if err != nil {
+				t.Fatalf("round %d: Holds(%s) after reopen: %v", round, name, err)
+			}
+			if !ok {
+				t.Fatalf("round %d: acknowledged tuple R(%s) missing after reopen", round, name)
+			}
+		}
+		must(t, s2.Close())
+	}
+}

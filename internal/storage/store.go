@@ -50,6 +50,13 @@ type Store struct {
 	// or sync error after an in-memory mutation): the only safe
 	// continuation is to reopen, recovering the durable prefix.
 	failed atomic.Bool
+	// closed is set by the first Close. It is read both atomically (cheap
+	// fast-path rejection) and under applyMu (the authoritative check that
+	// orders mutations against Close): a committer that passes the locked
+	// check finishes staging before Close can run, and Close's log flush
+	// makes every staged byte durable, so acknowledged records survive a
+	// concurrent Close.
+	closed atomic.Bool
 }
 
 // Options configures Open.
@@ -68,6 +75,12 @@ type Options struct {
 // point where memory may be ahead of disk; reopen the store to recover the
 // durable prefix.
 var ErrStoreFailed = errors.New("storage: store failed (WAL append error); reopen to recover")
+
+// ErrStoreClosed is returned by every mutation (and by repeated Close
+// calls) after the store has been closed. Like ErrStoreFailed it means the
+// store object is done; unlike it, everything acknowledged is durable and
+// reopening the directory recovers the complete state.
+var ErrStoreClosed = errors.New("storage: store closed")
 
 // Filenames inside a store directory.
 const (
@@ -213,8 +226,8 @@ var txRecordOps = map[string]Op{"assert": OpAssert, "deny": OpDeny, "retract": O
 // bracket is closed with tx_abort so recovery discards it, and the apply
 // error is returned.
 func (s *Store) ApplyTx(ops []catalog.TxOp) error {
-	if s.failed.Load() {
-		return ErrStoreFailed
+	if err := s.usable(); err != nil {
+		return err
 	}
 	recs := make([]Record, 0, len(ops)+2)
 	recs = append(recs, Record{Op: OpTxBegin})
@@ -230,9 +243,9 @@ func (s *Store) ApplyTx(ops []catalog.TxOp) error {
 	}
 
 	s.applyMu.Lock()
-	if s.failed.Load() {
+	if err := s.usable(); err != nil {
 		s.applyMu.Unlock()
-		return ErrStoreFailed
+		return err
 	}
 	// Capture the log while holding applyMu: Checkpoint may rotate s.log,
 	// and a mark is only meaningful against the log that issued it.
@@ -272,8 +285,8 @@ func (s *Store) ApplyTx(ops []catalog.TxOp) error {
 func (s *Store) applyTxPerRecord(recs []Record, ops []catalog.TxOp) error {
 	s.applyMu.Lock()
 	defer s.applyMu.Unlock()
-	if s.failed.Load() {
-		return ErrStoreFailed
+	if err := s.usable(); err != nil {
+		return err
 	}
 	if err := s.db.ApplyOps(ops); err != nil {
 		return err
@@ -381,13 +394,13 @@ func (s *Store) apply(rec Record) error {
 // acknowledging. A failed application stages nothing; a failed stage or
 // sync poisons the store, because memory is now ahead of disk.
 func (s *Store) logged(rec Record, do func() error) error {
-	if s.failed.Load() {
-		return ErrStoreFailed
+	if err := s.usable(); err != nil {
+		return err
 	}
 	s.applyMu.Lock()
-	if s.failed.Load() {
+	if err := s.usable(); err != nil {
 		s.applyMu.Unlock()
-		return ErrStoreFailed
+		return err
 	}
 	log := s.log
 	if err := do(); err != nil {
@@ -559,13 +572,13 @@ func parseMode(v string) (core.Preemption, error) {
 // epoch while this process still holds the old log, so the store is
 // poisoned and must be reopened.
 func (s *Store) Checkpoint() error {
-	if s.failed.Load() {
-		return ErrStoreFailed
+	if err := s.usable(); err != nil {
+		return err
 	}
 	s.applyMu.Lock()
 	defer s.applyMu.Unlock()
-	if s.failed.Load() {
-		return ErrStoreFailed
+	if err := s.usable(); err != nil {
+		return err
 	}
 	newEpoch := s.epoch + 1
 	spec := SnapshotDatabase(s.db)
@@ -605,9 +618,33 @@ func (s *Store) LogStats() (records, syncs uint64) {
 	return log.Stats()
 }
 
-// Close flushes and closes the store's files.
+// usable rejects mutations on a closed or poisoned store. Callers invoke
+// it twice: once lock-free as a fast path, and once under applyMu, where
+// it orders the check against a concurrent Close.
+func (s *Store) usable() error {
+	if s.closed.Load() {
+		return ErrStoreClosed
+	}
+	if s.failed.Load() {
+		return ErrStoreFailed
+	}
+	return nil
+}
+
+// Close flushes staged WAL frames and closes the store's files. Close is
+// safe to call concurrently with committers: the closed flag is set under
+// applyMu, so no committer can begin staging afterwards, and the log's own
+// Close flushes everything already staged — an ApplyTx waiting for its
+// durability mark therefore still acknowledges (and its records survive).
+// Only the first call closes; subsequent calls — and any mutation after
+// the first Close — return ErrStoreClosed.
 func (s *Store) Close() error {
 	s.applyMu.Lock()
+	if s.closed.Load() {
+		s.applyMu.Unlock()
+		return ErrStoreClosed
+	}
+	s.closed.Store(true)
 	log := s.log
 	s.applyMu.Unlock()
 	return log.Close()
