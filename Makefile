@@ -1,8 +1,9 @@
 # hrdb — hierarchical relational model (Jagadish, SIGMOD '89)
 
 GO ?= go
+FUZZTIME ?= 30s
 
-.PHONY: all help build test test-crash test-server race cover bench bench-smoke figures experiments fuzz clean
+.PHONY: all help build test test-crash test-server test-obs race cover bench bench-smoke figures experiments fuzz fuzz-smoke clean
 
 all: build test
 
@@ -10,20 +11,24 @@ help:
 	@echo "hrdb targets:"
 	@echo "  build        compile and vet all packages"
 	@echo "  test         run the unit tests (plus vet and a race pass"
-	@echo "               over the storage and core packages)"
+	@echo "               over the storage, core, server, and obs packages)"
 	@echo "  test-crash   crash the WAL at every byte offset and verify"
 	@echo "               recovery of the exact committed prefix"
 	@echo "  test-server  race-mode pass over the network service layer"
 	@echo "               (overload shedding, drain, chaos proxy)"
+	@echo "  test-obs     race-mode pass over the observability layer"
+	@echo "               (metrics registry, histograms, slow-query log)"
 	@echo "  race         run the tests under the race detector"
 	@echo "               (includes the concurrency stress suites)"
 	@echo "  cover        coverage summary for internal/..."
-	@echo "  bench        full benchmark sweep (figures + experiments)"
+	@echo "  bench        full benchmark sweep (figures + experiments;"
+	@echo "               tests are skipped via -run '^$$')"
 	@echo "  bench-smoke  quick pass over the batch-evaluation and"
 	@echo "               verdict-cache benchmarks only"
 	@echo "  figures      regenerate the paper figures (cmd/hrfigures)"
 	@echo "  experiments  print the E1-E10 experiment tables (cmd/hrbench)"
-	@echo "  fuzz         run the fuzz targets for 30s each"
+	@echo "  fuzz         run the fuzz targets for FUZZTIME ($(FUZZTIME)) each"
+	@echo "  fuzz-smoke   run the fuzz targets for 15s each (CI)"
 
 build:
 	$(GO) build ./...
@@ -32,13 +37,16 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/storage/ ./internal/core/ ./internal/server/
+	$(GO) test -race ./internal/storage/ ./internal/core/ ./internal/server/ ./internal/obs/
 
 test-crash:
 	$(GO) test -run 'TestCrash' -count=1 -v ./internal/storage/
 
 test-server:
 	$(GO) test -race -count=1 ./internal/server/
+
+test-obs:
+	$(GO) test -race -count=1 ./internal/obs/
 
 race:
 	$(GO) test -race ./...
@@ -47,8 +55,10 @@ cover:
 	$(GO) test -coverprofile=cover.out ./internal/...
 	$(GO) tool cover -func=cover.out | tail -1
 
+# -run '^$' keeps the crash/chaos test suites out of benchmark runs: they
+# dominate wall clock and add nothing to the measurements.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench=. -benchmem ./...
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateBatch|BenchmarkHoldsCached' -benchtime=50x .
@@ -60,10 +70,13 @@ experiments:
 	$(GO) run ./cmd/hrbench
 
 fuzz:
-	$(GO) test -fuzz=FuzzParse -fuzztime=30s ./internal/hql/
-	$(GO) test -fuzz=FuzzOpenLog -fuzztime=30s ./internal/storage/
-	$(GO) test -fuzz=FuzzCrashOffset -fuzztime=30s ./internal/storage/
-	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=30s ./internal/storage/
+	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/hql/
+	$(GO) test -fuzz=FuzzOpenLog -fuzztime=$(FUZZTIME) ./internal/storage/
+	$(GO) test -fuzz=FuzzCrashOffset -fuzztime=$(FUZZTIME) ./internal/storage/
+	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=$(FUZZTIME) ./internal/storage/
+
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=15s
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt

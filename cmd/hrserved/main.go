@@ -4,10 +4,14 @@
 //	hrserved -data ./mydb                 # durable database in ./mydb
 //	hrserved -addr :7583                  # in-memory database
 //	hrserved -data ./mydb -workers 4 -queue 32 -max-conns 128
+//	hrserved -metrics-addr 127.0.0.1:9090 # HTTP /metrics + /debug/pprof
+//	hrserved -slow-query 100ms            # log slow statements to stderr
 //
 // The server sheds load beyond its queue with "overloaded" replies,
 // enforces per-request deadlines, and on SIGINT/SIGTERM drains in-flight
-// statements (bounded by -drain) before closing the store.
+// statements (bounded by -drain) before closing the store. Process metrics
+// are also available over the wire protocol's STATS verb regardless of
+// -metrics-addr; see docs/OBSERVABILITY.md.
 package main
 
 import (
@@ -31,21 +35,27 @@ func main() {
 	idle := flag.Duration("idle", 0, "idle connection timeout (0 = 5m, <0 disables)")
 	maxDeadline := flag.Duration("max-deadline", 0, "per-request deadline cap (0 = 30s, <0 disables)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus) and /debug/pprof (empty = disabled)")
+	slowQuery := flag.Duration("slow-query", 0, "log statements at least this slow to stderr (0 = disabled)")
 	flag.Parse()
 
-	if err := run(*addr, *dataDir, hrdb.ServerOptions{
+	opts := hrdb.ServerOptions{
 		Workers:     *workers,
 		QueueDepth:  *queue,
 		MaxConns:    *maxConns,
 		IdleTimeout: *idle,
 		MaxDeadline: *maxDeadline,
-	}, *drain); err != nil {
+	}
+	if *slowQuery > 0 {
+		opts.SlowQuery = hrdb.NewSlowQueryLog(os.Stderr, *slowQuery)
+	}
+	if err := run(*addr, *dataDir, *metricsAddr, opts, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "hrserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir string, opts hrdb.ServerOptions, drain time.Duration) error {
+func run(addr, dataDir, metricsAddr string, opts hrdb.ServerOptions, drain time.Duration) error {
 	var target hrdb.Target
 	if dataDir != "" {
 		store, err := hrdb.OpenStore(dataDir)
@@ -67,6 +77,18 @@ func run(addr, dataDir string, opts hrdb.ServerOptions, drain time.Duration) err
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "hrserved: serving HQL on %s\n", srv.Addr())
+
+	if metricsAddr != "" {
+		ms, err := hrdb.ServeMetrics(metricsAddr)
+		if err != nil {
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+			defer cancel()
+			srv.Shutdown(shutdownCtx)
+			return fmt.Errorf("metrics listener: %w", err)
+		}
+		defer ms.Close()
+		fmt.Fprintf(os.Stderr, "hrserved: metrics and pprof on http://%s/\n", ms.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -60,7 +60,8 @@ const helpText = `HQL statements (end with ';'):
   SET POLICY allow|warn|forbid
   SET MODE <rel> off_path|on_path|none            -- appendix semantics
   BEGIN; …; COMMIT;          ROLLBACK;
-Shell commands: \q quit, \help this text.
+Shell commands: \q quit, \help this text, \stats process metrics
+  (\stats on a -connect shell asks the server via the STATS verb).
 Ctrl-C cancels the running statement; twice (or at the prompt) exits.`
 
 func main() {
@@ -86,8 +87,11 @@ func main() {
 	}
 
 	// exec abstracts over the three backends: durable store, in-memory
-	// database, remote server.
+	// database, remote server. stats answers \stats: the remote backend
+	// asks the server (STATS verb), local backends render this process's
+	// own metrics.
 	var exec func(ctx context.Context, input string) (string, error)
+	stats := func(context.Context) (string, error) { return hrdb.MetricsText(), nil }
 	switch {
 	case *connect != "" && *dataDir != "":
 		fail(fmt.Errorf("-connect and -data are mutually exclusive"))
@@ -98,6 +102,7 @@ func main() {
 		}
 		closers = append(closers, func() { client.Close() })
 		exec = client.Exec
+		stats = client.Stats
 		fmt.Fprintf(os.Stderr, "connected to %s\n", *connect)
 	case *dataDir != "":
 		store, err := hrdb.OpenStore(*dataDir)
@@ -189,6 +194,15 @@ func main() {
 			return
 		case `\help`, `\h`:
 			fmt.Println(helpText)
+			prompt()
+			continue
+		case `\stats`:
+			out, err := stats(context.Background())
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			} else {
+				fmt.Print(out)
+			}
 			prompt()
 			continue
 		}

@@ -47,6 +47,8 @@ package hrdb
 
 import (
 	"context"
+	"io"
+	"net/http"
 	"time"
 
 	"hrdb/internal/algebra"
@@ -58,6 +60,7 @@ import (
 	"hrdb/internal/hierarchy"
 	"hrdb/internal/hql"
 	"hrdb/internal/mining"
+	"hrdb/internal/obs"
 	"hrdb/internal/partial"
 	"hrdb/internal/server"
 	"hrdb/internal/storage"
@@ -320,6 +323,9 @@ func WithCache(enabled bool) BatchOption { return core.WithCache(enabled) }
 // WithPreemption overrides the relation's preemption mode for a batch call.
 func WithPreemption(p Preemption) BatchOption { return core.WithPreemption(p) }
 
+// WithTracer reports a span per bulk-evaluation call to t.
+func WithTracer(t Tracer) BatchOption { return core.WithTracer(t) }
+
 // EvaluateBatch evaluates every item concurrently with verdicts in input
 // order; the first failure (by input index) cancels the rest.
 func EvaluateBatch(ctx context.Context, r *Relation, items []Item, opts ...BatchOption) ([]Verdict, error) {
@@ -380,6 +386,65 @@ var (
 	// ErrServerClosed indicates a server that is draining or closed.
 	ErrServerClosed = server.ErrServerClosed
 )
+
+// Observability: process-wide metrics, tracing hooks, and the slow-query
+// log (internal/obs). Every layer — engine, storage, server — feeds one
+// default registry; expose it with Metrics (structured snapshot),
+// MetricsText / MetricsHandler / ServeMetrics (Prometheus text format plus
+// /debug/pprof), the server's STATS verb (Client.Stats), or hrshell's
+// \stats meta-command. See docs/OBSERVABILITY.md for the metric inventory.
+type (
+	// MetricsSnapshot is a point-in-time copy of every registered metric.
+	MetricsSnapshot = obs.Snapshot
+	// HistogramSnapshot is one histogram's consistent bucket copy.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// HistogramBucket is one populated log₂ bucket (Le = inclusive upper
+	// bound).
+	HistogramBucket = obs.Bucket
+	// MetricLabel is one name="value" metric or span attribute.
+	MetricLabel = obs.Label
+	// Tracer receives completed spans from instrumented operations.
+	Tracer = obs.Tracer
+	// TracerFunc adapts a function to the Tracer interface.
+	TracerFunc = obs.TracerFunc
+	// Span is one completed timed operation reported to a Tracer.
+	Span = obs.Span
+	// SpanCollector is a Tracer that records every span (for tests and
+	// interactive inspection).
+	SpanCollector = obs.SpanCollector
+	// SlowQueryLog writes one line per statement slower than a threshold;
+	// attach it via ServerOptions.SlowQuery or Session.SetSlowQueryLog.
+	SlowQueryLog = obs.SlowQueryLog
+	// SlowQuery is one recorded slow statement with per-stage timings.
+	SlowQuery = obs.SlowQuery
+	// QueryStage is one timed phase of a statement's execution.
+	QueryStage = obs.Stage
+	// MetricsServer is a background HTTP server exposing /metrics and
+	// /debug/pprof (see ServeMetrics).
+	MetricsServer = obs.MetricsServer
+)
+
+// Metrics returns a consistent snapshot of every process-wide metric.
+func Metrics() MetricsSnapshot { return obs.Default().Snapshot() }
+
+// MetricsText renders the process metrics in Prometheus text exposition
+// format — the same payload the HTTP endpoint and the STATS verb serve.
+func MetricsText() string { return obs.Default().RenderText() }
+
+// MetricsHandler returns an http.Handler serving /metrics (Prometheus text
+// format) and /debug/pprof, for mounting into an existing HTTP server.
+func MetricsHandler() http.Handler { return obs.Handler(nil) }
+
+// ServeMetrics starts a background HTTP server on addr ("host:port"; port
+// 0 picks a free port) exposing /metrics and /debug/pprof. Close the
+// returned server to stop it.
+func ServeMetrics(addr string) (*MetricsServer, error) { return obs.StartMetricsServer(addr, nil) }
+
+// NewSlowQueryLog creates a slow-query log writing to w statements whose
+// total duration is at least threshold (0 records everything).
+func NewSlowQueryLog(w io.Writer, threshold time.Duration) *SlowQueryLog {
+	return obs.NewSlowQueryLog(w, threshold)
+}
 
 // EvaluateOpenWorld computes the three-valued truth of an item.
 func EvaluateOpenWorld(r *Relation, item Item) (Truth, error) { return tvl.Evaluate(r, item) }

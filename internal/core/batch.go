@@ -3,8 +3,12 @@ package core
 import (
 	"context"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hrdb/internal/obs"
 )
 
 // This file implements bulk evaluation: a worker pool fanning per-item
@@ -19,6 +23,7 @@ type batchConfig struct {
 	parallelism int
 	cache       bool
 	mode        Preemption
+	tracer      obs.Tracer
 }
 
 // BatchOption configures a bulk-evaluation call (functional options).
@@ -46,6 +51,13 @@ func WithPreemption(p Preemption) BatchOption {
 	return func(c *batchConfig) { c.mode = p }
 }
 
+// WithTracer reports a completed span per bulk-evaluation call to t
+// ("core.EvaluateBatch" / "core.EvaluateEach", with the batch size, mode,
+// and any error). A nil tracer — the default — costs nothing.
+func WithTracer(t obs.Tracer) BatchOption {
+	return func(c *batchConfig) { c.tracer = t }
+}
+
 // batchConfigFor resolves options against the relation's defaults.
 func (r *Relation) batchConfigFor(opts []BatchOption) batchConfig {
 	cfg := batchConfig{
@@ -57,6 +69,26 @@ func (r *Relation) batchConfigFor(opts []BatchOption) batchConfig {
 		o(&cfg)
 	}
 	return cfg
+}
+
+// observeBatch records the per-call batch metrics and, when the call was
+// configured with a tracer, emits its span. Batch entry is a cold path, so
+// the timing is unconditional (one time.Now/Since pair per call).
+func observeBatch(cfg batchConfig, name string, n int, start time.Time, err error) {
+	metricBatches.Inc()
+	metricBatchSize.Observe(int64(n))
+	if cfg.tracer != nil {
+		cfg.tracer.Span(obs.Span{
+			Name:     name,
+			Start:    start,
+			Duration: time.Since(start),
+			Attrs: []obs.Label{
+				{Key: "items", Value: strconv.Itoa(n)},
+				{Key: "mode", Value: cfg.mode.String()},
+			},
+			Err: err,
+		})
+	}
 }
 
 // warmForBatch builds every lazily memoized hierarchy structure once, on the
@@ -112,7 +144,7 @@ func fanOut(n, workers int, stop func() bool, do func(i int)) {
 // in input order. The first failure — by input index, not by wall clock —
 // cancels the remaining work and is returned; partial results are
 // discarded. Cancelling ctx aborts the batch with ctx's error.
-func (r *Relation) EvaluateBatch(ctx context.Context, items []Item, opts ...BatchOption) ([]Verdict, error) {
+func (r *Relation) EvaluateBatch(ctx context.Context, items []Item, opts ...BatchOption) (_ []Verdict, retErr error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -127,6 +159,8 @@ func (r *Relation) EvaluateBatch(ctx context.Context, items []Item, opts ...Batc
 		}
 		return verdicts, nil
 	}
+	start := time.Now()
+	defer func() { observeBatch(cfg, "core.EvaluateBatch", n, start, retErr) }()
 	r.warmForBatch()
 
 	var (
@@ -165,7 +199,7 @@ func (r *Relation) EvaluateBatch(ctx context.Context, items []Item, opts ...Batc
 // when per-item errors are data — e.g. three-valued logic mapping
 // ambiguity conflicts to "unknown". The returned error is non-nil only
 // when ctx was cancelled before completion.
-func (r *Relation) EvaluateEach(ctx context.Context, items []Item, opts ...BatchOption) ([]Verdict, []error, error) {
+func (r *Relation) EvaluateEach(ctx context.Context, items []Item, opts ...BatchOption) (_ []Verdict, _ []error, retErr error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -179,6 +213,8 @@ func (r *Relation) EvaluateEach(ctx context.Context, items []Item, opts ...Batch
 		}
 		return verdicts, errs, nil
 	}
+	start := time.Now()
+	defer func() { observeBatch(cfg, "core.EvaluateEach", n, start, retErr) }()
 	r.warmForBatch()
 
 	stop := func() bool { return ctx.Err() != nil }

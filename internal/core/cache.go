@@ -34,11 +34,17 @@ type cacheEntry struct {
 }
 
 // verdictCache is a bounded, synchronized memo table keyed by item key.
+//
+// flushedHits/flushedMisses track how much of hits/misses has already been
+// pushed to the process-wide obs counters; get flushes the difference every
+// cacheFlushBlock lookups so the hit path never touches a global atomic.
 type verdictCache struct {
 	mu           sync.Mutex
 	cap          int
 	cur, prev    map[string]cacheEntry
 	hits, misses uint64
+
+	flushedHits, flushedMisses uint64
 }
 
 // newVerdictCache creates a cache holding at most capacity entries.
@@ -55,15 +61,40 @@ func (c *verdictCache) get(key string, stamp cacheStamp) (cacheEntry, bool) {
 	defer c.mu.Unlock()
 	if e, ok := c.cur[key]; ok && e.stamp == stamp {
 		c.hits++
+		c.maybeFlushLocked()
 		return e, true
 	}
 	if e, ok := c.prev[key]; ok && e.stamp == stamp {
 		c.storeLocked(key, e) // promote so a rotation does not drop it
 		c.hits++
+		c.maybeFlushLocked()
 		return e, true
 	}
 	c.misses++
+	c.maybeFlushLocked()
 	return cacheEntry{}, false
+}
+
+// maybeFlushLocked pushes the per-cache hit/miss counters to the global obs
+// counters once per cacheFlushBlock lookups. Called with c.mu held; the
+// block check is two adds and a mask, so the amortized cost per lookup is a
+// fraction of a nanosecond.
+func (c *verdictCache) maybeFlushLocked() {
+	if (c.hits+c.misses)&(cacheFlushBlock-1) != 0 {
+		return
+	}
+	c.flushLocked()
+}
+
+func (c *verdictCache) flushLocked() {
+	if d := c.hits - c.flushedHits; d > 0 {
+		metricCacheHits.Add(d)
+		c.flushedHits = c.hits
+	}
+	if d := c.misses - c.flushedMisses; d > 0 {
+		metricCacheMisses.Add(d)
+		c.flushedMisses = c.misses
+	}
 }
 
 // put memoizes an entry, rotating generations when the current one is full.
@@ -76,6 +107,11 @@ func (c *verdictCache) put(key string, e cacheEntry) {
 func (c *verdictCache) storeLocked(key string, e cacheEntry) {
 	if len(c.cur) >= c.cap/2 {
 		if _, ok := c.cur[key]; !ok {
+			// Rotation discards the previous generation wholesale; those
+			// entries are the cache's only form of eviction.
+			if n := len(c.prev); n > 0 {
+				metricCacheEvictions.Add(uint64(n))
+			}
 			c.prev = c.cur
 			c.cur = make(map[string]cacheEntry, c.cap/2)
 		}
@@ -91,10 +127,13 @@ func (c *verdictCache) reset() {
 	c.mu.Unlock()
 }
 
-// stats returns the hit/miss counters.
+// stats returns the hit/miss counters. Reading stats also flushes any
+// pending block to the global obs counters, so a snapshot taken right after
+// is exact.
 func (c *verdictCache) stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.flushLocked()
 	return c.hits, c.misses
 }
 

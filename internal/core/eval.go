@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"hrdb/internal/dag"
 )
@@ -107,8 +108,29 @@ func (r *Relation) evaluate(item Item, mode Preemption, useCache bool) (Verdict,
 	return v, err
 }
 
-// evaluateUncached runs the paper's evaluation procedure with no memo.
+// evaluateUncached wraps the real evaluator with the engine metrics: an
+// always-on per-mode evaluation counter, per-mode latency sampled 1 in
+// (evalSampleMask+1) calls (the counter's post-increment value decides, so
+// sampling itself costs nothing extra), and a conflict counter.
 func (r *Relation) evaluateUncached(item Item, mode Preemption) (Verdict, error) {
+	mi := modeIndex(mode)
+	var v Verdict
+	var err error
+	if metricEvals[mi].Inc()&evalSampleMask == 0 {
+		start := time.Now()
+		v, err = r.evaluateBare(item, mode)
+		metricEvalNS[mi].ObserveDuration(time.Since(start))
+	} else {
+		v, err = r.evaluateBare(item, mode)
+	}
+	if _, ok := err.(*ConflictError); ok {
+		metricConflicts.Inc()
+	}
+	return v, err
+}
+
+// evaluateBare runs the paper's evaluation procedure with no memo.
+func (r *Relation) evaluateBare(item Item, mode Preemption) (Verdict, error) {
 	if err := r.validateItem(item); err != nil {
 		return Verdict{}, err
 	}

@@ -7,12 +7,14 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
 
 	"hrdb/internal/algebra"
 	"hrdb/internal/catalog"
 	"hrdb/internal/core"
 	"hrdb/internal/deductive"
 	"hrdb/internal/hierarchy"
+	"hrdb/internal/obs"
 )
 
 // ErrNoTx is returned by COMMIT/ROLLBACK outside a transaction.
@@ -165,6 +167,10 @@ type Session struct {
 	rules  []deductive.Rule
 	// busy guards against concurrent ExecContext (see ErrSessionBusy).
 	busy atomic.Bool
+	// slow and tracer are the session's observability hooks (see obs.go);
+	// both nil by default, in which case execution pays nothing for them.
+	slow   *obs.SlowQueryLog
+	tracer obs.Tracer
 }
 
 // NewSession creates a session over the target.
@@ -187,7 +193,24 @@ func (s *Session) ExecContext(ctx context.Context, input string) (string, error)
 		return "", ErrSessionBusy
 	}
 	defer s.busy.Store(false)
+	if s.slow != nil || s.tracer != nil {
+		return s.observed(ctx, input)
+	}
+	return s.run(ctx, input, nil)
+}
+
+// run parses and executes a script. When stages is non-nil every phase's
+// wall-clock time is appended to it — "parse" first, then one
+// "exec:<kind>" entry per statement — for the slow-query log and tracer.
+func (s *Session) run(ctx context.Context, input string, stages *[]obs.Stage) (string, error) {
+	var t0 time.Time
+	if stages != nil {
+		t0 = time.Now()
+	}
 	stmts, err := Parse(input)
+	if stages != nil {
+		*stages = append(*stages, obs.Stage{Name: "parse", Duration: time.Since(t0)})
+	}
 	if err != nil {
 		return "", err
 	}
@@ -196,7 +219,18 @@ func (s *Session) ExecContext(ctx context.Context, input string) (string, error)
 		if err := ctx.Err(); err != nil {
 			return out.String(), err
 		}
+		metricStatements.Inc()
+		if stages != nil {
+			t0 = time.Now()
+		}
 		res, err := s.exec(ctx, st)
+		if stages != nil {
+			d := time.Since(t0)
+			*stages = append(*stages, obs.Stage{Name: "exec:" + stmtName(st), Duration: d})
+			if s.tracer != nil {
+				s.tracer.Span(obs.Span{Name: "hql." + stmtName(st), Start: t0, Duration: d, Err: err})
+			}
+		}
 		if err != nil {
 			return out.String(), err
 		}

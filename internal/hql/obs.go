@@ -1,0 +1,54 @@
+package hql
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"hrdb/internal/obs"
+)
+
+// metricStatements counts every executed HQL statement, process-wide.
+var metricStatements = obs.Default().Counter("hrdb_hql_statements_total")
+
+// SetSlowQueryLog attaches a slow-query log to the session (nil detaches).
+// Scripts slower than the log's threshold are recorded with per-stage
+// timings. Like every Session method this must not race with ExecContext.
+func (s *Session) SetSlowQueryLog(l *obs.SlowQueryLog) { s.slow = l }
+
+// SetTracer attaches a tracer to the session (nil detaches): one span per
+// executed script ("hql.exec") plus one per statement ("hql.<kind>").
+func (s *Session) SetTracer(t obs.Tracer) { s.tracer = t }
+
+// stmtName names a statement kind for stage labels and span names:
+// "HoldsStmt" → "holds", "CreateHierarchyStmt" → "createhierarchy".
+func stmtName(st Stmt) string {
+	name := fmt.Sprintf("%T", st)
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		name = name[i+1:]
+	}
+	name = strings.TrimSuffix(name, "Stmt")
+	return strings.ToLower(name)
+}
+
+// observed wraps run with the session's observability hooks. It is called
+// only when a slow-query log or tracer is attached, so the plain path pays
+// nothing for either.
+func (s *Session) observed(ctx context.Context, input string) (string, error) {
+	began := time.Now()
+	var stages []obs.Stage
+	out, err := s.run(ctx, input, &stages)
+	total := time.Since(began)
+	s.slow.Record(obs.SlowQuery{Time: began, Statement: input, Duration: total, Stages: stages})
+	if s.tracer != nil {
+		s.tracer.Span(obs.Span{
+			Name:     "hql.exec",
+			Start:    began,
+			Duration: total,
+			Attrs:    []obs.Label{{Key: "stages", Value: fmt.Sprint(len(stages))}},
+			Err:      err,
+		})
+	}
+	return out, err
+}

@@ -1,0 +1,112 @@
+package hql
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"hrdb/internal/catalog"
+	"hrdb/internal/obs"
+)
+
+// TestSessionSlowQueryAndTracer: with a zero-threshold slow-query log and a
+// span collector attached, one script execution records a slow-query line
+// with parse and per-statement exec stages, emits one span per statement
+// plus the script-level span, and moves the statement counter by the
+// statement count.
+func TestSessionSlowQueryAndTracer(t *testing.T) {
+	var buf strings.Builder
+	log := obs.NewSlowQueryLog(&buf, 0) // threshold 0: record everything
+	var spans obs.SpanCollector
+	sess := NewSession(MemTarget{DB: catalog.New()})
+	sess.SetSlowQueryLog(log)
+	sess.SetTracer(&spans)
+
+	stmts0 := metricStatements.Value()
+	script := `
+		CREATE HIERARCHY Animal;
+		CLASS Bird IN Animal;
+		CREATE RELATION Flies (Creature: Animal);
+		ASSERT Flies (Bird);
+		HOLDS Flies (Bird);
+	`
+	out, err := sess.Exec(script)
+	if err != nil {
+		t.Fatalf("Exec: %v", err)
+	}
+	if !strings.Contains(out, "true") {
+		t.Fatalf("script output = %q", out)
+	}
+	const nStmts = 5
+	if d := metricStatements.Value() - stmts0; d != nStmts {
+		t.Errorf("statement counter delta = %d, want %d", d, nStmts)
+	}
+
+	line := buf.String()
+	for _, want := range []string{"slow-query t=", "dur=", `stage=`, "exec:holds", "exec:assert", "parse=", `stmt="`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("slow-query line missing %q:\n%s", want, line)
+		}
+	}
+
+	got := spans.Spans()
+	// One span per statement plus the script-level hql.exec span.
+	if len(got) != nStmts+1 {
+		t.Fatalf("got %d spans, want %d: %+v", len(got), nStmts+1, got)
+	}
+	byName := map[string]int{}
+	for _, sp := range got {
+		byName[sp.Name]++
+		if sp.Err != nil {
+			t.Errorf("span %s carries error %v", sp.Name, sp.Err)
+		}
+	}
+	for _, want := range []string{"hql.exec", "hql.holds", "hql.assert", "hql.createhierarchy"} {
+		if byName[want] == 0 {
+			t.Errorf("no %s span; spans by name: %v", want, byName)
+		}
+	}
+}
+
+// TestSessionSlowQueryThresholdFilters: a high threshold suppresses the
+// record, and detaching the log restores the unobserved path.
+func TestSessionSlowQueryThresholdFilters(t *testing.T) {
+	var buf strings.Builder
+	sess := NewSession(MemTarget{DB: catalog.New()})
+	sess.SetSlowQueryLog(obs.NewSlowQueryLog(&buf, time.Hour))
+	if _, err := sess.Exec("CREATE HIERARCHY Animal;"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("sub-threshold script was recorded: %q", buf.String())
+	}
+
+	sess.SetSlowQueryLog(nil)
+	sess.SetTracer(nil)
+	if _, err := sess.Exec("CLASS Bird IN Animal;"); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != 0 {
+		t.Errorf("detached log still recorded: %q", buf.String())
+	}
+}
+
+// TestSessionTracerRecordsStatementError: a failing statement surfaces on
+// both the statement span and the script span.
+func TestSessionTracerRecordsStatementError(t *testing.T) {
+	var spans obs.SpanCollector
+	sess := NewSession(MemTarget{DB: catalog.New()})
+	sess.SetTracer(&spans)
+	if _, err := sess.Exec("HOLDS Nope (X);"); err == nil {
+		t.Fatal("expected an error for an unknown relation")
+	}
+	var sawErr bool
+	for _, sp := range spans.Spans() {
+		if sp.Err != nil {
+			sawErr = true
+		}
+	}
+	if !sawErr {
+		t.Errorf("no span carried the statement error: %+v", spans.Spans())
+	}
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"math/bits"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Histogram buckets are fixed log-scale: observation v lands in bucket
+// bits.Len64(v), so bucket i (i ≥ 1) covers [2^(i-1), 2^i − 1] and bucket 0
+// holds exact zeros. The upper bound 2^i − 1 is the bucket's `le` in the
+// Prometheus rendering. Fixed log₂ buckets need no configuration, cover the
+// full uint64 range (nanoseconds to hours, bytes to terabytes), and cost
+// one BSR instruction to select.
+const (
+	// histBuckets is bits.Len64's range: 0 through 64.
+	histBuckets = 65
+	// histStripes spreads concurrent observers over independent locks;
+	// must be a power of two.
+	histStripes = 8
+)
+
+// histStripe is one independently locked shard of a histogram.
+type histStripe struct {
+	mu     sync.Mutex
+	counts [histBuckets]uint64
+	sum    uint64
+}
+
+// Histogram is a lock-striped, fixed-bucket log-scale histogram. Observe
+// picks one of histStripes stripes with the runtime's cheap per-thread
+// random source, so concurrent observers contend only 1/histStripes of the
+// time; Snapshot merges the stripes.
+type Histogram struct {
+	name    string
+	labels  string // rendered label body ("" when unlabeled)
+	stripes [histStripes]histStripe
+}
+
+// Observe records one value (negative values count as zero).
+func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	b := bits.Len64(uint64(v))
+	s := &h.stripes[rand.Uint32()&(histStripes-1)]
+	s.mu.Lock()
+	s.counts[b]++
+	s.sum += uint64(v)
+	s.mu.Unlock()
+}
+
+// ObserveDuration records a duration in nanoseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(int64(d)) }
+
+// Bucket is one populated histogram bucket: Le is the inclusive upper
+// bound of the bucket's value range.
+type Bucket struct {
+	Le    uint64
+	Count uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram. Only populated
+// buckets appear, in ascending Le order, and their counts always sum to
+// Count (each stripe is copied under its lock).
+type HistogramSnapshot struct {
+	Count   uint64
+	Sum     uint64
+	Buckets []Bucket
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// bucketLe returns the inclusive upper bound of bucket i.
+func bucketLe(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// Snapshot merges the stripes into one consistent view.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var counts [histBuckets]uint64
+	var s HistogramSnapshot
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		for b, c := range st.counts {
+			counts[b] += c
+		}
+		s.sumAdd(st.sum)
+		st.mu.Unlock()
+	}
+	for b, c := range counts {
+		if c == 0 {
+			continue
+		}
+		s.Buckets = append(s.Buckets, Bucket{Le: bucketLe(b), Count: c})
+		s.Count += c
+	}
+	return s
+}
+
+// sumAdd accumulates a stripe's sum (kept as a method so Snapshot reads
+// every stripe field under that stripe's lock).
+func (s *HistogramSnapshot) sumAdd(v uint64) { s.Sum += v }

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns an HTTP handler exposing the registry:
+//
+//	GET /metrics        Prometheus text exposition format
+//	GET /debug/pprof/…  the standard Go profiles (cpu, heap, goroutine, …)
+//
+// The pprof routes are mounted explicitly on a private mux — importing this
+// package never touches http.DefaultServeMux.
+func Handler(r *Registry) http.Handler {
+	if r == nil {
+		r = Default()
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// MetricsServer is a background HTTP server exposing a registry's metrics
+// and the Go profiles (see Handler).
+type MetricsServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartMetricsServer listens on addr ("host:port"; port 0 picks a free
+// port) and serves Handler(r) in a background goroutine. Close stops it.
+func StartMetricsServer(addr string, r *Registry) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: Handler(r), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &MetricsServer{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (m *MetricsServer) Addr() string { return m.ln.Addr().String() }
+
+// Close stops the server immediately (in-flight scrapes are cut off; a
+// metrics endpoint has nothing worth draining).
+func (m *MetricsServer) Close() error { return m.srv.Close() }

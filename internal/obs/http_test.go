@@ -1,0 +1,72 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestMetricsServer(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("http_test_total").Add(42)
+	ms, err := StartMetricsServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+
+	resp, err := http.Get("http://" + ms.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	if !strings.Contains(string(body), "http_test_total 42") {
+		t.Errorf("metrics body missing counter:\n%s", body)
+	}
+
+	resp, err = http.Get("http://" + ms.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Errorf("pprof index missing profile list:\n%s", body)
+	}
+
+	if err := ms.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+	if _, err := http.Get("http://" + ms.Addr() + "/metrics"); err == nil {
+		t.Error("server still serving after Close")
+	}
+}
+
+func TestHandlerNilRegistryUsesDefault(t *testing.T) {
+	Default().Counter("handler_default_total").Inc()
+	ms, err := StartMetricsServer("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ms.Close()
+	resp, err := http.Get("http://" + ms.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "handler_default_total") {
+		t.Error("default registry metrics not served")
+	}
+}

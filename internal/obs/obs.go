@@ -1,0 +1,333 @@
+// Package obs is the dependency-free observability layer of the database:
+// a metrics registry (atomic counters and gauges, lock-striped log-scale
+// histograms), a lightweight span/tracing hook, and a slow-query log.
+//
+// The package deliberately has no third-party dependencies and a hot path
+// measured in nanoseconds: counters are single atomic adds, histograms take
+// one of eight stripe locks chosen by the runtime's cheap per-thread random
+// source, and rendering (Prometheus text format, Snapshot) walks the
+// registry only when asked. Layers declare their metrics as package
+// variables against the Default registry; every instrument is process-wide,
+// so two stores or two servers in one process aggregate into the same
+// counters (the standard process-metrics model).
+//
+// Metric naming follows the Prometheus conventions: `hrdb_<layer>_<what>`
+// with `_total` for counters and the unit (`_ns`, `_bytes`) in the name.
+// docs/OBSERVABILITY.md lists every metric the database emits.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric label (a Prometheus-style key/value pair).
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one and returns the new value (useful for cheap sampling
+// decisions: time the work only when Inc()&mask == 0).
+func (c *Counter) Inc() uint64 { return c.v.Add(1) }
+
+// Add adds n and returns the new value.
+func (c *Counter) Add(n uint64) uint64 { return c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (queue depth, open connections).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Add adds delta (negative to subtract).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry is a named collection of metrics. The zero value is not usable;
+// create registries with NewRegistry or use Default. Lookup methods are
+// get-or-create and safe for concurrent use, but hot paths should hold the
+// returned pointer instead of re-resolving the name.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// defaultRegistry is the process-wide registry every layer registers into.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return defaultRegistry }
+
+// metricID renders the registry key for a name and label set: the labels
+// are sorted so the same set always maps to the same metric.
+func metricID(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	return name + "{" + labelBody(labels) + "}"
+}
+
+// labelBody renders `k="v",k2="v2"` with keys sorted.
+func labelBody(labels []Label) string {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	parts := make([]string, len(sorted))
+	for i, l := range sorted {
+		parts[i] = fmt.Sprintf("%s=%q", l.Key, l.Value)
+	}
+	return strings.Join(parts, ",")
+}
+
+// checkKind panics when a metric name is reused with a different type —
+// always a programming error, caught at first use.
+func (r *Registry) checkKind(id, want string) {
+	kinds := []struct {
+		kind string
+		ok   bool
+	}{
+		{"counter", r.counters[id] != nil},
+		{"gauge", r.gauges[id] != nil},
+		{"histogram", r.hists[id] != nil},
+	}
+	for _, k := range kinds {
+		if k.ok && k.kind != want {
+			panic(fmt.Sprintf("obs: metric %q already registered as a %s, requested as a %s", id, k.kind, want))
+		}
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[id]; ok {
+		return c
+	}
+	r.checkKind(id, "counter")
+	c := &Counter{}
+	r.counters[id] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[id]; ok {
+		return g
+	}
+	r.checkKind(id, "gauge")
+	g := &Gauge{}
+	r.gauges[id] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	id := metricID(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[id]; ok {
+		return h
+	}
+	r.checkKind(id, "histogram")
+	h := &Histogram{name: name, labels: labelBody(labels)}
+	r.hists[id] = h
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, keyed by
+// the full metric id (name plus sorted labels).
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]int64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot captures every metric. Counters and gauges are atomic loads;
+// each histogram is internally consistent (per-stripe locking guarantees
+// the bucket counts of a snapshot sum to its Count).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for id, c := range r.counters {
+		counters[id] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for id, g := range r.gauges {
+		gauges[id] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for id, h := range r.hists {
+		hists[id] = h
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(counters)),
+		Gauges:     make(map[string]int64, len(gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for id, c := range counters {
+		s.Counters[id] = c.Value()
+	}
+	for id, g := range gauges {
+		s.Gauges[id] = g.Value()
+	}
+	for id, h := range hists {
+		s.Histograms[id] = h.Snapshot()
+	}
+	return s
+}
+
+// promEntry is one renderable metric for the Prometheus text exposition:
+// entries sharing a base name are grouped under one # TYPE header.
+type promEntry struct {
+	base   string
+	kind   string
+	labels string
+	render func(w io.Writer, base, labels string)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (metrics grouped by base name, buckets cumulative, +Inf last).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	var entries []promEntry
+	for id, c := range r.counters {
+		base, labels := splitID(id)
+		v := c.Value()
+		entries = append(entries, promEntry{base: base, kind: "counter", labels: labels,
+			render: func(w io.Writer, base, labels string) {
+				fmt.Fprintf(w, "%s%s %d\n", base, braced(labels), v)
+			}})
+	}
+	for id, g := range r.gauges {
+		base, labels := splitID(id)
+		v := g.Value()
+		entries = append(entries, promEntry{base: base, kind: "gauge", labels: labels,
+			render: func(w io.Writer, base, labels string) {
+				fmt.Fprintf(w, "%s%s %d\n", base, braced(labels), v)
+			}})
+	}
+	for _, h := range r.hists {
+		snap := h.Snapshot()
+		entries = append(entries, promEntry{base: h.name, kind: "histogram", labels: h.labels,
+			render: func(w io.Writer, base, labels string) {
+				writePromHistogram(w, base, labels, snap)
+			}})
+	}
+	r.mu.Unlock()
+
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].base != entries[j].base {
+			return entries[i].base < entries[j].base
+		}
+		return entries[i].labels < entries[j].labels
+	})
+	bw := &errWriter{w: w}
+	lastBase := ""
+	for _, e := range entries {
+		if e.base != lastBase {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.base, e.kind)
+			lastBase = e.base
+		}
+		e.render(bw, e.base, e.labels)
+	}
+	return bw.err
+}
+
+// RenderText returns the Prometheus text rendering as a string.
+func (r *Registry) RenderText() string {
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+// splitID separates a metric id into base name and label body.
+func splitID(id string) (base, labels string) {
+	if i := strings.IndexByte(id, '{'); i >= 0 {
+		return id[:i], strings.TrimSuffix(id[i+1:], "}")
+	}
+	return id, ""
+}
+
+// braced wraps a non-empty label body in braces.
+func braced(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// writePromHistogram renders one histogram: cumulative buckets up to the
+// highest populated one, then +Inf, _sum, and _count.
+func writePromHistogram(w io.Writer, base, labels string, s HistogramSnapshot) {
+	join := func(extra string) string {
+		if labels == "" {
+			return extra
+		}
+		return labels + "," + extra
+	}
+	var cum uint64
+	for _, b := range s.Buckets {
+		cum += b.Count
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, join(fmt.Sprintf("le=%q", fmt.Sprint(b.Le))), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, join(`le="+Inf"`), s.Count)
+	fmt.Fprintf(w, "%s_sum%s %d\n", base, braced(labels), s.Sum)
+	fmt.Fprintf(w, "%s_count%s %d\n", base, braced(labels), s.Count)
+}
+
+// errWriter remembers the first write error so rendering can ignore
+// per-line results.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	if err != nil {
+		e.err = err
+	}
+	return n, err
+}

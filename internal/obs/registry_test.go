@@ -1,0 +1,215 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeConcurrent: N goroutines hammering one counter and one
+// gauge lose no updates (run under -race via `make test-obs`).
+func TestCounterGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_counter_total")
+	g := r.Gauge("test_gauge")
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Inc()
+				g.Dec()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*per {
+		t.Errorf("counter = %d, want %d", got, workers*per)
+	}
+	if got := g.Value(); got != 0 {
+		t.Errorf("gauge = %d, want 0", got)
+	}
+}
+
+// TestRegistryGetOrCreate: the same name yields the same metric; labels
+// participate in identity regardless of order; kind reuse panics.
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a_total") != r.Counter("a_total") {
+		t.Error("same name returned different counters")
+	}
+	l1 := r.Counter("b_total", Label{"x", "1"}, Label{"y", "2"})
+	l2 := r.Counter("b_total", Label{"y", "2"}, Label{"x", "1"})
+	if l1 != l2 {
+		t.Error("label order changed metric identity")
+	}
+	if r.Counter("b_total", Label{"x", "1"}) == l1 {
+		t.Error("different label sets collided")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("reusing a counter name as a gauge should panic")
+		}
+	}()
+	r.Gauge("a_total")
+}
+
+// TestHistogramBucketBoundaries: observations land in the log₂ bucket whose
+// inclusive upper bound is 2^i − 1.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist")
+	for _, v := range []int64{0, 1, 2, 3, 4, 7, 8, 1023, 1024, -5} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	want := map[uint64]uint64{
+		0:    2, // 0 and the clamped -5
+		1:    1, // 1
+		3:    2, // 2, 3
+		7:    2, // 4, 7
+		15:   1, // 8
+		1023: 1, // 1023
+		2047: 1, // 1024
+	}
+	if s.Count != 10 {
+		t.Fatalf("count = %d, want 10", s.Count)
+	}
+	got := map[uint64]uint64{}
+	for _, b := range s.Buckets {
+		got[b.Le] = b.Count
+	}
+	for le, n := range want {
+		if got[le] != n {
+			t.Errorf("bucket le=%d count = %d, want %d (all: %v)", le, got[le], n, got)
+		}
+	}
+	if s.Sum != 0+1+2+3+4+7+8+1023+1024+0 {
+		t.Errorf("sum = %d", s.Sum)
+	}
+}
+
+// TestHistogramSnapshotConsistency: snapshots taken during a concurrent
+// observation storm always satisfy Σ bucket counts == Count.
+func TestHistogramSnapshotConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_hist_conc")
+	const workers, per = 4, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(seed + int64(i)%911)
+			}
+		}(int64(w * 13))
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		s := h.Snapshot()
+		var sum uint64
+		for _, b := range s.Buckets {
+			sum += b.Count
+		}
+		if sum != s.Count {
+			t.Fatalf("snapshot inconsistent: Σbuckets=%d Count=%d", sum, s.Count)
+		}
+		select {
+		case <-done:
+			if final := h.Snapshot(); final.Count != workers*per {
+				t.Fatalf("final count = %d, want %d", final.Count, workers*per)
+			}
+			return
+		default:
+		}
+	}
+}
+
+// TestWritePrometheus: the text rendering groups by base name, emits
+// cumulative buckets, and ends histograms with +Inf == count.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total").Add(3)
+	r.Counter("m_total", Label{"mode", "a"}).Add(1)
+	r.Counter("m_total", Label{"mode", "b"}).Add(2)
+	r.Gauge("depth").Set(-4)
+	h := r.Histogram("lat_ns", Label{"mode", "a"})
+	h.Observe(1) // bucket le=1
+	h.Observe(3) // bucket le=3
+	text := r.RenderText()
+
+	for _, want := range []string{
+		"# TYPE x_total counter\nx_total 3\n",
+		"# TYPE m_total counter\nm_total{mode=\"a\"} 1\nm_total{mode=\"b\"} 2\n",
+		"# TYPE depth gauge\ndepth -4\n",
+		"# TYPE lat_ns histogram\n",
+		"lat_ns_bucket{mode=\"a\",le=\"1\"} 1\n",
+		"lat_ns_bucket{mode=\"a\",le=\"3\"} 2\n", // cumulative
+		"lat_ns_bucket{mode=\"a\",le=\"+Inf\"} 2\n",
+		"lat_ns_sum{mode=\"a\"} 4\n",
+		"lat_ns_count{mode=\"a\"} 2\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE m_total"); n != 1 {
+		t.Errorf("m_total TYPE header appears %d times, want 1", n)
+	}
+}
+
+// TestSnapshotMaps: Snapshot copies every metric with its full id.
+func TestSnapshotMaps(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", Label{"k", "v"}).Add(7)
+	r.Gauge("g").Set(9)
+	r.Histogram("h").Observe(100)
+	s := r.Snapshot()
+	if s.Counters[`c_total{k="v"}`] != 7 {
+		t.Errorf("counter snapshot = %v", s.Counters)
+	}
+	if s.Gauges["g"] != 9 {
+		t.Errorf("gauge snapshot = %v", s.Gauges)
+	}
+	hs := s.Histograms["h"]
+	if hs.Count != 1 || hs.Sum != 100 {
+		t.Errorf("hist snapshot = %+v", hs)
+	}
+	if hs.Mean() != 100 {
+		t.Errorf("mean = %v, want 100", hs.Mean())
+	}
+}
+
+// TestTracerCollector: TracerFunc and SpanCollector round-trip spans.
+func TestTracerCollector(t *testing.T) {
+	var got []string
+	f := TracerFunc(func(s Span) { got = append(got, s.Name) })
+	f.Span(Span{Name: "one"})
+	if len(got) != 1 || got[0] != "one" {
+		t.Errorf("TracerFunc got %v", got)
+	}
+	c := &SpanCollector{}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Span(Span{Name: "s"})
+			}
+		}()
+	}
+	wg.Wait()
+	if n := len(c.Spans()); n != 400 {
+		t.Errorf("collected %d spans, want 400", n)
+	}
+	c.Reset()
+	if n := len(c.Spans()); n != 0 {
+		t.Errorf("after reset: %d spans", n)
+	}
+}

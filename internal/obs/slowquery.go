@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stage is one timed phase of a statement's execution.
+type Stage struct {
+	Name     string
+	Duration time.Duration
+}
+
+// SlowQuery describes one statement that crossed the slow-query threshold.
+type SlowQuery struct {
+	// Time is when execution began.
+	Time time.Time
+	// Statement is the executed HQL text (the log truncates it on output).
+	Statement string
+	// Duration is the total wall-clock time.
+	Duration time.Duration
+	// Stages are the per-phase timings ("parse", "exec:holds", …).
+	Stages []Stage
+}
+
+// Dominant returns the name of the longest stage ("" when none were
+// recorded) — the "where did the time actually go" answer.
+func (q SlowQuery) Dominant() string {
+	name, best := "", time.Duration(-1)
+	for _, s := range q.Stages {
+		if s.Duration > best {
+			name, best = s.Name, s.Duration
+		}
+	}
+	return name
+}
+
+// maxSlowStatement bounds the statement text in one log line.
+const maxSlowStatement = 512
+
+// SlowQueryLog writes one line per statement slower than a threshold.
+// Entries are serialized by an internal mutex so concurrent sessions never
+// interleave lines; the counter hrdb_slow_queries_total (Default registry)
+// counts recorded entries. A nil *SlowQueryLog is a valid no-op receiver,
+// so callers can hold one unconditionally.
+type SlowQueryLog struct {
+	w         io.Writer
+	threshold time.Duration
+	mu        sync.Mutex
+	count     *Counter
+}
+
+// NewSlowQueryLog creates a log that records statements with Duration ≥
+// threshold to w. A zero threshold records everything.
+func NewSlowQueryLog(w io.Writer, threshold time.Duration) *SlowQueryLog {
+	return &SlowQueryLog{
+		w:         w,
+		threshold: threshold,
+		count:     Default().Counter("hrdb_slow_queries_total"),
+	}
+}
+
+// Threshold returns the configured threshold.
+func (l *SlowQueryLog) Threshold() time.Duration {
+	if l == nil {
+		return 0
+	}
+	return l.threshold
+}
+
+// Record logs the query if it crossed the threshold, reporting whether it
+// was written. The line format is stable and grep-friendly:
+//
+//	slow-query t=<RFC3339> dur=<total> stage=<dominant> stages="<name>=<d> …" stmt="<text>"
+func (l *SlowQueryLog) Record(q SlowQuery) bool {
+	if l == nil || q.Duration < l.threshold {
+		return false
+	}
+	stmt := strings.TrimSpace(q.Statement)
+	if len(stmt) > maxSlowStatement {
+		stmt = stmt[:maxSlowStatement] + "…"
+	}
+	parts := make([]string, len(q.Stages))
+	for i, s := range q.Stages {
+		parts[i] = fmt.Sprintf("%s=%s", s.Name, s.Duration)
+	}
+	line := fmt.Sprintf("slow-query t=%s dur=%s stage=%s stages=%q stmt=%q\n",
+		q.Time.UTC().Format(time.RFC3339Nano), q.Duration, q.Dominant(),
+		strings.Join(parts, " "), stmt)
+	l.mu.Lock()
+	_, err := io.WriteString(l.w, line)
+	l.mu.Unlock()
+	if err == nil {
+		l.count.Inc()
+	}
+	return err == nil
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSlowQueryThreshold(t *testing.T) {
+	var buf strings.Builder
+	l := NewSlowQueryLog(&buf, 10*time.Millisecond)
+	fast := SlowQuery{Statement: "HOLDS x", Duration: time.Millisecond}
+	if l.Record(fast) {
+		t.Error("fast query was recorded")
+	}
+	slow := SlowQuery{
+		Time:      time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC),
+		Statement: "  SELECT big  ",
+		Duration:  25 * time.Millisecond,
+		Stages: []Stage{
+			{Name: "parse", Duration: time.Millisecond},
+			{Name: "exec:select", Duration: 24 * time.Millisecond},
+		},
+	}
+	if !l.Record(slow) {
+		t.Fatal("slow query was not recorded")
+	}
+	line := buf.String()
+	for _, want := range []string{
+		"slow-query t=2026-01-02T03:04:05Z",
+		"dur=25ms",
+		"stage=exec:select",
+		`stages="parse=1ms exec:select=24ms"`,
+		`stmt="SELECT big"`, // trimmed
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line missing %q: %s", want, line)
+		}
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 1 {
+		t.Errorf("expected exactly one line, got %d", n)
+	}
+}
+
+func TestSlowQueryTruncation(t *testing.T) {
+	var buf strings.Builder
+	l := NewSlowQueryLog(&buf, 0)
+	long := strings.Repeat("x", maxSlowStatement+100)
+	l.Record(SlowQuery{Statement: long, Duration: time.Second})
+	if strings.Contains(buf.String(), long) {
+		t.Error("statement was not truncated")
+	}
+	if !strings.Contains(buf.String(), strings.Repeat("x", maxSlowStatement)+"…") {
+		t.Error("truncated statement missing ellipsis marker")
+	}
+}
+
+func TestSlowQueryNilReceiver(t *testing.T) {
+	var l *SlowQueryLog
+	if l.Record(SlowQuery{Duration: time.Hour}) {
+		t.Error("nil log recorded something")
+	}
+	if l.Threshold() != 0 {
+		t.Error("nil log threshold not zero")
+	}
+}
+
+func TestSlowQueryDominant(t *testing.T) {
+	q := SlowQuery{}
+	if q.Dominant() != "" {
+		t.Errorf("empty stages dominant = %q", q.Dominant())
+	}
+	q.Stages = []Stage{{"a", 2}, {"b", 5}, {"c", 3}}
+	if q.Dominant() != "b" {
+		t.Errorf("dominant = %q, want b", q.Dominant())
+	}
+}
+
+// TestSlowQueryConcurrent: concurrent Records never interleave lines.
+func TestSlowQueryConcurrent(t *testing.T) {
+	var buf safeBuilder
+	l := NewSlowQueryLog(&buf, 0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				l.Record(SlowQuery{Statement: "S", Duration: time.Second})
+			}
+		}()
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	if len(lines) != 400 {
+		t.Fatalf("got %d lines, want 400", len(lines))
+	}
+	for _, ln := range lines {
+		if !strings.HasPrefix(ln, "slow-query t=") {
+			t.Fatalf("malformed line: %q", ln)
+		}
+	}
+}
+
+// safeBuilder guards a strings.Builder for the -race run (the log's own
+// mutex serializes writes, but the final String() read needs one too).
+type safeBuilder struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *safeBuilder) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *safeBuilder) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

@@ -214,6 +214,33 @@ func (c *Client) Ping(ctx context.Context) error {
 	return nil
 }
 
+// Stats fetches the server process's metrics in Prometheus text exposition
+// format (the STATS verb). It is answered inline by the connection handler,
+// so it works even when the server's admission queue is saturated.
+func (c *Client) Stats(ctx context.Context) (string, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	conn, br, err := c.ensureConn()
+	if err != nil {
+		return "", err
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if _, err := fmt.Fprintf(conn, "STATS\n"); err != nil {
+		c.discardConn()
+		return "", ctxPreferred(ctx, err)
+	}
+	resp, err := readResponse(br, c.o.maxResponse)
+	if err != nil {
+		c.discardConn()
+		return "", ctxPreferred(ctx, err)
+	}
+	if !resp.ok {
+		return "", &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+	}
+	return resp.payload, nil
+}
+
 // classify decides whether an error may be retried and extracts the
 // server's backoff hint.
 func (c *Client) classify(err error, idempotent bool) (retryable bool, hint time.Duration) {

@@ -1,0 +1,22 @@
+package server
+
+import "hrdb/internal/obs"
+
+// Server metrics, registered on the obs default registry. Process-wide:
+// every Server in the process feeds the same series. The request path
+// already pays for socket reads and queue hops, so per-request timing is
+// unconditional.
+var (
+	metricActiveConns = obs.Default().Gauge("hrdb_server_active_conns")
+	metricQueueDepth  = obs.Default().Gauge("hrdb_server_queue_depth")
+
+	metricRequests = obs.Default().Counter("hrdb_server_requests_total")
+	// metricShed counts EXEC requests shed by a full admission queue;
+	// metricConnRefused counts whole connections refused at MaxConns.
+	metricShed        = obs.Default().Counter("hrdb_server_shed_total")
+	metricConnRefused = obs.Default().Counter("hrdb_server_overloaded_conns_total")
+	metricDeadline    = obs.Default().Counter("hrdb_server_deadline_total")
+	metricPanics      = obs.Default().Counter("hrdb_server_panics_total")
+
+	metricRequestNS = obs.Default().Histogram("hrdb_server_request_duration_ns")
+)

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// metricValue extracts the value of a plain (unlabeled) counter line from
+// Prometheus exposition text.
+func metricValue(t *testing.T, text, name string) uint64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 2 && fields[0] == name {
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				t.Fatalf("metric %s: bad value %q", name, fields[1])
+			}
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in STATS output", name)
+	return 0
+}
+
+// TestShedMetricAndStats saturates a tiny server and verifies that (a) the
+// shed counter moves once per rejected request, and (b) the STATS verb is
+// answered inline — even while the admission queue is full — with
+// exposition text reflecting the sheds and the request-latency histogram.
+// Metrics are process-global, so all assertions are on deltas.
+func TestShedMetricAndStats(t *testing.T) {
+	mem := newMemTarget(t)
+	gate := &gateTarget{Target: mem, gate: make(chan struct{})}
+	const workers, queue = 1, 1
+	capacity := workers + queue
+	srv := startServer(t, gate, Options{
+		Workers:     workers,
+		QueueDepth:  queue,
+		MaxConns:    64,
+		MaxDeadline: -1, // the gated Assert ignores ctx
+	})
+
+	shed0 := metricShed.Value()
+	req0 := metricRequests.Value()
+	ns0 := metricRequestNS.Snapshot()
+
+	var wg sync.WaitGroup
+	results := make(chan error, 4*capacity)
+	launch := func(n int) {
+		for i := 0; i < n; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c, err := Dial(srv.Addr(), WithMaxRetries(0))
+				if err != nil {
+					results <- err
+					return
+				}
+				defer c.Close()
+				_, err = c.Exec(context.Background(), "ASSERT Flies (Bird);")
+				results <- err
+			}()
+		}
+	}
+	// Saturate deterministically: park the worker, then fill the queue.
+	launch(workers)
+	deadline := time.Now().Add(5 * time.Second)
+	for gate.waiting.Load() < int64(workers) {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d statements parked", gate.waiting.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	launch(queue)
+	time.Sleep(100 * time.Millisecond)
+
+	flood := 3 * capacity
+	launch(flood)
+	for i := 0; i < flood; i++ {
+		if err := <-results; !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("flood request %d: got %v, want ErrOverloaded", i, err)
+		}
+	}
+	if d := metricShed.Value() - shed0; d != uint64(flood) {
+		t.Errorf("shed counter delta = %d, want %d", d, flood)
+	}
+
+	// STATS must answer while the queue is still saturated: it is served
+	// inline by the connection handler, not through the worker pool.
+	c, err := Dial(srv.Addr(), WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	statsCtx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	text, err := c.Stats(statsCtx)
+	cancel()
+	if err != nil {
+		t.Fatalf("Stats under saturation: %v", err)
+	}
+	if got := metricValue(t, text, "hrdb_server_shed_total"); got < uint64(flood) {
+		t.Errorf("STATS shed_total = %d, want ≥ %d", got, flood)
+	}
+	if got := metricValue(t, text, "hrdb_server_request_duration_ns_count"); got == 0 {
+		t.Error("STATS request-duration histogram is empty")
+	}
+
+	close(gate.gate) // release: every admitted request completes
+	for i := 0; i < capacity; i++ {
+		if err := <-results; err != nil {
+			t.Fatalf("admitted request failed: %v", err)
+		}
+	}
+	wg.Wait()
+
+	// Every EXEC — admitted or shed — counts as a request and lands one
+	// latency observation; STATS itself does not go through serveExec.
+	if d := metricRequests.Value() - req0; d != uint64(capacity+flood) {
+		t.Errorf("request counter delta = %d, want %d", d, capacity+flood)
+	}
+	if d := metricRequestNS.Snapshot().Count - ns0.Count; d != uint64(capacity+flood) {
+		t.Errorf("request latency observations delta = %d, want %d", d, capacity+flood)
+	}
+}
+
+// TestConnRefusedMetric: connections refused at MaxConns move the
+// overloaded-connections counter, not the per-request shed counter.
+func TestConnRefusedMetric(t *testing.T) {
+	mem := newMemTarget(t)
+	gate := &gateTarget{Target: mem, gate: make(chan struct{})}
+	defer close(gate.gate)
+	srv := startServer(t, gate, Options{MaxConns: 1, MaxDeadline: -1})
+
+	hold, err := Dial(srv.Addr(), WithMaxRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hold.Close()
+	if err := hold.Ping(context.Background()); err != nil {
+		t.Fatalf("Ping on held connection: %v", err)
+	}
+
+	ref0 := metricConnRefused.Value()
+	c2, err := Dial(srv.Addr(), WithMaxRetries(0))
+	if err == nil {
+		defer c2.Close()
+		if err := c2.Ping(context.Background()); err == nil {
+			t.Fatal("second connection should be refused at MaxConns=1")
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for metricConnRefused.Value() == ref0 {
+		if time.Now().After(deadline) {
+			t.Fatal("overloaded-connections counter did not move")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

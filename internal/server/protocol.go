@@ -15,7 +15,13 @@
 //	client → server:
 //	  EXEC <timeout_ms> <n>\n<n payload bytes>\n   execute HQL script
 //	  PING\n                                       liveness probe
+//	  STATS\n                                      process metrics snapshot
 //	  QUIT\n                                       close the connection
+//
+// STATS answers with an OK frame whose payload is the process's metrics in
+// Prometheus text exposition format (the same text the optional HTTP
+// /metrics endpoint serves); it is answered inline, without consuming a
+// worker, so it works even when the admission queue is saturated.
 //
 //	server → client:
 //	  OK <n>\n<n payload bytes>\n                  statement output
@@ -64,7 +70,7 @@ var errProto = errors.New("server: protocol error")
 
 // request is one decoded client frame.
 type request struct {
-	verb    string // "EXEC" | "PING" | "QUIT"
+	verb    string // "EXEC" | "PING" | "STATS" | "QUIT"
 	timeout time.Duration
 	input   string
 }
@@ -83,7 +89,7 @@ func readRequest(br *bufio.Reader, maxBytes int) (request, error) {
 		return request{}, fmt.Errorf("%w: empty request line", errProto)
 	}
 	switch fields[0] {
-	case "PING", "QUIT":
+	case "PING", "STATS", "QUIT":
 		if len(fields) != 1 {
 			return request{}, fmt.Errorf("%w: %s takes no arguments", errProto, fields[0])
 		}

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hrdb/internal/hql"
+	"hrdb/internal/obs"
 )
 
 // ErrServerClosed is returned by Start and Shutdown on a server that is
@@ -45,6 +46,11 @@ type Options struct {
 	// CloseTarget makes Shutdown close the target (via its Close() error
 	// method, e.g. a storage.Store) exactly once after the drain.
 	CloseTarget bool
+	// SlowQuery, when non-nil, records statements slower than its threshold
+	// (one line per offending EXEC, with per-stage timings).
+	SlowQuery *obs.SlowQueryLog
+	// Tracer, when non-nil, receives a span per executed statement.
+	Tracer obs.Tracer
 }
 
 // withDefaults resolves zero values.
@@ -186,12 +192,14 @@ func (s *Server) acceptLoop() {
 		}
 		if len(s.conns) >= s.opts.MaxConns {
 			s.mu.Unlock()
+			metricConnRefused.Inc()
 			s.refuse(c, codeOverloaded, s.opts.RetryAfter, "server at connection limit")
 			continue
 		}
 		s.conns[c] = struct{}{}
 		s.connWG.Add(1)
 		s.mu.Unlock()
+		metricActiveConns.Inc()
 		go s.handleConn(c)
 	}
 }
@@ -207,7 +215,10 @@ func (s *Server) refuse(c net.Conn, code string, retryAfter time.Duration, msg s
 // dropConn unregisters and closes a connection.
 func (s *Server) dropConn(c net.Conn) {
 	s.mu.Lock()
-	delete(s.conns, c)
+	if _, ok := s.conns[c]; ok {
+		delete(s.conns, c)
+		metricActiveConns.Dec()
+	}
 	s.mu.Unlock()
 	c.Close()
 }
@@ -227,6 +238,8 @@ func (s *Server) handleConn(c net.Conn) {
 	}()
 
 	sess := hql.NewSession(s.target)
+	sess.SetSlowQueryLog(s.opts.SlowQuery)
+	sess.SetTracer(s.opts.Tracer)
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
 	for {
@@ -251,6 +264,11 @@ func (s *Server) handleConn(c net.Conn) {
 				return
 			}
 			continue
+		case "STATS":
+			if writeOK(bw, obs.Default().RenderText()) != nil {
+				return
+			}
+			continue
 		case "QUIT":
 			return
 		}
@@ -269,6 +287,9 @@ func (s *Server) serveExec(bw *bufio.Writer, sess *hql.Session, req request) boo
 	// marks the statement done before the handler flushes the reply.
 	s.replyWG.Add(1)
 	defer s.replyWG.Done()
+	metricRequests.Inc()
+	reqStart := time.Now()
+	defer func() { metricRequestNS.ObserveDuration(time.Since(reqStart)) }()
 	ctx, cancel := context.WithCancel(context.Background())
 	timeout := req.timeout
 	if s.opts.MaxDeadline > 0 && (timeout <= 0 || timeout > s.opts.MaxDeadline) {
@@ -297,12 +318,14 @@ func (s *Server) serveExec(bw *bufio.Writer, sess *hql.Session, req request) boo
 		case res.panicked:
 			// The session may hold arbitrarily corrupt state: answer, then
 			// retire the connection. The server stays up.
+			metricPanics.Inc()
 			writeErr(bw, codePanic, 0, res.err.Error())
 			return false
 		case res.err != nil:
 			code := codeExec
 			if errors.Is(res.err, context.DeadlineExceeded) {
 				code = codeDeadline
+				metricDeadline.Inc()
 			} else if errors.Is(res.err, context.Canceled) {
 				code = codeCanceled
 			}
@@ -318,6 +341,8 @@ func (s *Server) serveExec(bw *bufio.Writer, sess *hql.Session, req request) boo
 		code := codeDeadline
 		if errors.Is(ctx.Err(), context.Canceled) {
 			code = codeCanceled
+		} else {
+			metricDeadline.Inc()
 		}
 		writeErr(bw, code, 0, ctx.Err().Error())
 		return false
@@ -338,11 +363,13 @@ func (s *Server) submit(t *task) (code string, err error) {
 	select {
 	case s.work <- t:
 		s.mu.Unlock()
+		metricQueueDepth.Inc()
 		return "", nil
 	default:
 		delete(s.tasks, t)
 		s.inflight.Done()
 		s.mu.Unlock()
+		metricShed.Inc()
 		return codeOverloaded, errors.New("server overloaded: admission queue full")
 	}
 }
@@ -351,6 +378,7 @@ func (s *Server) submit(t *task) (code string, err error) {
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for t := range s.work {
+		metricQueueDepth.Dec()
 		res := runTask(t)
 		t.done <- res
 		s.mu.Lock()

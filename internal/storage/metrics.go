@@ -1,0 +1,24 @@
+package storage
+
+import "hrdb/internal/obs"
+
+// Storage metrics, registered on the obs default registry. Process-wide:
+// every Store and Log in the process feeds the same series. All of them sit
+// on paths that already pay for a write, an fsync, or a file scan, so none
+// needs sampling or batching.
+var (
+	metricWALRecords = obs.Default().Counter("hrdb_storage_wal_records_total")
+	metricWALBytes   = obs.Default().Counter("hrdb_storage_wal_bytes_total")
+	metricWALFsyncs  = obs.Default().Counter("hrdb_storage_wal_fsyncs_total")
+
+	// Group-commit batch shape: how many records / bytes one fsync covered.
+	metricGroupRecords = obs.Default().Histogram("hrdb_storage_group_commit_records")
+	metricGroupBytes   = obs.Default().Histogram("hrdb_storage_group_commit_bytes")
+
+	metricCheckpoints  = obs.Default().Counter("hrdb_storage_checkpoints_total")
+	metricCheckpointNS = obs.Default().Histogram("hrdb_storage_checkpoint_duration_ns")
+
+	metricOpens         = obs.Default().Counter("hrdb_storage_opens_total")
+	metricReplayRecords = obs.Default().Counter("hrdb_storage_replay_records_total")
+	metricReplayNS      = obs.Default().Histogram("hrdb_storage_replay_duration_ns")
+)

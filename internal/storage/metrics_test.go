@@ -1,0 +1,92 @@
+package storage
+
+import (
+	"testing"
+
+	"hrdb/internal/catalog"
+)
+
+// Storage metrics are process-wide, so every assertion below is on a delta:
+// other tests in the package move the same counters.
+
+func TestWALMetrics(t *testing.T) {
+	dir := t.TempDir()
+
+	rec0 := metricWALRecords.Value()
+	byt0 := metricWALBytes.Value()
+	syn0 := metricWALFsyncs.Value()
+	grp0 := metricGroupRecords.Snapshot()
+	opn0 := metricOpens.Value()
+
+	s, err := Open(dir)
+	must(t, err)
+	must(t, s.CreateHierarchy("Animal"))
+	must(t, s.AddClass("Animal", "Bird"))
+	must(t, s.AddInstance("Animal", "Tweety", "Bird"))
+	must(t, s.CreateRelation("Flies", catalog.AttrSpec{Name: "Creature", Domain: "Animal"}))
+	must(t, s.Assert("Flies", "Bird"))
+	must(t, s.ApplyTx([]catalog.TxOp{
+		{Kind: "assert", Relation: "Flies", Values: []string{"Tweety"}},
+	}))
+
+	recs := metricWALRecords.Value() - rec0
+	if recs < 6 {
+		t.Errorf("WAL record counter delta = %d, want ≥ 6", recs)
+	}
+	if d := metricWALBytes.Value() - byt0; d == 0 {
+		t.Error("WAL byte counter did not move")
+	}
+	syncs := metricWALFsyncs.Value() - syn0
+	if syncs == 0 {
+		t.Error("WAL fsync counter did not move")
+	}
+	grp1 := metricGroupRecords.Snapshot()
+	if d := grp1.Count - grp0.Count; d != syncs {
+		t.Errorf("group-commit histogram grew by %d, want one observation per fsync (%d)", d, syncs)
+	}
+	if d := grp1.Sum - grp0.Sum; d != recs {
+		t.Errorf("group-commit histogram sum grew by %d records, want %d", d, recs)
+	}
+	if d := metricOpens.Value() - opn0; d != 1 {
+		t.Errorf("open counter delta = %d, want 1", d)
+	}
+	must(t, s.Close())
+}
+
+func TestCheckpointAndReplayMetrics(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	must(t, err)
+	must(t, s.CreateHierarchy("Animal"))
+	must(t, s.AddClass("Animal", "Bird"))
+	must(t, s.CreateRelation("Flies", catalog.AttrSpec{Name: "Creature", Domain: "Animal"}))
+	must(t, s.Assert("Flies", "Bird"))
+
+	chk0 := metricCheckpoints.Value()
+	chkNS0 := metricCheckpointNS.Snapshot()
+	must(t, s.Checkpoint())
+	if d := metricCheckpoints.Value() - chk0; d != 1 {
+		t.Errorf("checkpoint counter delta = %d, want 1", d)
+	}
+	if d := metricCheckpointNS.Snapshot().Count - chkNS0.Count; d != 1 {
+		t.Errorf("checkpoint duration histogram delta = %d, want 1", d)
+	}
+
+	// Post-checkpoint mutations land in the fresh WAL epoch and are
+	// re-applied (and counted) by replay on the next open.
+	must(t, s.AddClass("Animal", "Penguin", "Bird"))
+	must(t, s.Deny("Flies", "Penguin"))
+	must(t, s.Close())
+
+	rep0 := metricReplayRecords.Value()
+	repNS0 := metricReplayNS.Snapshot()
+	s2, err := Open(dir)
+	must(t, err)
+	defer s2.Close()
+	if d := metricReplayRecords.Value() - rep0; d < 2 {
+		t.Errorf("replay record counter delta = %d, want ≥ 2", d)
+	}
+	if d := metricReplayNS.Snapshot().Count - repNS0.Count; d != 1 {
+		t.Errorf("replay duration histogram delta = %d, want 1", d)
+	}
+}

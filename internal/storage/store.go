@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"hrdb/internal/catalog"
 	"hrdb/internal/core"
@@ -135,6 +136,7 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 		log.Close()
 		return nil, err
 	}
+	metricOpens.Inc()
 	// A crash between checkpoint's snapshot rename and old-log removal can
 	// leave the previous epoch's log behind; it is superseded by the
 	// snapshot, so drop it (best effort).
@@ -159,9 +161,12 @@ func (s *Store) Dir() string { return s.dir }
 // discarded wholesale. An unterminated bracket cannot reach here: OpenLog
 // truncates it with the torn tail.
 func (s *Store) replay() error {
+	start := time.Now()
+	defer func() { metricReplayNS.ObserveDuration(time.Since(start)) }()
 	var txBuf []Record
 	inTx := false
 	return s.log.Replay(func(rec Record) error {
+		metricReplayRecords.Inc()
 		switch rec.Op {
 		case OpTxBegin:
 			inTx = true
@@ -580,6 +585,7 @@ func (s *Store) Checkpoint() error {
 	if err := s.usable(); err != nil {
 		return err
 	}
+	start := time.Now()
 	newEpoch := s.epoch + 1
 	spec := SnapshotDatabase(s.db)
 	spec.LogEpoch = newEpoch
@@ -598,6 +604,8 @@ func (s *Store) Checkpoint() error {
 	s.log, s.epoch = newLog, newEpoch
 	_ = old.Close()
 	_ = s.fs.Remove(filepath.Join(s.dir, walName(oldEpoch)))
+	metricCheckpoints.Inc()
+	metricCheckpointNS.ObserveDuration(time.Since(start))
 	return nil
 }
 

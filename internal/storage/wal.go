@@ -96,6 +96,11 @@ type Log struct {
 	err     error  // poison: set permanently by a write/sync error
 	syncs   uint64 // fsyncs issued (group commit makes this < records)
 	records uint64 // records staged
+
+	// pendingRecs counts the records in pending, so the flushing leader can
+	// report how many records its one fsync covered (the group-commit
+	// batch-size histogram).
+	pendingRecs uint64
 }
 
 // OpenLog opens (or creates) the log at path on the real file system.
@@ -228,6 +233,8 @@ func (l *Log) Stage(recs ...Record) (int64, error) {
 	l.pending = append(l.pending, buf...)
 	l.staged += int64(len(buf))
 	l.records += uint64(len(recs))
+	l.pendingRecs += uint64(len(recs))
+	metricWALRecords.Add(uint64(len(recs)))
 	return l.staged, nil
 }
 
@@ -246,7 +253,9 @@ func (l *Log) Sync(mark int64) error {
 		// Become the leader for everything staged so far.
 		buf := l.pending
 		end := l.staged
+		recs := l.pendingRecs
 		l.pending = nil
+		l.pendingRecs = 0
 		l.writing = true
 		l.mu.Unlock()
 
@@ -254,6 +263,9 @@ func (l *Log) Sync(mark int64) error {
 		if len(buf) > 0 {
 			if _, werr = l.f.Write(buf); werr == nil {
 				werr = l.f.Sync()
+			}
+			if werr == nil {
+				observeFlush(len(buf), recs)
 			}
 		}
 
@@ -353,6 +365,15 @@ func (l *Log) Size() (int64, error) {
 	return l.base + l.durable, nil
 }
 
+// observeFlush records the metrics of one successful write+fsync covering
+// n bytes and recs records.
+func observeFlush(n int, recs uint64) {
+	metricWALBytes.Add(uint64(n))
+	metricWALFsyncs.Inc()
+	metricGroupRecords.Observe(int64(recs))
+	metricGroupBytes.Observe(int64(n))
+}
+
 // Stats returns the number of records staged and fsyncs issued since open.
 // Group commit shows up as syncs < records under concurrent commits.
 func (l *Log) Stats() (records, syncs uint64) {
@@ -374,8 +395,10 @@ func (l *Log) Close() error {
 			werr = l.f.Sync()
 		}
 		if werr == nil {
+			observeFlush(len(l.pending), l.pendingRecs)
 			l.durable = l.staged
 			l.pending = nil
+			l.pendingRecs = 0
 		}
 	}
 	if l.err == nil {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# covergate.sh — coverage ratchet for internal/...
+#
+# Runs the coverage profile and fails if the total drops below the
+# checked-in baseline (scripts/coverage_baseline.txt). Raise the baseline
+# when coverage durably improves; never lower it to make CI pass.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go test -coverprofile=cover.out ./internal/... > /dev/null
+total=$(go tool cover -func=cover.out | tail -1 | awk '{print $NF}' | tr -d '%')
+baseline=$(tr -d ' %\n' < scripts/coverage_baseline.txt)
+
+echo "coverage: internal/... total ${total}% (baseline ${baseline}%)"
+if ! awk -v t="$total" -v b="$baseline" 'BEGIN { exit (t + 0 >= b + 0) ? 0 : 1 }'; then
+    echo "coverage gate FAILED: ${total}% < baseline ${baseline}%" >&2
+    exit 1
+fi
+echo "coverage gate passed"
