@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all help build test test-crash test-server test-obs race cover bench bench-smoke figures experiments fuzz fuzz-smoke clean
+.PHONY: all help build test test-crash test-server test-obs test-repl race cover bench bench-smoke figures experiments fuzz fuzz-smoke clean
 
 all: build test
 
@@ -18,6 +18,8 @@ help:
 	@echo "               (overload shedding, drain, chaos proxy)"
 	@echo "  test-obs     race-mode pass over the observability layer"
 	@echo "               (metrics registry, histograms, slow-query log)"
+	@echo "  test-repl    race-mode pass over the replication subsystem"
+	@echo "               (WAL shipping, chaos severs, failover/promote)"
 	@echo "  race         run the tests under the race detector"
 	@echo "               (includes the concurrency stress suites)"
 	@echo "  cover        coverage summary for internal/..."
@@ -26,7 +28,7 @@ help:
 	@echo "  bench-smoke  quick pass over the batch-evaluation and"
 	@echo "               verdict-cache benchmarks only"
 	@echo "  figures      regenerate the paper figures (cmd/hrfigures)"
-	@echo "  experiments  print the E1-E10 experiment tables (cmd/hrbench)"
+	@echo "  experiments  print the E1-E11 experiment tables (cmd/hrbench)"
 	@echo "  fuzz         run the fuzz targets for FUZZTIME ($(FUZZTIME)) each"
 	@echo "  fuzz-smoke   run the fuzz targets for 15s each (CI)"
 
@@ -37,7 +39,7 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/storage/ ./internal/core/ ./internal/server/ ./internal/obs/
+	$(GO) test -race ./internal/storage/ ./internal/core/ ./internal/server/ ./internal/obs/ ./internal/repl/
 
 test-crash:
 	$(GO) test -run 'TestCrash' -count=1 -v ./internal/storage/
@@ -47,6 +49,9 @@ test-server:
 
 test-obs:
 	$(GO) test -race -count=1 ./internal/obs/
+
+test-repl:
+	$(GO) test -race -count=1 ./internal/repl/
 
 race:
 	$(GO) test -race ./...
@@ -74,6 +79,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzOpenLog -fuzztime=$(FUZZTIME) ./internal/storage/
 	$(GO) test -fuzz=FuzzCrashOffset -fuzztime=$(FUZZTIME) ./internal/storage/
 	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=$(FUZZTIME) ./internal/storage/
+	$(GO) test -fuzz=FuzzStreamDecoder -fuzztime=$(FUZZTIME) ./internal/storage/
 
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=15s

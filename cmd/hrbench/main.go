@@ -1,4 +1,4 @@
-// Command hrbench runs the performance experiments E1–E10 of EXPERIMENTS.md
+// Command hrbench runs the performance experiments E1–E11 of EXPERIMENTS.md
 // and prints their tables. The paper (a model paper) reports no absolute
 // numbers; these experiments quantify the claims its prose makes — storage
 // compression from class tuples (§1), the join degradation of the flat
@@ -19,6 +19,7 @@ import (
 	"sync"
 	"time"
 
+	"hrdb"
 	"hrdb/internal/algebra"
 	"hrdb/internal/catalog"
 	"hrdb/internal/core"
@@ -39,10 +40,11 @@ func main() {
 		"E8":  e8Durability,
 		"E9":  e9Parallel,
 		"E10": e10GroupCommit,
+		"E11": e11Replication,
 	}
 	args := os.Args[1:]
 	if len(args) == 0 {
-		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
 	}
 	for _, a := range args {
 		f, ok := exps[strings.ToUpper(a)]
@@ -422,6 +424,72 @@ func e9Parallel() {
 		fmt.Printf("| %d | %d | %d | %s | %s | %.1f× | %s | %.1f× |\n",
 			p.classes, p.fanout, len(atoms), fmtNs(seqNs), fmtNs(parNs), seqNs/parNs,
 			fmtNs(hotNs), seqNs/hotNs)
+	}
+}
+
+// e11Replication: the replication subsystem — how long a cold follower
+// takes to catch up (snapshot bootstrap + WAL tail) and how quickly a
+// steady-state write becomes visible on the replica.
+func e11Replication() {
+	header("E11 — replication: cold catch-up and write propagation")
+	fmt.Println("| preloaded facts | cold catch-up | propagation p50 | propagation max |")
+	fmt.Println("|---|---|---|---|")
+	for _, facts := range []int{100, 400, 1600} {
+		dir, err := os.MkdirTemp("", "hrbench-e11-*")
+		check(err)
+		defer os.RemoveAll(dir)
+		store, err := hrdb.OpenStore(dir)
+		check(err)
+		primary := hrdb.NewPrimary(store, hrdb.PrimaryOptions{HeartbeatInterval: 10 * time.Millisecond})
+		replSrv := hrdb.NewServer(store, hrdb.ServerOptions{Repl: primary})
+		check(replSrv.Start("127.0.0.1:0"))
+
+		check(store.CreateHierarchy("D"))
+		check(store.AddClass("D", "C"))
+		check(store.CreateRelation("R", catalog.AttrSpec{Name: "X", Domain: "D"}))
+		for i := 0; i < facts; i++ {
+			check(store.AddInstance("D", fmt.Sprintf("i%05d", i), "C"))
+			check(store.Assert("R", fmt.Sprintf("i%05d", i)))
+		}
+
+		// Cold catch-up: the follower starts with everything already written
+		// and must bootstrap from a snapshot, then drain the WAL tail.
+		converged := func(rep *hrdb.Replica) time.Duration {
+			start := time.Now()
+			want := hrdb.Fingerprint(store.Database())
+			for hrdb.Fingerprint(rep.Database()) != want {
+				if time.Since(start) > 30*time.Second {
+					log.Fatal("E11: replica never converged")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			return time.Since(start)
+		}
+		replica := hrdb.NewReplica(replSrv.Addr(), hrdb.ReplicaOptions{
+			ReconnectBackoff: 5 * time.Millisecond,
+		})
+		catchup := converged(replica)
+
+		// Steady-state propagation: one durable write until it is visible in
+		// the replica's database.
+		lat := make([]time.Duration, 0, 20)
+		for i := 0; i < 20; i++ {
+			check(store.Assert("R", "C"))
+			lat = append(lat, converged(replica))
+			check(store.Retract("R", "C"))
+			lat = append(lat, converged(replica))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		fmt.Printf("| %d | %s | %s | %s |\n", facts,
+			fmtNs(float64(catchup.Nanoseconds())),
+			fmtNs(float64(lat[len(lat)/2].Nanoseconds())),
+			fmtNs(float64(lat[len(lat)-1].Nanoseconds())))
+
+		check(replica.Close())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		check(replSrv.Shutdown(ctx))
+		cancel()
+		check(store.Close())
 	}
 }
 

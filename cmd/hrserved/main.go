@@ -7,6 +7,17 @@
 //	hrserved -metrics-addr 127.0.0.1:9090 # HTTP /metrics + /debug/pprof
 //	hrserved -slow-query 100ms            # log slow statements to stderr
 //
+// Replication (see README "Replication"):
+//
+//	hrserved -data ./mydb -repl-addr :7584   # primary: serve WAL shipping on :7584
+//	hrserved -replica-of host:7584           # read replica following a primary
+//
+// A primary with -repl-addr serves snapshots (SNAP) and WAL streams (REPL)
+// to followers on a dedicated listener, so bulk shipping never competes
+// with client admission control. A replica keeps an in-memory copy in sync
+// over TCP, answers read-only HQL plus the LAG verb, rejects writes, and
+// flips writable when told PROMOTE (manual failover).
+//
 // The server sheds load beyond its queue with "overloaded" replies,
 // enforces per-request deadlines, and on SIGINT/SIGTERM drains in-flight
 // statements (bounded by -drain) before closing the store. Process metrics
@@ -16,6 +27,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -37,6 +49,8 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus) and /debug/pprof (empty = disabled)")
 	slowQuery := flag.Duration("slow-query", 0, "log statements at least this slow to stderr (0 = disabled)")
+	replAddr := flag.String("repl-addr", "", "replication listen address (primary; requires -data)")
+	replicaOf := flag.String("replica-of", "", "primary replication address to follow (replica mode; excludes -data)")
 	flag.Parse()
 
 	opts := hrdb.ServerOptions{
@@ -49,15 +63,43 @@ func main() {
 	if *slowQuery > 0 {
 		opts.SlowQuery = hrdb.NewSlowQueryLog(os.Stderr, *slowQuery)
 	}
-	if err := run(*addr, *dataDir, *metricsAddr, opts, *drain); err != nil {
+	if err := run(*addr, *dataDir, *metricsAddr, *replAddr, *replicaOf, opts, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "hrserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir, metricsAddr string, opts hrdb.ServerOptions, drain time.Duration) error {
+func run(addr, dataDir, metricsAddr, replAddr, replicaOf string, opts hrdb.ServerOptions, drain time.Duration) error {
+	if replicaOf != "" && dataDir != "" {
+		return errors.New("-replica-of keeps an in-memory copy; it cannot be combined with -data")
+	}
+	if replicaOf != "" && replAddr != "" {
+		return errors.New("-repl-addr is a primary flag; a replica cannot also ship its WAL")
+	}
+	if replAddr != "" && dataDir == "" {
+		return errors.New("-repl-addr requires -data: only a durable store has a WAL to ship")
+	}
+
 	var target hrdb.Target
-	if dataDir != "" {
+	var replSrv *hrdb.Server
+	switch {
+	case replicaOf != "":
+		replica := hrdb.NewReplica(replicaOf, hrdb.ReplicaOptions{})
+		defer replica.Close()
+		target = hrdb.ReplicaTarget{R: replica}
+		opts.LagProbe = func() hrdb.LagInfo {
+			staleness, epoch, offset, state := replica.Lag()
+			return hrdb.LagInfo{Staleness: staleness, Epoch: epoch, Offset: offset, State: state}
+		}
+		opts.Promote = func() error {
+			err := replica.Promote()
+			if err == nil {
+				fmt.Fprintln(os.Stderr, "hrserved: promoted — accepting writes (in-memory; state dies with the process)")
+			}
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "hrserved: read replica of %s (in-memory copy)\n", replicaOf)
+	case dataDir != "":
 		store, err := hrdb.OpenStore(dataDir)
 		if err != nil {
 			return err
@@ -67,13 +109,30 @@ func run(addr, dataDir, metricsAddr string, opts hrdb.ServerOptions, drain time.
 		opts.CloseTarget = true
 		target = store
 		fmt.Fprintf(os.Stderr, "hrserved: durable database at %s\n", dataDir)
-	} else {
+		if replAddr != "" {
+			// Replication rides a dedicated listener sharing the store, so
+			// snapshot fetches and WAL streams never occupy the client
+			// listener's admission slots.
+			primary := hrdb.NewPrimary(store, hrdb.PrimaryOptions{})
+			replSrv = hrdb.NewServer(store, hrdb.ServerOptions{Repl: primary})
+			if err := replSrv.Start(replAddr); err != nil {
+				store.Close()
+				return fmt.Errorf("replication listener: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "hrserved: serving replication on %s\n", replSrv.Addr())
+		}
+	default:
 		target = hrdb.NewMemTarget(hrdb.NewDatabase())
 		fmt.Fprintln(os.Stderr, "hrserved: in-memory database (no -data; state dies with the process)")
 	}
 
 	srv := hrdb.NewServer(target, opts)
 	if err := srv.Start(addr); err != nil {
+		if replSrv != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), drain)
+			defer cancel()
+			replSrv.Shutdown(ctx)
+		}
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "hrserved: serving HQL on %s\n", srv.Addr())
@@ -84,6 +143,9 @@ func run(addr, dataDir, metricsAddr string, opts hrdb.ServerOptions, drain time.
 			shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
 			defer cancel()
 			srv.Shutdown(shutdownCtx)
+			if replSrv != nil {
+				replSrv.Shutdown(shutdownCtx)
+			}
 			return fmt.Errorf("metrics listener: %w", err)
 		}
 		defer ms.Close()
@@ -97,6 +159,11 @@ func run(addr, dataDir, metricsAddr string, opts hrdb.ServerOptions, drain time.
 
 	ctx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
+	if replSrv != nil {
+		// Stop feeding followers first; the client listener (which owns
+		// the store) drains and closes after.
+		replSrv.Shutdown(ctx)
+	}
 	if err := srv.Shutdown(ctx); err != nil {
 		return fmt.Errorf("drain incomplete: %w", err)
 	}

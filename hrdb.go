@@ -62,6 +62,7 @@ import (
 	"hrdb/internal/mining"
 	"hrdb/internal/obs"
 	"hrdb/internal/partial"
+	"hrdb/internal/repl"
 	"hrdb/internal/server"
 	"hrdb/internal/storage"
 	"hrdb/internal/tvl"
@@ -260,6 +261,58 @@ func WithDialTimeout(d time.Duration) ClientOption { return server.WithDialTimeo
 func WithRetryNonIdempotent(enabled bool) ClientOption {
 	return server.WithRetryNonIdempotent(enabled)
 }
+
+// Replication: a primary ships its WAL to read replicas; a router splits
+// reads onto fresh-enough replicas. See README "Replication" and
+// docs/HQL.md for the wire protocol.
+type (
+	// Primary serves replication (snapshots + WAL stream) from a Store;
+	// wire it into ServerOptions.Repl.
+	Primary = repl.Primary
+	// PrimaryOptions tunes chunking and heartbeats.
+	PrimaryOptions = repl.PrimaryOptions
+	// Replica follows a primary, maintaining a read-only in-memory copy.
+	Replica = repl.Replica
+	// ReplicaOptions tunes dialing and reconnect backoff.
+	ReplicaOptions = repl.ReplicaOptions
+	// ReplicaTarget serves a Replica to HQL sessions: reads always,
+	// writes only after promotion.
+	ReplicaTarget = repl.ReplicaTarget
+	// LagInfo is a replica's replication state (the LAG verb).
+	LagInfo = server.LagInfo
+	// Router splits reads onto lag-bounded replicas, writes onto the
+	// primary.
+	Router = server.Router
+	// RouterOption configures DialRouter.
+	RouterOption = server.RouterOption
+)
+
+// ErrReadOnlyReplica rejects mutations on an unpromoted replica.
+var ErrReadOnlyReplica = repl.ErrReadOnlyReplica
+
+// NewPrimary creates a replication source over an open store.
+func NewPrimary(store *Store, opts PrimaryOptions) *Primary { return repl.NewPrimary(store, opts) }
+
+// NewReplica starts a replica following the primary server at addr.
+func NewReplica(addr string, opts ReplicaOptions) *Replica { return repl.NewReplica(addr, opts) }
+
+// DialRouter connects a lag-bounded read router to a primary and its
+// replicas.
+func DialRouter(primaryAddr string, replicaAddrs []string, opts ...RouterOption) (*Router, error) {
+	return server.DialRouter(primaryAddr, replicaAddrs, opts...)
+}
+
+// WithMaxStaleness bounds how stale a replica may be and still serve
+// routed reads.
+func WithMaxStaleness(d time.Duration) RouterOption { return server.WithMaxStaleness(d) }
+
+// WithLagProbeInterval sets how long the router caches a replica's LAG
+// answer.
+func WithLagProbeInterval(d time.Duration) RouterOption { return server.WithLagProbeInterval(d) }
+
+// Fingerprint renders a database's logical state canonically; equal
+// fingerprints mean equal facts (used to verify replica convergence).
+func Fingerprint(db *Database) string { return storage.Fingerprint(db) }
 
 // DumpHQL serializes a database to an HQL script that reproduces it.
 func DumpHQL(db *Database) (string, error) { return hql.Dump(db) }

@@ -1,7 +1,17 @@
 package hql
 
-// Stmt is a parsed HQL statement.
-type Stmt interface{ stmt() }
+// Stmt is a parsed HQL statement. Every statement kind must declare its
+// read-only classification to satisfy the interface: adding a statement
+// without deciding whether it mutates is a compile error, not a silent
+// "routes to replicas" default. See readonly.go for what counts as
+// read-only.
+type Stmt interface {
+	stmt()
+	// readOnly reports that executing the statement leaves the database,
+	// the session's transaction buffer, and the session's rule set
+	// untouched.
+	readOnly() bool
+}
 
 // CreateHierarchyStmt — CREATE HIERARCHY <domain>.
 type CreateHierarchyStmt struct{ Domain string }
@@ -197,3 +207,47 @@ func (DumpStmt) stmt()            {}
 func (BeginStmt) stmt()           {}
 func (CommitStmt) stmt()          {}
 func (RollbackStmt) stmt()        {}
+
+// Read-only classification, one explicit decision per statement kind (the
+// Stmt interface requires it; see readonly.go for the contract).
+func (CreateHierarchyStmt) readOnly() bool { return false }
+func (ClassStmt) readOnly() bool           { return false }
+func (InstanceStmt) readOnly() bool        { return false }
+func (EdgeStmt) readOnly() bool            { return false }
+func (PreferStmt) readOnly() bool          { return false }
+func (CreateRelationStmt) readOnly() bool  { return false }
+func (DropRelationStmt) readOnly() bool    { return false }
+func (AssertStmt) readOnly() bool          { return false }
+func (RetractStmt) readOnly() bool         { return false }
+func (HoldsStmt) readOnly() bool           { return true }
+func (WhyStmt) readOnly() bool             { return true }
+
+// SELECT is read-only only without an AS clause: AS attaches the result to
+// the database as a new relation.
+func (s SelectStmt) readOnly() bool { return s.As == "" }
+
+func (ExtensionStmt) readOnly() bool   { return true }
+func (ConsolidateStmt) readOnly() bool { return false }
+func (ExplicateStmt) readOnly() bool   { return false }
+
+// BinOpStmt and ProjectStmt always carry an AS clause — they exist to
+// create the derived relation.
+func (BinOpStmt) readOnly() bool   { return false }
+func (ProjectStmt) readOnly() bool { return false }
+
+func (ShowStmt) readOnly() bool      { return true }
+func (SetPolicyStmt) readOnly() bool { return false }
+func (SetModeStmt) readOnly() bool   { return false }
+func (DropNodeStmt) readOnly() bool  { return false }
+
+// RULE mutates the session's Datalog program; INFER only runs it.
+func (RuleStmt) readOnly() bool  { return false }
+func (InferStmt) readOnly() bool { return true }
+
+func (CountStmt) readOnly() bool { return true }
+func (DumpStmt) readOnly() bool  { return true }
+
+// Transaction control mutates session transaction state.
+func (BeginStmt) readOnly() bool    { return false }
+func (CommitStmt) readOnly() bool   { return false }
+func (RollbackStmt) readOnly() bool { return false }

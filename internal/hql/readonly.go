@@ -6,19 +6,15 @@ package hql
 // what lets a network client auto-retry them after an ambiguous failure
 // (connection severed before the reply arrived).
 //
-// SELECT is read-only only without an AS clause: AS attaches the result as
-// a new relation. RULE mutates the session's program; BEGIN/COMMIT/
-// ROLLBACK mutate transaction state; SET POLICY mutates the database.
-func ReadOnlyStmt(st Stmt) bool {
-	switch st := st.(type) {
-	case HoldsStmt, WhyStmt, ExtensionStmt, CountStmt, DumpStmt, ShowStmt, InferStmt:
-		return true
-	case SelectStmt:
-		return st.As == ""
-	default:
-		return false
-	}
-}
+// The classification itself lives on each statement type (ast.go): the
+// Stmt interface requires a readOnly() method, so a newly added statement
+// kind that hasn't been classified fails to compile rather than silently
+// defaulting to "mutating" (or worse, a router silently sending a write to
+// a read replica). SELECT is read-only only without an AS clause: AS
+// attaches the result as a new relation. RULE mutates the session's
+// program; BEGIN/COMMIT/ROLLBACK mutate transaction state; SET POLICY
+// mutates the database.
+func ReadOnlyStmt(st Stmt) bool { return st.readOnly() }
 
 // ReadOnly reports whether every statement in the list is read-only.
 func ReadOnly(stmts []Stmt) bool {

@@ -1,0 +1,91 @@
+package hql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestReadOnlyStmtAllKinds pins the classification of every statement kind
+// at the AST level. The Stmt interface forces each kind to implement
+// readOnly() — a new statement cannot compile unclassified — and this table
+// forces the classification itself to be reviewed: adding a kind means
+// adding a row here (the count check fails otherwise), and the replication
+// router trusts exactly this predicate to decide what may run on a replica.
+func TestReadOnlyStmtAllKinds(t *testing.T) {
+	cases := []struct {
+		st   Stmt
+		want bool
+	}{
+		// Pure reads.
+		{HoldsStmt{Relation: "R"}, true},
+		{WhyStmt{Relation: "R"}, true},
+		{ExtensionStmt{Relation: "R"}, true},
+		{CountStmt{Relation: "R"}, true},
+		{DumpStmt{}, true},
+		{ShowStmt{What: "relations"}, true},
+		{InferStmt{Goal: AtomSpec{Pred: "p"}}, true},
+		{SelectStmt{Relation: "R"}, true},
+
+		// SELECT ... AS materializes a relation.
+		{SelectStmt{Relation: "R", As: "R2"}, false},
+
+		// Schema and hierarchy DDL.
+		{CreateHierarchyStmt{Domain: "D"}, false},
+		{ClassStmt{Name: "C", Domain: "D"}, false},
+		{InstanceStmt{Name: "I", Domain: "D"}, false},
+		{EdgeStmt{Domain: "D", Parent: "P", Child: "C"}, false},
+		{PreferStmt{Domain: "D", Stronger: "A", Weaker: "B"}, false},
+		{CreateRelationStmt{Name: "R"}, false},
+		{DropRelationStmt{Name: "R"}, false},
+		{DropNodeStmt{Domain: "D", Name: "N"}, false},
+
+		// DML and derived-relation builders.
+		{AssertStmt{Relation: "R", Sign: true}, false},
+		{AssertStmt{Relation: "R", Sign: false}, false},
+		{RetractStmt{Relation: "R"}, false},
+		{ConsolidateStmt{Relation: "R"}, false},
+		{ExplicateStmt{Relation: "R"}, false},
+		{BinOpStmt{Op: "union", Left: "A", Right: "B", As: "C"}, false},
+		{ProjectStmt{Relation: "R", As: "P"}, false},
+
+		// Session and database mode state.
+		{RuleStmt{Head: AtomSpec{Pred: "p"}}, false},
+		{SetPolicyStmt{Policy: "warn"}, false},
+		{SetModeStmt{Relation: "R", Mode: "on_path"}, false},
+		{BeginStmt{}, false},
+		{CommitStmt{}, false},
+		{RollbackStmt{}, false},
+	}
+
+	kinds := map[string]bool{}
+	for _, c := range cases {
+		if got := ReadOnlyStmt(c.st); got != c.want {
+			t.Errorf("ReadOnlyStmt(%#v) = %v, want %v", c.st, got, c.want)
+		}
+		kinds[fmt.Sprintf("%T", c.st)] = true
+	}
+	// One row (at least) per statement kind. Update both the AST and this
+	// table when adding a statement.
+	const stmtKinds = 28
+	if len(kinds) != stmtKinds {
+		var names []string
+		for k := range kinds {
+			names = append(names, k)
+		}
+		t.Errorf("table covers %d statement kinds, want %d: %s",
+			len(kinds), stmtKinds, strings.Join(names, ", "))
+	}
+}
+
+// TestReadOnlyEmpty pins the conservative edges: an empty script and an
+// empty statement list are not read-only (nothing provably safe to retry
+// or to route to a replica).
+func TestReadOnlyEmpty(t *testing.T) {
+	if ReadOnly(nil) {
+		t.Error("ReadOnly(nil) = true, want false")
+	}
+	if ReadOnlyScript("") {
+		t.Error(`ReadOnlyScript("") = true, want false`)
+	}
+}

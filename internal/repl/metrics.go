@@ -1,0 +1,26 @@
+package repl
+
+import "hrdb/internal/obs"
+
+// Replication metrics, on the obs default registry. Process-wide: a process
+// hosting both a primary and a replica (tests do) feeds both halves.
+var (
+	// Primary side: bytes shipped to followers and ACKs received, plus the
+	// most recently acknowledged position across all followers.
+	metricShippedBytes = obs.Default().Counter("hrdb_repl_shipped_bytes_total")
+	metricAcks         = obs.Default().Counter("hrdb_repl_acks_total")
+	metricAckedEpoch   = obs.Default().Gauge("hrdb_repl_acked_epoch")
+	metricAckedOffset  = obs.Default().Gauge("hrdb_repl_acked_offset")
+
+	// Replica side: stream lag in bytes (durable high-water minus applied
+	// offset; 0 when caught up) and in records (buffered inside an open
+	// transaction bracket), applied volume, bootstraps, and reconnects.
+	metricLagBytes      = obs.Default().Gauge("hrdb_repl_lag_bytes")
+	metricLagRecords    = obs.Default().Gauge("hrdb_repl_lag_records")
+	metricAppliedRecs   = obs.Default().Counter("hrdb_repl_applied_records_total")
+	metricAppliedBytes  = obs.Default().Counter("hrdb_repl_applied_bytes_total")
+	metricBootstraps    = obs.Default().Counter("hrdb_repl_bootstraps_total")
+	metricBootstrapNS   = obs.Default().Histogram("hrdb_repl_snapshot_bootstrap_duration_ns")
+	metricReconnects    = obs.Default().Counter("hrdb_repl_reconnects_total")
+	metricStaleRestarts = obs.Default().Counter("hrdb_repl_stale_restarts_total")
+)

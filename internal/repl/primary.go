@@ -1,0 +1,199 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hrdb/internal/storage"
+)
+
+// PrimaryOptions tune a Primary. The zero value gets defaults.
+type PrimaryOptions struct {
+	// ChunkBytes bounds one SHIP frame's payload. Default 256 KiB,
+	// capped at the wire protocol's maxShipChunk.
+	ChunkBytes int
+	// HeartbeatInterval is how often a caught-up stream emits HB frames.
+	// Heartbeats double as liveness probes and carry the durable
+	// high-water mark that followers use to compute byte lag. Default
+	// 500ms.
+	HeartbeatInterval time.Duration
+}
+
+func (o *PrimaryOptions) defaults() {
+	if o.ChunkBytes <= 0 || o.ChunkBytes > maxShipChunk {
+		o.ChunkBytes = 256 << 10
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 500 * time.Millisecond
+	}
+}
+
+// Primary serves replication from a store's WAL. It satisfies
+// server.ReplSource structurally — internal/repl never imports
+// internal/server; a daemon wires a Primary into server.Options.Repl.
+//
+// A Primary holds no per-follower state beyond the serving goroutine the
+// server runs per REPL connection; any number of followers may stream
+// concurrently.
+type Primary struct {
+	store *storage.Store
+	opts  PrimaryOptions
+
+	mu    sync.Mutex
+	acked position // highest position any follower has acknowledged
+}
+
+// NewPrimary creates a replication source over an open store.
+func NewPrimary(store *storage.Store, opts PrimaryOptions) *Primary {
+	opts.defaults()
+	return &Primary{store: store, opts: opts}
+}
+
+// Snapshot cuts a consistent bootstrap payload: the database spec plus the
+// replication position replaying from which reproduces the primary.
+func (p *Primary) Snapshot() ([]byte, error) {
+	spec, epoch, offset, err := p.store.ReplicationSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	return encodeBootstrap(bootstrap{Spec: spec, Epoch: epoch, Offset: offset})
+}
+
+// AckedPosition returns the highest position any follower has acknowledged
+// as durably applied.
+func (p *Primary) AckedPosition() (epoch uint64, offset int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acked.epoch, p.acked.offset
+}
+
+func (p *Primary) recordAck(pos position) {
+	metricAcks.Inc()
+	p.mu.Lock()
+	if p.acked.before(pos) {
+		p.acked = pos
+		metricAckedEpoch.Set(int64(pos.epoch))
+		metricAckedOffset.Set(pos.offset)
+	}
+	p.mu.Unlock()
+}
+
+// ServeStream streams WAL bytes from (epoch, offset) to a follower until
+// the connection drops, the store closes, or the position turns out to be
+// unservable (answered with an ERR stale frame — the follower re-bootstraps
+// via SNAP). Resume positions always name record boundaries, so the raw
+// byte stream picks up exactly where the previous connection left off.
+func (p *Primary) ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, offset int64) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	// Drain follower ACKs concurrently; a read error means the connection
+	// is gone, which also unblocks a ship loop parked in WaitChange.
+	var ackWG sync.WaitGroup
+	ackWG.Add(1)
+	go func() {
+		defer ackWG.Done()
+		defer cancel()
+		for {
+			ack, err := readAck(r)
+			if err != nil {
+				return
+			}
+			p.recordAck(ack)
+		}
+	}()
+	defer ackWG.Wait()
+
+	pos := position{epoch: epoch, offset: offset}
+	lastHB := time.Time{}
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		curEpoch, curOff := p.store.Position()
+		switch {
+		case pos.epoch == curEpoch:
+			if pos.offset > curOff {
+				// A position from this epoch's future: the follower streamed
+				// from a different primary (or the directory was restored
+				// from an older backup). Unservable.
+				return writeStale(w, fmt.Sprintf("offset %d beyond durable end %d of epoch %d", pos.offset, curOff, pos.epoch))
+			}
+			if pos.offset < curOff {
+				chunk, err := p.store.ReadWAL(pos.epoch, pos.offset, p.opts.ChunkBytes)
+				if err != nil {
+					if errors.Is(err, storage.ErrWALUnavailable) {
+						return writeStale(w, err.Error())
+					}
+					return err
+				}
+				if len(chunk) > 0 {
+					if err := writeShip(w, pos, chunk); err != nil {
+						return err
+					}
+					metricShippedBytes.Add(uint64(len(chunk)))
+					pos.offset += int64(len(chunk))
+				}
+				continue
+			}
+			// Caught up: heartbeat, then wait for the position to advance
+			// (bounded by the heartbeat interval so liveness keeps flowing).
+			if time.Since(lastHB) >= p.opts.HeartbeatInterval {
+				if err := writeHB(w, pos); err != nil {
+					return err
+				}
+				lastHB = time.Now()
+			}
+			waitCtx, waitCancel := context.WithTimeout(ctx, p.opts.HeartbeatInterval)
+			err := p.store.WaitChange(waitCtx, pos.epoch, pos.offset)
+			waitCancel()
+			switch {
+			case err == nil, errors.Is(err, context.DeadlineExceeded):
+				// Advanced, or time for the next heartbeat.
+			case errors.Is(err, context.Canceled):
+				return ctx.Err()
+			default:
+				return err // store closed
+			}
+		case pos.epoch < curEpoch:
+			end, known := p.store.EpochEnd(pos.epoch)
+			if !known {
+				return writeStale(w, fmt.Sprintf("epoch %d predates this primary", pos.epoch))
+			}
+			switch {
+			case pos.offset > end:
+				return writeStale(w, fmt.Sprintf("offset %d beyond end %d of retired epoch %d", pos.offset, end, pos.epoch))
+			case pos.offset == end:
+				// The retired epoch is fully shipped: continue in the next
+				// one. Epochs advance by one per checkpoint, so +1 either is
+				// the current epoch or another fully retired one.
+				next := pos.epoch + 1
+				if err := writeRotate(w, next); err != nil {
+					return err
+				}
+				pos = position{epoch: next}
+			default:
+				chunk, err := p.store.ReadWAL(pos.epoch, pos.offset, p.opts.ChunkBytes)
+				if err != nil {
+					if errors.Is(err, storage.ErrWALUnavailable) {
+						// Checkpoint GC removed the file before this follower
+						// caught up; it must re-bootstrap.
+						return writeStale(w, err.Error())
+					}
+					return err
+				}
+				if err := writeShip(w, pos, chunk); err != nil {
+					return err
+				}
+				metricShippedBytes.Add(uint64(len(chunk)))
+				pos.offset += int64(len(chunk))
+			}
+		default: // pos.epoch > curEpoch
+			return writeStale(w, fmt.Sprintf("epoch %d is ahead of primary epoch %d", pos.epoch, curEpoch))
+		}
+	}
+}

@@ -1,0 +1,326 @@
+package repl
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"hrdb/internal/catalog"
+	"hrdb/internal/server"
+	"hrdb/internal/storage"
+)
+
+// This file is the replication test harness plus the streaming unit tests;
+// the chaos/failover acceptance tests live in chaos_test.go. Tests build a
+// real primary — durable store, Primary source, network server — and real
+// replicas streaming over TCP, because the subsystem's value is exactly
+// the integration: resume positions surviving reconnects, rotation across
+// checkpoints, and snapshot re-bootstrap when the WAL is gone.
+
+// primaryHarness is a running primary: a durable store served over TCP
+// with replication enabled.
+type primaryHarness struct {
+	store *storage.Store
+	prim  *Primary
+	srv   *server.Server
+}
+
+func startPrimary(t *testing.T, popts PrimaryOptions) *primaryHarness {
+	t.Helper()
+	st, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	prim := NewPrimary(st, popts)
+	srv := server.New(st, server.Options{Repl: prim})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return &primaryHarness{store: st, prim: prim, srv: srv}
+}
+
+// startReplica follows addr and tears down with the test.
+func startReplica(t *testing.T, addr string) *Replica {
+	t.Helper()
+	rep := NewReplica(addr, ReplicaOptions{
+		DialTimeout:      time.Second,
+		ReconnectBackoff: 10 * time.Millisecond,
+		MaxBackoff:       200 * time.Millisecond,
+	})
+	t.Cleanup(func() { rep.Close() })
+	return rep
+}
+
+// waitConverged blocks until the replica has applied everything the
+// primary's store holds (positions equal and recently confirmed), then
+// compares logical fingerprints.
+func waitConverged(t *testing.T, st *storage.Store, rep *Replica) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		pe, po := st.Position()
+		staleness, re, ro, _ := rep.Lag()
+		if staleness >= 0 && re == pe && ro == po {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never converged: primary at %d/%d, replica at %d/%d (staleness %v)",
+				pe, po, re, ro, staleness)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	want := storage.Fingerprint(st.Database())
+	got := storage.Fingerprint(rep.Database())
+	if got != want {
+		t.Fatalf("replica diverged:\nprimary: %s\nreplica: %s", want, got)
+	}
+}
+
+func TestReplicaBootstrapAndStream(t *testing.T) {
+	p := startPrimary(t, PrimaryOptions{HeartbeatInterval: 20 * time.Millisecond})
+	must(t, p.store.CreateHierarchy("Animal"))
+	must(t, p.store.AddClass("Animal", "Bird"))
+	must(t, p.store.AddInstance("Animal", "Tweety", "Bird"))
+
+	rep := startReplica(t, p.srv.Addr())
+	waitConverged(t, p.store, rep)
+
+	// Writes after the bootstrap arrive via the live stream.
+	must(t, p.store.AddClass("Animal", "Penguin", "Bird"))
+	must(t, p.store.AddInstance("Animal", "Paul", "Penguin"))
+	waitConverged(t, p.store, rep)
+
+	// Transactions apply atomically: a committed bracket lands whole.
+	must(t, p.store.CreateRelation("Flies", catalog.AttrSpec{Name: "Creature", Domain: "Animal"}))
+	must(t, p.store.ApplyTx([]catalog.TxOp{
+		{Kind: "assert", Relation: "Flies", Values: []string{"Bird"}},
+		{Kind: "deny", Relation: "Flies", Values: []string{"Penguin"}},
+	}))
+	waitConverged(t, p.store, rep)
+
+	if n := rep.AppliedRecords(); n == 0 {
+		t.Fatal("replica applied no records over the stream")
+	}
+}
+
+func TestReplicaMutationsRejectedUntilPromoted(t *testing.T) {
+	p := startPrimary(t, PrimaryOptions{HeartbeatInterval: 20 * time.Millisecond})
+	must(t, p.store.CreateHierarchy("Animal"))
+	rep := startReplica(t, p.srv.Addr())
+	waitConverged(t, p.store, rep)
+
+	target := ReplicaTarget{R: rep}
+	if err := target.CreateHierarchy("Plant"); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("CreateHierarchy on replica = %v, want ErrReadOnlyReplica", err)
+	}
+	if err := target.Assert("Flies", "Bird"); !errors.Is(err, ErrReadOnlyReplica) {
+		t.Fatalf("Assert on replica = %v, want ErrReadOnlyReplica", err)
+	}
+
+	if err := rep.Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if err := target.CreateHierarchy("Plant"); err != nil {
+		t.Fatalf("CreateHierarchy after promote: %v", err)
+	}
+	if staleness, _, _, state := rep.Lag(); staleness != 0 || state != "promoted" {
+		t.Fatalf("Lag after promote = %v/%s, want 0/promoted", staleness, state)
+	}
+}
+
+func TestReplicaRotatesAcrossCheckpoint(t *testing.T) {
+	p := startPrimary(t, PrimaryOptions{HeartbeatInterval: 20 * time.Millisecond})
+	must(t, p.store.CreateHierarchy("Animal"))
+	must(t, p.store.AddClass("Animal", "Bird"))
+	rep := startReplica(t, p.srv.Addr())
+	waitConverged(t, p.store, rep)
+
+	// Checkpoint while the replica is caught up: the stream crosses the
+	// epoch boundary with a ROTATE, no re-bootstrap.
+	boots := rep.bootstraps()
+	must(t, p.store.Checkpoint())
+	must(t, p.store.AddInstance("Animal", "Tweety", "Bird"))
+	waitConverged(t, p.store, rep)
+	if e, _ := p.store.Position(); e != 1 {
+		t.Fatalf("primary epoch = %d, want 1", e)
+	}
+	if got := rep.bootstraps(); got != boots {
+		t.Fatalf("replica re-bootstrapped across a caught-up checkpoint (%d -> %d)", boots, got)
+	}
+
+	// And again, to cover retired-epoch catch-up bookkeeping.
+	must(t, p.store.Checkpoint())
+	must(t, p.store.AddInstance("Animal", "Robin", "Bird"))
+	waitConverged(t, p.store, rep)
+}
+
+// bootstraps returns how many snapshot bootstraps this replica has done
+// (test helper on the package-global metric is useless once several
+// replicas run in one process, so count per replica).
+func (r *Replica) bootstraps() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.nBootstraps
+}
+
+func TestPrimaryServesRetiredEpochTail(t *testing.T) {
+	// A follower that stops mid-epoch and reconnects after a checkpoint
+	// whose GC failed (old WAL still on disk) must be able to finish the
+	// retired epoch from the file and ROTATE forward.
+	dir := t.TempDir()
+	fs := storage.NewFaultFS(storage.OsFS{})
+	st, err := storage.OpenOptions(dir, storage.Options{FS: fs})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer st.Close()
+	prim := NewPrimary(st, PrimaryOptions{HeartbeatInterval: 20 * time.Millisecond})
+	srv := server.New(st, server.Options{Repl: prim})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+
+	must(t, st.CreateHierarchy("Animal"))
+	must(t, st.AddClass("Animal", "Bird"))
+
+	// Checkpoint with Remove suppressed: epoch 0's WAL survives on disk.
+	fs.FailRemove(true)
+	if err := st.Checkpoint(); !errors.Is(err, storage.ErrCheckpointGC) {
+		t.Fatalf("Checkpoint with failing remove = %v, want ErrCheckpointGC", err)
+	}
+	fs.FailRemove(false)
+	must(t, st.AddInstance("Animal", "Tweety", "Bird"))
+
+	// A replica bootstrapping now starts at epoch 1; but a follower asking
+	// for epoch 0 from offset 0 replays the retired file, then rotates.
+	rep := startReplica(t, srv.Addr())
+	waitConverged(t, st, rep)
+}
+
+func TestStaleFollowerRebootstraps(t *testing.T) {
+	p := startPrimary(t, PrimaryOptions{HeartbeatInterval: 20 * time.Millisecond})
+	must(t, p.store.CreateHierarchy("Animal"))
+	must(t, p.store.AddClass("Animal", "Bird"))
+
+	proxy, err := server.NewChaosProxy(p.srv.Addr())
+	if err != nil {
+		t.Fatalf("NewChaosProxy: %v", err)
+	}
+	defer proxy.Close()
+
+	rep := startReplica(t, proxy.Addr())
+	waitConverged(t, p.store, rep)
+	boots := rep.bootstraps()
+
+	// Black-hole the stream so the replica holds its epoch-0 position
+	// while the primary checkpoints (removing epoch 0's WAL) and keeps
+	// writing.
+	proxy.DropResponses(true)
+	must(t, p.store.AddInstance("Animal", "Tweety", "Bird"))
+	must(t, p.store.Checkpoint())
+	must(t, p.store.AddInstance("Animal", "Robin", "Bird"))
+
+	// Sever: the replica reconnects with its stale epoch-0 position, is
+	// told "stale", re-bootstraps from a fresh snapshot, and converges.
+	proxy.DropResponses(false)
+	proxy.KillAll()
+	waitConverged(t, p.store, rep)
+	if got := rep.bootstraps(); got <= boots {
+		t.Fatalf("expected a snapshot re-bootstrap after stale rejection (bootstraps %d -> %d)", boots, got)
+	}
+}
+
+func TestPrimaryAckTracking(t *testing.T) {
+	p := startPrimary(t, PrimaryOptions{HeartbeatInterval: 10 * time.Millisecond})
+	must(t, p.store.CreateHierarchy("Animal"))
+	rep := startReplica(t, p.srv.Addr())
+	waitConverged(t, p.store, rep)
+
+	deadline := time.Now().Add(5 * time.Second)
+	pe, po := p.store.Position()
+	for {
+		ae, ao := p.prim.AckedPosition()
+		if ae == pe && ao == po {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("primary never saw the caught-up ack: want %d/%d, acked %d/%d", pe, po, ae, ao)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	_ = rep
+}
+
+func TestLagVerbOverClient(t *testing.T) {
+	// The LAG verb end-to-end: replica server exposes its probe; a client
+	// parses it. Also pins the wire format both ways.
+	p := startPrimary(t, PrimaryOptions{HeartbeatInterval: 10 * time.Millisecond})
+	must(t, p.store.CreateHierarchy("Animal"))
+	rep := startReplica(t, p.srv.Addr())
+	waitConverged(t, p.store, rep)
+
+	repSrv := server.New(ReplicaTarget{R: rep}, server.Options{
+		LagProbe: func() server.LagInfo {
+			staleness, epoch, offset, state := rep.Lag()
+			return server.LagInfo{Staleness: staleness, Epoch: epoch, Offset: offset, State: state}
+		},
+		Promote: rep.Promote,
+	})
+	if err := repSrv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("Start replica server: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		repSrv.Shutdown(ctx)
+	}()
+
+	cli, err := server.Dial(repSrv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	li, err := cli.Lag(ctx)
+	if err != nil {
+		t.Fatalf("Lag: %v", err)
+	}
+	if li.State != "streaming" {
+		t.Fatalf("Lag state = %q, want streaming", li.State)
+	}
+	if li.Staleness < 0 {
+		t.Fatalf("Lag staleness = %v, want known (>= 0)", li.Staleness)
+	}
+	pe, po := p.store.Position()
+	if li.Epoch != pe || li.Offset != po {
+		t.Fatalf("Lag position = %d/%d, want %d/%d", li.Epoch, li.Offset, pe, po)
+	}
+
+	// PROMOTE over the wire flips the replica writable.
+	if err := cli.Promote(ctx); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if !rep.Promoted() {
+		t.Fatal("replica not promoted after PROMOTE verb")
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -1,0 +1,431 @@
+package repl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"hrdb/internal/catalog"
+	"hrdb/internal/storage"
+)
+
+// ReplicaOptions tune a Replica. The zero value gets defaults.
+type ReplicaOptions struct {
+	// DialTimeout bounds one connection attempt. Default 2s.
+	DialTimeout time.Duration
+	// ReconnectBackoff is the initial delay between stream attempts; it
+	// doubles per consecutive failure up to MaxBackoff. Default 50ms.
+	ReconnectBackoff time.Duration
+	// MaxBackoff caps the reconnect delay. Default 2s.
+	MaxBackoff time.Duration
+}
+
+func (o *ReplicaOptions) defaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.ReconnectBackoff <= 0 {
+		o.ReconnectBackoff = 50 * time.Millisecond
+	}
+	if o.MaxBackoff <= 0 {
+		o.MaxBackoff = 2 * time.Second
+	}
+}
+
+// ErrReadOnlyReplica rejects mutations on a replica that has not been
+// promoted.
+var ErrReadOnlyReplica = errors.New("repl: replica is read-only (not promoted)")
+
+// ErrReplicaClosed reports use of a closed replica.
+var ErrReplicaClosed = errors.New("repl: replica closed")
+
+// Replica follows a primary: it bootstraps from a SNAP snapshot, replays
+// the shipped WAL stream into an in-memory catalog database, and keeps
+// reconnecting (with resume) until closed or promoted. All methods are safe
+// for concurrent use; the database it maintains is the one served to
+// read-only sessions via ReplicaTarget.
+type Replica struct {
+	addr string
+	opts ReplicaOptions
+
+	mu          sync.Mutex
+	db          *catalog.Database
+	booted      bool     // db came from a snapshot (not the empty placeholder)
+	needSnap    bool     // position rejected as stale; re-bootstrap
+	pos         position // applied position (always an out-of-bracket record boundary)
+	highWater   position // primary's durable position, from SHIP/HB frames
+	syncedAt    time.Time
+	everSync    bool
+	state       string // "connecting" | "streaming" | "promoted" | "stopped"
+	promoted    bool
+	closed      bool
+	conn        net.Conn // live stream connection, for severing on close/promote
+	applied     uint64   // records applied across all connections
+	nBootstraps int      // snapshot bootstraps performed
+
+	done chan struct{}
+}
+
+// NewReplica creates a replica following the primary at addr and starts its
+// streaming loop. Until the first bootstrap completes, the replica serves
+// an empty database and reports unknown staleness.
+func NewReplica(addr string, opts ReplicaOptions) *Replica {
+	opts.defaults()
+	r := &Replica{
+		addr:  addr,
+		opts:  opts,
+		db:    catalog.New(),
+		state: "connecting",
+		done:  make(chan struct{}),
+	}
+	go r.run()
+	return r
+}
+
+// Database returns the replica's current database. The pointer is swapped
+// on snapshot bootstrap, so callers must re-fetch it per statement rather
+// than caching it (hql.Session already does).
+func (r *Replica) Database() *catalog.Database {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.db
+}
+
+// AppliedRecords returns the number of WAL records this replica has applied
+// across all connections (bracket records count when their commit applies).
+func (r *Replica) AppliedRecords() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.applied
+}
+
+// Promoted reports whether the replica has been promoted.
+func (r *Replica) Promoted() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.promoted
+}
+
+// Lag reports the replica's replication state for the LAG verb and for
+// lag-bounded routing. Staleness is the age of the last moment the replica
+// was provably caught up with the primary's durable position; negative
+// means unknown (never synced, or not yet re-synced after a bootstrap).
+func (r *Replica) Lag() (staleness time.Duration, epoch uint64, offset int64, state string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	staleness = -1
+	if r.promoted {
+		// A promoted replica is the authoritative copy: nothing to lag behind.
+		staleness = 0
+	} else if r.everSync {
+		staleness = time.Since(r.syncedAt)
+	}
+	return staleness, r.pos.epoch, r.pos.offset, r.state
+}
+
+// Promote stops following and flips the replica writable: the streaming
+// loop is severed and drained, then ReplicaTarget begins accepting
+// mutations. Promotion is manual failover — the caller has decided the old
+// primary is gone. Whatever committed state the replica had applied is the
+// new authoritative state; an unfinished transaction bracket in flight is
+// discarded, exactly as a primary crash recovery would discard it.
+func (r *Replica) Promote() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrReplicaClosed
+	}
+	if r.promoted {
+		r.mu.Unlock()
+		return nil
+	}
+	r.promoted = true
+	r.state = "promoted"
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.mu.Unlock()
+	<-r.done
+	return nil
+}
+
+// Close stops the replica. Idempotent.
+func (r *Replica) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		<-r.done
+		return nil
+	}
+	r.closed = true
+	if !r.promoted {
+		r.state = "stopped"
+	}
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	r.mu.Unlock()
+	<-r.done
+	return nil
+}
+
+func (r *Replica) stopping() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed || r.promoted
+}
+
+// run is the reconnect loop: stream until the connection fails, back off
+// (doubling, capped), retry. A stale rejection re-bootstraps immediately —
+// waiting won't make a GC'd WAL segment reappear.
+func (r *Replica) run() {
+	defer close(r.done)
+	backoff := r.opts.ReconnectBackoff
+	for !r.stopping() {
+		err := r.streamOnce()
+		if r.stopping() {
+			return
+		}
+		r.mu.Lock()
+		r.state = "connecting"
+		r.mu.Unlock()
+		metricReconnects.Inc()
+		if errors.Is(err, errStale) {
+			metricStaleRestarts.Inc()
+			backoff = r.opts.ReconnectBackoff
+			continue
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > r.opts.MaxBackoff {
+			backoff = r.opts.MaxBackoff
+		}
+	}
+}
+
+// streamOnce runs one connection's worth of replication: dial, bootstrap if
+// needed, request the stream at the resume position, and apply frames until
+// something breaks.
+func (r *Replica) streamOnce() error {
+	conn, err := net.DialTimeout("tcp", r.addr, r.opts.DialTimeout)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	r.mu.Lock()
+	if r.closed || r.promoted {
+		r.mu.Unlock()
+		return ErrReplicaClosed
+	}
+	r.conn = conn
+	needSnap := !r.booted || r.needSnap
+	r.mu.Unlock()
+	defer func() {
+		r.mu.Lock()
+		if r.conn == conn {
+			r.conn = nil
+		}
+		r.mu.Unlock()
+	}()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+
+	if needSnap {
+		if err := r.bootstrap(br, bw); err != nil {
+			return err
+		}
+	}
+
+	r.mu.Lock()
+	db, start := r.db, r.pos
+	r.state = "streaming"
+	r.mu.Unlock()
+
+	if _, err := fmt.Fprintf(bw, "REPL %d %d\n", start.epoch, start.offset); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	return r.applyStream(br, bw, db, start)
+}
+
+// bootstrap fetches a SNAP snapshot over the open connection and installs
+// it as the replica's database and resume position.
+func (r *Replica) bootstrap(br *bufio.Reader, bw *bufio.Writer) error {
+	begin := time.Now()
+	if _, err := fmt.Fprintln(bw, "SNAP"); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	ok, code, payload, err := readResponseFrame(br, maxSnapshotBytes)
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("repl: SNAP refused: %s: %s", code, payload)
+	}
+	boot, err := decodeBootstrap([]byte(payload))
+	if err != nil {
+		return err
+	}
+	db, err := storage.BuildDatabase(boot.Spec)
+	if err != nil {
+		return fmt.Errorf("repl: bad snapshot: %w", err)
+	}
+	r.mu.Lock()
+	r.db = db
+	r.booted = true
+	r.needSnap = false
+	r.pos = position{epoch: boot.Epoch, offset: boot.Offset}
+	r.highWater = r.pos
+	r.everSync = false // not synced until the stream proves it
+	r.nBootstraps++
+	r.mu.Unlock()
+	metricBootstraps.Inc()
+	metricBootstrapNS.ObserveDuration(time.Since(begin))
+	return nil
+}
+
+// applyStream consumes stream frames on one connection. start is the
+// position the primary was asked to resume from; every byte that arrives is
+// accounted against it, so any gap or overlap in what the primary sends is
+// detected as a hard desync rather than silently applied.
+func (r *Replica) applyStream(br *bufio.Reader, bw *bufio.Writer, db *catalog.Database, start position) error {
+	applier := storage.NewApplier(db)
+	dec := storage.NewStreamDecoder()
+	feed := start // position of the next byte expected from the wire
+	// pending counts records fed to the applier but not yet covered by the
+	// resume position: a reconnect re-feeds them (they were inside an open
+	// bracket), so they count toward r.applied only when the resume
+	// position moves past them — exactly-once accounting.
+	var pending uint64
+
+	for {
+		frame, err := readStreamFrame(br)
+		if err != nil {
+			return err
+		}
+		switch frame.kind {
+		case "SHIP":
+			if frame.pos != feed {
+				return fmt.Errorf("%w: SHIP at %d/%d, expected %d/%d",
+					errProto, frame.pos.epoch, frame.pos.offset, feed.epoch, feed.offset)
+			}
+			dec.Feed(frame.payload)
+			feed.offset += int64(len(frame.payload))
+			if err := r.drain(applier, dec, start, &pending); err != nil {
+				return err
+			}
+			r.observe(feed, applier)
+			if err := r.ack(bw); err != nil {
+				return err
+			}
+		case "HB":
+			if frame.pos.epoch == feed.epoch && frame.pos.offset < feed.offset {
+				return fmt.Errorf("%w: HB at %d/%d behind stream position %d/%d",
+					errProto, frame.pos.epoch, frame.pos.offset, feed.epoch, feed.offset)
+			}
+			r.observe(frame.pos, applier)
+			if err := r.ack(bw); err != nil {
+				return err
+			}
+		case "ROTATE":
+			// A rotation is only legal at a clean point: no partial frame
+			// buffered, no open transaction bracket (the primary never
+			// checkpoints mid-bracket, so anything else is a desync).
+			if dec.Buffered() != 0 || applier.InTx() {
+				return fmt.Errorf("%w: ROTATE to epoch %d mid-record", errProto, frame.pos.epoch)
+			}
+			start = position{epoch: frame.pos.epoch}
+			feed = start
+			dec = storage.NewStreamDecoder()
+			r.mu.Lock()
+			r.pos = start
+			if !r.highWater.before(start) {
+				// Rotation supersedes any high-water mark from the old epoch.
+				r.highWater = start
+			}
+			r.mu.Unlock()
+			r.observe(start, applier)
+			if err := r.ack(bw); err != nil {
+				return err
+			}
+		case "ERR":
+			if frame.code == "stale" {
+				r.mu.Lock()
+				r.needSnap = true
+				r.mu.Unlock()
+				return fmt.Errorf("%w: %s", errStale, frame.msg)
+			}
+			return fmt.Errorf("%w: stream error %s: %s", errProto, frame.code, frame.msg)
+		}
+	}
+}
+
+// drain applies every complete record the decoder holds. The resume
+// position advances only at out-of-bracket boundaries: after draining, if
+// no bracket is open, everything consumed so far is durable state the
+// stream may resume after, and the pending records become part of the
+// applied count.
+func (r *Replica) drain(applier *storage.Applier, dec *storage.StreamDecoder, start position, pending *uint64) error {
+	for {
+		rec, ok, err := dec.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := applier.Apply(rec); err != nil {
+			return fmt.Errorf("repl: apply %s: %w", rec.Op, err)
+		}
+		*pending++
+	}
+	if !applier.InTx() {
+		resume := position{epoch: start.epoch, offset: start.offset + dec.Consumed()}
+		r.mu.Lock()
+		if r.pos.before(resume) {
+			metricAppliedBytes.Add(uint64(resume.offset - r.pos.offset))
+			r.applied += *pending
+			metricAppliedRecs.Add(*pending)
+			r.pos = resume
+		}
+		r.mu.Unlock()
+		*pending = 0
+	}
+	return nil
+}
+
+// observe folds a frame's durability information into the lag accounting:
+// durable high-water, catch-up detection, and the lag gauges.
+func (r *Replica) observe(durable position, applier *storage.Applier) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.highWater.before(durable) {
+		r.highWater = durable
+	}
+	if !r.pos.before(r.highWater) {
+		// Applied everything the primary has made durable: caught up.
+		r.syncedAt = time.Now()
+		r.everSync = true
+		metricLagBytes.Set(0)
+	} else if r.highWater.epoch == r.pos.epoch {
+		metricLagBytes.Set(r.highWater.offset - r.pos.offset)
+	}
+	metricLagRecords.Set(int64(applier.Pending()))
+}
+
+// ack reports the current resume position to the primary.
+func (r *Replica) ack(bw *bufio.Writer) error {
+	r.mu.Lock()
+	pos := r.pos
+	r.mu.Unlock()
+	return writeAck(bw, pos)
+}

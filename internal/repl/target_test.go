@@ -1,0 +1,73 @@
+package repl
+
+import (
+	"errors"
+	"testing"
+
+	"hrdb/internal/catalog"
+	"hrdb/internal/core"
+	"hrdb/internal/hql"
+)
+
+// ReplicaTarget's mutation surface: every hql.Target method refuses with
+// ErrReadOnlyReplica while following and delegates once promoted. The
+// replicas here are constructed directly (no network): the adapter only
+// reads db and the promoted flag.
+
+// mutation invokes one hql.Target mutation method against target.
+type mutation struct {
+	name string
+	call func(t hql.Target) error
+}
+
+func allMutations() []mutation {
+	return []mutation{
+		{"CreateHierarchy", func(t hql.Target) error { return t.CreateHierarchy("Animal") }},
+		{"AddClass", func(t hql.Target) error { return t.AddClass("Animal", "Bird") }},
+		{"AddClass2", func(t hql.Target) error { return t.AddClass("Animal", "Fish") }},
+		{"AddInstance", func(t hql.Target) error { return t.AddInstance("Animal", "Tweety", "Bird") }},
+		{"AddEdge", func(t hql.Target) error { return t.AddEdge("Animal", "Fish", "Tweety") }},
+		{"Prefer", func(t hql.Target) error { return t.Prefer("Animal", "Bird", "Fish") }},
+		{"CreateRelation", func(t hql.Target) error {
+			return t.CreateRelation("Flies", catalog.AttrSpec{Name: "Creature", Domain: "Animal"})
+		}},
+		{"Assert", func(t hql.Target) error { return t.Assert("Flies", "Bird") }},
+		{"Deny", func(t hql.Target) error { return t.Deny("Flies", "Fish") }},
+		{"Retract", func(t hql.Target) error { return t.Retract("Flies", "Fish") }},
+		{"Consolidate", func(t hql.Target) error { return t.Consolidate("Flies") }},
+		{"Explicate", func(t hql.Target) error { return t.Explicate("Flies", "Creature") }},
+		{"SetMode", func(t hql.Target) error { return t.SetMode("Flies", core.OnPath) }},
+		{"ApplyTx", func(t hql.Target) error {
+			return t.ApplyTx([]hql.TxOp{{Kind: "assert", Relation: "Flies", Values: []string{"Tweety"}}})
+		}},
+		{"DropRelation", func(t hql.Target) error { return t.DropRelation("Flies") }},
+		{"DropNode", func(t hql.Target) error { return t.DropNode("Animal", "Tweety") }},
+	}
+}
+
+func TestReplicaTargetRefusesAllMutationsUnpromoted(t *testing.T) {
+	target := ReplicaTarget{R: &Replica{db: catalog.New()}}
+	for _, m := range allMutations() {
+		if err := m.call(target); !errors.Is(err, ErrReadOnlyReplica) {
+			t.Errorf("%s on follower = %v, want ErrReadOnlyReplica", m.name, err)
+		}
+	}
+	if target.Database() == nil {
+		t.Fatal("Database() returned nil")
+	}
+}
+
+func TestReplicaTargetDelegatesWhenPromoted(t *testing.T) {
+	rep := &Replica{db: catalog.New(), promoted: true}
+	target := ReplicaTarget{R: rep}
+	// The mutation list is ordered so each call's preconditions are
+	// established by the earlier ones (schema first, drops last).
+	for _, m := range allMutations() {
+		if err := m.call(target); err != nil {
+			t.Fatalf("%s on promoted replica: %v", m.name, err)
+		}
+	}
+	if _, err := rep.db.Relation("Flies"); err == nil {
+		t.Fatal("DropRelation did not reach the database")
+	}
+}

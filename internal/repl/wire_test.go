@@ -1,0 +1,157 @@
+package repl
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"hrdb/internal/storage"
+)
+
+// Frame-level round trips and malformed-input rejection for the stream
+// protocol, independent of any live primary/replica.
+
+func frameReader(s string) *bufio.Reader { return bufio.NewReader(strings.NewReader(s)) }
+
+func TestPositionBefore(t *testing.T) {
+	cases := []struct {
+		p, q position
+		want bool
+	}{
+		{position{0, 0}, position{0, 1}, true},
+		{position{0, 99}, position{1, 0}, true},
+		{position{1, 0}, position{0, 99}, false},
+		{position{2, 5}, position{2, 5}, false},
+		{position{2, 6}, position{2, 5}, false},
+	}
+	for _, c := range cases {
+		if got := c.p.before(c.q); got != c.want {
+			t.Errorf("%v.before(%v) = %v, want %v", c.p, c.q, got, c.want)
+		}
+	}
+}
+
+func TestStreamFrameRoundTrips(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	pos := position{epoch: 3, offset: 1024}
+	chunk := []byte("raw wal bytes\nwith a newline inside")
+	must(t, writeShip(w, pos, chunk))
+	must(t, writeHB(w, position{epoch: 3, offset: 2048}))
+	must(t, writeRotate(w, 4))
+	must(t, writeStale(w, "epoch 3 was checkpointed away"))
+
+	br := bufio.NewReader(&buf)
+	f, err := readStreamFrame(br)
+	must(t, err)
+	if f.kind != "SHIP" || f.pos != pos || !bytes.Equal(f.payload, chunk) {
+		t.Fatalf("SHIP round trip = %+v", f)
+	}
+	f, err = readStreamFrame(br)
+	must(t, err)
+	if f.kind != "HB" || f.pos != (position{epoch: 3, offset: 2048}) {
+		t.Fatalf("HB round trip = %+v", f)
+	}
+	f, err = readStreamFrame(br)
+	must(t, err)
+	if f.kind != "ROTATE" || f.pos.epoch != 4 {
+		t.Fatalf("ROTATE round trip = %+v", f)
+	}
+	f, err = readStreamFrame(br)
+	must(t, err)
+	if f.kind != "ERR" || f.code != "stale" || f.msg != "epoch 3 was checkpointed away" {
+		t.Fatalf("ERR round trip = %+v", f)
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	must(t, writeAck(w, position{epoch: 7, offset: 4096}))
+	got, err := readAck(bufio.NewReader(&buf))
+	must(t, err)
+	if got != (position{epoch: 7, offset: 4096}) {
+		t.Fatalf("ACK round trip = %+v", got)
+	}
+
+	for _, bad := range []string{
+		"ACK 1\n", "NAK 1 2\n", "ACK x 2\n", "ACK 1 x\n", "ACK 1 -2\n", "ACK 1 2 3\n", "\n",
+	} {
+		if _, err := readAck(frameReader(bad)); !errors.Is(err, errProto) {
+			t.Errorf("readAck(%q) = %v, want protocol error", bad, err)
+		}
+	}
+}
+
+func TestReadStreamFrameRejectsMalformed(t *testing.T) {
+	protoErrs := []string{
+		"\n",
+		"NOPE 1 2\n",
+		"SHIP 1 2\n",
+		"SHIP x 0 0\n\n",
+		"SHIP 0 -1 0\n\n",
+		"SHIP 0 0 9999999999\n", // beyond maxShipChunk
+		"HB 1\n",
+		"HB x 2\n",
+		"HB 1 -2\n",
+		"ROTATE\n",
+		"ROTATE x\n",
+		"ERR stale 0\n",
+		"ERR stale 0 99999999\n", // beyond maxShipChunk
+	}
+	for _, bad := range protoErrs {
+		if _, err := readStreamFrame(frameReader(bad)); !errors.Is(err, errProto) {
+			t.Errorf("readStreamFrame(%q) = %v, want protocol error", bad, err)
+		}
+	}
+	// A SHIP whose payload is cut short or unterminated fails, but as an IO
+	// or framing error rather than silent truncation.
+	if _, err := readStreamFrame(frameReader("SHIP 0 0 5\nab")); err == nil {
+		t.Error("short SHIP payload accepted")
+	}
+	if _, err := readStreamFrame(frameReader("SHIP 0 0 2\nabX")); !errors.Is(err, errProto) {
+		t.Error("unterminated SHIP payload accepted")
+	}
+}
+
+func TestReadResponseFrame(t *testing.T) {
+	ok, code, payload, err := readResponseFrame(frameReader("OK 5\nhello\n"), 1<<20)
+	must(t, err)
+	if !ok || code != "" || payload != "hello" {
+		t.Fatalf("OK frame = ok=%v code=%q payload=%q", ok, code, payload)
+	}
+	ok, code, payload, err = readResponseFrame(frameReader("ERR stale 0 4\ngone\n"), 1<<20)
+	must(t, err)
+	if ok || code != "stale" || payload != "gone" {
+		t.Fatalf("ERR frame = ok=%v code=%q payload=%q", ok, code, payload)
+	}
+
+	for _, bad := range []string{
+		"\n", "OK\n", "OK x\n", "OK -1\n", "OK 999\nhi\n", "ERR exec 0\n", "WAT 1\nx\n",
+		"OK 2\nhiX", // bad terminator
+	} {
+		if _, _, _, err := readResponseFrame(frameReader(bad), 16); !errors.Is(err, errProto) {
+			t.Errorf("readResponseFrame(%q) = %v, want protocol error", bad, err)
+		}
+	}
+	// Truncated payload is an IO error.
+	if _, _, _, err := readResponseFrame(frameReader("OK 5\nab"), 16); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestBootstrapRoundTrip(t *testing.T) {
+	b := bootstrap{Spec: storage.DatabaseSpec{}, Epoch: 2, Offset: 777}
+	enc, err := encodeBootstrap(b)
+	must(t, err)
+	got, err := decodeBootstrap(enc)
+	must(t, err)
+	if got.Epoch != 2 || got.Offset != 777 {
+		t.Fatalf("bootstrap round trip = %+v", got)
+	}
+	if _, err := decodeBootstrap([]byte("not gob at all")); !errors.Is(err, errProto) {
+		t.Fatalf("decodeBootstrap(garbage) = %v, want protocol error", err)
+	}
+}

@@ -19,4 +19,14 @@ var (
 	metricPanics      = obs.Default().Counter("hrdb_server_panics_total")
 
 	metricRequestNS = obs.Default().Histogram("hrdb_server_request_duration_ns")
+
+	// Replication front-end: active REPL streams and served SNAP bootstraps
+	// (the shipping-side byte/lag series live in internal/repl).
+	metricReplStreams   = obs.Default().Gauge("hrdb_server_repl_streams_active")
+	metricReplSnapshots = obs.Default().Counter("hrdb_server_repl_snapshots_served_total")
+
+	// Lag-bounded read routing (Router): reads served by a replica vs
+	// reads that fell back to the primary.
+	metricReplicaServed   = obs.Default().Counter("hrdb_router_replica_served_total")
+	metricPrimaryFallback = obs.Default().Counter("hrdb_router_primary_fallback_total")
 )

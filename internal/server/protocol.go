@@ -17,6 +17,10 @@
 //	  PING\n                                       liveness probe
 //	  STATS\n                                      process metrics snapshot
 //	  QUIT\n                                       close the connection
+//	  SNAP\n                                       replication snapshot bootstrap
+//	  REPL <epoch> <offset>\n                      subscribe to the WAL stream
+//	  PROMOTE\n                                    promote a replica to writable
+//	  LAG\n                                        replication lag probe
 //
 // STATS answers with an OK frame whose payload is the process's metrics in
 // Prometheus text exposition format (the same text the optional HTTP
@@ -41,6 +45,23 @@
 //	canceled    the request was canceled (server drain deadline)
 //	panic       the statement panicked; isolated, connection closed
 //	shutdown    server is draining — not executed, retry elsewhere/later
+//	unsupported the verb is not enabled on this server (e.g. REPL/SNAP on
+//	            a server without a replication source, PROMOTE on a
+//	            primary, LAG on a non-replica)
+//	stale       a REPL position this server can no longer serve (the WAL
+//	            was superseded by a checkpoint); re-bootstrap via SNAP
+//
+// # Replication verbs
+//
+// SNAP answers with an OK frame whose payload is a gob-encoded bootstrap
+// (database spec + the replication position it corresponds to). REPL does
+// not answer with an OK frame at all: on success the server takes the
+// connection over and emits stream frames (see internal/repl for the
+// framing: SHIP/HB/ROTATE lines, ACK lines flowing back) until either side
+// closes; on failure it answers ERR ("unsupported" or "stale") and closes.
+// LAG answers "<staleness_ms> <epoch> <offset> <state>" (staleness_ms = -1
+// when unknown, e.g. while the replica has never been caught up). PROMOTE
+// flips a replica writable and answers "promoted".
 package server
 
 import (
@@ -55,14 +76,15 @@ import (
 
 // Error codes carried by ERR frames.
 const (
-	codeProto      = "proto"
-	codeTooLarge   = "toolarge"
-	codeExec       = "exec"
-	codeOverloaded = "overloaded"
-	codeDeadline   = "deadline"
-	codeCanceled   = "canceled"
-	codePanic      = "panic"
-	codeShutdown   = "shutdown"
+	codeProto       = "proto"
+	codeTooLarge    = "toolarge"
+	codeExec        = "exec"
+	codeOverloaded  = "overloaded"
+	codeDeadline    = "deadline"
+	codeCanceled    = "canceled"
+	codePanic       = "panic"
+	codeShutdown    = "shutdown"
+	codeUnsupported = "unsupported"
 )
 
 // errProto reports a malformed frame.
@@ -70,9 +92,11 @@ var errProto = errors.New("server: protocol error")
 
 // request is one decoded client frame.
 type request struct {
-	verb    string // "EXEC" | "PING" | "STATS" | "QUIT"
+	verb    string // "EXEC" | "PING" | "STATS" | "QUIT" | "SNAP" | "REPL" | "PROMOTE" | "LAG"
 	timeout time.Duration
 	input   string
+	epoch   uint64 // REPL only
+	offset  int64  // REPL only
 }
 
 // readRequest decodes one request frame. maxBytes bounds the payload; a
@@ -89,11 +113,24 @@ func readRequest(br *bufio.Reader, maxBytes int) (request, error) {
 		return request{}, fmt.Errorf("%w: empty request line", errProto)
 	}
 	switch fields[0] {
-	case "PING", "STATS", "QUIT":
+	case "PING", "STATS", "QUIT", "SNAP", "PROMOTE", "LAG":
 		if len(fields) != 1 {
 			return request{}, fmt.Errorf("%w: %s takes no arguments", errProto, fields[0])
 		}
 		return request{verb: fields[0]}, nil
+	case "REPL":
+		if len(fields) != 3 {
+			return request{}, fmt.Errorf("%w: want REPL <epoch> <offset>", errProto)
+		}
+		epoch, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return request{}, fmt.Errorf("%w: bad epoch %q", errProto, fields[1])
+		}
+		offset, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil || offset < 0 {
+			return request{}, fmt.Errorf("%w: bad offset %q", errProto, fields[2])
+		}
+		return request{verb: "REPL", epoch: epoch, offset: offset}, nil
 	case "EXEC":
 		if len(fields) != 3 {
 			return request{}, fmt.Errorf("%w: want EXEC <timeout_ms> <n>", errProto)

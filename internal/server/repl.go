@@ -1,0 +1,171 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// This file is the server's replication surface. The server itself knows
+// nothing about WAL shipping: it decodes the replication verbs and
+// delegates to pluggable hooks (Options.Repl, Options.Promote,
+// Options.LagProbe), so the dependency points from internal/repl — which
+// implements them — into this package's wire contract, never back.
+
+// ReplSource serves replication to followers. Implemented by repl.Primary.
+type ReplSource interface {
+	// Snapshot returns an opaque bootstrap payload: the database spec plus
+	// the replication position it corresponds to (the follower decodes it
+	// with the matching repl code). Served as a normal OK frame.
+	Snapshot() ([]byte, error)
+	// ServeStream takes over a connection after a `REPL <epoch> <offset>`
+	// request: it writes stream frames to w and consumes ACK lines from r
+	// until the stream ends (connection severed, source closed, or the
+	// position unservable). The server closes the connection afterwards.
+	ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, offset int64) error
+}
+
+// LagInfo is a replica's replication state, served by the LAG verb and
+// consumed by lag-bounded read routing.
+type LagInfo struct {
+	// Staleness is the wall-clock age of the replica's view: how long ago
+	// it was last known to be caught up with the primary's durable
+	// position. Negative means unknown (never caught up, or disconnected
+	// with no bound) — routing must treat it as infinitely stale.
+	Staleness time.Duration
+	// Epoch and Offset are the replica's applied replication position.
+	Epoch  uint64
+	Offset int64
+	// State names the replica's phase: "streaming", "catchup",
+	// "connecting", "promoted", "stopped".
+	State string
+}
+
+// lagPayload renders a LagInfo as the LAG verb's payload.
+func lagPayload(li LagInfo) string {
+	ms := int64(-1)
+	if li.Staleness >= 0 {
+		ms = li.Staleness.Milliseconds()
+	}
+	state := li.State
+	if state == "" {
+		state = "unknown"
+	}
+	return fmt.Sprintf("%d %d %d %s", ms, li.Epoch, li.Offset, state)
+}
+
+// parseLagPayload decodes a LAG payload (client side).
+func parseLagPayload(payload string) (LagInfo, error) {
+	fields := strings.Fields(payload)
+	if len(fields) != 4 {
+		return LagInfo{}, fmt.Errorf("%w: bad LAG payload %q", errProto, payload)
+	}
+	ms, err := strconv.ParseInt(fields[0], 10, 64)
+	if err != nil {
+		return LagInfo{}, fmt.Errorf("%w: bad staleness %q", errProto, fields[0])
+	}
+	epoch, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return LagInfo{}, fmt.Errorf("%w: bad epoch %q", errProto, fields[1])
+	}
+	off, err := strconv.ParseInt(fields[2], 10, 64)
+	if err != nil {
+		return LagInfo{}, fmt.Errorf("%w: bad offset %q", errProto, fields[2])
+	}
+	staleness := time.Duration(-1)
+	if ms >= 0 {
+		staleness = time.Duration(ms) * time.Millisecond
+	}
+	return LagInfo{Staleness: staleness, Epoch: epoch, Offset: off, State: fields[3]}, nil
+}
+
+// serveRepl dispatches the replication verbs. It reports whether the
+// connection may continue to the next request (REPL never continues: the
+// stream owns the connection until it ends).
+func (s *Server) serveRepl(bw *bufio.Writer, br *bufio.Reader, req request) bool {
+	switch req.verb {
+	case "SNAP":
+		if s.opts.Repl == nil {
+			return writeErr(bw, codeUnsupported, 0, "replication not enabled") == nil
+		}
+		payload, err := s.opts.Repl.Snapshot()
+		if err != nil {
+			return writeErr(bw, codeExec, 0, err.Error()) == nil
+		}
+		metricReplSnapshots.Inc()
+		return writeOK(bw, string(payload)) == nil
+	case "REPL":
+		if s.opts.Repl == nil {
+			writeErr(bw, codeUnsupported, 0, "replication not enabled")
+			return false
+		}
+		metricReplStreams.Inc()
+		defer metricReplStreams.Dec()
+		_ = s.opts.Repl.ServeStream(br, bw, req.epoch, req.offset)
+		return false
+	case "PROMOTE":
+		if s.opts.Promote == nil {
+			return writeErr(bw, codeUnsupported, 0, "not a replica") == nil
+		}
+		if err := s.opts.Promote(); err != nil {
+			return writeErr(bw, codeExec, 0, err.Error()) == nil
+		}
+		return writeOK(bw, "promoted") == nil
+	case "LAG":
+		if s.opts.LagProbe == nil {
+			return writeErr(bw, codeUnsupported, 0, "not a replica") == nil
+		}
+		return writeOK(bw, lagPayload(s.opts.LagProbe())) == nil
+	}
+	writeErr(bw, codeProto, 0, "unknown replication verb")
+	return false
+}
+
+// Lag queries a replica server's replication state (the LAG verb). Servers
+// without a lag probe answer with an "unsupported" ServerError.
+func (c *Client) Lag(ctx context.Context) (LagInfo, error) {
+	payload, err := c.inlineVerb(ctx, "LAG")
+	if err != nil {
+		return LagInfo{}, err
+	}
+	return parseLagPayload(payload)
+}
+
+// Promote asks a replica server to stop following and accept writes (the
+// PROMOTE verb). It is manual failover: the caller decides the old primary
+// is gone; the replica finishes applying whatever it has and flips
+// writable.
+func (c *Client) Promote(ctx context.Context) error {
+	_, err := c.inlineVerb(ctx, "PROMOTE")
+	return err
+}
+
+// inlineVerb performs one argument-less request/response exchange (the
+// PING/STATS/LAG/PROMOTE family, answered inline by the connection
+// handler).
+func (c *Client) inlineVerb(ctx context.Context, verb string) (string, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	conn, br, err := c.ensureConn()
+	if err != nil {
+		return "", err
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if _, err := fmt.Fprintf(conn, "%s\n", verb); err != nil {
+		c.discardConn()
+		return "", ctxPreferred(ctx, err)
+	}
+	resp, err := readResponse(br, c.o.maxResponse)
+	if err != nil {
+		c.discardConn()
+		return "", ctxPreferred(ctx, err)
+	}
+	if !resp.ok {
+		return "", &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+	}
+	return resp.payload, nil
+}

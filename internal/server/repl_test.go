@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The replication verbs at the protocol level, against stub hooks — the
+// full stack (real Primary/Replica) is exercised by internal/repl's tests;
+// here the server's dispatch, framing, and client surface are pinned in
+// isolation.
+
+// stubRepl is a canned ReplSource.
+type stubRepl struct {
+	snapshot []byte
+	snapErr  error
+	streamed chan [2]int64 // (epoch, offset) each ServeStream received
+}
+
+func (s *stubRepl) Snapshot() ([]byte, error) { return s.snapshot, s.snapErr }
+
+func (s *stubRepl) ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, offset int64) error {
+	if s.streamed != nil {
+		s.streamed <- [2]int64{int64(epoch), offset}
+	}
+	// Emit one heartbeat so the follower side has something to read, then
+	// end the stream.
+	fmt.Fprintf(w, "HB %d %d\n", epoch, offset)
+	return w.Flush()
+}
+
+func TestLagPayloadRoundTrip(t *testing.T) {
+	cases := []LagInfo{
+		{Staleness: 0, Epoch: 0, Offset: 0, State: "streaming"},
+		{Staleness: 1500 * time.Millisecond, Epoch: 3, Offset: 12345, State: "catchup"},
+		{Staleness: -1, Epoch: 0, Offset: 0, State: "connecting"},
+		{Staleness: 0, Epoch: 9, Offset: 7, State: "promoted"},
+	}
+	for _, want := range cases {
+		got, err := parseLagPayload(lagPayload(want))
+		if err != nil {
+			t.Fatalf("parse(%q): %v", lagPayload(want), err)
+		}
+		if want.Staleness < 0 {
+			if got.Staleness >= 0 {
+				t.Fatalf("unknown staleness round-tripped to %v", got.Staleness)
+			}
+			got.Staleness = want.Staleness
+		}
+		if got != want {
+			t.Fatalf("round trip: got %+v, want %+v", got, want)
+		}
+	}
+	if li := (LagInfo{Staleness: -1}); !strings.HasPrefix(lagPayload(li), "-1 ") ||
+		!strings.HasSuffix(lagPayload(li), " unknown") {
+		t.Fatalf("empty-state payload = %q", lagPayload(li))
+	}
+	for _, bad := range []string{"", "1 2 3", "x 2 3 s", "1 x 3 s", "1 2 x s", "1 2 3 s extra"} {
+		if _, err := parseLagPayload(bad); err == nil {
+			t.Fatalf("parseLagPayload(%q) accepted", bad)
+		}
+	}
+}
+
+func TestReplVerbsUnsupportedWithoutHooks(t *testing.T) {
+	srv := startServer(t, newMemTarget(t), Options{})
+	for _, verb := range []string{"SNAP", "LAG", "PROMOTE"} {
+		c, err := netDial(srv.Addr())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		fmt.Fprintf(c, "%s\n", verb)
+		resp, err := readResponseConn(c)
+		c.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", verb, err)
+		}
+		if resp.ok || resp.code != codeUnsupported {
+			t.Fatalf("%s = ok=%v code=%q, want ERR %s", verb, resp.ok, resp.code, codeUnsupported)
+		}
+	}
+}
+
+func TestSnapServesSnapshotPayload(t *testing.T) {
+	srv := startServer(t, newMemTarget(t), Options{Repl: &stubRepl{snapshot: []byte("opaque-bootstrap-bytes")}})
+	c, err := netDial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	fmt.Fprintln(c, "SNAP")
+	resp, err := readResponseConn(c)
+	if err != nil {
+		t.Fatalf("SNAP: %v", err)
+	}
+	if !resp.ok || resp.payload != "opaque-bootstrap-bytes" {
+		t.Fatalf("SNAP = ok=%v payload=%q", resp.ok, resp.payload)
+	}
+
+	// Snapshot failures surface as exec errors.
+	broken := startServer(t, newMemTarget(t), Options{Repl: &stubRepl{snapErr: errors.New("store busted")}})
+	c2, err := netDial(broken.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c2.Close()
+	fmt.Fprintln(c2, "SNAP")
+	resp, err = readResponseConn(c2)
+	if err != nil {
+		t.Fatalf("SNAP(err): %v", err)
+	}
+	if resp.ok || resp.code != codeExec {
+		t.Fatalf("SNAP with failing source = ok=%v code=%q", resp.ok, resp.code)
+	}
+}
+
+func TestReplHandsConnectionToStream(t *testing.T) {
+	repl := &stubRepl{streamed: make(chan [2]int64, 1)}
+	srv := startServer(t, newMemTarget(t), Options{Repl: repl})
+	c, err := netDial(srv.Addr())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer c.Close()
+	fmt.Fprintln(c, "REPL 2 99")
+	got := <-repl.streamed
+	if got != [2]int64{2, 99} {
+		t.Fatalf("ServeStream got %v, want [2 99]", got)
+	}
+	// The stream's frame arrives raw (no OK envelope), then the server
+	// closes the connection.
+	br := bufio.NewReader(c)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	line, err := br.ReadString('\n')
+	if err != nil {
+		t.Fatalf("read stream frame: %v", err)
+	}
+	if line != "HB 2 99\n" {
+		t.Fatalf("stream frame = %q", line)
+	}
+	if _, err := br.ReadString('\n'); err == nil {
+		t.Fatal("connection stayed open after the stream ended")
+	}
+}
+
+func TestReplRejectsBadPositions(t *testing.T) {
+	srv := startServer(t, newMemTarget(t), Options{Repl: &stubRepl{}})
+	for _, req := range []string{"REPL", "REPL 1", "REPL x 0", "REPL 1 -5", "REPL 1 0 extra"} {
+		c, err := netDial(srv.Addr())
+		if err != nil {
+			t.Fatalf("dial: %v", err)
+		}
+		fmt.Fprintf(c, "%s\n", req)
+		resp, err := readResponseConn(c)
+		c.Close()
+		if err != nil {
+			t.Fatalf("%q: %v", req, err)
+		}
+		if resp.ok || resp.code != codeProto {
+			t.Fatalf("%q = ok=%v code=%q, want ERR %s", req, resp.ok, resp.code, codeProto)
+		}
+	}
+}
+
+func TestClientLagAndPromote(t *testing.T) {
+	var promoted atomic.Bool
+	srv := startServer(t, newMemTarget(t), Options{
+		LagProbe: func() LagInfo {
+			return LagInfo{Staleness: 250 * time.Millisecond, Epoch: 1, Offset: 42, State: "streaming"}
+		},
+		Promote: func() error {
+			if !promoted.CompareAndSwap(false, true) {
+				return errors.New("already promoted")
+			}
+			return nil
+		},
+	})
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	li, err := cli.Lag(ctx)
+	if err != nil {
+		t.Fatalf("Lag: %v", err)
+	}
+	want := LagInfo{Staleness: 250 * time.Millisecond, Epoch: 1, Offset: 42, State: "streaming"}
+	if li != want {
+		t.Fatalf("Lag = %+v, want %+v", li, want)
+	}
+
+	if err := cli.Promote(ctx); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+	if !promoted.Load() {
+		t.Fatal("promote hook not called")
+	}
+	// A failing hook surfaces as a ServerError.
+	var se *ServerError
+	if err := cli.Promote(ctx); !errors.As(err, &se) || se.Code != codeExec {
+		t.Fatalf("second Promote = %v, want exec ServerError", err)
+	}
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"hrdb/internal/hql"
+)
+
+// Router is a lag-bounded read/write splitter over one primary and any
+// number of read replicas. Scripts that hql.ReadOnlyScript classifies as
+// read-only are routed to a replica whose reported staleness is within the
+// configured bound (round-robin over eligible replicas); everything else —
+// mutations, transactions, unparseable input — goes to the primary, as do
+// reads when no replica is fresh enough or every eligible replica fails at
+// the transport level.
+//
+// Freshness comes from the replicas' LAG verb, cached per replica for a
+// short interval so routing doesn't pay a round trip per request. The
+// classification predicate is compile-time exhaustive (every statement
+// kind declares itself), so a newly added statement can't silently start
+// routing writes to replicas.
+type Router struct {
+	primary  *Client
+	replicas []*Client
+
+	maxStale time.Duration
+	probeTTL time.Duration
+
+	mu    sync.Mutex
+	next  int       // round-robin cursor
+	lag   []LagInfo // last probe result per replica
+	lagAt []time.Time
+}
+
+// RouterOption configures a Router.
+type RouterOption func(*Router)
+
+// WithMaxStaleness sets the freshness bound: a replica is eligible for a
+// read only if its reported staleness is known and at most d. Default
+// 500ms. Replicas that have never synced report unknown staleness and are
+// never eligible.
+func WithMaxStaleness(d time.Duration) RouterOption {
+	return func(r *Router) { r.maxStale = d }
+}
+
+// WithLagProbeInterval sets how long a replica's LAG answer is cached
+// before the next probe. Default 100ms; zero probes on every read.
+func WithLagProbeInterval(d time.Duration) RouterOption {
+	return func(r *Router) { r.probeTTL = d }
+}
+
+// DialRouter connects to the primary and each replica. The primary
+// connection is established eagerly (as Dial does); replica connections
+// are too, but a replica that cannot be reached at dial time is an error —
+// topology mistakes should surface at startup, not as silent primary-only
+// routing.
+func DialRouter(primaryAddr string, replicaAddrs []string, opts ...RouterOption) (*Router, error) {
+	primary, err := Dial(primaryAddr)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		primary:  primary,
+		maxStale: 500 * time.Millisecond,
+		probeTTL: 100 * time.Millisecond,
+		lag:      make([]LagInfo, len(replicaAddrs)),
+		lagAt:    make([]time.Time, len(replicaAddrs)),
+	}
+	for _, addr := range replicaAddrs {
+		rc, err := Dial(addr)
+		if err != nil {
+			r.Close()
+			return nil, err
+		}
+		r.replicas = append(r.replicas, rc)
+	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	return r, nil
+}
+
+// Close closes every connection.
+func (r *Router) Close() error {
+	err := r.primary.Close()
+	for _, rc := range r.replicas {
+		if cerr := rc.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Exec routes one script: read-only scripts to a fresh-enough replica,
+// everything else to the primary.
+func (r *Router) Exec(ctx context.Context, input string) (string, error) {
+	if len(r.replicas) == 0 || !hql.ReadOnlyScript(input) {
+		return r.primary.Exec(ctx, input)
+	}
+	start := r.advance()
+	for i := 0; i < len(r.replicas); i++ {
+		idx := (start + i) % len(r.replicas)
+		li, at, err := r.lagInfo(ctx, idx)
+		if err != nil || !r.fresh(li, at) {
+			continue
+		}
+		out, err := r.replicas[idx].Exec(ctx, input)
+		if err == nil {
+			metricReplicaServed.Inc()
+			return out, nil
+		}
+		var se *ServerError
+		if errors.As(err, &se) {
+			// The replica answered: a definitive statement failure is the
+			// script's real result, not a routing problem.
+			return "", err
+		}
+		if ctx.Err() != nil {
+			return "", err
+		}
+		// Transport failure: try the next replica, then the primary.
+	}
+	metricPrimaryFallback.Inc()
+	return r.primary.Exec(ctx, input)
+}
+
+// advance returns the current round-robin start and bumps the cursor.
+func (r *Router) advance() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	start := r.next
+	if len(r.replicas) > 0 {
+		r.next = (r.next + 1) % len(r.replicas)
+	}
+	return start
+}
+
+// fresh reports whether a lag answer taken at time at is still within the
+// staleness bound: the answer itself ages while cached, so the probe's age
+// counts against the bound too. A promoted replica reports zero staleness
+// — it is the authoritative copy.
+func (r *Router) fresh(li LagInfo, at time.Time) bool {
+	if li.Staleness < 0 {
+		return false
+	}
+	return li.Staleness+time.Since(at) <= r.maxStale
+}
+
+// lagInfo returns replica idx's lag and when it was measured, probing at
+// most every probeTTL.
+func (r *Router) lagInfo(ctx context.Context, idx int) (LagInfo, time.Time, error) {
+	r.mu.Lock()
+	li, at := r.lag[idx], r.lagAt[idx]
+	r.mu.Unlock()
+	if !at.IsZero() && time.Since(at) < r.probeTTL {
+		return li, at, nil
+	}
+	li, err := r.replicas[idx].Lag(ctx)
+	if err != nil {
+		return LagInfo{Staleness: -1}, time.Time{}, err
+	}
+	now := time.Now()
+	r.mu.Lock()
+	r.lag[idx], r.lagAt[idx] = li, now
+	r.mu.Unlock()
+	return li, now, nil
+}

@@ -51,6 +51,17 @@ type Options struct {
 	SlowQuery *obs.SlowQueryLog
 	// Tracer, when non-nil, receives a span per executed statement.
 	Tracer obs.Tracer
+	// Repl, when non-nil, enables the SNAP and REPL verbs: this server can
+	// bootstrap and stream WAL records to follower processes. Typically a
+	// repl.Primary over the same store the server executes against.
+	Repl ReplSource
+	// Promote, when non-nil, enables the PROMOTE verb (manual failover):
+	// it must flip the serving target writable and is typically wired to a
+	// repl.Replica on a server that fronts one.
+	Promote func() error
+	// LagProbe, when non-nil, enables the LAG verb: it reports the serving
+	// replica's replication state for lag-bounded read routing.
+	LagProbe func() LagInfo
 }
 
 // withDefaults resolves zero values.
@@ -271,6 +282,14 @@ func (s *Server) handleConn(c net.Conn) {
 			continue
 		case "QUIT":
 			return
+		case "SNAP", "REPL", "PROMOTE", "LAG":
+			// REPL hands the whole connection to the stream until it ends
+			// (the read deadline is already cleared above; the stream
+			// heartbeats on its own cadence).
+			if !s.serveRepl(bw, br, req) {
+				return
+			}
+			continue
 		}
 
 		if !s.serveExec(bw, sess, req) {

@@ -1,0 +1,218 @@
+package storage
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"hrdb/internal/catalog"
+)
+
+// This file pins the crash-safety of Checkpoint itself: the rotation
+// sequence (snapshot temp write → fsync → rename → dir sync → new log →
+// dir sync → old-log removal → dir sync) must leave a recoverable
+// directory no matter where a crash lands inside it. A checkpoint is
+// logically a no-op, so recovery after any mid-checkpoint crash must
+// reproduce the exact pre-checkpoint state.
+
+// copyDirFiles copies every regular file of src into dst.
+func copyDirFiles(t testing.TB, src, dst string) {
+	t.Helper()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		in, err := os.Open(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := os.Create(filepath.Join(dst, e.Name()))
+		if err != nil {
+			in.Close()
+			t.Fatal(err)
+		}
+		if _, err := io.Copy(out, in); err != nil {
+			t.Fatal(err)
+		}
+		in.Close()
+		if err := out.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCheckpointCrashAtEveryBudget sweeps a write-byte crash budget across
+// the whole Checkpoint operation. Whatever the budget, reopening the
+// directory afterwards must recover the exact pre-checkpoint state and
+// stay writable: either the rotation completed (new snapshot + new log) or
+// it did not (old snapshot + old log), never a hybrid that loses or
+// duplicates operations.
+func TestCheckpointCrashAtEveryBudget(t *testing.T) {
+	seedDir := t.TempDir()
+	bounds, _ := runCrashWorkload(t, seedDir)
+	want := bounds[len(bounds)-1].fp
+
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+	completed := false
+	for budget := 0; !completed; budget += stride {
+		dir := t.TempDir()
+		copyDirFiles(t, seedDir, dir)
+		fs := NewFaultFS(nil)
+		s, err := OpenOptions(dir, Options{FS: fs})
+		if err != nil {
+			t.Fatalf("budget %d: open: %v", budget, err)
+		}
+		fs.CrashAfterBytes(int64(budget))
+		if err := s.Checkpoint(); err == nil {
+			// The budget covered every write of the checkpoint: the sweep
+			// has crossed the whole operation.
+			completed = true
+		}
+		_ = s.Close()
+
+		s2, err := Open(dir)
+		if err != nil {
+			t.Fatalf("budget %d: reopen after crash: %v", budget, err)
+		}
+		if got := fingerprint(s2.Database()); got != want {
+			t.Fatalf("budget %d: recovered state diverges from pre-checkpoint state\n got: %s\nwant: %s", budget, got, want)
+		}
+		if err := s2.CreateRelation("PostCrash", catalog.AttrSpec{Name: "X", Domain: "D"}); err != nil {
+			t.Fatalf("budget %d: recovered store not writable: %v", budget, err)
+		}
+		must(t, s2.Close())
+	}
+}
+
+// TestCheckpointCrashBetweenRenameAndNewLog pins the window the byte-budget
+// sweep cannot reach (it contains no writes): the snapshot rename has
+// landed, the new-epoch log does not exist yet. Open must read the new
+// snapshot, create the empty new-epoch log itself, and recover the exact
+// checkpoint state.
+func TestCheckpointCrashBetweenRenameAndNewLog(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(nil)
+	s, err := OpenOptions(dir, Options{FS: fs})
+	must(t, err)
+	populateStore(t, s)
+	want := fingerprint(s.Database())
+
+	// Crash immediately after the next rename: the snapshot rename is the
+	// only rename Checkpoint performs.
+	fs.CrashAfterRenames(0)
+	if err := s.Checkpoint(); err == nil {
+		t.Fatal("checkpoint succeeded through a crash after the snapshot rename")
+	}
+	// The crashed process is poisoned; mutations must refuse.
+	if err := s.Assert("Flies", "GP"); !errors.Is(err, ErrStoreFailed) {
+		t.Fatalf("mutation after mid-checkpoint crash: got %v, want ErrStoreFailed", err)
+	}
+	_ = s.Close()
+
+	// The directory now holds the new snapshot (epoch 1) and the old
+	// epoch-0 WAL, but no epoch-1 WAL.
+	if _, err := os.Stat(filepath.Join(dir, walName(1))); !os.IsNotExist(err) {
+		t.Fatalf("epoch-1 wal exists in the crash window (stat err=%v)", err)
+	}
+
+	s2, err := Open(dir)
+	must(t, err)
+	if got := fingerprint(s2.Database()); got != want {
+		t.Fatalf("recovered state diverges from checkpoint state\n got: %s\nwant: %s", got, want)
+	}
+	if got := s2.LogEpoch(); got != 1 {
+		t.Fatalf("recovered epoch = %d, want 1", got)
+	}
+	// The superseded epoch-0 WAL is removed lazily by Open.
+	if _, err := os.Stat(filepath.Join(dir, walFile)); !os.IsNotExist(err) {
+		t.Fatalf("superseded epoch-0 wal survived reopen (stat err=%v)", err)
+	}
+	// Recovered store stays writable and its writes survive a reopen.
+	must(t, s2.AddInstance("Animal", "Pete", "GP"))
+	must(t, s2.Close())
+	s3, err := Open(dir)
+	must(t, err)
+	defer s3.Close()
+	h, err := s3.Database().Hierarchy("Animal")
+	must(t, err)
+	if !h.Has("Pete") {
+		t.Fatal("post-recovery write lost")
+	}
+}
+
+// TestCheckpointRemoveFailureReported: a failed old-WAL removal must be
+// reported (wrapped in ErrCheckpointGC) instead of silently discarded, and
+// must not poison the store — the rotation itself completed.
+func TestCheckpointRemoveFailureReported(t *testing.T) {
+	dir := t.TempDir()
+	fs := NewFaultFS(nil)
+	s, err := OpenOptions(dir, Options{FS: fs})
+	must(t, err)
+	defer s.Close()
+	populateStore(t, s)
+
+	fs.FailRemove(true)
+	err = s.Checkpoint()
+	if !errors.Is(err, ErrCheckpointGC) {
+		t.Fatalf("checkpoint with failing Remove: got %v, want ErrCheckpointGC", err)
+	}
+	// The superseded WAL is still on disk…
+	if _, err := os.Stat(filepath.Join(dir, walFile)); err != nil {
+		t.Fatalf("old wal missing despite failed removal: %v", err)
+	}
+	// …but the rotation landed and the store keeps working on the new log.
+	if got := s.LogEpoch(); got != 1 {
+		t.Fatalf("epoch after GC failure = %d, want 1", got)
+	}
+	fs.FailRemove(false)
+	must(t, s.Assert("Flies", "GP"))
+}
+
+// TestCheckpointDirSyncAfterRemoval: Checkpoint must fsync the directory
+// after removing the old WAL (so the removal survives a crash), and a
+// failure of exactly that fsync must surface as ErrCheckpointGC without
+// poisoning the store.
+func TestCheckpointDirSyncAfterRemoval(t *testing.T) {
+	// First measure a clean checkpoint: snapshot rename, new-log creation,
+	// and old-WAL removal each fsync the directory.
+	dir := t.TempDir()
+	fs := NewFaultFS(nil)
+	s, err := OpenOptions(dir, Options{FS: fs})
+	must(t, err)
+	populateStore(t, s)
+	before := fs.DirSyncs()
+	must(t, s.Checkpoint())
+	perCheckpoint := fs.DirSyncs() - before
+	if perCheckpoint != 3 {
+		t.Fatalf("clean checkpoint issued %d dir syncs, want 3 (rename, new log, removal)", perCheckpoint)
+	}
+	must(t, s.Close())
+
+	// Now target the last of the three: the post-removal dir sync.
+	dir2 := t.TempDir()
+	fs2 := NewFaultFS(nil)
+	s2, err := OpenOptions(dir2, Options{FS: fs2})
+	must(t, err)
+	defer s2.Close()
+	populateStore(t, s2)
+	fs2.FailDirSyncAfter(2)
+	err = s2.Checkpoint()
+	if !errors.Is(err, ErrCheckpointGC) {
+		t.Fatalf("checkpoint with failing post-removal dir sync: got %v, want ErrCheckpointGC", err)
+	}
+	// Not poisoned: the rotation is complete and writes continue.
+	must(t, s2.Assert("Flies", "GP"))
+	// The removal itself happened; only its durability is in doubt.
+	if _, err := os.Stat(filepath.Join(dir2, walFile)); !os.IsNotExist(err) {
+		t.Fatalf("old wal still present after removal (stat err=%v)", err)
+	}
+}

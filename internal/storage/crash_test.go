@@ -1,10 +1,8 @@
 package storage
 
 import (
-	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"testing"
 
 	"hrdb/internal/catalog"
@@ -20,36 +18,7 @@ import (
 // fingerprint returns a canonical rendering of a database's full logical
 // state (hierarchies, preferences, relations, modes, tuples, policy),
 // independent of construction order.
-func fingerprint(db *catalog.Database) string {
-	spec := SnapshotDatabase(db)
-	spec.LogEpoch = 0 // physical detail, not logical state
-	for i := range spec.Hierarchies {
-		h := &spec.Hierarchies[i]
-		for j := range h.Nodes {
-			sort.Strings(h.Nodes[j].Parents)
-		}
-		sort.Slice(h.Nodes, func(a, b int) bool { return h.Nodes[a].Name < h.Nodes[b].Name })
-		sort.Slice(h.Prefs, func(a, b int) bool {
-			if h.Prefs[a][0] != h.Prefs[b][0] {
-				return h.Prefs[a][0] < h.Prefs[b][0]
-			}
-			return h.Prefs[a][1] < h.Prefs[b][1]
-		})
-	}
-	sort.Slice(spec.Hierarchies, func(a, b int) bool {
-		return spec.Hierarchies[a].Domain < spec.Hierarchies[b].Domain
-	})
-	for i := range spec.Relations {
-		r := &spec.Relations[i]
-		sort.Slice(r.Tuples, func(a, b int) bool {
-			return fmt.Sprint(r.Tuples[a]) < fmt.Sprint(r.Tuples[b])
-		})
-	}
-	sort.Slice(spec.Relations, func(a, b int) bool {
-		return spec.Relations[a].Name < spec.Relations[b].Name
-	})
-	return fmt.Sprintf("%+v", spec)
-}
+func fingerprint(db *catalog.Database) string { return Fingerprint(db) }
 
 // boundary records the durable WAL size and database state after one
 // acknowledged operation.

@@ -26,16 +26,20 @@ type FaultFS struct {
 	mu sync.Mutex
 	// Countdowns: -1 is disarmed; 0 means the next matching call fails
 	// (one-shot), n > 0 means n calls succeed first.
-	syncAfter   int
-	writeAfter  int
-	shortBytes  int // bytes actually written by the failing short write
-	dirSyncFail bool
-	crashBudget int64 // bytes of write budget before a simulated crash; -1 disarmed
-	crashed     bool  // after a crash every write and sync fails
-	writes      int
-	syncs       int
-	dirSyncs    int
-	renames     int
+	syncAfter    int
+	writeAfter   int
+	shortBytes   int // bytes actually written by the failing short write
+	dirSyncFail  bool
+	dirSyncAfter int   // one-shot SyncDir countdown; -1 disarmed
+	removeFail   bool  // every Remove fails while set
+	crashBudget  int64 // bytes of write budget before a simulated crash; -1 disarmed
+	renameCrash  int   // renames that succeed before the crash; -1 disarmed
+	crashed      bool  // after a crash every write and sync fails
+	writes       int
+	syncs        int
+	dirSyncs     int
+	renames      int
+	removes      int
 }
 
 // NewFaultFS creates a fault injector over base (OsFS{} when base is nil).
@@ -43,7 +47,7 @@ func NewFaultFS(base FS) *FaultFS {
 	if base == nil {
 		base = OsFS{}
 	}
-	return &FaultFS{base: base, syncAfter: -1, writeAfter: -1, crashBudget: -1}
+	return &FaultFS{base: base, syncAfter: -1, writeAfter: -1, dirSyncAfter: -1, crashBudget: -1, renameCrash: -1}
 }
 
 // FailSyncAfter arms a one-shot fsync fault: the next n file Sync calls
@@ -69,6 +73,34 @@ func (f *FaultFS) FailWriteAfter(n, short int) {
 func (f *FaultFS) FailDirSync(enabled bool) {
 	f.mu.Lock()
 	f.dirSyncFail = enabled
+	f.mu.Unlock()
+}
+
+// FailDirSyncAfter arms a one-shot directory-fsync fault: the next n
+// SyncDir calls succeed, the one after fails with ErrInjected. Use it to
+// target one SyncDir in a sequence (e.g. the post-removal dir sync of a
+// checkpoint) without failing the earlier ones.
+func (f *FaultFS) FailDirSyncAfter(n int) {
+	f.mu.Lock()
+	f.dirSyncAfter = n
+	f.mu.Unlock()
+}
+
+// FailRemove makes Remove return ErrInjected while enabled.
+func (f *FaultFS) FailRemove(enabled bool) {
+	f.mu.Lock()
+	f.removeFail = enabled
+	f.mu.Unlock()
+}
+
+// CrashAfterRenames simulates a crash immediately after the n-th further
+// Rename completes: the rename itself lands, then every later operation
+// fails. This pins windows that contain no writes — e.g. the gap between a
+// checkpoint's snapshot rename and its new-log creation.
+func (f *FaultFS) CrashAfterRenames(n int) {
+	f.mu.Lock()
+	f.renameCrash = n
+	f.crashed = false
 	f.mu.Unlock()
 }
 
@@ -108,15 +140,42 @@ func (f *FaultFS) Rename(oldpath, newpath string) error {
 	f.mu.Lock()
 	f.renames++
 	crashed := f.crashed
+	crashNext := false
+	if !crashed && f.renameCrash >= 0 {
+		if f.renameCrash == 0 {
+			f.renameCrash = -1
+			crashNext = true
+		} else {
+			f.renameCrash--
+		}
+	}
 	f.mu.Unlock()
 	if crashed {
 		return ErrInjected
 	}
-	return f.base.Rename(oldpath, newpath)
+	err := f.base.Rename(oldpath, newpath)
+	if crashNext {
+		f.mu.Lock()
+		f.crashed = true
+		f.mu.Unlock()
+	}
+	return err
 }
 
 // Remove implements FS.
-func (f *FaultFS) Remove(name string) error { return f.base.Remove(name) }
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	f.removes++
+	fail := f.removeFail || f.crashed
+	f.mu.Unlock()
+	if fail {
+		return ErrInjected
+	}
+	return f.base.Remove(name)
+}
+
+// Removes returns the number of Remove calls observed.
+func (f *FaultFS) Removes() int { f.mu.Lock(); defer f.mu.Unlock(); return f.removes }
 
 // Stat implements FS.
 func (f *FaultFS) Stat(name string) (os.FileInfo, error) { return f.base.Stat(name) }
@@ -131,6 +190,12 @@ func (f *FaultFS) SyncDir(dir string) error {
 	f.mu.Lock()
 	f.dirSyncs++
 	fail := f.dirSyncFail || f.crashed
+	if f.dirSyncAfter == 0 {
+		f.dirSyncAfter = -1
+		fail = true
+	} else if f.dirSyncAfter > 0 {
+		f.dirSyncAfter--
+	}
 	f.mu.Unlock()
 	if fail {
 		return ErrInjected

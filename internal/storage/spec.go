@@ -130,6 +130,42 @@ func SnapshotRelation(r *core.Relation) RelationSpec {
 	return spec
 }
 
+// Fingerprint renders a database's logical state in a canonical form: the
+// snapshot spec with every order-insensitive collection sorted and the
+// physical LogEpoch zeroed. Two databases with equal fingerprints hold the
+// same facts — the convergence check used by crash-recovery tests, the
+// replication acceptance tests, and the replication benchmark.
+func Fingerprint(db *catalog.Database) string {
+	spec := SnapshotDatabase(db)
+	spec.LogEpoch = 0 // physical detail, not logical state
+	for i := range spec.Hierarchies {
+		h := &spec.Hierarchies[i]
+		for j := range h.Nodes {
+			sort.Strings(h.Nodes[j].Parents)
+		}
+		sort.Slice(h.Nodes, func(a, b int) bool { return h.Nodes[a].Name < h.Nodes[b].Name })
+		sort.Slice(h.Prefs, func(a, b int) bool {
+			if h.Prefs[a][0] != h.Prefs[b][0] {
+				return h.Prefs[a][0] < h.Prefs[b][0]
+			}
+			return h.Prefs[a][1] < h.Prefs[b][1]
+		})
+	}
+	sort.Slice(spec.Hierarchies, func(a, b int) bool {
+		return spec.Hierarchies[a].Domain < spec.Hierarchies[b].Domain
+	})
+	for i := range spec.Relations {
+		r := &spec.Relations[i]
+		sort.Slice(r.Tuples, func(a, b int) bool {
+			return fmt.Sprint(r.Tuples[a]) < fmt.Sprint(r.Tuples[b])
+		})
+	}
+	sort.Slice(spec.Relations, func(a, b int) bool {
+		return spec.Relations[a].Name < spec.Relations[b].Name
+	})
+	return fmt.Sprintf("%+v", spec)
+}
+
 // SnapshotDatabase converts a whole database to its spec.
 func SnapshotDatabase(db *catalog.Database) DatabaseSpec {
 	spec := DatabaseSpec{Policy: int(db.Policy())}

@@ -82,7 +82,7 @@ func TestApplyCorruptRecords(t *testing.T) {
 		{Op: Op("nonsense")},
 	}
 	for _, rec := range bad {
-		if err := s.apply(rec); err == nil {
+		if err := applyRecord(s.Database(), rec); err == nil {
 			t.Errorf("record %+v accepted", rec)
 		}
 	}

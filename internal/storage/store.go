@@ -3,6 +3,7 @@ package storage
 import (
 	"errors"
 	"fmt"
+	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
@@ -58,6 +59,18 @@ type Store struct {
 	// makes every staged byte durable, so acknowledged records survive a
 	// concurrent Close.
 	closed atomic.Bool
+	// epochEnds records, under applyMu, the final byte size of each WAL
+	// epoch this process has rotated away from, so a replication stream
+	// positioned exactly at a retired epoch's end can be told to continue
+	// at (epoch+1, 0) instead of re-bootstrapping. Epochs rotated by
+	// earlier processes are absent: a follower parked inside one is stale
+	// and must take a fresh snapshot.
+	epochEnds map[uint64]int64
+	// watch is closed and replaced by notify() whenever the durable
+	// replication position advances (commit, checkpoint, close), waking
+	// WaitChange subscribers.
+	watchMu sync.Mutex
+	watch   chan struct{}
 }
 
 // Options configures Open.
@@ -82,6 +95,12 @@ var ErrStoreFailed = errors.New("storage: store failed (WAL append error); reope
 // store object is done; unlike it, everything acknowledged is durable and
 // reopening the directory recovers the complete state.
 var ErrStoreClosed = errors.New("storage: store closed")
+
+// ErrCheckpointGC wraps a failure in Checkpoint's final garbage-collection
+// step (removing the superseded WAL and fsyncing the directory). The
+// rotation itself succeeded and the store remains usable; the error tells
+// the caller that the old WAL file may survive a crash.
+var ErrCheckpointGC = errors.New("storage: checkpoint garbage-collection incomplete")
 
 // Filenames inside a store directory.
 const (
@@ -131,7 +150,11 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Store{db: db, log: log, dir: dir, fs: fs, opts: opts, epoch: epoch}
+	s := &Store{
+		db: db, log: log, dir: dir, fs: fs, opts: opts, epoch: epoch,
+		epochEnds: make(map[uint64]int64),
+		watch:     make(chan struct{}),
+	}
 	if err := s.replay(); err != nil {
 		log.Close()
 		return nil, err
@@ -153,72 +176,18 @@ func (s *Store) Database() *catalog.Database { return s.db }
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 
-// replay applies every durable log record to the freshly loaded database.
-// Records inside a tx_begin bracket — DML and otherwise — are buffered and
-// applied only when the bracket closes with tx_commit, as one catalog
-// transaction per DML run (an individual record of a batch may be
-// inconsistent on its own, §3.1's whole point). A tx_abort bracket is
-// discarded wholesale. An unterminated bracket cannot reach here: OpenLog
-// truncates it with the torn tail.
+// replay applies every durable log record to the freshly loaded database
+// through an Applier, which owns the transaction-bracket semantics (commit
+// applies, abort discards). An unterminated bracket cannot reach here:
+// OpenLog truncates it with the torn tail.
 func (s *Store) replay() error {
 	start := time.Now()
 	defer func() { metricReplayNS.ObserveDuration(time.Since(start)) }()
-	var txBuf []Record
-	inTx := false
+	a := NewApplier(s.db)
 	return s.log.Replay(func(rec Record) error {
 		metricReplayRecords.Inc()
-		switch rec.Op {
-		case OpTxBegin:
-			inTx = true
-			txBuf = nil
-			return nil
-		case OpTxAbort:
-			inTx = false
-			txBuf = nil
-			return nil
-		case OpTxCommit:
-			inTx = false
-			recs := txBuf
-			txBuf = nil
-			return s.applyCommitted(recs)
-		}
-		if inTx {
-			txBuf = append(txBuf, rec)
-			return nil
-		}
-		return s.apply(rec)
+		return a.Apply(rec)
 	})
-}
-
-// applyCommitted applies the records of one committed bracket in order:
-// consecutive DML records form one catalog transaction; any other record
-// (not produced by this writer, but tolerated from foreign or legacy logs)
-// is applied at its position.
-func (s *Store) applyCommitted(recs []Record) error {
-	var ops []catalog.TxOp
-	flush := func() error {
-		if len(ops) == 0 {
-			return nil
-		}
-		err := s.db.ApplyOps(ops)
-		ops = nil
-		return err
-	}
-	for _, rec := range recs {
-		switch rec.Op {
-		case OpAssert, OpDeny, OpRetract:
-			kind := map[Op]string{OpAssert: "assert", OpDeny: "deny", OpRetract: "retract"}[rec.Op]
-			ops = append(ops, catalog.TxOp{Kind: kind, Relation: rec.Target, Values: rec.Args})
-		default:
-			if err := flush(); err != nil {
-				return err
-			}
-			if err := s.apply(rec); err != nil {
-				return err
-			}
-		}
-	}
-	return flush()
 }
 
 // txRecordOps maps TxOp kinds to their WAL record ops.
@@ -282,6 +251,7 @@ func (s *Store) ApplyTx(ops []catalog.TxOp) error {
 		s.failed.Store(true)
 		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
 	}
+	s.notify()
 	return nil
 }
 
@@ -306,91 +276,8 @@ func (s *Store) applyTxPerRecord(recs []Record, ops []catalog.TxOp) error {
 		s.failed.Store(true)
 		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
 	}
+	s.notify()
 	return nil
-}
-
-// apply executes one record against the catalog.
-func (s *Store) apply(rec Record) error {
-	db := s.db
-	switch rec.Op {
-	case OpCreateHierarchy:
-		_, err := db.CreateHierarchy(rec.Target)
-		return err
-	case OpAddClass, OpAddInstance:
-		h, err := db.Hierarchy(rec.Target)
-		if err != nil {
-			return err
-		}
-		if len(rec.Args) == 0 {
-			return fmt.Errorf("%w: %s without a name", ErrCorrupt, rec.Op)
-		}
-		name, parents := rec.Args[0], rec.Args[1:]
-		if rec.Op == OpAddInstance {
-			return h.AddInstance(name, parents...)
-		}
-		return h.AddClass(name, parents...)
-	case OpAddEdge:
-		h, err := db.Hierarchy(rec.Target)
-		if err != nil {
-			return err
-		}
-		if len(rec.Args) != 2 {
-			return fmt.Errorf("%w: add_edge wants 2 args", ErrCorrupt)
-		}
-		return h.AddEdge(rec.Args[0], rec.Args[1])
-	case OpPrefer:
-		h, err := db.Hierarchy(rec.Target)
-		if err != nil {
-			return err
-		}
-		if len(rec.Args) != 2 {
-			return fmt.Errorf("%w: prefer wants 2 args", ErrCorrupt)
-		}
-		return h.Prefer(rec.Args[0], rec.Args[1])
-	case OpCreateRelation:
-		if len(rec.Args)%2 != 0 {
-			return fmt.Errorf("%w: create_relation wants attr/domain pairs", ErrCorrupt)
-		}
-		attrs := make([]catalog.AttrSpec, 0, len(rec.Args)/2)
-		for i := 0; i+1 < len(rec.Args); i += 2 {
-			attrs = append(attrs, catalog.AttrSpec{Name: rec.Args[i], Domain: rec.Args[i+1]})
-		}
-		_, err := db.CreateRelation(rec.Target, attrs...)
-		return err
-	case OpDropRelation:
-		return db.DropRelation(rec.Target)
-	case OpAssert:
-		return db.Assert(rec.Target, rec.Args...)
-	case OpDeny:
-		return db.Deny(rec.Target, rec.Args...)
-	case OpRetract:
-		_, err := db.Retract(rec.Target, rec.Args...)
-		return err
-	case OpConsolidate:
-		_, err := db.Consolidate(rec.Target)
-		return err
-	case OpExplicate:
-		return db.Explicate(rec.Target, rec.Args...)
-	case OpDropNode:
-		if len(rec.Args) != 1 {
-			return fmt.Errorf("%w: drop_node wants 1 arg", ErrCorrupt)
-		}
-		return db.DropNode(rec.Target, rec.Args[0])
-	case OpSetMode:
-		if len(rec.Args) != 1 {
-			return fmt.Errorf("%w: set_mode wants 1 arg", ErrCorrupt)
-		}
-		mode, err := parseMode(rec.Args[0])
-		if err != nil {
-			return err
-		}
-		return db.SetMode(rec.Target, mode)
-	case OpTxBegin, OpTxCommit, OpTxAbort:
-		// Brackets are interpreted by replay; standalone ones are inert.
-		return nil
-	default:
-		return fmt.Errorf("%w: unknown op %q", ErrCorrupt, rec.Op)
-	}
 }
 
 // logged performs one single-record mutation: validate by applying in
@@ -422,6 +309,7 @@ func (s *Store) logged(rec Record, do func() error) error {
 		s.failed.Store(true)
 		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
 	}
+	s.notify()
 	return nil
 }
 
@@ -571,11 +459,16 @@ func parseMode(v string) (core.Preemption, error) {
 //     the directory is fsynced. A crash between 1 and 2 is benign: Open
 //     reads the new snapshot and creates the (empty) new-epoch log itself;
 //     the old log is superseded and removed lazily.
-//  3. The old log is closed and removed (best effort).
+//  3. The old log is closed and removed, and the directory is fsynced so
+//     the removal is durable (otherwise a crash can resurrect a WAL from
+//     two epochs ago that Open's lazy epoch-1 cleanup never reclaims).
 //
 // A failure after step 1 may leave the directory referencing the new
 // epoch while this process still holds the old log, so the store is
-// poisoned and must be reopened.
+// poisoned and must be reopened. A failure in step 3 does NOT poison the
+// store — the rotation itself is complete and the new log is live — but
+// it is reported (wrapped in ErrCheckpointGC) so callers know the
+// superseded WAL may still be on disk.
 func (s *Store) Checkpoint() error {
 	if err := s.usable(); err != nil {
 		return err
@@ -601,11 +494,24 @@ func (s *Store) Checkpoint() error {
 		return fmt.Errorf("%w: %v", ErrStoreFailed, err)
 	}
 	old, oldEpoch := s.log, s.epoch
+	_, oldEnd := old.StagedMark()
 	s.log, s.epoch = newLog, newEpoch
-	_ = old.Close()
-	_ = s.fs.Remove(filepath.Join(s.dir, walName(oldEpoch)))
+	// The retired epoch ends where its staged bytes end: old.Close below
+	// flushes everything staged, and nothing can stage more (s.log has been
+	// swapped under applyMu).
+	s.epochEnds[oldEpoch] = oldEnd
+	s.notify()
 	metricCheckpoints.Inc()
 	metricCheckpointNS.ObserveDuration(time.Since(start))
+	// Step 3: garbage-collect the superseded log. Failures here are
+	// reported but do not poison — the new snapshot and log are durable.
+	_ = old.Close()
+	if err := s.fs.Remove(filepath.Join(s.dir, walName(oldEpoch))); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: remove %s: %v", ErrCheckpointGC, walName(oldEpoch), err)
+	}
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return fmt.Errorf("%w: dir sync after removing %s: %v", ErrCheckpointGC, walName(oldEpoch), err)
+	}
 	return nil
 }
 
@@ -655,5 +561,17 @@ func (s *Store) Close() error {
 	s.closed.Store(true)
 	log := s.log
 	s.applyMu.Unlock()
+	// Wake WaitChange subscribers so replication streams observe the close
+	// instead of blocking until their heartbeat deadline.
+	s.notify()
 	return log.Close()
+}
+
+// notify wakes every WaitChange subscriber by closing the current watch
+// channel and installing a fresh one.
+func (s *Store) notify() {
+	s.watchMu.Lock()
+	close(s.watch)
+	s.watch = make(chan struct{})
+	s.watchMu.Unlock()
 }

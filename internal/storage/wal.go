@@ -365,6 +365,17 @@ func (l *Log) Size() (int64, error) {
 	return l.base + l.durable, nil
 }
 
+// StagedMark returns the current staging high-water twice: as a durability
+// mark suitable for Sync (relative to open, excludes the base prefix) and
+// as the absolute log size in bytes once everything staged is flushed.
+// Replication uses the pair to capture a consistent position under the
+// store's apply lock and make it durable after releasing it.
+func (l *Log) StagedMark() (mark, abs int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.staged, l.base + l.staged
+}
+
 // observeFlush records the metrics of one successful write+fsync covering
 // n bytes and recs records.
 func observeFlush(n int, recs uint64) {
