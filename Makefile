@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all help build test test-crash test-server test-obs test-repl race cover bench bench-smoke figures experiments fuzz fuzz-smoke clean
+.PHONY: all help build test test-crash test-server test-compat test-obs test-repl race cover bench bench-smoke figures experiments fuzz fuzz-smoke clean
 
 all: build test
 
@@ -15,7 +15,9 @@ help:
 	@echo "  test-crash   crash the WAL at every byte offset and verify"
 	@echo "               recovery of the exact committed prefix"
 	@echo "  test-server  race-mode pass over the network service layer"
-	@echo "               (overload shedding, drain, chaos proxy)"
+	@echo "               (overload shedding, drain, chaos proxy, v2 mux)"
+	@echo "  test-compat  cross-version wire-protocol matrix: v2 server with"
+	@echo "               v1 clients, v1-only server with auto/v2 clients"
 	@echo "  test-obs     race-mode pass over the observability layer"
 	@echo "               (metrics registry, histograms, slow-query log)"
 	@echo "  test-repl    race-mode pass over the replication subsystem"
@@ -28,7 +30,7 @@ help:
 	@echo "  bench-smoke  quick pass over the batch-evaluation and"
 	@echo "               verdict-cache benchmarks only"
 	@echo "  figures      regenerate the paper figures (cmd/hrfigures)"
-	@echo "  experiments  print the E1-E11 experiment tables (cmd/hrbench)"
+	@echo "  experiments  print the E1-E12 experiment tables (cmd/hrbench)"
 	@echo "  fuzz         run the fuzz targets for FUZZTIME ($(FUZZTIME)) each"
 	@echo "  fuzz-smoke   run the fuzz targets for 15s each (CI)"
 
@@ -46,6 +48,9 @@ test-crash:
 
 test-server:
 	$(GO) test -race -count=1 ./internal/server/
+
+test-compat:
+	$(GO) test -race -count=1 -run 'TestCrossVersionMatrix|TestTenantNamespaceIsolation|TestUnknownTenantFailsDial' ./internal/server/
 
 test-obs:
 	$(GO) test -race -count=1 ./internal/obs/
@@ -76,6 +81,7 @@ experiments:
 
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=$(FUZZTIME) ./internal/hql/
+	$(GO) test -fuzz=FuzzFrameDecode -fuzztime=$(FUZZTIME) ./internal/server/
 	$(GO) test -fuzz=FuzzOpenLog -fuzztime=$(FUZZTIME) ./internal/storage/
 	$(GO) test -fuzz=FuzzCrashOffset -fuzztime=$(FUZZTIME) ./internal/storage/
 	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=$(FUZZTIME) ./internal/storage/

@@ -1,4 +1,4 @@
-// Command hrbench runs the performance experiments E1–E11 of EXPERIMENTS.md
+// Command hrbench runs the performance experiments E1–E12 of EXPERIMENTS.md
 // and prints their tables. The paper (a model paper) reports no absolute
 // numbers; these experiments quantify the claims its prose makes — storage
 // compression from class tuples (§1), the join degradation of the flat
@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -41,10 +42,11 @@ func main() {
 		"E9":  e9Parallel,
 		"E10": e10GroupCommit,
 		"E11": e11Replication,
+		"E12": e12Multiplexing,
 	}
 	args := os.Args[1:]
 	if len(args) == 0 {
-		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11"}
+		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
 	}
 	for _, a := range args {
 		f, ok := exps[strings.ToUpper(a)]
@@ -490,6 +492,247 @@ func e11Replication() {
 		check(replSrv.Shutdown(ctx))
 		cancel()
 		check(store.Close())
+	}
+}
+
+// e12Fixture builds a database whose EXTENSION query is expensive: classes
+// classes of fanout instances each, all asserted at the class level, so
+// flattening materializes classes×fanout rows.
+func e12Fixture(classes, fanout int) *hrdb.Database {
+	db := hrdb.NewDatabase()
+	sess := hrdb.NewSession(db)
+	var b strings.Builder
+	b.WriteString("CREATE HIERARCHY D;\n")
+	for c := 0; c < classes; c++ {
+		fmt.Fprintf(&b, "CLASS C%d IN D;\n", c)
+		for i := 0; i < fanout; i++ {
+			fmt.Fprintf(&b, "INSTANCE i%d_%d UNDER C%d;\n", c, i, c)
+		}
+	}
+	b.WriteString("CREATE RELATION R (X: D);\n")
+	for c := 0; c < classes; c++ {
+		fmt.Fprintf(&b, "ASSERT R (C%d);\n", c)
+	}
+	if _, err := sess.Exec(b.String()); err != nil {
+		log.Fatal(err)
+	}
+	return db
+}
+
+// e12Target injects a fixed delay into Explicate, modeling the cold-scan
+// cost of flattening a large relation without burning the benchmark box's
+// single CPU — what the experiment measures is protocol head-of-line
+// blocking, which must not be confounded with scheduler contention.
+type e12Target struct {
+	hrdb.Target
+	delay time.Duration
+}
+
+func (t e12Target) Explicate(rel string, attrs ...string) error {
+	time.Sleep(t.delay)
+	return t.Target.Explicate(rel, attrs...)
+}
+
+// e12Pipelining drives one client with 64 interleaved request streams —
+// stream 0 runs the slow flattening statement, the other 63 issue point
+// HOLDS probes — and reports the probes' latency quantiles. On the v1 line
+// protocol every probe queues behind the flattening statement on the
+// single in-order connection; on v2 the probes pipeline past it on the
+// same socket.
+func e12Pipelining(addr string, forceV1 bool) (slow time.Duration, lat []time.Duration) {
+	opts := []hrdb.Option{hrdb.WithMaxRetries(0)}
+	proto := hrdb.ProtocolAuto
+	if forceV1 {
+		proto = hrdb.ProtocolV1
+	}
+	c, err := hrdb.Dial(addr, append(opts, hrdb.WithProtocol(proto))...)
+	check(err)
+	defer c.Close()
+	ctx := context.Background()
+
+	if _, err := c.Exec(ctx, "HOLDS R (i0_0);"); err != nil { // warm the connection
+		log.Fatal(err)
+	}
+
+	var (
+		mu      sync.Mutex
+		stop    = make(chan struct{})
+		wg      sync.WaitGroup
+		probeNs []time.Duration
+	)
+	slowStart := time.Now()
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		if _, err := c.Exec(ctx, "EXPLICATE R;"); err != nil {
+			log.Fatal(err)
+		}
+	}()
+	// Give the flattening statement a head start so every probe measured
+	// genuinely contends with it, on the wire (v1) or not (v2).
+	time.Sleep(10 * time.Millisecond)
+	for s := 1; s < 64; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				t0 := time.Now()
+				if _, err := c.Exec(ctx, "HOLDS R (i0_0);"); err != nil {
+					log.Fatal(err)
+				}
+				d := time.Since(t0)
+				mu.Lock()
+				probeNs = append(probeNs, d)
+				mu.Unlock()
+			}
+		}()
+	}
+	<-slowDone
+	slow = time.Since(slowStart)
+	close(stop)
+	wg.Wait()
+	sort.Slice(probeNs, func(i, j int) bool { return probeNs[i] < probeNs[j] })
+	return slow, probeNs
+}
+
+// e12Multiplexing: the framed multiplexed wire protocol v2 — fast streams
+// overtake a slow one on a shared connection, and per-tenant admission
+// quotas shed a flooding tenant without touching its neighbor, verified by
+// the tenant-labeled series in a metrics scrape.
+func e12Multiplexing() {
+	header("E12 — wire protocol v2: pipelining and tenant isolation")
+
+	db := e12Fixture(10, 100)
+	quiet := hrdb.NewDatabase()
+	if _, err := hrdb.NewSession(quiet).Exec("CREATE HIERARCHY Q; CLASS C IN Q; INSTANCE q0 UNDER C; CREATE RELATION S (X: Q); ASSERT S (C);"); err != nil {
+		log.Fatal(err)
+	}
+	srv := hrdb.NewServer(e12Target{Target: hrdb.NewMemTarget(db), delay: 150 * time.Millisecond}, hrdb.ServerOptions{
+		Workers: 4, QueueDepth: 64, MaxConns: 512,
+		Tenants: []hrdb.TenantConfig{
+			{Name: "noisy", Limits: hrdb.TenantLimits{MaxInflight: 2, RatePerSec: 50}},
+			{Name: "quiet", Target: hrdb.NewMemTarget(quiet)},
+		},
+	})
+	check(srv.Start("127.0.0.1:0"))
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		check(srv.Shutdown(ctx))
+	}()
+
+	fmt.Println("64 interleaved streams on one connection; stream 0 flattens the relation")
+	fmt.Println("(EXPLICATE against a store with 150ms of injected scan latency), 63 issue point probes.")
+	fmt.Println()
+	fmt.Println("| protocol | slow query | probes | probe p50 | probe p99 |")
+	fmt.Println("|---|---|---|---|---|")
+	var p50 [2]time.Duration
+	for i, forceV1 := range []bool{true, false} {
+		slow, lat := e12Pipelining(srv.Addr(), forceV1)
+		if len(lat) == 0 {
+			log.Fatal("E12: no probes completed")
+		}
+		p50[i] = lat[len(lat)/2]
+		name := "v2 (framed)"
+		if forceV1 {
+			name = "v1 (line)"
+		}
+		fmt.Printf("| %s | %s | %d | %s | %s |\n", name,
+			fmtNs(float64(slow.Nanoseconds())), len(lat),
+			fmtNs(float64(p50[i].Nanoseconds())),
+			fmtNs(float64(lat[len(lat)*99/100].Nanoseconds())))
+	}
+	fmt.Printf("\nprobe p50 improvement, v2 over v1: %.1f×\n", float64(p50[0])/float64(p50[1]))
+
+	// Tenant isolation: flood "noisy" past its quota while "quiet" runs a
+	// steady probe load; the scrape's labeled series carry the verdict.
+	cn, err := hrdb.Dial(srv.Addr(), hrdb.WithTenant("noisy"), hrdb.WithMaxRetries(0))
+	check(err)
+	defer cn.Close()
+	cq, err := hrdb.Dial(srv.Addr(), hrdb.WithTenant("quiet"), hrdb.WithMaxRetries(0))
+	check(err)
+	defer cq.Close()
+	ctx := context.Background()
+
+	quietRun := func(n int) []time.Duration {
+		lat := make([]time.Duration, 0, n)
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			if _, err := cq.Exec(ctx, "HOLDS S (q0);"); err != nil {
+				log.Fatal(err)
+			}
+			lat = append(lat, time.Since(t0))
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat
+	}
+	baseline := quietRun(200)
+
+	const floodN = 400
+	var floodShed, floodOK int64
+	var quietLat []time.Duration
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < floodN/8; i++ {
+				_, err := cn.Exec(ctx, "SHOW RELATIONS;")
+				mu.Lock()
+				if errors.Is(err, hrdb.ErrQuotaExceeded) {
+					floodShed++
+				} else if err == nil {
+					floodOK++
+				} else {
+					log.Fatal(err)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		quietLat = quietRun(200)
+	}()
+	wg.Wait()
+
+	scrape, err := cq.Stats(ctx)
+	check(err)
+	metric := func(name string) string {
+		for _, line := range strings.Split(scrape, "\n") {
+			if strings.HasPrefix(line, name+" ") {
+				return strings.TrimSpace(strings.TrimPrefix(line, name))
+			}
+		}
+		return "0"
+	}
+	fmt.Println()
+	fmt.Printf("noisy tenant (max-inflight=2, rate=50/s): %d/%d statements shed with %q\n",
+		floodShed, floodN, "quota")
+	fmt.Println()
+	fmt.Println("| tenant | scrape: requests | scrape: shed | quiet p50 |")
+	fmt.Println("|---|---|---|---|")
+	fmt.Printf("| noisy | %s | %s | — |\n",
+		metric(`hrdb_tenant_requests_total{tenant="noisy"}`),
+		metric(`hrdb_tenant_shed_total{tenant="noisy"}`))
+	fmt.Printf("| quiet (before flood) | — | — | %s |\n",
+		fmtNs(float64(baseline[len(baseline)/2].Nanoseconds())))
+	fmt.Printf("| quiet (during flood) | %s | %s | %s |\n",
+		metric(`hrdb_tenant_requests_total{tenant="quiet"}`),
+		metric(`hrdb_tenant_shed_total{tenant="quiet"}`),
+		fmtNs(float64(quietLat[len(quietLat)/2].Nanoseconds())))
+	if floodShed == 0 {
+		log.Fatal("E12: the flood was never shed — quota enforcement is broken")
+	}
+	if shed := metric(`hrdb_tenant_shed_total{tenant="quiet"}`); shed != "0" {
+		log.Fatalf("E12: quiet tenant shed %s statements during a neighbor's flood", shed)
 	}
 }
 

@@ -1,11 +1,21 @@
 // Command hrserved serves a hierarchical relational database over TCP
-// using the HQL line protocol (see docs/HQL.md, "Wire protocol").
+// using the HQL wire protocol — framed multiplexed v2 with a line-protocol
+// v1 fallback (see docs/HQL.md, "Wire protocol").
 //
 //	hrserved -data ./mydb                 # durable database in ./mydb
 //	hrserved -addr :7583                  # in-memory database
 //	hrserved -data ./mydb -workers 4 -queue 32 -max-conns 128
 //	hrserved -metrics-addr 127.0.0.1:9090 # HTTP /metrics + /debug/pprof
 //	hrserved -slow-query 100ms            # log slow statements to stderr
+//
+// Multi-tenancy (see README "Multi-tenancy"):
+//
+//	hrserved -tenant acme -tenant "beta:max-inflight=4,rate=100,burst=200"
+//
+// Each -tenant declares a named in-memory namespace with its own admission
+// quota and rate limit; clients select one at connect time (HELLO on v2,
+// USE on v1). Limits on the default namespace: -tenant "default:rate=500".
+// -disable-v2 serves only the v1 line protocol (compatibility testing).
 //
 // Replication (see README "Replication"):
 //
@@ -32,6 +42,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -51,6 +63,9 @@ func main() {
 	slowQuery := flag.Duration("slow-query", 0, "log statements at least this slow to stderr (0 = disabled)")
 	replAddr := flag.String("repl-addr", "", "replication listen address (primary; requires -data)")
 	replicaOf := flag.String("replica-of", "", "primary replication address to follow (replica mode; excludes -data)")
+	disableV2 := flag.Bool("disable-v2", false, "serve only the v1 line protocol (reject HELLO upgrades)")
+	var tenants tenantFlags
+	flag.Var(&tenants, "tenant", `named namespace, repeatable: "name[:max-inflight=N,rate=R,burst=B]"`)
 	flag.Parse()
 
 	opts := hrdb.ServerOptions{
@@ -59,6 +74,8 @@ func main() {
 		MaxConns:    *maxConns,
 		IdleTimeout: *idle,
 		MaxDeadline: *maxDeadline,
+		Tenants:     tenants.configs,
+		DisableV2:   *disableV2,
 	}
 	if *slowQuery > 0 {
 		opts.SlowQuery = hrdb.NewSlowQueryLog(os.Stderr, *slowQuery)
@@ -168,5 +185,59 @@ func run(addr, dataDir, metricsAddr, replAddr, replicaOf string, opts hrdb.Serve
 		return fmt.Errorf("drain incomplete: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "hrserved: clean shutdown")
+	return nil
+}
+
+// tenantFlags collects repeatable -tenant declarations:
+// "name" (unlimited) or "name:max-inflight=N,rate=R,burst=B" (any subset).
+type tenantFlags struct {
+	configs []hrdb.TenantConfig
+}
+
+func (tf *tenantFlags) String() string {
+	names := make([]string, len(tf.configs))
+	for i, c := range tf.configs {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ",")
+}
+
+func (tf *tenantFlags) Set(v string) error {
+	name, spec, _ := strings.Cut(v, ":")
+	if name == "" {
+		return errors.New("tenant name must not be empty")
+	}
+	cfg := hrdb.TenantConfig{Name: name}
+	if spec != "" {
+		for _, kv := range strings.Split(spec, ",") {
+			key, val, ok := strings.Cut(kv, "=")
+			if !ok {
+				return fmt.Errorf("tenant %s: limit %q is not key=value", name, kv)
+			}
+			switch key {
+			case "max-inflight":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return fmt.Errorf("tenant %s: bad max-inflight %q", name, val)
+				}
+				cfg.Limits.MaxInflight = n
+			case "rate":
+				r, err := strconv.ParseFloat(val, 64)
+				if err != nil || r < 0 {
+					return fmt.Errorf("tenant %s: bad rate %q", name, val)
+				}
+				cfg.Limits.RatePerSec = r
+			case "burst":
+				n, err := strconv.Atoi(val)
+				if err != nil || n < 0 {
+					return fmt.Errorf("tenant %s: bad burst %q", name, val)
+				}
+				cfg.Limits.Burst = n
+			default:
+				return fmt.Errorf("tenant %s: unknown limit %q (want max-inflight, rate, burst)", name, key)
+			}
+		}
+	}
+	tf.configs = append(tf.configs, cfg)
 	return nil
 }

@@ -67,6 +67,7 @@ Ctrl-C cancels the running statement; twice (or at the prompt) exits.`
 func main() {
 	dataDir := flag.String("data", "", "durable database directory (empty = in-memory)")
 	connect := flag.String("connect", "", "connect to an hrserved instance at host:port instead of opening a database")
+	tenant := flag.String("tenant", "", "server-side namespace to run in (with -connect)")
 	execStr := flag.String("e", "", "execute statements and exit")
 	file := flag.String("f", "", "execute a script file and exit")
 	flag.Parse()
@@ -96,14 +97,24 @@ func main() {
 	case *connect != "" && *dataDir != "":
 		fail(fmt.Errorf("-connect and -data are mutually exclusive"))
 	case *connect != "":
-		client, err := hrdb.Dial(*connect)
+		var opts []hrdb.Option
+		if *tenant != "" {
+			opts = append(opts, hrdb.WithTenant(*tenant))
+		}
+		client, err := hrdb.Dial(*connect, opts...)
 		if err != nil {
 			fail(err)
 		}
 		closers = append(closers, func() { client.Close() })
 		exec = client.Exec
 		stats = client.Stats
-		fmt.Fprintf(os.Stderr, "connected to %s\n", *connect)
+		if ns := client.Tenant(); ns != "" && ns != hrdb.DefaultTenant {
+			fmt.Fprintf(os.Stderr, "connected to %s (tenant %s)\n", *connect, ns)
+		} else {
+			fmt.Fprintf(os.Stderr, "connected to %s\n", *connect)
+		}
+	case *tenant != "":
+		fail(fmt.Errorf("-tenant requires -connect"))
 	case *dataDir != "":
 		store, err := hrdb.OpenStore(*dataDir)
 		if err != nil {

@@ -216,51 +216,94 @@ func NewMemTarget(db *Database) Target { return hql.MemTarget{DB: db} }
 // of side effects — the client's idempotency test for automatic retries.
 func ReadOnlyScript(input string) bool { return hql.ReadOnlyScript(input) }
 
-// Service layer: a resilient line-protocol HQL server over TCP, its
-// client, and a fault-injecting proxy for resilience tests.
+// Service layer: a multiplexed HQL server over TCP (framed protocol v2
+// with a line-protocol v1 fallback), its client, multi-tenant namespaces,
+// and a fault-injecting proxy for resilience tests.
 type (
 	// Server is a TCP front end over one Target with admission control,
-	// per-request deadlines, panic isolation, and graceful drain.
+	// per-request deadlines, panic isolation, multi-tenant namespaces, and
+	// graceful drain.
 	Server = server.Server
 	// ServerOptions tunes the server's resilience machinery.
 	ServerOptions = server.Options
-	// Client is a connection to a Server with reconnect, deadline plumbing,
-	// and idempotency-aware retries with exponential backoff.
+	// TenantConfig declares one named namespace a server hosts (its own
+	// target, admission quota, and rate limit); see ServerOptions.Tenants.
+	TenantConfig = server.TenantConfig
+	// TenantLimits bounds one tenant's admission (max in-flight statements,
+	// sustained statements/second, burst).
+	TenantLimits = server.TenantLimits
+	// Client is a connection to a Server with protocol negotiation,
+	// reconnect, deadline plumbing, and idempotency-aware retries with
+	// exponential backoff. On protocol v2, concurrent Execs pipeline over
+	// one connection and complete out of order.
 	Client = server.Client
-	// ClientOption configures Dial.
-	ClientOption = server.ClientOption
+	// Stream is a logical sub-connection of a v2 Client: its statements
+	// execute in order on one server-side session (so transactions span
+	// Exec calls) while other streams proceed concurrently.
+	Stream = server.Stream
+	// Option configures Dial and DialRouter.
+	Option = server.Option
+	// ClientOption is the pre-unification name for Option.
+	//
+	// Deprecated: use Option.
+	ClientOption = server.Option
 	// ServerError is a failure reported by the server in an ERR frame;
 	// match the standard sentinels with errors.Is.
 	ServerError = server.ServerError
+	// ErrorCode is a wire error code carried by ServerError ("exec",
+	// "overloaded", "quota", …).
+	ErrorCode = server.Code
 	// ChaosProxy is a fault-injecting TCP proxy for resilience tests.
 	ChaosProxy = server.ChaosProxy
 )
+
+// Wire protocol versions for WithProtocol.
+const (
+	// ProtocolAuto negotiates: offer v2, fall back to v1. The default.
+	ProtocolAuto = server.ProtocolAuto
+	// ProtocolV1 forces the sequential line protocol.
+	ProtocolV1 = server.ProtocolV1
+	// ProtocolV2 requires the framed multiplexed protocol; dialing a server
+	// without it fails instead of falling back.
+	ProtocolV2 = server.ProtocolV2
+)
+
+// DefaultTenant is the namespace served to connections that never name one.
+const DefaultTenant = server.DefaultTenant
 
 // NewServer creates a server over target (a *Store or NewMemTarget(db));
 // call Start to serve and Shutdown to drain and stop.
 func NewServer(target Target, opts ServerOptions) *Server { return server.New(target, opts) }
 
 // Dial connects to a Server's address.
-func Dial(addr string, opts ...ClientOption) (*Client, error) { return server.Dial(addr, opts...) }
+func Dial(addr string, opts ...Option) (*Client, error) { return server.Dial(addr, opts...) }
 
 // NewChaosProxy starts a fault-injecting proxy forwarding to target
 // ("host:port"); point a Client at its Addr.
 func NewChaosProxy(target string) (*ChaosProxy, error) { return server.NewChaosProxy(target) }
 
 // WithMaxRetries sets how many times a failed request may be retried.
-func WithMaxRetries(n int) ClientOption { return server.WithMaxRetries(n) }
+func WithMaxRetries(n int) Option { return server.WithMaxRetries(n) }
 
 // WithBackoff sets the retry backoff's base and cap.
-func WithBackoff(base, max time.Duration) ClientOption { return server.WithBackoff(base, max) }
+func WithBackoff(base, max time.Duration) Option { return server.WithBackoff(base, max) }
 
 // WithDialTimeout bounds each connection attempt.
-func WithDialTimeout(d time.Duration) ClientOption { return server.WithDialTimeout(d) }
+func WithDialTimeout(d time.Duration) Option { return server.WithDialTimeout(d) }
 
 // WithRetryNonIdempotent opts in to retrying mutations after ambiguous
 // transport failures (see the server package for the safety discussion).
-func WithRetryNonIdempotent(enabled bool) ClientOption {
+func WithRetryNonIdempotent(enabled bool) Option {
 	return server.WithRetryNonIdempotent(enabled)
 }
+
+// WithTenant names the server-side namespace this client's statements run
+// in (resolved during the handshake; unknown tenants fail the dial).
+func WithTenant(name string) Option { return server.WithTenant(name) }
+
+// WithProtocol pins the wire protocol: ProtocolAuto (default), ProtocolV1,
+// or ProtocolV2.
+func WithProtocol(v int) Option { return server.WithProtocol(v) }
 
 // Replication: a primary ships its WAL to read replicas; a router splits
 // reads onto fresh-enough replicas. See README "Replication" and
@@ -283,8 +326,10 @@ type (
 	// Router splits reads onto lag-bounded replicas, writes onto the
 	// primary.
 	Router = server.Router
-	// RouterOption configures DialRouter.
-	RouterOption = server.RouterOption
+	// RouterOption is the pre-unification name for Option.
+	//
+	// Deprecated: use Option.
+	RouterOption = server.Option
 )
 
 // ErrReadOnlyReplica rejects mutations on an unpromoted replica.
@@ -297,18 +342,18 @@ func NewPrimary(store *Store, opts PrimaryOptions) *Primary { return repl.NewPri
 func NewReplica(addr string, opts ReplicaOptions) *Replica { return repl.NewReplica(addr, opts) }
 
 // DialRouter connects a lag-bounded read router to a primary and its
-// replicas.
-func DialRouter(primaryAddr string, replicaAddrs []string, opts ...RouterOption) (*Router, error) {
+// replicas, passing the same options to every connection.
+func DialRouter(primaryAddr string, replicaAddrs []string, opts ...Option) (*Router, error) {
 	return server.DialRouter(primaryAddr, replicaAddrs, opts...)
 }
 
 // WithMaxStaleness bounds how stale a replica may be and still serve
-// routed reads.
-func WithMaxStaleness(d time.Duration) RouterOption { return server.WithMaxStaleness(d) }
+// routed reads (router-only; plain Dial ignores it).
+func WithMaxStaleness(d time.Duration) Option { return server.WithMaxStaleness(d) }
 
 // WithLagProbeInterval sets how long the router caches a replica's LAG
-// answer.
-func WithLagProbeInterval(d time.Duration) RouterOption { return server.WithLagProbeInterval(d) }
+// answer (router-only; plain Dial ignores it).
+func WithLagProbeInterval(d time.Duration) Option { return server.WithLagProbeInterval(d) }
 
 // Fingerprint renders a database's logical state canonically; equal
 // fingerprints mean equal facts (used to verify replica convergence).
@@ -436,8 +481,32 @@ var (
 	// ErrOverloaded indicates a request the server shed; it was never
 	// executed and may be retried after the Retry-After hint.
 	ErrOverloaded = server.ErrOverloaded
+	// ErrQuotaExceeded indicates a request shed by its tenant's admission
+	// quota or rate limit; it was never executed and may be retried.
+	ErrQuotaExceeded = server.ErrQuotaExceeded
+	// ErrUnknownTenant indicates a namespace the server does not host.
+	ErrUnknownTenant = server.ErrUnknownTenant
 	// ErrServerClosed indicates a server that is draining or closed.
 	ErrServerClosed = server.ErrServerClosed
+	// ErrClientClosed indicates a request failed because Client.Close ran
+	// (in-flight pipelined requests fail rather than delaying Close).
+	ErrClientClosed = server.ErrClientClosed
+	// ErrProtocol indicates a wire-protocol violation (either side).
+	ErrProtocol = server.ErrProtocol
+	// ErrStatementTooLarge indicates an EXEC payload over the server's
+	// MaxStatementBytes.
+	ErrStatementTooLarge = server.ErrStatementTooLarge
+	// ErrExecFailed indicates a statement the server executed and rejected
+	// (parse error, integrity violation, …); never retried.
+	ErrExecFailed = server.ErrExecFailed
+	// ErrStatementPanicked indicates a statement that panicked server-side.
+	ErrStatementPanicked = server.ErrStatementPanicked
+	// ErrUnsupported indicates a verb or feature this server (or protocol
+	// version) does not provide.
+	ErrUnsupported = server.ErrUnsupported
+	// ErrStaleReplica indicates a read rejected because the replica knows
+	// it is too far behind.
+	ErrStaleReplica = server.ErrStaleReplica
 )
 
 // Observability: process-wide metrics, tracing hooks, and the slow-query

@@ -160,6 +160,15 @@ var ErrSessionBusy = errors.New("hql: session is single-goroutine; concurrent Ex
 // synchronized). A cheap CAS guard enforces this: an ExecContext entered
 // while another is in flight returns ErrSessionBusy without touching any
 // state.
+//
+// Ownership model for servers: one Session per logical stream. The v1 line
+// protocol runs one stream per connection, so the connection handler owns
+// the session; the v2 multiplexed protocol runs many streams per
+// connection, each owning a private session, with per-stream FIFO
+// dispatch guaranteeing the single-goroutine contract. A session whose
+// stream is abandoned mid-statement must be retired (the statement may
+// still be running); a session whose stream ended cleanly may be reused
+// after Reset.
 type Session struct {
 	target Target
 	txOps  []TxOp
@@ -178,6 +187,24 @@ func NewSession(target Target) *Session { return &Session{target: target} }
 
 // InTx reports whether a transaction is open.
 func (s *Session) InTx() bool { return s.inTx }
+
+// Reset returns the session to its base state: any open transaction is
+// discarded (its buffered operations are dropped, never applied) and the
+// session's Datalog rules are cleared. It lets a connection pool — the v2
+// server multiplexer runs one session per logical stream — reuse a session
+// for a new stream without leaking the previous stream's state. Reset on a
+// session whose statement is still executing returns ErrSessionBusy and
+// changes nothing.
+func (s *Session) Reset() error {
+	if !s.busy.CompareAndSwap(false, true) {
+		return ErrSessionBusy
+	}
+	defer s.busy.Store(false)
+	s.inTx = false
+	s.txOps = nil
+	s.rules = nil
+	return nil
+}
 
 // Exec parses and executes statements, returning the combined output text.
 func (s *Session) Exec(input string) (string, error) {

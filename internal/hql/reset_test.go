@@ -1,0 +1,85 @@
+package hql
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestSessionReset pins the pooled-session contract the v2 server
+// multiplexer relies on: Reset drops an open transaction without applying
+// its buffered operations and clears session rules, returning the session
+// to its base state for the next stream.
+func TestSessionReset(t *testing.T) {
+	db := sessionFixture(t)
+	sess := NewSession(MemTarget{DB: db})
+
+	if _, err := sess.Exec("BEGIN; ASSERT Flies (Tweety); RULE winged(?X) IF isa(?X, Bird);"); err != nil {
+		t.Fatalf("setup: %v", err)
+	}
+	if !sess.InTx() {
+		t.Fatal("transaction should be open")
+	}
+	if err := sess.Reset(); err != nil {
+		t.Fatalf("Reset: %v", err)
+	}
+	if sess.InTx() {
+		t.Fatal("Reset left the transaction open")
+	}
+	// The buffered ASSERT must never have reached the catalog.
+	out, err := sess.Exec("HOLDS Flies (Tweety);")
+	if err != nil || strings.TrimSpace(out) != "false" {
+		t.Fatalf("HOLDS after Reset = %q, %v; want false (tx discarded)", out, err)
+	}
+	// COMMIT without BEGIN proves the tx state is really gone.
+	if _, err := sess.Exec("COMMIT;"); err == nil {
+		t.Fatal("COMMIT after Reset found a transaction")
+	}
+	// Rules are cleared too: SHOW RULES is empty.
+	out, err = sess.Exec("SHOW RULES;")
+	if err != nil {
+		t.Fatalf("SHOW RULES: %v", err)
+	}
+	if strings.Contains(out, "winged") {
+		t.Fatalf("Reset kept rules: %q", out)
+	}
+	// A reset session is fully usable.
+	if _, err := sess.Exec("BEGIN; ASSERT Flies (Tweety); COMMIT;"); err != nil {
+		t.Fatalf("exec after Reset: %v", err)
+	}
+	out, err = sess.Exec("HOLDS Flies (Tweety);")
+	if err != nil || strings.TrimSpace(out) != "true" {
+		t.Fatalf("HOLDS after recommit = %q, %v; want true", out, err)
+	}
+}
+
+// TestSessionResetWhileBusy: Reset during an executing statement is
+// rejected with ErrSessionBusy and changes nothing — a pool must retire,
+// not recycle, a session whose statement is still running.
+func TestSessionResetWhileBusy(t *testing.T) {
+	db := sessionFixture(t)
+	target := slowTarget{
+		Target:  MemTarget{DB: db},
+		entered: make(chan struct{}),
+		gate:    make(chan struct{}),
+	}
+	sess := NewSession(target)
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.Exec("ASSERT Flies (Tweety);")
+		done <- err
+	}()
+	<-target.entered // the ASSERT is now parked mid-statement
+	if err := sess.Reset(); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("Reset while busy: %v, want ErrSessionBusy", err)
+	}
+	close(target.gate)
+	if err := <-done; err != nil {
+		t.Fatalf("statement after rejected Reset: %v", err)
+	}
+	// The rejected Reset did not clobber the committed result.
+	out, err := sess.Exec("HOLDS Flies (Tweety);")
+	if err != nil || strings.TrimSpace(out) != "true" {
+		t.Fatalf("HOLDS = %q, %v; want true", out, err)
+	}
+}

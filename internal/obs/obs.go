@@ -171,6 +171,49 @@ func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
 	return h
 }
 
+// Series is a label-curried view of a registry: metrics created through it
+// carry the bound labels without repeating them at every call site. The
+// canonical use is per-tenant instrumentation — bind {tenant="x"} once and
+// declare the tenant's counters against the shared metric names, so every
+// tenant becomes its own time series under one # TYPE family.
+type Series struct {
+	r      *Registry
+	labels []Label
+}
+
+// With returns a Series bound to the given labels.
+func (r *Registry) With(labels ...Label) *Series {
+	return &Series{r: r, labels: append([]Label(nil), labels...)}
+}
+
+// merge combines the bound labels with per-call extras.
+func (s *Series) merge(extra []Label) []Label {
+	if len(extra) == 0 {
+		return s.labels
+	}
+	out := make([]Label, 0, len(s.labels)+len(extra))
+	out = append(out, s.labels...)
+	return append(out, extra...)
+}
+
+// Counter returns (creating if needed) the named counter with the bound
+// labels applied.
+func (s *Series) Counter(name string, extra ...Label) *Counter {
+	return s.r.Counter(name, s.merge(extra)...)
+}
+
+// Gauge returns (creating if needed) the named gauge with the bound labels
+// applied.
+func (s *Series) Gauge(name string, extra ...Label) *Gauge {
+	return s.r.Gauge(name, s.merge(extra)...)
+}
+
+// Histogram returns (creating if needed) the named histogram with the
+// bound labels applied.
+func (s *Series) Histogram(name string, extra ...Label) *Histogram {
+	return s.r.Histogram(name, s.merge(extra)...)
+}
+
 // Snapshot is a point-in-time copy of every metric in a registry, keyed by
 // the full metric id (name plus sorted labels).
 type Snapshot struct {

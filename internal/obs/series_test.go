@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSeriesCurriesLabels: metrics created through a Series carry its
+// labels, resolve to the same instances as the equivalent direct calls
+// (get-or-create by full id), and extra labels merge rather than replace.
+func TestSeriesCurriesLabels(t *testing.T) {
+	r := NewRegistry()
+	s := r.With(Label{"tenant", "acme"})
+
+	c := s.Counter("req_total")
+	c.Add(3)
+	if direct := r.Counter("req_total", Label{"tenant", "acme"}); direct != c {
+		t.Error("series counter and direct labeled counter are different instances")
+	}
+	if bare := r.Counter("req_total"); bare == c {
+		t.Error("series counter aliases the unlabeled series")
+	}
+
+	g := s.Gauge("inflight")
+	g.Set(2)
+	h := s.Histogram("lat_ns")
+	h.Observe(7)
+	merged := s.Counter("req_total", Label{"verb", "exec"})
+	merged.Inc()
+
+	snap := r.Snapshot()
+	if snap.Counters[`req_total{tenant="acme"}`] != 3 {
+		t.Errorf("counter snapshot = %v", snap.Counters)
+	}
+	if snap.Counters[`req_total{tenant="acme",verb="exec"}`] != 1 {
+		t.Errorf("merged-label counter missing: %v", snap.Counters)
+	}
+	if snap.Gauges[`inflight{tenant="acme"}`] != 2 {
+		t.Errorf("gauge snapshot = %v", snap.Gauges)
+	}
+	if hs := snap.Histograms[`lat_ns{tenant="acme"}`]; hs.Count != 1 || hs.Sum != 7 {
+		t.Errorf("histogram snapshot = %+v", hs)
+	}
+
+	// Two series over the same registry are distinct label scopes.
+	r.With(Label{"tenant", "beta"}).Counter("req_total").Add(5)
+	text := r.RenderText()
+	for _, want := range []string{
+		`req_total{tenant="acme"} 3`,
+		`req_total{tenant="beta"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, text)
+		}
+	}
+	if n := strings.Count(text, "# TYPE req_total"); n != 1 {
+		t.Errorf("req_total TYPE header appears %d times, want 1", n)
+	}
+}

@@ -5,25 +5,22 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
 	"hrdb/internal/hql"
 )
 
-// ErrOverloaded is the client-side sentinel for a request the server shed
-// (admission queue or connection limit). The statement was NOT executed,
-// so retrying is always safe; the client does so automatically, honoring
-// the server's Retry-After hint. Match with errors.Is.
-var ErrOverloaded = errors.New("server overloaded")
-
-// ServerError is a failure the server reported in an ERR frame.
+// ServerError is a failure the server reported in an ERR frame (either
+// protocol version).
 type ServerError struct {
-	Code       string        // protocol error code ("exec", "overloaded", …)
+	Code       Code          // wire error code ("exec", "overloaded", …)
 	Msg        string        // server-side error text
-	RetryAfter time.Duration // backoff hint (nonzero for "overloaded")
+	RetryAfter time.Duration // backoff hint (nonzero for "overloaded"/"quota")
 }
 
 // Error implements error.
@@ -31,47 +28,79 @@ func (e *ServerError) Error() string {
 	return fmt.Sprintf("server: %s: %s", e.Code, e.Msg)
 }
 
-// Is maps protocol codes onto standard sentinels: "overloaded" and
-// "shutdown" match ErrOverloaded / ErrServerClosed, "deadline" and
-// "canceled" match the context errors, so callers use errors.Is without
-// knowing the wire codes.
+// Is maps wire codes onto their sentinels through the code table in
+// errors.go: every code matches exactly one exported error (or a context
+// error), so callers use errors.Is without knowing the wire strings.
 func (e *ServerError) Is(target error) bool {
-	switch e.Code {
-	case codeOverloaded:
-		return target == ErrOverloaded
-	case codeShutdown:
-		return target == ErrServerClosed
-	case codeDeadline:
-		return target == context.DeadlineExceeded
-	case codeCanceled:
-		return target == context.Canceled
-	}
-	return false
+	s := sentinelFor(e.Code)
+	return s != nil && errors.Is(s, target)
 }
 
-// ClientOption configures Dial.
-type ClientOption func(*clientOptions)
+// Protocol versions for WithProtocol.
+const (
+	// ProtocolAuto negotiates: offer v2, fall back to v1 against servers
+	// that don't speak it. The default.
+	ProtocolAuto = 0
+	// ProtocolV1 forces the sequential line protocol.
+	ProtocolV1 = 1
+	// ProtocolV2 requires the framed multiplexed protocol; dialing a
+	// server without it fails instead of falling back.
+	ProtocolV2 = 2
+)
 
-type clientOptions struct {
+// Option configures Dial and DialRouter: one functional-options surface
+// for every client-side knob.
+type Option func(*dialConfig)
+
+// ClientOption is the pre-unification name for Option.
+//
+// Deprecated: use Option.
+type ClientOption = Option
+
+// RouterOption is the pre-unification name for Option.
+//
+// Deprecated: use Option.
+type RouterOption = Option
+
+// dialConfig collects every client and router knob.
+type dialConfig struct {
 	maxRetries  int
 	baseBackoff time.Duration
 	maxBackoff  time.Duration
 	dialTimeout time.Duration
 	retryAll    bool
 	maxResponse int
+	tenant      string
+	protocol    int
+	// Router-only knobs (ignored by plain Dial).
+	maxStale time.Duration
+	probeTTL time.Duration
+}
+
+// defaultDialConfig is the option baseline shared by Dial and DialRouter.
+func defaultDialConfig() dialConfig {
+	return dialConfig{
+		maxRetries:  3,
+		baseBackoff: 10 * time.Millisecond,
+		maxBackoff:  time.Second,
+		dialTimeout: 5 * time.Second,
+		maxResponse: 64 << 20,
+		maxStale:    500 * time.Millisecond,
+		probeTTL:    100 * time.Millisecond,
+	}
 }
 
 // WithMaxRetries sets how many times a failed request may be retried
 // (default 3; 0 disables retries).
-func WithMaxRetries(n int) ClientOption {
-	return func(o *clientOptions) { o.maxRetries = n }
+func WithMaxRetries(n int) Option {
+	return func(o *dialConfig) { o.maxRetries = n }
 }
 
 // WithBackoff sets the exponential backoff's base and cap (defaults 10ms,
 // 1s). Sleeps use full jitter: a uniform draw from (0, base·2^attempt],
 // never below the server's Retry-After hint.
-func WithBackoff(base, max time.Duration) ClientOption {
-	return func(o *clientOptions) {
+func WithBackoff(base, max time.Duration) Option {
+	return func(o *dialConfig) {
 		if base > 0 {
 			o.baseBackoff = base
 		}
@@ -82,61 +111,80 @@ func WithBackoff(base, max time.Duration) ClientOption {
 }
 
 // WithDialTimeout bounds each connection attempt (default 5s).
-func WithDialTimeout(d time.Duration) ClientOption {
-	return func(o *clientOptions) { o.dialTimeout = d }
+func WithDialTimeout(d time.Duration) Option {
+	return func(o *dialConfig) { o.dialTimeout = d }
 }
 
 // WithRetryNonIdempotent opts in to retrying mutating statements after
 // ambiguous failures (connection severed before the reply). By default
 // only read-only scripts are retried then — a mutation whose reply was
 // lost may have committed, and blind re-execution would double-apply it.
-// Shed requests ("overloaded") are always retried: the server guarantees
-// they were never executed.
-func WithRetryNonIdempotent(enabled bool) ClientOption {
-	return func(o *clientOptions) { o.retryAll = enabled }
+// Shed requests ("overloaded", "quota") are always retried: the server
+// guarantees they were never executed.
+func WithRetryNonIdempotent(enabled bool) Option {
+	return func(o *dialConfig) { o.retryAll = enabled }
 }
 
-// Client is a connection to a Server with automatic reconnect, deadline
-// plumbing, and retry with exponential backoff. A Client is safe for
-// concurrent use; requests are serialized over one connection. Close may
-// be called at any time, including while a request is in flight — it
-// severs the connection, failing the in-flight call, rather than waiting
-// behind it.
+// WithTenant names the server-side namespace this client's statements run
+// in. Resolved during the handshake: protocol v2 carries it in HELLO, the
+// v1 fallback sends USE after connecting. Dialing a server that does not
+// know the tenant fails with ErrUnknownTenant.
+func WithTenant(name string) Option {
+	return func(o *dialConfig) { o.tenant = name }
+}
+
+// WithProtocol pins the wire protocol: ProtocolAuto (default, negotiate
+// with fallback), ProtocolV1, or ProtocolV2 (fail rather than fall back).
+func WithProtocol(v int) Option {
+	return func(o *dialConfig) {
+		if v == ProtocolV1 || v == ProtocolV2 {
+			o.protocol = v
+		} else {
+			o.protocol = ProtocolAuto
+		}
+	}
+}
+
+// Client is a connection to a Server with automatic protocol negotiation,
+// reconnect, deadline plumbing, and retry with exponential backoff. A
+// Client is safe for concurrent use: on protocol v2, concurrent requests
+// pipeline over one connection and complete out of order; on v1 they
+// serialize. Close may be called at any time, including with requests in
+// flight — they fail with ErrClientClosed rather than delaying Close.
 type Client struct {
 	addr string
-	o    clientOptions
+	o    dialConfig
 
-	// reqMu serializes round trips; connMu guards connection state and is
-	// never held across network I/O, so Close can always acquire it.
+	// reqMu serializes v1 round trips (the line protocol admits one
+	// request at a time); v2 requests bypass it. connMu guards connection
+	// state and is never held across network I/O, so Close can always
+	// acquire it.
 	reqMu sync.Mutex
 
 	connMu sync.Mutex
 	closed bool
-	conn   net.Conn
-	br     *bufio.Reader
+	conn   net.Conn      // v1 mode
+	br     *bufio.Reader // v1 mode
+	c2     *conn2        // v2 mode (exactly one of conn/c2 is set)
+	tenant string        // namespace confirmed by the server ("" = default)
 }
 
-// Dial connects to a server. The initial connection is established eagerly
-// so configuration errors surface immediately; later disconnects repair
+// Dial connects to a server. The initial connection — including the
+// protocol handshake and tenant resolution — is established eagerly so
+// configuration errors surface immediately; later disconnects repair
 // themselves on the next call.
-func Dial(addr string, opts ...ClientOption) (*Client, error) {
-	o := clientOptions{
-		maxRetries:  3,
-		baseBackoff: 10 * time.Millisecond,
-		maxBackoff:  time.Second,
-		dialTimeout: 5 * time.Second,
-		maxResponse: 64 << 20,
-	}
+func Dial(addr string, opts ...Option) (*Client, error) {
+	o := defaultDialConfig()
 	for _, opt := range opts {
 		opt(&o)
 	}
 	c := &Client{addr: addr, o: o}
-	conn, err := c.dial()
+	c.connMu.Lock()
+	err := c.connectLocked()
+	c.connMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
-	c.conn = conn
-	c.br = bufio.NewReader(conn)
 	return c, nil
 }
 
@@ -144,26 +192,172 @@ func (c *Client) dial() (net.Conn, error) {
 	return net.DialTimeout("tcp", c.addr, c.o.dialTimeout)
 }
 
-// Close closes the connection and marks the client unusable. An in-flight
-// request fails with a transport error instead of delaying Close.
+// Tenant returns the namespace the server confirmed for this client
+// ("default" once connected with no tenant requested; empty before any
+// tenant-aware handshake, e.g. plain v1 without USE).
+func (c *Client) Tenant() string {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.tenant
+}
+
+// connectLocked dials and negotiates. Callers hold c.connMu. On return
+// either c.c2 (v2) or c.conn/c.br (v1) is live.
+func (c *Client) connectLocked() error {
+	if c.o.protocol == ProtocolV1 {
+		conn, err := c.dial()
+		if err != nil {
+			return err
+		}
+		return c.setupV1(conn)
+	}
+	conn, err := c.dial()
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReader(conn)
+	// The upgrade offer rides v1 text framing so a pre-v2 server parses it
+	// as an unknown verb and answers ERR proto before closing.
+	hello := "HELLO 2\n"
+	if c.o.tenant != "" {
+		hello = "HELLO 2 " + c.o.tenant + "\n"
+	}
+	if _, err := io.WriteString(conn, hello); err != nil {
+		conn.Close()
+		return err
+	}
+	resp, err := readResponse(br, c.o.maxResponse)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	if resp.ok {
+		fields := strings.Fields(resp.payload)
+		if len(fields) == 0 || fields[0] != "v2" {
+			conn.Close()
+			return fmt.Errorf("%w: unexpected HELLO reply %q", ErrProtocol, resp.payload)
+		}
+		c.tenant = c.o.tenant
+		for _, f := range fields[1:] {
+			if t, ok := strings.CutPrefix(f, "tenant="); ok {
+				c.tenant = t
+			}
+		}
+		c.c2 = newConn2(conn, br, c.o.maxResponse)
+		return nil
+	}
+	conn.Close()
+	if resp.code == codeProto && c.o.protocol == ProtocolAuto {
+		// Pre-v2 server: redial and speak the line protocol.
+		v1conn, err := c.dial()
+		if err != nil {
+			return err
+		}
+		return c.setupV1(v1conn)
+	}
+	return &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+}
+
+// setupV1 finishes a v1 connection: resolve the tenant with USE when one
+// was requested (a server too old for USE answers ERR proto, which
+// surfaces — the namespace cannot be silently ignored).
+func (c *Client) setupV1(conn net.Conn) error {
+	br := bufio.NewReader(conn)
+	if c.o.tenant != "" {
+		if _, err := io.WriteString(conn, "USE "+c.o.tenant+"\n"); err != nil {
+			conn.Close()
+			return err
+		}
+		resp, err := readResponse(br, c.o.maxResponse)
+		if err != nil {
+			conn.Close()
+			return err
+		}
+		if !resp.ok {
+			conn.Close()
+			return &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+		}
+		c.tenant = strings.TrimPrefix(resp.payload, "tenant=")
+	}
+	c.conn = conn
+	c.br = br
+	return nil
+}
+
+// Close closes the connection and marks the client unusable. In-flight
+// requests — pipelined v2 waiters and any v1 round trip — fail with
+// ErrClientClosed instead of delaying Close or leaking their goroutines.
 func (c *Client) Close() error {
 	c.connMu.Lock()
 	defer c.connMu.Unlock()
-	c.closed = true
-	if c.conn == nil {
+	if c.closed {
 		return nil
 	}
-	err := c.conn.Close()
-	c.conn = nil
-	c.br = nil
+	c.closed = true
+	var err error
+	if c.c2 != nil {
+		err = c.c2.close()
+		c.c2 = nil
+	}
+	if c.conn != nil {
+		if cerr := c.conn.Close(); err == nil {
+			err = cerr
+		}
+		c.conn = nil
+		c.br = nil
+	}
 	return err
+}
+
+// isClosed reports whether Close has run.
+func (c *Client) isClosed() bool {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	return c.closed
+}
+
+// ensure returns the live connection in exactly one mode: (c2, nil, nil)
+// for v2, (nil, conn, br) for v1; dialing and negotiating if needed.
+func (c *Client) ensure() (*conn2, net.Conn, *bufio.Reader, error) {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.closed {
+		return nil, nil, nil, ErrClientClosed
+	}
+	if c.c2 != nil {
+		if c.c2.alive() {
+			return c.c2, nil, nil, nil
+		}
+		c.c2 = nil
+	}
+	if c.conn != nil {
+		return nil, c.conn, c.br, nil
+	}
+	if err := c.connectLocked(); err != nil {
+		return nil, nil, nil, err
+	}
+	if c.c2 != nil {
+		return c.c2, nil, nil, nil
+	}
+	return nil, c.conn, c.br, nil
+}
+
+// discardConn drops a v1 connection whose stream state is unknown.
+func (c *Client) discardConn() {
+	c.connMu.Lock()
+	defer c.connMu.Unlock()
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+		c.br = nil
+	}
 }
 
 // Exec executes an HQL script and returns its output. The ctx deadline is
 // propagated to the server (which enforces it during execution) and
 // bounds the whole call including backoff sleeps.
 //
-// Retry policy: "overloaded"/"shutdown" replies are definitive
+// Retry policy: "overloaded"/"quota"/"shutdown" replies are definitive
 // not-executed signals and are always retried (with backoff, honoring
 // Retry-After). Ambiguous failures — the connection died before a reply —
 // are retried only when the script is read-only (hql.ReadOnly) or the
@@ -189,56 +383,203 @@ func (c *Client) Exec(ctx context.Context, input string) (string, error) {
 	}
 }
 
-// Ping performs a liveness round trip.
-func (c *Client) Ping(ctx context.Context) error {
+// roundTrip performs one request/response exchange on whichever protocol
+// the connection negotiated.
+func (c *Client) roundTrip(ctx context.Context, input string) (string, error) {
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
+	for {
+		cc, conn, br, err := c.ensure()
+		if err != nil {
+			return "", err
+		}
+		if cc != nil {
+			return c.execV2(ctx, cc, input)
+		}
+		out, err, stale := c.execV1(ctx, conn, br, input)
+		if !stale {
+			return out, err
+		}
+		// The connection changed hands while we waited for the v1 turn
+		// (another goroutine hit a transport error and redialed): re-ensure.
+	}
+}
+
+// execV2 runs one statement as a throwaway v2 stream: a fresh stream id,
+// end-of-stream flagged on the single EXEC, responses correlated by id.
+// Concurrent callers pipeline on the shared connection.
+func (c *Client) execV2(ctx context.Context, cc *conn2, input string) (string, error) {
+	var timeout time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		timeout = time.Until(dl)
+		if timeout <= 0 {
+			return "", context.DeadlineExceeded
+		}
+	}
+	resp, err := cc.do(ctx, fvExec, flagEndStream, cc.nextStream.Add(1), execPayload(timeout, input))
+	if err != nil {
+		return "", err
+	}
+	if !resp.ok {
+		return "", &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+	}
+	return resp.payload, nil
+}
+
+// execV1 performs one line-protocol round trip. stale=true means the
+// connection identity changed before the turn came up; the caller should
+// re-ensure and try again.
+func (c *Client) execV1(ctx context.Context, conn net.Conn, br *bufio.Reader, input string) (out string, err error, stale bool) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
-	conn, br, err := c.ensureConn()
-	if err != nil {
-		return err
+	c.connMu.Lock()
+	switch {
+	case c.closed:
+		c.connMu.Unlock()
+		return "", ErrClientClosed, false
+	case c.conn != conn:
+		c.connMu.Unlock()
+		return "", nil, true
+	}
+	c.connMu.Unlock()
+
+	// Deadline plumbing: the remaining ctx budget rides in the EXEC header
+	// so the server enforces it during execution; the socket deadline and
+	// the AfterFunc below cover the transport.
+	var timeoutMS int64
+	if dl, ok := ctx.Deadline(); ok {
+		remain := time.Until(dl)
+		if remain <= 0 {
+			return "", context.DeadlineExceeded, false
+		}
+		timeoutMS = int64(remain / time.Millisecond)
+		if timeoutMS == 0 {
+			timeoutMS = 1
+		}
+		conn.SetDeadline(dl.Add(100 * time.Millisecond))
+	} else {
+		conn.SetDeadline(time.Time{})
 	}
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	if _, err := fmt.Fprintf(conn, "PING\n"); err != nil {
+
+	if _, err := fmt.Fprintf(conn, "EXEC %d %d\n%s\n", timeoutMS, len(input), input); err != nil {
 		c.discardConn()
-		return err
+		return "", c.transportErr(ctx, err), false
 	}
 	resp, err := readResponse(br, c.o.maxResponse)
 	if err != nil {
 		c.discardConn()
-		return err
+		return "", c.transportErr(ctx, err), false
 	}
 	if !resp.ok {
-		return &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+		// The v1 server retires the connection after these codes; drop ours
+		// in lockstep so the next request redials instead of desyncing.
+		switch resp.code {
+		case codePanic, codeDeadline, codeCanceled, codeShutdown, codeProto, codeTooLarge:
+			c.discardConn()
+		}
+		return "", &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}, false
 	}
-	return nil
+	return resp.payload, nil, false
+}
+
+// Ping performs a liveness round trip.
+func (c *Client) Ping(ctx context.Context) error {
+	_, err := c.inlineVerb(ctx, "PING")
+	return err
 }
 
 // Stats fetches the server process's metrics in Prometheus text exposition
 // format (the STATS verb). It is answered inline by the connection handler,
 // so it works even when the server's admission queue is saturated.
 func (c *Client) Stats(ctx context.Context) (string, error) {
+	return c.inlineVerb(ctx, "STATS")
+}
+
+// inlineVerb performs one argument-less request/response exchange (the
+// PING/STATS/LAG/PROMOTE family, answered inline by the connection
+// handler) on whichever protocol the connection negotiated.
+func (c *Client) inlineVerb(ctx context.Context, verb string) (string, error) {
+	for {
+		cc, conn, br, err := c.ensure()
+		if err != nil {
+			return "", err
+		}
+		if cc != nil {
+			var typ byte
+			switch verb {
+			case "PING":
+				typ = fvPing
+			case "STATS":
+				typ = fvStats
+			case "LAG":
+				typ = fvLag
+			case "PROMOTE":
+				typ = fvPromote
+			default:
+				return "", fmt.Errorf("%w: no v2 frame for verb %s", ErrProtocol, verb)
+			}
+			resp, err := cc.do(ctx, typ, 0, 0, nil)
+			if err != nil {
+				return "", err
+			}
+			if !resp.ok {
+				return "", &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+			}
+			return resp.payload, nil
+		}
+		out, err, stale := c.inlineVerbV1(ctx, conn, br, verb)
+		if !stale {
+			return out, err
+		}
+	}
+}
+
+// inlineVerbV1 is the line-protocol leg of inlineVerb.
+func (c *Client) inlineVerbV1(ctx context.Context, conn net.Conn, br *bufio.Reader, verb string) (out string, err error, stale bool) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
-	conn, br, err := c.ensureConn()
-	if err != nil {
-		return "", err
+	c.connMu.Lock()
+	switch {
+	case c.closed:
+		c.connMu.Unlock()
+		return "", ErrClientClosed, false
+	case c.conn != conn:
+		c.connMu.Unlock()
+		return "", nil, true
 	}
+	c.connMu.Unlock()
+
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
-	if _, err := fmt.Fprintf(conn, "STATS\n"); err != nil {
+	if _, err := io.WriteString(conn, verb+"\n"); err != nil {
 		c.discardConn()
-		return "", ctxPreferred(ctx, err)
+		return "", c.transportErr(ctx, err), false
 	}
 	resp, err := readResponse(br, c.o.maxResponse)
 	if err != nil {
 		c.discardConn()
-		return "", ctxPreferred(ctx, err)
+		return "", c.transportErr(ctx, err), false
 	}
 	if !resp.ok {
-		return "", &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+		return "", &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}, false
 	}
-	return resp.payload, nil
+	return resp.payload, nil, false
+}
+
+// transportErr maps a transport failure to its real cause: the context's
+// error when the AfterFunc severed the connection, ErrClientClosed when a
+// concurrent Close did.
+func (c *Client) transportErr(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return ctxErr
+	}
+	if c.isClosed() {
+		return ErrClientClosed
+	}
+	return err
 }
 
 // classify decides whether an error may be retried and extracts the
@@ -247,7 +588,7 @@ func (c *Client) classify(err error, idempotent bool) (retryable bool, hint time
 	var se *ServerError
 	if errors.As(err, &se) {
 		switch se.Code {
-		case codeOverloaded, codeShutdown:
+		case codeOverloaded, codeShutdown, codeQuota:
 			// Definitive not-executed: safe for any statement.
 			return true, se.RetryAfter
 		default:
@@ -257,8 +598,8 @@ func (c *Client) classify(err error, idempotent bool) (retryable bool, hint time
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return false, 0
 	}
-	// net.ErrClosed means this client was Closed locally; don't resurrect it.
-	if errors.Is(err, net.ErrClosed) {
+	// A locally closed client must not resurrect itself.
+	if errors.Is(err, ErrClientClosed) || errors.Is(err, net.ErrClosed) {
 		return false, 0
 	}
 	// Transport error: the request may or may not have executed.
@@ -289,96 +630,4 @@ func sleepCtx(ctx context.Context, d time.Duration) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-}
-
-// ensureConn (re)establishes the connection. Callers hold c.reqMu, so the
-// returned conn/br pair is theirs to use until they release it.
-func (c *Client) ensureConn() (net.Conn, *bufio.Reader, error) {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	if c.closed {
-		return nil, nil, net.ErrClosed
-	}
-	if c.conn != nil {
-		return c.conn, c.br, nil
-	}
-	conn, err := c.dial()
-	if err != nil {
-		return nil, nil, err
-	}
-	c.conn = conn
-	c.br = bufio.NewReader(conn)
-	return conn, c.br, nil
-}
-
-// discardConn drops a connection whose stream state is unknown.
-func (c *Client) discardConn() {
-	c.connMu.Lock()
-	defer c.connMu.Unlock()
-	if c.conn != nil {
-		c.conn.Close()
-		c.conn = nil
-		c.br = nil
-	}
-}
-
-// roundTrip performs one request/response exchange.
-func (c *Client) roundTrip(ctx context.Context, input string) (string, error) {
-	c.reqMu.Lock()
-	defer c.reqMu.Unlock()
-	if err := ctx.Err(); err != nil {
-		return "", err
-	}
-	conn, br, err := c.ensureConn()
-	if err != nil {
-		return "", err
-	}
-	// Deadline plumbing: the remaining ctx budget rides in the EXEC header
-	// so the server enforces it during execution; the socket deadline and
-	// the AfterFunc below cover the transport.
-	var timeoutMS int64
-	if dl, ok := ctx.Deadline(); ok {
-		remain := time.Until(dl)
-		if remain <= 0 {
-			return "", context.DeadlineExceeded
-		}
-		timeoutMS = int64(remain / time.Millisecond)
-		if timeoutMS == 0 {
-			timeoutMS = 1
-		}
-		conn.SetDeadline(dl.Add(100 * time.Millisecond))
-	} else {
-		conn.SetDeadline(time.Time{})
-	}
-	stop := context.AfterFunc(ctx, func() { conn.Close() })
-	defer stop()
-
-	if _, err := fmt.Fprintf(conn, "EXEC %d %d\n%s\n", timeoutMS, len(input), input); err != nil {
-		c.discardConn()
-		return "", ctxPreferred(ctx, err)
-	}
-	resp, err := readResponse(br, c.o.maxResponse)
-	if err != nil {
-		c.discardConn()
-		return "", ctxPreferred(ctx, err)
-	}
-	if !resp.ok {
-		// The server retires the connection after these codes; drop ours in
-		// lockstep so the next request redials instead of desyncing.
-		switch resp.code {
-		case codePanic, codeDeadline, codeCanceled, codeShutdown, codeProto, codeTooLarge:
-			c.discardConn()
-		}
-		return "", &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
-	}
-	return resp.payload, nil
-}
-
-// ctxPreferred reports the context's error when it caused the transport
-// failure (the AfterFunc closed the conn), else the transport error.
-func ctxPreferred(ctx context.Context, err error) error {
-	if ctxErr := ctx.Err(); ctxErr != nil {
-		return ctxErr
-	}
-	return err
 }

@@ -1,0 +1,239 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// conn2 is one negotiated protocol v2 connection: a writer shared by all
+// requests (frame-at-a-time), a reader goroutine that routes response
+// frames to waiters by request id, and the waiter table itself. Callers
+// pipeline freely; responses arrive in completion order.
+type conn2 struct {
+	c           net.Conn
+	br          *bufio.Reader
+	maxResponse int
+
+	wmu        sync.Mutex // serializes frame writes
+	nextID     atomic.Uint64
+	nextStream atomic.Uint32
+
+	mu      sync.Mutex
+	err     error // terminal failure; nil while healthy
+	closed  bool  // Close() ran locally
+	waiters map[uint64]chan response
+}
+
+// newConn2 wraps a negotiated connection and starts its reader.
+func newConn2(c net.Conn, br *bufio.Reader, maxResponse int) *conn2 {
+	cc := &conn2{c: c, br: br, maxResponse: maxResponse, waiters: make(map[uint64]chan response)}
+	go cc.readLoop()
+	return cc
+}
+
+// alive reports whether the connection can still carry requests.
+func (cc *conn2) alive() bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	return cc.err == nil
+}
+
+// close is the local Close: closing the socket makes the reader fail every
+// outstanding waiter with ErrClientClosed. Safe to call multiple times and
+// concurrently with in-flight requests — that is the point.
+func (cc *conn2) close() error {
+	cc.mu.Lock()
+	cc.closed = true
+	cc.mu.Unlock()
+	// Best-effort goodbye so the server tears the connection down without
+	// logging a read error; the close below is what actually ends things.
+	cc.wmu.Lock()
+	writeFrame(cc.c, frame{typ: fvGoodbye, id: cc.nextID.Add(1)})
+	cc.wmu.Unlock()
+	return cc.c.Close()
+}
+
+// fail poisons the connection and wakes every waiter. The first terminal
+// error wins; a locally closed connection always reports ErrClientClosed.
+func (cc *conn2) fail(err error) {
+	cc.mu.Lock()
+	if cc.closed {
+		err = ErrClientClosed
+	}
+	if cc.err == nil {
+		cc.err = err
+	}
+	ws := cc.waiters
+	cc.waiters = make(map[uint64]chan response)
+	cc.mu.Unlock()
+	cc.c.Close()
+	for _, ch := range ws {
+		close(ch) // closed channel = transport failure; see do()
+	}
+}
+
+// lastErr returns the terminal error (ErrClientClosed after a local
+// Close).
+func (cc *conn2) lastErr() error {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if cc.err != nil {
+		return cc.err
+	}
+	return fmt.Errorf("%w: connection failed", ErrProtocol)
+}
+
+// readLoop routes response frames to their waiters until the connection
+// dies. Responses for forgotten ids (canceled requests) are dropped.
+func (cc *conn2) readLoop() {
+	for {
+		f, err := readFrame(cc.br, cc.maxResponse)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		resp, err := frameResponse(f)
+		if err != nil {
+			cc.fail(err)
+			return
+		}
+		cc.mu.Lock()
+		ch := cc.waiters[f.id]
+		delete(cc.waiters, f.id)
+		cc.mu.Unlock()
+		if ch != nil {
+			ch <- resp // buffered; never blocks the reader
+		}
+	}
+}
+
+// forget deregisters a waiter; reports whether it was still registered.
+func (cc *conn2) forget(id uint64) bool {
+	cc.mu.Lock()
+	defer cc.mu.Unlock()
+	if _, ok := cc.waiters[id]; !ok {
+		return false
+	}
+	delete(cc.waiters, id)
+	return true
+}
+
+// write sends one frame.
+func (cc *conn2) write(f frame) error {
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	return writeFrame(cc.c, f)
+}
+
+// do performs one pipelined round trip: register a waiter, send the frame,
+// wait for the correlated response. On ctx expiry it deregisters, fires a
+// best-effort CANCEL, and returns the ctx error — the connection stays
+// usable for everyone else.
+func (cc *conn2) do(ctx context.Context, typ, flags byte, stream uint32, payload []byte) (response, error) {
+	if err := ctx.Err(); err != nil {
+		return response{}, err
+	}
+	id := cc.nextID.Add(1)
+	ch := make(chan response, 1)
+	cc.mu.Lock()
+	if cc.err != nil {
+		err := cc.err
+		cc.mu.Unlock()
+		return response{}, err
+	}
+	cc.waiters[id] = ch
+	cc.mu.Unlock()
+
+	if err := cc.write(frame{typ: typ, flags: flags, id: id, stream: stream, payload: payload}); err != nil {
+		cc.forget(id)
+		cc.fail(err)
+		return response{}, cc.lastErr()
+	}
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return response{}, cc.lastErr()
+		}
+		return resp, nil
+	case <-ctx.Done():
+		if cc.forget(id) {
+			cc.write(frame{typ: fvCancel, id: id, stream: stream})
+		}
+		return response{}, ctx.Err()
+	}
+}
+
+// Stream is a logical sub-connection multiplexed over a protocol v2
+// client: statements on one Stream execute in order on one server-side
+// session — so a transaction can span Exec calls — while other Streams
+// (and plain Client.Exec calls) proceed concurrently on the same socket.
+//
+// A Stream does not retry: its statements are positional (a retried BEGIN
+// or COMMIT on a fresh connection would not mean the same thing), so
+// transport failures and server errors surface directly. A statement
+// abandoned mid-execution (deadline, cancel) retires the stream server-side;
+// subsequent Execs answer "canceled" and the caller should open a new
+// Stream.
+type Stream struct {
+	cc *conn2
+	id uint32
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Stream opens a new logical stream. Requires protocol v2; on a v1
+// connection it fails with ErrUnsupported.
+func (c *Client) Stream() (*Stream, error) {
+	cc, _, _, err := c.ensure()
+	if err != nil {
+		return nil, err
+	}
+	if cc == nil {
+		return nil, fmt.Errorf("%w: streams require protocol v2", ErrUnsupported)
+	}
+	return &Stream{cc: cc, id: cc.nextStream.Add(1)}, nil
+}
+
+// Exec runs one statement on the stream's server-side session. Calls are
+// serialized per stream (FIFO is the point of a stream); the ctx deadline
+// rides to the server like Client.Exec's.
+func (st *Stream) Exec(ctx context.Context, input string) (string, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return "", ErrClientClosed
+	}
+	var timeout time.Duration
+	if dl, ok := ctx.Deadline(); ok {
+		timeout = time.Until(dl)
+		if timeout <= 0 {
+			return "", context.DeadlineExceeded
+		}
+	}
+	resp, err := st.cc.do(ctx, fvExec, 0, st.id, execPayload(timeout, input))
+	if err != nil {
+		return "", err
+	}
+	if !resp.ok {
+		return "", &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+	}
+	return resp.payload, nil
+}
+
+// Close disposes the stream's server-side session (fire-and-forget
+// ENDSTREAM; no reply). Further Execs fail with ErrClientClosed.
+func (st *Stream) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	return st.cc.write(frame{typ: fvEndStream, id: st.cc.nextID.Add(1), stream: st.id})
+}

@@ -53,6 +53,13 @@ func (f *fakeServer) serve(c net.Conn) {
 		if err != nil {
 			return
 		}
+		if req.verb == "HELLO" {
+			// Emulate a pre-v2 server: reject the upgrade offer as an
+			// unknown verb and drop the connection, so these tests cover
+			// the client's v1 fallback path on every dial.
+			writeErr(bw, codeProto, 0, `protocol error: unknown verb "HELLO"`)
+			return
+		}
 		if req.verb != "EXEC" {
 			if writeOK(bw, "pong") != nil {
 				return
@@ -74,9 +81,9 @@ func okReply(payload string) func(net.Conn, *bufio.Writer) bool {
 	return func(_ net.Conn, bw *bufio.Writer) bool { return writeOK(bw, payload) == nil }
 }
 
-func errReply(code string, hint time.Duration) func(net.Conn, *bufio.Writer) bool {
+func errReply(code Code, hint time.Duration) func(net.Conn, *bufio.Writer) bool {
 	return func(_ net.Conn, bw *bufio.Writer) bool {
-		return writeErr(bw, code, hint, "injected "+code) == nil
+		return writeErr(bw, code, hint, "injected "+string(code)) == nil
 	}
 }
 
@@ -234,7 +241,7 @@ func TestBackoffRespectsContextDeadline(t *testing.T) {
 // TestBackoffWindow exercises the jitter math directly: samples stay in
 // (0, min(base·2^attempt, max)] and the hint is a floor.
 func TestBackoffWindow(t *testing.T) {
-	c := &Client{o: clientOptions{baseBackoff: 10 * time.Millisecond, maxBackoff: 80 * time.Millisecond}}
+	c := &Client{o: dialConfig{baseBackoff: 10 * time.Millisecond, maxBackoff: 80 * time.Millisecond}}
 	for attempt := 0; attempt < 10; attempt++ {
 		window := c.o.baseBackoff << uint(attempt)
 		if window > c.o.maxBackoff || window <= 0 {

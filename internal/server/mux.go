@@ -1,0 +1,452 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"hrdb/internal/hql"
+	"hrdb/internal/obs"
+)
+
+// This file is the protocol v2 server path: after a HELLO handshake
+// accepts the upgrade, serveMux owns the connection and multiplexes many
+// logical streams over it. The concurrency model:
+//
+//   - The reader goroutine (serveMux's loop) decodes frames and never
+//     blocks on execution: EXEC frames are queued per stream.
+//   - Each stream is a FIFO over one private hql.Session — at most one of
+//     its statements is in the worker pool at a time, preserving the
+//     session's single-goroutine contract while distinct streams run
+//     concurrently.
+//   - An admitted statement gets an await goroutine that writes the reply
+//     when the worker finishes (or the deadline fires) and then advances
+//     the stream. Await goroutines are bounded by admission capacity
+//     (Workers + QueueDepth), not by client appetite.
+//   - Replies go through one mutex-guarded writer, a frame per Write
+//     call, so responses interleave at frame granularity in completion
+//     order.
+//
+// Deadline semantics diverge from v1 deliberately: when a deadline or
+// cancellation abandons a statement that may still be executing, v1 must
+// retire the whole connection (its one session is poisoned); v2 retires
+// only the stream — queued statements behind it answer "canceled", other
+// streams never notice.
+
+// maxFreeSessions caps a connection's pool of reusable sessions from
+// cleanly ended one-shot streams.
+const maxFreeSessions = 8
+
+// muxTask is one EXEC frame travelling through a stream's FIFO.
+type muxTask struct {
+	id     uint64
+	stream uint32
+	end    bool // flagEndStream: dispose the stream after this reply
+	// started flips (under muxConn.mu) when the task leaves the FIFO for
+	// submission; CANCEL uses it to tell "still queued" from "in the pool".
+	started bool
+	t       *task
+	start   time.Time
+}
+
+// muxStream is one logical sub-connection: a FIFO of tasks over a private
+// session. dead marks a retired stream — its session may still be
+// executing an abandoned statement, so nothing runs on it again; the
+// tombstone stays in the stream table so late frames answer deterministically.
+type muxStream struct {
+	id      uint32
+	sess    *hql.Session
+	queue   []*muxTask
+	running bool // a task of this stream is submitted (or being submitted)
+	dead    bool
+}
+
+// muxConn is the per-connection state of the v2 protocol.
+type muxConn struct {
+	srv *Server
+	tn  *tenantState
+	c   net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	mu      sync.Mutex
+	streams map[uint32]*muxStream
+	byID    map[uint64]*muxTask
+	free    []*hql.Session // reusable sessions from ended one-shot streams
+}
+
+// serveMux serves a negotiated v2 connection until it ends. The caller
+// (handleConn) closes the socket afterwards.
+func (s *Server) serveMux(c net.Conn, br *bufio.Reader, tn *tenantState) {
+	m := &muxConn{
+		srv:     s,
+		tn:      tn,
+		c:       c,
+		streams: make(map[uint32]*muxStream),
+		byID:    make(map[uint64]*muxTask),
+	}
+	defer m.teardown()
+	for {
+		if s.opts.IdleTimeout > 0 {
+			c.SetReadDeadline(time.Now().Add(s.opts.IdleTimeout))
+		}
+		f, err := readFrame(br, s.opts.MaxStatementBytes+64)
+		if err != nil {
+			// Best-effort diagnosis; framing is lost either way, so close.
+			switch {
+			case errors.Is(err, errTooLarge):
+				m.send(errFrame(0, 0, codeTooLarge, 0, err.Error()))
+			case errors.Is(err, errProto):
+				m.send(errFrame(0, 0, codeProto, 0, err.Error()))
+			}
+			return
+		}
+		c.SetReadDeadline(time.Time{})
+
+		switch f.typ {
+		case fvPing:
+			if m.send(okFrame(f.id, f.stream, "pong")) != nil {
+				return
+			}
+		case fvStats:
+			if m.send(okFrame(f.id, f.stream, obs.Default().RenderText())) != nil {
+				return
+			}
+		case fvLag:
+			if s.opts.LagProbe == nil {
+				m.send(errFrame(f.id, f.stream, codeUnsupported, 0, "not a replica"))
+			} else if m.send(okFrame(f.id, f.stream, lagPayload(s.opts.LagProbe()))) != nil {
+				return
+			}
+		case fvPromote:
+			switch {
+			case s.opts.Promote == nil:
+				m.send(errFrame(f.id, f.stream, codeUnsupported, 0, "not a replica"))
+			case s.opts.Promote() != nil:
+				m.send(errFrame(f.id, f.stream, codeExec, 0, "promote failed"))
+			default:
+				if m.send(okFrame(f.id, f.stream, "promoted")) != nil {
+					return
+				}
+			}
+		case fvGoodbye:
+			return
+		case fvCancel:
+			m.cancelID(f.id)
+		case fvEndStream:
+			m.endStream(f.stream)
+		case fvExec:
+			if !m.exec(f) {
+				return
+			}
+		default:
+			m.send(errFrame(f.id, f.stream, codeProto, 0, "unknown frame type"))
+			return
+		}
+	}
+}
+
+// teardown cancels every outstanding task when the connection ends, so
+// abandoned statements release their workers promptly instead of running
+// to completion for a reader that is gone.
+func (m *muxConn) teardown() {
+	m.mu.Lock()
+	tasks := make([]*muxTask, 0, len(m.byID))
+	for _, mt := range m.byID {
+		tasks = append(tasks, mt)
+	}
+	m.mu.Unlock()
+	for _, mt := range tasks {
+		mt.t.cancel()
+	}
+}
+
+// send writes one frame. Whoever completes a request writes its reply;
+// wmu keeps frames whole. Write errors mean the connection is going away —
+// callers on the reply path ignore them (teardown handles the rest).
+func (m *muxConn) send(f frame) error {
+	m.wmu.Lock()
+	defer m.wmu.Unlock()
+	return writeFrame(m.c, f)
+}
+
+// reply answers one EXEC task and records its latency (received → reply)
+// in the global and tenant histograms.
+func (m *muxConn) reply(mt *muxTask, f frame) {
+	d := time.Since(mt.start)
+	metricRequestNS.ObserveDuration(d)
+	m.tn.mLatency.ObserveDuration(d)
+	m.send(f)
+}
+
+// exec enqueues one EXEC frame on its stream, starting the stream if it is
+// idle. It reports whether the connection may continue (a malformed or
+// duplicate frame desyncs the conversation and closes it).
+func (m *muxConn) exec(f frame) bool {
+	timeout, input, err := parseExecPayload(f.payload)
+	if err != nil {
+		m.send(errFrame(f.id, f.stream, codeProto, 0, err.Error()))
+		return false
+	}
+	s := m.srv
+	metricRequests.Inc()
+	m.tn.mRequests.Inc()
+
+	// Build the task at receipt so the deadline clock covers time spent
+	// waiting in the stream FIFO — a pipelined request's budget starts
+	// when the server reads it, not when the stream gets around to it.
+	if s.opts.MaxDeadline > 0 && (timeout <= 0 || timeout > s.opts.MaxDeadline) {
+		timeout = s.opts.MaxDeadline
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), timeout)
+	}
+
+	m.mu.Lock()
+	if _, dup := m.byID[f.id]; dup {
+		m.mu.Unlock()
+		cancel()
+		m.send(errFrame(f.id, f.stream, codeProto, 0, "duplicate request id"))
+		return false
+	}
+	st := m.streams[f.stream]
+	if st == nil {
+		st = &muxStream{id: f.stream, sess: m.takeSession()}
+		m.streams[f.stream] = st
+	}
+	if st.dead {
+		m.mu.Unlock()
+		cancel()
+		m.send(errFrame(f.id, f.stream, codeCanceled, 0, "stream retired after an abandoned statement"))
+		return true
+	}
+	mt := &muxTask{
+		id: f.id, stream: f.stream, end: f.flags&flagEndStream != 0, start: time.Now(),
+		t: &task{sess: st.sess, input: input, ctx: ctx, cancel: cancel, tn: m.tn, done: make(chan taskResult, 1)},
+	}
+	m.byID[f.id] = mt
+	if st.running {
+		st.queue = append(st.queue, mt)
+		m.mu.Unlock()
+		return true
+	}
+	st.running = true
+	m.mu.Unlock()
+	m.runStream(mt, st)
+	return true
+}
+
+// takeSession pops a pooled session or builds a fresh one over the
+// tenant's target. Callers hold m.mu.
+func (m *muxConn) takeSession() *hql.Session {
+	for n := len(m.free); n > 0; n = len(m.free) {
+		sess := m.free[n-1]
+		m.free = m.free[:n-1]
+		if sess.Reset() == nil {
+			return sess
+		}
+	}
+	return m.srv.newSession(m.tn)
+}
+
+// runStream advances a stream: it submits the head task and, whenever a
+// task is answered without entering the worker pool (shed, pre-expired),
+// continues inline with the next queued one. Exactly one goroutine
+// advances a given stream at a time (st.running).
+func (m *muxConn) runStream(mt *muxTask, st *muxStream) {
+	for mt != nil {
+		if m.startTask(mt, st) {
+			return // admitted; the await goroutine advances the stream next
+		}
+		mt = m.afterTask(mt, st, false)
+	}
+}
+
+// startTask submits one task to the admission queue. It reports whether an
+// await goroutine now owns the reply; on false the task has already been
+// answered here.
+func (m *muxConn) startTask(mt *muxTask, st *muxStream) bool {
+	m.mu.Lock()
+	mt.started = true
+	m.mu.Unlock()
+	s := m.srv
+	t := mt.t
+	if err := t.ctx.Err(); err != nil {
+		// Expired or canceled while waiting in the stream FIFO: the
+		// statement never ran, so the stream itself is fine.
+		t.cancel()
+		code := codeDeadline
+		if errors.Is(err, context.Canceled) {
+			code = codeCanceled
+		} else {
+			metricDeadline.Inc()
+		}
+		m.reply(mt, errFrame(mt.id, mt.stream, code, 0, err.Error()))
+		return false
+	}
+	if code, err := s.submit(t); err != nil {
+		t.cancel()
+		var hint time.Duration
+		if code == codeOverloaded || code == codeQuota {
+			hint = s.opts.RetryAfter
+		}
+		m.reply(mt, errFrame(mt.id, mt.stream, code, hint, err.Error()))
+		return false
+	}
+	s.replyWG.Add(1)
+	go m.await(mt, st)
+	return true
+}
+
+// await waits for an admitted task's result (or its deadline), writes the
+// reply, and advances the stream. One await goroutine exists per admitted
+// task, so their count is bounded by Workers + QueueDepth.
+func (m *muxConn) await(mt *muxTask, st *muxStream) {
+	defer m.srv.replyWG.Done()
+	t := mt.t
+	retire := false
+	select {
+	case res := <-t.done:
+		t.cancel()
+		switch {
+		case res.panicked:
+			// The session may hold arbitrarily corrupt state: answer, then
+			// retire the stream. The connection and the server stay up.
+			metricPanics.Inc()
+			m.reply(mt, errFrame(mt.id, mt.stream, codePanic, 0, res.err.Error()))
+			retire = true
+		case res.err != nil:
+			code := codeExec
+			if errors.Is(res.err, context.DeadlineExceeded) {
+				code = codeDeadline
+				metricDeadline.Inc()
+			} else if errors.Is(res.err, context.Canceled) {
+				code = codeCanceled
+			}
+			m.reply(mt, errFrame(mt.id, mt.stream, code, 0, res.err.Error()))
+		default:
+			m.reply(mt, okFrame(mt.id, mt.stream, res.out))
+		}
+	case <-t.ctx.Done():
+		// Deadline or cancel fired while the statement was queued or still
+		// running. Answer now — the server always answers or sheds — and
+		// retire only this stream: its session may still be executing, so
+		// it must never run another statement, but the connection and every
+		// other stream keep going (v1 had to retire the whole connection
+		// here).
+		code := codeDeadline
+		if errors.Is(t.ctx.Err(), context.Canceled) {
+			code = codeCanceled
+		} else {
+			metricDeadline.Inc()
+		}
+		m.reply(mt, errFrame(mt.id, mt.stream, code, 0, t.ctx.Err().Error()))
+		retire = true
+	}
+	if next := m.afterTask(mt, st, retire); next != nil {
+		m.runStream(next, st)
+	}
+}
+
+// afterTask retires a finished head-of-stream task and returns the next
+// task to run, if any. retire marks the stream dead (its session may still
+// be executing the abandoned statement); a dead or cleanly ended stream
+// answers everything still queued with "canceled".
+func (m *muxConn) afterTask(mt *muxTask, st *muxStream, retire bool) *muxTask {
+	m.mu.Lock()
+	delete(m.byID, mt.id)
+	if retire {
+		st.dead = true
+	}
+	var next *muxTask
+	var dropped []*muxTask
+	switch {
+	case st.dead:
+		dropped = st.queue
+		st.queue = nil
+		st.running = false
+	case mt.end:
+		// One-shot stream: recycle the session, forget the stream. Anything
+		// pipelined behind an end-flagged EXEC is a client bug; answer it
+		// rather than run it on a disposed session.
+		dropped = st.queue
+		st.queue = nil
+		st.running = false
+		delete(m.streams, st.id)
+		if len(m.free) < maxFreeSessions {
+			m.free = append(m.free, st.sess)
+		}
+		st.sess = nil
+	case len(st.queue) > 0:
+		next = st.queue[0]
+		st.queue = st.queue[1:]
+	default:
+		st.running = false
+	}
+	for _, d := range dropped {
+		delete(m.byID, d.id)
+	}
+	m.mu.Unlock()
+	for _, d := range dropped {
+		d.t.cancel()
+		m.reply(d, errFrame(d.id, d.stream, codeCanceled, 0, "stream closed before execution"))
+	}
+	return next
+}
+
+// cancelID handles a CANCEL frame: best effort, no reply of its own. A
+// still-queued request is answered "canceled" immediately; a request in
+// the worker pool gets its context canceled and answers through the normal
+// await path; an unknown id (already answered, never seen) is a no-op.
+func (m *muxConn) cancelID(id uint64) {
+	m.mu.Lock()
+	mt := m.byID[id]
+	queued := false
+	if mt != nil && !mt.started {
+		if st := m.streams[mt.stream]; st != nil {
+			for i, q := range st.queue {
+				if q == mt {
+					st.queue = append(st.queue[:i], st.queue[i+1:]...)
+					queued = true
+					break
+				}
+			}
+		}
+		if queued {
+			delete(m.byID, id)
+		}
+	}
+	m.mu.Unlock()
+	if mt == nil {
+		return
+	}
+	mt.t.cancel()
+	if queued {
+		m.reply(mt, errFrame(mt.id, mt.stream, codeCanceled, 0, "canceled before execution"))
+	}
+}
+
+// endStream disposes a stream. An idle stream is forgotten at once (its
+// session recycled); a stream with work in flight is marked dead so it
+// winds down through afterTask.
+func (m *muxConn) endStream(stream uint32) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.streams[stream]
+	if st == nil {
+		return
+	}
+	if st.running {
+		st.dead = true
+		return
+	}
+	delete(m.streams, stream)
+	if st.sess != nil && !st.dead && len(m.free) < maxFreeSessions {
+		m.free = append(m.free, st.sess)
+	}
+	st.sess = nil
+}

@@ -1,55 +1,107 @@
 // Package server is the network front end of the hierarchical relational
-// database: a concurrent line-protocol HQL service over TCP with
-// production-grade resilience machinery — admission control with load
-// shedding, per-request deadlines, panic isolation, connection and idle
-// limits, and graceful drain — plus the matching client (Dial) and a
+// database: a concurrent HQL service over TCP with production-grade
+// resilience machinery — admission control with load shedding, per-request
+// deadlines, panic isolation, connection and idle limits, per-tenant
+// quotas, and graceful drain — plus the matching client (Dial) and a
 // fault-injecting ChaosProxy for tests.
 //
-// # Wire protocol
+// Two wire protocols share the port. Protocol v1 is the original textual
+// line protocol: strictly sequential per connection, one statement at a
+// time. Protocol v2 is a framed binary protocol: a connection carries many
+// logical streams, clients pipeline requests, and the server replies out
+// of order from its worker pool. docs/HQL.md holds the full reference for
+// both; the summary below is the contract this package implements.
 //
-// The protocol is a textual line protocol with length-prefixed payloads.
-// Requests are strictly sequential per connection (no pipelining), which
-// is what lets one hql.Session — single-goroutine by contract — serve the
-// whole connection. Frames:
+// # Protocol v1 (line protocol)
+//
+// Textual frames with length-prefixed payloads. Requests are strictly
+// sequential per connection (no pipelining), which is what lets one
+// hql.Session — single-goroutine by contract — serve the whole connection:
 //
 //	client → server:
 //	  EXEC <timeout_ms> <n>\n<n payload bytes>\n   execute HQL script
 //	  PING\n                                       liveness probe
 //	  STATS\n                                      process metrics snapshot
+//	  USE <tenant>\n                               switch namespace
 //	  QUIT\n                                       close the connection
+//	  HELLO <version> [tenant]\n                   offer a protocol upgrade
 //	  SNAP\n                                       replication snapshot bootstrap
 //	  REPL <epoch> <offset>\n                      subscribe to the WAL stream
 //	  PROMOTE\n                                    promote a replica to writable
 //	  LAG\n                                        replication lag probe
+//
+//	server → client:
+//	  OK <n>\n<n payload bytes>\n                  statement output
+//	  ERR <code> <retry_ms> <n>\n<n bytes>\n       failure, payload = message
 //
 // STATS answers with an OK frame whose payload is the process's metrics in
 // Prometheus text exposition format (the same text the optional HTTP
 // /metrics endpoint serves); it is answered inline, without consuming a
 // worker, so it works even when the admission queue is saturated.
 //
-//	server → client:
-//	  OK <n>\n<n payload bytes>\n                  statement output
-//	  ERR <code> <retry_ms> <n>\n<n bytes>\n       failure, payload = message
-//
 // timeout_ms is the client's deadline for the request in milliseconds
 // (0 = none); the server caps it at its MaxDeadline. retry_ms is a
-// backoff hint, nonzero only for "overloaded". Error codes:
+// backoff hint, nonzero for "overloaded" and "quota".
+//
+// # Handshake
+//
+// A v2-capable client opens every connection with `HELLO 2 [tenant]` in v1
+// text framing. A v2-capable server answers `OK` with payload
+// `v2 tenant=<resolved>` and the connection switches to binary framing; a
+// pre-v2 server rejects HELLO as an unknown verb (`ERR proto`) and closes,
+// and the client redials in v1 mode (sending `USE <tenant>` first when a
+// tenant was requested). An unknown tenant answers `ERR tenant` and is a
+// hard failure — no fallback, since no protocol serves that namespace.
+//
+// # Protocol v2 (framed binary)
+//
+// After the handshake every message is one length-prefixed frame:
+//
+//	u32 length | u8 type | u8 flags | u64 id | u32 stream | payload
+//
+// (big-endian; length counts everything after itself, minimum 14). The id
+// correlates a response to its request; the stream groups requests into
+// logical sub-connections. Requests on one stream execute in order on one
+// server-side session (so transactions work); distinct streams execute
+// concurrently on the worker pool, and responses come back in completion
+// order, not submission order. CANCEL aborts a request by id; a deadline
+// or cancellation that catches a statement mid-execution retires only its
+// stream — the connection and every other stream keep going (under v1 the
+// same condition retires the whole connection). Frame types and payloads
+// are defined in protocol2.go; error frames carry the same codes as v1.
+//
+// # Error codes
+//
+// Shared by both protocol versions. Each code maps to exactly one exported
+// sentinel via errors.Is (see errors.go):
 //
 //	proto       malformed frame; the connection is closed
 //	toolarge    statement exceeds MaxStatementBytes; connection closed
 //	exec        the statement failed (parse or execution error)
 //	overloaded  admission queue full — not executed, safe to retry
+//	quota       tenant over its admission quota or rate limit — not
+//	            executed, safe to retry after backoff
+//	tenant      unknown namespace in HELLO or USE
 //	deadline    the deadline expired; if the statement was already
-//	            running its effects may still apply (connection closed
-//	            when the server abandoned a still-running statement)
-//	canceled    the request was canceled (server drain deadline)
-//	panic       the statement panicked; isolated, connection closed
+//	            running its effects may still apply (v1 closes the
+//	            connection then; v2 retires only the stream)
+//	canceled    the request was canceled (CANCEL frame, stream teardown,
+//	            or server drain deadline)
+//	panic       the statement panicked; isolated; the session is retired
+//	            (v1: connection closed; v2: stream retired)
 //	shutdown    server is draining — not executed, retry elsewhere/later
 //	unsupported the verb is not enabled on this server (e.g. REPL/SNAP on
 //	            a server without a replication source, PROMOTE on a
 //	            primary, LAG on a non-replica)
 //	stale       a REPL position this server can no longer serve (the WAL
 //	            was superseded by a checkpoint); re-bootstrap via SNAP
+//
+// # Multi-tenancy
+//
+// A server may host named namespaces (Options.Tenants), each an
+// independent hql.Target with its own admission quota, rate limit, and
+// labeled metrics. Connections resolve their namespace at HELLO (v2) or
+// via USE (v1); the default namespace is the server's main target.
 //
 // # Replication verbs
 //
@@ -66,7 +118,6 @@ package server
 
 import (
 	"bufio"
-	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -74,29 +125,19 @@ import (
 	"time"
 )
 
-// Error codes carried by ERR frames.
-const (
-	codeProto       = "proto"
-	codeTooLarge    = "toolarge"
-	codeExec        = "exec"
-	codeOverloaded  = "overloaded"
-	codeDeadline    = "deadline"
-	codeCanceled    = "canceled"
-	codePanic       = "panic"
-	codeShutdown    = "shutdown"
-	codeUnsupported = "unsupported"
-)
-
-// errProto reports a malformed frame.
-var errProto = errors.New("server: protocol error")
+// errProto reports a malformed frame. It is the unexported spelling of
+// ErrProtocol (the code table in errors.go owns the exported sentinel).
+var errProto = ErrProtocol
 
 // request is one decoded client frame.
 type request struct {
-	verb    string // "EXEC" | "PING" | "STATS" | "QUIT" | "SNAP" | "REPL" | "PROMOTE" | "LAG"
+	verb    string // "EXEC" | "PING" | "STATS" | "QUIT" | "HELLO" | "USE" | "SNAP" | "REPL" | "PROMOTE" | "LAG"
 	timeout time.Duration
 	input   string
 	epoch   uint64 // REPL only
 	offset  int64  // REPL only
+	proto   int    // HELLO only: requested protocol version
+	tenant  string // HELLO and USE: requested namespace ("" = default)
 }
 
 // readRequest decodes one request frame. maxBytes bounds the payload; a
@@ -118,6 +159,28 @@ func readRequest(br *bufio.Reader, maxBytes int) (request, error) {
 			return request{}, fmt.Errorf("%w: %s takes no arguments", errProto, fields[0])
 		}
 		return request{verb: fields[0]}, nil
+	case "HELLO":
+		// HELLO <version> [tenant] — protocol upgrade offer. It rides the v1
+		// text framing so a pre-v2 server rejects it as an unknown verb and
+		// the client falls back (see the package doc).
+		if len(fields) != 2 && len(fields) != 3 {
+			return request{}, fmt.Errorf("%w: want HELLO <version> [tenant]", errProto)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil || v < 1 {
+			return request{}, fmt.Errorf("%w: bad protocol version %q", errProto, fields[1])
+		}
+		req := request{verb: "HELLO", proto: v}
+		if len(fields) == 3 {
+			req.tenant = fields[2]
+		}
+		return req, nil
+	case "USE":
+		// USE <tenant> — switch this v1 connection's namespace.
+		if len(fields) != 2 {
+			return request{}, fmt.Errorf("%w: want USE <tenant>", errProto)
+		}
+		return request{verb: "USE", tenant: fields[1]}, nil
 	case "REPL":
 		if len(fields) != 3 {
 			return request{}, fmt.Errorf("%w: want REPL <epoch> <offset>", errProto)
@@ -163,8 +226,9 @@ func readRequest(br *bufio.Reader, maxBytes int) (request, error) {
 	}
 }
 
-// errTooLarge marks a statement over the size limit.
-var errTooLarge = errors.New("server: statement too large")
+// errTooLarge marks a statement over the size limit (alias of the exported
+// sentinel; see errors.go).
+var errTooLarge = ErrStatementTooLarge
 
 // writeOK emits an OK frame.
 func writeOK(bw *bufio.Writer, payload string) error {
@@ -175,7 +239,7 @@ func writeOK(bw *bufio.Writer, payload string) error {
 }
 
 // writeErr emits an ERR frame.
-func writeErr(bw *bufio.Writer, code string, retryAfter time.Duration, msg string) error {
+func writeErr(bw *bufio.Writer, code Code, retryAfter time.Duration, msg string) error {
 	if _, err := fmt.Fprintf(bw, "ERR %s %d %d\n%s\n",
 		code, retryAfter.Milliseconds(), len(msg), msg); err != nil {
 		return err
@@ -183,10 +247,11 @@ func writeErr(bw *bufio.Writer, code string, retryAfter time.Duration, msg strin
 	return bw.Flush()
 }
 
-// response is one decoded server frame (client side).
+// response is one decoded server frame (client side), shared by both
+// protocol versions: v1 parses it from a text frame, v2 from a binary one.
 type response struct {
 	ok         bool
-	code       string
+	code       Code
 	retryAfter time.Duration
 	payload    string
 }
@@ -230,7 +295,7 @@ func readResponse(br *bufio.Reader, maxBytes int) (response, error) {
 			return response{}, err
 		}
 		return response{
-			code:       fields[1],
+			code:       Code(fields[1]),
 			retryAfter: time.Duration(ms) * time.Millisecond,
 			payload:    payload,
 		}, nil

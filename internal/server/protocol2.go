@@ -1,0 +1,196 @@
+package server
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+)
+
+// Protocol v2 framing. Every message after the HELLO handshake is one
+// frame:
+//
+//	u32 length | u8 type | u8 flags | u64 id | u32 stream | payload
+//
+// All integers big-endian. length counts everything after itself (type
+// through payload), so the minimum legal value is frameHeader. id echoes
+// back in the response; stream groups requests into logical
+// sub-connections with per-stream FIFO execution order.
+//
+// Frame types (client → server unless noted):
+//
+//	EXEC       payload = u32 timeout_ms | script bytes
+//	CANCEL     abort the request with this id (best effort, no reply)
+//	PING       liveness probe → OK "pong"
+//	STATS      metrics snapshot → OK <prometheus text>
+//	GOODBYE    orderly close; the server stops reading
+//	ENDSTREAM  dispose the stream in the stream field (no reply)
+//	LAG        replication lag probe → OK <lag payload>
+//	PROMOTE    promote a replica → OK "promoted"
+//	OK         (server → client) success, payload = output
+//	ERR        (server → client) failure,
+//	           payload = u8 codeLen | code | u32 retry_ms | message
+//
+// The flagEndStream bit on an EXEC asks the server to dispose the stream's
+// session right after the reply — the one-request-per-stream pattern plain
+// Client.Exec uses, so throwaway streams don't accumulate server state.
+const (
+	fvExec      = byte(0x01)
+	fvCancel    = byte(0x02)
+	fvPing      = byte(0x03)
+	fvStats     = byte(0x04)
+	fvGoodbye   = byte(0x05)
+	fvEndStream = byte(0x06)
+	fvLag       = byte(0x07)
+	fvPromote   = byte(0x08)
+	fvOK        = byte(0x81)
+	fvErr       = byte(0x82)
+)
+
+// flagEndStream on an EXEC frame disposes the stream's session after the
+// reply.
+const flagEndStream = byte(0x01)
+
+// frameHeader is the fixed part of a frame after the length prefix:
+// type (1) + flags (1) + id (8) + stream (4).
+const frameHeader = 14
+
+// frame is one decoded v2 frame.
+type frame struct {
+	typ     byte
+	flags   byte
+	id      uint64
+	stream  uint32
+	payload []byte
+}
+
+// appendFrame encodes f onto dst.
+func appendFrame(dst []byte, f frame) []byte {
+	dst = binary.BigEndian.AppendUint32(dst, uint32(frameHeader+len(f.payload)))
+	dst = append(dst, f.typ, f.flags)
+	dst = binary.BigEndian.AppendUint64(dst, f.id)
+	dst = binary.BigEndian.AppendUint32(dst, f.stream)
+	return append(dst, f.payload...)
+}
+
+// writeFrame encodes and writes one frame as a single Write call, so
+// concurrent senders interleave at frame granularity, never mid-frame.
+func writeFrame(w io.Writer, f frame) error {
+	buf := appendFrame(make([]byte, 0, 4+frameHeader+len(f.payload)), f)
+	_, err := w.Write(buf)
+	return err
+}
+
+// readFrame decodes one frame. maxBytes bounds the payload; oversized
+// frames fail with errTooLarge, structurally bad ones with errProto.
+func readFrame(br *bufio.Reader, maxBytes int) (frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return frame{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n < frameHeader {
+		return frame{}, fmt.Errorf("%w: frame length %d below header size", errProto, n)
+	}
+	if uint64(n) > uint64(maxBytes)+frameHeader {
+		return frame{}, errTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return frame{}, fmt.Errorf("%w: truncated frame: %v", errProto, err)
+	}
+	return frame{
+		typ:     body[0],
+		flags:   body[1],
+		id:      binary.BigEndian.Uint64(body[2:10]),
+		stream:  binary.BigEndian.Uint32(body[10:14]),
+		payload: body[frameHeader:],
+	}, nil
+}
+
+// execPayload encodes an EXEC frame payload: u32 timeout_ms | script.
+func execPayload(timeout time.Duration, input string) []byte {
+	ms := timeout.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > math.MaxUint32 {
+		ms = math.MaxUint32
+	}
+	p := make([]byte, 4+len(input))
+	binary.BigEndian.PutUint32(p, uint32(ms))
+	copy(p[4:], input)
+	return p
+}
+
+// parseExecPayload decodes an EXEC frame payload.
+func parseExecPayload(p []byte) (timeout time.Duration, input string, err error) {
+	if len(p) < 4 {
+		return 0, "", fmt.Errorf("%w: EXEC payload %d bytes, want ≥ 4", errProto, len(p))
+	}
+	ms := binary.BigEndian.Uint32(p)
+	return time.Duration(ms) * time.Millisecond, string(p[4:]), nil
+}
+
+// errFramePayload encodes an ERR frame payload:
+// u8 codeLen | code | u32 retry_ms | message.
+func errFramePayload(code Code, retryAfter time.Duration, msg string) []byte {
+	if len(code) > math.MaxUint8 {
+		code = code[:math.MaxUint8]
+	}
+	ms := retryAfter.Milliseconds()
+	if ms < 0 {
+		ms = 0
+	}
+	if ms > math.MaxUint32 {
+		ms = math.MaxUint32
+	}
+	p := make([]byte, 0, 1+len(code)+4+len(msg))
+	p = append(p, byte(len(code)))
+	p = append(p, code...)
+	p = binary.BigEndian.AppendUint32(p, uint32(ms))
+	return append(p, msg...)
+}
+
+// parseErrFramePayload decodes an ERR frame payload.
+func parseErrFramePayload(p []byte) (code Code, retryAfter time.Duration, msg string, err error) {
+	if len(p) < 1 {
+		return "", 0, "", fmt.Errorf("%w: empty ERR payload", errProto)
+	}
+	cl := int(p[0])
+	if len(p) < 1+cl+4 {
+		return "", 0, "", fmt.Errorf("%w: ERR payload truncated", errProto)
+	}
+	code = Code(p[1 : 1+cl])
+	ms := binary.BigEndian.Uint32(p[1+cl:])
+	return code, time.Duration(ms) * time.Millisecond, string(p[1+cl+4:]), nil
+}
+
+// okFrame builds a success response frame.
+func okFrame(id uint64, stream uint32, payload string) frame {
+	return frame{typ: fvOK, id: id, stream: stream, payload: []byte(payload)}
+}
+
+// errFrame builds a failure response frame.
+func errFrame(id uint64, stream uint32, code Code, retryAfter time.Duration, msg string) frame {
+	return frame{typ: fvErr, id: id, stream: stream, payload: errFramePayload(code, retryAfter, msg)}
+}
+
+// frameResponse converts a response frame into the protocol-neutral
+// response struct the client layers share with v1.
+func frameResponse(f frame) (response, error) {
+	switch f.typ {
+	case fvOK:
+		return response{ok: true, payload: string(f.payload)}, nil
+	case fvErr:
+		code, retryAfter, msg, err := parseErrFramePayload(f.payload)
+		if err != nil {
+			return response{}, err
+		}
+		return response{code: code, retryAfter: retryAfter, payload: msg}, nil
+	default:
+		return response{}, fmt.Errorf("%w: unexpected response frame type 0x%02x", errProto, f.typ)
+	}
+}

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"testing/iotest"
+	"time"
+)
+
+// fuzzMaxBytes keeps the fuzz target's size limit small so the corpus can
+// actually reach the errTooLarge branch without megabyte inputs.
+const fuzzMaxBytes = 1 << 10
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []frame{
+		{typ: fvPing, id: 1, stream: 0},
+		{typ: fvExec, flags: flagEndStream, id: math.MaxUint64, stream: math.MaxUint32, payload: execPayload(time.Second, "HOLDS Flies (Tweety);")},
+		{typ: fvOK, id: 7, stream: 3, payload: []byte("true\n")},
+		{typ: fvErr, id: 9, stream: 2, payload: errFramePayload(codeOverloaded, 50*time.Millisecond, "server overloaded")},
+		{typ: fvCancel, id: 12, stream: 1},
+		{typ: fvEndStream, id: 13, stream: 4},
+		{typ: fvExec, id: 14, stream: 5, payload: execPayload(0, "")},
+	}
+	for i, want := range cases {
+		wire := appendFrame(nil, want)
+		got, err := readFrame(bufio.NewReader(bytes.NewReader(wire)), maxInt(len(want.payload), 64))
+		if err != nil {
+			t.Fatalf("case %d: readFrame: %v", i, err)
+		}
+		if got.typ != want.typ || got.flags != want.flags || got.id != want.id || got.stream != want.stream || !bytes.Equal(got.payload, want.payload) {
+			t.Errorf("case %d: round trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestExecPayloadRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		in     time.Duration
+		want   time.Duration
+		script string
+	}{
+		{750 * time.Millisecond, 750 * time.Millisecond, "SHOW RELATIONS;"},
+		{0, 0, ""},
+		{-time.Second, 0, "x"}, // negative clamps to no deadline
+		{5000 * time.Hour, math.MaxUint32 * time.Millisecond, "y"},       // overflow clamps to the field max
+		{time.Millisecond / 2, 0, "sub-millisecond rounds down to zero"}, // ms granularity
+	} {
+		timeout, script, err := parseExecPayload(execPayload(tc.in, tc.script))
+		if err != nil {
+			t.Fatalf("parseExecPayload(%v, %q): %v", tc.in, tc.script, err)
+		}
+		if timeout != tc.want || script != tc.script {
+			t.Errorf("exec payload (%v, %q): got (%v, %q), want (%v, %q)", tc.in, tc.script, timeout, script, tc.want, tc.script)
+		}
+	}
+	if _, _, err := parseExecPayload([]byte{1, 2, 3}); !errors.Is(err, errProto) {
+		t.Errorf("short EXEC payload: got %v, want errProto", err)
+	}
+}
+
+func TestErrFramePayloadRoundTrip(t *testing.T) {
+	code, retry, msg, err := parseErrFramePayload(errFramePayload(codeQuota, 250*time.Millisecond, "tenant over budget"))
+	if err != nil {
+		t.Fatalf("parseErrFramePayload: %v", err)
+	}
+	if code != codeQuota || retry != 250*time.Millisecond || msg != "tenant over budget" {
+		t.Errorf("got (%q, %v, %q)", code, retry, msg)
+	}
+
+	// A pathological code longer than the u8 length field truncates rather
+	// than corrupting the frame.
+	long := Code(bytes.Repeat([]byte("c"), 300))
+	code, _, msg, err = parseErrFramePayload(errFramePayload(long, 0, "m"))
+	if err != nil {
+		t.Fatalf("parseErrFramePayload(long code): %v", err)
+	}
+	if len(code) != math.MaxUint8 || msg != "m" {
+		t.Errorf("long code: got len %d, msg %q; want %d, %q", len(code), msg, math.MaxUint8, "m")
+	}
+
+	for _, bad := range [][]byte{
+		{},             // empty
+		{5, 'a', 'b'},  // code shorter than announced
+		{1, 'a', 0, 0}, // retry field truncated
+		{255},          // announced code with no bytes at all
+	} {
+		if _, _, _, err := parseErrFramePayload(bad); !errors.Is(err, errProto) {
+			t.Errorf("parseErrFramePayload(%v): got %v, want errProto", bad, err)
+		}
+	}
+}
+
+func TestReadFrameRejectsMalformed(t *testing.T) {
+	// Announced length below the fixed header is structurally impossible.
+	under := binary4(frameHeader - 1)
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(under)), fuzzMaxBytes); !errors.Is(err, errProto) {
+		t.Errorf("undersized length: got %v, want errProto", err)
+	}
+
+	// Announced length over maxBytes+header is rejected before allocation.
+	over := binary4(uint32(fuzzMaxBytes) + frameHeader + 1)
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(over)), fuzzMaxBytes); !errors.Is(err, errTooLarge) {
+		t.Errorf("oversized length: got %v, want errTooLarge", err)
+	}
+
+	// A frame whose body stops short of the announced length is a protocol
+	// error, not a silent EOF.
+	whole := appendFrame(nil, frame{typ: fvPing, id: 1})
+	truncated := whole[:len(whole)-1]
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(truncated)), fuzzMaxBytes); !errors.Is(err, errProto) {
+		t.Errorf("truncated body: got %v, want errProto", err)
+	}
+
+	// Clean EOF before any frame byte is io.EOF, so idle connection teardown
+	// is distinguishable from corruption.
+	if _, err := readFrame(bufio.NewReader(bytes.NewReader(nil)), fuzzMaxBytes); !errors.Is(err, io.EOF) {
+		t.Errorf("empty stream: got %v, want io.EOF", err)
+	}
+}
+
+func binary4(n uint32) []byte {
+	return []byte{byte(n >> 24), byte(n >> 16), byte(n >> 8), byte(n)}
+}
+
+func TestFrameResponseRejectsUnknownType(t *testing.T) {
+	if _, err := frameResponse(frame{typ: fvExec}); !errors.Is(err, errProto) {
+		t.Errorf("request-typed frame as response: got %v, want errProto", err)
+	}
+	resp, err := frameResponse(frame{typ: fvOK, payload: []byte("out")})
+	if err != nil || !resp.ok || resp.payload != "out" {
+		t.Errorf("OK frame: got (%+v, %v)", resp, err)
+	}
+	resp, err = frameResponse(frame{typ: fvErr, payload: errFramePayload(codeExec, 0, "boom")})
+	if err != nil || resp.ok || resp.code != codeExec || resp.payload != "boom" {
+		t.Errorf("ERR frame: got (%+v, %v)", resp, err)
+	}
+}
+
+// FuzzFrameDecode holds the decoder to two properties on arbitrary bytes:
+//
+//  1. Chunked delivery is invisible: decoding from a reader that yields one
+//     byte per Read returns exactly the same frame (or same error class) as
+//     decoding the whole buffer at once. TCP segmentation must never change
+//     the result.
+//  2. Malformed input fails loudly with a classified error — errProto,
+//     errTooLarge, or io EOF variants — never a panic, hang, or garbage
+//     frame that re-encodes differently than it arrived.
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(appendFrame(nil, frame{typ: fvPing, id: 1}))
+	f.Add(appendFrame(nil, frame{typ: fvExec, flags: flagEndStream, id: 42, stream: 7, payload: execPayload(time.Second, "HOLDS Flies (Tweety);")}))
+	f.Add(appendFrame(nil, frame{typ: fvErr, id: 3, stream: 1, payload: errFramePayload(codeQuota, time.Second, "shed")}))
+	f.Add(binary4(frameHeader - 1))                         // undersized announced length
+	f.Add(binary4(uint32(fuzzMaxBytes) + frameHeader + 1))  // oversized announced length
+	f.Add(appendFrame(nil, frame{typ: fvPing, id: 9})[:10]) // truncated body
+	f.Add([]byte{})                                         // clean EOF
+	f.Add([]byte{0, 0})                                     // truncated length prefix
+	f.Fuzz(func(t *testing.T, data []byte) {
+		oneShot, errOne := readFrame(bufio.NewReaderSize(bytes.NewReader(data), 16), fuzzMaxBytes)
+		chunked, errChunk := readFrame(bufio.NewReaderSize(iotest.OneByteReader(bytes.NewReader(data)), 16), fuzzMaxBytes)
+
+		if (errOne == nil) != (errChunk == nil) {
+			t.Fatalf("chunking changed the outcome: one-shot err %v, chunked err %v", errOne, errChunk)
+		}
+		if errOne != nil {
+			// Same failure class regardless of delivery. io.ReadFull turns a
+			// mid-read EOF into ErrUnexpectedEOF, and the truncated-body path
+			// wraps it in errProto; which of the EOF flavors appears can
+			// legitimately differ at the length-prefix boundary, so compare
+			// at the class level.
+			class := func(err error) string {
+				switch {
+				case errors.Is(err, errTooLarge):
+					return "toolarge"
+				case errors.Is(err, errProto):
+					return "proto"
+				case errors.Is(err, io.EOF), errors.Is(err, io.ErrUnexpectedEOF):
+					return "eof"
+				default:
+					return "other"
+				}
+			}
+			c1, c2 := class(errOne), class(errChunk)
+			if c1 == "other" || c2 == "other" {
+				t.Fatalf("unclassified decode error: one-shot %v, chunked %v", errOne, errChunk)
+			}
+			if c1 != c2 {
+				t.Fatalf("chunking changed the error class: one-shot %v (%s), chunked %v (%s)", errOne, c1, errChunk, c2)
+			}
+			return
+		}
+
+		if oneShot.typ != chunked.typ || oneShot.flags != chunked.flags ||
+			oneShot.id != chunked.id || oneShot.stream != chunked.stream ||
+			!bytes.Equal(oneShot.payload, chunked.payload) {
+			t.Fatalf("chunking changed the frame:\n one-shot %+v\n  chunked %+v", oneShot, chunked)
+		}
+
+		// A successfully decoded frame re-encodes to exactly the bytes
+		// consumed: decode∘encode is the identity on valid frames.
+		wire := appendFrame(nil, oneShot)
+		if !bytes.Equal(wire, data[:len(wire)]) {
+			t.Fatalf("re-encode mismatch:\n got %x\nwant %x", wire, data[:len(wire)])
+		}
+	})
+}

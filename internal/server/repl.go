@@ -137,35 +137,9 @@ func (c *Client) Lag(ctx context.Context) (LagInfo, error) {
 // Promote asks a replica server to stop following and accept writes (the
 // PROMOTE verb). It is manual failover: the caller decides the old primary
 // is gone; the replica finishes applying whatever it has and flips
-// writable.
+// writable. Like Lag, it dispatches per protocol: a frame on v2, a text
+// line on v1 (see Client.inlineVerb).
 func (c *Client) Promote(ctx context.Context) error {
 	_, err := c.inlineVerb(ctx, "PROMOTE")
 	return err
-}
-
-// inlineVerb performs one argument-less request/response exchange (the
-// PING/STATS/LAG/PROMOTE family, answered inline by the connection
-// handler).
-func (c *Client) inlineVerb(ctx context.Context, verb string) (string, error) {
-	c.reqMu.Lock()
-	defer c.reqMu.Unlock()
-	conn, br, err := c.ensureConn()
-	if err != nil {
-		return "", err
-	}
-	stop := context.AfterFunc(ctx, func() { conn.Close() })
-	defer stop()
-	if _, err := fmt.Fprintf(conn, "%s\n", verb); err != nil {
-		c.discardConn()
-		return "", ctxPreferred(ctx, err)
-	}
-	resp, err := readResponse(br, c.o.maxResponse)
-	if err != nil {
-		c.discardConn()
-		return "", ctxPreferred(ctx, err)
-	}
-	if !resp.ok {
-		return "", &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
-	}
-	return resp.payload, nil
 }

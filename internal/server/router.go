@@ -35,50 +35,50 @@ type Router struct {
 	lagAt []time.Time
 }
 
-// RouterOption configures a Router.
-type RouterOption func(*Router)
-
 // WithMaxStaleness sets the freshness bound: a replica is eligible for a
 // read only if its reported staleness is known and at most d. Default
 // 500ms. Replicas that have never synced report unknown staleness and are
-// never eligible.
-func WithMaxStaleness(d time.Duration) RouterOption {
-	return func(r *Router) { r.maxStale = d }
+// never eligible. Router-only; plain Dial ignores it.
+func WithMaxStaleness(d time.Duration) Option {
+	return func(o *dialConfig) { o.maxStale = d }
 }
 
 // WithLagProbeInterval sets how long a replica's LAG answer is cached
 // before the next probe. Default 100ms; zero probes on every read.
-func WithLagProbeInterval(d time.Duration) RouterOption {
-	return func(r *Router) { r.probeTTL = d }
+// Router-only; plain Dial ignores it.
+func WithLagProbeInterval(d time.Duration) Option {
+	return func(o *dialConfig) { o.probeTTL = d }
 }
 
-// DialRouter connects to the primary and each replica. The primary
-// connection is established eagerly (as Dial does); replica connections
-// are too, but a replica that cannot be reached at dial time is an error —
-// topology mistakes should surface at startup, not as silent primary-only
-// routing.
-func DialRouter(primaryAddr string, replicaAddrs []string, opts ...RouterOption) (*Router, error) {
-	primary, err := Dial(primaryAddr)
+// DialRouter connects to the primary and each replica, passing the same
+// options (retry policy, tenant, protocol, …) to every connection. The
+// primary connection is established eagerly (as Dial does); replica
+// connections are too, but a replica that cannot be reached at dial time
+// is an error — topology mistakes should surface at startup, not as
+// silent primary-only routing.
+func DialRouter(primaryAddr string, replicaAddrs []string, opts ...Option) (*Router, error) {
+	cfg := defaultDialConfig()
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	primary, err := Dial(primaryAddr, opts...)
 	if err != nil {
 		return nil, err
 	}
 	r := &Router{
 		primary:  primary,
-		maxStale: 500 * time.Millisecond,
-		probeTTL: 100 * time.Millisecond,
+		maxStale: cfg.maxStale,
+		probeTTL: cfg.probeTTL,
 		lag:      make([]LagInfo, len(replicaAddrs)),
 		lagAt:    make([]time.Time, len(replicaAddrs)),
 	}
 	for _, addr := range replicaAddrs {
-		rc, err := Dial(addr)
+		rc, err := Dial(addr, opts...)
 		if err != nil {
 			r.Close()
 			return nil, err
 		}
 		r.replicas = append(r.replicas, rc)
-	}
-	for _, opt := range opts {
-		opt(r)
 	}
 	return r, nil
 }

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -62,6 +63,16 @@ type Options struct {
 	// LagProbe, when non-nil, enables the LAG verb: it reports the serving
 	// replica's replication state for lag-bounded read routing.
 	LagProbe func() LagInfo
+	// Tenants declares named namespaces this server hosts besides the
+	// default one (the main target). Connections resolve a namespace at
+	// HELLO (protocol v2) or with USE (protocol v1); each tenant carries
+	// its own admission quota, rate limit, and labeled metric series. A
+	// config named DefaultTenant attaches limits to the default namespace.
+	Tenants []TenantConfig
+	// DisableV2 makes the server reject the HELLO upgrade exactly like a
+	// pre-v2 build (ERR proto, connection closed), serving only the v1
+	// line protocol. For cross-version compatibility testing.
+	DisableV2 bool
 }
 
 // withDefaults resolves zero values.
@@ -103,6 +114,9 @@ type task struct {
 	input  string
 	ctx    context.Context
 	cancel context.CancelFunc
+	// tn is the namespace the request runs under; the worker returns its
+	// admission slot when the statement leaves the pool.
+	tn *tenantState
 	// done carries the result; buffered so an abandoning connection
 	// handler (deadline fired first) never blocks the worker.
 	done chan taskResult
@@ -114,8 +128,9 @@ type task struct {
 // itself, and statement execution runs on a fixed worker pool behind a
 // bounded admission queue.
 type Server struct {
-	target hql.Target
-	opts   Options
+	target  hql.Target
+	opts    Options
+	tenants map[string]*tenantState // immutable after New
 
 	ln   net.Listener
 	work chan *task
@@ -139,11 +154,13 @@ type Server struct {
 // synchronized for concurrent use (catalog.Database and storage.Store
 // both are).
 func New(target hql.Target, opts Options) *Server {
+	o := opts.withDefaults()
 	return &Server{
-		target: target,
-		opts:   opts.withDefaults(),
-		conns:  make(map[net.Conn]struct{}),
-		tasks:  make(map[*task]struct{}),
+		target:  target,
+		opts:    o,
+		tenants: buildTenants(target, o.Tenants),
+		conns:   make(map[net.Conn]struct{}),
+		tasks:   make(map[*task]struct{}),
 	}
 }
 
@@ -216,7 +233,7 @@ func (s *Server) acceptLoop() {
 }
 
 // refuse answers a connection with one error frame and closes it.
-func (s *Server) refuse(c net.Conn, code string, retryAfter time.Duration, msg string) {
+func (s *Server) refuse(c net.Conn, code Code, retryAfter time.Duration, msg string) {
 	c.SetWriteDeadline(time.Now().Add(2 * time.Second))
 	bw := bufio.NewWriter(c)
 	writeErr(bw, code, retryAfter, msg)
@@ -248,9 +265,8 @@ func (s *Server) handleConn(c net.Conn) {
 		}
 	}()
 
-	sess := hql.NewSession(s.target)
-	sess.SetSlowQueryLog(s.opts.SlowQuery)
-	sess.SetTracer(s.opts.Tracer)
+	tn := s.tenants[DefaultTenant]
+	sess := s.newSession(tn)
 	br := bufio.NewReader(c)
 	bw := bufio.NewWriter(c)
 	for {
@@ -282,6 +298,44 @@ func (s *Server) handleConn(c net.Conn) {
 			continue
 		case "QUIT":
 			return
+		case "HELLO":
+			if s.opts.DisableV2 {
+				// Byte-identical to what a pre-v2 build answers, so clients
+				// exercise the same fallback against both.
+				writeErr(bw, codeProto, 0, `protocol error: unknown verb "HELLO"`)
+				return
+			}
+			if req.proto < 2 {
+				writeErr(bw, codeProto, 0, "unsupported protocol version")
+				return
+			}
+			htn, ok := s.resolveTenant(req.tenant)
+			if !ok {
+				writeErr(bw, codeTenant, 0, "unknown tenant "+strconv.Quote(req.tenant))
+				return
+			}
+			// Accept: confirm in v1 text framing, then the connection
+			// switches to binary frames. serveMux owns it until it ends.
+			if writeOK(bw, "v2 tenant="+htn.name) != nil {
+				return
+			}
+			s.serveMux(c, br, htn)
+			return
+		case "USE":
+			utn, ok := s.resolveTenant(req.tenant)
+			if !ok {
+				// Recoverable: the connection keeps its current namespace.
+				if writeErr(bw, codeTenant, 0, "unknown tenant "+strconv.Quote(req.tenant)) != nil {
+					return
+				}
+				continue
+			}
+			tn = utn
+			sess = s.newSession(tn)
+			if writeOK(bw, "tenant="+tn.name) != nil {
+				return
+			}
+			continue
 		case "SNAP", "REPL", "PROMOTE", "LAG":
 			// REPL hands the whole connection to the stream until it ends
 			// (the read deadline is already cleared above; the stream
@@ -292,23 +346,37 @@ func (s *Server) handleConn(c net.Conn) {
 			continue
 		}
 
-		if !s.serveExec(bw, sess, req) {
+		if !s.serveExec(bw, sess, req, tn) {
 			return
 		}
 	}
 }
 
+// newSession builds a session over a tenant's target with the server's
+// observability hooks attached.
+func (s *Server) newSession(tn *tenantState) *hql.Session {
+	sess := hql.NewSession(tn.target)
+	sess.SetSlowQueryLog(s.opts.SlowQuery)
+	sess.SetTracer(s.opts.Tracer)
+	return sess
+}
+
 // serveExec admits, executes, and answers one EXEC request. It reports
 // whether the connection may continue to the next request.
-func (s *Server) serveExec(bw *bufio.Writer, sess *hql.Session, req request) bool {
+func (s *Server) serveExec(bw *bufio.Writer, sess *hql.Session, req request, tn *tenantState) bool {
 	// replyWG spans the whole request/reply cycle so a graceful drain keeps
 	// the connection open until the answer has been written — the worker
 	// marks the statement done before the handler flushes the reply.
 	s.replyWG.Add(1)
 	defer s.replyWG.Done()
 	metricRequests.Inc()
+	tn.mRequests.Inc()
 	reqStart := time.Now()
-	defer func() { metricRequestNS.ObserveDuration(time.Since(reqStart)) }()
+	defer func() {
+		d := time.Since(reqStart)
+		metricRequestNS.ObserveDuration(d)
+		tn.mLatency.ObserveDuration(d)
+	}()
 	ctx, cancel := context.WithCancel(context.Background())
 	timeout := req.timeout
 	if s.opts.MaxDeadline > 0 && (timeout <= 0 || timeout > s.opts.MaxDeadline) {
@@ -317,13 +385,13 @@ func (s *Server) serveExec(bw *bufio.Writer, sess *hql.Session, req request) boo
 	if timeout > 0 {
 		ctx, cancel = context.WithTimeout(context.Background(), timeout)
 	}
-	t := &task{sess: sess, input: req.input, ctx: ctx, cancel: cancel, done: make(chan taskResult, 1)}
+	t := &task{sess: sess, input: req.input, ctx: ctx, cancel: cancel, tn: tn, done: make(chan taskResult, 1)}
 
 	if code, err := s.submit(t); err != nil {
 		cancel()
 		switch code {
-		case codeOverloaded:
-			return writeErr(bw, codeOverloaded, s.opts.RetryAfter, err.Error()) == nil
+		case codeOverloaded, codeQuota:
+			return writeErr(bw, code, s.opts.RetryAfter, err.Error()) == nil
 		default: // shutdown
 			writeErr(bw, codeShutdown, 0, err.Error())
 			return false
@@ -369,13 +437,20 @@ func (s *Server) serveExec(bw *bufio.Writer, sess *hql.Session, req request) boo
 }
 
 // submit offers a task to the bounded admission queue without blocking:
-// a full queue sheds the request. The inflight count is raised before the
-// queue send so drain never misses an admitted task.
-func (s *Server) submit(t *task) (code string, err error) {
+// a full queue sheds the request with "overloaded", a tenant over its own
+// quota or rate limit is shed with "quota". The inflight count is raised
+// before the queue send so drain never misses an admitted task.
+func (s *Server) submit(t *task) (code Code, err error) {
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
 		return codeShutdown, errors.New("server is shutting down")
+	}
+	if t.tn != nil && !t.tn.admit() {
+		s.mu.Unlock()
+		metricShed.Inc()
+		t.tn.mShed.Inc()
+		return codeQuota, t.tn.quotaErr()
 	}
 	s.inflight.Add(1)
 	s.tasks[t] = struct{}{}
@@ -387,6 +462,9 @@ func (s *Server) submit(t *task) (code string, err error) {
 	default:
 		delete(s.tasks, t)
 		s.inflight.Done()
+		if t.tn != nil {
+			t.tn.release()
+		}
 		s.mu.Unlock()
 		metricShed.Inc()
 		return codeOverloaded, errors.New("server overloaded: admission queue full")
@@ -400,6 +478,9 @@ func (s *Server) worker() {
 		metricQueueDepth.Dec()
 		res := runTask(t)
 		t.done <- res
+		if t.tn != nil {
+			t.tn.release()
+		}
 		s.mu.Lock()
 		delete(s.tasks, t)
 		s.mu.Unlock()

@@ -295,6 +295,7 @@ func TestDeadlinePropagatedToStatement(t *testing.T) {
 	defer c.Close()
 
 	baseLen := relLen(t, db)
+	answered := metricRequestNS.Snapshot().Count
 	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
 	defer cancel()
 	// Statement 1 parks in Assert past the deadline; statement 2 must then
@@ -302,6 +303,13 @@ func TestDeadlinePropagatedToStatement(t *testing.T) {
 	_, err = c.Exec(ctx, "ASSERT Flies (Tweety); ASSERT Flies (Animal);")
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("got %v, want DeadlineExceeded", err)
+	}
+	// Exec can return from the client's local deadline before the server's
+	// request ctx has fired (the two timers are independent). Wait until the
+	// server answered the request — the reply is recorded only after its ctx
+	// is done — so releasing the gate cannot race the server-side timer.
+	for metricRequestNS.Snapshot().Count == answered {
+		time.Sleep(time.Millisecond)
 	}
 	close(gate.gate) // release statement 1 well after the deadline
 	deadline := time.Now().Add(5 * time.Second)
@@ -559,12 +567,14 @@ func TestConnectionLimit(t *testing.T) {
 		}
 		keep[i] = c
 	}
+	// The handshake reads the server's refusal during Dial, so the error
+	// surfaces eagerly there; a v1-pinned client wouldn't notice until the
+	// first round trip. Either way the connection is answered, not hung.
 	c, err := Dial(srv.Addr(), WithMaxRetries(0))
-	if err != nil {
-		t.Fatal(err)
+	if err == nil {
+		defer c.Close()
+		err = c.Ping(context.Background())
 	}
-	defer c.Close()
-	err = c.Ping(context.Background())
 	if !errors.Is(err, ErrOverloaded) {
 		t.Fatalf("third connection: got %v, want ErrOverloaded", err)
 	}
