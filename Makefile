@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all help build test test-crash test-server test-compat test-obs test-repl race cover bench bench-smoke figures experiments fuzz fuzz-smoke clean
+.PHONY: all help build test test-crash test-server test-compat test-obs test-repl race cover bench bench-smoke bench-json figures experiments fuzz fuzz-smoke clean
 
 all: build test
 
@@ -29,8 +29,10 @@ help:
 	@echo "               tests are skipped via -run '^$$')"
 	@echo "  bench-smoke  quick pass over the batch-evaluation and"
 	@echo "               verdict-cache benchmarks only"
+	@echo "  bench-json   machine-readable BENCH_<exp>.json for the planner"
+	@echo "               and protocol experiments (E9, E12, E13)"
 	@echo "  figures      regenerate the paper figures (cmd/hrfigures)"
-	@echo "  experiments  print the E1-E12 experiment tables (cmd/hrbench)"
+	@echo "  experiments  print the E1-E13 experiment tables (cmd/hrbench)"
 	@echo "  fuzz         run the fuzz targets for FUZZTIME ($(FUZZTIME)) each"
 	@echo "  fuzz-smoke   run the fuzz targets for 15s each (CI)"
 
@@ -41,7 +43,7 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/storage/ ./internal/core/ ./internal/server/ ./internal/obs/ ./internal/repl/
+	$(GO) test -race ./internal/storage/ ./internal/core/ ./internal/server/ ./internal/obs/ ./internal/repl/ ./internal/dag/ ./internal/hierarchy/ ./internal/algebra/
 
 test-crash:
 	$(GO) test -run 'TestCrash' -count=1 -v ./internal/storage/
@@ -72,6 +74,9 @@ bench:
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateBatch|BenchmarkHoldsCached' -benchtime=50x .
+
+bench-json:
+	$(GO) run ./cmd/hrbench -json . E9 E12 E13
 
 figures:
 	$(GO) run ./cmd/hrfigures

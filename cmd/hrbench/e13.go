@@ -1,0 +1,210 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"hrdb/internal/algebra"
+	"hrdb/internal/core"
+	"hrdb/internal/hierarchy"
+	"hrdb/internal/workload"
+)
+
+// e13Row is one relation size's scan-vs-index measurement.
+type e13Row struct {
+	Tuples        int     `json:"tuples"`
+	HierNodes     int     `json:"hier_nodes"`
+	Access        string  `json:"access"`
+	SelectScanNs  float64 `json:"select_scan_p50_ns"`
+	SelectIndexNs float64 `json:"select_index_p50_ns"`
+	SelectSpeedup float64 `json:"select_speedup"`
+	JoinScanNs    float64 `json:"join_scan_p50_ns"`
+	JoinIndexNs   float64 `json:"join_index_p50_ns"`
+	JoinSpeedup   float64 `json:"join_speedup"`
+}
+
+// e13Subsumes is the warm-label microbenchmark attached to the E13 report.
+type e13Subsumes struct {
+	HierNodes  int     `json:"hier_nodes"`
+	WalkNs     float64 `json:"bfs_walk_ns"`
+	WarmNs     float64 `json:"warm_label_ns"`
+	Speedup    float64 `json:"speedup"`
+	WarmAllocs float64 `json:"warm_allocs_per_op"`
+}
+
+// p50It runs f k times (after one warm-up) and returns the median ns.
+func p50It(k int, f func()) float64 {
+	f()
+	lat := make([]time.Duration, k)
+	for i := range lat {
+		t0 := time.Now()
+		f()
+		lat[i] = time.Since(t0)
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return float64(lat[len(lat)/2].Nanoseconds())
+}
+
+// e13Fixture builds an all-positive relation of n tuples over a taxonomy of
+// classes×fanout instances (consistent by construction: no negated tuple
+// ever contradicts an inherited value, so no O(n²) consistency sweep is
+// needed at benchmark scale).
+func e13Fixture(seed int64, classes, fanout, n int) *core.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	h0, err := workload.Taxonomy("D0", classes, fanout)
+	check(err)
+	h1, err := workload.Taxonomy("D1", 16, 8)
+	check(err)
+	s, err := core.NewSchema(
+		core.Attribute{Name: "A", Domain: h0},
+		core.Attribute{Name: "B", Domain: h1},
+	)
+	check(err)
+	r := core.NewRelation("R", s)
+	p0, p1 := h0.Nodes(), h1.Nodes()
+	for attempts := 0; attempts < n*8 && r.Len() < n; attempts++ {
+		item := core.Item{p0[rng.Intn(len(p0))], p1[rng.Intn(len(p1))]}
+		if _, present := r.Lookup(item); present {
+			continue
+		}
+		check(r.Insert(item, true))
+	}
+	return r
+}
+
+// e13OuterProbe builds a small relation over the big fixture's first
+// domain, for the join crossover. It samples instances only — the typical
+// probe shape (joining ground facts against a big class-level relation),
+// and the selective case where enumeration cost, not candidate signing,
+// separates the two access paths.
+func e13OuterProbe(seed int64, h *hierarchy.Hierarchy, n int) *core.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	s, err := core.NewSchema(core.Attribute{Name: "A", Domain: h})
+	check(err)
+	r := core.NewRelation("Probe", s)
+	var instances []string
+	for _, node := range h.Nodes() {
+		if strings.Contains(node, "_i") {
+			instances = append(instances, node)
+		}
+	}
+	for attempts := 0; attempts < n*8 && r.Len() < n; attempts++ {
+		item := core.Item{instances[rng.Intn(len(instances))]}
+		if _, present := r.Lookup(item); present {
+			continue
+		}
+		check(r.Insert(item, true))
+	}
+	return r
+}
+
+// e13Planner: the cost-based planner's scan-vs-index crossover. Small
+// relations stay on the full scan (probe bookkeeping would cost more than
+// it saves); past the threshold the secondary-index probe pulls ahead and
+// the gap widens with size, because the scan enumerates (and computes
+// meets against) every stored tuple while the probe touches one
+// representative per distinct stored value plus the actual matches.
+func e13Planner() {
+	header("E13 — cost-based planner: scan vs secondary-index probe")
+	ctx := context.Background()
+	cond := algebra.Condition{Attr: "A", Class: "c0003_i00002"}
+	fmt.Printf("SELECT WHERE A UNDER a single instance; JOIN with a 16-tuple instance-level probe relation on A.\n\n")
+	fmt.Println("| tuples | access | select scan p50 | select index p50 | speedup | join scan p50 | join index p50 | speedup |")
+	fmt.Println("|---|---|---|---|---|---|---|---|")
+
+	var rows []e13Row
+	for _, n := range []int{100, 1000, 3000, 10000} {
+		// The hierarchy is fixed (64 classes × 24 instances); growing the
+		// relation grows tuples-per-value density, as real fact bases do.
+		r := e13Fixture(13, 64, 24, n)
+		s := r.Schema()
+		s.Attr(0).Domain.Warm()
+		s.Attr(1).Domain.Warm()
+		outer := e13OuterProbe(17, s.Attr(0).Domain, 16)
+
+		plan, err := algebra.PlanSelect(r, cond)
+		check(err)
+		k := 5
+		if n >= 3000 {
+			k = 3
+		}
+		selScan := p50It(k, func() {
+			if _, err := algebra.SelectContext(algebra.WithForceScan(ctx), "σ", r, cond); err != nil {
+				log.Fatal(err)
+			}
+		})
+		selIdx := p50It(k, func() {
+			if _, err := algebra.SelectContext(ctx, "σ", r, cond); err != nil {
+				log.Fatal(err)
+			}
+		})
+		joinScan := p50It(k, func() {
+			if _, err := algebra.JoinContext(algebra.WithForceScan(ctx), "j", outer, r); err != nil {
+				log.Fatal(err)
+			}
+		})
+		joinIdx := p50It(k, func() {
+			if _, err := algebra.JoinContext(ctx, "j", outer, r); err != nil {
+				log.Fatal(err)
+			}
+		})
+		row := e13Row{
+			Tuples: r.Len(), HierNodes: s.Attr(0).Domain.Len(), Access: string(plan.Access),
+			SelectScanNs: selScan, SelectIndexNs: selIdx, SelectSpeedup: selScan / selIdx,
+			JoinScanNs: joinScan, JoinIndexNs: joinIdx, JoinSpeedup: joinScan / joinIdx,
+		}
+		rows = append(rows, row)
+		fmt.Printf("| %d | %s | %s | %s | %.1f× | %s | %s | %.1f× |\n",
+			row.Tuples, row.Access, fmtNs(selScan), fmtNs(selIdx), row.SelectSpeedup,
+			fmtNs(joinScan), fmtNs(joinIdx), row.JoinSpeedup)
+	}
+
+	// Warm-label subsumption: an interval compare against the reference BFS
+	// walk the labels replace.
+	h, err := workload.Taxonomy("S", 100, 100)
+	check(err)
+	h.Warm()
+	from, to := "class0042", "c0042_i00037"
+	walk := func(a, b string) bool {
+		if a == b {
+			return true
+		}
+		frontier := []string{a}
+		seen := map[string]bool{a: true}
+		for len(frontier) > 0 {
+			n := frontier[0]
+			frontier = frontier[1:]
+			for _, c := range h.Children(n) {
+				if c == b {
+					return true
+				}
+				if !seen[c] {
+					seen[c] = true
+					frontier = append(frontier, c)
+				}
+			}
+		}
+		return false
+	}
+	if !walk(from, to) || !h.Subsumes(from, to) {
+		log.Fatal("E13: subsumption fixture broken")
+	}
+	walkNs := timeIt(func() { walk(from, to) })
+	warmNs := timeIt(func() { h.Subsumes(from, to) })
+	sub := e13Subsumes{
+		HierNodes: h.Len(), WalkNs: walkNs, WarmNs: warmNs,
+		Speedup: walkNs / warmNs,
+	}
+	fmt.Printf("\nwarm Subsumes over %d nodes: %s vs %s BFS walk (%.0f×, 0 allocs/op — pinned by TestSubsumesWarmNoAllocs)\n",
+		sub.HierNodes, fmtNs(warmNs), fmtNs(walkNs), sub.Speedup)
+
+	emitJSON("E13", struct {
+		Crossover []e13Row    `json:"crossover"`
+		Subsumes  e13Subsumes `json:"subsumes"`
+	}{rows, sub})
+}

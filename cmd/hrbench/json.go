@@ -1,0 +1,30 @@
+package main
+
+import (
+	"encoding/json"
+	"log"
+	"os"
+	"path/filepath"
+)
+
+// jsonDir is where machine-readable BENCH_<exp>.json files go; empty means
+// no JSON output. Set by the -json flag in main.
+var jsonDir string
+
+// emitJSON writes one experiment's machine-readable result next to the
+// printed table, so CI can archive benchmark history as artifacts without
+// scraping markdown.
+func emitJSON(exp string, v any) {
+	if jsonDir == "" {
+		return
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		log.Fatalf("%s: marshal JSON: %v", exp, err)
+	}
+	path := filepath.Join(jsonDir, "BENCH_"+exp+".json")
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatalf("%s: write %s: %v", exp, path, err)
+	}
+	log.Printf("%s: wrote %s", exp, path)
+}

@@ -1,16 +1,18 @@
-// Command hrbench runs the performance experiments E1–E12 of EXPERIMENTS.md
+// Command hrbench runs the performance experiments E1–E13 of EXPERIMENTS.md
 // and prints their tables. The paper (a model paper) reports no absolute
 // numbers; these experiments quantify the claims its prose makes — storage
 // compression from class tuples (§1), the join degradation of the flat
 // alternative (footnote 1), and the costs of the new operators (§3.3).
 //
-//	hrbench          # all experiments
-//	hrbench E1 E2    # selected experiments
+//	hrbench               # all experiments
+//	hrbench E1 E2         # selected experiments
+//	hrbench -json . E13   # also write BENCH_E13.json for CI artifacts
 package main
 
 import (
 	"context"
 	"errors"
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -43,10 +45,13 @@ func main() {
 		"E10": e10GroupCommit,
 		"E11": e11Replication,
 		"E12": e12Multiplexing,
+		"E13": e13Planner,
 	}
-	args := os.Args[1:]
+	flag.StringVar(&jsonDir, "json", "", "directory to also write machine-readable BENCH_<exp>.json files to")
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
-		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 	}
 	for _, a := range args {
 		f, ok := exps[strings.ToUpper(a)]
@@ -391,6 +396,15 @@ func e9Parallel() {
 	fmt.Println("| classes | fanout | items | sequential | parallel batch | speedup | cached re-read | vs sequential |")
 	fmt.Println("|---|---|---|---|---|---|---|---|")
 	ctx := context.Background()
+	type e9Row struct {
+		Classes      int     `json:"classes"`
+		Fanout       int     `json:"fanout"`
+		Items        int     `json:"items"`
+		SequentialNs float64 `json:"sequential_ns"`
+		ParallelNs   float64 `json:"parallel_ns"`
+		CachedNs     float64 `json:"cached_ns"`
+	}
+	var rows []e9Row
 	// Atom counts stay under the verdict cache's rotation threshold so the
 	// cached column measures steady-state hits, not eviction churn.
 	for _, p := range []struct{ classes, fanout int }{
@@ -426,7 +440,15 @@ func e9Parallel() {
 		fmt.Printf("| %d | %d | %d | %s | %s | %.1f× | %s | %.1f× |\n",
 			p.classes, p.fanout, len(atoms), fmtNs(seqNs), fmtNs(parNs), seqNs/parNs,
 			fmtNs(hotNs), seqNs/hotNs)
+		rows = append(rows, e9Row{
+			Classes: p.classes, Fanout: p.fanout, Items: len(atoms),
+			SequentialNs: seqNs, ParallelNs: parNs, CachedNs: hotNs,
+		})
 	}
+	emitJSON("E9", struct {
+		GOMAXPROCS int     `json:"gomaxprocs"`
+		Rows       []e9Row `json:"rows"`
+	}{runtime.GOMAXPROCS(0), rows})
 }
 
 // e11Replication: the replication subsystem — how long a cold follower
@@ -631,6 +653,14 @@ func e12Multiplexing() {
 	fmt.Println()
 	fmt.Println("| protocol | slow query | probes | probe p50 | probe p99 |")
 	fmt.Println("|---|---|---|---|---|")
+	type e12Proto struct {
+		Protocol string  `json:"protocol"`
+		SlowNs   float64 `json:"slow_query_ns"`
+		Probes   int     `json:"probes"`
+		P50Ns    float64 `json:"probe_p50_ns"`
+		P99Ns    float64 `json:"probe_p99_ns"`
+	}
+	var protoRows []e12Proto
 	var p50 [2]time.Duration
 	for i, forceV1 := range []bool{true, false} {
 		slow, lat := e12Pipelining(srv.Addr(), forceV1)
@@ -642,10 +672,15 @@ func e12Multiplexing() {
 		if forceV1 {
 			name = "v1 (line)"
 		}
+		p99 := lat[len(lat)*99/100]
 		fmt.Printf("| %s | %s | %d | %s | %s |\n", name,
 			fmtNs(float64(slow.Nanoseconds())), len(lat),
 			fmtNs(float64(p50[i].Nanoseconds())),
-			fmtNs(float64(lat[len(lat)*99/100].Nanoseconds())))
+			fmtNs(float64(p99.Nanoseconds())))
+		protoRows = append(protoRows, e12Proto{
+			Protocol: name, SlowNs: float64(slow.Nanoseconds()), Probes: len(lat),
+			P50Ns: float64(p50[i].Nanoseconds()), P99Ns: float64(p99.Nanoseconds()),
+		})
 	}
 	fmt.Printf("\nprobe p50 improvement, v2 over v1: %.1f×\n", float64(p50[0])/float64(p50[1]))
 
@@ -734,6 +769,15 @@ func e12Multiplexing() {
 	if shed := metric(`hrdb_tenant_shed_total{tenant="quiet"}`); shed != "0" {
 		log.Fatalf("E12: quiet tenant shed %s statements during a neighbor's flood", shed)
 	}
+	emitJSON("E12", struct {
+		Pipelining       []e12Proto `json:"pipelining"`
+		FloodStatements  int        `json:"flood_statements"`
+		FloodShed        int64      `json:"flood_shed"`
+		QuietP50BeforeNs float64    `json:"quiet_p50_before_ns"`
+		QuietP50DuringNs float64    `json:"quiet_p50_during_ns"`
+	}{protoRows, floodN, floodShed,
+		float64(baseline[len(baseline)/2].Nanoseconds()),
+		float64(quietLat[len(quietLat)/2].Nanoseconds())})
 }
 
 // e7Mining: the §4 extension — automatic organization of flat relations.

@@ -147,6 +147,21 @@ type (
 	MiningResult = mining.Result
 	// Condition restricts one attribute in a selection.
 	Condition = algebra.Condition
+	// Plan describes the access path the cost-based planner chose for an
+	// operator; EXPLAIN renders it.
+	Plan = algebra.Plan
+	// Access names a candidate-enumeration strategy (FullScan, IndexProbe).
+	Access = algebra.Access
+	// IndexStats summarizes one attribute's secondary index.
+	IndexStats = core.IndexStats
+)
+
+// Access paths the planner chooses between.
+const (
+	// FullScan enumerates candidates from every stored tuple.
+	FullScan = algebra.FullScan
+	// IndexProbe enumerates candidates from secondary-index posting lists.
+	IndexProbe = algebra.IndexProbe
 )
 
 // Exception policies.
@@ -378,8 +393,20 @@ func Project(name string, r *Relation, attrs ...string) (*Relation, error) {
 	return algebra.Project(name, r, attrs...)
 }
 
+// SelectContext is Select honoring context cancellation and planner
+// directives such as WithForceScan.
+func SelectContext(ctx context.Context, name string, r *Relation, conds ...Condition) (*Relation, error) {
+	return algebra.SelectContext(ctx, name, r, conds...)
+}
+
 // Join computes the natural join over shared attribute names.
 func Join(name string, a, b *Relation) (*Relation, error) { return algebra.Join(name, a, b) }
+
+// JoinContext is Join honoring context cancellation and planner directives
+// such as WithForceScan.
+func JoinContext(ctx context.Context, name string, a, b *Relation) (*Relation, error) {
+	return algebra.JoinContext(ctx, name, a, b)
+}
 
 // Union returns a relation whose extension is Ext(a) ∪ Ext(b).
 func Union(name string, a, b *Relation) (*Relation, error) { return algebra.Union(name, a, b) }
@@ -398,6 +425,21 @@ func Difference(name string, a, b *Relation) (*Relation, error) {
 func Rename(name string, r *Relation, mapping map[string]string) (*Relation, error) {
 	return algebra.Rename(name, r, mapping)
 }
+
+// PlanSelect returns the access plan Select would execute, without running
+// the query.
+func PlanSelect(r *Relation, conds ...Condition) (*Plan, error) {
+	return algebra.PlanSelect(r, conds...)
+}
+
+// PlanJoin returns the access plan Join would execute, without running the
+// join.
+func PlanJoin(a, b *Relation) (*Plan, error) { return algebra.PlanJoin(a, b) }
+
+// WithForceScan returns a context under which the operators bypass the
+// planner and enumerate candidates by full scan — the reference path index
+// plans are verified against.
+func WithForceScan(ctx context.Context) context.Context { return algebra.WithForceScan(ctx) }
 
 // Bulk evaluation and its functional options.
 //

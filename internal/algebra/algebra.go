@@ -198,36 +198,16 @@ func Select(name string, r *core.Relation, conds ...Condition) (*core.Relation, 
 	return SelectContext(context.Background(), name, r, conds...)
 }
 
-// SelectContext is Select with cancellation.
+// SelectContext is Select with cancellation. Candidate enumeration goes
+// through the cost-based planner (plan.go): a conditioned column whose
+// posting lists are selective enough is probed through the secondary index,
+// otherwise the stored tuples are scanned. Both paths enumerate the same
+// candidate set; WithForceScan pins the scan for reference runs.
 func SelectContext(ctx context.Context, name string, r *core.Relation, conds ...Condition) (*core.Relation, error) {
 	s := r.Schema()
-	region := make(core.Item, s.Arity())
-	for i := 0; i < s.Arity(); i++ {
-		region[i] = s.Attr(i).Domain.Domain()
-	}
-	for _, c := range conds {
-		i, ok := s.Index(c.Attr)
-		if !ok {
-			return nil, fmt.Errorf("%w: select: no attribute %q in %q", core.ErrUnknownAttribute, c.Attr, r.Name())
-		}
-		h := s.Attr(i).Domain
-		if !h.Has(c.Class) {
-			return nil, fmt.Errorf("%w: select: %q is not in domain %q", core.ErrUnknownValue, c.Class, h.Domain())
-		}
-		// Intersect with any previous condition on the same attribute.
-		switch {
-		case h.Subsumes(region[i], c.Class):
-			region[i] = c.Class
-		case h.Subsumes(c.Class, region[i]):
-			// keep the narrower existing region
-		default:
-			meets := h.Meets(region[i], c.Class)
-			if len(meets) != 1 {
-				return nil, fmt.Errorf("%w: select: conditions %q and %q on %q do not intersect in a unique class",
-					core.ErrIncompatible, region[i], c.Class, c.Attr)
-			}
-			region[i] = meets[0]
-		}
+	region, err := selectRegion(r, conds)
+	if err != nil {
+		return nil, err
 	}
 
 	// The region acts as a one-tuple positive relation ANDed with r.
@@ -235,14 +215,32 @@ func SelectContext(ctx context.Context, name string, r *core.Relation, conds ...
 	if err := regionRel.Insert(region, true); err != nil {
 		return nil, err
 	}
-	cand := binaryCandidates(r, regionRel)
 	// Candidates that do not overlap the region contribute nothing: every
 	// positive result tuple lies under the region, so a non-overlapping
-	// candidate can never sit below a positive one.
+	// candidate can never sit below a positive one. The two access paths
+	// enumerate exactly the overlapping tuples, the region item, and the
+	// pairwise meets of the two.
+	plan := planSelect(r, region)
 	var kept []core.Item
-	for _, m := range cand {
-		if r.Overlapping(m, region) {
-			kept = append(kept, m)
+	if plan.Access == IndexProbe && !scanForced(ctx) {
+		var overlapping []core.Tuple
+		for _, t := range r.OverlapCandidates(plan.attr, region[plan.attr]) {
+			if r.Overlapping(t.Item, region) {
+				overlapping = append(overlapping, t)
+			}
+		}
+		for _, t := range overlapping {
+			kept = append(kept, t.Item)
+		}
+		kept = append(kept, region)
+		for _, t := range overlapping {
+			kept = append(kept, r.MinimalResolutionSet(t.Item, region)...)
+		}
+	} else {
+		for _, m := range binaryCandidates(r, regionRel) {
+			if r.Overlapping(m, region) {
+				kept = append(kept, m)
+			}
 		}
 	}
 	eval := func(ctx context.Context, items []core.Item) ([]bool, error) {

@@ -337,3 +337,27 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestIndexStatsAndWarmIndexes(t *testing.T) {
+	db := setupFlies(t)
+	if _, err := db.IndexStats("Nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("IndexStats(Nope) = %v, want ErrNotFound", err)
+	}
+	stats, err := db.IndexStats("Flies")
+	must(t, err)
+	if len(stats) != 1 || stats[0].Attr != "Creature" {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats[0].Tuples != 3 || stats[0].Distinct != 3 {
+		t.Fatalf("stats[0] = %+v, want 3 tuples over 3 distinct values", stats[0])
+	}
+	if stats[0].Warm {
+		t.Fatal("fresh database reported a warm label index")
+	}
+	db.WarmIndexes()
+	stats, err = db.IndexStats("Flies")
+	must(t, err)
+	if !stats[0].Warm {
+		t.Fatal("WarmIndexes did not warm the label index")
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import "sort"
+
+// This file is the planner-facing surface of the secondary tuple indexes:
+// per-attribute posting lists (class → tuple keys) maintained by
+// Insert/Retract under the relation epoch. The algebra package's cost model
+// reads the statistics here to choose between a full scan and an index
+// probe, and OverlapCandidates is the probe itself.
+
+// DistinctValues returns the number of distinct values stored in column
+// attr across the relation's tuples — the number of posting lists an index
+// probe on that column has to consider.
+func (r *Relation) DistinctValues(attr int) int {
+	if attr < 0 || attr >= len(r.idx) {
+		return 0
+	}
+	return len(r.idx[attr])
+}
+
+// PostingCount returns how many stored tuples carry exactly value in column
+// attr.
+func (r *Relation) PostingCount(attr int, value string) int {
+	if attr < 0 || attr >= len(r.idx) {
+		return 0
+	}
+	return len(r.idx[attr][value])
+}
+
+// OverlapCandidates returns the tuples whose attr-th coordinate overlaps
+// class (one subsumes the other, or they share a descendant), sorted by
+// item key. It probes the secondary index — one Overlaps test per distinct
+// stored value instead of one per tuple — and returns exactly the tuples a
+// full scan filtered by Overlaps(t.Item[attr], class) would.
+func (r *Relation) OverlapCandidates(attr int, class string) []Tuple {
+	if attr < 0 || attr >= len(r.idx) {
+		return nil
+	}
+	h := r.schema.attrs[attr].Domain
+	if !h.Has(class) {
+		return nil
+	}
+	var out []Tuple
+	for v, keys := range r.idx[attr] {
+		if !h.Overlaps(v, class) {
+			continue
+		}
+		for _, k := range keys {
+			out = append(out, r.tuples[k])
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Item.Key() < out[j].Item.Key() })
+	return out
+}
+
+// IndexStats summarizes one relation column for the cost model.
+type IndexStats struct {
+	Attr     string // attribute name
+	Distinct int    // distinct stored values (posting lists)
+	Tuples   int    // stored tuples (cardinality)
+	Warm     bool   // the domain's O(1) subsumption label index is built
+}
+
+// Stats returns per-column index statistics in schema order.
+func (r *Relation) Stats() []IndexStats {
+	out := make([]IndexStats, r.schema.Arity())
+	for i, a := range r.schema.attrs {
+		out[i] = IndexStats{
+			Attr:     a.Name,
+			Distinct: len(r.idx[i]),
+			Tuples:   len(r.tuples),
+			Warm:     a.Domain.IndexWarm(),
+		}
+	}
+	return out
+}

@@ -157,10 +157,12 @@ type Relation struct {
 	tuples map[string]Tuple
 	mode   Preemption
 
-	// idx0 buckets tuple keys by their first-attribute value, so
-	// Applicable can probe only the buckets of the query item's ancestors
-	// instead of scanning every tuple.
-	idx0 map[string][]string
+	// idx[i] buckets tuple keys by their i-th attribute value (a posting
+	// list per stored class), so Applicable and the algebra planner can
+	// probe the buckets of a query coordinate's ancestors — or of the
+	// values overlapping a selection region — instead of scanning every
+	// tuple. Maintained by Insert/Retract under the relation epoch.
+	idx []map[string][]string
 
 	// epoch counts mutations (Insert/Retract/SetMode); the verdict cache
 	// stamps entries with it so no post-mutation read can be stale.
@@ -171,12 +173,16 @@ type Relation struct {
 
 // NewRelation creates an empty relation with the given name and schema.
 func NewRelation(name string, schema *Schema) *Relation {
+	idx := make([]map[string][]string, schema.Arity())
+	for i := range idx {
+		idx[i] = map[string][]string{}
+	}
 	return &Relation{
 		name:   name,
 		schema: schema,
 		tuples: map[string]Tuple{},
 		mode:   OffPath,
-		idx0:   map[string][]string{},
+		idx:    idx,
 		cache:  newVerdictCache(defaultCacheCap),
 	}
 }
@@ -262,7 +268,9 @@ func (r *Relation) Insert(item Item, sign bool) error {
 			ErrContradiction, item, old.Sign, r.name)
 	}
 	r.tuples[k] = Tuple{Item: item.Clone(), Sign: sign}
-	r.idx0[item[0]] = append(r.idx0[item[0]], k)
+	for i, v := range item {
+		r.idx[i][v] = append(r.idx[i][v], k)
+	}
 	r.epoch++
 	return nil
 }
@@ -284,15 +292,17 @@ func (r *Relation) Retract(item Item) bool {
 		return false
 	}
 	delete(r.tuples, k)
-	bucket := r.idx0[item[0]]
-	for i, bk := range bucket {
-		if bk == k {
-			r.idx0[item[0]] = append(bucket[:i], bucket[i+1:]...)
-			break
+	for i, v := range item {
+		bucket := r.idx[i][v]
+		for j, bk := range bucket {
+			if bk == k {
+				r.idx[i][v] = append(bucket[:j], bucket[j+1:]...)
+				break
+			}
 		}
-	}
-	if len(r.idx0[item[0]]) == 0 {
-		delete(r.idx0, item[0])
+		if len(r.idx[i][v]) == 0 {
+			delete(r.idx[i], v)
+		}
 	}
 	r.epoch++
 	return true
@@ -327,7 +337,9 @@ func (r *Relation) Clone() *Relation {
 	c.cacheOff = r.cacheOff
 	for k, t := range r.tuples {
 		c.tuples[k] = Tuple{Item: t.Item.Clone(), Sign: t.Sign}
-		c.idx0[t.Item[0]] = append(c.idx0[t.Item[0]], k)
+		for i, v := range t.Item {
+			c.idx[i][v] = append(c.idx[i][v], k)
+		}
 	}
 	return c
 }
@@ -383,19 +395,32 @@ func (r *Relation) IsAtomic(item Item) bool {
 // it (including a tuple exactly on the item), sorted by item key. These are
 // the nodes of the paper's tuple-binding graph for the item.
 //
-// The first-attribute index restricts the probe to the buckets of the
-// query coordinate's ancestors; the remaining coordinates are checked per
-// candidate. (The ablation benchmark BenchmarkAblationIndexVsScan measures
-// the win; applicableByScan is the reference implementation.)
+// A subsuming tuple's i-th coordinate is necessarily an ancestor of (or
+// equal to) item[i], so probing any one attribute's ancestor buckets yields
+// a superset of the answer; the probe uses whichever attribute's buckets
+// are smallest, and the remaining coordinates are checked per candidate.
+// (The ablation benchmark BenchmarkAblationIndexVsScan measures the win;
+// applicableByScan is the reference implementation.)
 func (r *Relation) Applicable(item Item) []Tuple {
-	h := r.schema.attrs[0].Domain
-	if !h.Has(item[0]) {
-		return nil
+	bestAttr := -1
+	var bestProbes []string
+	bestCost := len(r.tuples) + 1
+	for i, a := range r.schema.attrs {
+		if !a.Domain.Has(item[i]) {
+			return nil
+		}
+		probes := append(a.Domain.Ancestors(item[i]), item[i])
+		cost := 0
+		for _, p := range probes {
+			cost += len(r.idx[i][p])
+		}
+		if cost < bestCost {
+			bestAttr, bestProbes, bestCost = i, probes, cost
+		}
 	}
-	probes := append(h.Ancestors(item[0]), item[0])
 	var out []Tuple
-	for _, p := range probes {
-		for _, k := range r.idx0[p] {
+	for _, p := range bestProbes {
+		for _, k := range r.idx[bestAttr][p] {
 			t := r.tuples[k]
 			if r.Subsumes(t.Item, item) {
 				out = append(out, t)

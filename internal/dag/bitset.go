@@ -1,6 +1,9 @@
 package dag
 
-import "math/bits"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Bitset is a fixed-capacity set of small non-negative integers used for
 // dense reachability computations.
@@ -30,11 +33,36 @@ func (b Bitset) Get(i int) bool {
 	return b[w]&(1<<(uint(i)%64)) != 0
 }
 
-// Or merges other into b. The receiver must be at least as long as other.
+// Or merges other into b. A longer other is tolerated as long as its tail
+// beyond the receiver's capacity is all-zero; a set bit that cannot be
+// represented in b panics with a descriptive message instead of silently
+// dropping reachability information (use OrGrow to merge with growth).
 func (b Bitset) Or(other Bitset) {
-	for i, w := range other {
+	n := len(other)
+	if n > len(b) {
+		for _, w := range other[len(b):] {
+			if w != 0 {
+				panic(fmt.Sprintf("dag: Bitset.Or: receiver too short (%d < %d words) and tail is nonzero", len(b), len(other)))
+			}
+		}
+		n = len(b)
+	}
+	for i, w := range other[:n] {
 		b[i] |= w
 	}
+}
+
+// OrGrow merges other into b, growing the result as needed, and returns
+// the merged bitset. When no growth is required the receiver's storage is
+// reused, so callers must use the return value in place of b.
+func (b Bitset) OrGrow(other Bitset) Bitset {
+	if len(other) > len(b) {
+		grown := make(Bitset, len(other))
+		copy(grown, b)
+		b = grown
+	}
+	b.Or(other)
+	return b
 }
 
 // And intersects b with other in place.

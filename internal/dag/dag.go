@@ -44,6 +44,12 @@ type Graph struct {
 	memoMu    sync.Mutex
 	topoMemo  atomic.Pointer[[]int]
 	reachMemo atomic.Pointer[[]Bitset] // reach[i] = nodes reachable from i (including i)
+	labelMemo atomic.Pointer[Labels]   // interval-label reachability index (labels.go)
+
+	// gen counts mutations; derived structures are stamped with the
+	// generation they were built at, so callers holding an index across a
+	// mutation can detect staleness the same way the verdict cache does.
+	gen atomic.Uint64
 
 	// pathQueries counts HasPath calls since the last mutation; once the
 	// graph has been stable for about one query per node, the full
@@ -56,10 +62,17 @@ func New() *Graph { return &Graph{} }
 
 // invalidate drops memoized derived state after a mutation.
 func (g *Graph) invalidate() {
+	g.gen.Add(1)
 	g.topoMemo.Store(nil)
 	g.reachMemo.Store(nil)
+	g.labelMemo.Store(nil)
 	g.pathQueries.Store(0)
 }
+
+// Generation returns a counter that increases on every mutation. Derived
+// indexes record the generation they were built at; equality proves the
+// index still describes the current graph.
+func (g *Graph) Generation() uint64 { return g.gen.Load() }
 
 // AddNode creates a new node and returns its id.
 func (g *Graph) AddNode() int {
@@ -300,6 +313,12 @@ func (g *Graph) ensureReach() ([]Bitset, error) {
 	}
 	g.memoMu.Lock()
 	defer g.memoMu.Unlock()
+	return g.reachLocked()
+}
+
+// reachLocked returns (memoizing) the reachability bitsets; caller holds
+// memoMu.
+func (g *Graph) reachLocked() ([]Bitset, error) {
 	if r := g.reachMemo.Load(); r != nil {
 		return *r, nil
 	}
@@ -322,15 +341,19 @@ func (g *Graph) ensureReach() ([]Bitset, error) {
 	return reach, nil
 }
 
-// Warm eagerly builds the memoized derived state (topological order and the
-// reachability index) so that subsequent concurrent readers share it instead
-// of racing to build it. It is a no-op on an already-warm graph.
+// Warm eagerly builds the memoized derived state (topological order, the
+// interval-label index and the reachability index) so that subsequent
+// concurrent readers share it instead of racing to build it. It is a no-op
+// on an already-warm graph.
 func (g *Graph) Warm() {
+	_, _ = g.ensureLabels()
 	_, _ = g.ensureReach()
 }
 
 // HasPath reports whether to is reachable from from (every node reaches
-// itself). It returns false if either node is missing.
+// itself). It returns false if either node is missing. On a warm graph this
+// is an O(1) interval compare (plus a bitset probe for non-tree DAG edges);
+// during construction it falls back to a bounded DFS.
 func (g *Graph) HasPath(from, to int) bool {
 	if !g.Has(from) || !g.Has(to) {
 		return false
@@ -338,31 +361,34 @@ func (g *Graph) HasPath(from, to int) bool {
 	if from == to {
 		return true
 	}
+	if l := g.labelMemo.Load(); l != nil {
+		return l.HasPath(from, to)
+	}
 	if r := g.reachMemo.Load(); r != nil {
 		return (*r)[from].Get(to)
 	}
 	// During construction (mutations interleaved with queries) a plain DFS
 	// avoids thrashing the cache; once the graph has been stable for about
-	// one query per node, build the reachability index instead.
+	// one query per node, the label index pays for itself and is built.
 	if g.pathQueries.Add(1) > int64(g.nodes+16) {
-		if reach, err := g.ensureReach(); err == nil {
-			return reach[from].Get(to)
+		if l, err := g.ensureLabels(); err == nil {
+			return l.HasPath(from, to)
 		}
 	}
+	// Mark on push: a node enters the stack at most once, so the stack is
+	// bounded by V even on dense graphs.
 	seen := make([]bool, len(g.alive))
+	seen[from] = true
 	stack := []int{from}
 	for len(stack) > 0 {
 		n := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if n == to {
-			return true
-		}
-		if seen[n] {
-			continue
-		}
-		seen[n] = true
 		for s := range g.succ[n] {
+			if s == to {
+				return true
+			}
 			if !seen[s] {
+				seen[s] = true
 				stack = append(stack, s)
 			}
 		}

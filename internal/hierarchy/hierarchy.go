@@ -96,6 +96,12 @@ func (h *Hierarchy) Warm() {
 	h.BindingIrredundant()
 }
 
+// IndexWarm reports whether the is-a graph's O(1) subsumption index (the
+// dag interval-label index) is currently built, i.e. whether Subsumes is a
+// pair of label compares rather than a graph walk. The query planner uses
+// this as its label-index-warmth cost signal.
+func (h *Hierarchy) IndexWarm() bool { return h.isa.LabelsWarm() }
+
 // New creates a hierarchy whose root class is the domain itself.
 func New(domain string) *Hierarchy {
 	h := &Hierarchy{
@@ -201,6 +207,12 @@ func (h *Hierarchy) AddEdge(parent, child string) error {
 	}
 	if h.instance[pid] {
 		return fmt.Errorf("%w: parent %q", ErrInstanceParent, parent)
+	}
+	// The edge must keep the binding graph acyclic too: a preference edge
+	// installed earlier may already make parent reachable from child there,
+	// and a later rebuild of the binding graph must never hit a cycle.
+	if len(h.prefs) > 0 && h.bindGraph().HasPath(cid, pid) {
+		return fmt.Errorf("%w: %q → %q (via preference edges)", ErrCycle, parent, child)
 	}
 	if err := h.isa.AddEdge(pid, cid); err != nil {
 		if errors.Is(err, dag.ErrCycle) {
@@ -367,8 +379,15 @@ func (h *Hierarchy) MustID(name string) int {
 	return id
 }
 
-// NameOf returns the name of a node id (inverse of MustID).
-func (h *Hierarchy) NameOf(id int) string { return h.names[id] }
+// NameOf returns the name of a node id (inverse of MustID). Ids that do not
+// name a live node — negative, never allocated, or removed — return "",
+// matching the "unknown names never subsume" convention used elsewhere.
+func (h *Hierarchy) NameOf(id int) string {
+	if id < 0 || id >= len(h.names) || !h.isa.Has(id) {
+		return ""
+	}
+	return h.names[id]
+}
 
 // Subsumes reports whether ancestor subsumes descendant: they are equal or
 // there is a directed is-a path ancestor → descendant. Unknown names never

@@ -170,6 +170,12 @@ type CountStmt struct {
 // DumpStmt — DUMP: print an HQL script reproducing the database.
 type DumpStmt struct{}
 
+// ExplainStmt — EXPLAIN <select-or-binop>: render the access plan the
+// cost-based planner would choose for the wrapped statement, without
+// executing it. Only SELECT and the binary operators (UNION, INTERSECT,
+// DIFFERENCE, JOIN) are explainable; the parser enforces this.
+type ExplainStmt struct{ Inner Stmt }
+
 // BeginStmt / CommitStmt / RollbackStmt — transaction control.
 type BeginStmt struct{}
 
@@ -204,6 +210,7 @@ func (RuleStmt) stmt()            {}
 func (InferStmt) stmt()           {}
 func (CountStmt) stmt()           {}
 func (DumpStmt) stmt()            {}
+func (ExplainStmt) stmt()         {}
 func (BeginStmt) stmt()           {}
 func (CommitStmt) stmt()          {}
 func (RollbackStmt) stmt()        {}
@@ -246,6 +253,10 @@ func (InferStmt) readOnly() bool { return true }
 
 func (CountStmt) readOnly() bool { return true }
 func (DumpStmt) readOnly() bool  { return true }
+
+// EXPLAIN only plans — it never runs the wrapped statement, so even an
+// EXPLAIN over a SELECT … AS or a binary operator attaches nothing.
+func (ExplainStmt) readOnly() bool { return true }
 
 // Transaction control mutates session transaction state.
 func (BeginStmt) readOnly() bool    { return false }

@@ -416,6 +416,39 @@ func (s *Session) exec(ctx context.Context, st Stmt) (string, error) {
 		}
 		return res.Table(), nil
 
+	case ExplainStmt:
+		switch inner := st.Inner.(type) {
+		case SelectStmt:
+			r, err := db.Snapshot(inner.Relation)
+			if err != nil {
+				return "", err
+			}
+			conds := make([]algebra.Condition, len(inner.Conds))
+			for i, c := range inner.Conds {
+				conds[i] = algebra.Condition{Attr: c[0], Class: c[1]}
+			}
+			plan, err := algebra.PlanSelect(r, conds...)
+			if err != nil {
+				return "", err
+			}
+			return plan.String(), nil
+		case BinOpStmt:
+			left, err := db.Snapshot(inner.Left)
+			if err != nil {
+				return "", err
+			}
+			right, err := db.Snapshot(inner.Right)
+			if err != nil {
+				return "", err
+			}
+			plan, err := algebra.PlanBinOp(inner.Op, left, right)
+			if err != nil {
+				return "", err
+			}
+			return plan.String(), nil
+		}
+		return "", fmt.Errorf("hql: EXPLAIN: unsupported statement %T", st.Inner)
+
 	case ExtensionStmt:
 		r, err := db.Snapshot(st.Relation)
 		if err != nil {

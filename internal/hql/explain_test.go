@@ -1,0 +1,110 @@
+package hql
+
+import (
+	"strings"
+	"testing"
+
+	"hrdb/internal/catalog"
+)
+
+func explainSession(t *testing.T) *Session {
+	t.Helper()
+	sess := NewSession(MemTarget{DB: catalog.New()})
+	if _, err := sess.Exec(`
+		CREATE HIERARCHY Animal;
+		CLASS Elephant IN Animal;
+		CLASS RoyalElephant UNDER Elephant;
+		INSTANCE Clyde UNDER RoyalElephant;
+		CREATE HIERARCHY Color;
+		INSTANCE Grey IN Color;
+		INSTANCE White IN Color;
+		CREATE RELATION AnimalColor (Animal: Animal, Color: Color);
+		ASSERT AnimalColor (Elephant, Grey);
+		DENY AnimalColor (RoyalElephant, Grey);
+		ASSERT AnimalColor (RoyalElephant, White);
+	`); err != nil {
+		t.Fatalf("fixture: %v", err)
+	}
+	return sess
+}
+
+func TestExplainParse(t *testing.T) {
+	stmts, err := Parse("EXPLAIN SELECT FROM r WHERE a UNDER c;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, ok := stmts[0].(ExplainStmt)
+	if !ok {
+		t.Fatalf("parsed %T", stmts[0])
+	}
+	inner, ok := ex.Inner.(SelectStmt)
+	if !ok || inner.Relation != "r" || len(inner.Conds) != 1 {
+		t.Fatalf("inner = %#v", ex.Inner)
+	}
+	if !ReadOnlyStmt(ex) {
+		t.Fatal("EXPLAIN classified as mutating")
+	}
+	// EXPLAIN over a SELECT ... AS stays read-only: nothing is attached.
+	stmts, err = Parse("EXPLAIN SELECT FROM r AS out;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ReadOnlyStmt(stmts[0]) {
+		t.Fatal("EXPLAIN SELECT AS classified as mutating")
+	}
+	stmts, err = Parse("EXPLAIN JOIN a b AS c;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := stmts[0].(ExplainStmt).Inner.(BinOpStmt).Op; op != "join" {
+		t.Fatalf("inner op = %q", op)
+	}
+	// Only SELECT and binary operators are explainable.
+	for _, bad := range []string{
+		"EXPLAIN HOLDS r (x);",
+		"EXPLAIN SHOW RELATIONS;",
+		"EXPLAIN;",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Fatalf("%q parsed", bad)
+		}
+	}
+}
+
+func TestExplainExec(t *testing.T) {
+	sess := explainSession(t)
+
+	out, err := sess.Exec("EXPLAIN SELECT FROM AnimalColor WHERE Animal UNDER RoyalElephant;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"select AnimalColor:", "est candidates:", "cost:", "full scan:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("EXPLAIN SELECT = %q, missing %q", out, want)
+		}
+	}
+
+	out, err = sess.Exec("EXPLAIN UNION AnimalColor AnimalColor AS u;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out, "union AnimalColor, AnimalColor: full-scan") {
+		t.Fatalf("EXPLAIN UNION = %q", out)
+	}
+	// Planning attached nothing.
+	out, err = sess.Exec("SHOW RELATIONS;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "u") && out != "AnimalColor" {
+		t.Fatalf("EXPLAIN executed its inner statement: relations = %q", out)
+	}
+
+	// Errors in the wrapped statement propagate.
+	if _, err := sess.Exec("EXPLAIN SELECT FROM Nope;"); err == nil {
+		t.Fatal("EXPLAIN over a missing relation should fail")
+	}
+	if _, err := sess.Exec("EXPLAIN SELECT FROM AnimalColor WHERE Animal UNDER NotAClass;"); err == nil {
+		t.Fatal("EXPLAIN with an unknown class should fail")
+	}
+}

@@ -228,6 +228,18 @@ func (p *parser) statement() (Stmt, error) {
 		op := strings.ToLower(t.text)
 		p.next()
 		return p.binOp(op)
+	case "EXPLAIN":
+		p.next()
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		switch inner.(type) {
+		case SelectStmt, BinOpStmt:
+			return ExplainStmt{Inner: inner}, nil
+		default:
+			return nil, p.errf("EXPLAIN supports SELECT, UNION, INTERSECT, DIFFERENCE and JOIN, not %T", inner)
+		}
 	case "PROJECT":
 		p.next()
 		return p.project()
