@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all help build test test-crash test-server test-compat test-obs test-repl race cover bench bench-smoke bench-json figures experiments fuzz fuzz-smoke clean
+.PHONY: all help build test test-crash test-server test-compat test-obs test-repl test-failover race cover bench bench-smoke bench-json figures experiments fuzz fuzz-smoke clean
 
 all: build test
 
@@ -22,6 +22,10 @@ help:
 	@echo "               (metrics registry, histograms, slow-query log)"
 	@echo "  test-repl    race-mode pass over the replication subsystem"
 	@echo "               (WAL shipping, chaos severs, failover/promote)"
+	@echo "  test-failover race-mode pass over the self-healing failover"
+	@echo "               path (elections, fencing, deposed rejoin, router"
+	@echo "               re-discovery); CHAOS_ROUNDS=<n> soaks the chaos"
+	@echo "               loops beyond their default round counts"
 	@echo "  race         run the tests under the race detector"
 	@echo "               (includes the concurrency stress suites)"
 	@echo "  cover        coverage summary for internal/..."
@@ -59,6 +63,9 @@ test-obs:
 
 test-repl:
 	$(GO) test -race -count=1 ./internal/repl/
+
+test-failover:
+	$(GO) test -race -count=1 -run 'TestAutoFailover|TestFencedPrimary|TestDeposedPrimary|TestBootstrapDuring|TestReplicaStateGauge|TestRouterFailsOver|TestRouterStale|TestShutdownRefuses' ./internal/repl/ ./internal/server/
 
 race:
 	$(GO) test -race ./...

@@ -17,16 +17,32 @@
 // USE on v1). Limits on the default namespace: -tenant "default:rate=500".
 // -disable-v2 serves only the v1 line protocol (compatibility testing).
 //
-// Replication (see README "Replication"):
+// Replication (see docs/REPLICATION.md):
 //
 //	hrserved -data ./mydb -repl-addr :7584   # primary: serve WAL shipping on :7584
 //	hrserved -replica-of host:7584           # read replica following a primary
 //
 // A primary with -repl-addr serves snapshots (SNAP) and WAL streams (REPL)
 // to followers on a dedicated listener, so bulk shipping never competes
-// with client admission control. A replica keeps an in-memory copy in sync
-// over TCP, answers read-only HQL plus the LAG verb, rejects writes, and
-// flips writable when told PROMOTE (manual failover).
+// with client admission control. A replica keeps a copy in sync over TCP,
+// answers read-only HQL plus the LAG verb, rejects writes, and flips
+// writable when told PROMOTE (manual failover) or — with -auto-failover —
+// when it wins an election after the primary falls silent.
+//
+// Self-healing failover (see docs/REPLICATION.md):
+//
+//	hrserved -replica-of host:7584 -id r1 -peer hostB:7583 \
+//	    -auto-failover -election-timeout 2s \
+//	    -data ./r1db -repl-addr :7584
+//
+// -id names the replica for deterministic election tiebreaks; -peer (one
+// per peer replica, client address) is who it consults before
+// self-promoting. With -data, promotion is durable: the applied state is
+// materialized as a store under a fresh fencing term and the node serves
+// replication on -repl-addr to the surviving replicas. A deposed primary
+// restarted with -peer flags detects the newer term, quarantines its
+// unreplicated WAL suffix to a sidecar file, and rejoins as a replica of
+// whoever won.
 //
 // The server sheds load beyond its queue with "overloaded" replies,
 // enforces per-request deadlines, and on SIGINT/SIGTERM drains in-flight
@@ -50,9 +66,26 @@ import (
 	"hrdb"
 )
 
+// rejoinProbeTimeout bounds each peer probe a restarting durable node makes
+// to discover whether it was deposed while down.
+const rejoinProbeTimeout = 3 * time.Second
+
+type serveConfig struct {
+	addr            string
+	dataDir         string
+	metricsAddr     string
+	replAddr        string
+	replicaOf       string
+	id              string
+	peers           []string
+	autoFailover    bool
+	electionTimeout time.Duration
+	drain           time.Duration
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7583", "listen address")
-	dataDir := flag.String("data", "", "durable database directory (empty = in-memory)")
+	dataDir := flag.String("data", "", "durable database directory (primary), or durable-promotion directory (replica mode)")
 	workers := flag.Int("workers", 0, "statement-executing workers (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "admission queue depth (0 = 4×workers)")
 	maxConns := flag.Int("max-conns", 0, "concurrent connection limit (0 = 256)")
@@ -61,9 +94,14 @@ func main() {
 	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP address serving /metrics (Prometheus) and /debug/pprof (empty = disabled)")
 	slowQuery := flag.Duration("slow-query", 0, "log statements at least this slow to stderr (0 = disabled)")
-	replAddr := flag.String("repl-addr", "", "replication listen address (primary; requires -data)")
-	replicaOf := flag.String("replica-of", "", "primary replication address to follow (replica mode; excludes -data)")
+	replAddr := flag.String("repl-addr", "", "replication listen address (primary, or replica once promoted)")
+	replicaOf := flag.String("replica-of", "", "primary replication address to follow (replica mode)")
+	id := flag.String("id", "", "replica election identity (required with -auto-failover; equally caught-up candidates tiebreak lexicographically)")
+	autoFailover := flag.Bool("auto-failover", false, "self-promote after -election-timeout of replication silence (replica mode)")
+	electionTimeout := flag.Duration("election-timeout", 0, "replication silence that triggers an election campaign (0 = 2s)")
 	disableV2 := flag.Bool("disable-v2", false, "serve only the v1 line protocol (reject HELLO upgrades)")
+	var peers peerFlags
+	flag.Var(&peers, "peer", "client address of a peer node, repeatable (election probes; deposed-primary rejoin checks)")
 	var tenants tenantFlags
 	flag.Var(&tenants, "tenant", `named namespace, repeatable: "name[:max-inflight=N,rate=R,burst=B]"`)
 	flag.Parse()
@@ -80,59 +118,129 @@ func main() {
 	if *slowQuery > 0 {
 		opts.SlowQuery = hrdb.NewSlowQueryLog(os.Stderr, *slowQuery)
 	}
-	if err := run(*addr, *dataDir, *metricsAddr, *replAddr, *replicaOf, opts, *drain); err != nil {
+	cfg := serveConfig{
+		addr:            *addr,
+		dataDir:         *dataDir,
+		metricsAddr:     *metricsAddr,
+		replAddr:        *replAddr,
+		replicaOf:       *replicaOf,
+		id:              *id,
+		peers:           peers.addrs,
+		autoFailover:    *autoFailover,
+		electionTimeout: *electionTimeout,
+		drain:           *drain,
+	}
+	if err := run(cfg, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "hrserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, dataDir, metricsAddr, replAddr, replicaOf string, opts hrdb.ServerOptions, drain time.Duration) error {
-	if replicaOf != "" && dataDir != "" {
-		return errors.New("-replica-of keeps an in-memory copy; it cannot be combined with -data")
+func run(cfg serveConfig, opts hrdb.ServerOptions) error {
+	if cfg.replAddr != "" && cfg.dataDir == "" && cfg.replicaOf == "" {
+		return errors.New("-repl-addr requires -data or -replica-of: only a durable store or a promotable replica has a WAL to ship")
 	}
-	if replicaOf != "" && replAddr != "" {
-		return errors.New("-repl-addr is a primary flag; a replica cannot also ship its WAL")
+	if cfg.autoFailover && cfg.replicaOf == "" {
+		return errors.New("-auto-failover is a replica flag; it requires -replica-of")
 	}
-	if replAddr != "" && dataDir == "" {
-		return errors.New("-repl-addr requires -data: only a durable store has a WAL to ship")
+	if cfg.autoFailover && cfg.id == "" {
+		return errors.New("-auto-failover requires -id: elections tiebreak on a distinct replica identity")
+	}
+
+	var store *hrdb.Store
+	if cfg.dataDir != "" && cfg.replicaOf == "" {
+		st, err := hrdb.OpenStore(cfg.dataDir)
+		if err != nil {
+			return err
+		}
+		store = st
+		// A durable node restarting with peers configured may have been
+		// deposed while it was down (or partitioned): probe the peers, and
+		// if anyone holds a higher fencing term, quarantine the WAL suffix
+		// the new lineage never saw and rejoin as that winner's replica.
+		if len(cfg.peers) > 0 {
+			if dep := hrdb.CheckDeposed(store, cfg.peers, rejoinProbeTimeout); dep != nil {
+				quarantine, err := hrdb.Demote(store, dep, rejoinProbeTimeout)
+				if err != nil {
+					store.Close()
+					return fmt.Errorf("rejoin after deposition by term %d: %w", dep.Term, err)
+				}
+				if quarantine != "" {
+					fmt.Fprintf(os.Stderr, "hrserved: deposed by term %d — unreplicated WAL suffix preserved in %s\n", dep.Term, quarantine)
+				} else {
+					fmt.Fprintf(os.Stderr, "hrserved: deposed by term %d — no divergent WAL suffix\n", dep.Term)
+				}
+				fmt.Fprintf(os.Stderr, "hrserved: rejoining as replica of %s\n", dep.Source)
+				store = nil
+				cfg.replicaOf = dep.Source
+			}
+		}
 	}
 
 	var target hrdb.Target
 	var replSrv *hrdb.Server
 	switch {
-	case replicaOf != "":
-		replica := hrdb.NewReplica(replicaOf, hrdb.ReplicaOptions{})
+	case cfg.replicaOf != "":
+		replica := hrdb.NewReplica(cfg.replicaOf, hrdb.ReplicaOptions{
+			ID:              cfg.id,
+			Peers:           cfg.peers,
+			AutoFailover:    cfg.autoFailover,
+			ElectionTimeout: cfg.electionTimeout,
+			PromoteDir:      cfg.dataDir,
+			Advertise:       cfg.replAddr,
+		})
 		defer replica.Close()
 		target = hrdb.ReplicaTarget{R: replica}
 		opts.LagProbe = func() hrdb.LagInfo {
-			staleness, epoch, offset, state := replica.Lag()
-			return hrdb.LagInfo{Staleness: staleness, Epoch: epoch, Offset: offset, State: state}
+			st := replica.Status()
+			return hrdb.LagInfo{
+				Staleness: st.Staleness,
+				Epoch:     st.Epoch,
+				Offset:    st.Offset,
+				State:     st.State,
+				Term:      st.Term,
+				ID:        st.ID,
+				Source:    st.Source,
+			}
 		}
 		opts.Promote = func() error {
 			err := replica.Promote()
-			if err == nil {
-				fmt.Fprintln(os.Stderr, "hrserved: promoted — accepting writes (in-memory; state dies with the process)")
+			if err == nil && cfg.dataDir != "" {
+				fmt.Fprintf(os.Stderr, "hrserved: promoted (term %d) — accepting writes, durable at %s\n", replica.Term(), cfg.dataDir)
+			} else if err == nil {
+				fmt.Fprintf(os.Stderr, "hrserved: promoted (term %d) — accepting writes (in-memory; state dies with the process)\n", replica.Term())
 			}
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "hrserved: read replica of %s (in-memory copy)\n", replicaOf)
-	case dataDir != "":
-		store, err := hrdb.OpenStore(dataDir)
-		if err != nil {
-			return err
+		if cfg.replAddr != "" {
+			// The replication listener is up from the start so surviving
+			// peers can retarget the moment this node wins an election; it
+			// answers "not promoted" until then.
+			replSrv = hrdb.NewServer(target, hrdb.ServerOptions{Repl: replica})
+			if err := replSrv.Start(cfg.replAddr); err != nil {
+				return fmt.Errorf("replication listener: %w", err)
+			}
+			replica.SetAdvertise(replSrv.Addr())
+			fmt.Fprintf(os.Stderr, "hrserved: serving replication on %s (once promoted)\n", replSrv.Addr())
 		}
+		mode := "in-memory copy"
+		if cfg.dataDir != "" {
+			mode = "durable promotion into " + cfg.dataDir
+		}
+		fmt.Fprintf(os.Stderr, "hrserved: read replica of %s (%s)\n", cfg.replicaOf, mode)
+	case cfg.dataDir != "":
 		// The server owns the store's lifetime: Shutdown closes it exactly
 		// once after the drain, so acknowledged statements are durable.
 		opts.CloseTarget = true
 		target = store
-		fmt.Fprintf(os.Stderr, "hrserved: durable database at %s\n", dataDir)
-		if replAddr != "" {
+		fmt.Fprintf(os.Stderr, "hrserved: durable database at %s\n", cfg.dataDir)
+		if cfg.replAddr != "" {
 			// Replication rides a dedicated listener sharing the store, so
 			// snapshot fetches and WAL streams never occupy the client
 			// listener's admission slots.
 			primary := hrdb.NewPrimary(store, hrdb.PrimaryOptions{})
 			replSrv = hrdb.NewServer(store, hrdb.ServerOptions{Repl: primary})
-			if err := replSrv.Start(replAddr); err != nil {
+			if err := replSrv.Start(cfg.replAddr); err != nil {
 				store.Close()
 				return fmt.Errorf("replication listener: %w", err)
 			}
@@ -144,9 +252,9 @@ func run(addr, dataDir, metricsAddr, replAddr, replicaOf string, opts hrdb.Serve
 	}
 
 	srv := hrdb.NewServer(target, opts)
-	if err := srv.Start(addr); err != nil {
+	if err := srv.Start(cfg.addr); err != nil {
 		if replSrv != nil {
-			ctx, cancel := context.WithTimeout(context.Background(), drain)
+			ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 			defer cancel()
 			replSrv.Shutdown(ctx)
 		}
@@ -154,10 +262,10 @@ func run(addr, dataDir, metricsAddr, replAddr, replicaOf string, opts hrdb.Serve
 	}
 	fmt.Fprintf(os.Stderr, "hrserved: serving HQL on %s\n", srv.Addr())
 
-	if metricsAddr != "" {
-		ms, err := hrdb.ServeMetrics(metricsAddr)
+	if cfg.metricsAddr != "" {
+		ms, err := hrdb.ServeMetrics(cfg.metricsAddr)
 		if err != nil {
-			shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+			shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 			defer cancel()
 			srv.Shutdown(shutdownCtx)
 			if replSrv != nil {
@@ -172,9 +280,9 @@ func run(addr, dataDir, metricsAddr, replAddr, replicaOf string, opts hrdb.Serve
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	s := <-sig
-	fmt.Fprintf(os.Stderr, "hrserved: %v — draining (budget %v)\n", s, drain)
+	fmt.Fprintf(os.Stderr, "hrserved: %v — draining (budget %v)\n", s, cfg.drain)
 
-	ctx, cancel := context.WithTimeout(context.Background(), drain)
+	ctx, cancel := context.WithTimeout(context.Background(), cfg.drain)
 	defer cancel()
 	if replSrv != nil {
 		// Stop feeding followers first; the client listener (which owns
@@ -185,6 +293,21 @@ func run(addr, dataDir, metricsAddr, replAddr, replicaOf string, opts hrdb.Serve
 		return fmt.Errorf("drain incomplete: %w", err)
 	}
 	fmt.Fprintln(os.Stderr, "hrserved: clean shutdown")
+	return nil
+}
+
+// peerFlags collects repeatable -peer addresses.
+type peerFlags struct {
+	addrs []string
+}
+
+func (pf *peerFlags) String() string { return strings.Join(pf.addrs, ",") }
+
+func (pf *peerFlags) Set(v string) error {
+	if v == "" {
+		return errors.New("peer address must not be empty")
+	}
+	pf.addrs = append(pf.addrs, v)
 	return nil
 }
 

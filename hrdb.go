@@ -336,8 +336,14 @@ type (
 	// ReplicaTarget serves a Replica to HQL sessions: reads always,
 	// writes only after promotion.
 	ReplicaTarget = repl.ReplicaTarget
+	// ReplicaStatus is a replica's full replication status: position,
+	// state, fencing term, election identity, and streamable source.
+	ReplicaStatus = repl.Status
 	// LagInfo is a replica's replication state (the LAG verb).
 	LagInfo = server.LagInfo
+	// Deposition is the verdict of CheckDeposed: the higher fencing term
+	// that deposed this node and where the new primary streams from.
+	Deposition = repl.Deposition
 	// Router splits reads onto lag-bounded replicas, writes onto the
 	// primary.
 	Router = server.Router
@@ -349,6 +355,30 @@ type (
 
 // ErrReadOnlyReplica rejects mutations on an unpromoted replica.
 var ErrReadOnlyReplica = repl.ErrReadOnlyReplica
+
+// ErrDeposed rejects mutations on a store fenced by a higher primary term:
+// the node was deposed, the write definitively did not execute, and the
+// client should retry against the new primary (the wire maps it to the
+// retryable "stale" error code).
+var ErrDeposed = storage.ErrDeposed
+
+// CheckDeposed probes peers for a fencing term higher than the store's; if
+// one is found the store is fenced against further writes and the returned
+// Deposition says who to rejoin. Nil means no peer answered with a higher
+// term. Run it when a durable node restarts into a cluster that may have
+// elected a new primary while it was down.
+func CheckDeposed(st *Store, peers []string, timeout time.Duration) *Deposition {
+	return repl.CheckDeposed(st, peers, timeout)
+}
+
+// Demote dismantles a deposed primary's store so the node can rejoin as a
+// replica: the committed-but-unreplicated WAL suffix past the winner's
+// takeover point is preserved in a quarantine sidecar file (returned path;
+// empty when nothing diverged), then the store is closed and its files
+// removed. The quarantine file survives for operator inspection.
+func Demote(st *Store, dep *Deposition, timeout time.Duration) (quarantine string, err error) {
+	return repl.Demote(st, dep, timeout)
+}
 
 // NewPrimary creates a replication source over an open store.
 func NewPrimary(store *Store, opts PrimaryOptions) *Primary { return repl.NewPrimary(store, opts) }

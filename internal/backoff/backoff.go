@@ -1,0 +1,63 @@
+// Package backoff is the single retry-delay policy shared by every
+// reconnecting component: the server client's request retries and the
+// replication follower's stream reconnects both draw their sleeps here, so
+// "how we back off" is defined once and tested once.
+package backoff
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Policy is a full-jitter exponential backoff: attempt n sleeps a uniform
+// draw from (0, min(Base·2ⁿ, Max)]. Full jitter (rather than a jittered
+// offset around the exponential value) is deliberate — a fleet of clients
+// or followers severed by the same failure must not reconnect in lockstep.
+type Policy struct {
+	// Base is the first attempt's window. Values ≤ 0 fall back to 10ms.
+	Base time.Duration
+	// Max caps the window. Values ≤ 0 fall back to 1s.
+	Max time.Duration
+}
+
+// Delay returns the sleep before retry attempt+1 (attempt counts from 0):
+// a uniform draw from (0, window] where window = min(Base·2^attempt, Max),
+// floored at hint (a server-provided Retry-After; pass 0 for none). The
+// result is always positive: even attempt 0 sleeps at least a nanosecond,
+// so callers can use it as an unconditional pacing step.
+func (p Policy) Delay(attempt int, hint time.Duration) time.Duration {
+	base, max := p.Base, p.Max
+	if base <= 0 {
+		base = 10 * time.Millisecond
+	}
+	if max <= 0 {
+		max = time.Second
+	}
+	window := base << uint(attempt)
+	// The shift overflows for large attempts; both the overflow (negative
+	// or wrapped) and the legitimate growth past Max clamp to Max.
+	if window > max || window <= 0 {
+		window = max
+	}
+	d := time.Duration(rand.Int63n(int64(window))) + 1
+	if d < hint {
+		d = hint
+	}
+	return d
+}
+
+// Sleep blocks for d or until ctx is done, returning ctx.Err() in the
+// latter case. It is the ctx-aborted companion to Delay: retry loops that
+// sleep through it stop promptly on cancellation instead of finishing
+// their backoff first.
+func Sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,84 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestDelayWindowBounds pins the full-jitter window: every draw for attempt
+// n lands in (0, min(Base·2ⁿ, Max)].
+func TestDelayWindowBounds(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	for attempt := 0; attempt <= 6; attempt++ {
+		want := p.Base << uint(attempt)
+		if want > p.Max {
+			want = p.Max
+		}
+		for i := 0; i < 200; i++ {
+			d := p.Delay(attempt, 0)
+			if d <= 0 || d > want {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, want)
+			}
+		}
+	}
+}
+
+// TestDelayHintFloor: the server's Retry-After hint is a floor, not a cap.
+func TestDelayHintFloor(t *testing.T) {
+	p := Policy{Base: time.Millisecond, Max: 2 * time.Millisecond}
+	hint := 50 * time.Millisecond
+	for i := 0; i < 100; i++ {
+		if d := p.Delay(0, hint); d < hint {
+			t.Fatalf("delay %v below hint %v", d, hint)
+		}
+	}
+}
+
+// TestDelayOverflowClamps: attempts large enough to overflow the shift
+// clamp to Max instead of producing zero or negative windows.
+func TestDelayOverflowClamps(t *testing.T) {
+	p := Policy{Base: time.Second, Max: 4 * time.Second}
+	for _, attempt := range []int{40, 62, 63, 64, 100} {
+		d := p.Delay(attempt, 0)
+		if d <= 0 || d > p.Max {
+			t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, p.Max)
+		}
+	}
+}
+
+// TestDelayZeroPolicyDefaults: a zero Policy still produces sane delays.
+func TestDelayZeroPolicyDefaults(t *testing.T) {
+	var p Policy
+	for i := 0; i < 50; i++ {
+		d := p.Delay(3, 0)
+		if d <= 0 || d > time.Second {
+			t.Fatalf("zero policy delay %v outside (0, 1s]", d)
+		}
+	}
+}
+
+// TestSleepCancel: Sleep aborts promptly when the context is canceled
+// instead of finishing the full delay.
+func TestSleepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	err := Sleep(ctx, 10*time.Second)
+	if err == nil {
+		t.Fatal("Sleep returned nil after cancel")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("Sleep took %v after cancel", elapsed)
+	}
+}
+
+// TestSleepCompletes: an undisturbed Sleep returns nil after d.
+func TestSleepCompletes(t *testing.T) {
+	if err := Sleep(context.Background(), time.Millisecond); err != nil {
+		t.Fatalf("Sleep: %v", err)
+	}
+}

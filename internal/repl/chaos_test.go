@@ -3,6 +3,8 @@ package repl
 import (
 	"context"
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -13,6 +15,25 @@ import (
 
 // Chaos acceptance tests: the replication stream survives connections
 // severed mid-record and primary death. Run under -race (make test-repl).
+
+// chaosRounds sizes a chaos loop: def normally, short under -short, or an
+// explicit CHAOS_ROUNDS=<n> override for soak runs (CHAOS_ROUNDS=500
+// make test-failover keeps a workstation busy for minutes instead of
+// seconds; the tests are written so any round count is valid).
+func chaosRounds(t *testing.T, def, short int) int {
+	t.Helper()
+	if v := os.Getenv("CHAOS_ROUNDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("CHAOS_ROUNDS=%q: want a positive integer", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return short
+	}
+	return def
+}
 
 // countWALRecords decodes the primary's entire epoch-0 WAL and returns the
 // record count — the ground truth the replica's applied count must equal
@@ -84,10 +105,7 @@ func TestChaosSeveredStreamConverges(t *testing.T) {
 	must(t, p.store.CreateRelation("R", catalog.AttrSpec{Name: "X", Domain: "D"}))
 
 	budgets := []int64{3, 61, 17, 127, 7, 251, 37, 89, 11, 199}
-	rounds := 40
-	if testing.Short() {
-		rounds = 10
-	}
+	rounds := chaosRounds(t, 40, 10)
 	for i := 0; i < rounds; i++ {
 		proxy.SeverResponseAfter(budgets[i%len(budgets)])
 		inst := fmt.Sprintf("i%03d", i)

@@ -1,0 +1,222 @@
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"hrdb/internal/storage"
+)
+
+// Failover-side helpers: probing peers for their replication status,
+// fencing a deposed primary, and the deposed primary's own rejoin flow
+// (CheckDeposed + Demote). Like the rest of this package they speak the
+// server's wire contract directly rather than importing internal/server —
+// the dependency points from the daemon down into both packages, never
+// between them.
+
+// probePeer asks one peer (by client address) for its replication status
+// via the LAG verb. Peers running older builds answer with the short
+// 4-field payload; term, ID, and source then stay zero-valued.
+func probePeer(addr string, timeout time.Duration) (Status, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return Status{}, err
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
+	bw := bufio.NewWriter(conn)
+	if _, err := fmt.Fprintln(bw, "LAG"); err != nil {
+		return Status{}, err
+	}
+	if err := bw.Flush(); err != nil {
+		return Status{}, err
+	}
+	ok, code, payload, err := readResponseFrame(bufio.NewReader(conn), 4096)
+	if err != nil {
+		return Status{}, err
+	}
+	if !ok {
+		return Status{}, fmt.Errorf("repl: LAG refused by %s: %s: %s", addr, code, payload)
+	}
+	return parseStatusPayload(payload)
+}
+
+// parseStatusPayload decodes a LAG payload: either the legacy 4-field form
+// `<ms> <epoch> <offset> <state>` or the extended 7-field form with
+// `<term> <id> <source>` appended ("-" encodes an empty id/source).
+func parseStatusPayload(payload string) (Status, error) {
+	fields := strings.Fields(payload)
+	if len(fields) != 4 && len(fields) != 7 {
+		return Status{}, fmt.Errorf("%w: bad LAG payload %q", errProto, payload)
+	}
+	ms, err1 := strconv.ParseInt(fields[0], 10, 64)
+	epoch, err2 := strconv.ParseUint(fields[1], 10, 64)
+	off, err3 := strconv.ParseInt(fields[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil {
+		return Status{}, fmt.Errorf("%w: bad LAG payload %q", errProto, payload)
+	}
+	st := Status{Staleness: -1, Epoch: epoch, Offset: off, State: fields[3]}
+	if ms >= 0 {
+		st.Staleness = time.Duration(ms) * time.Millisecond
+	}
+	if len(fields) == 7 {
+		term, err := strconv.ParseUint(fields[4], 10, 64)
+		if err != nil {
+			return Status{}, fmt.Errorf("%w: bad LAG term %q", errProto, fields[4])
+		}
+		st.Term = term
+		if fields[5] != "-" {
+			st.ID = fields[5]
+		}
+		if fields[6] != "-" {
+			st.Source = fields[6]
+		}
+	}
+	return st, nil
+}
+
+// fenceRemote tells the node at addr (a replication address) that term has
+// been asserted, by opening a stream request that announces it: a primary
+// answering `REPL 0 0 <term>` with term above its own fences itself before
+// replying. Best effort — the node being unreachable is the normal case
+// (that's why there was a failover).
+func fenceRemote(addr string, term uint64, timeout time.Duration) {
+	if addr == "" {
+		return
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
+	bw := bufio.NewWriter(conn)
+	if _, err := fmt.Fprintf(bw, "REPL 0 0 %d\n", term); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+	// Read whatever the node answers (a stale frame, typically) just so the
+	// request is known delivered before the connection drops.
+	_, _ = readStreamFrame(bufio.NewReader(conn))
+}
+
+// Deposition is CheckDeposed's verdict: the fencing term that supersedes
+// this store and where the new primary can be followed.
+type Deposition struct {
+	// Term is the highest fencing term found among the peers.
+	Term uint64
+	// Primary is the client address of the peer reporting itself promoted,
+	// if any ("" when the peers only relayed a higher term).
+	Primary string
+	// Source is that peer's advertised replication address to stream from.
+	Source string
+}
+
+// CheckDeposed probes peers for a fencing term above the store's own. A
+// restarting primary calls it before serving: if the cluster moved on while
+// it was down, the store is fenced immediately — before a single write
+// could be accepted — and the returned Deposition says whom to rejoin. A
+// nil return means no reachable peer knows a higher term and the store may
+// serve as primary.
+func CheckDeposed(st *storage.Store, peers []string, timeout time.Duration) *Deposition {
+	own := st.Term()
+	var dep *Deposition
+	for _, peer := range peers {
+		status, err := probePeer(peer, timeout)
+		if err != nil || status.Term <= own {
+			continue
+		}
+		if dep == nil || status.Term > dep.Term {
+			dep = &Deposition{Term: status.Term}
+		}
+		if status.Term == dep.Term && status.State == "promoted" {
+			dep.Primary = peer
+			dep.Source = status.Source
+		}
+	}
+	if dep != nil {
+		st.Fence(dep.Term)
+	}
+	return dep
+}
+
+// Demote executes a deposed primary's divergence-aware rejoin, given the
+// fenced store and the Deposition that fenced it:
+//
+//  1. The new primary's bootstrap is fetched (from dep.Source) to learn the
+//     takeover divergence point — the position in THIS store's lineage up
+//     to which the promoting replica had applied.
+//  2. The store's WAL suffix past that point — committed here, never
+//     replicated, contradicted by the new timeline — is quarantined to a
+//     sidecar file instead of being silently discarded.
+//  3. The store is closed and its snapshot and WALs removed, so the
+//     directory is ready for a fresh bootstrap from the new primary.
+//
+// It returns the quarantine sidecar path ("" when nothing diverged). The
+// caller then starts a NewReplica against the new primary, typically with
+// PromoteDir pointing back at the same directory.
+func Demote(st *storage.Store, dep *Deposition, timeout time.Duration) (quarantine string, err error) {
+	if dep == nil || dep.Source == "" {
+		return "", fmt.Errorf("repl: demote: no replication source to rejoin")
+	}
+	boot, err := fetchBootstrap(dep.Source, timeout)
+	if err != nil {
+		return "", fmt.Errorf("repl: demote: %w", err)
+	}
+	if boot.Term < dep.Term {
+		return "", fmt.Errorf("repl: demote: source %s is behind the deposing term (%d < %d)", dep.Source, boot.Term, dep.Term)
+	}
+	quarantine, n, err := st.QuarantineSuffix(boot.TakeoverEpoch, boot.TakeoverOffset)
+	if err != nil {
+		return "", fmt.Errorf("repl: demote: quarantine: %w", err)
+	}
+	if n > 0 {
+		metricQuarantinedBytes.Add(uint64(n))
+	}
+	dir := st.Dir()
+	if err := st.Close(); err != nil {
+		return quarantine, fmt.Errorf("repl: demote: close: %w", err)
+	}
+	if err := storage.RemoveStoreFiles(dir); err != nil {
+		return quarantine, fmt.Errorf("repl: demote: clear store: %w", err)
+	}
+	return quarantine, nil
+}
+
+// fetchBootstrap retrieves and decodes a SNAP payload from a replication
+// address, without installing it anywhere — Demote only needs the metadata.
+func fetchBootstrap(addr string, timeout time.Duration) (bootstrap, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return bootstrap{}, err
+	}
+	defer conn.Close()
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+	}
+	bw := bufio.NewWriter(conn)
+	if _, err := fmt.Fprintln(bw, "SNAP"); err != nil {
+		return bootstrap{}, err
+	}
+	if err := bw.Flush(); err != nil {
+		return bootstrap{}, err
+	}
+	ok, code, payload, err := readResponseFrame(bufio.NewReader(conn), maxSnapshotBytes)
+	if err != nil {
+		return bootstrap{}, err
+	}
+	if !ok {
+		return bootstrap{}, fmt.Errorf("SNAP refused by %s: %s: %s", addr, code, payload)
+	}
+	return decodeBootstrap([]byte(payload))
+}

@@ -23,4 +23,38 @@ var (
 	metricBootstrapNS   = obs.Default().Histogram("hrdb_repl_snapshot_bootstrap_duration_ns")
 	metricReconnects    = obs.Default().Counter("hrdb_repl_reconnects_total")
 	metricStaleRestarts = obs.Default().Counter("hrdb_repl_stale_restarts_total")
+
+	// Failover: elections campaigned, promotions won (manual or elected),
+	// and retargets to a peer that won instead.
+	metricElections  = obs.Default().Counter("hrdb_repl_elections_total")
+	metricPromotions = obs.Default().Counter("hrdb_repl_promotions_total")
+	metricRetargets  = obs.Default().Counter("hrdb_repl_retargets_total")
+
+	// Rejoin: bytes of committed-but-unreplicated WAL suffix preserved to
+	// quarantine sidecars during deposed-primary demotion.
+	metricQuarantinedBytes = obs.Default().Counter("hrdb_repl_quarantined_bytes_total")
 )
+
+// replicaStateGauges is one 0/1 gauge per replica lifecycle state,
+// hrdb_repl_replica_state{state=...}. Exactly one is 1 at a time, which
+// lets dashboards tell "caught up" from "not even connected" — the bare
+// lag-bytes gauge cannot (0 and unknown both used to render as 0).
+var replicaStateGauges = func() map[string]*obs.Gauge {
+	m := make(map[string]*obs.Gauge)
+	for _, s := range []string{"connecting", "streaming", "promoted", "stopped"} {
+		m[s] = obs.Default().Gauge("hrdb_repl_replica_state", obs.Label{Key: "state", Value: s})
+	}
+	return m
+}()
+
+// setStateGauge flips the per-state gauges so exactly the current state
+// reads 1.
+func setStateGauge(state string) {
+	for s, g := range replicaStateGauges {
+		if s == state {
+			g.Set(1)
+		} else {
+			g.Set(0)
+		}
+	}
+}

@@ -54,13 +54,18 @@ func NewPrimary(store *storage.Store, opts PrimaryOptions) *Primary {
 }
 
 // Snapshot cuts a consistent bootstrap payload: the database spec plus the
-// replication position replaying from which reproduces the primary.
+// replication position replaying from which reproduces the primary, the
+// fencing term, and the takeover divergence point (if any).
 func (p *Primary) Snapshot() ([]byte, error) {
 	spec, epoch, offset, err := p.store.ReplicationSnapshot()
 	if err != nil {
 		return nil, err
 	}
-	return encodeBootstrap(bootstrap{Spec: spec, Epoch: epoch, Offset: offset})
+	return encodeBootstrap(bootstrap{
+		Spec: spec, Epoch: epoch, Offset: offset,
+		Term:          spec.PrimaryTerm,
+		TakeoverEpoch: spec.TakeoverEpoch, TakeoverOffset: spec.TakeoverOffset,
+	})
 }
 
 // AckedPosition returns the highest position any follower has acknowledged
@@ -87,22 +92,35 @@ func (p *Primary) recordAck(pos position) {
 // unservable (answered with an ERR stale frame — the follower re-bootstraps
 // via SNAP). Resume positions always name record boundaries, so the raw
 // byte stream picks up exactly where the previous connection left off.
-func (p *Primary) ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, offset int64) error {
+//
+// followerTerm is the highest fencing term the follower has seen (zero from
+// pre-term followers). A follower ahead of this primary's own term is proof
+// of deposition: a newer primary was elected while we were partitioned away.
+// The store is fenced immediately — before a single frame is shipped — and
+// the follower is turned away stale, so a deposed primary can neither
+// accept writes nor feed followers divergent history.
+func (p *Primary) ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, offset int64, followerTerm uint64) error {
+	if p.store.Fence(followerTerm) {
+		return writeStale(w, fmt.Sprintf("deposed: follower announced term %d beyond ours", followerTerm))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 
 	// Drain follower ACKs concurrently; a read error means the connection
-	// is gone, which also unblocks a ship loop parked in WaitChange.
+	// is gone, which also unblocks a ship loop parked in WaitChange. An ACK
+	// carrying a higher term fences the store exactly like the REPL line
+	// above; the ship loop notices on its next pass.
 	var ackWG sync.WaitGroup
 	ackWG.Add(1)
 	go func() {
 		defer ackWG.Done()
 		defer cancel()
 		for {
-			ack, err := readAck(r)
+			term, ack, err := readAck(r)
 			if err != nil {
 				return
 			}
+			p.store.Fence(term)
 			p.recordAck(ack)
 		}
 	}()
@@ -114,6 +132,10 @@ func (p *Primary) ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, of
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if f := p.store.FencedBy(); f != 0 {
+			return writeStale(w, fmt.Sprintf("deposed by term %d", f))
+		}
+		term := p.store.Term()
 		curEpoch, curOff := p.store.Position()
 		switch {
 		case pos.epoch == curEpoch:
@@ -132,7 +154,7 @@ func (p *Primary) ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, of
 					return err
 				}
 				if len(chunk) > 0 {
-					if err := writeShip(w, pos, chunk); err != nil {
+					if err := writeShip(w, term, pos, chunk); err != nil {
 						return err
 					}
 					metricShippedBytes.Add(uint64(len(chunk)))
@@ -143,7 +165,7 @@ func (p *Primary) ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, of
 			// Caught up: heartbeat, then wait for the position to advance
 			// (bounded by the heartbeat interval so liveness keeps flowing).
 			if time.Since(lastHB) >= p.opts.HeartbeatInterval {
-				if err := writeHB(w, pos); err != nil {
+				if err := writeHB(w, term, pos); err != nil {
 					return err
 				}
 				lastHB = time.Now()
@@ -172,7 +194,7 @@ func (p *Primary) ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, of
 				// one. Epochs advance by one per checkpoint, so +1 either is
 				// the current epoch or another fully retired one.
 				next := pos.epoch + 1
-				if err := writeRotate(w, next); err != nil {
+				if err := writeRotate(w, term, next); err != nil {
 					return err
 				}
 				pos = position{epoch: next}
@@ -186,7 +208,7 @@ func (p *Primary) ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, of
 					}
 					return err
 				}
-				if err := writeShip(w, pos, chunk); err != nil {
+				if err := writeShip(w, term, pos, chunk); err != nil {
 					return err
 				}
 				metricShippedBytes.Add(uint64(len(chunk)))

@@ -2,12 +2,15 @@ package repl
 
 import (
 	"bufio"
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
 
+	"hrdb/internal/backoff"
 	"hrdb/internal/catalog"
 	"hrdb/internal/storage"
 )
@@ -16,11 +19,40 @@ import (
 type ReplicaOptions struct {
 	// DialTimeout bounds one connection attempt. Default 2s.
 	DialTimeout time.Duration
-	// ReconnectBackoff is the initial delay between stream attempts; it
-	// doubles per consecutive failure up to MaxBackoff. Default 50ms.
+	// ReconnectBackoff is the base delay between stream attempts; the
+	// actual delay is full-jitter exponential (see internal/backoff) up to
+	// MaxBackoff. Default 50ms.
 	ReconnectBackoff time.Duration
 	// MaxBackoff caps the reconnect delay. Default 2s.
 	MaxBackoff time.Duration
+	// ID identifies this replica in elections: when two candidates are
+	// equally caught up, the lexicographically smaller ID wins, which makes
+	// the winner deterministic instead of a coin flip. AutoFailover
+	// deployments must give every replica a distinct ID.
+	ID string
+	// Peers lists the client addresses of the other replicas. A campaign
+	// probes them (the LAG verb) to find who is most caught up and whether
+	// someone already won.
+	Peers []string
+	// AutoFailover starts the elector: after ElectionTimeout of stream
+	// silence, a booted replica campaigns to promote itself.
+	AutoFailover bool
+	// ElectionTimeout is the heartbeat silence that triggers a campaign. It
+	// must comfortably exceed the primary's HeartbeatInterval, or healthy
+	// pauses read as death. Default 2s.
+	ElectionTimeout time.Duration
+	// PromoteDir, when set, makes promotion durable: the replica's applied
+	// state is materialized as a storage.Store rooted there (snapshot plus
+	// a fresh WAL lineage one epoch past the takeover point), writes go
+	// through that store's WAL, and the promoted replica serves SNAP/REPL
+	// to followers. Empty keeps the in-memory promotion of earlier
+	// releases: writable, but nothing outlives the process.
+	PromoteDir string
+	// Advertise is the replication address other nodes should dial to
+	// follow this replica once it is promoted; it is published through the
+	// LAG payload so campaigning peers can retarget. SetAdvertise can fill
+	// it in later, once the listener is actually up.
+	Advertise string
 }
 
 func (o *ReplicaOptions) defaults() {
@@ -32,6 +64,9 @@ func (o *ReplicaOptions) defaults() {
 	}
 	if o.MaxBackoff <= 0 {
 		o.MaxBackoff = 2 * time.Second
+	}
+	if o.ElectionTimeout <= 0 {
+		o.ElectionTimeout = 2 * time.Second
 	}
 }
 
@@ -47,26 +82,41 @@ var ErrReplicaClosed = errors.New("repl: replica closed")
 // reconnecting (with resume) until closed or promoted. All methods are safe
 // for concurrent use; the database it maintains is the one served to
 // read-only sessions via ReplicaTarget.
+//
+// With AutoFailover, the replica also runs an elector: when the stream has
+// been silent past the election timeout it campaigns — probing its peers,
+// standing down for anyone better positioned (or, on a tie, with a smaller
+// ID), retargeting to a peer that already won — and otherwise promotes
+// itself under the next fencing term.
 type Replica struct {
-	addr string
 	opts ReplicaOptions
 
 	mu          sync.Mutex
+	addr        string // current upstream; elections retarget it
+	id          string
+	advertise   string
 	db          *catalog.Database
 	booted      bool     // db came from a snapshot (not the empty placeholder)
-	needSnap    bool     // position rejected as stale; re-bootstrap
+	needSnap    bool     // position rejected as stale (or upstream changed); re-bootstrap
 	pos         position // applied position (always an out-of-bracket record boundary)
 	highWater   position // primary's durable position, from SHIP/HB frames
+	term        uint64   // highest fencing term seen (frames, bootstraps, elections)
 	syncedAt    time.Time
 	everSync    bool
-	state       string // "connecting" | "streaming" | "promoted" | "stopped"
+	lastFrame   time.Time // last accepted frame or bootstrap: the election silence clock
+	state       string    // "connecting" | "streaming" | "promoted" | "stopped"
 	promoted    bool
 	closed      bool
 	conn        net.Conn // live stream connection, for severing on close/promote
 	applied     uint64   // records applied across all connections
 	nBootstraps int      // snapshot bootstraps performed
+	store       *storage.Store
+	prim        *Primary // replication source once durably promoted
 
-	done chan struct{}
+	ctx         context.Context // canceled on Close/Promote: aborts sleeps and the elector
+	cancel      context.CancelFunc
+	done        chan struct{}
+	electorDone chan struct{} // nil unless AutoFailover
 }
 
 // NewReplica creates a replica following the primary at addr and starts its
@@ -74,14 +124,24 @@ type Replica struct {
 // an empty database and reports unknown staleness.
 func NewReplica(addr string, opts ReplicaOptions) *Replica {
 	opts.defaults()
+	ctx, cancel := context.WithCancel(context.Background())
 	r := &Replica{
-		addr:  addr,
-		opts:  opts,
-		db:    catalog.New(),
-		state: "connecting",
-		done:  make(chan struct{}),
+		addr:      addr,
+		id:        opts.ID,
+		advertise: opts.Advertise,
+		opts:      opts,
+		db:        catalog.New(),
+		state:     "connecting",
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
 	}
+	setStateGauge(r.state)
 	go r.run()
+	if opts.AutoFailover {
+		r.electorDone = make(chan struct{})
+		go r.elector()
+	}
 	return r
 }
 
@@ -92,6 +152,14 @@ func (r *Replica) Database() *catalog.Database {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.db
+}
+
+// Store returns the durable store backing a promoted replica, or nil when
+// the replica is unpromoted or was promoted without a PromoteDir.
+func (r *Replica) Store() *storage.Store {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.store
 }
 
 // AppliedRecords returns the number of WAL records this replica has applied
@@ -109,30 +177,105 @@ func (r *Replica) Promoted() bool {
 	return r.promoted
 }
 
-// Lag reports the replica's replication state for the LAG verb and for
-// lag-bounded routing. Staleness is the age of the last moment the replica
-// was provably caught up with the primary's durable position; negative
-// means unknown (never synced, or not yet re-synced after a bootstrap).
-func (r *Replica) Lag() (staleness time.Duration, epoch uint64, offset int64, state string) {
+// Term returns the highest fencing term this replica has seen.
+func (r *Replica) Term() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	staleness = -1
-	if r.promoted {
-		// A promoted replica is the authoritative copy: nothing to lag behind.
-		staleness = 0
-	} else if r.everSync {
-		staleness = time.Since(r.syncedAt)
-	}
-	return staleness, r.pos.epoch, r.pos.offset, r.state
+	return r.term
 }
 
-// Promote stops following and flips the replica writable: the streaming
-// loop is severed and drained, then ReplicaTarget begins accepting
-// mutations. Promotion is manual failover — the caller has decided the old
-// primary is gone. Whatever committed state the replica had applied is the
-// new authoritative state; an unfinished transaction bracket in flight is
-// discarded, exactly as a primary crash recovery would discard it.
+// SetAdvertise publishes the replication address other nodes should dial to
+// follow this node once promoted (daemons call it after their repl listener
+// is actually accepting).
+func (r *Replica) SetAdvertise(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.advertise = addr
+}
+
+// SetPeers replaces the peer list election campaigns consult. Like
+// SetAdvertise it solves a wiring-order problem: a peer's address is often
+// only known once its listener is up, after this replica was created.
+func (r *Replica) SetPeers(peers []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.opts.Peers = append([]string(nil), peers...)
+}
+
+// setStateLocked transitions the replica state and keeps the per-state
+// gauge truthful. Callers hold r.mu.
+func (r *Replica) setStateLocked(state string) {
+	r.state = state
+	setStateGauge(state)
+}
+
+// Status is a replica's full replication status: the Lag fields plus the
+// failover identity (term, ID, and the address to follow it at).
+type Status struct {
+	Staleness time.Duration
+	Epoch     uint64
+	Offset    int64
+	State     string
+	Term      uint64
+	ID        string
+	// Source is where to stream from this node: the advertised replication
+	// address once promoted, the upstream it follows otherwise.
+	Source string
+}
+
+// Status reports the replica's replication status for the LAG verb, for
+// lag-bounded routing, and for election probes.
+func (r *Replica) Status() Status {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := Status{
+		Staleness: -1,
+		Epoch:     r.pos.epoch,
+		Offset:    r.pos.offset,
+		State:     r.state,
+		Term:      r.term,
+		ID:        r.id,
+		Source:    r.addr,
+	}
+	if r.promoted {
+		// A promoted replica is the authoritative copy: nothing to lag behind.
+		st.Staleness = 0
+		st.Source = r.advertise
+	} else if r.everSync {
+		st.Staleness = time.Since(r.syncedAt)
+	}
+	return st
+}
+
+// Lag reports the replica's replication state for lag-bounded routing.
+// Staleness is the age of the last moment the replica was provably caught
+// up with the primary's durable position; negative means unknown (never
+// synced, or not yet re-synced after a bootstrap).
+func (r *Replica) Lag() (staleness time.Duration, epoch uint64, offset int64, state string) {
+	st := r.Status()
+	return st.Staleness, st.Epoch, st.Offset, st.State
+}
+
+// Promote stops following and flips the replica writable under the next
+// fencing term. Promotion is manual failover — the caller has decided the
+// old primary is gone. Whatever committed state the replica had applied is
+// the new authoritative state; an unfinished transaction bracket in flight
+// is discarded, exactly as a primary crash recovery would discard it.
 func (r *Replica) Promote() error {
+	r.mu.Lock()
+	term := r.term + 1
+	r.mu.Unlock()
+	return r.promoteWithTerm(term)
+}
+
+// promoteWithTerm is promotion under an explicit fencing term (an election
+// win carries max-seen-term+1; manual Promote uses own-term+1). With a
+// PromoteDir the promotion is durable: the applied state is materialized as
+// a store whose WAL lineage starts one epoch past the takeover point, so
+// surviving followers parked in the old lineage re-bootstrap rather than
+// resume into divergence. The old upstream is then told, best effort, that
+// it has been deposed.
+func (r *Replica) promoteWithTerm(term uint64) error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -142,33 +285,102 @@ func (r *Replica) Promote() error {
 		r.mu.Unlock()
 		return nil
 	}
+	if term <= r.term {
+		term = r.term + 1
+	}
 	r.promoted = true
-	r.state = "promoted"
+	r.term = term
+	takeover := r.pos
+	oldAddr := r.addr
+	r.setStateLocked("promoted")
 	if r.conn != nil {
 		r.conn.Close()
 	}
 	r.mu.Unlock()
+	r.cancel()
 	<-r.done
+
+	if r.opts.PromoteDir != "" {
+		spec := storage.SnapshotDatabase(r.Database())
+		spec.LogEpoch = takeover.epoch + 1
+		spec.PrimaryTerm = term
+		spec.TakeoverEpoch, spec.TakeoverOffset = takeover.epoch, takeover.offset
+		st, err := storage.Create(r.opts.PromoteDir, spec, storage.Options{})
+		if err != nil {
+			return fmt.Errorf("repl: durable promotion: %w", err)
+		}
+		r.mu.Lock()
+		r.db = st.Database()
+		r.store = st
+		r.prim = NewPrimary(st, PrimaryOptions{})
+		r.mu.Unlock()
+	}
+	metricPromotions.Inc()
+	// Best effort: tell the deposed upstream directly, so it fences even if
+	// no follower ever contacts it. Losing this race (or the old primary
+	// being dead) is fine — the term checks catch it everywhere else.
+	go fenceRemote(oldAddr, term, r.opts.DialTimeout)
 	return nil
 }
 
-// Close stops the replica. Idempotent.
+// Snapshot implements the server's ReplSource hook (structurally): a
+// promoted replica serves bootstrap snapshots from its durable store so the
+// rest of the fleet — including the deposed primary, rejoining — can follow
+// it. Unpromoted (or promoted without a PromoteDir), there is no durable
+// lineage to serve.
+func (r *Replica) Snapshot() ([]byte, error) {
+	r.mu.Lock()
+	prim := r.prim
+	r.mu.Unlock()
+	if prim == nil {
+		return nil, ErrReadOnlyReplica
+	}
+	return prim.Snapshot()
+}
+
+// ServeStream implements the server's ReplSource hook (structurally); see
+// Snapshot.
+func (r *Replica) ServeStream(br *bufio.Reader, bw *bufio.Writer, epoch uint64, offset int64, followerTerm uint64) error {
+	r.mu.Lock()
+	prim := r.prim
+	r.mu.Unlock()
+	if prim == nil {
+		return writeStale(bw, "not promoted: no replication source here")
+	}
+	return prim.ServeStream(br, bw, epoch, offset, followerTerm)
+}
+
+// Close stops the replica (and, if it was durably promoted, closes its
+// store). Idempotent.
 func (r *Replica) Close() error {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
 		<-r.done
+		if r.electorDone != nil {
+			<-r.electorDone
+		}
 		return nil
 	}
 	r.closed = true
 	if !r.promoted {
-		r.state = "stopped"
+		r.setStateLocked("stopped")
 	}
 	if r.conn != nil {
 		r.conn.Close()
 	}
+	st := r.store
 	r.mu.Unlock()
+	r.cancel()
 	<-r.done
+	if r.electorDone != nil {
+		<-r.electorDone
+	}
+	if st != nil {
+		if err := st.Close(); err != nil && !errors.Is(err, storage.ErrStoreClosed) {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -179,37 +391,138 @@ func (r *Replica) stopping() bool {
 }
 
 // run is the reconnect loop: stream until the connection fails, back off
-// (doubling, capped), retry. A stale rejection re-bootstraps immediately —
+// (full jitter, capped), retry. A stale rejection re-bootstraps immediately —
 // waiting won't make a GC'd WAL segment reappear.
 func (r *Replica) run() {
 	defer close(r.done)
-	backoff := r.opts.ReconnectBackoff
+	pol := backoff.Policy{Base: r.opts.ReconnectBackoff, Max: r.opts.MaxBackoff}
+	attempt := 0
 	for !r.stopping() {
 		err := r.streamOnce()
 		if r.stopping() {
 			return
 		}
 		r.mu.Lock()
-		r.state = "connecting"
+		r.setStateLocked("connecting")
 		r.mu.Unlock()
 		metricReconnects.Inc()
 		if errors.Is(err, errStale) {
 			metricStaleRestarts.Inc()
-			backoff = r.opts.ReconnectBackoff
+			attempt = 0
 			continue
 		}
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > r.opts.MaxBackoff {
-			backoff = r.opts.MaxBackoff
+		if backoff.Sleep(r.ctx, pol.Delay(attempt, 0)) != nil {
+			return
+		}
+		attempt++
+	}
+}
+
+// retarget switches the replica to follow a newly promoted peer. The new
+// primary's WAL lineage is disjoint from the old one, so the next stream
+// attempt re-bootstraps; the silence clock restarts so the elector gives
+// the new upstream a full timeout before judging it.
+func (r *Replica) retarget(addr string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.promoted || addr == "" || addr == r.addr {
+		return
+	}
+	r.addr = addr
+	r.needSnap = true
+	r.lastFrame = time.Now()
+	if r.conn != nil {
+		r.conn.Close()
+	}
+	metricRetargets.Inc()
+}
+
+// elector campaigns for promotion whenever the stream goes quiet. Campaign
+// timing is jittered (uniform in [ET/2, 3ET/2) on top of the timeout
+// check) so replicas that lost the same primary at the same instant don't
+// promote in lockstep.
+func (r *Replica) elector() {
+	defer close(r.electorDone)
+	et := r.opts.ElectionTimeout
+	for {
+		d := et/2 + time.Duration(rand.Int63n(int64(et)))
+		t := time.NewTimer(d)
+		select {
+		case <-r.ctx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		if !r.quiet(et) {
+			continue
+		}
+		r.campaign()
+		if r.Promoted() {
+			return
 		}
 	}
+}
+
+// quiet reports whether the replica is booted, unpromoted, and has heard
+// nothing from its upstream for at least the election timeout. A replica
+// that never booted has no state worth promoting; one that heard a frame
+// recently has a live primary.
+func (r *Replica) quiet(et time.Duration) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.promoted || !r.booted {
+		return false
+	}
+	return !r.lastFrame.IsZero() && time.Since(r.lastFrame) >= et
+}
+
+// campaign decides this replica's move after election-timeout silence:
+// stand down if any reachable peer is better positioned (or equally
+// positioned with a smaller ID — the deterministic tiebreak), retarget if a
+// peer already won a term at or past ours, otherwise self-promote with a
+// term one past the highest seen anywhere. Unreachable peers don't vote:
+// in a partition, the reachable side elects from the candidates it can
+// compare, and fencing terms resolve any collision when the partition
+// heals.
+func (r *Replica) campaign() {
+	r.mu.Lock()
+	myPos, myTerm, myID := r.pos, r.term, r.id
+	peers := r.opts.Peers
+	r.mu.Unlock()
+	metricElections.Inc()
+	maxTerm := myTerm
+	for _, peer := range peers {
+		st, err := probePeer(peer, r.opts.DialTimeout)
+		if err != nil {
+			continue
+		}
+		if st.Term > maxTerm {
+			maxTerm = st.Term
+		}
+		if st.State == "promoted" && st.Term >= myTerm {
+			r.retarget(st.Source)
+			return
+		}
+		peerPos := position{epoch: st.Epoch, offset: st.Offset}
+		if myPos.before(peerPos) || (peerPos == myPos && st.ID != "" && st.ID < myID) {
+			return
+		}
+	}
+	// Probing took time; a primary heard from meanwhile cancels the win.
+	if !r.quiet(r.opts.ElectionTimeout) {
+		return
+	}
+	_ = r.promoteWithTerm(maxTerm + 1)
 }
 
 // streamOnce runs one connection's worth of replication: dial, bootstrap if
 // needed, request the stream at the resume position, and apply frames until
 // something breaks.
 func (r *Replica) streamOnce() error {
-	conn, err := net.DialTimeout("tcp", r.addr, r.opts.DialTimeout)
+	r.mu.Lock()
+	addr := r.addr
+	r.mu.Unlock()
+	conn, err := net.DialTimeout("tcp", addr, r.opts.DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -241,11 +554,13 @@ func (r *Replica) streamOnce() error {
 	}
 
 	r.mu.Lock()
-	db, start := r.db, r.pos
-	r.state = "streaming"
+	db, start, term := r.db, r.pos, r.term
+	r.setStateLocked("streaming")
 	r.mu.Unlock()
 
-	if _, err := fmt.Fprintf(bw, "REPL %d %d\n", start.epoch, start.offset); err != nil {
+	// The REPL line announces our highest term: a deposed primary answering
+	// it learns of its deposition and fences itself.
+	if _, err := fmt.Fprintf(bw, "REPL %d %d %d\n", start.epoch, start.offset, term); err != nil {
 		return err
 	}
 	if err := bw.Flush(); err != nil {
@@ -269,27 +584,55 @@ func (r *Replica) bootstrap(br *bufio.Reader, bw *bufio.Writer) error {
 		return err
 	}
 	if !ok {
+		if code == "stale" {
+			// The upstream is itself an unpromoted replica (mid-election
+			// retarget raced the winner's promotion); try again later.
+			return fmt.Errorf("repl: SNAP refused: %s", payload)
+		}
 		return fmt.Errorf("repl: SNAP refused: %s: %s", code, payload)
 	}
 	boot, err := decodeBootstrap([]byte(payload))
 	if err != nil {
 		return err
 	}
+	r.mu.Lock()
+	if boot.Term < r.term {
+		cur := r.term
+		r.mu.Unlock()
+		return fmt.Errorf("repl: snapshot from deposed primary (term %d < %d)", boot.Term, cur)
+	}
 	db, err := storage.BuildDatabase(boot.Spec)
 	if err != nil {
+		r.mu.Unlock()
 		return fmt.Errorf("repl: bad snapshot: %w", err)
 	}
-	r.mu.Lock()
 	r.db = db
 	r.booted = true
 	r.needSnap = false
+	r.term = boot.Term
 	r.pos = position{epoch: boot.Epoch, offset: boot.Offset}
 	r.highWater = r.pos
 	r.everSync = false // not synced until the stream proves it
+	r.lastFrame = time.Now()
 	r.nBootstraps++
 	r.mu.Unlock()
 	metricBootstraps.Inc()
 	metricBootstrapNS.ObserveDuration(time.Since(begin))
+	return nil
+}
+
+// adoptFrameTerm folds one stream frame's term into the replica: higher
+// terms are adopted, the silence clock restarts, and frames from a term
+// below the highest seen are refused — a deposed primary must not keep
+// feeding us history the new one will contradict.
+func (r *Replica) adoptFrameTerm(term uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if term < r.term {
+		return fmt.Errorf("repl: frame from deposed primary (term %d < %d)", term, r.term)
+	}
+	r.term = term
+	r.lastFrame = time.Now()
 	return nil
 }
 
@@ -311,6 +654,11 @@ func (r *Replica) applyStream(br *bufio.Reader, bw *bufio.Writer, db *catalog.Da
 		frame, err := readStreamFrame(br)
 		if err != nil {
 			return err
+		}
+		if frame.kind != "ERR" {
+			if err := r.adoptFrameTerm(frame.term); err != nil {
+				return err
+			}
 		}
 		switch frame.kind {
 		case "SHIP":
@@ -404,7 +752,10 @@ func (r *Replica) drain(applier *storage.Applier, dec *storage.StreamDecoder, st
 }
 
 // observe folds a frame's durability information into the lag accounting:
-// durable high-water, catch-up detection, and the lag gauges.
+// durable high-water, catch-up detection, and the lag gauges. The byte-lag
+// gauge distinguishes unknown (-1: the high-water mark is in another epoch,
+// so no byte distance exists) from caught up (0) — conflating them made an
+// arbitrarily stale replica indistinguishable from a current one.
 func (r *Replica) observe(durable position, applier *storage.Applier) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -418,14 +769,16 @@ func (r *Replica) observe(durable position, applier *storage.Applier) {
 		metricLagBytes.Set(0)
 	} else if r.highWater.epoch == r.pos.epoch {
 		metricLagBytes.Set(r.highWater.offset - r.pos.offset)
+	} else {
+		metricLagBytes.Set(-1)
 	}
 	metricLagRecords.Set(int64(applier.Pending()))
 }
 
-// ack reports the current resume position to the primary.
+// ack reports the current resume position (and our term) to the primary.
 func (r *Replica) ack(bw *bufio.Writer) error {
 	r.mu.Lock()
-	pos := r.pos
+	pos, term := r.pos, r.term
 	r.mu.Unlock()
-	return writeAck(bw, pos)
+	return writeAck(bw, term, pos)
 }

@@ -20,10 +20,15 @@ type ReplicaTarget struct{ R *Replica }
 // Database returns the replica's current database.
 func (t ReplicaTarget) Database() *catalog.Database { return t.R.Database() }
 
-// writable returns the delegate target when promoted, or nil.
+// writable returns the delegate target when promoted, or nil. A durably
+// promoted replica writes through its store (WAL first, fencing enforced);
+// one promoted without a PromoteDir mutates its in-memory database.
 func (t ReplicaTarget) writable() (hql.Target, bool) {
 	if !t.R.Promoted() {
 		return nil, false
+	}
+	if st := t.R.Store(); st != nil {
+		return st, true
 	}
 	return hql.MemTarget{DB: t.R.Database()}, true
 }

@@ -14,17 +14,25 @@ import (
 )
 
 // Wire framing of the replication stream. A follower opens an ordinary
-// protocol connection and sends `REPL <epoch> <offset>`; from then on the
-// connection belongs to the stream:
+// protocol connection and sends `REPL <epoch> <offset> [term]`; from then
+// on the connection belongs to the stream:
 //
 //	primary → follower:
-//	  SHIP <epoch> <offset> <n>\n<n raw WAL bytes>\n   chunk at (epoch, offset)
-//	  HB <epoch> <offset>\n                            durable high-water heartbeat
-//	  ROTATE <epoch>\n                                 continue at (epoch, 0)
-//	  ERR stale <retry_ms> <n>\n<msg>\n                position unservable; SNAP again
+//	  SHIP <term> <epoch> <offset> <n>\n<n raw WAL bytes>\n   chunk at (epoch, offset)
+//	  HB <term> <epoch> <offset>\n                            durable high-water heartbeat
+//	  ROTATE <term> <epoch>\n                                 continue at (epoch, 0)
+//	  ERR stale <retry_ms> <n>\n<msg>\n                       position unservable; SNAP again
 //
 //	follower → primary (same connection):
-//	  ACK <epoch> <offset>\n                           durable applied position
+//	  ACK <term> <epoch> <offset>\n                           durable applied position
+//
+// Every frame leads with the sender's primary fencing term. A follower
+// refuses frames carrying a term below the highest it has seen (a deposed
+// primary cannot keep feeding it), and adopts higher terms as they appear.
+// A primary contacted by a follower announcing a higher term (the REPL
+// line's optional third field) knows it has been deposed and fences itself.
+// Pre-term peers are interoperable: a REPL line without the term field and
+// term-less frame parses are rejected only where stated.
 //
 // SHIP payloads are raw WAL frame bytes and split without regard for frame
 // boundaries; the follower reassembles them with storage.StreamDecoder.
@@ -35,7 +43,9 @@ import (
 //
 // The bootstrap payload (the SNAP verb's OK frame) is a gob-encoded
 // snapshot: the database spec plus the position replaying the stream from
-// which reproduces the primary exactly.
+// which reproduces the primary exactly, the primary's fencing term, and —
+// when the primary was itself promoted from a replica — the takeover
+// divergence point a deposed predecessor needs for rejoin.
 
 // errStale is the follower-side sentinel for an ERR stale stream frame.
 var errStale = errors.New("repl: position superseded by a checkpoint; snapshot re-bootstrap required")
@@ -62,11 +72,20 @@ func (p position) before(q position) bool {
 	return p.epoch < q.epoch || (p.epoch == q.epoch && p.offset < q.offset)
 }
 
-// bootstrap is the SNAP payload.
+// bootstrap is the SNAP payload. Term and the takeover fields were added
+// for failover; gob leaves them zero when decoding a pre-term payload.
 type bootstrap struct {
 	Spec   storage.DatabaseSpec
 	Epoch  uint64
 	Offset int64
+	// Term is the primary's fencing term at snapshot time.
+	Term uint64
+	// TakeoverEpoch/TakeoverOffset name the divergence point if this
+	// primary was promoted from a replica: the position (in the previous
+	// primary's epoch numbering) up to which the promoting replica had
+	// applied. Zero when the primary was never promoted.
+	TakeoverEpoch  uint64
+	TakeoverOffset int64
 }
 
 // encodeBootstrap gob-encodes a bootstrap payload.
@@ -88,8 +107,8 @@ func decodeBootstrap(p []byte) (bootstrap, error) {
 }
 
 // writeShip emits one SHIP frame and flushes.
-func writeShip(w *bufio.Writer, pos position, chunk []byte) error {
-	if _, err := fmt.Fprintf(w, "SHIP %d %d %d\n", pos.epoch, pos.offset, len(chunk)); err != nil {
+func writeShip(w *bufio.Writer, term uint64, pos position, chunk []byte) error {
+	if _, err := fmt.Fprintf(w, "SHIP %d %d %d %d\n", term, pos.epoch, pos.offset, len(chunk)); err != nil {
 		return err
 	}
 	if _, err := w.Write(chunk); err != nil {
@@ -102,16 +121,16 @@ func writeShip(w *bufio.Writer, pos position, chunk []byte) error {
 }
 
 // writeHB emits one heartbeat frame and flushes.
-func writeHB(w *bufio.Writer, pos position) error {
-	if _, err := fmt.Fprintf(w, "HB %d %d\n", pos.epoch, pos.offset); err != nil {
+func writeHB(w *bufio.Writer, term uint64, pos position) error {
+	if _, err := fmt.Fprintf(w, "HB %d %d %d\n", term, pos.epoch, pos.offset); err != nil {
 		return err
 	}
 	return w.Flush()
 }
 
 // writeRotate emits one ROTATE frame and flushes.
-func writeRotate(w *bufio.Writer, epoch uint64) error {
-	if _, err := fmt.Fprintf(w, "ROTATE %d\n", epoch); err != nil {
+func writeRotate(w *bufio.Writer, term uint64, epoch uint64) error {
+	if _, err := fmt.Fprintf(w, "ROTATE %d %d\n", term, epoch); err != nil {
 		return err
 	}
 	return w.Flush()
@@ -127,37 +146,42 @@ func writeStale(w *bufio.Writer, msg string) error {
 }
 
 // writeAck emits one follower ACK line and flushes.
-func writeAck(w *bufio.Writer, pos position) error {
-	if _, err := fmt.Fprintf(w, "ACK %d %d\n", pos.epoch, pos.offset); err != nil {
+func writeAck(w *bufio.Writer, term uint64, pos position) error {
+	if _, err := fmt.Fprintf(w, "ACK %d %d %d\n", term, pos.epoch, pos.offset); err != nil {
 		return err
 	}
 	return w.Flush()
 }
 
 // readAck parses one follower ACK line.
-func readAck(br *bufio.Reader) (position, error) {
+func readAck(br *bufio.Reader) (uint64, position, error) {
 	line, err := br.ReadString('\n')
 	if err != nil {
-		return position{}, err
+		return 0, position{}, err
 	}
 	fields := strings.Fields(strings.TrimRight(line, "\r\n"))
-	if len(fields) != 3 || fields[0] != "ACK" {
-		return position{}, fmt.Errorf("%w: bad ack line %q", errProto, line)
+	if len(fields) != 4 || fields[0] != "ACK" {
+		return 0, position{}, fmt.Errorf("%w: bad ack line %q", errProto, line)
 	}
-	epoch, err := strconv.ParseUint(fields[1], 10, 64)
+	term, err := strconv.ParseUint(fields[1], 10, 64)
 	if err != nil {
-		return position{}, fmt.Errorf("%w: bad ack epoch %q", errProto, fields[1])
+		return 0, position{}, fmt.Errorf("%w: bad ack term %q", errProto, fields[1])
 	}
-	off, err := strconv.ParseInt(fields[2], 10, 64)
+	epoch, err := strconv.ParseUint(fields[2], 10, 64)
+	if err != nil {
+		return 0, position{}, fmt.Errorf("%w: bad ack epoch %q", errProto, fields[2])
+	}
+	off, err := strconv.ParseInt(fields[3], 10, 64)
 	if err != nil || off < 0 {
-		return position{}, fmt.Errorf("%w: bad ack offset %q", errProto, fields[2])
+		return 0, position{}, fmt.Errorf("%w: bad ack offset %q", errProto, fields[3])
 	}
-	return position{epoch: epoch, offset: off}, nil
+	return term, position{epoch: epoch, offset: off}, nil
 }
 
 // streamFrame is one decoded primary→follower frame.
 type streamFrame struct {
 	kind    string // "SHIP" | "HB" | "ROTATE" | "ERR"
+	term    uint64 // sender's fencing term (SHIP/HB/ROTATE)
 	pos     position
 	payload []byte // SHIP only
 	code    string // ERR only
@@ -184,13 +208,14 @@ func readStreamFrame(br *bufio.Reader) (streamFrame, error) {
 	}
 	switch fields[0] {
 	case "SHIP":
-		if len(fields) != 4 {
+		if len(fields) != 5 {
 			return streamFrame{}, fmt.Errorf("%w: bad SHIP line %q", errProto, line)
 		}
-		epoch, err1 := parseU64(fields[1])
-		off, err2 := parseI64(fields[2])
-		n, err3 := parseI64(fields[3])
-		if err1 != nil || err2 != nil || err3 != nil || n > maxShipChunk {
+		term, err0 := parseU64(fields[1])
+		epoch, err1 := parseU64(fields[2])
+		off, err2 := parseI64(fields[3])
+		n, err3 := parseI64(fields[4])
+		if err0 != nil || err1 != nil || err2 != nil || err3 != nil || n > maxShipChunk {
 			return streamFrame{}, fmt.Errorf("%w: bad SHIP header %q", errProto, line)
 		}
 		payload := make([]byte, n+1)
@@ -200,26 +225,28 @@ func readStreamFrame(br *bufio.Reader) (streamFrame, error) {
 		if payload[n] != '\n' {
 			return streamFrame{}, fmt.Errorf("%w: missing SHIP terminator", errProto)
 		}
-		return streamFrame{kind: "SHIP", pos: position{epoch, off}, payload: payload[:n]}, nil
+		return streamFrame{kind: "SHIP", term: term, pos: position{epoch, off}, payload: payload[:n]}, nil
 	case "HB":
-		if len(fields) != 3 {
+		if len(fields) != 4 {
 			return streamFrame{}, fmt.Errorf("%w: bad HB line %q", errProto, line)
 		}
-		epoch, err1 := parseU64(fields[1])
-		off, err2 := parseI64(fields[2])
-		if err1 != nil || err2 != nil {
+		term, err0 := parseU64(fields[1])
+		epoch, err1 := parseU64(fields[2])
+		off, err2 := parseI64(fields[3])
+		if err0 != nil || err1 != nil || err2 != nil {
 			return streamFrame{}, fmt.Errorf("%w: bad HB header %q", errProto, line)
 		}
-		return streamFrame{kind: "HB", pos: position{epoch, off}}, nil
+		return streamFrame{kind: "HB", term: term, pos: position{epoch, off}}, nil
 	case "ROTATE":
-		if len(fields) != 2 {
+		if len(fields) != 3 {
 			return streamFrame{}, fmt.Errorf("%w: bad ROTATE line %q", errProto, line)
 		}
-		epoch, err := parseU64(fields[1])
-		if err != nil {
-			return streamFrame{}, fmt.Errorf("%w: bad ROTATE epoch %q", errProto, fields[1])
+		term, err0 := parseU64(fields[1])
+		epoch, err := parseU64(fields[2])
+		if err0 != nil || err != nil {
+			return streamFrame{}, fmt.Errorf("%w: bad ROTATE line %q", errProto, line)
 		}
-		return streamFrame{kind: "ROTATE", pos: position{epoch: epoch}}, nil
+		return streamFrame{kind: "ROTATE", term: term, pos: position{epoch: epoch}}, nil
 	case "ERR":
 		// Standard ERR framing: ERR <code> <retry_ms> <n>\n<msg>\n
 		if len(fields) != 4 {

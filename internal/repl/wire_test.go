@@ -38,25 +38,25 @@ func TestStreamFrameRoundTrips(t *testing.T) {
 	w := bufio.NewWriter(&buf)
 	pos := position{epoch: 3, offset: 1024}
 	chunk := []byte("raw wal bytes\nwith a newline inside")
-	must(t, writeShip(w, pos, chunk))
-	must(t, writeHB(w, position{epoch: 3, offset: 2048}))
-	must(t, writeRotate(w, 4))
+	must(t, writeShip(w, 7, pos, chunk))
+	must(t, writeHB(w, 7, position{epoch: 3, offset: 2048}))
+	must(t, writeRotate(w, 7, 4))
 	must(t, writeStale(w, "epoch 3 was checkpointed away"))
 
 	br := bufio.NewReader(&buf)
 	f, err := readStreamFrame(br)
 	must(t, err)
-	if f.kind != "SHIP" || f.pos != pos || !bytes.Equal(f.payload, chunk) {
+	if f.kind != "SHIP" || f.term != 7 || f.pos != pos || !bytes.Equal(f.payload, chunk) {
 		t.Fatalf("SHIP round trip = %+v", f)
 	}
 	f, err = readStreamFrame(br)
 	must(t, err)
-	if f.kind != "HB" || f.pos != (position{epoch: 3, offset: 2048}) {
+	if f.kind != "HB" || f.term != 7 || f.pos != (position{epoch: 3, offset: 2048}) {
 		t.Fatalf("HB round trip = %+v", f)
 	}
 	f, err = readStreamFrame(br)
 	must(t, err)
-	if f.kind != "ROTATE" || f.pos.epoch != 4 {
+	if f.kind != "ROTATE" || f.term != 7 || f.pos.epoch != 4 {
 		t.Fatalf("ROTATE round trip = %+v", f)
 	}
 	f, err = readStreamFrame(br)
@@ -69,17 +69,18 @@ func TestStreamFrameRoundTrips(t *testing.T) {
 func TestAckRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	w := bufio.NewWriter(&buf)
-	must(t, writeAck(w, position{epoch: 7, offset: 4096}))
-	got, err := readAck(bufio.NewReader(&buf))
+	must(t, writeAck(w, 9, position{epoch: 7, offset: 4096}))
+	term, got, err := readAck(bufio.NewReader(&buf))
 	must(t, err)
-	if got != (position{epoch: 7, offset: 4096}) {
-		t.Fatalf("ACK round trip = %+v", got)
+	if term != 9 || got != (position{epoch: 7, offset: 4096}) {
+		t.Fatalf("ACK round trip = term %d pos %+v", term, got)
 	}
 
 	for _, bad := range []string{
-		"ACK 1\n", "NAK 1 2\n", "ACK x 2\n", "ACK 1 x\n", "ACK 1 -2\n", "ACK 1 2 3\n", "\n",
+		"ACK 1 2\n", "NAK 1 2 3\n", "ACK x 2 3\n", "ACK 1 x 3\n", "ACK 1 2 x\n",
+		"ACK 1 2 -3\n", "ACK 1 2 3 4\n", "\n",
 	} {
-		if _, err := readAck(frameReader(bad)); !errors.Is(err, errProto) {
+		if _, _, err := readAck(frameReader(bad)); !errors.Is(err, errProto) {
 			t.Errorf("readAck(%q) = %v, want protocol error", bad, err)
 		}
 	}
@@ -89,15 +90,19 @@ func TestReadStreamFrameRejectsMalformed(t *testing.T) {
 	protoErrs := []string{
 		"\n",
 		"NOPE 1 2\n",
-		"SHIP 1 2\n",
-		"SHIP x 0 0\n\n",
-		"SHIP 0 -1 0\n\n",
-		"SHIP 0 0 9999999999\n", // beyond maxShipChunk
-		"HB 1\n",
-		"HB x 2\n",
-		"HB 1 -2\n",
+		"SHIP 1 2 3\n", // term-less header
+		"SHIP x 0 0 0\n\n",
+		"SHIP 0 x 0 0\n\n",
+		"SHIP 0 0 -1 0\n\n",
+		"SHIP 0 0 0 9999999999\n", // beyond maxShipChunk
+		"HB 1 2\n",                // term-less header
+		"HB x 1 2\n",
+		"HB 0 x 2\n",
+		"HB 0 1 -2\n",
 		"ROTATE\n",
-		"ROTATE x\n",
+		"ROTATE 1\n", // term-less header
+		"ROTATE x 1\n",
+		"ROTATE 1 x\n",
 		"ERR stale 0\n",
 		"ERR stale 0 99999999\n", // beyond maxShipChunk
 	}
@@ -108,10 +113,10 @@ func TestReadStreamFrameRejectsMalformed(t *testing.T) {
 	}
 	// A SHIP whose payload is cut short or unterminated fails, but as an IO
 	// or framing error rather than silent truncation.
-	if _, err := readStreamFrame(frameReader("SHIP 0 0 5\nab")); err == nil {
+	if _, err := readStreamFrame(frameReader("SHIP 0 0 0 5\nab")); err == nil {
 		t.Error("short SHIP payload accepted")
 	}
-	if _, err := readStreamFrame(frameReader("SHIP 0 0 2\nabX")); !errors.Is(err, errProto) {
+	if _, err := readStreamFrame(frameReader("SHIP 0 0 0 2\nabX")); !errors.Is(err, errProto) {
 		t.Error("unterminated SHIP payload accepted")
 	}
 }
@@ -143,12 +148,14 @@ func TestReadResponseFrame(t *testing.T) {
 }
 
 func TestBootstrapRoundTrip(t *testing.T) {
-	b := bootstrap{Spec: storage.DatabaseSpec{}, Epoch: 2, Offset: 777}
+	b := bootstrap{Spec: storage.DatabaseSpec{}, Epoch: 2, Offset: 777,
+		Term: 5, TakeoverEpoch: 1, TakeoverOffset: 333}
 	enc, err := encodeBootstrap(b)
 	must(t, err)
 	got, err := decodeBootstrap(enc)
 	must(t, err)
-	if got.Epoch != 2 || got.Offset != 777 {
+	if got.Epoch != 2 || got.Offset != 777 || got.Term != 5 ||
+		got.TakeoverEpoch != 1 || got.TakeoverOffset != 333 {
 		t.Fatalf("bootstrap round trip = %+v", got)
 	}
 	if _, err := decodeBootstrap([]byte("not gob at all")); !errors.Is(err, errProto) {

@@ -6,12 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"strings"
 	"sync"
 	"time"
 
+	"hrdb/internal/backoff"
 	"hrdb/internal/hql"
 )
 
@@ -607,27 +607,14 @@ func (c *Client) classify(err error, idempotent bool) (retryable bool, hint time
 }
 
 // backoff returns the sleep before retry attempt+1: full jitter over an
-// exponentially growing window, floored at the server's hint.
+// exponentially growing window, floored at the server's hint. The policy
+// lives in internal/backoff and is shared with the replication follower's
+// reconnect loop, so every reconnecting component paces identically.
 func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
-	window := c.o.baseBackoff << uint(attempt)
-	if window > c.o.maxBackoff || window <= 0 {
-		window = c.o.maxBackoff
-	}
-	d := time.Duration(rand.Int63n(int64(window))) + 1
-	if d < hint {
-		d = hint
-	}
-	return d
+	return backoff.Policy{Base: c.o.baseBackoff, Max: c.o.maxBackoff}.Delay(attempt, hint)
 }
 
 // sleepCtx sleeps for d or until ctx is done.
 func sleepCtx(ctx context.Context, d time.Duration) error {
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return nil
-	case <-ctx.Done():
-		return ctx.Err()
-	}
+	return backoff.Sleep(ctx, d)
 }

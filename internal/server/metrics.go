@@ -29,4 +29,8 @@ var (
 	// reads that fell back to the primary.
 	metricReplicaServed   = obs.Default().Counter("hrdb_router_replica_served_total")
 	metricPrimaryFallback = obs.Default().Counter("hrdb_router_primary_fallback_total")
+	// metricRouterFailovers counts primary re-routes: the router learned its
+	// primary was deposed (or unreachable under retry-all) and adopted a
+	// promoted replica in its place.
+	metricRouterFailovers = obs.Default().Counter("hrdb_router_failovers_total")
 )

@@ -10,6 +10,7 @@ import (
 
 	"hrdb/internal/hql"
 	"hrdb/internal/obs"
+	"hrdb/internal/storage"
 )
 
 // This file is the protocol v2 server path: after a HELLO handshake
@@ -326,6 +327,11 @@ func (m *muxConn) await(mt *muxTask, st *muxStream) {
 				metricDeadline.Inc()
 			} else if errors.Is(res.err, context.Canceled) {
 				code = codeCanceled
+			} else if errors.Is(res.err, storage.ErrDeposed) {
+				// This node was fenced by a newer primary; the write
+				// definitively did not execute — "stale" tells a router to
+				// re-discover the primary and retry there.
+				code = codeStale
 			}
 			m.reply(mt, errFrame(mt.id, mt.stream, code, 0, res.err.Error()))
 		default:

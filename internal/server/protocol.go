@@ -26,7 +26,7 @@
 //	  QUIT\n                                       close the connection
 //	  HELLO <version> [tenant]\n                   offer a protocol upgrade
 //	  SNAP\n                                       replication snapshot bootstrap
-//	  REPL <epoch> <offset>\n                      subscribe to the WAL stream
+//	  REPL <epoch> <offset> [term]\n               subscribe to the WAL stream
 //	  PROMOTE\n                                    promote a replica to writable
 //	  LAG\n                                        replication lag probe
 //
@@ -111,9 +111,11 @@
 // connection over and emits stream frames (see internal/repl for the
 // framing: SHIP/HB/ROTATE lines, ACK lines flowing back) until either side
 // closes; on failure it answers ERR ("unsupported" or "stale") and closes.
-// LAG answers "<staleness_ms> <epoch> <offset> <state>" (staleness_ms = -1
-// when unknown, e.g. while the replica has never been caught up). PROMOTE
-// flips a replica writable and answers "promoted".
+// LAG answers "<staleness_ms> <epoch> <offset> <state> <term> <id>
+// <source>" (staleness_ms = -1 when unknown, e.g. while the replica has
+// never been caught up; "-" encodes an empty id or source; pre-failover
+// servers emit only the first four fields). PROMOTE flips a replica
+// writable and answers "promoted".
 package server
 
 import (
@@ -136,6 +138,7 @@ type request struct {
 	input   string
 	epoch   uint64 // REPL only
 	offset  int64  // REPL only
+	term    uint64 // REPL only: follower's highest fencing term (0 = pre-term)
 	proto   int    // HELLO only: requested protocol version
 	tenant  string // HELLO and USE: requested namespace ("" = default)
 }
@@ -182,8 +185,10 @@ func readRequest(br *bufio.Reader, maxBytes int) (request, error) {
 		}
 		return request{verb: "USE", tenant: fields[1]}, nil
 	case "REPL":
-		if len(fields) != 3 {
-			return request{}, fmt.Errorf("%w: want REPL <epoch> <offset>", errProto)
+		// REPL <epoch> <offset> [term] — the optional term announces the
+		// follower's highest fencing term (absent from pre-term followers).
+		if len(fields) != 3 && len(fields) != 4 {
+			return request{}, fmt.Errorf("%w: want REPL <epoch> <offset> [term]", errProto)
 		}
 		epoch, err := strconv.ParseUint(fields[1], 10, 64)
 		if err != nil {
@@ -193,7 +198,15 @@ func readRequest(br *bufio.Reader, maxBytes int) (request, error) {
 		if err != nil || offset < 0 {
 			return request{}, fmt.Errorf("%w: bad offset %q", errProto, fields[2])
 		}
-		return request{verb: "REPL", epoch: epoch, offset: offset}, nil
+		req := request{verb: "REPL", epoch: epoch, offset: offset}
+		if len(fields) == 4 {
+			term, err := strconv.ParseUint(fields[3], 10, 64)
+			if err != nil {
+				return request{}, fmt.Errorf("%w: bad term %q", errProto, fields[3])
+			}
+			req.term = term
+		}
+		return req, nil
 	case "EXEC":
 		if len(fields) != 3 {
 			return request{}, fmt.Errorf("%w: want EXEC <timeout_ms> <n>", errProto)

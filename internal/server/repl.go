@@ -15,17 +15,21 @@ import (
 // Options.LagProbe), so the dependency points from internal/repl — which
 // implements them — into this package's wire contract, never back.
 
-// ReplSource serves replication to followers. Implemented by repl.Primary.
+// ReplSource serves replication to followers. Implemented by repl.Primary
+// (and by repl.Replica once durably promoted).
 type ReplSource interface {
 	// Snapshot returns an opaque bootstrap payload: the database spec plus
 	// the replication position it corresponds to (the follower decodes it
 	// with the matching repl code). Served as a normal OK frame.
 	Snapshot() ([]byte, error)
-	// ServeStream takes over a connection after a `REPL <epoch> <offset>`
-	// request: it writes stream frames to w and consumes ACK lines from r
-	// until the stream ends (connection severed, source closed, or the
-	// position unservable). The server closes the connection afterwards.
-	ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, offset int64) error
+	// ServeStream takes over a connection after a `REPL <epoch> <offset>
+	// [term]` request: it writes stream frames to w and consumes ACK lines
+	// from r until the stream ends (connection severed, source closed, or
+	// the position unservable). term is the follower's highest fencing term
+	// (zero from pre-term followers); a source holding a lower term has
+	// been deposed and must fence itself rather than serve. The server
+	// closes the connection afterwards.
+	ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, offset int64, term uint64) error
 }
 
 // LagInfo is a replica's replication state, served by the LAG verb and
@@ -42,9 +46,19 @@ type LagInfo struct {
 	// State names the replica's phase: "streaming", "catchup",
 	// "connecting", "promoted", "stopped".
 	State string
+	// Term is the node's highest fencing term (zero from pre-term peers).
+	Term uint64
+	// ID is the node's election identity ("" when unset).
+	ID string
+	// Source is the address to stream from this node: its advertised
+	// replication address once promoted, its upstream otherwise.
+	Source string
 }
 
-// lagPayload renders a LagInfo as the LAG verb's payload.
+// lagPayload renders a LagInfo as the LAG verb's payload:
+// `<ms> <epoch> <offset> <state> <term> <id> <source>`, with "-" encoding
+// an empty id or source. Pre-failover clients read only the first four
+// fields... which is why the extension appends rather than reorders.
 func lagPayload(li LagInfo) string {
 	ms := int64(-1)
 	if li.Staleness >= 0 {
@@ -54,13 +68,21 @@ func lagPayload(li LagInfo) string {
 	if state == "" {
 		state = "unknown"
 	}
-	return fmt.Sprintf("%d %d %d %s", ms, li.Epoch, li.Offset, state)
+	id, source := li.ID, li.Source
+	if id == "" {
+		id = "-"
+	}
+	if source == "" {
+		source = "-"
+	}
+	return fmt.Sprintf("%d %d %d %s %d %s %s", ms, li.Epoch, li.Offset, state, li.Term, id, source)
 }
 
-// parseLagPayload decodes a LAG payload (client side).
+// parseLagPayload decodes a LAG payload (client side): the legacy 4-field
+// form or the extended 7-field form with term/id/source appended.
 func parseLagPayload(payload string) (LagInfo, error) {
 	fields := strings.Fields(payload)
-	if len(fields) != 4 {
+	if len(fields) != 4 && len(fields) != 7 {
 		return LagInfo{}, fmt.Errorf("%w: bad LAG payload %q", errProto, payload)
 	}
 	ms, err := strconv.ParseInt(fields[0], 10, 64)
@@ -79,17 +101,41 @@ func parseLagPayload(payload string) (LagInfo, error) {
 	if ms >= 0 {
 		staleness = time.Duration(ms) * time.Millisecond
 	}
-	return LagInfo{Staleness: staleness, Epoch: epoch, Offset: off, State: fields[3]}, nil
+	li := LagInfo{Staleness: staleness, Epoch: epoch, Offset: off, State: fields[3]}
+	if len(fields) == 7 {
+		term, err := strconv.ParseUint(fields[4], 10, 64)
+		if err != nil {
+			return LagInfo{}, fmt.Errorf("%w: bad LAG term %q", errProto, fields[4])
+		}
+		li.Term = term
+		if fields[5] != "-" {
+			li.ID = fields[5]
+		}
+		if fields[6] != "-" {
+			li.Source = fields[6]
+		}
+	}
+	return li, nil
 }
 
 // serveRepl dispatches the replication verbs. It reports whether the
 // connection may continue to the next request (REPL never continues: the
 // stream owns the connection until it ends).
+//
+// A draining server refuses to START a snapshot or stream: Shutdown closes
+// the store after the drain, and a follower bootstrap admitted during the
+// drain would race that close — it gets a retryable shutdown error and
+// bootstraps elsewhere (or later) instead. Streams already running are
+// unaffected; they end when the store closes under them.
 func (s *Server) serveRepl(bw *bufio.Writer, br *bufio.Reader, req request) bool {
 	switch req.verb {
 	case "SNAP":
 		if s.opts.Repl == nil {
 			return writeErr(bw, codeUnsupported, 0, "replication not enabled") == nil
+		}
+		if s.drainingNow() {
+			writeErr(bw, codeShutdown, 0, "server draining")
+			return false
 		}
 		payload, err := s.opts.Repl.Snapshot()
 		if err != nil {
@@ -102,9 +148,13 @@ func (s *Server) serveRepl(bw *bufio.Writer, br *bufio.Reader, req request) bool
 			writeErr(bw, codeUnsupported, 0, "replication not enabled")
 			return false
 		}
+		if s.drainingNow() {
+			writeErr(bw, codeShutdown, 0, "server draining")
+			return false
+		}
 		metricReplStreams.Inc()
 		defer metricReplStreams.Dec()
-		_ = s.opts.Repl.ServeStream(br, bw, req.epoch, req.offset)
+		_ = s.opts.Repl.ServeStream(br, bw, req.epoch, req.offset, req.term)
 		return false
 	case "PROMOTE":
 		if s.opts.Promote == nil {

@@ -5,7 +5,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -20,14 +19,14 @@ import (
 type stubRepl struct {
 	snapshot []byte
 	snapErr  error
-	streamed chan [2]int64 // (epoch, offset) each ServeStream received
+	streamed chan [3]int64 // (epoch, offset, term) each ServeStream received
 }
 
 func (s *stubRepl) Snapshot() ([]byte, error) { return s.snapshot, s.snapErr }
 
-func (s *stubRepl) ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, offset int64) error {
+func (s *stubRepl) ServeStream(r *bufio.Reader, w *bufio.Writer, epoch uint64, offset int64, term uint64) error {
 	if s.streamed != nil {
-		s.streamed <- [2]int64{int64(epoch), offset}
+		s.streamed <- [3]int64{int64(epoch), offset, int64(term)}
 	}
 	// Emit one heartbeat so the follower side has something to read, then
 	// end the stream.
@@ -40,7 +39,7 @@ func TestLagPayloadRoundTrip(t *testing.T) {
 		{Staleness: 0, Epoch: 0, Offset: 0, State: "streaming"},
 		{Staleness: 1500 * time.Millisecond, Epoch: 3, Offset: 12345, State: "catchup"},
 		{Staleness: -1, Epoch: 0, Offset: 0, State: "connecting"},
-		{Staleness: 0, Epoch: 9, Offset: 7, State: "promoted"},
+		{Staleness: 0, Epoch: 9, Offset: 7, State: "promoted", Term: 4, ID: "r1", Source: "10.0.0.9:7584"},
 	}
 	for _, want := range cases {
 		got, err := parseLagPayload(lagPayload(want))
@@ -57,11 +56,17 @@ func TestLagPayloadRoundTrip(t *testing.T) {
 			t.Fatalf("round trip: got %+v, want %+v", got, want)
 		}
 	}
-	if li := (LagInfo{Staleness: -1}); !strings.HasPrefix(lagPayload(li), "-1 ") ||
-		!strings.HasSuffix(lagPayload(li), " unknown") {
+	// Empty id/source render as "-" so the payload stays field-splittable.
+	if li := (LagInfo{Staleness: -1}); lagPayload(li) != "-1 0 0 unknown 0 - -" {
 		t.Fatalf("empty-state payload = %q", lagPayload(li))
 	}
-	for _, bad := range []string{"", "1 2 3", "x 2 3 s", "1 x 3 s", "1 2 x s", "1 2 3 s extra"} {
+	// The legacy 4-field payload (pre-failover peers) still parses.
+	legacy, err := parseLagPayload("250 1 42 streaming")
+	if err != nil || legacy.State != "streaming" || legacy.Term != 0 || legacy.ID != "" {
+		t.Fatalf("legacy payload = %+v, %v", legacy, err)
+	}
+	for _, bad := range []string{"", "1 2 3", "x 2 3 s", "1 x 3 s", "1 2 x s", "1 2 3 s extra",
+		"1 2 3 s x id src", "1 2 3 s 4 id src extra"} {
 		if _, err := parseLagPayload(bad); err == nil {
 			t.Fatalf("parseLagPayload(%q) accepted", bad)
 		}
@@ -121,17 +126,18 @@ func TestSnapServesSnapshotPayload(t *testing.T) {
 }
 
 func TestReplHandsConnectionToStream(t *testing.T) {
-	repl := &stubRepl{streamed: make(chan [2]int64, 1)}
+	repl := &stubRepl{streamed: make(chan [3]int64, 1)}
 	srv := startServer(t, newMemTarget(t), Options{Repl: repl})
 	c, err := netDial(srv.Addr())
 	if err != nil {
 		t.Fatalf("dial: %v", err)
 	}
 	defer c.Close()
-	fmt.Fprintln(c, "REPL 2 99")
+	// The optional third field is the follower's fencing term.
+	fmt.Fprintln(c, "REPL 2 99 7")
 	got := <-repl.streamed
-	if got != [2]int64{2, 99} {
-		t.Fatalf("ServeStream got %v, want [2 99]", got)
+	if got != [3]int64{2, 99, 7} {
+		t.Fatalf("ServeStream got %v, want [2 99 7]", got)
 	}
 	// The stream's frame arrives raw (no OK envelope), then the server
 	// closes the connection.
@@ -151,7 +157,7 @@ func TestReplHandsConnectionToStream(t *testing.T) {
 
 func TestReplRejectsBadPositions(t *testing.T) {
 	srv := startServer(t, newMemTarget(t), Options{Repl: &stubRepl{}})
-	for _, req := range []string{"REPL", "REPL 1", "REPL x 0", "REPL 1 -5", "REPL 1 0 extra"} {
+	for _, req := range []string{"REPL", "REPL 1", "REPL x 0", "REPL 1 -5", "REPL 1 0 badterm", "REPL 1 0 7 extra"} {
 		c, err := netDial(srv.Addr())
 		if err != nil {
 			t.Fatalf("dial: %v", err)

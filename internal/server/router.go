@@ -22,17 +22,26 @@ import (
 // classification predicate is compile-time exhaustive (every statement
 // kind declares itself), so a newly added statement can't silently start
 // routing writes to replicas.
+//
+// The primary is not fixed: when a write is answered with a "stale" error —
+// the node was fenced by a newer primary, so the write definitively did not
+// execute — the router probes its replicas for whoever reports itself
+// promoted under the highest term, adopts it as the primary, and retries
+// once. Writes failing at the transport level re-route the same way only
+// under WithRetryAll, mirroring the Client's own retry policy: without it a
+// vanished connection leaves "did it commit?" unanswered, and re-routing
+// would risk a duplicate.
 type Router struct {
-	primary  *Client
-	replicas []*Client
-
 	maxStale time.Duration
 	probeTTL time.Duration
+	retryAll bool
 
-	mu    sync.Mutex
-	next  int       // round-robin cursor
-	lag   []LagInfo // last probe result per replica
-	lagAt []time.Time
+	mu       sync.Mutex
+	primary  *Client
+	replicas []*Client
+	next     int       // round-robin cursor
+	lag      []LagInfo // last probe result per replica
+	lagAt    []time.Time
 }
 
 // WithMaxStaleness sets the freshness bound: a replica is eligible for a
@@ -69,6 +78,7 @@ func DialRouter(primaryAddr string, replicaAddrs []string, opts ...Option) (*Rou
 		primary:  primary,
 		maxStale: cfg.maxStale,
 		probeTTL: cfg.probeTTL,
+		retryAll: cfg.retryAll,
 		lag:      make([]LagInfo, len(replicaAddrs)),
 		lagAt:    make([]time.Time, len(replicaAddrs)),
 	}
@@ -85,8 +95,11 @@ func DialRouter(primaryAddr string, replicaAddrs []string, opts ...Option) (*Rou
 
 // Close closes every connection.
 func (r *Router) Close() error {
-	err := r.primary.Close()
-	for _, rc := range r.replicas {
+	r.mu.Lock()
+	primary, replicas := r.primary, append([]*Client(nil), r.replicas...)
+	r.mu.Unlock()
+	err := primary.Close()
+	for _, rc := range replicas {
 		if cerr := rc.Close(); err == nil {
 			err = cerr
 		}
@@ -94,20 +107,36 @@ func (r *Router) Close() error {
 	return err
 }
 
+// PrimaryAddr returns the address currently treated as primary (it changes
+// after a failover re-route).
+func (r *Router) PrimaryAddr() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.primary.addr
+}
+
+// replicaSet snapshots the replica list (failover swaps mutate it).
+func (r *Router) replicaSet() []*Client {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]*Client(nil), r.replicas...)
+}
+
 // Exec routes one script: read-only scripts to a fresh-enough replica,
-// everything else to the primary.
+// everything else to the current primary (with failover re-routing).
 func (r *Router) Exec(ctx context.Context, input string) (string, error) {
-	if len(r.replicas) == 0 || !hql.ReadOnlyScript(input) {
-		return r.primary.Exec(ctx, input)
+	replicas := r.replicaSet()
+	if len(replicas) == 0 || !hql.ReadOnlyScript(input) {
+		return r.execPrimary(ctx, input)
 	}
-	start := r.advance()
-	for i := 0; i < len(r.replicas); i++ {
-		idx := (start + i) % len(r.replicas)
-		li, at, err := r.lagInfo(ctx, idx)
+	start := r.advance(len(replicas))
+	for i := 0; i < len(replicas); i++ {
+		idx := (start + i) % len(replicas)
+		li, at, err := r.lagInfo(ctx, idx, replicas[idx])
 		if err != nil || !r.fresh(li, at) {
 			continue
 		}
-		out, err := r.replicas[idx].Exec(ctx, input)
+		out, err := replicas[idx].Exec(ctx, input)
 		if err == nil {
 			metricReplicaServed.Inc()
 			return out, nil
@@ -124,16 +153,94 @@ func (r *Router) Exec(ctx context.Context, input string) (string, error) {
 		// Transport failure: try the next replica, then the primary.
 	}
 	metricPrimaryFallback.Inc()
-	return r.primary.Exec(ctx, input)
+	return r.execPrimary(ctx, input)
+}
+
+// execPrimary runs input on the current primary, re-routing once if the
+// answer proves the primary has moved. Two triggers:
+//
+//   - A "stale" ServerError: the node is fenced, the write definitively did
+//     not execute — always safe to retry on the real primary.
+//   - A transport error, only under retryAll (matching Client's own policy
+//     for ambiguous outcomes) or for read-only input.
+func (r *Router) execPrimary(ctx context.Context, input string) (string, error) {
+	r.mu.Lock()
+	primary := r.primary
+	r.mu.Unlock()
+	out, err := primary.Exec(ctx, input)
+	if err == nil || ctx.Err() != nil {
+		return out, err
+	}
+	var se *ServerError
+	switch {
+	case errors.As(err, &se):
+		if se.Code != codeStale {
+			return out, err // a real statement failure, not a deposed node
+		}
+	default:
+		// Transport-level: ambiguous unless retries are globally safe or
+		// the script cannot mutate.
+		if !r.retryAll && !hql.ReadOnlyScript(input) {
+			return out, err
+		}
+	}
+	if !r.discoverPrimary(ctx, primary) {
+		return out, err
+	}
+	metricRouterFailovers.Inc()
+	r.mu.Lock()
+	cur := r.primary
+	r.mu.Unlock()
+	return cur.Exec(ctx, input)
+}
+
+// discoverPrimary probes the replicas for a node reporting itself promoted,
+// adopts the one with the highest term as the new primary, and demotes the
+// failed connection into the replica slot it vacated (the old node, if it
+// ever comes back, will be a replica). Reports whether a promoted node was
+// found. The lag cache is invalidated on a swap: its entries describe the
+// old topology.
+func (r *Router) discoverPrimary(ctx context.Context, failed *Client) bool {
+	replicas := r.replicaSet()
+	var promoted *Client
+	var bestTerm uint64
+	for _, rc := range replicas {
+		li, err := rc.Lag(ctx)
+		if err != nil {
+			continue
+		}
+		if li.State == "promoted" && (promoted == nil || li.Term > bestTerm) {
+			promoted, bestTerm = rc, li.Term
+		}
+	}
+	if promoted == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.primary != failed {
+		return true // a concurrent caller already swapped
+	}
+	for i, rc := range r.replicas {
+		if rc == promoted {
+			r.replicas[i] = failed
+			r.primary = promoted
+			for j := range r.lag {
+				r.lag[j], r.lagAt[j] = LagInfo{Staleness: -1}, time.Time{}
+			}
+			return true
+		}
+	}
+	return false
 }
 
 // advance returns the current round-robin start and bumps the cursor.
-func (r *Router) advance() int {
+func (r *Router) advance(n int) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	start := r.next
-	if len(r.replicas) > 0 {
-		r.next = (r.next + 1) % len(r.replicas)
+	if n > 0 {
+		r.next = (r.next + 1) % n
 	}
 	return start
 }
@@ -149,16 +256,17 @@ func (r *Router) fresh(li LagInfo, at time.Time) bool {
 	return li.Staleness+time.Since(at) <= r.maxStale
 }
 
-// lagInfo returns replica idx's lag and when it was measured, probing at
-// most every probeTTL.
-func (r *Router) lagInfo(ctx context.Context, idx int) (LagInfo, time.Time, error) {
+// lagInfo returns a replica's lag and when it was measured, probing at most
+// every probeTTL. The cache is slot-indexed; a failover swap invalidates
+// every slot, so a stale index never vouches for the wrong client.
+func (r *Router) lagInfo(ctx context.Context, idx int, rc *Client) (LagInfo, time.Time, error) {
 	r.mu.Lock()
 	li, at := r.lag[idx], r.lagAt[idx]
 	r.mu.Unlock()
 	if !at.IsZero() && time.Since(at) < r.probeTTL {
 		return li, at, nil
 	}
-	li, err := r.replicas[idx].Lag(ctx)
+	li, err := rc.Lag(ctx)
 	if err != nil {
 		return LagInfo{Staleness: -1}, time.Time{}, err
 	}

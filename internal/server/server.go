@@ -13,6 +13,7 @@ import (
 
 	"hrdb/internal/hql"
 	"hrdb/internal/obs"
+	"hrdb/internal/storage"
 )
 
 // ErrServerClosed is returned by Start and Shutdown on a server that is
@@ -415,6 +416,12 @@ func (s *Server) serveExec(bw *bufio.Writer, sess *hql.Session, req request, tn 
 				metricDeadline.Inc()
 			} else if errors.Is(res.err, context.Canceled) {
 				code = codeCanceled
+			} else if errors.Is(res.err, storage.ErrDeposed) {
+				// This node was fenced by a newer primary. The fence check
+				// runs before any staging or apply, so the write definitively
+				// did not execute — "stale" tells a router to re-discover the
+				// primary and retry there.
+				code = codeStale
 			}
 			return writeErr(bw, code, 0, res.err.Error()) == nil
 		default:
@@ -440,6 +447,15 @@ func (s *Server) serveExec(bw *bufio.Writer, sess *hql.Session, req request, tn 
 // a full queue sheds the request with "overloaded", a tenant over its own
 // quota or rate limit is shed with "quota". The inflight count is raised
 // before the queue send so drain never misses an admitted task.
+// drainingNow reports whether Shutdown has begun. Replication verbs check
+// it so no new bootstrap or stream starts once the store's close is
+// scheduled.
+func (s *Server) drainingNow() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 func (s *Server) submit(t *task) (code Code, err error) {
 	s.mu.Lock()
 	if s.draining {

@@ -172,6 +172,11 @@ func applyRecord(db *catalog.Database, rec Record) error {
 	case OpTxBegin, OpTxCommit, OpTxAbort:
 		// Brackets are interpreted by the Applier; standalone ones are inert.
 		return nil
+	case OpNewTerm:
+		// Fencing metadata, not catalog state: Store recovery reads the term
+		// out of the record stream itself; replicas learn terms from stream
+		// frames. Either way the catalog is untouched.
+		return nil
 	default:
 		return fmt.Errorf("%w: unknown op %q", ErrCorrupt, rec.Op)
 	}

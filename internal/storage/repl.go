@@ -151,11 +151,103 @@ func (s *Store) ReplicationSnapshot() (DatabaseSpec, uint64, int64, error) {
 	}
 	spec := SnapshotDatabase(s.db)
 	epoch, log := s.epoch, s.log
+	term := s.term
+	takeoverEpoch, takeoverOffset := s.takeoverEpoch, s.takeoverOffset
 	mark, abs := log.StagedMark()
 	s.applyMu.Unlock()
 	if err := log.Sync(mark); err != nil {
 		return DatabaseSpec{}, 0, 0, fmt.Errorf("%w: %v", ErrStoreFailed, err)
 	}
 	spec.LogEpoch = epoch
+	// The bootstrap spec carries the fencing lineage so a follower adopting
+	// it also adopts the primary's term (and, transitively, the takeover
+	// divergence point if this primary was itself promoted from a replica).
+	spec.PrimaryTerm = term
+	spec.TakeoverEpoch, spec.TakeoverOffset = takeoverEpoch, takeoverOffset
 	return spec, epoch, abs, nil
+}
+
+// QuarantineSuffix preserves the committed-but-unreplicated WAL suffix of a
+// deposed primary before its store files are removed for rejoin. Everything
+// from (fromEpoch, fromOffset) — the new primary's takeover divergence
+// point — through the end of the current epoch is copied, as raw WAL frame
+// bytes, into a sidecar file named quarantine-<term>-<epoch>-<offset>.wal
+// in the store directory, where <term> is the deposing term (falling back
+// to the store's own term if it was never fenced). The sidecar is fsynced
+// before the call returns.
+//
+// An empty suffix (the divergence point is the end of the log: nothing was
+// lost) writes no file and returns an empty path. Epochs superseded by a
+// checkpoint before the divergence point can no longer be read as raw
+// records and are skipped; the returned byte count covers what was actually
+// preserved.
+//
+// The store may be fenced — quarantine is exactly the post-deposition flow —
+// but must not be closed yet.
+func (s *Store) QuarantineSuffix(fromEpoch uint64, fromOffset int64) (path string, n int64, err error) {
+	s.applyMu.Lock()
+	cur := s.epoch
+	term := s.fenced.Load()
+	if term == 0 {
+		term = s.term
+	}
+	s.applyMu.Unlock()
+	if fromEpoch > cur {
+		return "", 0, fmt.Errorf("storage: quarantine from epoch %d beyond current epoch %d", fromEpoch, cur)
+	}
+	path = filepath.Join(s.dir, fmt.Sprintf("quarantine-%d-%06d-%d.wal", term, fromEpoch, fromOffset))
+	var out File
+	defer func() {
+		if out != nil && err != nil {
+			out.Close()
+			_ = s.fs.Remove(path)
+		}
+	}()
+	for e := fromEpoch; e <= cur; e++ {
+		off := int64(0)
+		if e == fromEpoch {
+			off = fromOffset
+		}
+		for {
+			buf, rerr := s.ReadWAL(e, off, 1<<20)
+			if rerr != nil {
+				if errors.Is(rerr, ErrWALUnavailable) {
+					// Epoch retired and reclaimed: its records were folded
+					// into a checkpoint and cannot be re-read raw.
+					break
+				}
+				return "", 0, rerr
+			}
+			if len(buf) == 0 {
+				break
+			}
+			if out == nil {
+				out, err = s.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+				if err != nil {
+					return "", 0, err
+				}
+			}
+			if _, err = out.Write(buf); err != nil {
+				return "", 0, err
+			}
+			off += int64(len(buf))
+			n += int64(len(buf))
+		}
+	}
+	if out == nil {
+		return "", 0, nil
+	}
+	if err = out.Sync(); err != nil {
+		return "", 0, err
+	}
+	if err = out.Close(); err != nil {
+		out = nil
+		_ = s.fs.Remove(path)
+		return "", 0, err
+	}
+	out = nil
+	if err = s.fs.SyncDir(s.dir); err != nil {
+		return "", 0, err
+	}
+	return path, n, nil
 }

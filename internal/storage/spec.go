@@ -67,6 +67,20 @@ type DatabaseSpec struct {
 	// replays only wal file of this epoch. Zero (also the value decoded
 	// from pre-epoch snapshots) selects the legacy "wal.log" name.
 	LogEpoch uint64
+	// PrimaryTerm is the monotonic fencing term under which this state was
+	// written (see Store.Term). It rises by one per failover promotion and
+	// never falls; a node holding a lower term than its peers has been
+	// deposed and must not accept writes. Zero on pre-term snapshots.
+	PrimaryTerm uint64
+	// TakeoverEpoch/TakeoverOffset record, on a store materialized by a
+	// replica's promotion, the replication position (in the *previous*
+	// primary's epoch numbering) up to which the promoting replica had
+	// applied. A deposed primary rejoining uses it as the divergence point:
+	// everything in its own WAL past this position was never replicated and
+	// is quarantined rather than silently discarded. Zero on stores that
+	// were never promoted from a replica.
+	TakeoverEpoch  uint64
+	TakeoverOffset int64
 }
 
 // SnapshotHierarchy converts a hierarchy to its spec.
@@ -137,7 +151,11 @@ func SnapshotRelation(r *core.Relation) RelationSpec {
 // replication acceptance tests, and the replication benchmark.
 func Fingerprint(db *catalog.Database) string {
 	spec := SnapshotDatabase(db)
-	spec.LogEpoch = 0 // physical detail, not logical state
+	// Physical/lineage details, not logical state: two replicas hold the
+	// same facts regardless of which epoch, term, or takeover produced them.
+	spec.LogEpoch = 0
+	spec.PrimaryTerm = 0
+	spec.TakeoverEpoch, spec.TakeoverOffset = 0, 0
 	for i := range spec.Hierarchies {
 		h := &spec.Hierarchies[i]
 		for j := range h.Nodes {

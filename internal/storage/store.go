@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -66,6 +68,20 @@ type Store struct {
 	// earlier processes are absent: a follower parked inside one is stale
 	// and must take a fresh snapshot.
 	epochEnds map[uint64]int64
+	// term is the primary fencing term (under applyMu): the highest term
+	// this store has adopted, recovered from the snapshot and any OpNewTerm
+	// records in the WAL. Terms rise by one per failover promotion; a
+	// mutation is only legitimate while no peer holds a higher term.
+	term uint64
+	// takeoverEpoch/takeoverOffset preserve the spec's takeover position
+	// (the divergence point for deposed-primary rejoin) across checkpoints.
+	takeoverEpoch  uint64
+	takeoverOffset int64
+	// fenced, when nonzero, is the higher term that deposed this store:
+	// another node proved it was promoted past us, so every mutation is
+	// refused with ErrDeposed — accepting any would fork history. Reads and
+	// WAL access stay available (quarantine forensics need them).
+	fenced atomic.Uint64
 	// watch is closed and replaced by notify() whenever the durable
 	// replication position advances (commit, checkpoint, close), waking
 	// WaitChange subscribers.
@@ -95,6 +111,14 @@ var ErrStoreFailed = errors.New("storage: store failed (WAL append error); reope
 // store object is done; unlike it, everything acknowledged is durable and
 // reopening the directory recovers the complete state.
 var ErrStoreClosed = errors.New("storage: store closed")
+
+// ErrDeposed rejects mutations on a store fenced by a higher primary term:
+// a newer primary exists, so writing here would fork history. The check
+// runs before any staging or in-memory apply, making the rejection a
+// definitive not-executed signal — safe for clients to retry against the
+// current primary. Unlike ErrStoreFailed the store itself is healthy; it
+// serves reads and its WAL remains readable for divergence quarantine.
+var ErrDeposed = errors.New("storage: deposed by a higher primary term; writes fenced")
 
 // ErrCheckpointGC wraps a failure in Checkpoint's final garbage-collection
 // step (removing the superseded WAL and fsyncing the directory). The
@@ -131,7 +155,8 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	var db *catalog.Database
-	var epoch uint64
+	var epoch, term, takeoverEpoch uint64
+	var takeoverOffset int64
 	snapPath := filepath.Join(dir, snapshotFile)
 	if _, err := fs.Stat(snapPath); err == nil {
 		spec, err := ReadSnapshotFS(fs, snapPath)
@@ -143,6 +168,8 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 		epoch = spec.LogEpoch
+		term = spec.PrimaryTerm
+		takeoverEpoch, takeoverOffset = spec.TakeoverEpoch, spec.TakeoverOffset
 	} else {
 		db = catalog.New()
 	}
@@ -152,6 +179,7 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 	}
 	s := &Store{
 		db: db, log: log, dir: dir, fs: fs, opts: opts, epoch: epoch,
+		term: term, takeoverEpoch: takeoverEpoch, takeoverOffset: takeoverOffset,
 		epochEnds: make(map[uint64]int64),
 		watch:     make(chan struct{}),
 	}
@@ -167,6 +195,117 @@ func OpenOptions(dir string, opts Options) (*Store, error) {
 		_ = fs.Remove(filepath.Join(dir, walName(epoch-1)))
 	}
 	return s, nil
+}
+
+// Create materializes a brand-new store directory from a complete spec.
+// This is the durable half of a replica's promotion: the replica's applied
+// state becomes the snapshot, the spec's LogEpoch starts a fresh WAL
+// lineage (disjoint from the deposed primary's), and PrimaryTerm plus the
+// Takeover fields record the fencing term and divergence point. It refuses
+// to overwrite an existing store — if the snapshot or the spec's WAL file
+// already exists, the directory holds state someone else may depend on.
+func Create(dir string, spec DatabaseSpec, opts Options) (*Store, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OsFS{}
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	for _, name := range []string{snapshotFile, walName(spec.LogEpoch)} {
+		if _, err := fs.Stat(filepath.Join(dir, name)); err == nil {
+			return nil, fmt.Errorf("storage: create %s: %s already exists", dir, name)
+		}
+	}
+	if err := WriteSnapshotFS(fs, filepath.Join(dir, snapshotFile), spec); err != nil {
+		return nil, err
+	}
+	return OpenOptions(dir, opts)
+}
+
+// RemoveStoreFiles deletes the snapshot and every WAL file under dir,
+// leaving everything else — quarantine sidecars in particular — in place.
+// It is the destructive step of a deposed primary's rejoin: once the
+// divergent WAL suffix has been quarantined, the old store files must go so
+// the node can re-bootstrap from the new primary without its stale lineage
+// shadowing the fresh one. Operates on the real file system (rejoin is an
+// operator-level flow); a missing directory is not an error.
+func RemoveStoreFiles(dir string) error {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	var firstErr error
+	for _, e := range entries {
+		name := e.Name()
+		if name != snapshotFile && !(strings.HasPrefix(name, "wal") && strings.HasSuffix(name, ".log")) {
+			continue
+		}
+		if err := os.Remove(filepath.Join(dir, name)); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return (OsFS{}).SyncDir(dir)
+}
+
+// Term returns the primary fencing term this store has adopted.
+func (s *Store) Term() uint64 {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	return s.term
+}
+
+// AdoptTerm durably raises the store's fencing term: the adoption is
+// WAL-logged (OpNewTerm) and acknowledged only once fsynced, so a primary
+// that asserted term T cannot forget it across a crash and accept writes
+// under an older term. Adopting the current term again is a no-op append;
+// adopting a lower term is an error.
+func (s *Store) AdoptTerm(term uint64) error {
+	return s.logged(Record{Op: OpNewTerm, Args: []string{strconv.FormatUint(term, 10)}}, func() error {
+		if term < s.term {
+			return fmt.Errorf("storage: cannot adopt term %d below current term %d", term, s.term)
+		}
+		s.term = term
+		return nil
+	})
+}
+
+// Fence marks the store deposed by a higher term: every subsequent mutation
+// fails with ErrDeposed, while reads and WAL access remain available for
+// divergence quarantine. Returns true iff term exceeds the store's own
+// adopted term (a genuine deposition — also when already fenced by that or
+// a lower term); terms at or below the store's own are ignored, because a
+// primary is never deposed by its past.
+func (s *Store) Fence(term uint64) bool {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	if term <= s.term {
+		return false
+	}
+	if term > s.fenced.Load() {
+		s.fenced.Store(term)
+	}
+	return true
+}
+
+// FencedBy returns the term that deposed this store, or zero if it has not
+// been fenced.
+func (s *Store) FencedBy() uint64 { return s.fenced.Load() }
+
+// Takeover returns the divergence point recorded when this store was
+// materialized by a replica's promotion: the position (in the previous
+// primary's epoch numbering) up to which the promoting replica had applied.
+// Zero values mean the store was never promoted from a replica.
+func (s *Store) Takeover() (epoch uint64, offset int64) {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	return s.takeoverEpoch, s.takeoverOffset
 }
 
 // Database exposes the underlying catalog for queries. Mutations should go
@@ -186,6 +325,13 @@ func (s *Store) replay() error {
 	a := NewApplier(s.db)
 	return s.log.Replay(func(rec Record) error {
 		metricReplayRecords.Inc()
+		// Fold term adoptions into the recovered term: a term asserted after
+		// the last checkpoint exists only as an OpNewTerm record.
+		if rec.Op == OpNewTerm && len(rec.Args) == 1 {
+			if t, err := strconv.ParseUint(rec.Args[0], 10, 64); err == nil && t > s.term {
+				s.term = t
+			}
+		}
 		return a.Apply(rec)
 	})
 }
@@ -482,6 +628,11 @@ func (s *Store) Checkpoint() error {
 	newEpoch := s.epoch + 1
 	spec := SnapshotDatabase(s.db)
 	spec.LogEpoch = newEpoch
+	// Carry the fencing lineage forward: a checkpoint supersedes the WAL
+	// (including any OpNewTerm records), so the snapshot must preserve the
+	// adopted term and the takeover divergence point.
+	spec.PrimaryTerm = s.term
+	spec.TakeoverEpoch, spec.TakeoverOffset = s.takeoverEpoch, s.takeoverOffset
 	if err := WriteSnapshotFS(s.fs, filepath.Join(s.dir, snapshotFile), spec); err != nil {
 		// The rename may or may not have landed; this process can no
 		// longer know which log the directory designates.
@@ -541,6 +692,9 @@ func (s *Store) usable() error {
 	}
 	if s.failed.Load() {
 		return ErrStoreFailed
+	}
+	if s.fenced.Load() != 0 {
+		return ErrDeposed
 	}
 	return nil
 }

@@ -34,6 +34,11 @@ const (
 	OpTxAbort         Op = "tx_abort"
 	OpDropNode        Op = "drop_node"
 	OpSetMode         Op = "set_mode"
+	// OpNewTerm records a primary fencing-term adoption (Args[0] = decimal
+	// term). It carries no catalog state — the Applier treats it as inert —
+	// but recovery folds it into Store.Term, so a term asserted after the
+	// last checkpoint survives a restart.
+	OpNewTerm Op = "new_term"
 )
 
 // Record is one WAL entry. The Args meaning depends on Op:
