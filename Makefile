@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all help build test test-crash test-server test-compat test-obs test-repl test-failover race cover bench bench-smoke bench-json figures experiments fuzz fuzz-smoke clean
+.PHONY: all help build test test-crash test-server test-compat test-obs test-repl test-failover test-shard race cover bench bench-smoke bench-json benchgate figures experiments fuzz fuzz-smoke clean
 
 all: build test
 
@@ -26,6 +26,10 @@ help:
 	@echo "               path (elections, fencing, deposed rejoin, router"
 	@echo "               re-discovery); CHAOS_ROUNDS=<n> soaks the chaos"
 	@echo "               loops beyond their default round counts"
+	@echo "  test-shard   race-mode pass over the sharding subsystem"
+	@echo "               (placement, scatter-gather, 2PC chaos, coordinator"
+	@echo "               failover through a shard's replica set);"
+	@echo "               CHAOS_ROUNDS=<n> soaks the 2PC chaos loop"
 	@echo "  race         run the tests under the race detector"
 	@echo "               (includes the concurrency stress suites)"
 	@echo "  cover        coverage summary for internal/..."
@@ -33,8 +37,10 @@ help:
 	@echo "               tests are skipped via -run '^$$')"
 	@echo "  bench-smoke  quick pass over the batch-evaluation and"
 	@echo "               verdict-cache benchmarks only"
-	@echo "  bench-json   machine-readable BENCH_<exp>.json for the planner"
-	@echo "               and protocol experiments (E9, E12, E13)"
+	@echo "  bench-json   machine-readable BENCH_<exp>.json for the planner,"
+	@echo "               protocol, and sharding experiments (E9, E12-E14)"
+	@echo "  benchgate    regression gate: fresh bench-json numbers vs the"
+	@echo "               checked-in scripts/bench_baseline/ (~3x tolerance)"
 	@echo "  figures      regenerate the paper figures (cmd/hrfigures)"
 	@echo "  experiments  print the E1-E13 experiment tables (cmd/hrbench)"
 	@echo "  fuzz         run the fuzz targets for FUZZTIME ($(FUZZTIME)) each"
@@ -65,7 +71,11 @@ test-repl:
 	$(GO) test -race -count=1 ./internal/repl/
 
 test-failover:
-	$(GO) test -race -count=1 -run 'TestAutoFailover|TestFencedPrimary|TestDeposedPrimary|TestBootstrapDuring|TestReplicaStateGauge|TestRouterFailsOver|TestRouterStale|TestShutdownRefuses' ./internal/repl/ ./internal/server/
+	$(GO) test -race -count=1 -run 'TestAutoFailover|TestFencedPrimary|TestDeposedPrimary|TestBootstrapDuring|TestReplicaStateGauge|TestRouterFailsOver|TestRouterStale|TestRouterConcurrent|TestShutdownRefuses' ./internal/repl/ ./internal/server/
+
+test-shard:
+	$(GO) test -race -count=1 ./internal/shard/
+	$(GO) test -race -count=1 -run 'TestShard|TestDialCluster' .
 
 race:
 	$(GO) test -race ./...
@@ -83,7 +93,10 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateBatch|BenchmarkHoldsCached' -benchtime=50x .
 
 bench-json:
-	$(GO) run ./cmd/hrbench -json . E9 E12 E13
+	$(GO) run ./cmd/hrbench -json . E9 E12 E13 E14
+
+benchgate:
+	./scripts/benchgate.sh
 
 figures:
 	$(GO) run ./cmd/hrfigures

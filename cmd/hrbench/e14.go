@@ -1,0 +1,174 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hrdb"
+)
+
+// e14Row is one cluster size's scatter-gather throughput measurement.
+type e14Row struct {
+	Shards         int     `json:"shards"`
+	TuplesPerShard int     `json:"tuples_per_shard"`
+	Workers        int     `json:"workers"`
+	Queries        int     `json:"queries"`
+	QPS            float64 `json:"qps"`
+	Speedup        float64 `json:"speedup"`
+}
+
+// e14Servers boots `shards` in-memory shard servers and returns their
+// addresses plus a shutdown func.
+func e14Servers(shards int) (addrs []string, shutdown func()) {
+	srvs := make([]*hrdb.Server, 0, shards)
+	for i := 0; i < shards; i++ {
+		target := hrdb.NewMemTarget(hrdb.NewDatabase())
+		srv := hrdb.NewServer(target, hrdb.ServerOptions{
+			Shard: hrdb.NewShardNode(target, i, shards),
+		})
+		check(srv.Start("127.0.0.1:0"))
+		srvs = append(srvs, srv)
+		addrs = append(addrs, srv.Addr())
+	}
+	return addrs, func() {
+		for _, s := range srvs {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			check(s.Shutdown(ctx))
+			cancel()
+		}
+	}
+}
+
+// e14Seed loads the fixture through a coordinator: a 10-class taxonomy with
+// instances/10 members each, every member asserted individually so the
+// tuples are all-instance — hash-partitioned across the shards rather than
+// replicated. DDL broadcasts; the asserts route to each tuple's home shard.
+func e14Seed(ctx context.Context, addrs []string, classes, instances int) {
+	c, err := hrdb.DialCluster(ctx, addrs)
+	check(err)
+	defer c.Close()
+
+	var b strings.Builder
+	b.WriteString("CREATE HIERARCHY D;\n")
+	for k := 0; k < classes; k++ {
+		fmt.Fprintf(&b, "CLASS C%d UNDER D;\n", k)
+	}
+	for i := 0; i < instances; i++ {
+		fmt.Fprintf(&b, "INSTANCE i%05d UNDER C%d;\n", i, i%classes)
+	}
+	b.WriteString("CREATE RELATION R (X: D);\n")
+	if _, err := c.Exec(ctx, b.String()); err != nil {
+		log.Fatal(err)
+	}
+	var a strings.Builder
+	for i := 0; i < instances; i++ {
+		fmt.Fprintf(&a, "ASSERT R (i%05d);\n", i)
+		if (i+1)%200 == 0 || i == instances-1 {
+			if _, err := c.Exec(ctx, a.String()); err != nil {
+				log.Fatal(err)
+			}
+			a.Reset()
+		}
+	}
+}
+
+// e14Measure runs `workers` coordinators (each with its own connection to
+// every shard) issuing scatter-gather SELECTs for `dur`, rotating the class
+// condition so the verdict cache cannot trivialize the scan, and returns the
+// completed query count and the measured wall clock.
+func e14Measure(ctx context.Context, addrs []string, classes, workers int, dur time.Duration) (int, time.Duration) {
+	conns := make([]*hrdb.Cluster, workers)
+	for w := range conns {
+		c, err := hrdb.DialCluster(ctx, addrs)
+		check(err)
+		conns[w] = c
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	query := func(k int) string {
+		return fmt.Sprintf("SELECT FROM R WHERE X UNDER C%d;", k%classes)
+	}
+	for _, c := range conns { // warm every connection once
+		if _, err := c.Exec(ctx, query(0)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var total int64
+	start := time.Now()
+	deadline := start.Add(dur)
+	var wg sync.WaitGroup
+	for w, c := range conns {
+		wg.Add(1)
+		go func(w int, c *hrdb.Cluster) {
+			defer wg.Done()
+			for n := w; time.Now().Before(deadline); n++ {
+				if _, err := c.Exec(ctx, query(n)); err != nil {
+					log.Fatal(err)
+				}
+				atomic.AddInt64(&total, 1)
+			}
+		}(w, c)
+	}
+	wg.Wait()
+	return int(atomic.LoadInt64(&total)), time.Since(start)
+}
+
+// e14Sharding: horizontal scaling of scatter-gather reads. A fixed fact base
+// is hash-partitioned across 1 vs 3 shards; concurrent coordinators issue
+// class-condition SELECTs, so each shard scans only its partition and the
+// per-query scan work divides by the shard count. The speedup column is
+// qps(n)/qps(1).
+//
+// Caveat: the scaling headroom is bounded by the host's core count — the
+// shards here are in-process servers, so on a single-CPU box all three
+// partitions time-share one core and the speedup collapses toward 1×
+// (coordinator-side merge and consolidation are serial either way). The
+// partition arithmetic (tuples_per_shard) is what the experiment pins on
+// constrained hardware; the throughput ratio is meaningful on >=4 cores.
+func e14Sharding() {
+	header("E14 — sharding: scatter-gather SELECT throughput, 1 vs 3 shards")
+	fmt.Printf("GOMAXPROCS = %d (speedup is core-bound; see EXPERIMENTS.md §E14)\n\n", runtime.GOMAXPROCS(0))
+	fmt.Println("| shards | tuples/shard | workers | queries | qps | speedup |")
+	fmt.Println("|---|---|---|---|---|---|")
+
+	const (
+		classes   = 10
+		instances = 1200
+		workers   = 4
+		dur       = 400 * time.Millisecond
+	)
+	ctx := context.Background()
+	var rows []e14Row
+	var baseQPS float64
+	for _, shards := range []int{1, 3} {
+		addrs, shutdown := e14Servers(shards)
+		e14Seed(ctx, addrs, classes, instances)
+		queries, elapsed := e14Measure(ctx, addrs, classes, workers, dur)
+		shutdown()
+		qps := float64(queries) / elapsed.Seconds()
+		if shards == 1 {
+			baseQPS = qps
+		}
+		row := e14Row{
+			Shards: shards, TuplesPerShard: instances / shards,
+			Workers: workers, Queries: queries, QPS: qps, Speedup: qps / baseQPS,
+		}
+		rows = append(rows, row)
+		fmt.Printf("| %d | %d | %d | %d | %.0f | %.2f× |\n",
+			row.Shards, row.TuplesPerShard, row.Workers, row.Queries, row.QPS, row.Speedup)
+	}
+	emitJSON("E14", struct {
+		GOMAXPROCS int      `json:"gomaxprocs"`
+		Rows       []e14Row `json:"rows"`
+	}{runtime.GOMAXPROCS(0), rows})
+}

@@ -44,6 +44,17 @@
 // unreplicated WAL suffix to a sidecar file, and rejoins as a replica of
 // whoever won.
 //
+// Sharding (see docs/SHARDING.md):
+//
+//	hrserved -shard-id 0 -shard-peers hostA:7583,hostB:7583,hostC:7583
+//
+// -shard-id/-shard-peers declare this node one shard of a hash-partitioned
+// cluster: it answers SHARDMAP with its identity and EXECSHARD with
+// shard-local reads and two-phase-commit participation. Combine with
+// -replica-of/-repl-addr to give each shard a replica set; coordinators
+// (hrdb.DialCluster) ride shard failovers through the same Router machinery
+// as any client.
+//
 // The server sheds load beyond its queue with "overloaded" replies,
 // enforces per-request deadlines, and on SIGINT/SIGTERM drains in-flight
 // statements (bounded by -drain) before closing the store. Process metrics
@@ -81,6 +92,8 @@ type serveConfig struct {
 	autoFailover    bool
 	electionTimeout time.Duration
 	drain           time.Duration
+	shardID         int
+	shardPeers      []string
 }
 
 func main() {
@@ -100,6 +113,8 @@ func main() {
 	autoFailover := flag.Bool("auto-failover", false, "self-promote after -election-timeout of replication silence (replica mode)")
 	electionTimeout := flag.Duration("election-timeout", 0, "replication silence that triggers an election campaign (0 = 2s)")
 	disableV2 := flag.Bool("disable-v2", false, "serve only the v1 line protocol (reject HELLO upgrades)")
+	shardID := flag.Int("shard-id", -1, "this node's shard index (requires -shard-peers; -1 = not a shard)")
+	shardPeers := flag.String("shard-peers", "", "comma-separated client addresses of every shard, in shard-id order (fixes the shard count)")
 	var peers peerFlags
 	flag.Var(&peers, "peer", "client address of a peer node, repeatable (election probes; deposed-primary rejoin checks)")
 	var tenants tenantFlags
@@ -129,6 +144,10 @@ func main() {
 		autoFailover:    *autoFailover,
 		electionTimeout: *electionTimeout,
 		drain:           *drain,
+		shardID:         *shardID,
+	}
+	if *shardPeers != "" {
+		cfg.shardPeers = strings.Split(*shardPeers, ",")
 	}
 	if err := run(cfg, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "hrserved:", err)
@@ -145,6 +164,15 @@ func run(cfg serveConfig, opts hrdb.ServerOptions) error {
 	}
 	if cfg.autoFailover && cfg.id == "" {
 		return errors.New("-auto-failover requires -id: elections tiebreak on a distinct replica identity")
+	}
+	if cfg.shardID >= 0 && len(cfg.shardPeers) == 0 {
+		return errors.New("-shard-id requires -shard-peers: the peer list fixes the shard count")
+	}
+	if cfg.shardID < 0 && len(cfg.shardPeers) > 0 {
+		return errors.New("-shard-peers requires -shard-id: the node must know its own slot")
+	}
+	if cfg.shardID >= len(cfg.shardPeers) && len(cfg.shardPeers) > 0 {
+		return fmt.Errorf("-shard-id %d out of range: -shard-peers lists %d shards", cfg.shardID, len(cfg.shardPeers))
 	}
 
 	var store *hrdb.Store
@@ -249,6 +277,14 @@ func run(cfg serveConfig, opts hrdb.ServerOptions) error {
 	default:
 		target = hrdb.NewMemTarget(hrdb.NewDatabase())
 		fmt.Fprintln(os.Stderr, "hrserved: in-memory database (no -data; state dies with the process)")
+	}
+
+	if cfg.shardID >= 0 {
+		// The shard node wraps whichever target this process serves —
+		// durable store, in-memory database, or promotable replica — so a
+		// shard primary's replica set gives the shard HA for free.
+		opts.Shard = hrdb.NewShardNode(target, cfg.shardID, len(cfg.shardPeers))
+		fmt.Fprintf(os.Stderr, "hrserved: shard %d of %d\n", cfg.shardID, len(cfg.shardPeers))
 	}
 
 	srv := hrdb.NewServer(target, opts)

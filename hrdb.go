@@ -47,8 +47,11 @@ package hrdb
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"time"
 
 	"hrdb/internal/algebra"
@@ -64,6 +67,7 @@ import (
 	"hrdb/internal/partial"
 	"hrdb/internal/repl"
 	"hrdb/internal/server"
+	"hrdb/internal/shard"
 	"hrdb/internal/storage"
 	"hrdb/internal/tvl"
 )
@@ -352,6 +356,81 @@ type (
 	// Deprecated: use Option.
 	RouterOption = server.Option
 )
+
+// Sharding: a cluster hash-partitions each relation's all-instance tuples
+// across shard servers (class-containing tuples replicate everywhere), and
+// a coordinator routes keyed statements to the owning shard, scatter-gathers
+// reads, and commits cross-shard transactions with two-phase commit. See
+// docs/SHARDING.md.
+type (
+	// ShardNode is the shard-local executor and 2PC participant a server
+	// hosts (ServerOptions.Shard); it answers the SHARDMAP and EXECSHARD
+	// verbs.
+	ShardNode = shard.Node
+	// Cluster is a shard-aware coordinator: one Session-compatible Exec
+	// surface over many shard servers.
+	Cluster = shard.Cluster
+	// ClusterConn is the per-shard connection surface a Cluster drives;
+	// *Client and *Router both satisfy it.
+	ClusterConn = shard.Conn
+)
+
+// NewShardNode creates the shard-local executor for shard id of count over
+// the server's target; wire it into ServerOptions.Shard.
+func NewShardNode(target Target, id, count int) *ShardNode {
+	return shard.NewNode(target, id, count)
+}
+
+// HomeShard returns the shard that owns an all-instance tuple of the given
+// relation — the hash placement DialCluster and every shard node agree on.
+func HomeShard(rel string, values []string, count int) int {
+	return shard.HomeShard(rel, values, count)
+}
+
+// DialCluster connects a coordinator to a shard cluster. Each element of
+// addrs describes one shard, in shard-id order, as "primary" or
+// "primary,replica,replica…": bare addresses get a plain Client, addresses
+// with replicas get a failover-aware Router (so a shard primary dying
+// mid-transaction is ridden out by its replica set). Every connection's
+// SHARDMAP answer is checked against its position so a mis-ordered address
+// list fails at dial time instead of corrupting placement. A single plain
+// server (no shard node) may be dialed as a one-shard cluster.
+func DialCluster(ctx context.Context, addrs []string, opts ...Option) (*Cluster, error) {
+	conns := make([]ClusterConn, 0, len(addrs))
+	fail := func(err error) (*Cluster, error) {
+		for _, c := range conns {
+			c.Close()
+		}
+		return nil, err
+	}
+	for i, spec := range addrs {
+		parts := strings.Split(spec, ",")
+		var conn ClusterConn
+		var err error
+		if len(parts) == 1 {
+			conn, err = server.Dial(parts[0], opts...)
+		} else {
+			conn, err = server.DialRouter(parts[0], parts[1:], opts...)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		conns = append(conns, conn)
+		id, count, err := conn.(interface {
+			ShardMap(context.Context) (int, int, error)
+		}).ShardMap(ctx)
+		switch {
+		case errors.Is(err, ErrUnsupported) && len(addrs) == 1:
+			// A plain server as a trivial one-shard cluster.
+		case err != nil:
+			return fail(fmt.Errorf("shard %d (%s): %w", i, spec, err))
+		case id != i || count != len(addrs):
+			return fail(fmt.Errorf("shard %d (%s): server reports shard %d of %d, want %d of %d",
+				i, spec, id, count, i, len(addrs)))
+		}
+	}
+	return shard.NewCluster(ctx, conns)
+}
 
 // ErrReadOnlyReplica rejects mutations on an unpromoted replica.
 var ErrReadOnlyReplica = repl.ErrReadOnlyReplica

@@ -1,0 +1,37 @@
+package catalog
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hrdb/internal/core"
+)
+
+// TestDatabaseEvaluateBatch: the database-level batch entry points agree
+// with per-item Evaluate and reject unknown relations.
+func TestDatabaseEvaluateBatch(t *testing.T) {
+	db, names := setupFlock(t, 8)
+	must(t, db.Deny("Flies", names[3]))
+	items := make([]core.Item, len(names))
+	for i, n := range names {
+		items[i] = core.Item{n}
+	}
+	vs, err := db.EvaluateBatch(context.Background(), "Flies", items)
+	must(t, err)
+	holds, err := db.HoldsBatch(context.Background(), "Flies", items)
+	must(t, err)
+	for i, it := range items {
+		want, err := db.Evaluate("Flies", it...)
+		must(t, err)
+		if vs[i].Value != want.Value || holds[i] != want.Value {
+			t.Fatalf("item %v: batch %v/%v, evaluate %v", it, vs[i].Value, holds[i], want.Value)
+		}
+	}
+	if !holds[0] || holds[3] {
+		t.Fatalf("verdicts %v: want flock true, denied instance false", holds)
+	}
+	if _, err := db.EvaluateBatch(context.Background(), "NoSuch", items); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("unknown relation = %v, want ErrNotFound", err)
+	}
+}

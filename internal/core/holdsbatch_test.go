@@ -1,0 +1,51 @@
+package core
+
+import (
+	"context"
+	"testing"
+)
+
+// TestHoldsBatchReducesVerdicts: HoldsBatch is EvaluateBatch collapsed to
+// closed-world booleans, item for item.
+func TestHoldsBatchReducesVerdicts(t *testing.T) {
+	r := fliesRelation(t)
+	atoms := allAtoms(t, r)
+	vs, err := r.EvaluateBatch(context.Background(), atoms)
+	must(t, err)
+	got, err := r.HoldsBatch(context.Background(), atoms)
+	must(t, err)
+	if len(got) != len(vs) {
+		t.Fatalf("len %d vs %d", len(got), len(vs))
+	}
+	for i := range vs {
+		if got[i] != vs[i].Value {
+			t.Errorf("item %v: HoldsBatch %v, verdict %v", atoms[i], got[i], vs[i].Value)
+		}
+	}
+	// The error path reduces too.
+	if _, err := r.HoldsBatch(context.Background(), []Item{{"no-such-node"}}); err == nil {
+		t.Fatal("unknown item must fail")
+	}
+}
+
+// TestEpochAndCacheToggles pins the cache-coherence observables: the epoch
+// counter moves on every mutation, and SetCache flips CacheEnabled.
+func TestEpochAndCacheToggles(t *testing.T) {
+	r := fliesRelation(t)
+	if !r.CacheEnabled() {
+		t.Fatal("cache must default on")
+	}
+	e0 := r.Epoch()
+	r.SetMode(OnPath)
+	if r.Epoch() == e0 {
+		t.Fatal("SetMode must advance the epoch")
+	}
+	r.SetCache(false)
+	if r.CacheEnabled() {
+		t.Fatal("SetCache(false) must report disabled")
+	}
+	r.SetCache(true)
+	if !r.CacheEnabled() {
+		t.Fatal("SetCache(true) must report enabled")
+	}
+}

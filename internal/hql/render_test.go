@@ -1,0 +1,172 @@
+package hql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// Every statement kind, written once the way a client might type it
+// (mixed case, equality sugar, odd spacing). Render must round-trip each
+// through Parse to an identical AST.
+var renderCases = []string{
+	"CREATE HIERARCHY Animal;",
+	"CLASS mammal UNDER animal IN Animal;",
+	"CLASS 'pet rock' UNDER mineral, toy IN Thing;",
+	"class bird in Animal;",
+	"INSTANCE fido UNDER dog IN Animal;",
+	"INSTANCE opus IN Animal;",
+	"EDGE Animal: mammal -> dog;",
+	"PREFER dog OVER mammal IN Animal;",
+	"CREATE RELATION likes (who: Person, what: Food);",
+	"DROP RELATION likes;",
+	"ASSERT likes (john, pizza);",
+	"DENY likes (john, 'hot dog');",
+	"RETRACT likes (john, pizza);",
+	"HOLDS likes (john, pizza);",
+	"WHY likes (john, pizza);",
+	"SELECT FROM likes;",
+	"SELECT FROM likes WHERE who UNDER student AND what = pizza AS picky;",
+	"EXTENSION likes;",
+	"CONSOLIDATE likes;",
+	"EXPLICATE likes;",
+	"EXPLICATE likes ON (who, what);",
+	"UNION a b AS c;",
+	"intersect a b as c;",
+	"DIFFERENCE a b AS c;",
+	"JOIN a b AS c;",
+	"PROJECT likes ON (who) AS who_likes;",
+	"SHOW HIERARCHIES;",
+	"SHOW RELATIONS;",
+	"SHOW RULES;",
+	"SHOW HIERARCHY Animal;",
+	"SHOW RELATION likes;",
+	"SET POLICY warn;",
+	"SET MODE likes off_path;",
+	"DROP NODE dog IN Animal;",
+	"RULE ancestor(?x, ?y) IF parent(?x, ?y);",
+	"RULE ancestor(?x, ?z) IF parent(?x, ?y) AND ancestor(?y, ?z);",
+	"RULE lonely(?x) IF person(?x) AND NOT likes(?x, ?y);",
+	"RULE fact(john);",
+	"INFER ancestor(?x, john);",
+	"COUNT likes;",
+	"COUNT likes BY (who);",
+	"DUMP;",
+	"EXPLAIN SELECT FROM likes WHERE who UNDER student;",
+	"EXPLAIN JOIN a b AS c;",
+	"BEGIN;",
+	"COMMIT;",
+	"ROLLBACK;",
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	for _, src := range renderCases {
+		stmts, err := Parse(src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", src, err)
+		}
+		if len(stmts) != 1 {
+			t.Fatalf("parse %q: got %d statements", src, len(stmts))
+		}
+		rendered := Render(stmts[0]) + ";"
+		back, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q (rendered from %q): %v", rendered, src, err)
+		}
+		if len(back) != 1 || !reflect.DeepEqual(stmts[0], back[0]) {
+			t.Errorf("round-trip mismatch:\n  source:   %q\n  rendered: %q\n  got AST:  %#v\n  want AST: %#v",
+				src, rendered, back[0], stmts[0])
+		}
+	}
+}
+
+func TestRenderScript(t *testing.T) {
+	stmts, err := Parse("BEGIN; ASSERT r (a, b); COMMIT;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := RenderScript(stmts)
+	want := "BEGIN;\nASSERT r (a, b);\nCOMMIT;\n"
+	if got != want {
+		t.Errorf("RenderScript = %q, want %q", got, want)
+	}
+	if _, err := Parse(got); err != nil {
+		t.Errorf("rendered script does not re-parse: %v", err)
+	}
+}
+
+func TestRenderQuotesAwkwardNames(t *testing.T) {
+	stmts, err := Parse("ASSERT 'my rel' ('a value', plain);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Render(stmts[0])
+	if !strings.Contains(r, "'my rel'") || !strings.Contains(r, "'a value'") {
+		t.Errorf("Render did not quote names needing it: %q", r)
+	}
+}
+
+func TestShardClassifier(t *testing.T) {
+	cases := []struct {
+		src  string
+		want ShardInfo
+	}{
+		{"CREATE HIERARCHY Animal;", ShardInfo{Route: RouteBroadcast}},
+		{"CLASS mammal UNDER animal IN Animal;", ShardInfo{Route: RouteBroadcast}},
+		{"INSTANCE fido UNDER dog IN Animal;", ShardInfo{Route: RouteBroadcast}},
+		{"EDGE Animal: mammal -> dog;", ShardInfo{Route: RouteBroadcast}},
+		{"PREFER dog OVER mammal IN Animal;", ShardInfo{Route: RouteBroadcast}},
+		{"CREATE RELATION r (a: D);", ShardInfo{Route: RouteBroadcast}},
+		{"DROP RELATION r;", ShardInfo{Route: RouteBroadcast}},
+		{"SET POLICY warn;", ShardInfo{Route: RouteBroadcast}},
+		{"SET MODE r off_path;", ShardInfo{Route: RouteBroadcast, Relation: "r"}},
+		{"CONSOLIDATE r;", ShardInfo{Route: RouteBroadcast, Relation: "r"}},
+		{"EXPLICATE r;", ShardInfo{Route: RouteBroadcast, Relation: "r"}},
+		{"DROP NODE dog IN Animal;", ShardInfo{Route: RouteBroadcast}},
+
+		{"ASSERT r (a, b);", ShardInfo{Route: RouteKeyed, Relation: "r", Values: []string{"a", "b"}}},
+		{"DENY r (a, b);", ShardInfo{Route: RouteKeyed, Relation: "r", Values: []string{"a", "b"}}},
+		{"RETRACT r (a, b);", ShardInfo{Route: RouteKeyed, Relation: "r", Values: []string{"a", "b"}}},
+		{"HOLDS r (a, b);", ShardInfo{Route: RouteKeyed, Relation: "r", Values: []string{"a", "b"}}},
+		{"WHY r (a, b);", ShardInfo{Route: RouteKeyed, Relation: "r", Values: []string{"a", "b"}}},
+
+		{"SELECT FROM r WHERE a UNDER c;", ShardInfo{Route: RouteScatter, Relations: []string{"r"}}},
+		{"EXTENSION r;", ShardInfo{Route: RouteScatter, Relations: []string{"r"}}},
+		{"COUNT r BY (a);", ShardInfo{Route: RouteScatter, Relations: []string{"r"}}},
+
+		{"JOIN a b AS c;", ShardInfo{Route: RouteCoordinator, Relations: []string{"a", "b"}}},
+		{"PROJECT r ON (a) AS p;", ShardInfo{Route: RouteCoordinator, Relations: []string{"r"}}},
+		{"SHOW RELATIONS;", ShardInfo{Route: RouteCoordinator}},
+		{"RULE f(?x) IF g(?x);", ShardInfo{Route: RouteCoordinator}},
+		{"INFER f(?x);", ShardInfo{Route: RouteCoordinator}},
+		{"DUMP;", ShardInfo{Route: RouteCoordinator}},
+		{"EXPLAIN SELECT FROM r;", ShardInfo{Route: RouteCoordinator}},
+		{"BEGIN;", ShardInfo{Route: RouteCoordinator}},
+		{"COMMIT;", ShardInfo{Route: RouteCoordinator}},
+		{"ROLLBACK;", ShardInfo{Route: RouteCoordinator}},
+	}
+	for _, c := range cases {
+		stmts, err := Parse(c.src)
+		if err != nil {
+			t.Fatalf("parse %q: %v", c.src, err)
+		}
+		got := ShardOf(stmts[0])
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ShardOf(%q) = %+v, want %+v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestShardRoutingString(t *testing.T) {
+	for r, want := range map[ShardRouting]string{
+		RouteBroadcast:   "broadcast",
+		RouteKeyed:       "keyed",
+		RouteScatter:     "scatter",
+		RouteCoordinator: "coordinator",
+		ShardRouting(99): "unknown",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("ShardRouting(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}

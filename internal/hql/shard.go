@@ -1,0 +1,69 @@
+package hql
+
+// Shard routing classification. Like the read-only predicate (readonly.go),
+// the classification lives on each statement type: the Stmt interface
+// requires a shardInfo() method, so a newly added statement kind that
+// hasn't decided how it distributes fails to compile instead of silently
+// defaulting to "broadcast" (or worse, a coordinator sending a keyed write
+// to every shard).
+//
+// The four routes describe what a shard coordinator does with the
+// statement, not where its data lives — that second decision (hash a
+// tuple to its home shard vs. replicate it everywhere) needs the hierarchy
+// catalog and is made at execution time by internal/shard:
+//
+//   - RouteBroadcast: catalog mutations (DDL, hierarchy edits, policy and
+//     mode switches). Every shard holds a replica of the catalog, so the
+//     statement must reach all of them.
+//   - RouteKeyed: statements about one tuple (ASSERT/DENY, RETRACT, HOLDS,
+//     WHY). The relation name and item values are the shard key; whether
+//     the item hashes to one home shard or is replicated as a global tuple
+//     depends on whether all its values are hierarchy instances.
+//   - RouteScatter: per-tuple reads over one relation (SELECT, EXTENSION,
+//     COUNT). They fan out to every shard and merge at the coordinator.
+//   - RouteCoordinator: everything the coordinator executes itself —
+//     multi-relation algebra over gathered snapshots, session state (RULE,
+//     transaction control), and whole-database views (DUMP, SHOW, INFER,
+//     EXPLAIN).
+type ShardRouting int
+
+// The routing classes, in increasing order of coordinator involvement.
+const (
+	RouteBroadcast ShardRouting = iota
+	RouteKeyed
+	RouteScatter
+	RouteCoordinator
+)
+
+// String names the route for diagnostics.
+func (r ShardRouting) String() string {
+	switch r {
+	case RouteBroadcast:
+		return "broadcast"
+	case RouteKeyed:
+		return "keyed"
+	case RouteScatter:
+		return "scatter"
+	case RouteCoordinator:
+		return "coordinator"
+	default:
+		return "unknown"
+	}
+}
+
+// ShardInfo is a statement's routing class plus the extracted shard key.
+type ShardInfo struct {
+	Route ShardRouting
+	// Relation and Values are the shard key of a RouteKeyed statement
+	// (Values is nil for keyed statements without an item, which do not
+	// occur today).
+	Relation string
+	Values   []string
+	// Relations names the input relations of a scatter or coordinator
+	// statement that reads relation data (empty for session-state and
+	// whole-database statements).
+	Relations []string
+}
+
+// ShardOf returns a statement's shard routing classification and key.
+func ShardOf(st Stmt) ShardInfo { return st.shardInfo() }

@@ -7,12 +7,14 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"hrdb/internal/backoff"
 	"hrdb/internal/hql"
+	"hrdb/internal/shard"
 )
 
 // ServerError is a failure the server reported in an ERR frame (either
@@ -364,10 +366,51 @@ func (c *Client) discardConn() {
 // client was built WithRetryNonIdempotent. Definitive statement failures
 // ("exec", "deadline", "panic", …) are never retried.
 func (c *Client) Exec(ctx context.Context, input string) (string, error) {
-	idempotent := hql.ReadOnlyScript(input)
+	return c.execRetry(ctx, "EXEC", fvExec, input, hql.ReadOnlyScript(input))
+}
+
+// ExecShard runs one encoded shard operation (internal/shard wire format)
+// and returns its response. The transport, deadline, and retry machinery is
+// Exec's; only the verb differs (EXECSHARD / the EXECSHARD frame) and the
+// idempotence predicate is shard.OpIdempotent instead of hql.ReadOnlyScript
+// — every shard operation is retry-safe (reads are pure, 2PC verbs are
+// gid-guarded on the participant).
+func (c *Client) ExecShard(ctx context.Context, op string) (string, error) {
+	return c.execRetry(ctx, "EXECSHARD", fvExecShard, op, shard.OpIdempotent(op))
+}
+
+// ShardMap asks the server for its shard identity. Answered inline (like
+// PING), so it works against a saturated admission queue. Servers without a
+// shard node answer ErrUnsupported.
+func (c *Client) ShardMap(ctx context.Context) (id, count int, err error) {
+	out, err := c.inlineVerb(ctx, "SHARDMAP")
+	if err != nil {
+		return 0, 0, err
+	}
+	return parseShardMap(out)
+}
+
+// parseShardMap decodes a SHARDMAP reply: exactly "<shard_id> <shard_count>".
+func parseShardMap(out string) (id, count int, err error) {
+	fields := strings.Fields(strings.TrimSpace(out))
+	if len(fields) != 2 {
+		return 0, 0, fmt.Errorf("%w: bad SHARDMAP reply %q", ErrProtocol, out)
+	}
+	id, err1 := strconv.Atoi(fields[0])
+	count, err2 := strconv.Atoi(fields[1])
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("%w: bad SHARDMAP reply %q", ErrProtocol, out)
+	}
+	return id, count, nil
+}
+
+// execRetry is the shared retry loop behind Exec and ExecShard: verb and typ
+// name the request in each protocol, idempotent gates retry after ambiguous
+// transport failures.
+func (c *Client) execRetry(ctx context.Context, verb string, typ byte, input string, idempotent bool) (string, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		out, err := c.roundTrip(ctx, input)
+		out, err := c.roundTrip(ctx, verb, typ, input)
 		if err == nil {
 			return out, nil
 		}
@@ -385,7 +428,7 @@ func (c *Client) Exec(ctx context.Context, input string) (string, error) {
 
 // roundTrip performs one request/response exchange on whichever protocol
 // the connection negotiated.
-func (c *Client) roundTrip(ctx context.Context, input string) (string, error) {
+func (c *Client) roundTrip(ctx context.Context, verb string, typ byte, input string) (string, error) {
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
@@ -395,9 +438,9 @@ func (c *Client) roundTrip(ctx context.Context, input string) (string, error) {
 			return "", err
 		}
 		if cc != nil {
-			return c.execV2(ctx, cc, input)
+			return c.execV2(ctx, cc, typ, input)
 		}
-		out, err, stale := c.execV1(ctx, conn, br, input)
+		out, err, stale := c.execV1(ctx, conn, br, verb, input)
 		if !stale {
 			return out, err
 		}
@@ -409,7 +452,7 @@ func (c *Client) roundTrip(ctx context.Context, input string) (string, error) {
 // execV2 runs one statement as a throwaway v2 stream: a fresh stream id,
 // end-of-stream flagged on the single EXEC, responses correlated by id.
 // Concurrent callers pipeline on the shared connection.
-func (c *Client) execV2(ctx context.Context, cc *conn2, input string) (string, error) {
+func (c *Client) execV2(ctx context.Context, cc *conn2, typ byte, input string) (string, error) {
 	var timeout time.Duration
 	if dl, ok := ctx.Deadline(); ok {
 		timeout = time.Until(dl)
@@ -417,7 +460,7 @@ func (c *Client) execV2(ctx context.Context, cc *conn2, input string) (string, e
 			return "", context.DeadlineExceeded
 		}
 	}
-	resp, err := cc.do(ctx, fvExec, flagEndStream, cc.nextStream.Add(1), execPayload(timeout, input))
+	resp, err := cc.do(ctx, typ, flagEndStream, cc.nextStream.Add(1), execPayload(timeout, input))
 	if err != nil {
 		return "", err
 	}
@@ -430,7 +473,7 @@ func (c *Client) execV2(ctx context.Context, cc *conn2, input string) (string, e
 // execV1 performs one line-protocol round trip. stale=true means the
 // connection identity changed before the turn came up; the caller should
 // re-ensure and try again.
-func (c *Client) execV1(ctx context.Context, conn net.Conn, br *bufio.Reader, input string) (out string, err error, stale bool) {
+func (c *Client) execV1(ctx context.Context, conn net.Conn, br *bufio.Reader, verb, input string) (out string, err error, stale bool) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	c.connMu.Lock()
@@ -464,7 +507,7 @@ func (c *Client) execV1(ctx context.Context, conn net.Conn, br *bufio.Reader, in
 	stop := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stop()
 
-	if _, err := fmt.Fprintf(conn, "EXEC %d %d\n%s\n", timeoutMS, len(input), input); err != nil {
+	if _, err := fmt.Fprintf(conn, "%s %d %d\n%s\n", verb, timeoutMS, len(input), input); err != nil {
 		c.discardConn()
 		return "", c.transportErr(ctx, err), false
 	}
@@ -499,8 +542,8 @@ func (c *Client) Stats(ctx context.Context) (string, error) {
 }
 
 // inlineVerb performs one argument-less request/response exchange (the
-// PING/STATS/LAG/PROMOTE family, answered inline by the connection
-// handler) on whichever protocol the connection negotiated.
+// PING/STATS/LAG/PROMOTE/SHARDMAP family, answered inline by the
+// connection handler) on whichever protocol the connection negotiated.
 func (c *Client) inlineVerb(ctx context.Context, verb string) (string, error) {
 	for {
 		cc, conn, br, err := c.ensure()
@@ -518,6 +561,8 @@ func (c *Client) inlineVerb(ctx context.Context, verb string) (string, error) {
 				typ = fvLag
 			case "PROMOTE":
 				typ = fvPromote
+			case "SHARDMAP":
+				typ = fvShardMap
 			default:
 				return "", fmt.Errorf("%w: no v2 frame for verb %s", ErrProtocol, verb)
 			}

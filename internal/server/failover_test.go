@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -146,6 +147,60 @@ func TestRouterFailsOverOnStale(t *testing.T) {
 	out, err := router.Exec(ctx, "HOLDS Flies (Tweety);")
 	if err != nil || strings.TrimSpace(out) != "true" {
 		t.Fatalf("read after failover = %q, %v", out, err)
+	}
+}
+
+// TestRouterConcurrentFailoverRediscovery: many writers hit the deposed
+// primary at once, so the stale answers race into discoverPrimary from
+// several goroutines concurrently. Every writer must come out the other
+// side successfully (re-routed and retried, never a surfaced stale error),
+// the router must settle on the one promoted peer, and once settled no
+// further Exec may flap the primary again.
+func TestRouterConcurrentFailoverRediscovery(t *testing.T) {
+	old := startServer(t, deposedTarget{newMemTarget(t)}, Options{})
+	promoted := startServer(t, newMemTarget(t), Options{
+		LagProbe: lagConst(LagInfo{Staleness: 0, State: "promoted", Term: 3, ID: "r1"}),
+	})
+	router := dialRouterT(t, old, promoted)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const writers = 8
+	errs := make([]error, writers)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				if _, err := router.Exec(ctx, "ASSERT Flies (Tweety);"); err != nil {
+					errs[w] = fmt.Errorf("iteration %d: %w", i, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("writer %d: %v", w, err)
+		}
+	}
+	if router.PrimaryAddr() != promoted.Addr() {
+		t.Fatalf("router primary = %q, want the promoted node %q", router.PrimaryAddr(), promoted.Addr())
+	}
+
+	// Settled: a fresh write goes straight through without another failover.
+	before := metricRouterFailovers.Value()
+	if _, err := router.Exec(ctx, "ASSERT Flies (Paul);"); err != nil {
+		t.Fatalf("write after concurrent failover: %v", err)
+	}
+	if got := metricRouterFailovers.Value(); got != before {
+		t.Fatalf("settled router failed over again (metric delta %d)", got-before)
+	}
+	out, err := router.Exec(ctx, "HOLDS Flies (Tweety);")
+	if err != nil || strings.TrimSpace(out) != "true" {
+		t.Fatalf("read after concurrent failover = %q, %v", out, err)
 	}
 }
 

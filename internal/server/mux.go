@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"errors"
+	"fmt"
 	"net"
 	"sync"
 	"time"
@@ -133,13 +134,24 @@ func (s *Server) serveMux(c net.Conn, br *bufio.Reader, tn *tenantState) {
 					return
 				}
 			}
+		case fvShardMap:
+			if s.opts.Shard == nil {
+				m.send(errFrame(f.id, f.stream, codeUnsupported, 0, "this server is not a shard"))
+			} else if m.send(okFrame(f.id, f.stream,
+				fmt.Sprintf("%d %d", s.opts.Shard.ID, s.opts.Shard.Count))) != nil {
+				return
+			}
 		case fvGoodbye:
 			return
 		case fvCancel:
 			m.cancelID(f.id)
 		case fvEndStream:
 			m.endStream(f.stream)
-		case fvExec:
+		case fvExec, fvExecShard:
+			if f.typ == fvExecShard && s.opts.Shard == nil {
+				m.send(errFrame(f.id, f.stream, codeUnsupported, 0, "this server is not a shard"))
+				continue
+			}
 			if !m.exec(f) {
 				return
 			}
@@ -228,6 +240,11 @@ func (m *muxConn) exec(f frame) bool {
 	mt := &muxTask{
 		id: f.id, stream: f.stream, end: f.flags&flagEndStream != 0, start: time.Now(),
 		t: &task{sess: st.sess, input: input, ctx: ctx, cancel: cancel, tn: m.tn, done: make(chan taskResult, 1)},
+	}
+	if f.typ == fvExecShard {
+		// Guarded at the dispatch switch: opts.Shard is non-nil here.
+		node := s.opts.Shard
+		mt.t.run = func(ctx context.Context) (string, error) { return node.Execute(ctx, input) }
 	}
 	m.byID[f.id] = mt
 	if st.running {

@@ -29,6 +29,8 @@
 //	  REPL <epoch> <offset> [term]\n               subscribe to the WAL stream
 //	  PROMOTE\n                                    promote a replica to writable
 //	  LAG\n                                        replication lag probe
+//	  SHARDMAP\n                                   shard identity probe
+//	  EXECSHARD <timeout_ms> <n>\n<payload>\n      execute a shard operation
 //
 //	server → client:
 //	  OK <n>\n<n payload bytes>\n                  statement output
@@ -116,6 +118,17 @@
 // never been caught up; "-" encodes an empty id or source; pre-failover
 // servers emit only the first four fields). PROMOTE flips a replica
 // writable and answers "promoted".
+//
+// # Shard verbs
+//
+// Servers started as cluster members (Options.Shard) additionally answer
+// SHARDMAP — inline, with "<shard_id> <shard_count>" — and EXECSHARD, which
+// is framed exactly like EXEC (and has a matching v2 frame type) but whose
+// payload is a shard operation in internal/shard's wire format (TUPLES,
+// SELECT, EVAL, and the two-phase-commit verbs PREPARE/COMMIT/ABORT/APPLY)
+// instead of an HQL script. EXECSHARD runs on the worker pool under the
+// same admission control and deadlines as EXEC. Both verbs answer ERR
+// "unsupported" on a server with no shard node attached.
 package server
 
 import (
@@ -133,7 +146,7 @@ var errProto = ErrProtocol
 
 // request is one decoded client frame.
 type request struct {
-	verb    string // "EXEC" | "PING" | "STATS" | "QUIT" | "HELLO" | "USE" | "SNAP" | "REPL" | "PROMOTE" | "LAG"
+	verb    string // "EXEC" | "EXECSHARD" | "PING" | "STATS" | "QUIT" | "HELLO" | "USE" | "SNAP" | "REPL" | "PROMOTE" | "LAG" | "SHARDMAP"
 	timeout time.Duration
 	input   string
 	epoch   uint64 // REPL only
@@ -157,7 +170,7 @@ func readRequest(br *bufio.Reader, maxBytes int) (request, error) {
 		return request{}, fmt.Errorf("%w: empty request line", errProto)
 	}
 	switch fields[0] {
-	case "PING", "STATS", "QUIT", "SNAP", "PROMOTE", "LAG":
+	case "PING", "STATS", "QUIT", "SNAP", "PROMOTE", "LAG", "SHARDMAP":
 		if len(fields) != 1 {
 			return request{}, fmt.Errorf("%w: %s takes no arguments", errProto, fields[0])
 		}
@@ -207,9 +220,11 @@ func readRequest(br *bufio.Reader, maxBytes int) (request, error) {
 			req.term = term
 		}
 		return req, nil
-	case "EXEC":
+	case "EXEC", "EXECSHARD":
+		// EXECSHARD is framed exactly like EXEC; only the payload's
+		// interpretation differs (shard operation vs HQL script).
 		if len(fields) != 3 {
-			return request{}, fmt.Errorf("%w: want EXEC <timeout_ms> <n>", errProto)
+			return request{}, fmt.Errorf("%w: want %s <timeout_ms> <n>", errProto, fields[0])
 		}
 		ms, err := strconv.ParseInt(fields[1], 10, 64)
 		if err != nil || ms < 0 {
@@ -230,7 +245,7 @@ func readRequest(br *bufio.Reader, maxBytes int) (request, error) {
 			return request{}, fmt.Errorf("%w: missing payload terminator", errProto)
 		}
 		return request{
-			verb:    "EXEC",
+			verb:    fields[0],
 			timeout: time.Duration(ms) * time.Millisecond,
 			input:   string(payload[:n]),
 		}, nil

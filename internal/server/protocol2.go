@@ -29,6 +29,8 @@ import (
 //	ENDSTREAM  dispose the stream in the stream field (no reply)
 //	LAG        replication lag probe → OK <lag payload>
 //	PROMOTE    promote a replica → OK "promoted"
+//	SHARDMAP   shard identity probe → OK "<shard_id> <shard_count>"
+//	EXECSHARD  payload as EXEC, but a shard operation, not an HQL script
 //	OK         (server → client) success, payload = output
 //	ERR        (server → client) failure,
 //	           payload = u8 codeLen | code | u32 retry_ms | message
@@ -45,6 +47,8 @@ const (
 	fvEndStream = byte(0x06)
 	fvLag       = byte(0x07)
 	fvPromote   = byte(0x08)
+	fvShardMap  = byte(0x09)
+	fvExecShard = byte(0x0A)
 	fvOK        = byte(0x81)
 	fvErr       = byte(0x82)
 )

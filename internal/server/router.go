@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"hrdb/internal/hql"
+	"hrdb/internal/shard"
 )
 
 // Router is a lag-bounded read/write splitter over one primary and any
@@ -157,17 +158,54 @@ func (r *Router) Exec(ctx context.Context, input string) (string, error) {
 }
 
 // execPrimary runs input on the current primary, re-routing once if the
+// answer proves the primary has moved. Transport errors re-route only under
+// retryAll (matching Client's own policy for ambiguous outcomes) or for
+// read-only input.
+func (r *Router) execPrimary(ctx context.Context, input string) (string, error) {
+	retryTransport := r.retryAll || hql.ReadOnlyScript(input)
+	return r.execOnPrimary(ctx, retryTransport, func(c *Client) (string, error) {
+		return c.Exec(ctx, input)
+	})
+}
+
+// ExecShard routes one encoded shard operation to the current primary with
+// the same failover re-routing as Exec. Shard operations are idempotent by
+// construction (reads are pure, 2PC verbs are gid-guarded), so transport
+// failures always re-route — this is what lets a coordinator's COMMIT
+// survive a shard primary dying mid-2PC: the retry lands on the promoted
+// replica, which answers "unknown" and triggers the APPLY fallback.
+func (r *Router) ExecShard(ctx context.Context, op string) (string, error) {
+	retryTransport := r.retryAll || shard.OpIdempotent(op)
+	return r.execOnPrimary(ctx, retryTransport, func(c *Client) (string, error) {
+		return c.ExecShard(ctx, op)
+	})
+}
+
+// ShardMap fetches the shard identity from the current primary (every node
+// of a shard's replica set reports the same identity). Failover-aware like
+// any primary-bound request; always transport-retryable (pure read).
+func (r *Router) ShardMap(ctx context.Context) (id, count int, err error) {
+	out, err := r.execOnPrimary(ctx, true, func(c *Client) (string, error) {
+		return c.inlineVerb(ctx, "SHARDMAP")
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return parseShardMap(out)
+}
+
+// execOnPrimary runs do against the current primary, re-routing once if the
 // answer proves the primary has moved. Two triggers:
 //
-//   - A "stale" ServerError: the node is fenced, the write definitively did
-//     not execute — always safe to retry on the real primary.
-//   - A transport error, only under retryAll (matching Client's own policy
-//     for ambiguous outcomes) or for read-only input.
-func (r *Router) execPrimary(ctx context.Context, input string) (string, error) {
+//   - A "stale" ServerError: the node is fenced, the request definitively
+//     did not execute — always safe to retry on the real primary.
+//   - A transport error, only when retryTransport says the request is safe
+//     to re-issue after an ambiguous outcome.
+func (r *Router) execOnPrimary(ctx context.Context, retryTransport bool, do func(*Client) (string, error)) (string, error) {
 	r.mu.Lock()
 	primary := r.primary
 	r.mu.Unlock()
-	out, err := primary.Exec(ctx, input)
+	out, err := do(primary)
 	if err == nil || ctx.Err() != nil {
 		return out, err
 	}
@@ -178,9 +216,7 @@ func (r *Router) execPrimary(ctx context.Context, input string) (string, error) 
 			return out, err // a real statement failure, not a deposed node
 		}
 	default:
-		// Transport-level: ambiguous unless retries are globally safe or
-		// the script cannot mutate.
-		if !r.retryAll && !hql.ReadOnlyScript(input) {
+		if !retryTransport {
 			return out, err
 		}
 	}
@@ -191,7 +227,7 @@ func (r *Router) execPrimary(ctx context.Context, input string) (string, error) 
 	r.mu.Lock()
 	cur := r.primary
 	r.mu.Unlock()
-	return cur.Exec(ctx, input)
+	return do(cur)
 }
 
 // discoverPrimary probes the replicas for a node reporting itself promoted,
@@ -201,6 +237,12 @@ func (r *Router) execPrimary(ctx context.Context, input string) (string, error) 
 // found. The lag cache is invalidated on a swap: its entries describe the
 // old topology.
 func (r *Router) discoverPrimary(ctx context.Context, failed *Client) bool {
+	r.mu.Lock()
+	swapped := r.primary != failed
+	r.mu.Unlock()
+	if swapped {
+		return true // a concurrent caller already swapped
+	}
 	replicas := r.replicaSet()
 	var promoted *Client
 	var bestTerm uint64
@@ -213,13 +255,16 @@ func (r *Router) discoverPrimary(ctx context.Context, failed *Client) bool {
 			promoted, bestTerm = rc, li.Term
 		}
 	}
-	if promoted == nil {
-		return false
-	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.primary != failed {
-		return true // a concurrent caller already swapped
+		// A concurrent caller swapped while we probed — our own probe saw
+		// the post-swap replica set (the demoted node), so its emptiness
+		// proves nothing. The retry on the adopted primary is what matters.
+		return true
+	}
+	if promoted == nil {
+		return false
 	}
 	for i, rc := range r.replicas {
 		if rc == promoted {

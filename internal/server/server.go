@@ -13,6 +13,7 @@ import (
 
 	"hrdb/internal/hql"
 	"hrdb/internal/obs"
+	"hrdb/internal/shard"
 	"hrdb/internal/storage"
 )
 
@@ -74,6 +75,11 @@ type Options struct {
 	// pre-v2 build (ERR proto, connection closed), serving only the v1
 	// line protocol. For cross-version compatibility testing.
 	DisableV2 bool
+	// Shard, when non-nil, marks this server a cluster member: it enables
+	// the SHARDMAP verb (shard identity probe, answered inline) and the
+	// EXECSHARD verb (shard operations — scatter reads and two-phase-commit
+	// participation — executed on the worker pool like EXEC).
+	Shard *shard.Node
 }
 
 // withDefaults resolves zero values.
@@ -115,6 +121,9 @@ type task struct {
 	input  string
 	ctx    context.Context
 	cancel context.CancelFunc
+	// run, when non-nil, replaces the session execution (EXECSHARD runs
+	// the shard node instead of parsing input as HQL).
+	run func(ctx context.Context) (string, error)
 	// tn is the namespace the request runs under; the worker returns its
 	// admission slot when the statement leaves the pool.
 	tn *tenantState
@@ -337,6 +346,17 @@ func (s *Server) handleConn(c net.Conn) {
 				return
 			}
 			continue
+		case "SHARDMAP":
+			if s.opts.Shard == nil {
+				if writeErr(bw, codeUnsupported, 0, "this server is not a shard") != nil {
+					return
+				}
+				continue
+			}
+			if writeOK(bw, fmt.Sprintf("%d %d", s.opts.Shard.ID, s.opts.Shard.Count)) != nil {
+				return
+			}
+			continue
 		case "SNAP", "REPL", "PROMOTE", "LAG":
 			// REPL hands the whole connection to the stream until it ends
 			// (the read deadline is already cleared above; the stream
@@ -387,6 +407,14 @@ func (s *Server) serveExec(bw *bufio.Writer, sess *hql.Session, req request, tn 
 		ctx, cancel = context.WithTimeout(context.Background(), timeout)
 	}
 	t := &task{sess: sess, input: req.input, ctx: ctx, cancel: cancel, tn: tn, done: make(chan taskResult, 1)}
+	if req.verb == "EXECSHARD" {
+		if s.opts.Shard == nil {
+			cancel()
+			return writeErr(bw, codeUnsupported, 0, "this server is not a shard") == nil
+		}
+		node, input := s.opts.Shard, req.input
+		t.run = func(ctx context.Context) (string, error) { return node.Execute(ctx, input) }
+	}
 
 	if code, err := s.submit(t); err != nil {
 		cancel()
@@ -516,6 +544,10 @@ func runTask(t *task) (res taskResult) {
 			}
 		}
 	}()
+	if t.run != nil {
+		out, err := t.run(t.ctx)
+		return taskResult{out: out, err: err}
+	}
 	out, err := t.sess.ExecContext(t.ctx, t.input)
 	return taskResult{out: out, err: err}
 }

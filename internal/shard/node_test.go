@@ -1,0 +1,231 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"hrdb/internal/algebra"
+	"hrdb/internal/catalog"
+	"hrdb/internal/core"
+	"hrdb/internal/hql"
+)
+
+// testNode builds a shard node over a fresh in-memory catalog seeded with
+// the Animal hierarchy and the Flies relation.
+func testNode(t *testing.T) (*Node, *catalog.Database) {
+	t.Helper()
+	db := catalog.New()
+	sess := hql.NewSession(hql.MemTarget{DB: db})
+	script := `CREATE HIERARCHY Animal;
+CLASS Bird UNDER Animal IN Animal;
+CLASS Penguin UNDER Bird IN Animal;
+INSTANCE Tweety UNDER Bird IN Animal;
+INSTANCE Paul UNDER Penguin IN Animal;
+CREATE RELATION Flies (Creature: Animal);`
+	if _, err := sess.Exec(script); err != nil {
+		t.Fatal(err)
+	}
+	return NewNode(hql.MemTarget{DB: db}, 0, 1), db
+}
+
+func exec(t *testing.T, n *Node, op string) string {
+	t.Helper()
+	out, err := n.Execute(context.Background(), op)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", op, err)
+	}
+	return out
+}
+
+func TestNodeTuplesSelectEval(t *testing.T) {
+	n, db := testNode(t)
+	if err := db.ApplyOps([]catalog.TxOp{
+		{Kind: "assert", Relation: "Flies", Values: []string{"Bird"}},
+		{Kind: "deny", Relation: "Flies", Values: []string{"Penguin"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	op, _ := EncodeTuples("Flies")
+	tuples, err := DecodeTuples(exec(t, n, op))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tuples) != 2 {
+		t.Fatalf("want 2 stored tuples, got %v", tuples)
+	}
+
+	op, _ = EncodeSelect("Flies", [][2]string{{"Creature", "Penguin"}})
+	got := exec(t, n, op)
+	// The node's SELECT is exactly the algebra operator over its local
+	// snapshot, without consolidation.
+	snap, err := db.Snapshot("Flies")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := algebra.SelectContext(context.Background(), "σ", snap,
+		algebra.Condition{Attr: "Creature", Class: "Penguin"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := EncodeTupleLines(ref.Tuples()); got != want {
+		t.Fatalf("select result %q, want %q", got, want)
+	}
+
+	op, _ = EncodeEval("Flies", []core.Item{{"Tweety"}, {"Paul"}})
+	verdicts, err := DecodeBools(exec(t, n, op))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 2 || !verdicts[0] || verdicts[1] {
+		t.Fatalf("verdicts %v (want Tweety flies, Paul doesn't)", verdicts)
+	}
+}
+
+func TestNodePrepareCommitLifecycle(t *testing.T) {
+	n, db := testNode(t)
+	ops := []catalog.TxOp{{Kind: "assert", Relation: "Flies", Values: []string{"Tweety"}}}
+
+	prep, _ := EncodePrepare("g1", ops)
+	if out := exec(t, n, prep); out != "prepared 1" {
+		t.Fatalf("prepare: %q", out)
+	}
+	if n.PendingCount() != 1 {
+		t.Fatalf("pending %d", n.PendingCount())
+	}
+	// PREPARE journals only: nothing visible yet.
+	r, _ := db.Relation("Flies")
+	if len(r.Tuples()) != 0 {
+		t.Fatal("prepare must not apply")
+	}
+
+	commit, _ := EncodeCommit("g1")
+	if out := exec(t, n, commit); out != "committed" {
+		t.Fatalf("commit: %q", out)
+	}
+	if len(r.Tuples()) != 1 {
+		t.Fatal("commit must apply the journaled ops")
+	}
+	// Idempotent under retries.
+	if out := exec(t, n, commit); out != "committed" {
+		t.Fatalf("duplicate commit: %q", out)
+	}
+	if len(r.Tuples()) != 1 {
+		t.Fatal("duplicate commit must not re-apply")
+	}
+	// A finished gid cannot be re-prepared.
+	if _, err := n.Execute(context.Background(), prep); err == nil {
+		t.Fatal("re-prepare of a finished gid must fail")
+	}
+}
+
+func TestNodeCommitUnknownAndApplyFallback(t *testing.T) {
+	n, db := testNode(t)
+	commit, _ := EncodeCommit("lost")
+	if out := exec(t, n, commit); out != "unknown" {
+		t.Fatalf("commit of unseen gid: %q", out)
+	}
+	// The coordinator answers "unknown" with APPLY.
+	ops := []catalog.TxOp{{Kind: "assert", Relation: "Flies", Values: []string{"Tweety"}}}
+	apply, _ := EncodeApply("lost", ops)
+	if out := exec(t, n, apply); out != "applied" {
+		t.Fatalf("apply: %q", out)
+	}
+	r, _ := db.Relation("Flies")
+	if len(r.Tuples()) != 1 {
+		t.Fatal("apply must apply")
+	}
+	// APPLY is idempotent too (the retry path retries it blindly).
+	if out := exec(t, n, apply); out != "applied" {
+		t.Fatalf("duplicate apply: %q", out)
+	}
+	if len(r.Tuples()) != 1 {
+		t.Fatal("duplicate apply must not re-apply")
+	}
+	// And a late COMMIT for the now-finished gid answers from the done set.
+	if out := exec(t, n, commit); out != "committed" {
+		t.Fatalf("late commit: %q", out)
+	}
+}
+
+func TestNodeAbortDropsJournal(t *testing.T) {
+	n, db := testNode(t)
+	ops := []catalog.TxOp{{Kind: "assert", Relation: "Flies", Values: []string{"Tweety"}}}
+	prep, _ := EncodePrepare("g2", ops)
+	exec(t, n, prep)
+	abort, _ := EncodeAbort("g2")
+	if out := exec(t, n, abort); out != "aborted" {
+		t.Fatalf("abort: %q", out)
+	}
+	if n.PendingCount() != 0 {
+		t.Fatal("abort must drop the journal entry")
+	}
+	r, _ := db.Relation("Flies")
+	if len(r.Tuples()) != 0 {
+		t.Fatal("abort must not apply")
+	}
+}
+
+func TestNodePrepareValidates(t *testing.T) {
+	n, db := testNode(t)
+	// Unknown value caught at prepare time, not commit time.
+	prep, _ := EncodePrepare("g3", []catalog.TxOp{
+		{Kind: "assert", Relation: "Flies", Values: []string{"Bigfoot"}},
+	})
+	if _, err := n.Execute(context.Background(), prep); err == nil {
+		t.Fatal("unknown value must vote no")
+	}
+	if n.PendingCount() != 0 {
+		t.Fatal("a failed prepare must not journal")
+	}
+	r, _ := db.Relation("Flies")
+	if len(r.Tuples()) != 0 {
+		t.Fatal("validation is a dry run: live state untouched")
+	}
+	// Missing relation votes no too.
+	prep, _ = EncodePrepare("g4", []catalog.TxOp{
+		{Kind: "assert", Relation: "NoSuch", Values: []string{"Tweety"}},
+	})
+	if _, err := n.Execute(context.Background(), prep); err == nil {
+		t.Fatal("missing relation must vote no")
+	}
+}
+
+func TestNodeDoneSetEviction(t *testing.T) {
+	n, _ := testNode(t)
+	// Finish doneCap+10 gids via prepare/abort (no state applied).
+	for i := 0; i < doneCap+10; i++ {
+		gid := fmt.Sprintf("g%d", i)
+		prep, _ := EncodePrepare(gid, nil)
+		exec(t, n, prep)
+		abort, _ := EncodeAbort(gid)
+		exec(t, n, abort)
+	}
+	n.mu.Lock()
+	doneLen, fifoLen := len(n.done), len(n.doneFIFO)
+	n.mu.Unlock()
+	if doneLen != doneCap || fifoLen != doneCap {
+		t.Fatalf("done set not bounded: %d/%d (cap %d)", doneLen, fifoLen, doneCap)
+	}
+	// The oldest gid was evicted, so a COMMIT for it answers "unknown" again.
+	commit, _ := EncodeCommit("g0")
+	if out := exec(t, n, commit); out != "unknown" {
+		t.Fatalf("evicted gid: %q", out)
+	}
+}
+
+func TestNodeRejectsMalformedOps(t *testing.T) {
+	n, _ := testNode(t)
+	for _, op := range []string{
+		"FROBNICATE" + "\x1f" + "x",
+		"PREPARE", // no gid
+		"TUPLES",  // no relation
+		strings.Join([]string{"SELECT", "Flies", "Creature"}, "\x1f"), // dangling cond
+	} {
+		if _, err := n.Execute(context.Background(), op); err == nil {
+			t.Fatalf("op %q must fail", op)
+		}
+	}
+}

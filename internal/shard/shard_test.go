@@ -1,0 +1,81 @@
+package shard
+
+import (
+	"testing"
+
+	"hrdb/internal/catalog"
+	"hrdb/internal/hierarchy"
+)
+
+func TestHomeShardStableAndInRange(t *testing.T) {
+	for _, count := range []int{1, 2, 3, 7} {
+		a := HomeShard("Flies", []string{"Tweety"}, count)
+		b := HomeShard("Flies", []string{"Tweety"}, count)
+		if a != b {
+			t.Fatalf("count %d: not deterministic: %d vs %d", count, a, b)
+		}
+		if a < 0 || a >= count {
+			t.Fatalf("count %d: shard %d out of range", count, a)
+		}
+	}
+	if HomeShard("anything", []string{"x"}, 1) != 0 {
+		t.Fatal("single shard owns everything")
+	}
+	if HomeShard("anything", []string{"x"}, 0) != 0 {
+		t.Fatal("degenerate count must not divide by zero")
+	}
+}
+
+func TestHomeShardSpreads(t *testing.T) {
+	// Not a strict distribution test — just that the hash isn't constant.
+	seen := map[int]bool{}
+	vals := []string{"a", "b", "c", "d", "e", "f", "g", "h", "i", "j"}
+	for _, v := range vals {
+		seen[HomeShard("r", []string{v}, 3)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("10 keys all hashed to one of 3 shards: %v", seen)
+	}
+}
+
+func testCatalog(t *testing.T) *catalog.Database {
+	t.Helper()
+	db := catalog.New()
+	h := hierarchy.New("Animal")
+	if err := h.AddClass("Bird"); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.AddInstance("Tweety", "Bird"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AttachHierarchy(h); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateRelation("Flies", catalog.AttrSpec{Name: "Creature", Domain: "Animal"}); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPlacement(t *testing.T) {
+	db := testCatalog(t)
+	local, err := Placement(db, "Flies", []string{"Tweety"})
+	if err != nil || !local {
+		t.Fatalf("all-instance tuple must be local: %v, %v", local, err)
+	}
+	local, err = Placement(db, "Flies", []string{"Bird"})
+	if err != nil || local {
+		t.Fatalf("class tuple must be global: %v, %v", local, err)
+	}
+	// Wrong arity and unknown values classify global so every shard raises
+	// the same validation error the broadcast write will hit.
+	if local, _ := Placement(db, "Flies", []string{"Tweety", "extra"}); local {
+		t.Fatal("wrong arity must classify global")
+	}
+	if local, _ := Placement(db, "Flies", []string{"Bigfoot"}); local {
+		t.Fatal("unknown value must classify global")
+	}
+	if _, err := Placement(db, "NoSuch", []string{"x"}); err == nil {
+		t.Fatal("missing relation must error")
+	}
+}

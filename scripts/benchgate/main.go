@@ -1,0 +1,218 @@
+// Command benchgate is the benchmark regression gate: it compares fresh
+// machine-readable results (BENCH_<exp>.json, as written by `make
+// bench-json`) against the checked-in baselines in scripts/bench_baseline/
+// and fails when any gated figure regresses past the tolerance.
+//
+// Only fields whose names carry a direction are gated: *_ns (latency, lower
+// is better) and qps / *_qps (throughput, higher is better). Counts, ratios
+// and configuration echoes are ignored — they describe the run, they don't
+// measure it. The default tolerance is 3x, deliberately loose: CI boxes
+// differ wildly from the baseline box, and the gate exists to catch
+// order-of-magnitude regressions (a lost index, an accidental O(n²)), not
+// scheduler jitter. Override with -tolerance or BENCHGATE_TOLERANCE.
+//
+//	go run ./scripts/benchgate -baseline scripts/bench_baseline -current .
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type delta struct {
+	file     string
+	path     string
+	baseline float64
+	current  float64
+	ratio    float64 // degradation factor: >1 means worse than baseline
+	gated    bool
+	failed   bool
+}
+
+func main() {
+	baselineDir := flag.String("baseline", "scripts/bench_baseline", "directory with the checked-in BENCH_<exp>.json baselines")
+	currentDir := flag.String("current", ".", "directory with the freshly produced BENCH_<exp>.json files")
+	tolerance := flag.Float64("tolerance", envTolerance(3.0), "maximum allowed degradation factor")
+	flag.Parse()
+
+	baselines, err := filepath.Glob(filepath.Join(*baselineDir, "BENCH_*.json"))
+	if err != nil || len(baselines) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no baselines under %s\n", *baselineDir)
+		os.Exit(1)
+	}
+	sort.Strings(baselines)
+
+	var deltas []delta
+	var missing []string
+	for _, basePath := range baselines {
+		name := filepath.Base(basePath)
+		curPath := filepath.Join(*currentDir, name)
+		base, err := load(basePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+			os.Exit(1)
+		}
+		cur, err := load(curPath)
+		if err != nil {
+			missing = append(missing, name)
+			continue
+		}
+		compare(name, "", base, cur, *tolerance, &deltas)
+	}
+	if len(missing) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: missing fresh results for %s — run `make bench-json` first\n",
+			strings.Join(missing, ", "))
+		os.Exit(1)
+	}
+
+	var failed []delta
+	gated := 0
+	for _, d := range deltas {
+		if d.gated {
+			gated++
+		}
+		if d.failed {
+			failed = append(failed, d)
+		}
+	}
+	fmt.Printf("benchgate: %d figures gated at %.1fx tolerance, %d regressed\n", gated, *tolerance, len(failed))
+	if len(failed) == 0 {
+		fmt.Println("benchgate passed")
+		return
+	}
+
+	// A readable delta table: what regressed, by how much, against what.
+	fmt.Println()
+	fmt.Println("| file | field | baseline | current | degradation |")
+	fmt.Println("|---|---|---|---|---|")
+	for _, d := range failed {
+		fmt.Printf("| %s | %s | %s | %s | %.2fx (limit %.1fx) |\n",
+			d.file, d.path, fmtVal(d.path, d.baseline), fmtVal(d.path, d.current), d.ratio, *tolerance)
+	}
+	fmt.Println()
+	fmt.Fprintln(os.Stderr, "benchgate FAILED: benchmark regression past tolerance (see table above).")
+	fmt.Fprintln(os.Stderr, "If the slowdown is intended, regenerate the baselines: make bench-json && cp BENCH_*.json scripts/bench_baseline/")
+	os.Exit(1)
+}
+
+func envTolerance(def float64) float64 {
+	if s := os.Getenv("BENCHGATE_TOLERANCE"); s != "" {
+		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func load(path string) (any, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return v, nil
+}
+
+// compare walks baseline and current in parallel, recording a delta for
+// every gated numeric leaf present in both. Structural drift (a field or
+// row present in only one side) is tolerated: experiments grow, and the
+// gate's job is regressions in figures both sides report.
+func compare(file, path string, base, cur any, tol float64, out *[]delta) {
+	switch b := base.(type) {
+	case map[string]any:
+		c, ok := cur.(map[string]any)
+		if !ok {
+			return
+		}
+		keys := make([]string, 0, len(b))
+		for k := range b {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if cv, ok := c[k]; ok {
+				compare(file, joinPath(path, k), b[k], cv, tol, out)
+			}
+		}
+	case []any:
+		c, ok := cur.([]any)
+		if !ok {
+			return
+		}
+		n := len(b)
+		if len(c) < n {
+			n = len(c)
+		}
+		for i := 0; i < n; i++ {
+			compare(file, fmt.Sprintf("%s[%d]", path, i), b[i], c[i], tol, out)
+		}
+	case float64:
+		c, ok := cur.(float64)
+		if !ok {
+			return
+		}
+		lower, higher := direction(path)
+		if !lower && !higher || b <= 0 || c <= 0 {
+			return
+		}
+		ratio := c / b // lower-is-better: degradation = current/baseline
+		if higher {
+			ratio = b / c
+		}
+		*out = append(*out, delta{
+			file: file, path: path, baseline: b, current: c,
+			ratio: ratio, gated: true, failed: ratio > tol,
+		})
+	}
+}
+
+// direction classifies a leaf by its field name: *_ns gates lower-is-better,
+// qps / *_qps gates higher-is-better, anything else is ungated.
+func direction(path string) (lowerIsBetter, higherIsBetter bool) {
+	field := path
+	if i := strings.LastIndexByte(field, '.'); i >= 0 {
+		field = field[i+1:]
+	}
+	if i := strings.IndexByte(field, '['); i >= 0 {
+		field = field[:i]
+	}
+	switch {
+	case strings.HasSuffix(field, "_ns"):
+		return true, false
+	case field == "qps" || strings.HasSuffix(field, "_qps"):
+		return false, true
+	}
+	return false, false
+}
+
+func fmtVal(path string, v float64) string {
+	if lower, _ := direction(path); lower {
+		switch {
+		case v >= 1e9:
+			return fmt.Sprintf("%.2fs", v/1e9)
+		case v >= 1e6:
+			return fmt.Sprintf("%.2fms", v/1e6)
+		case v >= 1e3:
+			return fmt.Sprintf("%.2fµs", v/1e3)
+		default:
+			return fmt.Sprintf("%.0fns", v)
+		}
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+func joinPath(path, k string) string {
+	if path == "" {
+		return k
+	}
+	return path + "." + k
+}
