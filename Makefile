@@ -3,7 +3,7 @@
 GO ?= go
 FUZZTIME ?= 30s
 
-.PHONY: all help build test test-crash test-server test-compat test-obs test-repl test-failover test-shard race cover bench bench-smoke bench-json benchgate figures experiments fuzz fuzz-smoke clean
+.PHONY: all help build test test-crash test-server test-compat test-obs test-repl test-failover test-shard test-view race cover bench bench-smoke bench-json benchgate figures experiments fuzz fuzz-smoke clean
 
 all: build test
 
@@ -30,6 +30,9 @@ help:
 	@echo "               (placement, scatter-gather, 2PC chaos, coordinator"
 	@echo "               failover through a shard's replica set);"
 	@echo "               CHAOS_ROUNDS=<n> soaks the 2PC chaos loop"
+	@echo "  test-view    race-mode pass over materialized views and change"
+	@echo "               feeds (differential view-vs-recompute property test,"
+	@echo "               SUBSCRIBE resume + chaos severs, subwire framing)"
 	@echo "  race         run the tests under the race detector"
 	@echo "               (includes the concurrency stress suites)"
 	@echo "  cover        coverage summary for internal/..."
@@ -38,11 +41,11 @@ help:
 	@echo "  bench-smoke  quick pass over the batch-evaluation and"
 	@echo "               verdict-cache benchmarks only"
 	@echo "  bench-json   machine-readable BENCH_<exp>.json for the planner,"
-	@echo "               protocol, and sharding experiments (E9, E12-E14)"
+	@echo "               protocol, sharding, and view experiments (E9, E12-E15)"
 	@echo "  benchgate    regression gate: fresh bench-json numbers vs the"
 	@echo "               checked-in scripts/bench_baseline/ (~3x tolerance)"
 	@echo "  figures      regenerate the paper figures (cmd/hrfigures)"
-	@echo "  experiments  print the E1-E13 experiment tables (cmd/hrbench)"
+	@echo "  experiments  print the E1-E15 experiment tables (cmd/hrbench)"
 	@echo "  fuzz         run the fuzz targets for FUZZTIME ($(FUZZTIME)) each"
 	@echo "  fuzz-smoke   run the fuzz targets for 15s each (CI)"
 
@@ -53,7 +56,7 @@ build:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/storage/ ./internal/core/ ./internal/server/ ./internal/obs/ ./internal/repl/ ./internal/dag/ ./internal/hierarchy/ ./internal/algebra/
+	$(GO) test -race ./internal/storage/ ./internal/core/ ./internal/server/ ./internal/obs/ ./internal/repl/ ./internal/dag/ ./internal/hierarchy/ ./internal/algebra/ ./internal/view/ ./internal/subwire/
 
 test-crash:
 	$(GO) test -run 'TestCrash' -count=1 -v ./internal/storage/
@@ -77,6 +80,10 @@ test-shard:
 	$(GO) test -race -count=1 ./internal/shard/
 	$(GO) test -race -count=1 -run 'TestShard|TestDialCluster' .
 
+test-view:
+	$(GO) test -race -count=1 ./internal/view/ ./internal/subwire/
+	$(GO) test -race -count=1 -run 'TestSubscribe' ./internal/server/
+
 race:
 	$(GO) test -race ./...
 
@@ -93,7 +100,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluateBatch|BenchmarkHoldsCached' -benchtime=50x .
 
 bench-json:
-	$(GO) run ./cmd/hrbench -json . E9 E12 E13 E14
+	$(GO) run ./cmd/hrbench -json . E9 E12 E13 E14 E15
 
 benchgate:
 	./scripts/benchgate.sh
@@ -111,6 +118,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzCrashOffset -fuzztime=$(FUZZTIME) ./internal/storage/
 	$(GO) test -fuzz=FuzzReadSnapshot -fuzztime=$(FUZZTIME) ./internal/storage/
 	$(GO) test -fuzz=FuzzStreamDecoder -fuzztime=$(FUZZTIME) ./internal/storage/
+	$(GO) test -fuzz=FuzzSubscribeFrameDecode -fuzztime=$(FUZZTIME) ./internal/subwire/
 
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=15s

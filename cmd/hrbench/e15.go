@@ -1,0 +1,151 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"sync"
+	"time"
+
+	"hrdb/internal/catalog"
+	"hrdb/internal/hql"
+	"hrdb/internal/storage"
+	"hrdb/internal/view"
+)
+
+// e15Row is one fixture size's materialized-view measurement.
+type e15Row struct {
+	Classes      int     `json:"classes"`
+	Fanout       int     `json:"fanout"`
+	ViewRows     int     `json:"view_rows"`
+	RequeryNs    float64 `json:"requery_ns"`
+	WarmReadNs   float64 `json:"warm_read_ns"`
+	Speedup      float64 `json:"speedup"`
+	DeltaApplyNs float64 `json:"delta_apply_ns"`
+	Deltas       uint64  `json:"deltas_applied"`
+	Recomputes   uint64  `json:"recomputes"`
+}
+
+// e15Fixture builds a durable store holding a classes×fanout taxonomy with
+// every class asserted at the class level — so the relation stores `classes`
+// tuples whose flat extension is classes×fanout rows — plus a spare class Z
+// with one unasserted instance z0 for one-row delta probes. A view manager
+// maintains `flat`, the materialized extension.
+func e15Fixture(classes, fanout int) (st *storage.Store, m *view.Manager, cleanup func()) {
+	dir, err := os.MkdirTemp("", "hrbench-e15-*")
+	check(err)
+	st, err = storage.Open(dir)
+	check(err)
+	check(st.CreateHierarchy("D"))
+	for c := 0; c < classes; c++ {
+		check(st.AddClass("D", fmt.Sprintf("C%d", c)))
+	}
+	check(st.AddClass("D", "Z"))
+	check(st.AddInstance("D", "z0", "Z"))
+	// Concurrent seeding lets group commit amortize the fsyncs.
+	total := classes * fanout
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < total; i += workers {
+				check(st.AddInstance("D", fmt.Sprintf("i%06d", i), fmt.Sprintf("C%d", i%classes)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	check(st.CreateRelation("R", catalog.AttrSpec{Name: "X", Domain: "D"}))
+	for c := 0; c < classes; c++ {
+		check(st.Assert("R", fmt.Sprintf("C%d", c)))
+	}
+	m, err = view.Open(st, view.Options{})
+	check(err)
+	check(m.Create("flat", "EXTENSION R"))
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	check(m.Wait(ctx))
+	cancel()
+	return st, m, func() {
+		check(m.Close())
+		check(st.Close())
+		check(os.RemoveAll(dir))
+	}
+}
+
+// e15Views: materialized inherited views. The defining query flattens the
+// class-level relation through the hierarchy, so re-running it costs
+// O(extension); a warm view read returns the maintained rows without any
+// evaluation, and a one-tuple write folds into the view as an O(delta)
+// journal entry rather than a recompute. The speedup column is
+// requery/warm-read; the acceptance bar is ≥10× at the 10k-row fixture.
+// Delta-apply latency staying flat while the view grows 10× is the O(delta)
+// evidence.
+func e15Views() {
+	header("E15 — materialized views: warm reads vs re-query, delta-apply cost")
+	fmt.Println("| classes | fanout | view rows | re-run query | warm view read | speedup | delta apply | deltas | recomputes |")
+	fmt.Println("|---|---|---|---|---|---|---|---|---|")
+
+	ctx := context.Background()
+	var rows []e15Row
+	for _, p := range []struct{ classes, fanout int }{
+		{10, 100}, {10, 400}, {10, 1000},
+	} {
+		st, m, cleanup := e15Fixture(p.classes, p.fanout)
+		sess := hql.NewSession(view.NewTarget(st, m))
+
+		// Re-running the defining flattening query evaluates every stored
+		// tuple's extension from scratch.
+		requeryNs := timeIt(func() {
+			if _, err := sess.Exec("EXTENSION R;"); err != nil {
+				log.Fatal(err)
+			}
+		})
+		// A warm view read is the maintained result, copied out.
+		var viewRows int
+		warmNs := timeIt(func() {
+			rs, err := m.Rows("flat")
+			if err != nil {
+				log.Fatal(err)
+			}
+			viewRows = len(rs)
+		})
+		// One-row delta: assert/retract an instance tuple no class tuple
+		// covers, waiting for the maintenance loop to fold each side in.
+		deltaNs := timeIt(func() {
+			check(st.Assert("R", "z0"))
+			check(m.Wait(ctx))
+			check(st.Retract("R", "z0"))
+			check(m.Wait(ctx))
+		}) / 2 // two deltas per cycle
+		deltas, recomputes, err := m.Stats("flat")
+		check(err)
+		cleanup()
+
+		row := e15Row{
+			Classes: p.classes, Fanout: p.fanout, ViewRows: viewRows,
+			RequeryNs: requeryNs, WarmReadNs: warmNs, Speedup: requeryNs / warmNs,
+			DeltaApplyNs: deltaNs, Deltas: deltas, Recomputes: recomputes,
+		}
+		rows = append(rows, row)
+		fmt.Printf("| %d | %d | %d | %s | %s | %.0f× | %s | %d | %d |\n",
+			row.Classes, row.Fanout, row.ViewRows, fmtNs(row.RequeryNs),
+			fmtNs(row.WarmReadNs), row.Speedup, fmtNs(row.DeltaApplyNs),
+			row.Deltas, row.Recomputes)
+		if row.Recomputes > 1 {
+			log.Fatalf("E15: %d recomputes — tuple-only writes must take the delta path", row.Recomputes)
+		}
+	}
+	last := rows[len(rows)-1]
+	if last.Speedup < 10 {
+		log.Fatalf("E15: warm view read only %.1f× faster than re-query at %d rows (want ≥10×)",
+			last.Speedup, last.ViewRows)
+	}
+	fmt.Printf("\nwarm read speedup at %d rows: %.0f×; delta apply %s (%d rows) vs %s (%d rows)\n",
+		last.ViewRows, last.Speedup,
+		fmtNs(rows[0].DeltaApplyNs), rows[0].ViewRows, fmtNs(last.DeltaApplyNs), last.ViewRows)
+	emitJSON("E15", struct {
+		Rows []e15Row `json:"rows"`
+	}{rows})
+}

@@ -1,4 +1,4 @@
-// Command hrbench runs the performance experiments E1–E14 of EXPERIMENTS.md
+// Command hrbench runs the performance experiments E1–E15 of EXPERIMENTS.md
 // and prints their tables. The paper (a model paper) reports no absolute
 // numbers; these experiments quantify the claims its prose makes — storage
 // compression from class tuples (§1), the join degradation of the flat
@@ -47,12 +47,13 @@ func main() {
 		"E12": e12Multiplexing,
 		"E13": e13Planner,
 		"E14": e14Sharding,
+		"E15": e15Views,
 	}
 	flag.StringVar(&jsonDir, "json", "", "directory to also write machine-readable BENCH_<exp>.json files to")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
-		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+		args = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 	}
 	for _, a := range args {
 		f, ok := exps[strings.ToUpper(a)]

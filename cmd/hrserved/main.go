@@ -17,6 +17,15 @@
 // USE on v1). Limits on the default namespace: -tenant "default:rate=500".
 // -disable-v2 serves only the v1 line protocol (compatibility testing).
 //
+// Materialized views (see docs/VIEWS.md):
+//
+//	hrserved -data ./mydb -views
+//
+// -views enables CREATE MATERIALIZED VIEW (registered views are computed
+// once, persisted next to the store, and maintained incrementally from the
+// committed WAL) and the SUBSCRIBE verb, which streams view and relation
+// change feeds to clients with resumable positions on both protocols.
+//
 // Replication (see docs/REPLICATION.md):
 //
 //	hrserved -data ./mydb -repl-addr :7584   # primary: serve WAL shipping on :7584
@@ -82,6 +91,7 @@ import (
 const rejoinProbeTimeout = 3 * time.Second
 
 type serveConfig struct {
+	views           bool
 	addr            string
 	dataDir         string
 	metricsAddr     string
@@ -113,6 +123,7 @@ func main() {
 	autoFailover := flag.Bool("auto-failover", false, "self-promote after -election-timeout of replication silence (replica mode)")
 	electionTimeout := flag.Duration("election-timeout", 0, "replication silence that triggers an election campaign (0 = 2s)")
 	disableV2 := flag.Bool("disable-v2", false, "serve only the v1 line protocol (reject HELLO upgrades)")
+	views := flag.Bool("views", false, "enable materialized views and SUBSCRIBE change feeds (requires -data)")
 	shardID := flag.Int("shard-id", -1, "this node's shard index (requires -shard-peers; -1 = not a shard)")
 	shardPeers := flag.String("shard-peers", "", "comma-separated client addresses of every shard, in shard-id order (fixes the shard count)")
 	var peers peerFlags
@@ -134,6 +145,7 @@ func main() {
 		opts.SlowQuery = hrdb.NewSlowQueryLog(os.Stderr, *slowQuery)
 	}
 	cfg := serveConfig{
+		views:           *views,
 		addr:            *addr,
 		dataDir:         *dataDir,
 		metricsAddr:     *metricsAddr,
@@ -173,6 +185,9 @@ func run(cfg serveConfig, opts hrdb.ServerOptions) error {
 	}
 	if cfg.shardID >= len(cfg.shardPeers) && len(cfg.shardPeers) > 0 {
 		return fmt.Errorf("-shard-id %d out of range: -shard-peers lists %d shards", cfg.shardID, len(cfg.shardPeers))
+	}
+	if cfg.views && (cfg.dataDir == "" || cfg.replicaOf != "") {
+		return errors.New("-views requires -data: view maintenance tails a durable store's WAL")
 	}
 
 	var store *hrdb.Store
@@ -262,6 +277,20 @@ func run(cfg serveConfig, opts hrdb.ServerOptions) error {
 		opts.CloseTarget = true
 		target = store
 		fmt.Fprintf(os.Stderr, "hrserved: durable database at %s\n", cfg.dataDir)
+		if cfg.views {
+			// Views persist next to the store and are maintained from its
+			// committed WAL stream; the manager closes after the drain (its
+			// tail loop ends when the store does).
+			vm, err := hrdb.OpenViews(store, hrdb.ViewOptions{Dir: cfg.dataDir})
+			if err != nil {
+				store.Close()
+				return fmt.Errorf("views: %w", err)
+			}
+			defer vm.Close()
+			target = hrdb.NewViewTarget(store, vm)
+			opts.Subscribe = vm
+			fmt.Fprintf(os.Stderr, "hrserved: materialized views enabled (%d restored)\n", len(vm.Names()))
+		}
 		if cfg.replAddr != "" {
 			// Replication rides a dedicated listener sharing the store, so
 			// snapshot fetches and WAL streams never occupy the client

@@ -70,6 +70,7 @@ import (
 	"hrdb/internal/shard"
 	"hrdb/internal/storage"
 	"hrdb/internal/tvl"
+	"hrdb/internal/view"
 )
 
 // Core model types.
@@ -323,6 +324,40 @@ func WithTenant(name string) Option { return server.WithTenant(name) }
 // WithProtocol pins the wire protocol: ProtocolAuto (default), ProtocolV1,
 // or ProtocolV2.
 func WithProtocol(v int) Option { return server.WithProtocol(v) }
+
+// Materialized views: CREATE MATERIALIZED VIEW registers a read-only HQL
+// query whose results are computed once, persisted, and then maintained
+// incrementally by tailing the committed WAL stream; SUBSCRIBE streams a
+// view's (or relation's) changes to clients with resumable positions. See
+// docs/VIEWS.md.
+type (
+	// ViewManager maintains materialized views over a Store and serves
+	// their change feeds; wire it into HQL with NewViewTarget and into a
+	// Server with ServerOptions.Subscribe.
+	ViewManager = view.Manager
+	// ViewOptions tunes view maintenance (persistence directory, journal
+	// retention, feed heartbeat cadence).
+	ViewOptions = view.Options
+	// Subscription is a client-side change feed with automatic
+	// reconnect-and-resume; see Client.Subscribe.
+	Subscription = server.Subscription
+	// SubChange is one change delivered by a Subscription: a full
+	// "snapshot" or an incremental "delta" with its resumable position.
+	SubChange = server.SubChange
+)
+
+// ErrViewNotFound reports an unknown view name.
+var ErrViewNotFound = view.ErrNotFound
+
+// OpenViews starts a view manager over a store: persisted views are
+// restored (recomputing when the store moved while it was down) and
+// maintenance begins tailing the WAL. Close it after the server drains.
+func OpenViews(s *Store, opts ViewOptions) (*ViewManager, error) { return view.Open(s, opts) }
+
+// NewViewTarget wraps a target so HQL sessions can create, query, and drop
+// materialized views (CREATE MATERIALIZED VIEW, SHOW VIEWS, DROP VIEW, and
+// views readable wherever a relation is).
+func NewViewTarget(base Target, m *ViewManager) Target { return view.NewTarget(base, m) }
 
 // Replication: a primary ships its WAL to read replicas; a router splits
 // reads onto fresh-enough replicas. See README "Replication" and

@@ -121,7 +121,7 @@ type ProjectStmt struct {
 // ShowStmt — SHOW HIERARCHIES | SHOW RELATIONS | SHOW HIERARCHY <d> |
 // SHOW RELATION <r>.
 type ShowStmt struct {
-	What   string // "hierarchies" | "relations" | "hierarchy" | "relation"
+	What   string // "hierarchies" | "relations" | "hierarchy" | "relation" | "views" | "view"
 	Target string
 }
 
@@ -180,6 +180,17 @@ type DumpStmt struct{}
 type ExplainStmt struct{ Inner Stmt }
 
 // BeginStmt / CommitStmt / RollbackStmt — transaction control.
+// CreateViewStmt — CREATE MATERIALIZED VIEW <name> AS <query>. Query is
+// the canonical rendering (Render) of the defining statement, which must
+// be a materializable read (SELECT without AS, EXTENSION, or COUNT).
+type CreateViewStmt struct {
+	Name  string
+	Query string
+}
+
+// DropViewStmt — DROP VIEW <name>.
+type DropViewStmt struct{ Name string }
+
 type BeginStmt struct{}
 
 // CommitStmt ends a transaction, applying it atomically.
@@ -214,6 +225,8 @@ func (InferStmt) stmt()           {}
 func (CountStmt) stmt()           {}
 func (DumpStmt) stmt()            {}
 func (ExplainStmt) stmt()         {}
+func (CreateViewStmt) stmt()      {}
+func (DropViewStmt) stmt()        {}
 func (BeginStmt) stmt()           {}
 func (CommitStmt) stmt()          {}
 func (RollbackStmt) stmt()        {}
@@ -260,6 +273,11 @@ func (DumpStmt) readOnly() bool  { return true }
 // EXPLAIN only plans — it never runs the wrapped statement, so even an
 // EXPLAIN over a SELECT … AS or a binary operator attaches nothing.
 func (ExplainStmt) readOnly() bool { return true }
+
+// View DDL mutates the view catalog; the defining query inside CREATE
+// MATERIALIZED VIEW is read-only but the registration is not.
+func (CreateViewStmt) readOnly() bool { return false }
+func (DropViewStmt) readOnly() bool   { return false }
 
 // Transaction control mutates session transaction state.
 func (BeginStmt) readOnly() bool    { return false }
@@ -334,6 +352,11 @@ func (s ProjectStmt) shardInfo() ShardInfo {
 
 // Session state, whole-database views, and transaction control are the
 // coordinator's own.
+// Materialized views live at the coordinator: they tail the local
+// committed WAL, which a sharded deployment does not have in one place.
+func (s CreateViewStmt) shardInfo() ShardInfo { return ShardInfo{Route: RouteCoordinator} }
+func (s DropViewStmt) shardInfo() ShardInfo   { return ShardInfo{Route: RouteCoordinator} }
+
 func (s ShowStmt) shardInfo() ShardInfo     { return ShardInfo{Route: RouteCoordinator} }
 func (s RuleStmt) shardInfo() ShardInfo     { return ShardInfo{Route: RouteCoordinator} }
 func (s InferStmt) shardInfo() ShardInfo    { return ShardInfo{Route: RouteCoordinator} }

@@ -364,14 +364,14 @@ func (s *Session) exec(ctx context.Context, st Stmt) (string, error) {
 		return fmt.Sprintf("retracted %s(%s)", st.Relation, strings.Join(st.Values, ", ")), nil
 
 	case HoldsStmt:
-		v, err := db.Evaluate(st.Relation, st.Values...)
+		v, err := s.evaluateOrView(st.Relation, st.Values)
 		if err != nil {
 			return "", err
 		}
 		return fmt.Sprintf("%v", v.Value), nil
 
 	case WhyStmt:
-		v, err := db.Evaluate(st.Relation, st.Values...)
+		v, err := s.evaluateOrView(st.Relation, st.Values)
 		if err != nil {
 			return "", err
 		}
@@ -392,7 +392,7 @@ func (s *Session) exec(ctx context.Context, st Stmt) (string, error) {
 		return b.String(), nil
 
 	case SelectStmt:
-		r, err := db.Snapshot(st.Relation)
+		r, err := s.snapshotOrView(st.Relation)
 		if err != nil {
 			return "", err
 		}
@@ -450,7 +450,7 @@ func (s *Session) exec(ctx context.Context, st Stmt) (string, error) {
 		return "", fmt.Errorf("hql: EXPLAIN: unsupported statement %T", st.Inner)
 
 	case ExtensionStmt:
-		r, err := db.Snapshot(st.Relation)
+		r, err := s.snapshotOrView(st.Relation)
 		if err != nil {
 			return "", err
 		}
@@ -486,11 +486,11 @@ func (s *Session) exec(ctx context.Context, st Stmt) (string, error) {
 		return fmt.Sprintf("explicated %s (%d tuples)", st.Relation, r.Len()), nil
 
 	case BinOpStmt:
-		left, err := db.Snapshot(st.Left)
+		left, err := s.snapshotOrView(st.Left)
 		if err != nil {
 			return "", err
 		}
-		right, err := db.Snapshot(st.Right)
+		right, err := s.snapshotOrView(st.Right)
 		if err != nil {
 			return "", err
 		}
@@ -514,7 +514,7 @@ func (s *Session) exec(ctx context.Context, st Stmt) (string, error) {
 		return res.Table(), nil
 
 	case ProjectStmt:
-		r, err := db.Snapshot(st.Relation)
+		r, err := s.snapshotOrView(st.Relation)
 		if err != nil {
 			return "", err
 		}
@@ -545,7 +545,7 @@ func (s *Session) exec(ctx context.Context, st Stmt) (string, error) {
 		return s.infer(st)
 
 	case CountStmt:
-		r, err := db.Snapshot(st.Relation)
+		r, err := s.snapshotOrView(st.Relation)
 		if err != nil {
 			return "", err
 		}
@@ -596,6 +596,26 @@ func (s *Session) exec(ctx context.Context, st Stmt) (string, error) {
 			return "", err
 		}
 		return fmt.Sprintf("dropped node %s from %s", st.Name, st.Domain), nil
+
+	case CreateViewStmt:
+		vc, err := s.viewCatalog()
+		if err != nil {
+			return "", err
+		}
+		if err := vc.CreateView(st.Name, st.Query); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("created materialized view %s", st.Name), nil
+
+	case DropViewStmt:
+		vc, err := s.viewCatalog()
+		if err != nil {
+			return "", err
+		}
+		if err := vc.DropView(st.Name); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("dropped view %s", st.Name), nil
 
 	case BeginStmt:
 		if s.inTx {
@@ -786,11 +806,27 @@ func (s *Session) show(st ShowStmt) (string, error) {
 		}
 		return strings.Join(lines, "\n"), nil
 	case "relation":
-		r, err := db.Snapshot(st.Target)
+		r, err := s.snapshotOrView(st.Target)
 		if err != nil {
 			return "", err
 		}
 		return r.Table(), nil
+	case "views":
+		vc, err := s.viewCatalog()
+		if err != nil {
+			return "", err
+		}
+		names := vc.ViewNames()
+		if len(names) == 0 {
+			return "no views", nil
+		}
+		return strings.Join(names, "\n"), nil
+	case "view":
+		vc, err := s.viewCatalog()
+		if err != nil {
+			return "", err
+		}
+		return vc.ViewStatus(st.Target)
 	case "hierarchy":
 		h, err := db.Hierarchy(st.Target)
 		if err != nil {

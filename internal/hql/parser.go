@@ -145,6 +145,13 @@ func (p *parser) statement() (Stmt, error) {
 			}
 			return DropNodeStmt{Domain: dom, Name: name}, nil
 		}
+		if p.keyword("view") {
+			name, err := p.ident("a view name")
+			if err != nil {
+				return nil, err
+			}
+			return DropViewStmt{Name: name}, nil
+		}
 		if err := p.expectKeyword("relation"); err != nil {
 			return nil, err
 		}
@@ -348,8 +355,29 @@ func (p *parser) create() (Stmt, error) {
 			return nil, err
 		}
 		return CreateRelationStmt{Name: name, Attrs: attrs}, nil
+	case p.keyword("materialized"):
+		if err := p.expectKeyword("view"); err != nil {
+			return nil, err
+		}
+		name, err := p.ident("a view name")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("as"); err != nil {
+			return nil, err
+		}
+		inner, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		if err := Materializable(inner); err != nil {
+			return nil, p.errf("%v", err)
+		}
+		// Store the canonical rendering: the view catalog re-parses it, and
+		// Parse(Render(st)) == st, so no raw-text capture is needed.
+		return CreateViewStmt{Name: name, Query: Render(inner)}, nil
 	default:
-		return nil, p.errf("expected HIERARCHY or RELATION after CREATE")
+		return nil, p.errf("expected HIERARCHY, RELATION or MATERIALIZED VIEW after CREATE")
 	}
 }
 
@@ -601,7 +629,15 @@ func (p *parser) show() (Stmt, error) {
 			return nil, err
 		}
 		return ShowStmt{What: "relation", Target: r}, nil
+	case p.keyword("views"):
+		return ShowStmt{What: "views"}, nil
+	case p.keyword("view"):
+		v, err := p.ident("a view name")
+		if err != nil {
+			return nil, err
+		}
+		return ShowStmt{What: "view", Target: v}, nil
 	default:
-		return nil, p.errf("expected HIERARCHIES, RELATIONS, RULES, HIERARCHY or RELATION after SHOW")
+		return nil, p.errf("expected HIERARCHIES, RELATIONS, RULES, VIEWS, HIERARCHY, RELATION or VIEW after SHOW")
 	}
 }

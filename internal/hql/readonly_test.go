@@ -49,6 +49,11 @@ func TestReadOnlyStmtAllKinds(t *testing.T) {
 		{BinOpStmt{Op: "union", Left: "A", Right: "B", As: "C"}, false},
 		{ProjectStmt{Relation: "R", As: "P"}, false},
 
+		// Materialized-view DDL mutates the view catalog; the defining
+		// query inside CREATE ... VIEW is read-only, the registration not.
+		{CreateViewStmt{Name: "V", Query: "EXTENSION R"}, false},
+		{DropViewStmt{Name: "V"}, false},
+
 		// Session and database mode state.
 		{RuleStmt{Head: AtomSpec{Pred: "p"}}, false},
 		{SetPolicyStmt{Policy: "warn"}, false},
@@ -67,7 +72,7 @@ func TestReadOnlyStmtAllKinds(t *testing.T) {
 	}
 	// One row (at least) per statement kind. Update both the AST and this
 	// table when adding a statement.
-	const stmtKinds = 28
+	const stmtKinds = 30
 	if len(kinds) != stmtKinds {
 		var names []string
 		for k := range kinds {

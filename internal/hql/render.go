@@ -75,9 +75,15 @@ func Render(st Stmt) string {
 		return fmt.Sprintf("%s %s %s AS %s", strings.ToUpper(st.Op), quote(st.Left), quote(st.Right), quote(st.As))
 	case ProjectStmt:
 		return fmt.Sprintf("PROJECT %s ON (%s) AS %s", quote(st.Relation), quoteList(st.Attrs), quote(st.As))
+	case CreateViewStmt:
+		// Query is already canonical (the parser stores Render of the
+		// defining statement), so it embeds verbatim.
+		return fmt.Sprintf("CREATE MATERIALIZED VIEW %s AS %s", quote(st.Name), st.Query)
+	case DropViewStmt:
+		return "DROP VIEW " + quote(st.Name)
 	case ShowStmt:
 		switch st.What {
-		case "hierarchy", "relation":
+		case "hierarchy", "relation", "view":
 			return fmt.Sprintf("SHOW %s %s", strings.ToUpper(st.What), quote(st.Target))
 		default:
 			return "SHOW " + strings.ToUpper(st.What)

@@ -41,6 +41,12 @@ var renderCases = []string{
 	"SHOW RULES;",
 	"SHOW HIERARCHY Animal;",
 	"SHOW RELATION likes;",
+	"SHOW VIEWS;",
+	"SHOW VIEW flat;",
+	"create materialized view flat as extension likes;",
+	"CREATE MATERIALIZED VIEW picky AS SELECT FROM likes WHERE who UNDER student;",
+	"CREATE MATERIALIZED VIEW tally AS COUNT likes BY (who);",
+	"DROP VIEW flat;",
 	"SET POLICY warn;",
 	"SET MODE likes off_path;",
 	"DROP NODE dog IN Animal;",

@@ -1,0 +1,93 @@
+package hql
+
+import (
+	"errors"
+	"fmt"
+
+	"hrdb/internal/core"
+)
+
+// ErrNoViews reports a view statement executed against a Target that does
+// not maintain materialized views (for example the plain MemTarget, or a
+// replica session).
+var ErrNoViews = errors.New("hql: target does not support materialized views")
+
+// ViewCatalog is the optional interface a Target implements to support
+// materialized views (CREATE/DROP/SHOW MATERIALIZED VIEW and reads that
+// name a view where a relation is expected). The canonical implementation
+// is internal/view's Target wrapper; the Target interface itself stays
+// frozen — view support is detected by assertion.
+type ViewCatalog interface {
+	// CreateView registers a materialized view over a canonical defining
+	// query (the Query of a CreateViewStmt), computes it, and starts
+	// incremental maintenance.
+	CreateView(name, query string) error
+	// DropView unregisters a view.
+	DropView(name string) error
+	// ViewSnapshot returns an immutable relation holding the view's
+	// current contents, for reads that treat the view as a relation.
+	// Views without a relation form (COUNT) return an error.
+	ViewSnapshot(name string) (*core.Relation, error)
+	// ViewNames lists registered views, sorted.
+	ViewNames() []string
+	// ViewStatus renders one view's definition and maintenance state.
+	ViewStatus(name string) (string, error)
+}
+
+// Materializable reports whether a statement may define a materialized
+// view: a side-effect-free query over one base relation whose result is a
+// row set the view layer knows how to maintain — SELECT without AS,
+// EXTENSION, or COUNT.
+func Materializable(st Stmt) error {
+	switch st := st.(type) {
+	case SelectStmt:
+		if st.As != "" {
+			return fmt.Errorf("hql: a view query must be read-only; drop the AS clause")
+		}
+		return nil
+	case ExtensionStmt, CountStmt:
+		return nil
+	default:
+		return fmt.Errorf("hql: %T cannot define a materialized view (want SELECT, EXTENSION or COUNT)", st)
+	}
+}
+
+// viewCatalog returns the target's view catalog, or ErrNoViews.
+func (s *Session) viewCatalog() (ViewCatalog, error) {
+	if vc, ok := s.target.(ViewCatalog); ok {
+		return vc, nil
+	}
+	return nil, ErrNoViews
+}
+
+// snapshotOrView resolves a relation name for a snapshot-based read,
+// falling back to the view catalog when the catalog has no such relation:
+// this is what exposes materialized views to SELECT, EXTENSION, COUNT,
+// algebra and SHOW RELATION as ordinary relations.
+func (s *Session) snapshotOrView(name string) (*core.Relation, error) {
+	r, err := s.target.Database().Snapshot(name)
+	if err == nil {
+		return r, nil
+	}
+	if vc, ok := s.target.(ViewCatalog); ok {
+		if vr, verr := vc.ViewSnapshot(name); verr == nil {
+			return vr, nil
+		}
+	}
+	return nil, err
+}
+
+// evaluateOrView point-evaluates an item against a relation, falling back
+// to a view snapshot for HOLDS/WHY on views.
+func (s *Session) evaluateOrView(rel string, values []string) (core.Verdict, error) {
+	v, err := s.target.Database().Evaluate(rel, values...)
+	if err == nil {
+		return v, nil
+	}
+	if vc, ok := s.target.(ViewCatalog); ok {
+		if vr, verr := vc.ViewSnapshot(rel); verr == nil {
+			return vr.Evaluate(core.Item(values))
+		}
+	}
+	return core.Verdict{}, err
+}

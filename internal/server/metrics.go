@@ -25,6 +25,12 @@ var (
 	metricReplStreams   = obs.Default().Gauge("hrdb_server_repl_streams_active")
 	metricReplSnapshots = obs.Default().Counter("hrdb_server_repl_snapshots_served_total")
 
+	// Subscription front-end: live SUBSCRIBE feeds and feeds ever started
+	// (both protocols; the per-frame delta/lag series live in
+	// internal/view).
+	metricSubStreams = obs.Default().Gauge("hrdb_server_subscribe_streams_active")
+	metricSubStarted = obs.Default().Counter("hrdb_server_subscribe_streams_total")
+
 	// Lag-bounded read routing (Router): reads served by a replica vs
 	// reads that fell back to the primary.
 	metricReplicaServed   = obs.Default().Counter("hrdb_router_replica_served_total")

@@ -78,6 +78,12 @@ type muxConn struct {
 	streams map[uint32]*muxStream
 	byID    map[uint64]*muxTask
 	free    []*hql.Session // reusable sessions from ended one-shot streams
+
+	// subs tracks live SUBSCRIBE feeds by request id so CANCEL and
+	// teardown can end them; subWG lets teardown wait for their
+	// goroutines (they exit promptly once canceled).
+	subs  map[uint64]context.CancelFunc
+	subWG sync.WaitGroup
 }
 
 // serveMux serves a negotiated v2 connection until it ends. The caller
@@ -147,6 +153,10 @@ func (s *Server) serveMux(c net.Conn, br *bufio.Reader, tn *tenantState) {
 			m.cancelID(f.id)
 		case fvEndStream:
 			m.endStream(f.stream)
+		case fvSubscribe:
+			if !m.subscribe(f) {
+				return
+			}
 		case fvExec, fvExecShard:
 			if f.typ == fvExecShard && s.opts.Shard == nil {
 				m.send(errFrame(f.id, f.stream, codeUnsupported, 0, "this server is not a shard"))
@@ -171,10 +181,18 @@ func (m *muxConn) teardown() {
 	for _, mt := range m.byID {
 		tasks = append(tasks, mt)
 	}
+	subs := make([]context.CancelFunc, 0, len(m.subs))
+	for _, cancel := range m.subs {
+		subs = append(subs, cancel)
+	}
 	m.mu.Unlock()
 	for _, mt := range tasks {
 		mt.t.cancel()
 	}
+	for _, cancel := range subs {
+		cancel()
+	}
+	m.subWG.Wait()
 }
 
 // send writes one frame. Whoever completes a request writes its reply;
@@ -427,6 +445,11 @@ func (m *muxConn) afterTask(mt *muxTask, st *muxStream, retire bool) *muxTask {
 // await path; an unknown id (already answered, never seen) is a no-op.
 func (m *muxConn) cancelID(id uint64) {
 	m.mu.Lock()
+	if cancel := m.subs[id]; cancel != nil {
+		m.mu.Unlock()
+		cancel() // the feed goroutine answers and deregisters itself
+		return
+	}
 	mt := m.byID[id]
 	queued := false
 	if mt != nil && !mt.started {

@@ -31,6 +31,7 @@
 //	  LAG\n                                        replication lag probe
 //	  SHARDMAP\n                                   shard identity probe
 //	  EXECSHARD <timeout_ms> <n>\n<payload>\n      execute a shard operation
+//	  SUBSCRIBE <name> [<epoch> <offset>]\n        follow a view change feed
 //
 //	server → client:
 //	  OK <n>\n<n payload bytes>\n                  statement output
@@ -119,6 +120,21 @@
 // servers emit only the first four fields). PROMOTE flips a replica
 // writable and answers "promoted".
 //
+// # Subscription verb
+//
+// Servers with a change-feed source attached (Options.Subscribe, typically
+// a view.Manager) answer SUBSCRIBE. On success the server replies with an
+// empty OK frame and then takes the connection over, pushing subwire
+// frames (SNAP/DELTA/HB/ERR — see internal/subwire) until the client
+// closes the connection or the feed ends with an in-band ERR frame. With
+// the optional position the feed resumes: it replays exactly the committed
+// deltas after (epoch, offset), gap- and duplicate-free, or answers an
+// in-band ERR "stale" when that position fell out of the retained journal
+// (resubscribe without a position for a fresh snapshot). Protocol v2
+// carries the same feed in SUB frames (see protocol2.go). Like REPL, a
+// draining server refuses new subscriptions with "shutdown", and running
+// feeds end when their connections are retired.
+//
 // # Shard verbs
 //
 // Servers started as cluster members (Options.Shard) additionally answer
@@ -146,12 +162,13 @@ var errProto = ErrProtocol
 
 // request is one decoded client frame.
 type request struct {
-	verb    string // "EXEC" | "EXECSHARD" | "PING" | "STATS" | "QUIT" | "HELLO" | "USE" | "SNAP" | "REPL" | "PROMOTE" | "LAG" | "SHARDMAP"
+	verb    string // "EXEC" | "EXECSHARD" | "PING" | "STATS" | "QUIT" | "HELLO" | "USE" | "SNAP" | "REPL" | "PROMOTE" | "LAG" | "SHARDMAP" | "SUBSCRIBE"
 	timeout time.Duration
 	input   string
-	epoch   uint64 // REPL only
-	offset  int64  // REPL only
+	epoch   uint64 // REPL and SUBSCRIBE: stream position
+	offset  int64  // REPL and SUBSCRIBE: stream position
 	term    uint64 // REPL only: follower's highest fencing term (0 = pre-term)
+	resume  bool   // SUBSCRIBE only: a position was supplied
 	proto   int    // HELLO only: requested protocol version
 	tenant  string // HELLO and USE: requested namespace ("" = default)
 }
@@ -218,6 +235,25 @@ func readRequest(br *bufio.Reader, maxBytes int) (request, error) {
 				return request{}, fmt.Errorf("%w: bad term %q", errProto, fields[3])
 			}
 			req.term = term
+		}
+		return req, nil
+	case "SUBSCRIBE":
+		// SUBSCRIBE <name> [<epoch> <offset>] — follow a view or relation
+		// change feed, optionally resuming after a position.
+		if len(fields) != 2 && len(fields) != 4 {
+			return request{}, fmt.Errorf("%w: want SUBSCRIBE <name> [<epoch> <offset>]", errProto)
+		}
+		req := request{verb: "SUBSCRIBE", input: fields[1]}
+		if len(fields) == 4 {
+			epoch, err := strconv.ParseUint(fields[2], 10, 64)
+			if err != nil {
+				return request{}, fmt.Errorf("%w: bad epoch %q", errProto, fields[2])
+			}
+			offset, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil || offset < 0 {
+				return request{}, fmt.Errorf("%w: bad offset %q", errProto, fields[3])
+			}
+			req.epoch, req.offset, req.resume = epoch, offset, true
 		}
 		return req, nil
 	case "EXEC", "EXECSHARD":

@@ -31,9 +31,13 @@ import (
 //	PROMOTE    promote a replica → OK "promoted"
 //	SHARDMAP   shard identity probe → OK "<shard_id> <shard_count>"
 //	EXECSHARD  payload as EXEC, but a shard operation, not an HQL script
+//	SUBSCRIBE  payload = u8 resume | u64 epoch | u64 offset | name bytes;
+//	           opens a change feed answered with SUB frames
 //	OK         (server → client) success, payload = output
 //	ERR        (server → client) failure,
 //	           payload = u8 codeLen | code | u32 retry_ms | message
+//	SUB        (server → client) one subwire feed frame (SNAP/DELTA/HB/ERR,
+//	           see internal/subwire) of the subscription with this id
 //
 // The flagEndStream bit on an EXEC asks the server to dispose the stream's
 // session right after the reply — the one-request-per-stream pattern plain
@@ -49,8 +53,10 @@ const (
 	fvPromote   = byte(0x08)
 	fvShardMap  = byte(0x09)
 	fvExecShard = byte(0x0A)
+	fvSubscribe = byte(0x0B)
 	fvOK        = byte(0x81)
 	fvErr       = byte(0x82)
+	fvSub       = byte(0x83)
 )
 
 // flagEndStream on an EXEC frame disposes the stream's session after the

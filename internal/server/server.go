@@ -80,6 +80,11 @@ type Options struct {
 	// EXECSHARD verb (shard operations — scatter reads and two-phase-commit
 	// participation — executed on the worker pool like EXEC).
 	Shard *shard.Node
+	// Subscribe, when non-nil, enables the SUBSCRIBE verb on both
+	// protocols: clients follow materialized-view (and relation) change
+	// feeds with resumable positions. Typically a view.Manager over the
+	// same store the server executes against.
+	Subscribe SubscribeSource
 }
 
 // withDefaults resolves zero values.
@@ -362,6 +367,13 @@ func (s *Server) handleConn(c net.Conn) {
 			// (the read deadline is already cleared above; the stream
 			// heartbeats on its own cadence).
 			if !s.serveRepl(bw, br, req) {
+				return
+			}
+			continue
+		case "SUBSCRIBE":
+			// Like REPL, an accepted subscription owns the connection until
+			// the feed ends.
+			if !s.serveSubscribe(bw, br, req) {
 				return
 			}
 			continue

@@ -1,0 +1,557 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"hrdb/internal/backoff"
+	"hrdb/internal/subwire"
+)
+
+// This file is the server's change-feed surface and its client. The server
+// knows nothing about view maintenance: it decodes the SUBSCRIBE verb and
+// delegates to a pluggable hook (Options.Subscribe), so the dependency
+// points from internal/view — which implements it — into this package's
+// wire contract, never back. The feed itself is encoded by internal/subwire
+// on both protocols: v1 streams the frames raw after an empty OK accept,
+// v2 wraps each one in a SUB frame correlated by request id.
+
+// SubscribeSource serves change feeds to subscribers. Implemented by
+// view.Manager.
+type SubscribeSource interface {
+	// ServeFeed streams the named view's (or relation's) feed to w in
+	// subwire frames, one frame per Write call. Without resume it opens
+	// with a full snapshot; with resume it replays exactly the committed
+	// deltas after (epoch, offset) or reports an in-band ERR "stale". It
+	// returns when ctx is canceled (nil), w fails (the write error), or
+	// the feed ends server-side after an in-band ERR frame (nil).
+	ServeFeed(ctx context.Context, w io.Writer, name string, epoch uint64, offset int64, resume bool) error
+}
+
+// serveSubscribe dispatches one v1 SUBSCRIBE request. It reports whether
+// the connection may continue to the next request (an accepted feed never
+// continues: it owns the connection until it ends).
+//
+// A draining server refuses to start a feed — Shutdown closes the store
+// (and the view manager) after the drain, and a feed admitted during it
+// would race that close. Feeds already running end when Shutdown retires
+// their connections: the watchdog below sees the close and cancels the
+// feed context, so the drain is never held up by an idle subscriber.
+func (s *Server) serveSubscribe(bw *bufio.Writer, br *bufio.Reader, req request) bool {
+	if s.opts.Subscribe == nil {
+		return writeErr(bw, codeUnsupported, 0, "subscriptions not enabled") == nil
+	}
+	if s.drainingNow() {
+		writeErr(bw, codeShutdown, 0, "server draining")
+		return false
+	}
+	// Accept, then the subwire stream owns the connection.
+	if writeOK(bw, "") != nil {
+		return false
+	}
+	metricSubStarted.Inc()
+	metricSubStreams.Inc()
+	defer metricSubStreams.Dec()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		// The client sends nothing during a feed: any byte — or the EOF of
+		// a closed or drained connection — ends it.
+		br.ReadByte()
+		cancel()
+	}()
+	s.opts.Subscribe.ServeFeed(ctx, flushWriter{bw}, req.input, req.epoch, req.offset, req.resume)
+	return false
+}
+
+// flushWriter flushes after every Write so each feed frame reaches the
+// socket as soon as the source emits it.
+type flushWriter struct{ bw *bufio.Writer }
+
+func (w flushWriter) Write(p []byte) (int, error) {
+	if _, err := w.bw.Write(p); err != nil {
+		return 0, err
+	}
+	return len(p), w.bw.Flush()
+}
+
+// subscribePayload encodes a v2 SUBSCRIBE frame payload:
+// u8 resume | u64 epoch | u64 offset | name bytes.
+func subscribePayload(name string, epoch uint64, offset int64, resume bool) []byte {
+	p := make([]byte, 0, 17+len(name))
+	var r byte
+	if resume {
+		r = 1
+	}
+	p = append(p, r)
+	p = binary.BigEndian.AppendUint64(p, epoch)
+	p = binary.BigEndian.AppendUint64(p, uint64(offset))
+	return append(p, name...)
+}
+
+// parseSubscribePayload decodes a v2 SUBSCRIBE frame payload.
+func parseSubscribePayload(p []byte) (name string, epoch uint64, offset int64, resume bool, err error) {
+	if len(p) < 17 {
+		return "", 0, 0, false, fmt.Errorf("%w: SUBSCRIBE payload %d bytes, want ≥ 17", errProto, len(p))
+	}
+	offset = int64(binary.BigEndian.Uint64(p[9:17]))
+	if offset < 0 {
+		return "", 0, 0, false, fmt.Errorf("%w: negative SUBSCRIBE offset", errProto)
+	}
+	return string(p[17:]), binary.BigEndian.Uint64(p[1:9]), offset, p[0] != 0, nil
+}
+
+// subFrameWriter adapts a muxConn into the io.Writer ServeFeed pushes
+// subwire frames through: each Write becomes one SUB frame.
+type subFrameWriter struct {
+	m      *muxConn
+	id     uint64
+	stream uint32
+}
+
+func (w subFrameWriter) Write(p []byte) (int, error) {
+	payload := append([]byte(nil), p...)
+	if err := w.m.send(frame{typ: fvSub, id: w.id, stream: w.stream, payload: payload}); err != nil {
+		return 0, err
+	}
+	return len(p), nil
+}
+
+// subscribe handles one v2 SUBSCRIBE frame: the feed runs in its own
+// goroutine, pushing SUB frames through the shared writer, so the reader
+// loop (and every other stream) keeps going. It reports whether the
+// connection may continue (a malformed payload or duplicate id desyncs the
+// conversation and closes it).
+func (m *muxConn) subscribe(f frame) bool {
+	s := m.srv
+	name, epoch, offset, resume, err := parseSubscribePayload(f.payload)
+	if err != nil {
+		m.send(errFrame(f.id, f.stream, codeProto, 0, err.Error()))
+		return false
+	}
+	if s.opts.Subscribe == nil {
+		m.send(errFrame(f.id, f.stream, codeUnsupported, 0, "subscriptions not enabled"))
+		return true
+	}
+	if s.drainingNow() {
+		m.send(errFrame(f.id, f.stream, codeShutdown, 0, "server draining"))
+		return true
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m.mu.Lock()
+	_, dupTask := m.byID[f.id]
+	_, dupSub := m.subs[f.id]
+	if dupTask || dupSub {
+		m.mu.Unlock()
+		cancel()
+		m.send(errFrame(f.id, f.stream, codeProto, 0, "duplicate request id"))
+		return false
+	}
+	if m.subs == nil {
+		m.subs = make(map[uint64]context.CancelFunc)
+	}
+	m.subs[f.id] = cancel
+	m.mu.Unlock()
+
+	metricSubStarted.Inc()
+	metricSubStreams.Inc()
+	m.subWG.Add(1)
+	go func() {
+		defer m.subWG.Done()
+		defer metricSubStreams.Dec()
+		s.opts.Subscribe.ServeFeed(ctx, subFrameWriter{m, f.id, f.stream}, name, epoch, offset, resume)
+		cancel()
+		m.mu.Lock()
+		delete(m.subs, f.id)
+		m.mu.Unlock()
+		// The terminating frame unblocks a client reader deterministically
+		// even when the feed ended without an in-band subwire ERR.
+		m.send(errFrame(f.id, f.stream, codeCanceled, 0, "subscription ended"))
+	}()
+	return true
+}
+
+// SubChange is one change delivered by a Subscription. A "snapshot" change
+// carries the feed's full row set and resets any state the consumer keeps;
+// a "delta" carries incremental row changes to apply on top. Epoch/Offset
+// is the resumable position after applying the change.
+type SubChange struct {
+	Kind           string // "snapshot" | "delta"
+	Epoch          uint64
+	Offset         int64
+	Rows           []string // snapshot: the full row set, sorted
+	Added, Removed []string // delta: row changes, sorted
+}
+
+// Subscription is a client-side change feed over its own dedicated
+// connection (feeds are long-lived streams; sharing the request connection
+// would head-of-line block it). It reconnects automatically: after a
+// severed connection or a server restart, Next resumes from the last
+// delivered position, so the caller sees exactly the committed changes,
+// gap- and duplicate-free. When the server can no longer serve that
+// position (the retained journal was trimmed) the feed transparently
+// restarts with a fresh "snapshot" change.
+//
+// Next and Close may be called from different goroutines; Next itself is
+// not reentrant.
+type Subscription struct {
+	addr string
+	name string
+	o    dialConfig
+
+	reqMu sync.Mutex // serializes Next
+
+	mu     sync.Mutex // guards conn identity and closed (Close vs Next)
+	conn   net.Conn
+	closed bool
+
+	// Connection-epoch state, used only under reqMu.
+	br      *bufio.Reader
+	v2      bool
+	dec     subwire.Decoder
+	scratch []byte
+
+	havePos bool
+	epoch   uint64
+	offset  int64
+	attempt int
+}
+
+// Subscribe opens a change feed over the named view (or relation),
+// starting with a full snapshot. The feed uses a dedicated connection,
+// negotiated like the client's own (protocol pinning applies); it is lazy —
+// the first Next dials.
+func (c *Client) Subscribe(name string) (*Subscription, error) {
+	return c.subscribe(name, 0, 0, false)
+}
+
+// SubscribeFrom opens a change feed resuming after a previously delivered
+// position: only committed changes after (epoch, offset) are delivered. A
+// position the server no longer retains restarts the feed with a fresh
+// snapshot, exactly like a reconnect-time stale position.
+func (c *Client) SubscribeFrom(name string, epoch uint64, offset int64) (*Subscription, error) {
+	return c.subscribe(name, epoch, offset, true)
+}
+
+func (c *Client) subscribe(name string, epoch uint64, offset int64, resume bool) (*Subscription, error) {
+	if name == "" || strings.ContainsAny(name, " \t\r\n") {
+		return nil, fmt.Errorf("%w: bad feed name %q", ErrProtocol, name)
+	}
+	if c.isClosed() {
+		return nil, ErrClientClosed
+	}
+	return &Subscription{
+		addr:    c.addr,
+		name:    name,
+		o:       c.o,
+		havePos: resume,
+		epoch:   epoch,
+		offset:  offset,
+	}, nil
+}
+
+// Close severs the feed's connection and retires the subscription. A
+// blocked Next returns ErrClientClosed.
+func (sub *Subscription) Close() error {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		return nil
+	}
+	sub.closed = true
+	if sub.conn != nil {
+		sub.conn.Close()
+		sub.conn = nil
+	}
+	return nil
+}
+
+// install registers a new connection unless the subscription was closed
+// meanwhile.
+func (sub *Subscription) install(conn net.Conn) error {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.closed {
+		conn.Close()
+		return ErrClientClosed
+	}
+	sub.conn = conn
+	return nil
+}
+
+// drop discards the current connection.
+func (sub *Subscription) drop() {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	if sub.conn != nil {
+		sub.conn.Close()
+		sub.conn = nil
+	}
+	sub.br = nil
+}
+
+func (sub *Subscription) isClosed() bool {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.closed
+}
+
+func (sub *Subscription) current() net.Conn {
+	sub.mu.Lock()
+	defer sub.mu.Unlock()
+	return sub.conn
+}
+
+// Next blocks until the feed delivers the next change. Heartbeats are
+// consumed internally (they advance the resume position); reconnects with
+// backoff are transparent. It returns the ctx error on expiry (the feed
+// resumes on the following call), ErrClientClosed after Close, and a
+// terminal *ServerError when the feed cannot continue — the name is
+// unknown ("notfound"), the view was dropped ("dropped"), or the server
+// refused the subscription outright (e.g. ErrUnsupported).
+func (sub *Subscription) Next(ctx context.Context) (SubChange, error) {
+	sub.reqMu.Lock()
+	defer sub.reqMu.Unlock()
+	for {
+		if sub.isClosed() {
+			return SubChange{}, ErrClientClosed
+		}
+		if err := ctx.Err(); err != nil {
+			return SubChange{}, err
+		}
+		if sub.current() == nil {
+			if err := sub.connect(ctx); err != nil {
+				if terminal, werr := sub.setback(ctx, err); terminal {
+					return SubChange{}, werr
+				}
+				continue
+			}
+		}
+		f, err := sub.readFeedFrame(ctx)
+		if err != nil {
+			sub.drop()
+			if terminal, werr := sub.setback(ctx, err); terminal {
+				return SubChange{}, werr
+			}
+			continue
+		}
+		switch f.Kind {
+		case subwire.KindHB:
+			sub.markPos(f.Epoch, f.Offset)
+		case subwire.KindSnap:
+			sub.markPos(f.Epoch, f.Offset)
+			return SubChange{Kind: "snapshot", Epoch: f.Epoch, Offset: f.Offset, Rows: f.Rows}, nil
+		case subwire.KindDelta:
+			sub.markPos(f.Epoch, f.Offset)
+			return SubChange{Kind: "delta", Epoch: f.Epoch, Offset: f.Offset, Added: f.Added, Removed: f.Removed}, nil
+		case subwire.KindErr:
+			sub.drop()
+			switch f.Code {
+			case "stale":
+				// The journal no longer covers our position: restart fresh.
+				// The next change is a full snapshot, which resets the
+				// consumer's state, so nothing is silently lost.
+				sub.havePos = false
+			case "shutdown":
+				// Server-side source closing (restart, failover): retry.
+				if terminal, werr := sub.setback(ctx, &ServerError{Code: codeShutdown, Msg: f.Msg}); terminal {
+					return SubChange{}, werr
+				}
+			default: // notfound, dropped, future codes: terminal
+				return SubChange{}, &ServerError{Code: Code(f.Code), Msg: f.Msg}
+			}
+		}
+	}
+}
+
+// markPos records a delivered position and resets the reconnect backoff (a
+// healthy frame proves the feed is live).
+func (sub *Subscription) markPos(epoch uint64, offset int64) {
+	sub.havePos = true
+	sub.epoch = epoch
+	sub.offset = offset
+	sub.attempt = 0
+}
+
+// setback classifies an error and sleeps the backoff when it is worth
+// retrying. Terminal errors (and ctx expiry during the sleep) stop Next.
+func (sub *Subscription) setback(ctx context.Context, err error) (terminal bool, out error) {
+	if sub.isClosed() {
+		return true, ErrClientClosed
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return true, ctxErr
+	}
+	var hint time.Duration
+	if se, ok := err.(*ServerError); ok {
+		switch se.Code {
+		case codeShutdown, codeOverloaded, codeQuota, codeCanceled:
+			// Not executed / feed ended server-side: reconnect and resume.
+			hint = se.RetryAfter
+		default:
+			// unsupported, tenant, proto, notfound, …: retrying cannot help.
+			return true, err
+		}
+	}
+	delay := backoff.Policy{Base: sub.o.baseBackoff, Max: sub.o.maxBackoff}.Delay(sub.attempt, hint)
+	sub.attempt++
+	if serr := backoff.Sleep(ctx, delay); serr != nil {
+		return true, serr
+	}
+	return false, nil
+}
+
+// connect dials a fresh connection, negotiates the protocol like the
+// owning client would, and sends the SUBSCRIBE request (resuming from the
+// last delivered position when one is known).
+func (sub *Subscription) connect(ctx context.Context) error {
+	conn, v2, br, err := sub.negotiate(ctx)
+	if err != nil {
+		return err
+	}
+	if err := sub.install(conn); err != nil {
+		return err
+	}
+	sub.br = br
+	sub.v2 = v2
+	sub.dec = subwire.Decoder{}
+
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	if v2 {
+		f := frame{typ: fvSubscribe, id: 1, stream: 1,
+			payload: subscribePayload(sub.name, sub.epoch, sub.offset, sub.havePos)}
+		if err := writeFrame(conn, f); err != nil {
+			sub.drop()
+			return err
+		}
+		// Acceptance is implicit: the first frame back is either SUB (feed
+		// running) or ERR (refused), handled by readFeedFrame.
+		return nil
+	}
+	reqLine := "SUBSCRIBE " + sub.name + "\n"
+	if sub.havePos {
+		reqLine = fmt.Sprintf("SUBSCRIBE %s %d %d\n", sub.name, sub.epoch, sub.offset)
+	}
+	if _, err := io.WriteString(conn, reqLine); err != nil {
+		sub.drop()
+		return err
+	}
+	resp, err := readResponse(br, sub.o.maxResponse)
+	if err != nil {
+		sub.drop()
+		return err
+	}
+	if !resp.ok {
+		sub.drop()
+		return &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+	}
+	return nil
+}
+
+// negotiate dials and runs the protocol handshake, mirroring
+// Client.connectLocked: offer v2 unless pinned to v1, fall back to v1 when
+// the server rejects the upgrade (unless pinned to v2).
+func (sub *Subscription) negotiate(ctx context.Context) (net.Conn, bool, *bufio.Reader, error) {
+	dial := func() (net.Conn, error) {
+		d := net.Dialer{Timeout: sub.o.dialTimeout}
+		return d.DialContext(ctx, "tcp", sub.addr)
+	}
+	conn, err := dial()
+	if err != nil {
+		return nil, false, nil, err
+	}
+	if sub.o.protocol == ProtocolV1 {
+		return conn, false, bufio.NewReader(conn), nil
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	br := bufio.NewReader(conn)
+	hello := "HELLO 2\n"
+	if sub.o.tenant != "" {
+		hello = "HELLO 2 " + sub.o.tenant + "\n"
+	}
+	if _, err := io.WriteString(conn, hello); err != nil {
+		conn.Close()
+		return nil, false, nil, err
+	}
+	resp, err := readResponse(br, sub.o.maxResponse)
+	if err != nil {
+		conn.Close()
+		return nil, false, nil, err
+	}
+	if resp.ok {
+		if !strings.HasPrefix(resp.payload, "v2") {
+			conn.Close()
+			return nil, false, nil, fmt.Errorf("%w: unexpected HELLO reply %q", ErrProtocol, resp.payload)
+		}
+		return conn, true, br, nil
+	}
+	conn.Close()
+	if resp.code == codeProto && sub.o.protocol == ProtocolAuto {
+		v1conn, err := dial()
+		if err != nil {
+			return nil, false, nil, err
+		}
+		return v1conn, false, bufio.NewReader(v1conn), nil
+	}
+	return nil, false, nil, &ServerError{Code: resp.code, Msg: resp.payload, RetryAfter: resp.retryAfter}
+}
+
+// readFeedFrame returns the next subwire frame from the current
+// connection, unwrapping v2 SUB frames when the feed rides protocol v2. A
+// ctx expiry severs the connection (the next call reconnects and resumes,
+// so nothing is lost).
+func (sub *Subscription) readFeedFrame(ctx context.Context) (subwire.Frame, error) {
+	conn := sub.current()
+	if conn == nil {
+		return subwire.Frame{}, ErrClientClosed
+	}
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	for {
+		if f, ok, err := sub.dec.Next(); err != nil {
+			return subwire.Frame{}, err
+		} else if ok {
+			return f, nil
+		}
+		if sub.v2 {
+			fr, err := readFrame(sub.br, sub.o.maxResponse)
+			if err != nil {
+				return subwire.Frame{}, err
+			}
+			switch fr.typ {
+			case fvSub:
+				sub.dec.Feed(fr.payload)
+			case fvErr:
+				code, retryAfter, msg, perr := parseErrFramePayload(fr.payload)
+				if perr != nil {
+					return subwire.Frame{}, perr
+				}
+				return subwire.Frame{}, &ServerError{Code: code, Msg: msg, RetryAfter: retryAfter}
+			default:
+				return subwire.Frame{}, fmt.Errorf("%w: unexpected frame type 0x%02x on a feed", ErrProtocol, fr.typ)
+			}
+			continue
+		}
+		if sub.scratch == nil {
+			sub.scratch = make([]byte, 4096)
+		}
+		n, err := sub.br.Read(sub.scratch)
+		if n > 0 {
+			sub.dec.Feed(sub.scratch[:n])
+			continue // drain the decoder before surfacing a read error
+		}
+		if err != nil {
+			return subwire.Frame{}, err
+		}
+	}
+}

@@ -1,0 +1,564 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"hrdb/internal/storage"
+	"hrdb/internal/view"
+)
+
+// newSubscribeServer starts a server whose target carries a view manager
+// wired as the SUBSCRIBE source, seeded with a small hierarchy, a relation
+// and one materialized view over it.
+func newSubscribeServer(t *testing.T, opts Options) (*Server, *view.Manager) {
+	t.Helper()
+	st, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := view.Open(st, view.Options{Heartbeat: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	opts.Subscribe = m
+	opts.CloseTarget = true
+	srv := New(view.NewTarget(st, m), opts)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	if _, err := c.Exec(ctx, `
+		CREATE HIERARCHY Animal;
+		CLASS bird IN Animal; CLASS mammal IN Animal;
+		INSTANCE tweety UNDER bird; INSTANCE rex UNDER mammal;
+		CREATE RELATION flies (who: Animal);
+		ASSERT flies (bird);
+		CREATE MATERIALIZED VIEW flat AS EXTENSION flies;
+	`); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	return srv, m
+}
+
+// nextChange fetches the next change with a bounded wait.
+func nextChange(t *testing.T, sub *Subscription) SubChange {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	ch, err := sub.Next(ctx)
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	return ch
+}
+
+// testSubscribeFeed is the end-to-end feed contract, run on each protocol:
+// snapshot first, then exactly the committed deltas, then resume from a
+// recorded position without gaps or duplicates.
+func testSubscribeFeed(t *testing.T, proto int) {
+	srv, _ := newSubscribeServer(t, Options{})
+	c, err := Dial(srv.Addr(), WithProtocol(proto))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	sub, err := c.Subscribe("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	snap := nextChange(t, sub)
+	if snap.Kind != "snapshot" {
+		t.Fatalf("first change = %q, want snapshot", snap.Kind)
+	}
+	if got := strings.Join(snap.Rows, ","); got != "(tweety)" {
+		t.Fatalf("snapshot rows = %q, want (tweety)", got)
+	}
+
+	if _, err := c.Exec(ctx, "INSTANCE polly UNDER bird;"); err != nil {
+		t.Fatal(err)
+	}
+	d := nextChange(t, sub)
+	if d.Kind != "delta" {
+		t.Fatalf("change = %q, want delta", d.Kind)
+	}
+	if got := strings.Join(d.Added, ","); got != "(polly)" || len(d.Removed) != 0 {
+		t.Fatalf("delta = +%v -%v, want +[(polly)] -[]", d.Added, d.Removed)
+	}
+
+	// Subscription metrics: one live feed, at least one ever started.
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(stats, "hrdb_server_subscribe_streams_active 1") {
+		t.Fatalf("stats missing active feed gauge:\n%s", grepMetric(stats, "subscribe"))
+	}
+	if !strings.Contains(stats, "hrdb_server_subscribe_streams_total") {
+		t.Fatalf("stats missing feed counter:\n%s", grepMetric(stats, "subscribe"))
+	}
+
+	// Resume: a second subscriber from the delta's position sees only what
+	// comes after it — no replayed snapshot, no duplicate delta.
+	sub.Close()
+	if _, err := c.Exec(ctx, "ASSERT flies (rex);"); err != nil {
+		t.Fatal(err)
+	}
+	sub2, err := c.SubscribeFrom("flat", d.Epoch, d.Offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	d2 := nextChange(t, sub2)
+	if d2.Kind != "delta" {
+		t.Fatalf("resumed change = %q, want delta", d2.Kind)
+	}
+	if got := strings.Join(d2.Added, ","); got != "(rex)" {
+		t.Fatalf("resumed delta added = %q, want (rex)", got)
+	}
+}
+
+func grepMetric(stats, substr string) string {
+	var out []string
+	for _, line := range strings.Split(stats, "\n") {
+		if strings.Contains(line, substr) {
+			out = append(out, line)
+		}
+	}
+	return strings.Join(out, "\n")
+}
+
+func TestSubscribeV1(t *testing.T) { testSubscribeFeed(t, ProtocolV1) }
+func TestSubscribeV2(t *testing.T) { testSubscribeFeed(t, ProtocolV2) }
+
+// TestSubscribeErrors covers the refusal paths: no source configured,
+// unknown feed name.
+func TestSubscribeErrors(t *testing.T) {
+	st, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := New(st, Options{CloseTarget: true})
+	if err := bare.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		bare.Shutdown(ctx)
+	})
+	c, err := Dial(bare.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sub, err := c.Subscribe("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := sub.Next(ctx); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("Next without a source = %v, want ErrUnsupported", err)
+	}
+	sub.Close()
+
+	srv, _ := newSubscribeServer(t, Options{})
+	c2, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	sub2, err := c2.Subscribe("nosuch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+	_, err = sub2.Next(ctx)
+	var se *ServerError
+	if !errors.As(err, &se) || se.Code != "notfound" {
+		t.Fatalf("Next on unknown feed = %v, want notfound ServerError", err)
+	}
+
+	if _, err := c2.Subscribe("bad name"); err == nil {
+		t.Fatal("Subscribe accepted a name with whitespace")
+	}
+}
+
+// TestSubscribeNegotiate pins the handshake matrix the subscription's own
+// dialer must mirror: auto-negotiation falling back to v1 on a v1-only
+// server, a pinned-v2 client refusing that same server, and a tenant
+// subscription riding the tenant HELLO.
+func TestSubscribeNegotiate(t *testing.T) {
+	v1only, _ := newSubscribeServer(t, Options{DisableV2: true})
+	c, err := Dial(v1only.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sub, err := c.Subscribe("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if ch := nextChange(t, sub); ch.Kind != "snapshot" || strings.Join(ch.Rows, ",") != "(tweety)" {
+		t.Fatalf("fallback feed snapshot = %+v", ch)
+	}
+
+	cv2, err := Dial(v1only.Addr(), WithProtocol(ProtocolV2))
+	if err == nil {
+		defer cv2.Close()
+		sub2, err := cv2.Subscribe("flat")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub2.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		var se *ServerError
+		if _, err := sub2.Next(ctx); !errors.As(err, &se) || se.Code != "proto" {
+			t.Fatalf("pinned-v2 Next on a v1-only server = %v, want proto ServerError", err)
+		}
+	}
+
+	tsrv, _ := newSubscribeServer(t, Options{Tenants: []TenantConfig{{Name: "acme"}}})
+	ct, err := Dial(tsrv.Addr(), WithTenant("acme"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ct.Close()
+	sub3, err := ct.Subscribe("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub3.Close()
+	if ch := nextChange(t, sub3); ch.Kind != "snapshot" {
+		t.Fatalf("tenant feed first change = %q, want snapshot", ch.Kind)
+	}
+}
+
+// TestSubscribeStaleResume: resuming from a position the feed's journal
+// cannot cover (here, a fabricated future epoch) must not error out the
+// subscription — the server reports it stale, and the client restarts with
+// a fresh snapshot that resets consumer state.
+func TestSubscribeStaleResume(t *testing.T) {
+	for _, proto := range []int{ProtocolV1, ProtocolV2} {
+		srv, _ := newSubscribeServer(t, Options{})
+		c, err := Dial(srv.Addr(), WithProtocol(proto))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		sub, err := c.SubscribeFrom("flat", 99, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sub.Close()
+		if ch := nextChange(t, sub); ch.Kind != "snapshot" || strings.Join(ch.Rows, ",") != "(tweety)" {
+			t.Fatalf("proto %d: stale resume delivered %+v, want a fresh snapshot", proto, ch)
+		}
+	}
+}
+
+// TestSubscribeV1WireErrors drives the raw v1 verb with malformed lines:
+// each must produce a protocol error, not a hung or hijacked connection.
+func TestSubscribeV1WireErrors(t *testing.T) {
+	srv, _ := newSubscribeServer(t, Options{})
+	for _, line := range []string{
+		"SUBSCRIBE\n",                // missing name
+		"SUBSCRIBE flat 1\n",         // position needs both fields
+		"SUBSCRIBE flat x 0\n",       // bad epoch
+		"SUBSCRIBE flat 1 -5\n",      // negative offset
+		"SUBSCRIBE flat 1 0 extra\n", // trailing field
+	} {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.WriteString(conn, line); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := readResponse(bufio.NewReader(conn), 1<<20)
+		if err != nil {
+			t.Fatalf("%q: read response: %v", line, err)
+		}
+		if resp.ok || resp.code != codeProto {
+			t.Fatalf("%q: response ok=%v code=%q, want proto error", line, resp.ok, resp.code)
+		}
+		conn.Close()
+	}
+}
+
+// TestSubscribeV1Unsupported: the v1 verb on a server without a subscribe
+// source refuses with "unsupported" and keeps the connection usable.
+func TestSubscribeV1Unsupported(t *testing.T) {
+	st, err := storage.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare := New(st, Options{CloseTarget: true})
+	if err := bare.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		bare.Shutdown(ctx)
+	})
+	c, err := Dial(bare.Addr(), WithProtocol(ProtocolV1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sub, err := c.Subscribe("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := sub.Next(ctx); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("v1 Next without a source = %v, want ErrUnsupported", err)
+	}
+}
+
+// TestSubscribeV2WireErrors drives raw v2 SUBSCRIBE frames that must desync
+// the conversation: a truncated payload and a duplicate request id.
+func TestSubscribeV2WireErrors(t *testing.T) {
+	srv, _ := newSubscribeServer(t, Options{})
+
+	dialV2 := func() (net.Conn, *bufio.Reader) {
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		br := bufio.NewReader(conn)
+		if _, err := io.WriteString(conn, "HELLO 2\n"); err != nil {
+			t.Fatal(err)
+		}
+		if resp, err := readResponse(br, 1<<20); err != nil || !resp.ok {
+			t.Fatalf("HELLO = %+v, %v", resp, err)
+		}
+		return conn, br
+	}
+
+	// Truncated payload: fvErr proto, then the server hangs up.
+	conn, br := dialV2()
+	if err := writeFrame(conn, frame{typ: fvSubscribe, id: 1, stream: 1, payload: []byte("short")}); err != nil {
+		t.Fatal(err)
+	}
+	f, err := readFrame(br, 1<<20)
+	if err != nil || f.typ != fvErr {
+		t.Fatalf("short payload reply = %+v, %v (want ERR frame)", f, err)
+	}
+	if code, _, _, err := parseErrFramePayload(f.payload); err != nil || code != codeProto {
+		t.Fatalf("short payload error code = %q, %v, want proto", code, err)
+	}
+	if _, err := readFrame(br, 1<<20); err == nil {
+		t.Fatal("connection survived a malformed SUBSCRIBE")
+	}
+	conn.Close()
+
+	// Duplicate id: the second SUBSCRIBE reusing a live feed's id desyncs.
+	conn, br = dialV2()
+	defer conn.Close()
+	sub := frame{typ: fvSubscribe, id: 7, stream: 1, payload: subscribePayload("flat", 0, 0, false)}
+	if err := writeFrame(conn, sub); err != nil {
+		t.Fatal(err)
+	}
+	if f, err := readFrame(br, 1<<20); err != nil || f.typ != fvSub {
+		t.Fatalf("first feed frame = %+v, %v (want SUB)", f, err)
+	}
+	if err := writeFrame(conn, sub); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		f, err := readFrame(br, 1<<20)
+		if err != nil {
+			break // server hung up after the proto error
+		}
+		if f.typ == fvErr {
+			if code, _, _, perr := parseErrFramePayload(f.payload); perr == nil && code == codeProto {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("duplicate id never produced a proto error")
+		}
+	}
+}
+
+// TestSubscribePayloadRoundTrip pins the v2 SUBSCRIBE payload encoding and
+// its decoder's rejection of truncated or negative-offset payloads.
+func TestSubscribePayloadRoundTrip(t *testing.T) {
+	p := subscribePayload("feed", 3, 99, true)
+	name, epoch, offset, resume, err := parseSubscribePayload(p)
+	if err != nil || name != "feed" || epoch != 3 || offset != 99 || !resume {
+		t.Fatalf("round trip = %q %d %d %v, %v", name, epoch, offset, resume, err)
+	}
+	if _, _, _, _, err := parseSubscribePayload(p[:16]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	neg := subscribePayload("feed", 0, 0, false)
+	neg[9] = 0xFF // sign bit of the offset
+	if _, _, _, _, err := parseSubscribePayload(neg); err == nil {
+		t.Fatal("negative offset accepted")
+	}
+}
+
+// TestSubscribeDrain: a server with live feeds shuts down cleanly and
+// promptly — subscriptions never hold up the drain.
+func TestSubscribeDrain(t *testing.T) {
+	srv, _ := newSubscribeServer(t, Options{})
+	c, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sub, err := c.Subscribe("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	if ch := nextChange(t, sub); ch.Kind != "snapshot" {
+		t.Fatalf("first change = %q, want snapshot", ch.Kind)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with a live feed: %v", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("drain took %v with a live feed", d)
+	}
+	// The subscriber observes the severed feed and keeps retrying until
+	// its context expires; it must not fabricate changes.
+	nctx, ncancel := context.WithTimeout(context.Background(), 300*time.Millisecond)
+	defer ncancel()
+	if ch, err := sub.Next(nctx); err == nil {
+		t.Fatalf("Next after shutdown delivered %v, want error", ch)
+	}
+}
+
+// TestSubscribeChaosSever severs the feed's response path at small byte
+// budgets — mid-frame included — while a writer keeps mutating. The
+// subscription must reassemble, via resume, exactly the committed history:
+// folding every delivered change must reproduce the view's final rows.
+func TestSubscribeChaosSever(t *testing.T) {
+	srv, m := newSubscribeServer(t, Options{})
+	proxy, err := NewChaosProxy(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer proxy.Close()
+
+	// Writer path goes straight to the server; only the feed suffers.
+	w, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c, err := Dial(proxy.Addr(), WithBackoff(time.Millisecond, 20*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sub, err := c.Subscribe("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	have := map[string]bool{}
+	apply := func(ch SubChange) {
+		if ch.Kind == "snapshot" {
+			have = map[string]bool{}
+			for _, r := range ch.Rows {
+				have[r] = true
+			}
+			return
+		}
+		for _, r := range ch.Removed {
+			if !have[r] {
+				t.Fatalf("delta removes %q which the feed never delivered (gap or duplicate)", r)
+			}
+			delete(have, r)
+		}
+		for _, r := range ch.Added {
+			if have[r] {
+				t.Fatalf("delta re-adds %q (duplicate delivery)", r)
+			}
+			have[r] = true
+		}
+	}
+	apply(nextChange(t, sub))
+
+	ctx := context.Background()
+	const n = 12
+	for i := 0; i < n; i++ {
+		// Arm mid-frame severs on a cadence: budgets land inside headers,
+		// inside payloads, and at frame boundaries.
+		if i%2 == 0 {
+			proxy.SeverResponseAfter(int64(3 + i*7%40))
+		}
+		if _, err := w.Exec(ctx, fmt.Sprintf("INSTANCE b%d UNDER bird; ASSERT flies (b%d);", i, i)); err != nil {
+			t.Fatal(err)
+		}
+		// Drain whatever the feed has caught up to before the next sever.
+		apply(nextChange(t, sub))
+	}
+
+	// Catch up: fold deltas until the feed reflects the final view.
+	want, err := m.Rows("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got := make([]string, 0, len(have))
+		for r := range have {
+			got = append(got, r)
+		}
+		sort.Strings(got)
+		if strings.Join(got, "\n") == strings.Join(want, "\n") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("feed never converged\n got: %q\nwant: %q", got, want)
+		}
+		nctx, ncancel := context.WithTimeout(context.Background(), time.Second)
+		ch, err := sub.Next(nctx)
+		ncancel()
+		if err == nil {
+			apply(ch)
+		}
+	}
+}

@@ -312,6 +312,17 @@ func (s *Store) Takeover() (epoch uint64, offset int64) {
 // through Store methods so they are logged.
 func (s *Store) Database() *catalog.Database { return s.db }
 
+// ReadLocked runs fn with the apply lock held, giving it a mutation-free
+// window over the in-memory database: every logged mutation serializes on
+// the same lock, so fn can evaluate shared hierarchy structures without
+// racing writers. Intended for subsystems that read concurrently with
+// writers (view maintenance); fn must not call mutating Store methods.
+func (s *Store) ReadLocked(fn func(db *catalog.Database) error) error {
+	s.applyMu.Lock()
+	defer s.applyMu.Unlock()
+	return fn(s.db)
+}
+
 // Dir returns the store directory.
 func (s *Store) Dir() string { return s.dir }
 

@@ -1,0 +1,243 @@
+package subwire
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mustAppend(t *testing.T, dst []byte, f Frame) []byte {
+	t.Helper()
+	out, err := AppendFrame(dst, f)
+	if err != nil {
+		t.Fatalf("AppendFrame(%+v): %v", f, err)
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	frames := []Frame{
+		{Kind: KindSnap, Epoch: 3, Offset: 1024, Rows: []string{"(a, b)", "(c, d)"}},
+		{Kind: KindSnap, Epoch: 0, Offset: 0},
+		{Kind: KindDelta, Epoch: 3, Offset: 2048, Added: []string{"(e, f)"}, Removed: []string{"(a, b)"}},
+		{Kind: KindDelta, Epoch: 4, Offset: 16, Added: []string{"+ (x)"}},
+		{Kind: KindHB, Epoch: 4, Offset: 99},
+		{Kind: KindErr, Code: "stale", Msg: "position retired; resubscribe without resume"},
+		{Kind: KindErr, Code: "notfound", Msg: ""},
+	}
+	var wire []byte
+	for _, f := range frames {
+		wire = mustAppend(t, wire, f)
+	}
+
+	var d Decoder
+	d.Feed(wire)
+	for i, want := range frames {
+		got, ok, err := d.Next()
+		if err != nil || !ok {
+			t.Fatalf("frame %d: Next = %v, %v, %v", i, got, ok, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, ok, err := d.Next(); ok || err != nil {
+		t.Fatalf("trailing Next = %v, %v", ok, err)
+	}
+	if d.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after draining", d.Buffered())
+	}
+}
+
+// TestByteAtATime pins the incremental contract: feeding one byte at a time
+// yields the same frame sequence as feeding the stream whole.
+func TestByteAtATime(t *testing.T) {
+	var wire []byte
+	want := []Frame{
+		{Kind: KindSnap, Epoch: 1, Offset: 7, Rows: []string{"r1", "r2", "r3"}},
+		{Kind: KindDelta, Epoch: 1, Offset: 21, Added: []string{"r4"}, Removed: []string{"r1", "r2"}},
+		{Kind: KindHB, Epoch: 2, Offset: 0},
+	}
+	for _, f := range want {
+		wire = mustAppend(t, wire, f)
+	}
+	var d Decoder
+	var got []Frame
+	for _, b := range wire {
+		d.Feed([]byte{b})
+		for {
+			f, ok, err := d.Next()
+			if err != nil {
+				t.Fatalf("Next: %v", err)
+			}
+			if !ok {
+				break
+			}
+			got = append(got, f)
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"BOGUS 1 2\n",
+		"SNAP 1 2\n",                     // missing size field
+		"SNAP x 2 0\n\n",                 // bad epoch
+		"SNAP 1 -5 0\n\n",                // negative offset
+		"SNAP 1 2 -1\n\n",                // negative size
+		"SNAP 1 2 99999999999999999\n",   // absurd size
+		"DELTA 1 2 2\nr1\n",              // unsigned delta line
+		"DELTA 1 2 1\n+\n",               // empty delta row
+		"SNAP 1 2 2\n\na\n",              // empty row via split
+		"SNAP 1 2 3\na\r\nb",             // carriage return in row
+		"SNAP 1 2 2\nabX",                // payload not newline-terminated
+		"HB 1\n",                         // short HB
+		"ERR  1\nx\n",                    // empty code
+		strings.Repeat("A", maxHeader+2), // unterminated header
+	}
+	for _, c := range cases {
+		var d Decoder
+		d.Feed([]byte(c))
+		_, _, err := d.Next()
+		if !errors.Is(err, ErrBadFrame) {
+			t.Errorf("decode %q: err = %v, want ErrBadFrame", c, err)
+		}
+		// Sticky: the stream stays dead.
+		if _, _, err2 := d.Next(); !errors.Is(err2, ErrBadFrame) {
+			t.Errorf("decode %q: second Next err = %v, want sticky ErrBadFrame", c, err2)
+		}
+	}
+}
+
+func TestEncodeRejects(t *testing.T) {
+	bad := []Frame{
+		{Kind: "WHAT"},
+		{Kind: KindSnap, Rows: []string{"a\nb"}},
+		{Kind: KindSnap, Rows: []string{""}},
+		{Kind: KindDelta, Added: []string{"a\rb"}},
+		{Kind: KindErr, Code: "two words"},
+		{Kind: KindErr, Code: ""},
+		{Kind: KindErr, Code: "x", Msg: "line\nbreak"},
+	}
+	for _, f := range bad {
+		if _, err := AppendFrame(nil, f); err == nil {
+			t.Errorf("AppendFrame(%+v) succeeded, want error", f)
+		}
+	}
+}
+
+func TestIncompleteThenComplete(t *testing.T) {
+	wire := mustAppend(t, nil, Frame{Kind: KindDelta, Epoch: 9, Offset: 40, Added: []string{"row"}})
+	var d Decoder
+	d.Feed(wire[:len(wire)-1])
+	if _, ok, err := d.Next(); ok || err != nil {
+		t.Fatalf("partial frame: Next = %v, %v; want not ready", ok, err)
+	}
+	d.Feed(wire[len(wire)-1:])
+	f, ok, err := d.Next()
+	if err != nil || !ok || f.Kind != KindDelta || len(f.Added) != 1 {
+		t.Fatalf("completed frame: %+v, %v, %v", f, ok, err)
+	}
+}
+
+// FuzzSubscribeFrameDecode checks the two decode invariants the chaos and
+// resume machinery rely on: (1) one-shot and byte-at-a-time decoding agree
+// on frames and error class; (2) re-encoding every decoded frame reproduces
+// the consumed prefix of the input.
+func FuzzSubscribeFrameDecode(f *testing.F) {
+	seed := [][]byte{
+		[]byte("SNAP 1 2 5\na\nb\nc\n"),
+		[]byte("DELTA 3 44 6\n+x\n-yz\n"),
+		[]byte("HB 0 0\n"),
+		[]byte("ERR stale 4\ngone\n"),
+		[]byte("SNAP 1 2 0\n\nHB 1 3\n"),
+		[]byte("garbage"),
+		{0xff, 0x00, '\n'},
+	}
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		// One-shot decode.
+		var whole Decoder
+		whole.Feed(data)
+		var wholeFrames []Frame
+		var wholeErr error
+		for {
+			fr, ok, err := whole.Next()
+			if err != nil {
+				wholeErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+			wholeFrames = append(wholeFrames, fr)
+		}
+
+		// Byte-at-a-time decode.
+		var inc Decoder
+		var incFrames []Frame
+		var incErr error
+	feed:
+		for _, b := range data {
+			inc.Feed([]byte{b})
+			for {
+				fr, ok, err := inc.Next()
+				if err != nil {
+					incErr = err
+					break feed
+				}
+				if !ok {
+					continue feed
+				}
+				incFrames = append(incFrames, fr)
+			}
+		}
+
+		if (wholeErr == nil) != (incErr == nil) {
+			t.Fatalf("error divergence: whole=%v inc=%v", wholeErr, incErr)
+		}
+		if wholeErr != nil && (!errors.Is(wholeErr, ErrBadFrame) || !errors.Is(incErr, ErrBadFrame)) {
+			t.Fatalf("error class: whole=%v inc=%v, want ErrBadFrame", wholeErr, incErr)
+		}
+		if !reflect.DeepEqual(wholeFrames, incFrames) {
+			t.Fatalf("frame divergence:\nwhole: %+v\ninc:   %+v", wholeFrames, incFrames)
+		}
+
+		// Encode stability: every decoded frame re-encodes, and decoding
+		// the re-encoding reproduces the same frames. (Byte-exactness is
+		// not required — the decoder accepts non-canonical numerals.)
+		var re []byte
+		for _, fr := range wholeFrames {
+			var err error
+			re, err = AppendFrame(re, fr)
+			if err != nil {
+				t.Fatalf("re-encode %+v: %v", fr, err)
+			}
+		}
+		var again Decoder
+		again.Feed(re)
+		var reFrames []Frame
+		for {
+			fr, ok, err := again.Next()
+			if err != nil {
+				t.Fatalf("decode of re-encoding failed: %v (wire %q)", err, re)
+			}
+			if !ok {
+				break
+			}
+			reFrames = append(reFrames, fr)
+		}
+		if !reflect.DeepEqual(reFrames, wholeFrames) {
+			t.Fatalf("re-decode divergence:\nfirst:  %+v\nsecond: %+v", wholeFrames, reFrames)
+		}
+	})
+}

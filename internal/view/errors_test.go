@@ -1,0 +1,103 @@
+package view
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestDeltaAtomCapFallsBack: a committed batch whose affected-atom closure
+// exceeds MaxDeltaAtoms abandons the incremental fold and recomputes, and
+// the fallback is visible in the view's recompute counter.
+func TestDeltaAtomCapFallsBack(t *testing.T) {
+	_, m, sess := openView(t, Options{MaxDeltaAtoms: 1})
+	mustExec(t, sess, seedDDL)
+	mustExec(t, sess, "CREATE MATERIALIZED VIEW flat AS EXTENSION flies;")
+	mustExec(t, sess, "INSTANCE a UNDER mammal; INSTANCE b UNDER mammal;")
+	quiesce(t, m)
+	_, rec0, err := m.Stats("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One tuple change, three affected atoms (rex, a, b) — over the cap.
+	mustExec(t, sess, "ASSERT flies (mammal);")
+	quiesce(t, m)
+	deltas1, rec1, err := m.Stats("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1 != rec0+1 {
+		t.Fatalf("recomputes %d -> %d; the atom cap never forced a fallback", rec0, rec1)
+	}
+	if deltas1 != 0 {
+		t.Fatalf("deltas = %d; the over-cap batch must not take the delta path", deltas1)
+	}
+	rows, err := m.Rows("flat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(rows, ","); got != "(a),(b),(rex),(tweety)" {
+		t.Fatalf("rows after fallback = %q", got)
+	}
+}
+
+// TestCreateRejections pins every way a view definition can be refused:
+// bad names, unparseable or multi-statement or mutating queries, name
+// collisions with views and relations, and defining queries whose first
+// evaluation fails.
+func TestCreateRejections(t *testing.T) {
+	_, m, sess := openView(t, Options{})
+	mustExec(t, sess, seedDDL)
+	mustExec(t, sess, "CREATE MATERIALIZED VIEW flat AS EXTENSION flies;")
+
+	for _, tc := range []struct{ name, query, wantErr string }{
+		{"", "EXTENSION flies", "invalid view name"},
+		{"bad name", "EXTENSION flies", "invalid view name"},
+		{"v", "NOT A QUERY", "defining query"},
+		{"v", "EXTENSION flies; EXTENSION flies", "single statement"},
+		{"v", "ASSERT flies (bird)", "cannot define"},
+		{"flat", "EXTENSION flies", "already exists"},
+		{"flies", "EXTENSION flies", `relation "flies" already exists`},
+		{"v", "EXTENSION nosuch", "nosuch"},
+	} {
+		err := m.Create(tc.name, tc.query)
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Fatalf("Create(%q, %q) = %v, want error containing %q", tc.name, tc.query, err, tc.wantErr)
+		}
+	}
+
+	if err := m.Drop("nosuch"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Drop(nosuch) = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Rows("nosuch"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Rows(nosuch) = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Snapshot("nosuch"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Snapshot(nosuch) = %v, want ErrNotFound", err)
+	}
+	if _, _, err := m.Stats("nosuch"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Stats(nosuch) = %v, want ErrNotFound", err)
+	}
+	if _, err := m.Status("nosuch"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Status(nosuch) = %v, want ErrNotFound", err)
+	}
+
+	// Count views have no relation form to snapshot.
+	mustExec(t, sess, "CREATE MATERIALIZED VIEW tally AS COUNT flies;")
+	quiesce(t, m)
+	if _, err := m.Snapshot("tally"); err == nil {
+		t.Fatal("Snapshot of a count view succeeded")
+	}
+
+	// A closed manager refuses definitions and further closes are no-ops.
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close = %v", err)
+	}
+	if err := m.Create("late", "EXTENSION flies"); err == nil {
+		t.Fatal("Create after Close succeeded")
+	}
+}

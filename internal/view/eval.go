@@ -1,0 +1,156 @@
+package view
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"hrdb/internal/algebra"
+	"hrdb/internal/catalog"
+	"hrdb/internal/core"
+	"hrdb/internal/hql"
+)
+
+// defKind classifies a view's defining query, which decides its maintenance
+// strategy (see maintain in manager.go).
+type defKind int
+
+const (
+	// kindExtension — EXTENSION <rel>: the flat atomic extension. The
+	// flagship case: flattening is the paper's expensive read, and its
+	// maintenance is O(delta) — a changed tuple re-evaluates only the
+	// atoms it subsumes.
+	kindExtension defKind = iota
+	// kindSelect — SELECT FROM <rel> [WHERE ...]: recomputed on source
+	// change (consolidation is a whole-relation operation, so there is no
+	// sound tuple-local fold).
+	kindSelect
+	// kindCount — COUNT <rel> [BY ...]: recomputed on source change.
+	kindCount
+	// kindMirror — an internal feed over a base relation's stored tuples,
+	// backing SUBSCRIBE <relation>. Never user-created.
+	kindMirror
+)
+
+// def is a compiled view definition.
+type def struct {
+	kind   defKind
+	source string // the single base relation
+	conds  []algebra.Condition
+	by     []string
+}
+
+// compile parses and classifies a canonical defining query.
+func compile(query string) (*def, error) {
+	stmts, err := hql.Parse(query)
+	if err != nil {
+		return nil, fmt.Errorf("view: defining query: %w", err)
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("view: defining query must be a single statement, got %d", len(stmts))
+	}
+	if err := hql.Materializable(stmts[0]); err != nil {
+		return nil, err
+	}
+	switch st := stmts[0].(type) {
+	case hql.ExtensionStmt:
+		return &def{kind: kindExtension, source: st.Relation}, nil
+	case hql.SelectStmt:
+		conds := make([]algebra.Condition, len(st.Conds))
+		for i, c := range st.Conds {
+			conds[i] = algebra.Condition{Attr: c[0], Class: c[1]}
+		}
+		return &def{kind: kindSelect, source: st.Relation, conds: conds}, nil
+	case hql.CountStmt:
+		return &def{kind: kindCount, source: st.Relation, by: st.By}, nil
+	default:
+		return nil, fmt.Errorf("view: %T cannot define a view", st)
+	}
+}
+
+// evalResult is one full evaluation of a view's defining query.
+type evalResult struct {
+	rows []string // sorted, newline-free
+	// rel is the view's relation form (extension and select views); nil
+	// for count views and mirrors.
+	rel *core.Relation
+	// domains names the hierarchies the result depends on; a mutation of
+	// any of them invalidates incremental maintenance.
+	domains map[string]bool
+}
+
+// eval runs a view's defining query from scratch against the current
+// database state.
+func eval(ctx context.Context, db *catalog.Database, name string, d *def) (evalResult, error) {
+	src, err := db.Snapshot(d.source)
+	if err != nil {
+		return evalResult{}, err
+	}
+	domains := map[string]bool{}
+	schema := src.Schema()
+	for i := 0; i < schema.Arity(); i++ {
+		domains[schema.Attr(i).Domain.Domain()] = true
+	}
+	res := evalResult{domains: domains}
+
+	switch d.kind {
+	case kindExtension:
+		ext, err := src.ExtensionContext(ctx)
+		if err != nil {
+			return evalResult{}, err
+		}
+		rel := core.NewRelation(name, schema)
+		rows := make([]string, 0, len(ext))
+		for _, it := range ext {
+			if err := rel.Insert(it, true); err != nil {
+				return evalResult{}, err
+			}
+			rows = append(rows, it.String())
+		}
+		sort.Strings(rows)
+		res.rows, res.rel = rows, rel
+
+	case kindSelect:
+		sel, err := algebra.SelectContext(ctx, name, src, d.conds...)
+		if err != nil {
+			return evalResult{}, err
+		}
+		sel = sel.Consolidate()
+		res.rows, res.rel = tupleRows(sel), sel
+
+	case kindCount:
+		counts, err := algebra.Count(src, d.by...)
+		if err != nil {
+			return evalResult{}, err
+		}
+		rows := make([]string, 0, len(counts))
+		for _, gc := range counts {
+			if len(gc.Group) == 0 {
+				rows = append(rows, fmt.Sprintf("count = %d", gc.N))
+				continue
+			}
+			rows = append(rows, fmt.Sprintf("%s = %d", gc.Group, gc.N))
+		}
+		sort.Strings(rows)
+		res.rows = rows
+
+	case kindMirror:
+		res.rows = tupleRows(src)
+
+	default:
+		return evalResult{}, fmt.Errorf("view: unknown kind %d", d.kind)
+	}
+	return res, nil
+}
+
+// tupleRows renders a relation's stored tuples as sorted row strings
+// ("+ (a, b)" / "- (a, b)").
+func tupleRows(r *core.Relation) []string {
+	ts := r.Tuples()
+	rows := make([]string, 0, len(ts))
+	for _, t := range ts {
+		rows = append(rows, t.String())
+	}
+	sort.Strings(rows)
+	return rows
+}

@@ -1,0 +1,863 @@
+// Package view maintains materialized views over HQL queries: each view's
+// result set is computed once, then kept current by tailing the store's
+// committed WAL stream and folding every committed batch into the stored
+// rows — as an O(delta) patch when the defining query permits it, and by
+// full recomputation when a mutation (hierarchy edit, whole-relation
+// rewrite) invalidates incremental math. Views double as change feeds:
+// every row change is journaled with its WAL position, and ServeFeed
+// streams snapshot + deltas to subscribers with gap- and duplicate-free
+// resumption, mirroring the replication stream contract.
+package view
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"hrdb/internal/catalog"
+	"hrdb/internal/core"
+	"hrdb/internal/storage"
+	"hrdb/internal/subwire"
+)
+
+// position is a WAL position (checkpoint epoch, byte offset).
+type position struct {
+	epoch  uint64
+	offset int64
+}
+
+func (p position) less(q position) bool {
+	return p.epoch < q.epoch || (p.epoch == q.epoch && p.offset < q.offset)
+}
+
+// entry is one journaled row change: applying added/removed to the rows as
+// of the previous entry yields the rows as of pos. Entries are diffs of the
+// view's own row set, so replaying a contiguous suffix is exact.
+type entry struct {
+	pos            position
+	added, removed []string // sorted
+}
+
+func (e entry) bytes() int {
+	n := 0
+	for _, r := range e.added {
+		n += len(r)
+	}
+	for _, r := range e.removed {
+		n += len(r)
+	}
+	return n + 32
+}
+
+// view is one maintained view (or internal relation mirror).
+type view struct {
+	name   string
+	query  string // canonical defining query; "" for mirrors
+	def    *def
+	rows   map[string]struct{}
+	sorted []string // cache of sorted rows; nil = dirty
+	rel    *core.Relation
+	// domains the last successful evaluation depended on.
+	domains map[string]bool
+
+	pos     position // WAL position the rows reflect
+	floor   position // journal covers (floor, pos]; resume below floor is stale
+	journal []entry
+	jbytes  int
+
+	deltas, recomputes uint64
+	lastErr            string
+}
+
+func (v *view) sortedRows() []string {
+	if v.sorted == nil {
+		v.sorted = make([]string, 0, len(v.rows))
+		for r := range v.rows {
+			v.sorted = append(v.sorted, r)
+		}
+		sort.Strings(v.sorted)
+	}
+	return v.sorted
+}
+
+// setRows replaces the row set and returns the sorted diff old -> new.
+func (v *view) setRows(rows []string) (added, removed []string) {
+	next := make(map[string]struct{}, len(rows))
+	for _, r := range rows {
+		next[r] = struct{}{}
+		if _, ok := v.rows[r]; !ok {
+			added = append(added, r)
+		}
+	}
+	for r := range v.rows {
+		if _, ok := next[r]; !ok {
+			removed = append(removed, r)
+		}
+	}
+	v.rows = next
+	v.sorted = nil
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed
+}
+
+// Options configures a Manager.
+type Options struct {
+	// Dir, when set, persists view definitions (and a clean-shutdown row
+	// snapshot) to Dir/views.json so views survive restarts.
+	Dir string
+	// MaxDeltaAtoms caps how many atoms one committed batch may force an
+	// extension view to re-evaluate before falling back to a full
+	// recompute. Default 4096.
+	MaxDeltaAtoms int
+	// MaxJournalEntries / MaxJournalBytes bound each view's change
+	// journal; resuming below the trimmed floor yields a stale error.
+	// Defaults 1024 entries / 1 MiB.
+	MaxJournalEntries int
+	MaxJournalBytes   int
+	// Heartbeat is the feed heartbeat interval. Default 500ms.
+	Heartbeat time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxDeltaAtoms <= 0 {
+		o.MaxDeltaAtoms = 4096
+	}
+	if o.MaxJournalEntries <= 0 {
+		o.MaxJournalEntries = 1024
+	}
+	if o.MaxJournalBytes <= 0 {
+		o.MaxJournalBytes = 1 << 20
+	}
+	if o.Heartbeat <= 0 {
+		o.Heartbeat = 500 * time.Millisecond
+	}
+	return o
+}
+
+// Manager owns every materialized view of one Store: it registers and
+// persists definitions, runs the single WAL-tailing maintenance goroutine,
+// and serves subscription feeds. Safe for concurrent use.
+type Manager struct {
+	store *storage.Store
+	opts  Options
+
+	mu      sync.Mutex
+	views   map[string]*view // user views, by name
+	mirrors map[string]*view // relation feeds, by relation name
+	pos     position         // last applied batch position
+	change  chan struct{}    // closed and replaced on every state change
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+	closed bool
+}
+
+// ErrNotFound reports an unknown view.
+var ErrNotFound = errors.New("view: not found")
+
+// Open starts a Manager over the store, reloading any persisted view
+// definitions (recomputing their contents unless a clean-shutdown snapshot
+// at the store's exact current position can be adopted).
+func Open(store *storage.Store, opts Options) (*Manager, error) {
+	epoch, off := store.Position()
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		store:   store,
+		opts:    opts.withDefaults(),
+		views:   map[string]*view{},
+		mirrors: map[string]*view{},
+		pos:     position{epoch, off},
+		change:  make(chan struct{}),
+		ctx:     ctx,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+	}
+	if err := m.load(); err != nil {
+		cancel()
+		return nil, err
+	}
+	go m.run()
+	return m, nil
+}
+
+// Close stops maintenance and persists a row snapshot for fast adoption on
+// the next Open. The store itself is not closed.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closed = true
+	m.mu.Unlock()
+	m.cancel()
+	<-m.done
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.saveLocked()
+}
+
+// bumpLocked wakes every waiter (feeds, Wait) after a state change.
+func (m *Manager) bumpLocked() {
+	close(m.change)
+	m.change = make(chan struct{})
+	total := int64(0)
+	for _, v := range m.views {
+		total += int64(len(v.rows))
+	}
+	metricRows.Set(total)
+}
+
+// run is the maintenance loop: one committed batch at a time, folded into
+// every view under the manager lock.
+func (m *Manager) run() {
+	defer close(m.done)
+	m.mu.Lock()
+	tl := storage.TailFrom(m.store, m.pos.epoch, m.pos.offset)
+	m.mu.Unlock()
+	for {
+		recs, epoch, off, err := tl.Next(m.ctx)
+		if err != nil {
+			if m.ctx.Err() != nil || errors.Is(err, storage.ErrStoreClosed) {
+				return
+			}
+			// The tail position was retired (checkpoint) or unreadable:
+			// restart from the store's current position and recompute
+			// everything. The recompute diffs keep feeds exact.
+			tl = m.resync()
+			continue
+		}
+		start := time.Now()
+		m.apply(recs, position{epoch, off})
+		metricLagNS.Observe(int64(time.Since(start)))
+	}
+}
+
+// resync re-anchors the tail at the store's current position, recomputing
+// every view there. Journals stay continuous: the recompute diff is one
+// entry covering everything the lost WAL range did.
+func (m *Manager) resync() *storage.Tailer {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tl := storage.NewTailer(m.store)
+	epoch, off := tl.Position()
+	m.pos = position{epoch, off}
+	for _, v := range m.views {
+		m.recomputeLocked(v, m.pos)
+	}
+	for _, v := range m.mirrors {
+		m.recomputeLocked(v, m.pos)
+	}
+	m.bumpLocked()
+	return tl
+}
+
+// apply folds one committed batch into every view.
+func (m *Manager) apply(recs []storage.Record, pos position) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, v := range m.views {
+		m.applyViewLocked(v, recs, pos)
+	}
+	for _, v := range m.mirrors {
+		m.applyViewLocked(v, recs, pos)
+	}
+	m.pos = pos
+	m.bumpLocked()
+}
+
+// Maintenance actions, in increasing order of cost.
+const (
+	actNone = iota
+	actDelta
+	actRecompute
+)
+
+// classify decides what a committed batch demands of one view.
+func (v *view) classify(recs []storage.Record) int {
+	act := actNone
+	for _, rec := range recs {
+		switch rec.Op {
+		case storage.OpAssert, storage.OpDeny, storage.OpRetract:
+			if rec.Target == v.def.source && act < actDelta {
+				act = actDelta
+			}
+		case storage.OpConsolidate, storage.OpExplicate, storage.OpSetMode,
+			storage.OpCreateRelation, storage.OpDropRelation:
+			if rec.Target == v.def.source {
+				return actRecompute
+			}
+		case storage.OpCreateHierarchy, storage.OpAddClass, storage.OpAddInstance,
+			storage.OpAddEdge, storage.OpPrefer, storage.OpDropNode:
+			// A hierarchy mutation shifts subsumption under the view's
+			// domains: incremental math is invalid, recompute. Mirrors are
+			// exempt — stored tuples do not move with the hierarchy.
+			if v.def.kind != kindMirror && v.domains[rec.Target] {
+				return actRecompute
+			}
+		}
+	}
+	return act
+}
+
+func (m *Manager) applyViewLocked(v *view, recs []storage.Record, pos position) {
+	switch v.classify(recs) {
+	case actNone:
+		v.pos = pos
+		return
+	case actDelta:
+		var added, removed []string
+		var ok bool
+		switch v.def.kind {
+		case kindExtension:
+			added, removed, ok = m.deltaExtensionLocked(v, recs)
+		case kindMirror:
+			added, removed, ok = v.deltaMirror(recs)
+		default:
+			// SELECT and COUNT views have no sound tuple-local fold.
+			ok = false
+		}
+		if !ok {
+			m.recomputeLocked(v, pos)
+			return
+		}
+		v.deltas++
+		metricDeltas.Inc()
+		m.commitView(v, pos, added, removed)
+	case actRecompute:
+		m.recomputeLocked(v, pos)
+	}
+}
+
+func (v *view) appendJournal(m *Manager, e entry) {
+	v.journal = append(v.journal, e)
+	v.jbytes += e.bytes()
+	for len(v.journal) > m.opts.MaxJournalEntries || v.jbytes > m.opts.MaxJournalBytes {
+		head := v.journal[0]
+		v.floor = head.pos
+		v.jbytes -= head.bytes()
+		v.journal = v.journal[1:]
+	}
+}
+
+func (m *Manager) commitView(v *view, pos position, added, removed []string) {
+	if len(added) > 0 || len(removed) > 0 {
+		v.appendJournal(m, entry{pos: pos, added: added, removed: removed})
+	}
+	v.pos = pos
+}
+
+// recomputeLocked re-evaluates a view from scratch at the current database
+// state and journals the diff as one entry at pos. Evaluation failure (for
+// example a dropped source relation) empties the view and records the
+// error; a later batch that recreates the source revives it.
+func (m *Manager) recomputeLocked(v *view, pos position) {
+	v.recomputes++
+	metricRecomputes.Inc()
+	var res evalResult
+	err := m.store.ReadLocked(func(db *catalog.Database) error {
+		var e error
+		res, e = eval(m.ctx, db, v.name, v.def)
+		return e
+	})
+	if err != nil {
+		v.lastErr = err.Error()
+		res = evalResult{}
+	} else {
+		v.lastErr = ""
+	}
+	added, removed := v.setRows(res.rows)
+	v.rel = res.rel
+	if res.domains != nil {
+		v.domains = res.domains
+	}
+	m.commitView(v, pos, added, removed)
+}
+
+// deltaExtensionLocked applies DML records to an extension view by
+// re-evaluating only the atoms a change at item J can reach: the atoms
+// under J itself, plus the atoms under every stored tuple item K that
+// subsumes J. The second set is what makes this sound under the paper's
+// preemption semantics — a tuple at J can preempt (or stop preempting) a
+// tuple at an ancestor item K for atoms under K that are NOT under J, so
+// tuple-locality alone is not enough. Atoms outside both sets see neither
+// an applicable-tuple change nor a preemptor change, and keep their
+// verdicts. Reports ok=false (caller recomputes) when the affected-atom
+// set exceeds the cap or evaluation fails.
+func (m *Manager) deltaExtensionLocked(v *view, recs []storage.Record) (added, removed []string, ok bool) {
+	if v.rel == nil || v.lastErr != "" {
+		return nil, nil, false
+	}
+	err := m.store.ReadLocked(func(db *catalog.Database) error {
+		added, removed, ok = m.deltaExtensionUnderLock(db, v, recs)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, false
+	}
+	return added, removed, ok
+}
+
+// deltaExtensionUnderLock is the fold body; the caller holds both the
+// manager lock and the store's apply lock (no concurrent mutation).
+func (m *Manager) deltaExtensionUnderLock(db *catalog.Database, v *view, recs []storage.Record) (added, removed []string, ok bool) {
+	src, err := db.Snapshot(v.def.source)
+	if err != nil {
+		return nil, nil, false
+	}
+	schema := v.rel.Schema()
+	if src.Schema().Arity() != schema.Arity() {
+		return nil, nil, false
+	}
+	stored := src.Tuples()
+
+	var atoms []core.Item
+	seen := map[string]core.Item{}
+	// addAtoms expands an item to its leaf product, deduplicated and
+	// capped; false means "too big, recompute instead".
+	addAtoms := func(item []string) bool {
+		leaves := make([][]string, schema.Arity())
+		total := 1
+		for i := range leaves {
+			ls := schema.Attr(i).Domain.Leaves(item[i])
+			if len(ls) == 0 {
+				return false
+			}
+			leaves[i] = ls
+			total *= len(ls)
+			if total > m.opts.MaxDeltaAtoms {
+				return false
+			}
+		}
+		if len(atoms)+total > m.opts.MaxDeltaAtoms {
+			return false
+		}
+		idx := make([]int, len(leaves))
+		for {
+			atom := make(core.Item, len(leaves))
+			for i, j := range idx {
+				atom[i] = leaves[i][j]
+			}
+			if k := atom.Key(); seen[k] == nil {
+				seen[k] = atom
+				atoms = append(atoms, atom)
+			}
+			i := len(idx) - 1
+			for ; i >= 0; i-- {
+				idx[i]++
+				if idx[i] < len(leaves[i]) {
+					break
+				}
+				idx[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+		return true
+	}
+	subsumesItem := func(upper, lower []string) bool {
+		for i := range upper {
+			if upper[i] != lower[i] && !schema.Attr(i).Domain.Subsumes(upper[i], lower[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, rec := range recs {
+		switch rec.Op {
+		case storage.OpAssert, storage.OpDeny, storage.OpRetract:
+		default:
+			continue
+		}
+		if rec.Target != v.def.source {
+			continue
+		}
+		if len(rec.Args) != schema.Arity() {
+			return nil, nil, false
+		}
+		if !addAtoms(rec.Args) {
+			return nil, nil, false
+		}
+		for _, t := range stored {
+			if subsumesItem(t.Item, rec.Args) && !addAtoms(t.Item) {
+				return nil, nil, false
+			}
+		}
+	}
+	if len(atoms) == 0 {
+		return nil, nil, true
+	}
+	flags, err := db.HoldsBatch(m.ctx, v.def.source, atoms)
+	if err != nil {
+		return nil, nil, false
+	}
+	for i, atom := range atoms {
+		row := atom.String()
+		_, present := v.rows[row]
+		switch {
+		case flags[i] && !present:
+			if err := v.rel.Insert(atom, true); err != nil {
+				return nil, nil, false
+			}
+			v.rows[row] = struct{}{}
+			v.sorted = nil
+			added = append(added, row)
+		case !flags[i] && present:
+			v.rel.Retract(atom)
+			delete(v.rows, row)
+			v.sorted = nil
+			removed = append(removed, row)
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed, true
+}
+
+// deltaMirror folds DML records into a relation mirror: each record sets
+// its item's stored-tuple state absolutely (assert -> "+", deny -> "-",
+// retract -> absent), so replay converges even when the mirror was
+// bootstrapped ahead of the tail position.
+func (v *view) deltaMirror(recs []storage.Record) (added, removed []string, ok bool) {
+	for _, rec := range recs {
+		if rec.Target != v.def.source {
+			continue
+		}
+		it := core.Item(rec.Args)
+		plus := core.Tuple{Item: it, Sign: true}.String()
+		minus := core.Tuple{Item: it, Sign: false}.String()
+		var want string
+		switch rec.Op {
+		case storage.OpAssert:
+			want = plus
+		case storage.OpDeny:
+			want = minus
+		case storage.OpRetract:
+			want = ""
+		default:
+			continue
+		}
+		for _, row := range []string{plus, minus} {
+			if row == want {
+				continue
+			}
+			if _, present := v.rows[row]; present {
+				delete(v.rows, row)
+				v.sorted = nil
+				removed = append(removed, row)
+			}
+		}
+		if want != "" {
+			if _, present := v.rows[want]; !present {
+				v.rows[want] = struct{}{}
+				v.sorted = nil
+				added = append(added, want)
+			}
+		}
+	}
+	sort.Strings(added)
+	sort.Strings(removed)
+	return added, removed, true
+}
+
+// Create registers a materialized view: the defining query (canonical HQL,
+// as produced by hql.Render) is compiled, evaluated once, and maintained
+// from this point in the WAL onward.
+func (m *Manager) Create(name, query string) error {
+	if name == "" || strings.ContainsAny(name, " \n\r\t") {
+		return fmt.Errorf("view: invalid view name %q", name)
+	}
+	d, err := compile(query)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return storage.ErrStoreClosed
+	}
+	if _, ok := m.views[name]; ok {
+		return fmt.Errorf("view: view %q already exists", name)
+	}
+	if _, err := m.store.Database().Snapshot(name); err == nil {
+		return fmt.Errorf("view: relation %q already exists", name)
+	}
+	var res evalResult
+	if err := m.store.ReadLocked(func(db *catalog.Database) error {
+		var e error
+		res, e = eval(m.ctx, db, name, d)
+		return e
+	}); err != nil {
+		return err
+	}
+	v := &view{
+		name:    name,
+		query:   query,
+		def:     d,
+		rows:    map[string]struct{}{},
+		domains: res.domains,
+		pos:     m.pos,
+		floor:   m.pos,
+	}
+	added, _ := v.setRows(res.rows)
+	_ = added // initial rows are the snapshot, not a journal entry
+	v.rel = res.rel
+	m.views[name] = v
+	m.bumpLocked()
+	return m.saveLocked()
+}
+
+// Drop unregisters a view. Active feeds terminate with a "dropped" error.
+func (m *Manager) Drop(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.views[name]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	delete(m.views, name)
+	m.bumpLocked()
+	return m.saveLocked()
+}
+
+// Has reports whether a view with the name exists.
+func (m *Manager) Has(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.views[name]
+	return ok
+}
+
+// Names lists registered views, sorted.
+func (m *Manager) Names() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.views))
+	for n := range m.views {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Rows returns the view's current rows, sorted.
+func (m *Manager) Rows(name string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.views[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return append([]string(nil), v.sortedRows()...), nil
+}
+
+// Snapshot returns the view's relation form for catalog-style reads.
+func (m *Manager) Snapshot(name string) (*core.Relation, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.views[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	if v.rel == nil {
+		if v.lastErr != "" {
+			return nil, fmt.Errorf("view: %q is broken: %s", name, v.lastErr)
+		}
+		return nil, fmt.Errorf("view: %q has no relation form", name)
+	}
+	return v.rel.Clone(), nil
+}
+
+// Status renders one view's definition and maintenance state.
+func (m *Manager) Status(name string) (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.views[name]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", v.name, v.query)
+	fmt.Fprintf(&b, "  rows=%d position=%d/%d deltas=%d recomputes=%d journal=%d",
+		len(v.rows), v.pos.epoch, v.pos.offset, v.deltas, v.recomputes, len(v.journal))
+	if v.lastErr != "" {
+		fmt.Fprintf(&b, "\n  error: %s", v.lastErr)
+	}
+	return b.String(), nil
+}
+
+// Stats reports a view's maintenance counters (for tests and benchmarks).
+func (m *Manager) Stats(name string) (deltas, recomputes uint64, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	v, ok := m.views[name]
+	if !ok {
+		return 0, 0, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return v.deltas, v.recomputes, nil
+}
+
+// Wait blocks until every committed mutation as of the call has been folded
+// into all views — the test and benchmark quiescence point.
+func (m *Manager) Wait(ctx context.Context) error {
+	epoch, off := m.store.Position()
+	target := position{epoch, off}
+	for {
+		m.mu.Lock()
+		cur, ch := m.pos, m.change
+		m.mu.Unlock()
+		if !cur.less(target) {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-m.ctx.Done():
+			return m.ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+// feedViewLocked resolves a feed target: a user view, or a lazily created
+// mirror over a base relation (SUBSCRIBE <relation>).
+func (m *Manager) feedViewLocked(name string) (*view, error) {
+	if v, ok := m.views[name]; ok {
+		return v, nil
+	}
+	if v, ok := m.mirrors[name]; ok {
+		return v, nil
+	}
+	d := &def{kind: kindMirror, source: name}
+	var res evalResult
+	if err := m.store.ReadLocked(func(db *catalog.Database) error {
+		var e error
+		res, e = eval(m.ctx, db, name, d)
+		return e
+	}); err != nil {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	v := &view{
+		name:    name,
+		def:     d,
+		rows:    map[string]struct{}{},
+		domains: res.domains,
+		pos:     m.pos,
+		floor:   m.pos,
+	}
+	v.setRows(res.rows)
+	m.mirrors[name] = v
+	return v, nil
+}
+
+// ServeFeed streams a view's (or relation's) change feed to w in subwire
+// frames, one frame per Write. Without resume it opens with a SNAP of the
+// full row set; with resume it replays exactly the journaled deltas after
+// (epoch, offset) — or emits ERR stale when that position was trimmed, in
+// which case the client should resubscribe without resume. It returns when
+// ctx is canceled (nil), the writer fails (the write error), or the feed
+// ends server-side (nil, after an ERR frame).
+func (m *Manager) ServeFeed(ctx context.Context, w io.Writer, name string, epoch uint64, offset int64, resume bool) error {
+	writeFrame := func(f subwire.Frame) error {
+		buf, err := subwire.AppendFrame(nil, f)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(buf)
+		return err
+	}
+	fail := func(code, msg string) error {
+		werr := writeFrame(subwire.Frame{Kind: subwire.KindErr, Code: code, Msg: msg})
+		if werr != nil {
+			return werr
+		}
+		return nil
+	}
+
+	var cur position
+	m.mu.Lock()
+	v, err := m.feedViewLocked(name)
+	if err != nil {
+		m.mu.Unlock()
+		return fail("notfound", fmt.Sprintf("no view or relation %q", name))
+	}
+	if resume {
+		cur = position{epoch, offset}
+		if cur.less(v.floor) || v.pos.less(cur) {
+			m.mu.Unlock()
+			return fail("stale", "resume position outside the retained journal; resubscribe without resume")
+		}
+		m.mu.Unlock()
+	} else {
+		cur = v.pos
+		snap := subwire.Frame{
+			Kind:   subwire.KindSnap,
+			Epoch:  cur.epoch,
+			Offset: cur.offset,
+			Rows:   append([]string(nil), v.sortedRows()...),
+		}
+		m.mu.Unlock()
+		if err := writeFrame(snap); err != nil {
+			return err
+		}
+	}
+
+	hb := time.NewTicker(m.opts.Heartbeat)
+	defer hb.Stop()
+	for {
+		m.mu.Lock()
+		alive := m.views[name] == v || m.mirrors[name] == v
+		if !alive {
+			m.mu.Unlock()
+			return fail("dropped", fmt.Sprintf("view %q was dropped", name))
+		}
+		var pending []entry
+		for _, e := range v.journal {
+			if cur.less(e.pos) {
+				pending = append(pending, e)
+			}
+		}
+		vpos := v.pos
+		ch := m.change
+		m.mu.Unlock()
+
+		if len(pending) > 0 {
+			for _, e := range pending {
+				f := subwire.Frame{
+					Kind:    subwire.KindDelta,
+					Epoch:   e.pos.epoch,
+					Offset:  e.pos.offset,
+					Added:   e.added,
+					Removed: e.removed,
+				}
+				if err := writeFrame(f); err != nil {
+					return err
+				}
+				cur = e.pos
+			}
+			continue
+		}
+		if cur.less(vpos) {
+			cur = vpos // nothing journaled in between: safe to fast-forward
+		}
+
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-m.ctx.Done():
+			return fail("shutdown", "view manager closing")
+		case <-ch:
+		case <-hb.C:
+			if err := writeFrame(subwire.Frame{Kind: subwire.KindHB, Epoch: cur.epoch, Offset: cur.offset}); err != nil {
+				return err
+			}
+		}
+	}
+}
